@@ -1,0 +1,90 @@
+//! Error types for the algebra.
+
+use std::fmt;
+
+use pxml_core::{CoreError, ObjectId};
+
+/// Errors raised by algebra operators.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum AlgebraError {
+    /// An underlying data-model error.
+    Core(CoreError),
+    /// A path expression names a root other than the instance's root.
+    PathRootMismatch,
+    /// A path expression in text form failed to parse.
+    PathParse(String),
+    /// The selection condition has probability 0 — no compatible instance
+    /// satisfies it, so the normalisation of Definition 5.6 is undefined.
+    EmptySelection,
+    /// The efficient algorithm assumes tree-shaped instances (Section 6)
+    /// and this object has several parents. Use the naive engine instead.
+    NotTreeShaped(ObjectId),
+    /// The condition shape is not supported by the efficient engine.
+    UnsupportedCondition(&'static str),
+    /// The named object does not satisfy the path expression.
+    ObjectNotOnPath(ObjectId),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Core(e) => write!(f, "{e}"),
+            AlgebraError::PathRootMismatch => {
+                write!(f, "path expression starts at a different root than the instance")
+            }
+            AlgebraError::PathParse(s) => write!(f, "cannot parse path expression {s:?}"),
+            AlgebraError::EmptySelection => {
+                write!(f, "selection condition has probability 0; result undefined (Definition 5.6)")
+            }
+            AlgebraError::NotTreeShaped(o) => write!(
+                f,
+                "object {o:?} has multiple parents; the efficient algorithm assumes tree-shaped instances (Section 6) — use the naive engine"
+            ),
+            AlgebraError::UnsupportedCondition(what) => {
+                write!(f, "condition not supported by the efficient engine: {what}")
+            }
+            AlgebraError::ObjectNotOnPath(o) => {
+                write!(f, "object {o:?} does not satisfy the path expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AlgebraError {
+    fn from(e: CoreError) -> Self {
+        AlgebraError::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = AlgebraError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let e: AlgebraError = CoreError::MissingRoot.into();
+        assert!(e.to_string().contains("root"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn messages_cite_paper_sections() {
+        assert!(AlgebraError::EmptySelection.to_string().contains("5.6"));
+        assert!(AlgebraError::NotTreeShaped(ObjectId::from_raw(0))
+            .to_string()
+            .contains("Section 6"));
+    }
+}

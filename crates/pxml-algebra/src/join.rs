@@ -1,0 +1,189 @@
+//! Join — Cartesian product followed by selection.
+//!
+//! The paper defines join "in terms of these operations in the standard
+//! way" (Section 5). A join condition relates a path in the left operand
+//! to a path in the right one; the join is `σ_cond(I × I')`. Because a
+//! value-equality condition correlates the two operands' leaves, the
+//! result is in general *not* representable as a single probabilistic
+//! instance — joins therefore return a [`WorldTable`] under the global
+//! semantics, plus [`try_factorize`](crate::setops::try_factorize) when
+//! the caller wants a probabilistic instance back (Theorem 2 permitting).
+
+use pxml_core::{enumerate_worlds, ObjectId, ProbInstance, Value, WorldTable};
+
+use crate::error::{AlgebraError, Result};
+use crate::locate::locate_sd;
+use crate::path::PathExpr;
+use crate::product::{cartesian_product, Product};
+
+/// A join condition over the *product* instance (paths are interpreted
+/// against the merged root).
+#[derive(Clone, Debug)]
+pub enum JoinCond {
+    /// Some left object satisfying the first path and some right object
+    /// satisfying the second carry equal values.
+    ValueEq(PathExpr, PathExpr),
+    /// A designated pair of leaves carries equal values.
+    ValueEqAt(ObjectId, ObjectId),
+}
+
+/// The result of a join: the product metadata, the joined world table and
+/// the prior probability of the join condition.
+#[derive(Clone, Debug)]
+pub struct Joined {
+    /// The Cartesian product the join was evaluated over.
+    pub product: Product,
+    /// The joined distribution (normalised).
+    pub worlds: WorldTable,
+    /// Prior probability of the join condition in the product.
+    pub prior: f64,
+}
+
+/// Evaluates `I ⋈_cond I'` under the global semantics.
+///
+/// Path expressions in the condition must be rooted at the **product**
+/// root (use [`Joined::product`]'s `root`); the helper
+/// [`join_on_paths`] builds them from label sequences directly.
+pub fn join(left: &ProbInstance, right: &ProbInstance, cond: &JoinCond) -> Result<Joined> {
+    let product = cartesian_product(left, right)?;
+    let worlds = enumerate_worlds(&product.instance)?;
+    let satisfied = |s: &pxml_core::SdInstance| -> bool {
+        match cond {
+            JoinCond::ValueEq(pl, pr) => {
+                let lv: Vec<&Value> =
+                    locate_sd(s, pl).into_iter().filter_map(|o| s.value(o)).collect();
+                let rv: Vec<&Value> =
+                    locate_sd(s, pr).into_iter().filter_map(|o| s.value(o)).collect();
+                lv.iter().any(|v| rv.contains(v))
+            }
+            JoinCond::ValueEqAt(a, b) => match (s.value(*a), s.value(*b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    };
+    let mut joined = worlds.filter(satisfied);
+    let prior = joined.normalize();
+    if prior <= 0.0 {
+        return Err(AlgebraError::EmptySelection);
+    }
+    Ok(Joined { product, worlds: joined, prior })
+}
+
+/// Convenience: joins on `left_labels` vs `right_labels`, both starting at
+/// the merged root, with value equality.
+pub fn join_on_paths(
+    left: &ProbInstance,
+    right: &ProbInstance,
+    left_labels: &[&str],
+    right_labels: &[&str],
+) -> Result<Joined> {
+    let product = cartesian_product(left, right)?;
+    let cat = product.instance.catalog();
+    let to_labels = |names: &[&str]| -> Result<Vec<pxml_core::Label>> {
+        names
+            .iter()
+            .map(|n| {
+                cat.find_label(n).ok_or_else(|| AlgebraError::PathParse(format!("label {n:?}")))
+            })
+            .collect()
+    };
+    let pl = PathExpr::new(product.root, to_labels(left_labels)?);
+    let pr = PathExpr::new(product.root, to_labels(right_labels)?);
+    let worlds = enumerate_worlds(&product.instance)?;
+    let cond = JoinCond::ValueEq(pl, pr);
+    let satisfied = |s: &pxml_core::SdInstance| -> bool {
+        match &cond {
+            JoinCond::ValueEq(a, b) => {
+                let lv: Vec<&Value> =
+                    locate_sd(s, a).into_iter().filter_map(|o| s.value(o)).collect();
+                let rv: Vec<&Value> =
+                    locate_sd(s, b).into_iter().filter_map(|o| s.value(o)).collect();
+                lv.iter().any(|v| rv.contains(v))
+            }
+            JoinCond::ValueEqAt(..) => unreachable!(),
+        }
+    };
+    let mut joined = worlds.filter(satisfied);
+    let prior = joined.normalize();
+    if prior <= 0.0 {
+        return Err(AlgebraError::EmptySelection);
+    }
+    Ok(Joined { product, worlds: joined, prior })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::chain;
+    use pxml_core::{LeafType, ProbInstance, Value};
+
+    /// `r --label--> leaf` where the link exists with probability `p` and
+    /// the leaf takes value 1 or 2 uniformly.
+    fn one_leaf(label: &str, p: f64) -> ProbInstance {
+        let mut b = ProbInstance::builder();
+        b.define_type(LeafType::new("vt", [Value::Int(1), Value::Int(2)]));
+        let r = b.object("r");
+        b.lch("r", label, &["leaf"]);
+        b.leaf("leaf", "vt", None);
+        b.opf_table("r", &[(&["leaf"], p), (&[], 1.0 - p)]);
+        b.vpf("leaf", &[(Value::Int(1), 0.5), (Value::Int(2), 0.5)]);
+        b.build(r).unwrap()
+    }
+
+    #[test]
+    fn join_on_equal_leaf_values() {
+        // Both leaves always exist and agree half the time.
+        let a = one_leaf("x", 1.0);
+        let b = one_leaf("y", 1.0);
+        let j = join_on_paths(&a, &b, &["x"], &["y"]).unwrap();
+        assert!((j.prior - 0.5).abs() < 1e-9);
+        assert!((j.worlds.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_condition_requires_both_leaves() {
+        // Each leaf exists with probability 0.5 independently; both exist
+        // with probability 0.25 and agree in half of those worlds.
+        let a = one_leaf("x", 0.5);
+        let b = one_leaf("y", 0.5);
+        let j = join_on_paths(&a, &b, &["x"], &["y"]).unwrap();
+        assert!((j.prior - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_with_shared_labels_degenerates_to_existence() {
+        // The product deliberately makes the same path expressions apply
+        // to both operands (Definition 5.7's rationale), so a ValueEq join
+        // over the *same* path on both sides is satisfied by any pair of
+        // located values that agree — including a leaf agreeing with
+        // itself. With both chains using the label "next", the condition
+        // is satisfied exactly when at least one leaf exists.
+        let a = chain(1, 0.5);
+        let b = chain(1, 0.5);
+        let j = join_on_paths(&a, &b, &["next"], &["next"]).unwrap();
+        assert!((j.prior - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joined_worlds_all_satisfy_condition() {
+        let a = one_leaf("x", 0.8);
+        let b = one_leaf("y", 0.8);
+        let j = join_on_paths(&a, &b, &["x"], &["y"]).unwrap();
+        for (s, p) in j.worlds.iter() {
+            assert!(p > 0.0);
+            assert_eq!(s.object_count(), 3); // root + the two equal leaves
+        }
+    }
+
+    #[test]
+    fn join_by_designated_objects() {
+        let a = chain(1, 1.0);
+        let b = chain(1, 1.0);
+        let product = cartesian_product(&a, &b).unwrap();
+        let left_leaf = product.instance.oid("o1").unwrap();
+        let right_leaf = product.right_map[&b.oid("o1").unwrap()];
+        let j = join(&a, &b, &JoinCond::ValueEqAt(left_leaf, right_leaf)).unwrap();
+        assert!((j.prior - 0.5).abs() < 1e-9);
+    }
+}

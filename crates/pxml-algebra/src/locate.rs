@@ -1,0 +1,141 @@
+//! Path evaluation: locating objects that satisfy a path expression.
+//!
+//! `o ∈ p` iff there is a path from the root to `o` whose edge labels
+//! spell out `p` (Definition 5.1). Evaluation is layered: `layer[i]` is
+//! the set of objects reachable after `i` labels — exactly the structure
+//! the projection operators need.
+
+use pxml_core::{ObjectId, ProbInstance, SdInstance, WeakInstance};
+
+use crate::path::PathExpr;
+
+/// The per-depth reach sets of a path over a semistructured instance.
+/// `layers[0] = {root}` (or empty on a root mismatch); `layers[i]` holds
+/// the objects reachable via the first `i` labels, sorted and deduplicated.
+pub fn layers_sd(s: &SdInstance, p: &PathExpr) -> Vec<Vec<ObjectId>> {
+    let mut layers = Vec::with_capacity(p.len() + 1);
+    if p.root != s.root() {
+        return vec![Vec::new(); p.len() + 1];
+    }
+    layers.push(vec![s.root()]);
+    for &label in &p.labels {
+        let prev = layers.last().expect("at least the root layer");
+        let mut next: Vec<ObjectId> = prev
+            .iter()
+            .flat_map(|&o| s.lch(o, label))
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        layers.push(next);
+    }
+    layers
+}
+
+/// The objects satisfying `p` in `s` (the final layer).
+pub fn locate_sd(s: &SdInstance, p: &PathExpr) -> Vec<ObjectId> {
+    layers_sd(s, p).pop().unwrap_or_default()
+}
+
+/// The per-depth reach sets of a path over the weak instance graph
+/// (edges are `lch` entries whose label can actually be chosen).
+pub fn layers_weak(w: &WeakInstance, p: &PathExpr) -> Vec<Vec<ObjectId>> {
+    let mut layers = Vec::with_capacity(p.len() + 1);
+    if p.root != w.root() {
+        return vec![Vec::new(); p.len() + 1];
+    }
+    layers.push(vec![w.root()]);
+    for &label in &p.labels {
+        let prev = layers.last().expect("at least the root layer");
+        let mut next: Vec<ObjectId> = prev
+            .iter()
+            .flat_map(|&o| {
+                w.weak_edges(o)
+                    .into_iter()
+                    .filter(|&(l, _)| l == label)
+                    .map(|(_, c)| c)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        layers.push(next);
+    }
+    layers
+}
+
+/// The objects that satisfy `p` in **some** compatible instance of the
+/// probabilistic instance (the final weak layer).
+pub fn locate_weak(pi: &ProbInstance, p: &PathExpr) -> Vec<ObjectId> {
+    layers_weak(pi.weak(), p).pop().unwrap_or_default()
+}
+
+/// True if `o ∈ p` in `s`.
+pub fn satisfies_sd(s: &SdInstance, p: &PathExpr, o: ObjectId) -> bool {
+    locate_sd(s, p).binary_search(&o).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathExpr;
+    use pxml_core::fixtures::{fig1_instance, fig2_instance};
+
+    #[test]
+    fn fig1_book_author_locates_all_authors() {
+        // The paper's Example after Definition 5.1: A2 ∈ R.book.author.
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let located = locate_sd(&s, &p);
+        let names: Vec<&str> =
+            located.iter().map(|&o| s.catalog().object_name(o)).collect();
+        assert_eq!(names, ["A1", "A2", "A3"]);
+        let a2 = s.catalog().find_object("A2").unwrap();
+        assert!(satisfies_sd(&s, &p, a2));
+    }
+
+    #[test]
+    fn layers_track_intermediate_depths() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let layers = layers_sd(&s, &p);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], vec![s.root()]);
+        assert_eq!(layers[1].len(), 3); // B1, B2, B3
+        assert_eq!(layers[2].len(), 3); // A1, A2, A3
+    }
+
+    #[test]
+    fn root_mismatch_locates_nothing() {
+        let s = fig1_instance();
+        let other = s.catalog().find_object("B1").unwrap();
+        let p = PathExpr::new(other, [s.catalog().find_label("author").unwrap()]);
+        assert!(locate_sd(&s, &p).is_empty());
+    }
+
+    #[test]
+    fn weak_layers_cover_potential_reachability() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let located = locate_weak(&pi, &p);
+        let names: Vec<&str> =
+            located.iter().map(|&o| pi.catalog().object_name(o)).collect();
+        assert_eq!(names, ["A1", "A2", "A3"]);
+    }
+
+    #[test]
+    fn weak_layers_respect_labels() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.title").unwrap();
+        let located = locate_weak(&pi, &p);
+        let names: Vec<&str> =
+            located.iter().map(|&o| pi.catalog().object_name(o)).collect();
+        assert_eq!(names, ["T1", "T2"]);
+    }
+
+    #[test]
+    fn empty_path_locates_root() {
+        let s = fig1_instance();
+        let p = PathExpr::new(s.root(), []);
+        assert_eq!(locate_sd(&s, &p), vec![s.root()]);
+    }
+}

@@ -1,0 +1,167 @@
+//! The naive possible-worlds engine: the paper's *global semantics*
+//! executed literally.
+//!
+//! Every operator here enumerates `Domain(I)`, applies the operator
+//! world-by-world, and merges/normalises — Definitions 5.3 and 5.6
+//! verbatim. Exponential, but exact for arbitrary DAG-shaped instances;
+//! it is both the semantic oracle for the efficient algorithms and the
+//! fallback when their tree-shape assumption fails.
+
+use pxml_core::{enumerate_worlds, ProbInstance, WorldTable};
+
+use crate::error::{AlgebraError, Result};
+use crate::path::PathExpr;
+use crate::project_sd::{ancestor_project_sd, descendant_project_sd, single_project_sd};
+use crate::selection::SelectCond;
+
+/// Ancestor projection under the global semantics (Definition 5.3): the
+/// probability of a projected instance is the sum of the probabilities of
+/// the compatible instances that project to it.
+pub fn ancestor_project_global(pi: &ProbInstance, p: &PathExpr) -> Result<WorldTable> {
+    let worlds = enumerate_worlds(pi)?;
+    Ok(worlds.map(|s| ancestor_project_sd(s, p)))
+}
+
+/// Descendant projection under the global semantics.
+pub fn descendant_project_global(pi: &ProbInstance, p: &PathExpr) -> Result<WorldTable> {
+    let worlds = enumerate_worlds(pi)?;
+    Ok(worlds.map(|s| descendant_project_sd(s, p)))
+}
+
+/// Single projection under the global semantics.
+pub fn single_project_global(pi: &ProbInstance, p: &PathExpr) -> Result<WorldTable> {
+    let worlds = enumerate_worlds(pi)?;
+    Ok(worlds.map(|s| single_project_sd(s, p)))
+}
+
+/// Selection under the global semantics (Definition 5.6): filter the
+/// compatible instances by the condition and renormalise. Returns the
+/// table and the prior probability of the condition.
+pub fn select_global(pi: &ProbInstance, cond: &SelectCond) -> Result<(WorldTable, f64)> {
+    let worlds = enumerate_worlds(pi)?;
+    let mut selected = worlds.filter(|s| cond.satisfied_by(s));
+    let prior = selected.normalize();
+    if prior <= 0.0 {
+        return Err(AlgebraError::EmptySelection);
+    }
+    Ok((selected, prior))
+}
+
+/// The probability that some object satisfies `p` (used to cross-check
+/// `pxml-query`'s ε computation).
+pub fn exists_global(pi: &ProbInstance, p: &PathExpr) -> Result<f64> {
+    let worlds = enumerate_worlds(pi)?;
+    Ok(worlds.probability_that(|s| !crate::locate::locate_sd(s, p).is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::{chain, diamond, fig2_instance};
+    use pxml_core::Value;
+
+    #[test]
+    fn fig5_projection_merges_identical_worlds() {
+        // Figure 5: distinct compatible instances may project to the same
+        // result; their probabilities add. With the Figure 2 instance and
+        // R.book.author, the number of projected worlds is strictly
+        // smaller than the number of compatible worlds.
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let original = enumerate_worlds(&pi).unwrap();
+        let projected = ancestor_project_global(&pi, &p).unwrap();
+        assert!(projected.len() < original.len());
+        assert!((projected.total() - 1.0).abs() < 1e-9);
+        // Spot-check Figure 5's merging claim on a concrete pair: two
+        // worlds differing only in T1's membership project identically.
+        for (s, p_s) in projected.iter() {
+            // every projected world's probability is the sum over its
+            // preimage, hence at least the max single preimage weight
+            assert!(p_s > 0.0);
+            let t1 = pi.oid("T1").unwrap();
+            assert!(!s.contains(t1), "titles are cut by R.book.author");
+        }
+    }
+
+    #[test]
+    fn projection_respects_author_marginals() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let original = enumerate_worlds(&pi).unwrap();
+        let projected = ancestor_project_global(&pi, &p).unwrap();
+        // Projection never changes whether an author occurs.
+        for name in ["A1", "A2", "A3"] {
+            let o = pi.oid(name).unwrap();
+            let before = original.probability_that(|s| s.contains(o));
+            let after = projected.probability_that(|s| s.contains(o));
+            assert!((before - after).abs() < 1e-9, "marginal of {name} changed");
+        }
+    }
+
+    #[test]
+    fn dag_projection_works_globally() {
+        // The efficient algorithm rejects the diamond; the global engine
+        // handles it.
+        let pi = diamond();
+        let p = PathExpr::new(pi.root(), [pi.lid("left").unwrap(), pi.lid("down").unwrap()]);
+        let projected = ancestor_project_global(&pi, &p).unwrap();
+        assert!((projected.total() - 1.0).abs() < 1e-9);
+        let c = pi.oid("c").unwrap();
+        // c survives iff a chose it: probability 0.5.
+        assert!((projected.probability_that(|s| s.contains(c)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_global_example_5_2_normalisation() {
+        // Figure 6 shape: selecting R.book = B1 keeps the worlds with B1
+        // and renormalises. (The paper's Example 5.2 prints 0.4 for
+        // 0.4/0.8 — a typo for 0.5; see EXPERIMENTS.md.)
+        let pi = fig2_instance();
+        let b1 = pi.oid("B1").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "R.book").unwrap();
+        let (selected, prior) = select_global(&pi, &SelectCond::ObjectAt(p, b1)).unwrap();
+        assert!((prior - 0.8).abs() < 1e-9); // P(B1 present) under ℘(R)
+        assert!((selected.total() - 1.0).abs() < 1e-9);
+        assert!((selected.probability_that(|s| s.contains(b1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_global_value_condition() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.title").unwrap();
+        let cond = SelectCond::ValueEquals(p, Value::str("VQDB"));
+        let (selected, prior) = select_global(&pi, &cond).unwrap();
+        assert!(prior > 0.0 && prior < 1.0);
+        assert!((selected.total() - 1.0).abs() < 1e-9);
+        for (s, _) in selected.iter() {
+            assert!(cond.satisfied_by(s));
+        }
+    }
+
+    #[test]
+    fn select_global_exists_condition() {
+        let pi = chain(2, 0.5);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let (selected, prior) = select_global(&pi, &SelectCond::Exists(p)).unwrap();
+        assert!((prior - 0.25).abs() < 1e-9);
+        assert!((selected.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exists_global_on_diamond() {
+        let pi = diamond();
+        // c reachable via left.down with prob 0.5, via right.down 0.5;
+        // r.left.down only checks the left chain.
+        let p = PathExpr::new(pi.root(), [pi.lid("left").unwrap(), pi.lid("down").unwrap()]);
+        assert!((exists_global(&pi, &p).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_global_selection_errors() {
+        let pi = chain(1, 1.0);
+        let o1 = pi.oid("o1").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let cond = SelectCond::ValueAt(p, o1, Value::Int(99)); // outside domain
+        assert!(matches!(select_global(&pi, &cond), Err(AlgebraError::EmptySelection)));
+    }
+}

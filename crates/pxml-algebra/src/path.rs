@@ -1,0 +1,119 @@
+//! Path expressions (Definition 5.1).
+//!
+//! A path expression `p = r.l₁.…[.lₙ]` is a root object followed by a
+//! (possibly empty) sequence of edge labels; it denotes the set of objects
+//! reachable from `r` along edges with those labels.
+
+use std::fmt;
+
+use pxml_core::{Catalog, Label, ObjectId};
+
+use crate::error::{AlgebraError, Result};
+
+/// A parsed path expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    /// The starting object (usually the instance root).
+    pub root: ObjectId,
+    /// The edge-label sequence, outermost first.
+    pub labels: Vec<Label>,
+}
+
+impl PathExpr {
+    /// Creates a path expression from parts.
+    pub fn new(root: ObjectId, labels: impl IntoIterator<Item = Label>) -> Self {
+        PathExpr { root, labels: labels.into_iter().collect() }
+    }
+
+    /// Parses `"R.book.author"` against a catalog. The first dotted
+    /// component must be a known object name, the rest known labels.
+    pub fn parse(catalog: &Catalog, text: &str) -> Result<Self> {
+        let mut parts = text.split('.');
+        let root_name =
+            parts.next().filter(|s| !s.is_empty()).ok_or_else(|| AlgebraError::PathParse(text.into()))?;
+        let root = catalog
+            .find_object(root_name)
+            .ok_or_else(|| AlgebraError::PathParse(format!("unknown object {root_name:?} in {text:?}")))?;
+        let mut labels = Vec::new();
+        for part in parts {
+            let l = catalog.find_label(part).ok_or_else(|| {
+                AlgebraError::PathParse(format!("unknown label {part:?} in {text:?}"))
+            })?;
+            labels.push(l);
+        }
+        Ok(PathExpr { root, labels })
+    }
+
+    /// Number of edge labels (the path's length).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the path is just the root (empty edge sequence).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Pretty form using catalog names.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> DisplayPath<'a> {
+        DisplayPath { path: self, catalog }
+    }
+}
+
+/// Pretty-printer returned by [`PathExpr::display`].
+pub struct DisplayPath<'a> {
+    path: &'a PathExpr,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for DisplayPath<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.catalog.objects().try_resolve(self.path.root) {
+            Some(n) => write!(f, "{n}")?,
+            None => write!(f, "{:?}", self.path.root)?,
+        }
+        for &l in &self.path.labels {
+            match self.catalog.labels().try_resolve(l) {
+                Some(n) => write!(f, ".{n}")?,
+                None => write!(f, ".{l:?}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::fig2_instance;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.display(pi.catalog()).to_string(), "R.book.author");
+    }
+
+    #[test]
+    fn parse_root_only() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.root, pi.root());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names() {
+        let pi = fig2_instance();
+        assert!(matches!(
+            PathExpr::parse(pi.catalog(), "Z.book"),
+            Err(AlgebraError::PathParse(_))
+        ));
+        assert!(matches!(
+            PathExpr::parse(pi.catalog(), "R.publisher"),
+            Err(AlgebraError::PathParse(_))
+        ));
+        assert!(matches!(PathExpr::parse(pi.catalog(), ""), Err(AlgebraError::PathParse(_))));
+    }
+}

@@ -1,0 +1,274 @@
+//! Cartesian product (Definition 5.7).
+//!
+//! The product of two probabilistic instances merges their roots into a
+//! fresh root `r''` whose children are the union of the two roots'
+//! children; all other objects are copied, with the right operand's
+//! objects renamed when their names collide with the left's. The new
+//! root's OPF is the independent product
+//! `℘''(r'')(c ∪ c') = ℘(r)(c) · ℘'(r')(c')`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Card, Catalog, ChildSet, ChildUniverse, Label, LeafInfo, LeafType, ObjectId, Opf, OpfTable,
+    ProbInstance, TypeId, Vpf, WeakInstance, WeakNode,
+};
+
+use crate::error::{AlgebraError, Result};
+
+/// The result of a Cartesian product.
+#[derive(Clone, Debug)]
+pub struct Product {
+    /// The product instance, rooted at the merged root.
+    pub instance: ProbInstance,
+    /// The merged root `r''`.
+    pub root: ObjectId,
+    /// Mapping from right-operand object ids to ids in the product
+    /// catalog (left-operand ids are preserved verbatim).
+    pub right_map: HashMap<ObjectId, ObjectId>,
+}
+
+/// Computes `I × I'` (Definition 5.7).
+pub fn cartesian_product(left: &ProbInstance, right: &ProbInstance) -> Result<Product> {
+    let l_root = left.root();
+    let r_root = right.root();
+    let l_root_node = left.weak().node(l_root).expect("root exists");
+    let r_root_node = right.weak().node(r_root).expect("root exists");
+    if l_root_node.leaf().is_some() || r_root_node.leaf().is_some() {
+        return Err(AlgebraError::UnsupportedCondition(
+            "Cartesian product of instances whose root is a typed leaf",
+        ));
+    }
+
+    // 1. Build the merged catalog: clone the left catalog (ids preserved)
+    //    and intern the right's names, renaming object collisions.
+    let mut catalog: Catalog = (**left.catalog()).clone();
+    let mut label_map: HashMap<Label, Label> = HashMap::new();
+    for (l, name) in right.catalog().labels().iter() {
+        label_map.insert(l, catalog.label(name));
+    }
+    let mut type_map: HashMap<TypeId, TypeId> = HashMap::new();
+    for (t, def) in right.catalog().types().iter() {
+        let merged = match catalog.find_type(def.name()) {
+            Some(existing) => {
+                // Merge domains so both operands' values stay legal.
+                let mut domain: Vec<pxml_core::Value> =
+                    catalog.type_def(existing).domain().to_vec();
+                domain.extend(def.domain().iter().cloned());
+                catalog.define_type(LeafType::new(def.name(), domain))
+            }
+            None => catalog.define_type(def.clone()),
+        };
+        type_map.insert(t, merged);
+    }
+    let mut right_map: HashMap<ObjectId, ObjectId> = HashMap::new();
+    for o in right.objects() {
+        if o == r_root {
+            continue;
+        }
+        let name = right.catalog().object_name(o);
+        right_map.insert(o, catalog.fresh_object(name));
+    }
+    // The fresh merged root.
+    let root_name = format!(
+        "{}x{}",
+        left.catalog().object_name(l_root),
+        right.catalog().object_name(r_root)
+    );
+    let new_root = catalog.fresh_object(&root_name);
+
+    // 2. Assemble nodes, OPFs and VPFs.
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    // Left objects (except the root) are copied verbatim.
+    for o in left.objects() {
+        if o == l_root {
+            continue;
+        }
+        let node = left.weak().node(o).expect("iterating");
+        nodes.insert(o, node.clone());
+        if let Some(opf) = left.opf(o) {
+            opfs.insert(o, opf.clone());
+        }
+        if let Some(vpf) = left.vpf(o) {
+            vpfs.insert(o, vpf.clone());
+        }
+    }
+    // Right objects (except the root) are remapped. Universe member order
+    // is preserved, so OPF child-set positions stay valid.
+    for o in right.objects() {
+        if o == r_root {
+            continue;
+        }
+        let node = right.weak().node(o).expect("iterating");
+        let new_id = right_map[&o];
+        let universe = ChildUniverse::from_members(
+            node.universe().iter().map(|(_, c, l)| (right_map[&c], label_map[&l])),
+        );
+        let cards: Vec<(Label, Card)> =
+            node.cards().iter().map(|&(l, c)| (label_map[&l], c)).collect();
+        let leaf = node
+            .leaf()
+            .map(|li| LeafInfo { ty: type_map[&li.ty], val: li.val.clone() });
+        nodes.insert(new_id, WeakNode::from_parts(universe, cards, leaf));
+        if let Some(opf) = right.opf(o) {
+            let node_u = node.universe();
+            // Positions preserved ⇒ the table transfers structurally.
+            opfs.insert(new_id, opf.to_table(node_u).into_opf());
+        }
+        if let Some(vpf) = right.vpf(o) {
+            vpfs.insert(new_id, vpf.clone());
+        }
+    }
+
+    // 3. The merged root: concatenated universe, summed cards, product OPF.
+    let mut root_universe = ChildUniverse::new();
+    for (_, c, l) in l_root_node.universe().iter() {
+        root_universe.push(c, l);
+    }
+    let left_len = root_universe.len() as u32;
+    for (_, c, l) in r_root_node.universe().iter() {
+        root_universe.push(right_map[&c], label_map[&l]);
+    }
+    let mut root_cards: Vec<(Label, Card)> = l_root_node.cards().to_vec();
+    for &(l, c) in r_root_node.cards() {
+        let l = label_map[&l];
+        match root_cards.iter_mut().find(|(el, _)| *el == l) {
+            Some((_, existing)) => {
+                *existing = Card::new(existing.min + c.min, existing.max + c.max);
+            }
+            None => root_cards.push((l, c)),
+        }
+    }
+    let l_table = left
+        .opf(l_root)
+        .map(|o| o.to_table(l_root_node.universe()))
+        .unwrap_or_else(|| OpfTable::from_entries([(ChildSet::Mask(0), 1.0)]));
+    let r_table = right
+        .opf(r_root)
+        .map(|o| o.to_table(r_root_node.universe()))
+        .unwrap_or_else(|| OpfTable::from_entries([(ChildSet::Mask(0), 1.0)]));
+    let mut root_table = OpfTable::new();
+    for (cl, pl) in l_table.iter() {
+        for (cr, pr) in r_table.iter() {
+            let positions = cl.positions().chain(cr.positions().map(|p| p + left_len));
+            let set = ChildSet::from_positions(&root_universe, positions);
+            root_table.add(set, pl * pr);
+        }
+    }
+    nodes.insert(new_root, WeakNode::from_parts(root_universe, root_cards, None));
+    if !nodes.get(new_root).expect("just inserted").is_childless() {
+        opfs.insert(new_root, Opf::Table(root_table));
+    }
+
+    let weak = WeakInstance::from_parts(Arc::new(catalog), new_root, nodes)?;
+    let instance = ProbInstance::from_parts(weak, opfs, vpfs)?;
+    Ok(Product { instance, root: new_root, right_map })
+}
+
+/// Extension trait turning a table into an [`Opf`].
+trait IntoOpf {
+    fn into_opf(self) -> Opf;
+}
+impl IntoOpf for OpfTable {
+    fn into_opf(self) -> Opf {
+        Opf::Table(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain, fig2_instance};
+
+    #[test]
+    fn product_of_two_chains_is_coherent() {
+        let a = chain(2, 0.5);
+        let b = chain(1, 0.25);
+        let prod = cartesian_product(&a, &b).unwrap();
+        prod.instance.validate().unwrap();
+        let worlds = enumerate_worlds(&prod.instance).unwrap();
+        assert!((worlds.total() - 1.0).abs() < 1e-9);
+        // Object counts: left (3 - root) + right (2 - root) + new root.
+        assert_eq!(prod.instance.object_count(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn product_renames_colliding_objects() {
+        let a = chain(1, 0.5);
+        let b = chain(1, 0.5); // identical names: r, o1
+        let prod = cartesian_product(&a, &b).unwrap();
+        let cat = prod.instance.catalog();
+        // Left o1 keeps its name; right o1 is primed.
+        assert!(cat.find_object("o1").is_some());
+        assert!(cat.find_object("o1'").is_some());
+        let right_o1 = b.oid("o1").unwrap();
+        assert_eq!(cat.object_name(prod.right_map[&right_o1]), "o1'");
+    }
+
+    #[test]
+    fn product_probabilities_multiply() {
+        let a = chain(1, 0.5);
+        let b = chain(1, 0.25);
+        let prod = cartesian_product(&a, &b).unwrap();
+        let worlds = enumerate_worlds(&prod.instance).unwrap();
+        let left_o1 = prod.instance.oid("o1").unwrap();
+        let right_o1 = prod.right_map[&b.oid("o1").unwrap()];
+        // Presence of the two subtrees is independent.
+        let p_l = worlds.probability_that(|s| s.contains(left_o1));
+        let p_r = worlds.probability_that(|s| s.contains(right_o1));
+        let p_both = worlds.probability_that(|s| s.contains(left_o1) && s.contains(right_o1));
+        assert!((p_l - 0.5).abs() < 1e-9);
+        assert!((p_r - 0.25).abs() < 1e-9);
+        assert!((p_both - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_world_count_is_pairwise() {
+        let a = chain(1, 0.5); // 3 worlds
+        let b = chain(1, 0.5); // 3 worlds
+        let prod = cartesian_product(&a, &b).unwrap();
+        let worlds = enumerate_worlds(&prod.instance).unwrap();
+        assert_eq!(worlds.len(), 9);
+    }
+
+    #[test]
+    fn product_merges_same_label_cardinalities() {
+        let a = chain(1, 0.5);
+        let b = chain(1, 0.5);
+        let prod = cartesian_product(&a, &b).unwrap();
+        let next = prod.instance.lid("next").unwrap();
+        let root_node = prod.instance.weak().node(prod.root).unwrap();
+        // Both roots had card(next) = [0, 1] (implicit); merged universe
+        // has two potential next-children.
+        assert_eq!(root_node.universe().len(), 2);
+        assert_eq!(root_node.card(next).max, 2);
+    }
+
+    #[test]
+    fn product_with_fig2_preserves_local_interpretations() {
+        let a = fig2_instance();
+        let b = chain(1, 0.5);
+        let prod = cartesian_product(&a, &b).unwrap();
+        let b1 = prod.instance.oid("B1").unwrap();
+        // B1's OPF is untouched by the product.
+        let node = prod.instance.weak().node(b1).unwrap();
+        let table = prod.instance.opf(b1).unwrap().to_table(node.universe());
+        assert_eq!(table.len(), 6);
+    }
+
+    #[test]
+    fn product_root_opf_size_is_product_of_sizes() {
+        let a = fig2_instance(); // |℘(R)| = 4
+        let b = chain(1, 0.5); // |℘(r)| = 2
+        let prod = cartesian_product(&a, &b).unwrap();
+        let node = prod.instance.weak().node(prod.root).unwrap();
+        let table = prod.instance.opf(prod.root).unwrap().to_table(node.universe());
+        assert_eq!(table.len(), 8);
+    }
+}

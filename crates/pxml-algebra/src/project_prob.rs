@@ -1,0 +1,399 @@
+//! Ancestor projection on probabilistic instances — the efficient
+//! algorithm of Section 6.1.
+//!
+//! The algorithm treats the probabilistic instance as an ordinary
+//! semistructured instance, performs the structural ancestor projection,
+//! and then updates `℘` and `card` bottom-up:
+//!
+//! * **Marginalisation** — each original child set `c` distributes its
+//!   probability over the subsets `c'` of its kept part, weighted by the
+//!   survival probabilities `ε` of the kept children:
+//!   `℘'(o)(c') = Σ_{c ⊇ c'} ℘(o)(c) · Π_{j∈c'} ε_j · Π_{j∈(c∩kept)∖c'} (1-ε_j)`.
+//! * **Normalisation** — a non-root object must not appear childless in
+//!   the result, so `℘'(o)(∅)` is set to 0 and the rest renormalised by
+//!   `ε_o = Σ_{c'≠∅} ℘'(o)(c')`; `ε_o` is recorded for the parent's pass.
+//!   The root keeps its `∅` entry: it is the probability that no object
+//!   satisfies the path expression and only the root is returned.
+//! * **`card` update** — per label, the new interval spans the min/max
+//!   label-counts over the support of `℘'(o)`.
+//!
+//! As in the paper, the algorithm assumes the *kept region* is
+//! tree-shaped (Section 6: "we give an efficient algorithm with the
+//! assumption that all compatible instances are tree-structured"); on
+//! shared kept objects it returns [`AlgebraError::NotTreeShaped`] and the
+//! caller can fall back to [`crate::naive::ancestor_project_global`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Card, ChildSet, ChildUniverse, Label, ObjectId, Opf, OpfTable, ProbInstance, Vpf, WeakInstance,
+    WeakNode,
+};
+
+use crate::error::{AlgebraError, Result};
+use crate::locate::layers_weak;
+use crate::path::PathExpr;
+use crate::project_sd::kept_roles;
+use crate::timing::{timed, PhaseTimes};
+
+/// Ancestor projection `Λ_p(I)` on a probabilistic instance.
+pub fn ancestor_project(pi: &ProbInstance, p: &PathExpr) -> Result<ProbInstance> {
+    ancestor_project_timed(pi, p).map(|(out, _)| out)
+}
+
+/// Ancestor projection with per-phase timing (for the Figure 7 harness).
+///
+/// Phases mirror the paper's experimental procedure: the input is copied
+/// first, then objects are located, then the structure and the local
+/// interpretation are updated.
+pub fn ancestor_project_timed(
+    pi: &ProbInstance,
+    p: &PathExpr,
+) -> Result<(ProbInstance, PhaseTimes)> {
+    let mut times = PhaseTimes::default();
+    // Phase 1: copy the input instance (part of "total query time" in §7.1).
+    let input = timed(&mut times.copy, || pi.clone());
+
+    // Phase 2: locate the objects satisfying the path expression.
+    let (labels, kept) = timed(&mut times.locate, || {
+        let layers = layers_weak(input.weak(), p);
+        let kept = kept_roles(&layers, &p.labels, |o, l| {
+            input
+                .weak()
+                .weak_edges(o)
+                .into_iter()
+                .filter(|&(el, _)| el == l)
+                .map(|(_, c)| c)
+                .collect()
+        });
+        (p.labels.clone(), kept)
+    });
+
+    let weak = input.weak();
+    let root = weak.root();
+    let n = labels.len();
+
+    if kept[n].is_empty() || p.root != root {
+        // No object can satisfy the path in any world: every compatible
+        // instance projects to the root-only instance.
+        let out = timed(&mut times.structure, || root_only(weak));
+        return Ok((out?, times));
+    }
+
+    // Tree-shape check over the kept region: each kept object must have a
+    // single kept role (depth) and a single kept parent.
+    let mut role_of: HashMap<ObjectId, usize> = HashMap::new();
+    for (depth, objs) in kept.iter().enumerate() {
+        for &o in objs {
+            if role_of.insert(o, depth).is_some() {
+                return Err(AlgebraError::NotTreeShaped(o));
+            }
+        }
+    }
+    for depth in 0..n {
+        let mut seen: HashMap<ObjectId, ObjectId> = HashMap::new();
+        for &o in &kept[depth] {
+            let node = weak.node(o).expect("kept object exists");
+            for c in node.lch(labels[depth]) {
+                if kept[depth + 1].binary_search(&c).is_ok() {
+                    if let Some(prev) = seen.insert(c, o) {
+                        if prev != o {
+                            return Err(AlgebraError::NotTreeShaped(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: build the projected structure (new universes per object).
+    struct NewNode {
+        universe: ChildUniverse,
+        kept_child_set: ChildSet, // over the ORIGINAL universe
+        depth: usize,
+    }
+    let mut new_nodes: HashMap<ObjectId, NewNode> = HashMap::new();
+    timed(&mut times.structure, || {
+        for depth in 0..n {
+            for &o in &kept[depth] {
+                let node = weak.node(o).expect("kept object exists");
+                let mut universe = ChildUniverse::new();
+                let mut kept_positions = Vec::new();
+                for (pos, child, label) in node.universe().iter() {
+                    if label == labels[depth] && kept[depth + 1].binary_search(&child).is_ok() {
+                        universe.push(child, label);
+                        kept_positions.push(pos);
+                    }
+                }
+                let kept_child_set = ChildSet::from_positions(node.universe(), kept_positions);
+                new_nodes.insert(o, NewNode { universe, kept_child_set, depth });
+            }
+        }
+    });
+
+    // Phase 4: update ℘ bottom-up (the dominant phase, Figure 7(b)).
+    let mut eps: HashMap<ObjectId, f64> = HashMap::new();
+    let mut new_opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut dead: Vec<ObjectId> = Vec::new();
+    timed(&mut times.update_interp, || {
+        for depth in (0..n).rev() {
+            for &o in &kept[depth] {
+                let node = weak.node(o).expect("kept object exists");
+                let info = &new_nodes[&o];
+                let table = input
+                    .opf(o)
+                    .expect("validated: kept non-leaf has OPF")
+                    .to_table(node.universe());
+                let mut out = OpfTable::new();
+                for (c, pc) in table.iter() {
+                    if pc <= 0.0 {
+                        continue;
+                    }
+                    let ck = c.intersect(&info.kept_child_set);
+                    // Distribute over survivor subsets c' ⊆ ck.
+                    for sub in ck.subsets() {
+                        let mut weight = pc;
+                        for pos in ck.positions() {
+                            let child = node.universe().object_at(pos);
+                            let e = if depth + 1 == n {
+                                1.0
+                            } else {
+                                eps.get(&child).copied().unwrap_or(0.0)
+                            };
+                            weight *= if sub.contains_pos(pos) { e } else { 1.0 - e };
+                            if weight == 0.0 {
+                                break;
+                            }
+                        }
+                        if weight > 0.0 {
+                            let translated = sub.translate(node.universe(), &info.universe);
+                            out.add(translated, weight);
+                        }
+                    }
+                }
+                if o == root {
+                    // The root keeps its ∅ entry unnormalised.
+                    // (Fill a missing ∅ so totals remain 1.)
+                    let empty = ChildSet::empty(&info.universe);
+                    let missing = 1.0 - out.total();
+                    if missing > 1e-12 {
+                        out.add(empty, missing);
+                    }
+                    new_opfs.insert(o, Opf::Table(out));
+                } else {
+                    let empty = ChildSet::empty(&info.universe);
+                    out.set(empty, 0.0);
+                    let e_o = out.normalize();
+                    if e_o <= 1e-15 {
+                        dead.push(o);
+                        eps.insert(o, 0.0);
+                    } else {
+                        eps.insert(o, e_o);
+                        new_opfs.insert(o, Opf::Table(out));
+                    }
+                }
+            }
+        }
+    });
+
+    // A structurally kept object with ε = 0 can never survive; its
+    // entries were already zeroed upstream, so `assemble` only needs to
+    // drop it (and anything reachable solely through it) from the output.
+    // Assemble the result.
+    let out = timed(&mut times.structure, || {
+        assemble(
+            weak,
+            &input,
+            &kept,
+            n,
+            &new_nodes
+                .iter()
+                .map(|(&o, nn)| (o, (nn.universe.clone(), nn.depth)))
+                .collect(),
+            &new_opfs,
+            &dead,
+        )
+    })?;
+    Ok((out, times))
+}
+
+/// Builds the root-only probabilistic instance over the same catalog.
+fn root_only(weak: &WeakInstance) -> Result<ProbInstance> {
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    nodes.insert(weak.root(), WeakNode::from_parts(ChildUniverse::new(), Vec::new(), None));
+    let new_weak = WeakInstance::from_parts(Arc::clone(weak.catalog()), weak.root(), nodes)?;
+    Ok(ProbInstance::from_parts(new_weak, IdMap::new(), IdMap::new())?)
+}
+
+/// Assembles the projected probabilistic instance from the per-object
+/// pieces computed by [`ancestor_project_timed`].
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    weak: &WeakInstance,
+    input: &ProbInstance,
+    kept: &[Vec<ObjectId>],
+    n: usize,
+    universes: &HashMap<ObjectId, (ChildUniverse, usize)>,
+    new_opfs: &IdMap<ObjectKind, Opf>,
+    dead: &[ObjectId],
+) -> Result<ProbInstance> {
+    let root = weak.root();
+    // Forward prune: drop dead objects and anything only reachable
+    // through them.
+    let mut alive: Vec<ObjectId> = Vec::new();
+    let mut frontier = vec![root];
+    while let Some(o) = frontier.pop() {
+        if alive.contains(&o) || dead.contains(&o) {
+            continue;
+        }
+        alive.push(o);
+        if let Some((universe, _)) = universes.get(&o) {
+            frontier.extend(universe.iter().map(|(_, c, _)| c));
+        }
+    }
+    alive.sort_unstable();
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    for &o in &alive {
+        let is_target = kept[n].binary_search(&o).is_ok();
+        if is_target {
+            // Targets keep their leaf data (type + VPF) if they were typed
+            // leaves; internal targets become bare childless objects.
+            let wnode = weak.node(o).expect("kept object exists");
+            let leaf = wnode.leaf().cloned();
+            nodes.insert(o, WeakNode::from_parts(ChildUniverse::new(), Vec::new(), leaf.clone()));
+            if leaf.is_some() {
+                if let Some(vpf) = input.vpf(o) {
+                    vpfs.insert(o, vpf.clone());
+                }
+            }
+            continue;
+        }
+        let (universe, _depth) = universes.get(&o).expect("kept non-target has a universe");
+        // Drop dead children from the universe; the OPF support already
+        // excludes them (ε = 0 zeroed their entries).
+        let mut pruned = ChildUniverse::new();
+        for (_, c, l) in universe.iter() {
+            if !dead.contains(&c) {
+                pruned.push(c, l);
+            }
+        }
+        let opf = new_opfs.get(o).expect("alive non-target has an OPF");
+        let table = match opf {
+            Opf::Table(t) => t,
+            _ => unreachable!("projection emits table OPFs"),
+        };
+        // Translate the OPF onto the pruned universe (identity when no
+        // child died).
+        let mut final_table = OpfTable::new();
+        for (set, p) in table.iter() {
+            final_table.add(set.translate(universe, &pruned), p);
+        }
+        // card': min/max label counts over the support (Section 6.1).
+        let mut cards: Vec<(Label, Card)> = Vec::new();
+        for l in pruned.labels() {
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            for (set, p) in final_table.iter() {
+                if p <= 0.0 {
+                    continue;
+                }
+                let k = set.count_label(&pruned, l);
+                lo = lo.min(k);
+                hi = hi.max(k);
+            }
+            if lo == u32::MAX {
+                lo = 0;
+            }
+            cards.push((l, Card::new(lo, hi)));
+        }
+        nodes.insert(o, WeakNode::from_parts(pruned, cards, None));
+        opfs.insert(o, Opf::Table(final_table));
+    }
+
+    let new_weak = WeakInstance::from_parts(Arc::clone(weak.catalog()), root, nodes)?;
+    Ok(ProbInstance::from_parts(new_weak, opfs, vpfs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::{chain, fig2_instance};
+    use pxml_core::enumerate_worlds;
+
+    #[test]
+    fn fig2_projection_is_rejected_as_non_tree() {
+        // A1 is a potential child of both B1 and B2, so the kept region of
+        // R.book.author is not a tree; the efficient algorithm refuses and
+        // the naive engine must be used (tested in naive.rs).
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        assert!(matches!(ancestor_project(&pi, &p), Err(AlgebraError::NotTreeShaped(_))));
+    }
+
+    #[test]
+    fn chain_projection_matches_global_semantics() {
+        // Project r.next on a 3-chain: keeps r and o1; P(o1 kept) = P(o1
+        // present) = 0.7; the root's ∅ entry holds the rest.
+        let pi = chain(3, 0.7);
+        let p = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let (proj, times) = ancestor_project_timed(&pi, &p).unwrap();
+        assert_eq!(proj.object_count(), 2);
+        let worlds = enumerate_worlds(&proj).unwrap();
+        assert!((worlds.total() - 1.0).abs() < 1e-9);
+        let o1 = proj.oid("o1").unwrap();
+        let p_o1 = worlds.probability_that(|s| s.contains(o1));
+        assert!((p_o1 - 0.7).abs() < 1e-9);
+        assert!(times.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn deep_chain_projection_multiplies_link_probabilities() {
+        // Project the full path of a 4-chain: the tail is kept iff every
+        // link exists: p^4. The intermediate ε-normalisation must combine
+        // back to exactly that.
+        let pi = chain(4, 0.6);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next.next.next").unwrap();
+        let proj = ancestor_project(&pi, &p).unwrap();
+        let worlds = enumerate_worlds(&proj).unwrap();
+        let o4 = proj.oid("o4").unwrap();
+        let p_tail = worlds.probability_that(|s| s.contains(o4));
+        assert!((p_tail - 0.6f64.powi(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_with_no_structural_match_is_root_only() {
+        let pi = chain(2, 0.5);
+        let labels = [pi.lid("next").unwrap()];
+        // A path of length 3 exceeds the chain's depth of 2.
+        let p = PathExpr::new(pi.root(), [labels[0], labels[0], labels[0]]);
+        let proj = ancestor_project(&pi, &p).unwrap();
+        assert_eq!(proj.object_count(), 1);
+        let worlds = enumerate_worlds(&proj).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert!((worlds.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_leaves_keep_their_vpf() {
+        let pi = chain(2, 0.5);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let proj = ancestor_project(&pi, &p).unwrap();
+        let o2 = proj.oid("o2").unwrap();
+        let vpf = proj.vpf(o2).expect("target leaf keeps its VPF");
+        assert!((vpf.prob(&pxml_core::Value::Int(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_instance_validates() {
+        let pi = chain(5, 0.3);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next.next").unwrap();
+        let proj = ancestor_project(&pi, &p).unwrap();
+        proj.validate().unwrap();
+    }
+}

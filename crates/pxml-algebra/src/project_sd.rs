@@ -1,0 +1,259 @@
+//! Projection operators on ordinary semistructured instances.
+//!
+//! * **Ancestor projection** `Λ_p` (Definition 5.2): keep the objects
+//!   located by `p` and every object/edge on a root-to-target path.
+//! * **Descendant projection**: keep the located objects and all their
+//!   descendants (the paper names this operator; we fix the natural
+//!   definition — targets are re-attached under the root with the path's
+//!   last label so the result stays rooted).
+//! * **Single projection**: keep only the located objects, as direct
+//!   children of the root.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pxml_core::ids::IdMap;
+use pxml_core::{Label, ObjectId, SdInstance, SdNode};
+
+use crate::locate::{layers_sd, locate_sd};
+use crate::path::PathExpr;
+
+/// The per-depth kept sets of an ancestor projection: `kept[i]` is the
+/// subset of layer `i` that lies on some root-to-target path.
+pub fn kept_roles(
+    layers: &[Vec<ObjectId>],
+    labels: &[Label],
+    lch: impl Fn(ObjectId, Label) -> Vec<ObjectId>,
+) -> Vec<Vec<ObjectId>> {
+    let n = labels.len();
+    let mut kept: Vec<Vec<ObjectId>> = vec![Vec::new(); n + 1];
+    kept[n] = layers[n].clone();
+    for i in (0..n).rev() {
+        let next = &kept[i + 1];
+        kept[i] = layers[i]
+            .iter()
+            .copied()
+            .filter(|&o| lch(o, labels[i]).iter().any(|c| next.binary_search(c).is_ok()))
+            .collect();
+        kept[i].sort_unstable();
+    }
+    for k in &mut kept {
+        k.sort_unstable();
+        k.dedup();
+    }
+    kept
+}
+
+/// Ancestor projection `Λ_p(S)` (Definition 5.2).
+///
+/// If no object satisfies `p`, only the root is returned (matching the
+/// `℘'(r)({})` discussion in Section 6.1).
+pub fn ancestor_project_sd(s: &SdInstance, p: &PathExpr) -> SdInstance {
+    let layers = layers_sd(s, p);
+    let kept = kept_roles(&layers, &p.labels, |o, l| s.lch(o, l));
+    let targets: &[ObjectId] = kept.last().map(Vec::as_slice).unwrap_or(&[]);
+
+    // Collect, per kept object, its kept outgoing edges (union over the
+    // depths at which the object occurs — relevant only for DAGs).
+    let mut edges: HashMap<ObjectId, Vec<(Label, ObjectId)>> = HashMap::new();
+    let mut members: Vec<ObjectId> = vec![s.root()];
+    for i in 0..p.labels.len() {
+        let label = p.labels[i];
+        for &o in &kept[i] {
+            members.push(o);
+            let outs = edges.entry(o).or_default();
+            for c in s.lch(o, label) {
+                if kept[i + 1].binary_search(&c).is_ok() && !outs.contains(&(label, c)) {
+                    outs.push((label, c));
+                }
+            }
+        }
+    }
+    members.extend(targets.iter().copied());
+    members.sort_unstable();
+    members.dedup();
+
+    let mut nodes: IdMap<pxml_core::ids::ObjectKind, SdNode> = IdMap::new();
+    for &o in &members {
+        let children = edges.remove(&o).unwrap_or_default();
+        // Targets that were typed leaves keep their type and value.
+        let leaf = if targets.binary_search(&o).is_ok() {
+            s.node(o).and_then(|n| n.leaf().map(|(t, v)| (t, v.clone())))
+        } else {
+            None
+        };
+        // A typed leaf cannot simultaneously have kept children.
+        let leaf = if children.is_empty() { leaf } else { None };
+        nodes.insert(o, SdNode::from_parts(children, leaf));
+    }
+    SdInstance::from_parts(Arc::clone(s.catalog()), s.root(), nodes)
+        .expect("ancestor projection preserves structural validity")
+}
+
+/// Descendant projection: located objects plus all their descendants,
+/// re-attached under the root with the path's last label.
+pub fn descendant_project_sd(s: &SdInstance, p: &PathExpr) -> SdInstance {
+    if p.is_empty() {
+        return s.clone();
+    }
+    let targets = locate_sd(s, p);
+    let last_label = *p.labels.last().expect("non-empty path");
+
+    let mut members: Vec<ObjectId> = vec![s.root()];
+    members.extend(targets.iter().copied());
+    for &t in &targets {
+        members.extend(s.descendants(t));
+    }
+    members.sort_unstable();
+    members.dedup();
+
+    let mut nodes: IdMap<pxml_core::ids::ObjectKind, SdNode> = IdMap::new();
+    for &o in &members {
+        if o == s.root() && targets.binary_search(&o).is_err() {
+            // The root keeps only its re-attachment edges to targets.
+            let children: Vec<(Label, ObjectId)> =
+                targets.iter().map(|&t| (last_label, t)).collect();
+            nodes.insert(o, SdNode::from_parts(children, None));
+        } else {
+            let n = s.node(o).expect("member of instance");
+            nodes.insert(
+                o,
+                SdNode::from_parts(
+                    n.children().to_vec(),
+                    n.leaf().map(|(t, v)| (t, v.clone())),
+                ),
+            );
+        }
+    }
+    SdInstance::from_parts(Arc::clone(s.catalog()), s.root(), nodes)
+        .expect("descendant projection preserves structural validity")
+}
+
+/// Single projection: only the located objects, as direct children of the
+/// root (their subtrees are dropped; typed-leaf targets keep their value).
+pub fn single_project_sd(s: &SdInstance, p: &PathExpr) -> SdInstance {
+    if p.is_empty() {
+        // The only located object is the root itself.
+        let mut nodes: IdMap<pxml_core::ids::ObjectKind, SdNode> = IdMap::new();
+        nodes.insert(s.root(), SdNode::from_parts(Vec::new(), None));
+        return SdInstance::from_parts(Arc::clone(s.catalog()), s.root(), nodes)
+            .expect("root-only instance is valid");
+    }
+    let targets = locate_sd(s, p);
+    let last_label = *p.labels.last().expect("non-empty path");
+    let mut nodes: IdMap<pxml_core::ids::ObjectKind, SdNode> = IdMap::new();
+    nodes.insert(
+        s.root(),
+        SdNode::from_parts(targets.iter().map(|&t| (last_label, t)).collect(), None),
+    );
+    for &t in &targets {
+        let leaf = s.node(t).and_then(|n| n.leaf().map(|(ty, v)| (ty, v.clone())));
+        nodes.insert(t, SdNode::from_parts(Vec::new(), leaf));
+    }
+    SdInstance::from_parts(Arc::clone(s.catalog()), s.root(), nodes)
+        .expect("single projection preserves structural validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::{fig1_instance, fig3_s1};
+
+    #[test]
+    fn fig4_ancestor_projection_of_fig1() {
+        // Example 5.1 / Figure 4: Λ_{R.book.author} keeps the authors,
+        // the books on the way, and the root — institutions and titles
+        // are cut.
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let proj = ancestor_project_sd(&s, &p);
+        let names: Vec<&str> =
+            proj.objects().map(|o| proj.catalog().object_name(o)).collect();
+        assert_eq!(names, ["R", "B1", "B2", "B3", "A1", "A2", "A3"]);
+        // A1 keeps no children (the institution edge is cut).
+        let a1 = proj.catalog().find_object("A1").unwrap();
+        assert!(proj.children(a1).is_empty());
+        // B1's title edge is cut; only the author edge remains.
+        let b1 = proj.catalog().find_object("B1").unwrap();
+        assert_eq!(proj.children(b1).len(), 1);
+    }
+
+    #[test]
+    fn ancestor_projection_with_no_match_returns_root_only() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.title").unwrap(); // R has no title children
+        let proj = ancestor_project_sd(&s, &p);
+        assert_eq!(proj.object_count(), 1);
+        assert_eq!(proj.root(), s.root());
+    }
+
+    #[test]
+    fn ancestor_projection_keeps_leaf_values_of_targets() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.title").unwrap();
+        let proj = ancestor_project_sd(&s, &p);
+        let t1 = proj.catalog().find_object("T1").unwrap();
+        assert_eq!(proj.value(t1), Some(&pxml_core::Value::str("VQDB")));
+    }
+
+    #[test]
+    fn ancestor_projection_is_idempotent_on_its_own_path() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let once = ancestor_project_sd(&s, &p);
+        let twice = ancestor_project_sd(&once, &p);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ancestor_projection_on_dag_instance() {
+        // S1 of Figure 3 shares A1 between B1 and B2; both paths survive.
+        let s = fig3_s1();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let proj = ancestor_project_sd(&s, &p);
+        let a1 = proj.catalog().find_object("A1").unwrap();
+        assert_eq!(proj.parents(a1).len(), 2);
+    }
+
+    #[test]
+    fn descendant_projection_keeps_subtrees() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book").unwrap();
+        let proj = descendant_project_sd(&s, &p);
+        // Books and everything below them survive; root re-attaches books.
+        let names: Vec<&str> =
+            proj.objects().map(|o| proj.catalog().object_name(o)).collect();
+        assert_eq!(names.len(), 11); // everything but nothing dropped here
+        let b1 = proj.catalog().find_object("B1").unwrap();
+        assert!(!proj.children(b1).is_empty());
+    }
+
+    #[test]
+    fn descendant_projection_cuts_unrelated_branches() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author.institution").unwrap();
+        let proj = descendant_project_sd(&s, &p);
+        let names: Vec<&str> =
+            proj.objects().map(|o| proj.catalog().object_name(o)).collect();
+        assert_eq!(names, ["R", "I1", "I2"]);
+    }
+
+    #[test]
+    fn single_projection_keeps_only_targets() {
+        let s = fig1_instance();
+        let p = PathExpr::parse(s.catalog(), "R.book.author").unwrap();
+        let proj = single_project_sd(&s, &p);
+        assert_eq!(proj.object_count(), 4); // R + 3 authors
+        let a3 = proj.catalog().find_object("A3").unwrap();
+        assert!(proj.children(a3).is_empty());
+        assert_eq!(proj.children(proj.root()).len(), 3);
+    }
+
+    #[test]
+    fn single_projection_of_empty_path_is_root_only() {
+        let s = fig1_instance();
+        let p = PathExpr::new(s.root(), []);
+        let proj = single_project_sd(&s, &p);
+        assert_eq!(proj.object_count(), 1);
+    }
+}

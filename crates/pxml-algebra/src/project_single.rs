@@ -1,0 +1,391 @@
+//! Efficient single projection on probabilistic instances.
+//!
+//! Single projection keeps only the objects located by the path
+//! expression, re-attached directly under the root. Its probabilistic
+//! semantics follows Definition 5.3's recipe: project every compatible
+//! world and merge duplicates — the result is determined by the joint
+//! distribution of *which targets are satisfied*.
+//!
+//! On tree-shaped kept regions that joint distribution factorises
+//! bottom-up: given a kept object is present, the satisfied-target sets
+//! of its kept children are independent, so each node's distribution is
+//! the OPF-weighted convolution of its children's. The root's
+//! distribution (the root always exists) becomes the new root OPF.
+//!
+//! Cost: `O(Σ_o |℘(o)| · 2^{t(o)})` where `t(o)` counts targets below
+//! `o`; [`MAX_SINGLE_TARGETS`] bounds the blow-up.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Card, ChildSet, ChildUniverse, Label, ObjectId, Opf, OpfTable, ProbInstance, Vpf,
+    WeakInstance, WeakNode,
+};
+
+use crate::error::{AlgebraError, Result};
+use crate::locate::layers_weak;
+use crate::path::PathExpr;
+use crate::project_sd::kept_roles;
+
+/// Maximum number of located targets the exact algorithm will handle
+/// (the joint distribution has up to `2^t` entries).
+pub const MAX_SINGLE_TARGETS: usize = 16;
+
+/// The located targets of `p` and the joint distribution over which of
+/// them are satisfied (masks index into the returned target list).
+/// Requires a tree-shaped kept region; the workhorse shared by single
+/// and descendant projection.
+pub fn joint_target_distribution(
+    pi: &ProbInstance,
+    p: &PathExpr,
+) -> Result<(Vec<ObjectId>, HashMap<u64, f64>)> {
+    let weak = pi.weak();
+    let root = weak.root();
+    let layers = layers_weak(weak, p);
+    let kept = kept_roles(&layers, &p.labels, |o, l| {
+        weak.weak_edges(o)
+            .into_iter()
+            .filter(|&(el, _)| el == l)
+            .map(|(_, c)| c)
+            .collect()
+    });
+    let n = p.labels.len();
+    let targets: Vec<ObjectId> = kept[n].clone();
+    if targets.is_empty() || p.root != root || n == 0 {
+        return Ok((Vec::new(), HashMap::new()));
+    }
+    if targets.len() > MAX_SINGLE_TARGETS {
+        return Err(AlgebraError::UnsupportedCondition(
+            "too many targets for exact single projection",
+        ));
+    }
+    // Tree-shape check over the kept region (single role, single parent).
+    let mut role_of: HashMap<ObjectId, usize> = HashMap::new();
+    for (depth, objs) in kept.iter().enumerate() {
+        for &o in objs {
+            if role_of.insert(o, depth).is_some() {
+                return Err(AlgebraError::NotTreeShaped(o));
+            }
+        }
+    }
+    for depth in 0..n {
+        let mut seen: HashMap<ObjectId, ObjectId> = HashMap::new();
+        for &o in &kept[depth] {
+            let node = weak.node(o).expect("kept object");
+            for c in node.lch(p.labels[depth]) {
+                if kept[depth + 1].binary_search(&c).is_ok() {
+                    if let Some(prev) = seen.insert(c, o) {
+                        if prev != o {
+                            return Err(AlgebraError::NotTreeShaped(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let target_index: HashMap<ObjectId, usize> =
+        targets.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+
+    // Bottom-up: dist[o] maps (mask over global target indices) to the
+    // probability that exactly those targets below o are satisfied,
+    // given o present.
+    let mut dist: HashMap<ObjectId, HashMap<u64, f64>> = HashMap::new();
+    for &t in &targets {
+        let mut d = HashMap::new();
+        d.insert(1u64 << target_index[&t], 1.0);
+        dist.insert(t, d);
+    }
+    for depth in (0..n).rev() {
+        for &o in &kept[depth] {
+            let node = weak.node(o).expect("kept object");
+            let table = pi
+                .opf(o)
+                .expect("validated: kept non-leaf has OPF")
+                .to_table(node.universe());
+            // Kept children with their universe positions.
+            let kept_children: Vec<(u32, ObjectId)> = node
+                .universe()
+                .iter()
+                .filter(|&(_, c, l)| {
+                    l == p.labels[depth] && kept[depth + 1].binary_search(&c).is_ok()
+                })
+                .map(|(pos, c, _)| (pos, c))
+                .collect();
+            let mut my: HashMap<u64, f64> = HashMap::new();
+            for (set, pc) in table.iter() {
+                if pc <= 0.0 {
+                    continue;
+                }
+                // Convolve the included kept children's distributions.
+                let mut acc: HashMap<u64, f64> = HashMap::new();
+                acc.insert(0, pc);
+                for &(pos, c) in &kept_children {
+                    if !set.contains_pos(pos) {
+                        continue;
+                    }
+                    let child_dist = &dist[&c];
+                    let mut next = HashMap::with_capacity(acc.len() * child_dist.len());
+                    for (&m1, &p1) in &acc {
+                        for (&m2, &p2) in child_dist {
+                            *next.entry(m1 | m2).or_insert(0.0) += p1 * p2;
+                        }
+                    }
+                    acc = next;
+                }
+                for (m, q) in acc {
+                    *my.entry(m).or_insert(0.0) += q;
+                }
+            }
+            dist.insert(o, my);
+        }
+    }
+
+    Ok((targets, dist.remove(&root).unwrap_or_default()))
+}
+
+/// Single projection of a probabilistic instance on `p`.
+pub fn single_project(pi: &ProbInstance, p: &PathExpr) -> Result<ProbInstance> {
+    let weak = pi.weak();
+    let root = weak.root();
+    let (targets, root_dist) = joint_target_distribution(pi, p)?;
+    if targets.is_empty() {
+        return root_only(weak);
+    }
+    // Assemble: root + targets; root OPF = dist[root] as child sets.
+    let last_label: Label = *p.labels.last().expect("n ≥ 1");
+    let mut universe = ChildUniverse::new();
+    for &t in &targets {
+        universe.push(t, last_label);
+    }
+    let mut table = OpfTable::new();
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for (mask, q) in root_dist {
+        if q <= 0.0 {
+            continue;
+        }
+        let positions = (0..targets.len() as u32).filter(|i| (mask >> i) & 1 == 1);
+        let set = ChildSet::from_positions(&universe, positions);
+        lo = lo.min(set.len());
+        hi = hi.max(set.len());
+        table.add(set, q);
+    }
+    if lo == u32::MAX {
+        lo = 0;
+    }
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    nodes.insert(
+        root,
+        WeakNode::from_parts(universe, vec![(last_label, Card::new(lo, hi))], None),
+    );
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+    for &t in &targets {
+        let wnode = weak.node(t).expect("target exists");
+        let leaf = wnode.leaf().cloned();
+        nodes.insert(t, WeakNode::from_parts(ChildUniverse::new(), Vec::new(), leaf.clone()));
+        if leaf.is_some() {
+            if let Some(vpf) = pi.vpf(t) {
+                vpfs.insert(t, vpf.clone());
+            }
+        }
+    }
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    opfs.insert(root, Opf::Table(table));
+    let new_weak = WeakInstance::from_parts(Arc::clone(weak.catalog()), root, nodes)?;
+    Ok(ProbInstance::from_parts(new_weak, opfs, vpfs)?)
+}
+
+/// Descendant projection of a probabilistic instance on `p`: the located
+/// targets are re-attached under the root (with the path's last label)
+/// and keep their entire subtrees — structure, OPFs and VPFs unchanged.
+///
+/// On tree-shaped kept regions this is exact: given a target is
+/// satisfied, its subtree distributes by its original local
+/// interpretation, independently of everything outside it, so the only
+/// new distribution needed is the joint over which targets are
+/// satisfied — exactly [`joint_target_distribution`].
+pub fn descendant_project(pi: &ProbInstance, p: &PathExpr) -> Result<ProbInstance> {
+    let weak = pi.weak();
+    let root = weak.root();
+    let (targets, root_dist) = joint_target_distribution(pi, p)?;
+    if targets.is_empty() {
+        return root_only(weak);
+    }
+    let last_label: Label = *p.labels.last().expect("targets exist means n >= 1");
+
+    let mut universe = ChildUniverse::new();
+    for &t in &targets {
+        universe.push(t, last_label);
+    }
+    let mut table = OpfTable::new();
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for (mask, q) in root_dist {
+        if q <= 0.0 {
+            continue;
+        }
+        let positions = (0..targets.len() as u32).filter(|i| (mask >> i) & 1 == 1);
+        let set = ChildSet::from_positions(&universe, positions);
+        lo = lo.min(set.len());
+        hi = hi.max(set.len());
+        table.add(set, q);
+    }
+    if lo == u32::MAX {
+        lo = 0;
+    }
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+    nodes.insert(
+        root,
+        WeakNode::from_parts(universe, vec![(last_label, Card::new(lo, hi))], None),
+    );
+    // Copy every target's subtree verbatim (disjoint in a tree).
+    for &t in &targets {
+        let mut stack = vec![t];
+        while let Some(o) = stack.pop() {
+            if nodes.contains(o) {
+                continue;
+            }
+            let wnode = weak.node(o).expect("subtree member").clone();
+            stack.extend(wnode.universe().iter().map(|(_, c, _)| c));
+            nodes.insert(o, wnode);
+            if let Some(opf) = pi.opf(o) {
+                opfs.insert(o, opf.clone());
+            }
+            if let Some(vpf) = pi.vpf(o) {
+                vpfs.insert(o, vpf.clone());
+            }
+        }
+    }
+    opfs.insert(root, Opf::Table(table));
+    let new_weak = WeakInstance::from_parts(Arc::clone(weak.catalog()), root, nodes)?;
+    Ok(ProbInstance::from_parts(new_weak, opfs, vpfs)?)
+}
+
+/// The root-only instance (no target can ever be satisfied).
+fn root_only(weak: &WeakInstance) -> Result<ProbInstance> {
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    nodes.insert(weak.root(), WeakNode::from_parts(ChildUniverse::new(), Vec::new(), None));
+    let new_weak = WeakInstance::from_parts(Arc::clone(weak.catalog()), weak.root(), nodes)?;
+    Ok(ProbInstance::from_parts(new_weak, IdMap::new(), IdMap::new())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::single_project_global;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain, fig2_instance};
+
+    #[test]
+    fn chain_single_projection_matches_oracle() {
+        let pi = chain(3, 0.6);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let eff = single_project(&pi, &p).unwrap();
+        eff.validate().unwrap();
+        let eff_worlds = enumerate_worlds(&eff).unwrap();
+        let oracle = single_project_global(&pi, &p).unwrap();
+        assert!(eff_worlds.approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn branching_tree_single_projection_matches_oracle() {
+        // Root with two x-children that each may have a y-child; the two
+        // targets' satisfaction events are dependent through the root.
+        let mut b = ProbInstance::builder();
+        let r = b.object("r");
+        b.lch("r", "x", &["a", "c"]);
+        b.lch("a", "y", &["ta"]);
+        b.lch("c", "y", &["tc"]);
+        b.opf_table("r", &[(&["a"], 0.3), (&["c"], 0.3), (&["a", "c"], 0.4)]);
+        b.opf_table("a", &[(&["ta"], 0.7), (&[], 0.3)]);
+        b.opf_table("c", &[(&["tc"], 0.2), (&[], 0.8)]);
+        let pi = b.build(r).unwrap();
+        let p = PathExpr::new(pi.root(), [pi.lid("x").unwrap(), pi.lid("y").unwrap()]);
+        let eff = single_project(&pi, &p).unwrap();
+        let eff_worlds = enumerate_worlds(&eff).unwrap();
+        let oracle = single_project_global(&pi, &p).unwrap();
+        assert!(eff_worlds.approx_eq(&oracle, 1e-9));
+        // The joint is NOT a product: ta and tc compete through ℘(r).
+        let ta = pi.oid("ta").unwrap();
+        let tc = pi.oid("tc").unwrap();
+        let p_ta = eff_worlds.probability_that(|s| s.contains(ta));
+        let p_tc = eff_worlds.probability_that(|s| s.contains(tc));
+        let joint = eff_worlds.probability_that(|s| s.contains(ta) && s.contains(tc));
+        assert!((joint - p_ta * p_tc).abs() > 1e-3, "dependence must be preserved");
+    }
+
+    #[test]
+    fn no_match_gives_root_only() {
+        let pi = chain(2, 0.5);
+        let next = pi.lid("next").unwrap();
+        let p = PathExpr::new(pi.root(), [next, next, next]);
+        let eff = single_project(&pi, &p).unwrap();
+        assert_eq!(eff.object_count(), 1);
+    }
+
+    #[test]
+    fn fig2_single_projection_is_rejected_as_non_tree() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        assert!(matches!(
+            single_project(&pi, &p),
+            Err(AlgebraError::NotTreeShaped(_))
+        ));
+    }
+
+    #[test]
+    fn descendant_projection_matches_oracle_on_chain() {
+        let pi = chain(3, 0.6);
+        let p = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let eff = descendant_project(&pi, &p).unwrap();
+        eff.validate().unwrap();
+        let eff_worlds = enumerate_worlds(&eff).unwrap();
+        let oracle = crate::naive::descendant_project_global(&pi, &p).unwrap();
+        assert!(eff_worlds.approx_eq(&oracle, 1e-9));
+        // The whole subtree below o1 survives (o2, o3 reachable).
+        assert_eq!(eff.object_count(), pi.object_count());
+    }
+
+    #[test]
+    fn descendant_projection_matches_oracle_on_branching_tree() {
+        let mut b = ProbInstance::builder();
+        let r = b.object("r");
+        b.lch("r", "x", &["a", "c"]);
+        b.lch("a", "y", &["ta"]);
+        b.lch("c", "y", &["tc"]);
+        b.opf_table("r", &[(&["a"], 0.3), (&["c"], 0.3), (&["a", "c"], 0.4)]);
+        b.opf_table("a", &[(&["ta"], 0.7), (&[], 0.3)]);
+        b.opf_table("c", &[(&["tc"], 0.2), (&[], 0.8)]);
+        let pi = b.build(r).unwrap();
+        let p = PathExpr::new(pi.root(), [pi.lid("x").unwrap()]);
+        let eff = descendant_project(&pi, &p).unwrap();
+        let eff_worlds = enumerate_worlds(&eff).unwrap();
+        let oracle = crate::naive::descendant_project_global(&pi, &p).unwrap();
+        assert!(eff_worlds.approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn descendant_projection_no_match_is_root_only() {
+        let pi = chain(1, 0.5);
+        let next = pi.lid("next").unwrap();
+        let p = PathExpr::new(pi.root(), [next, next]);
+        assert_eq!(descendant_project(&pi, &p).unwrap().object_count(), 1);
+    }
+
+    #[test]
+    fn target_leaves_keep_vpfs() {
+        let pi = chain(2, 0.9);
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let eff = single_project(&pi, &p).unwrap();
+        let o2 = eff.oid("o2").unwrap();
+        assert!(eff.vpf(o2).is_some());
+        // Structure: root + one target.
+        assert_eq!(eff.object_count(), 2);
+    }
+}

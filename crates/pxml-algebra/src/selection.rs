@@ -1,0 +1,322 @@
+//! Selection (Definitions 5.4–5.6).
+//!
+//! Selection conditions filter the compatible instances; the result's
+//! probabilities are the original ones renormalised by the selectivity
+//! (Definition 5.6). On tree-shaped instances, object- and value-
+//! selection conditions are answered *locally*: the unique ancestor chain
+//! of the selected object is conditioned on each link being present, so
+//! only `depth`-many OPFs change — exactly the behaviour the paper's
+//! Figure 7(c) experiment relies on ("the number [of objects whose ℘
+//! needs updating] is the same as the depth").
+
+use pxml_core::{Card, Label, ObjectId, ProbInstance, SdInstance, Value};
+
+use crate::error::{AlgebraError, Result};
+use crate::locate::{locate_sd, satisfies_sd};
+use crate::path::PathExpr;
+use crate::timing::{timed, PhaseTimes};
+
+/// A selection condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectCond {
+    /// Object selection condition `p = o` (Definition 5.4).
+    ObjectAt(PathExpr, ObjectId),
+    /// Value selection for a designated object: `o ∈ p ∧ val(o) = v`
+    /// (the single-object form of Definition 5.5).
+    ValueAt(PathExpr, ObjectId, Value),
+    /// Cardinality condition (Section 5.2's "other kinds of selection
+    /// conditions"): `o ∈ p` and the number of `l`-children of `o` lies
+    /// in the interval.
+    CardAt(PathExpr, ObjectId, Label, Card),
+    /// Existential path condition: some object satisfies `p`. Supported
+    /// only by the global engine ([`crate::naive::select_global`]) and by
+    /// `pxml-query`'s ε computation.
+    Exists(PathExpr),
+    /// Value selection condition `val(p) = v` (Definition 5.5): some
+    /// object satisfying `p` has value `v`. Global engine only.
+    ValueEquals(PathExpr, Value),
+}
+
+impl SelectCond {
+    /// True if instance `s` satisfies the condition (the world-level test
+    /// used by the global semantics).
+    pub fn satisfied_by(&self, s: &SdInstance) -> bool {
+        match self {
+            SelectCond::ObjectAt(p, o) => satisfies_sd(s, p, *o),
+            SelectCond::ValueAt(p, o, v) => {
+                satisfies_sd(s, p, *o) && s.value(*o) == Some(v)
+            }
+            SelectCond::CardAt(p, o, l, card) => {
+                satisfies_sd(s, p, *o) && card.contains(s.lch(*o, *l).len() as u32)
+            }
+            SelectCond::Exists(p) => !locate_sd(s, p).is_empty(),
+            SelectCond::ValueEquals(p, v) => {
+                locate_sd(s, p).iter().any(|&o| s.value(o) == Some(v))
+            }
+        }
+    }
+}
+
+/// The result of a selection: the conditioned instance plus the
+/// selectivity (the prior probability of the condition, i.e. the
+/// normalisation constant of Definition 5.6).
+#[derive(Clone, Debug)]
+pub struct Selected {
+    /// The conditioned probabilistic instance.
+    pub instance: ProbInstance,
+    /// Prior probability of the selection condition.
+    pub selectivity: f64,
+}
+
+/// Selection `σ_sc(I)` via local chain conditioning.
+pub fn select(pi: &ProbInstance, cond: &SelectCond) -> Result<Selected> {
+    select_timed(pi, cond).map(|(s, _)| s)
+}
+
+/// Selection with per-phase timing (for the Figure 7(c) harness).
+pub fn select_timed(pi: &ProbInstance, cond: &SelectCond) -> Result<(Selected, PhaseTimes)> {
+    let mut times = PhaseTimes::default();
+    let input = timed(&mut times.copy, || pi.clone());
+    let (path, object) = match cond {
+        SelectCond::ObjectAt(p, o) => (p, *o),
+        SelectCond::ValueAt(p, o, _) => (p, *o),
+        SelectCond::CardAt(p, o, _, _) => (p, *o),
+        SelectCond::Exists(_) => {
+            return Err(AlgebraError::UnsupportedCondition(
+                "existential conditions need the global engine",
+            ))
+        }
+        SelectCond::ValueEquals(_, _) => {
+            return Err(AlgebraError::UnsupportedCondition(
+                "val(p) = v over all matches needs the global engine",
+            ))
+        }
+    };
+
+    // Locate phase: find the unique root-to-object chain and check that
+    // its labels spell the path expression.
+    let chain = timed(&mut times.locate, || find_chain(&input, path, object))?;
+
+    // Update-℘ phase: condition each chain OPF on the next link.
+    let (weak, mut opfs, mut vpfs) = input.into_parts();
+    let mut selectivity = 1.0;
+    timed(&mut times.update_interp, || -> Result<()> {
+        for window in chain.windows(2) {
+            let (parent, child) = (window[0], window[1]);
+            let node = weak.node(parent).expect("chain object exists");
+            let pos = node.universe().position(child).expect("chain edge exists");
+            let opf = opfs.get(parent).expect("validated: non-leaf has OPF");
+            let (conditioned, m) = opf.condition(pos, true);
+            if m <= 0.0 {
+                return Err(AlgebraError::EmptySelection);
+            }
+            selectivity *= m;
+            opfs.insert(parent, conditioned);
+        }
+        // Condition at the selected object itself.
+        match cond {
+            SelectCond::ValueAt(_, o, v) => {
+                let vpf = vpfs.get(*o).ok_or(AlgebraError::UnsupportedCondition(
+                    "value selection on an object without a VPF",
+                ))?;
+                let (cond_vpf, m) = vpf.condition_to(v);
+                if m <= 0.0 {
+                    return Err(AlgebraError::EmptySelection);
+                }
+                selectivity *= m;
+                vpfs.insert(*o, cond_vpf);
+            }
+            SelectCond::CardAt(_, o, l, card) => {
+                let node = weak.node(*o).expect("chain object exists");
+                let opf = opfs.get(*o).ok_or(AlgebraError::UnsupportedCondition(
+                    "cardinality selection on a leaf object",
+                ))?;
+                let table = opf.to_table(node.universe());
+                let mut kept = pxml_core::OpfTable::new();
+                let mut m = 0.0;
+                for (set, p) in table.iter() {
+                    if card.contains(set.count_label(node.universe(), *l)) {
+                        m += p;
+                        kept.add(set.clone(), p);
+                    }
+                }
+                if m <= 0.0 {
+                    return Err(AlgebraError::EmptySelection);
+                }
+                kept.normalize();
+                selectivity *= m;
+                opfs.insert(*o, pxml_core::Opf::Table(kept));
+            }
+            _ => {}
+        }
+        Ok(())
+    })?;
+
+    let instance = timed(&mut times.structure, || {
+        ProbInstance::from_parts(weak, opfs, vpfs)
+    })?;
+    Ok((Selected { instance, selectivity }, times))
+}
+
+/// Finds the unique chain `root = c_0 → … → c_k = object` and verifies
+/// that its edge labels spell the path expression.
+fn find_chain(pi: &ProbInstance, path: &PathExpr, object: ObjectId) -> Result<Vec<ObjectId>> {
+    if path.root != pi.root() {
+        return Err(AlgebraError::PathRootMismatch);
+    }
+    // Walk upwards through weak-graph parents.
+    let parents = pi.weak().parents();
+    let mut chain = vec![object];
+    let mut cur = object;
+    while cur != pi.root() {
+        let ps = parents.get(cur).map(Vec::as_slice).unwrap_or(&[]);
+        match ps {
+            [] => return Err(AlgebraError::ObjectNotOnPath(object)),
+            [p] => {
+                chain.push(*p);
+                cur = *p;
+            }
+            _ => return Err(AlgebraError::NotTreeShaped(cur)),
+        }
+        if chain.len() > pi.object_count() {
+            return Err(AlgebraError::ObjectNotOnPath(object)); // cycle guard
+        }
+    }
+    chain.reverse();
+    if chain.len() != path.len() + 1 {
+        return Err(AlgebraError::ObjectNotOnPath(object));
+    }
+    for (i, window) in chain.windows(2).enumerate() {
+        let node = pi.weak().node(window[0]).expect("chain object exists");
+        let pos = node
+            .universe()
+            .position(window[1])
+            .ok_or(AlgebraError::ObjectNotOnPath(object))?;
+        if node.universe().label_at(pos) != path.labels[i] {
+            return Err(AlgebraError::ObjectNotOnPath(object));
+        }
+    }
+    Ok(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain as chain_fixture, diamond};
+
+    #[test]
+    fn object_selection_conditions_the_chain() {
+        let pi = chain_fixture(3, 0.5);
+        let o2 = pi.oid("o2").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let sel = select(&pi, &SelectCond::ObjectAt(p, o2)).unwrap();
+        // Selectivity = P(o1 present) · P(o2 | o1) = 0.25.
+        assert!((sel.selectivity - 0.25).abs() < 1e-12);
+        // After selection, o2 is certain.
+        let worlds = enumerate_worlds(&sel.instance).unwrap();
+        assert!((worlds.probability_that(|s| s.contains(o2)) - 1.0).abs() < 1e-9);
+        assert!((worlds.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_matches_global_normalisation() {
+        let pi = chain_fixture(3, 0.6);
+        let o2 = pi.oid("o2").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let cond = SelectCond::ObjectAt(p, o2);
+        let sel = select(&pi, &cond).unwrap();
+        let efficient = enumerate_worlds(&sel.instance).unwrap();
+        // Global semantics: filter + renormalise (Definition 5.6).
+        let mut global = enumerate_worlds(&pi).unwrap().filter(|s| cond.satisfied_by(s));
+        let prior = global.normalize();
+        assert!((prior - sel.selectivity).abs() < 1e-9);
+        assert!(efficient.approx_eq(&global, 1e-9));
+    }
+
+    #[test]
+    fn value_selection_fixes_the_leaf_value() {
+        let pi = chain_fixture(2, 0.8);
+        let o2 = pi.oid("o2").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let cond = SelectCond::ValueAt(p, o2, Value::Int(1));
+        let sel = select(&pi, &cond).unwrap();
+        assert!((sel.selectivity - 0.8 * 0.8 * 0.5).abs() < 1e-12);
+        let worlds = enumerate_worlds(&sel.instance).unwrap();
+        assert!(
+            (worlds.probability_that(|s| s.value(o2) == Some(&Value::Int(1))) - 1.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn value_selection_matches_global_semantics() {
+        let pi = chain_fixture(2, 0.7);
+        let o2 = pi.oid("o2").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let cond = SelectCond::ValueAt(p, o2, Value::Int(2));
+        let sel = select(&pi, &cond).unwrap();
+        let efficient = enumerate_worlds(&sel.instance).unwrap();
+        let mut global = enumerate_worlds(&pi).unwrap().filter(|s| cond.satisfied_by(s));
+        global.normalize();
+        assert!(efficient.approx_eq(&global, 1e-9));
+    }
+
+    #[test]
+    fn selection_of_object_off_path_is_rejected() {
+        let pi = chain_fixture(3, 0.5);
+        let o3 = pi.oid("o3").unwrap();
+        let short = PathExpr::parse(pi.catalog(), "r.next").unwrap(); // o3 is deeper
+        assert!(matches!(
+            select(&pi, &SelectCond::ObjectAt(short, o3)),
+            Err(AlgebraError::ObjectNotOnPath(_))
+        ));
+    }
+
+    #[test]
+    fn selection_on_dag_is_rejected() {
+        let pi = diamond();
+        let c = pi.oid("c").unwrap();
+        let p = PathExpr::new(pi.root(), [pi.lid("left").unwrap(), pi.lid("down").unwrap()]);
+        assert!(matches!(
+            select(&pi, &SelectCond::ObjectAt(p, c)),
+            Err(AlgebraError::NotTreeShaped(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_selection_is_empty() {
+        let pi = chain_fixture(2, 0.0); // links never exist
+        let o1 = pi.oid("o1").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        assert!(matches!(
+            select(&pi, &SelectCond::ObjectAt(p, o1)),
+            Err(AlgebraError::EmptySelection)
+        ));
+    }
+
+    #[test]
+    fn selection_keeps_structure_and_object_count() {
+        // The paper: "the structure of the resulting instance does not
+        // change after selection".
+        let pi = chain_fixture(4, 0.5);
+        let o3 = pi.oid("o3").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next.next").unwrap();
+        let sel = select(&pi, &SelectCond::ObjectAt(p, o3)).unwrap();
+        assert_eq!(sel.instance.object_count(), pi.object_count());
+    }
+
+    #[test]
+    fn card_selection_filters_opf_entries() {
+        // Select worlds where the root has o1 (≥1 next-child).
+        let pi = chain_fixture(2, 0.3);
+        let r = pi.root();
+        let p = PathExpr::new(r, []);
+        let next = pi.lid("next").unwrap();
+        let cond = SelectCond::CardAt(p, r, next, Card::new(1, 1));
+        let sel = select(&pi, &cond).unwrap();
+        assert!((sel.selectivity - 0.3).abs() < 1e-12);
+        let o1 = pi.oid("o1").unwrap();
+        let worlds = enumerate_worlds(&sel.instance).unwrap();
+        assert!((worlds.probability_that(|s| s.contains(o1)) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Union and intersection of probabilistic instances.
+//!
+//! The paper defers union and intersection to a longer version; we supply
+//! the natural distribution-level definitions and document them in
+//! DESIGN.md:
+//!
+//! * **Union** `I ∪_λ I'` — the λ-mixture of the two distributions:
+//!   `P(S) = λ·P₁(S) + (1-λ)·P₂(S)`. This models "either source is right,
+//!   with prior λ".
+//! * **Intersection** `I ∩ I'` — the normalised product of experts:
+//!   `P(S) ∝ P₁(S)·P₂(S)`. This models the consensus of two *independent*
+//!   observers of the same world (the paper's motivating situation 3:
+//!   "the information were collected by two different systems").
+//!
+//! Both return world tables; [`try_factorize`] converts a table back into
+//! a probabilistic instance when Theorem 2's independence condition holds.
+
+use pxml_core::factorize::factorize;
+use pxml_core::{
+    enumerate_worlds, GlobalInterpretation, ProbInstance, WeakInstance, WorldTable,
+};
+
+use crate::error::{AlgebraError, Result};
+
+/// The λ-mixture of two distributions over the **same catalog and root**.
+pub fn union(left: &ProbInstance, right: &ProbInstance, lambda: f64) -> Result<WorldTable> {
+    check_same_universe(left, right)?;
+    assert!((0.0..=1.0).contains(&lambda), "mixture weight must be in [0,1]");
+    let lw = enumerate_worlds(left)?;
+    let rw = enumerate_worlds(right)?;
+    let mut out = WorldTable::new();
+    for (s, p) in lw.iter() {
+        out.add(s.clone(), lambda * p);
+    }
+    for (s, p) in rw.iter() {
+        out.add(s.clone(), (1.0 - lambda) * p);
+    }
+    Ok(out)
+}
+
+/// The normalised product of experts of two distributions over the same
+/// catalog and root. Errors with [`AlgebraError::EmptySelection`] when the
+/// two distributions share no world.
+pub fn intersection(left: &ProbInstance, right: &ProbInstance) -> Result<(WorldTable, f64)> {
+    check_same_universe(left, right)?;
+    let lw = enumerate_worlds(left)?;
+    let rw = enumerate_worlds(right)?;
+    let mut out = WorldTable::new();
+    for (s, p) in lw.iter() {
+        let q = rw.prob(s);
+        if q > 0.0 {
+            out.add(s.clone(), p * q);
+        }
+    }
+    let agreement = out.normalize();
+    if agreement <= 0.0 {
+        return Err(AlgebraError::EmptySelection);
+    }
+    Ok((out, agreement))
+}
+
+/// Attempts to turn a world table over `weak` back into a probabilistic
+/// instance via Theorem 2. Fails with `NotFactorable` when the
+/// distribution violates Definition 4.5's independence constraints.
+pub fn try_factorize(weak: &WeakInstance, table: WorldTable) -> Result<ProbInstance> {
+    let global = GlobalInterpretation::new(weak.clone(), table)?;
+    Ok(factorize(&global, 1e-7)?)
+}
+
+fn check_same_universe(left: &ProbInstance, right: &ProbInstance) -> Result<()> {
+    if left.root() != right.root()
+        || left.catalog().object_count() != right.catalog().object_count()
+    {
+        return Err(AlgebraError::Core(pxml_core::CoreError::CatalogMismatch));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::chain;
+    use pxml_core::{LeafType, Value};
+
+    fn chain_with_prob(p: f64) -> ProbInstance {
+        chain(2, p)
+    }
+
+    #[test]
+    fn union_is_a_mixture() {
+        let a = chain_with_prob(1.0);
+        let b = chain_with_prob(0.0);
+        let mix = union(&a, &b, 0.25).unwrap();
+        assert!((mix.total() - 1.0).abs() < 1e-9);
+        let o1 = a.oid("o1").unwrap();
+        // o1 present surely in a, never in b.
+        assert!((mix.probability_that(|s| s.contains(o1)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_of_identical_instances_is_identity() {
+        let a = chain_with_prob(0.5);
+        let mix = union(&a, &a, 0.5).unwrap();
+        let direct = enumerate_worlds(&a).unwrap();
+        assert!(mix.approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn intersection_reinforces_agreement() {
+        let a = chain_with_prob(0.5);
+        let b = chain_with_prob(0.9);
+        let (consensus, agreement) = intersection(&a, &b).unwrap();
+        assert!(agreement > 0.0);
+        assert!((consensus.total() - 1.0).abs() < 1e-9);
+        let o1 = a.oid("o1").unwrap();
+        let pa = enumerate_worlds(&a).unwrap().probability_that(|s| s.contains(o1));
+        let pc = consensus.probability_that(|s| s.contains(o1));
+        // The consensus lies between the optimist and pessimist only when
+        // both agree; product-of-experts sharpens towards agreement on
+        // structure: here both place mass on o1, so pc > pa.
+        assert!(pc > pa);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_supports_errors() {
+        // a: link always exists; b: link never exists — the only world of
+        // b is root-only, which has probability 0 under a? No: a's chain
+        // has link probability 1 at the first hop only, so the root-only
+        // world has probability 0 under a. Disjoint supports ⇒ error.
+        let a = chain_with_prob(1.0);
+        let b = chain_with_prob(0.0);
+        assert!(matches!(intersection(&a, &b), Err(AlgebraError::EmptySelection)));
+    }
+
+    #[test]
+    fn mixture_of_same_structure_factorizes_when_independent() {
+        // A mixture of two instances differing only in one leaf's VPF is
+        // factorable iff the mixture does not couple distinct objects.
+        // Single-object difference ⇒ factorable.
+        let mk = |p1: f64| {
+            let mut b = ProbInstance::builder();
+            b.define_type(LeafType::new("vt", [Value::Int(1), Value::Int(2)]));
+            let r = b.object("r");
+            b.lch("r", "next", &["o1"]);
+            b.leaf("o1", "vt", None);
+            b.opf_table("r", &[(&["o1"], 1.0)]);
+            b.vpf("o1", &[(Value::Int(1), p1), (Value::Int(2), 1.0 - p1)]);
+            b.build(r).unwrap()
+        };
+        let a = mk(0.2);
+        let b = mk(0.6);
+        let mix = union(&a, &b, 0.5).unwrap();
+        let pi = try_factorize(a.weak(), mix).unwrap();
+        let o1 = pi.oid("o1").unwrap();
+        assert!((pi.vpf(o1).unwrap().prob(&Value::Int(1)) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlating_mixture_fails_to_factorize() {
+        // Correlation must span *objects* for factorisation to fail — a
+        // joint choice inside one OPF is always factorable. Build
+        // r → {a, d?} with a → {c?}: mixing "c and d both always" with
+        // "c and d both never" perfectly correlates the choices of the
+        // distinct objects r and a, violating Definition 4.5.
+        let mk = |pc: f64, pd: f64| {
+            let mut b = ProbInstance::builder();
+            let r = b.object("r");
+            b.lch("r", "x", &["a"]);
+            b.lch("r", "z", &["d"]);
+            b.lch("a", "y", &["c"]);
+            b.opf_table("r", &[(&["a", "d"], pd), (&["a"], 1.0 - pd)]);
+            b.opf_table("a", &[(&["c"], pc), (&[], 1.0 - pc)]);
+            b.build(r).unwrap()
+        };
+        let both = mk(1.0, 1.0); // c and d always
+        let neither = mk(0.0, 0.0); // c and d never
+        let mix = union(&both, &neither, 0.5).unwrap();
+        assert!(matches!(
+            try_factorize(both.weak(), mix),
+            Err(AlgebraError::Core(pxml_core::CoreError::NotFactorable))
+        ));
+    }
+}

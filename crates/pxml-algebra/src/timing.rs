@@ -1,0 +1,67 @@
+//! Phase timing for the experimental harness.
+//!
+//! The paper's Figure 7 decomposes query time into: copying the input
+//! instance, locating the objects satisfying the path expression, updating
+//! the structure, updating the local interpretation `℘`, and writing the
+//! result to disk. Operators here report the first four phases; the bench
+//! harness adds the write phase via `pxml-storage`.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock duration of each query phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Copying the input instance.
+    pub copy: Duration,
+    /// Locating objects satisfying the path expression.
+    pub locate: Duration,
+    /// Updating the instance structure.
+    pub structure: Duration,
+    /// Updating the local interpretation `℘` (the dominant phase of
+    /// ancestor projection per Figure 7(b)).
+    pub update_interp: Duration,
+    /// Writing the result (filled in by the bench harness).
+    pub write: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.copy + self.locate + self.structure + self.update_interp + self.write
+    }
+}
+
+/// Runs `f`, adding its elapsed time to `slot`.
+pub fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut slot = Duration::ZERO;
+        let v = timed(&mut slot, || 41 + 1);
+        assert_eq!(v, 42);
+        let first = slot;
+        timed(&mut slot, || std::hint::black_box(0));
+        assert!(slot >= first);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let t = PhaseTimes {
+            copy: Duration::from_millis(1),
+            locate: Duration::from_millis(2),
+            structure: Duration::from_millis(3),
+            update_interp: Duration::from_millis(4),
+            write: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+}

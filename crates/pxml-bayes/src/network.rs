@@ -1,0 +1,422 @@
+//! Compilation of a probabilistic instance into a Bayesian network.
+//!
+//! Section 6 of the paper: "there is a mapping between a probabilistic
+//! instance and a Bayesian network. For any query, there is a mapping to
+//! an equivalent query in the Bayesian network." The mapping used here:
+//!
+//! * one variable per object `o`;
+//! * a non-leaf's states are its OPF support sets plus `absent`;
+//!   a typed leaf's states are its domain values plus `absent`;
+//!   a bare object's states are `present`/`absent`;
+//! * `X_o`'s parents are `o`'s weak-graph parents. The CPT is the gated
+//!   distribution: if no parent's chosen set contains `o`, `X_o = absent`
+//!   with probability 1; otherwise `X_o` follows `℘(o)`.
+//!
+//! This is exactly the factorisation of Theorem 1, so variable
+//! elimination over this network reproduces the possible-worlds
+//! marginals without enumeration — including on DAG-shaped instances
+//! where the tree-only ε algorithms of `pxml-query` do not apply.
+
+use std::collections::HashMap;
+
+use pxml_core::{ChildSet, ObjectId, ProbInstance, Value};
+
+use crate::factor::{Factor, Var};
+
+/// A state of an object variable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum State {
+    /// The object does not occur in the world.
+    Absent,
+    /// A non-leaf occurs with this exact child set.
+    Children(ChildSet),
+    /// A typed leaf occurs with this value.
+    Value(Value),
+    /// A bare childless object occurs.
+    Present,
+}
+
+impl State {
+    /// True for any present state.
+    pub fn is_present(&self) -> bool {
+        !matches!(self, State::Absent)
+    }
+}
+
+/// Variable metadata.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// The object this variable models.
+    pub object: ObjectId,
+    /// The variable's states; index 0 is always `Absent` for non-roots.
+    pub states: Vec<State>,
+}
+
+/// A compiled Bayesian network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    vars: Vec<VarInfo>,
+    factors: Vec<Factor>,
+    var_of: HashMap<ObjectId, Var>,
+    root: ObjectId,
+}
+
+impl Network {
+    /// Compiles `pi` into a network (one CPT factor per object).
+    pub fn compile(pi: &ProbInstance) -> Network {
+        let order = pi.weak().topo_order().expect("validated instances are acyclic");
+        let parents_map = pi.weak().parents();
+        let mut vars: Vec<VarInfo> = Vec::with_capacity(order.len());
+        let mut var_of: HashMap<ObjectId, Var> = HashMap::new();
+
+        // States per object.
+        for &o in &order {
+            let node = pi.weak().node(o).expect("iterating");
+            let mut states = vec![State::Absent];
+            if let Some(_leaf) = node.leaf() {
+                let vpf = pi.vpf(o).expect("validated: typed leaf has VPF");
+                for (v, _) in vpf.iter() {
+                    states.push(State::Value(v.clone()));
+                }
+            } else if node.is_childless() {
+                states.push(State::Present);
+            } else {
+                let table = pi.opf(o).expect("validated: non-leaf has OPF").to_table(node.universe());
+                for (set, _) in table.iter() {
+                    states.push(State::Children(set.clone()));
+                }
+            }
+            var_of.insert(o, Var(vars.len()));
+            vars.push(VarInfo { object: o, states });
+        }
+
+        // CPT factors.
+        let mut factors = Vec::with_capacity(order.len());
+        for &o in &order {
+            let v = var_of[&o];
+            let my_states = vars[v.0].states.clone();
+            let my_card = my_states.len();
+            // Local conditional distribution given presence.
+            let node = pi.weak().node(o).expect("iterating");
+            let present_dist: Vec<f64> = my_states
+                .iter()
+                .map(|s| match s {
+                    State::Absent => 0.0,
+                    State::Present => 1.0,
+                    State::Children(set) => pi.opf(o).expect("non-leaf OPF").prob(set),
+                    State::Value(val) => pi.vpf(o).expect("leaf VPF").prob(val),
+                })
+                .collect();
+            let parents: Vec<ObjectId> =
+                parents_map.get(o).cloned().unwrap_or_default();
+            if o == pi.root() {
+                // The root is always present: prior = present_dist with
+                // Absent mass 0.
+                factors.push(Factor::new(vec![v], vec![my_card], present_dist));
+                continue;
+            }
+            // Parent variables and, per parent state, whether it includes o.
+            let pvars: Vec<Var> = parents.iter().map(|p| var_of[p]).collect();
+            let pcards: Vec<usize> = pvars.iter().map(|pv| vars[pv.0].states.len()).collect();
+            let includes: Vec<Vec<bool>> = parents
+                .iter()
+                .map(|&p| {
+                    let pnode = pi.weak().node(p).expect("parent exists");
+                    vars[var_of[&p].0]
+                        .states
+                        .iter()
+                        .map(|s| match s {
+                            State::Children(set) => set.contains_object(pnode.universe(), o),
+                            _ => false,
+                        })
+                        .collect()
+                })
+                .collect();
+            // Factor over (parents…, self), self fastest.
+            let mut fvars = pvars.clone();
+            fvars.push(v);
+            let mut fcards = pcards.clone();
+            fcards.push(my_card);
+            let total: usize = fcards.iter().product();
+            let mut values = Vec::with_capacity(total);
+            let mut assignment = vec![0usize; fvars.len()];
+            for _ in 0..total {
+                let chosen = assignment[fvars.len() - 1];
+                let any_parent_includes = assignment[..fvars.len() - 1]
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &ps)| includes[i][ps]);
+                let p = if any_parent_includes {
+                    present_dist[chosen]
+                } else if chosen == 0 {
+                    1.0 // forced absent
+                } else {
+                    0.0
+                };
+                values.push(p);
+                for i in (0..fvars.len()).rev() {
+                    assignment[i] += 1;
+                    if assignment[i] < fcards[i] {
+                        break;
+                    }
+                    assignment[i] = 0;
+                }
+            }
+            let _ = node;
+            factors.push(Factor::new(fvars, fcards, values));
+        }
+
+        Network { vars, factors, var_of, root: pi.root() }
+    }
+
+    /// The network's variables.
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// The CPT factors.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// The variable for an object.
+    pub fn var(&self, o: ObjectId) -> Option<Var> {
+        self.var_of.get(&o).copied()
+    }
+
+    /// The instance root.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// Marginal distribution over the states of `o`'s variable, by
+    /// variable elimination.
+    pub fn marginal(&self, o: ObjectId) -> Vec<f64> {
+        let target = self.var(o).expect("object has a variable");
+        let mut result =
+            crate::elimination::eliminate_all_but(&self.factors, &[target], self.vars.len());
+        result.normalize();
+        let card = self.vars[target.0].states.len();
+        (0..card).map(|s| result.at(&[s])).collect()
+    }
+
+    /// `P(o present)` by variable elimination.
+    pub fn presence_probability(&self, o: ObjectId) -> f64 {
+        let m = self.marginal(o);
+        1.0 - m.first().copied().unwrap_or(0.0)
+    }
+
+    /// Posterior marginal of `o` given *exact-state* evidence: each entry
+    /// fixes an object's variable to one concrete state (an exact child
+    /// set or leaf value; index via [`Network::state_index`]). For the
+    /// weaker "object is present" observation use
+    /// [`Network::presence_given_present`]. Returns
+    /// `(marginal, prior_of_evidence)`.
+    pub fn marginal_given(
+        &self,
+        o: ObjectId,
+        evidence: &[(ObjectId, usize)],
+    ) -> (Vec<f64>, f64) {
+        let ev: Vec<(Var, usize)> = evidence
+            .iter()
+            .map(|&(obj, s)| (self.var(obj).expect("object has a variable"), s))
+            .collect();
+        let factors = crate::elimination::with_evidence(&self.factors, &ev);
+        let target = self.var(o).expect("object has a variable");
+        let mut joint =
+            crate::elimination::eliminate_all_but(&factors, &[target], self.vars.len());
+        let prior = joint.normalize();
+        let card = self.vars[target.0].states.len();
+        ((0..card).map(|s| joint.at(&[s])).collect(), prior)
+    }
+
+    /// Posterior presence probability of `o` given that `observed` is
+    /// **present** (soft evidence over all its non-absent states, handled
+    /// by zeroing the absent state). Returns `(posterior, P(observed
+    /// present))`.
+    pub fn presence_given_present(
+        &self,
+        o: ObjectId,
+        observed: ObjectId,
+    ) -> (f64, f64) {
+        let ov = self.var(observed).expect("object has a variable");
+        // Multiply in an indicator factor killing the Absent state.
+        let card = self.vars[ov.0].states.len();
+        let mut values = vec![1.0; card];
+        values[0] = 0.0;
+        let indicator = Factor::new(vec![ov], vec![card], values);
+        let mut factors = self.factors.clone();
+        factors.push(indicator);
+        let target = self.var(o).expect("object has a variable");
+        let mut joint =
+            crate::elimination::eliminate_all_but(&factors, &[target], self.vars.len());
+        let prior = joint.normalize();
+        let tcard = self.vars[target.0].states.len();
+        let posterior: f64 = (1..tcard).map(|s| joint.at(&[s])).sum();
+        (posterior, prior)
+    }
+
+    /// Index of a concrete state of `o`'s variable, if present.
+    pub fn state_index(&self, o: ObjectId, state: &State) -> Option<usize> {
+        let v = self.var(o)?;
+        self.vars[v.0].states.iter().position(|s| s == state)
+    }
+
+    /// `P(all of the given objects present)` — a joint query requiring a
+    /// single elimination run keeping all target variables.
+    pub fn joint_presence(&self, objects: &[ObjectId]) -> f64 {
+        let targets: Vec<Var> =
+            objects.iter().map(|&o| self.var(o).expect("object has a variable")).collect();
+        let mut joint =
+            crate::elimination::eliminate_all_but(&self.factors, &targets, self.vars.len());
+        joint.normalize();
+        // Sum over joint assignments where every target is non-absent.
+        let cards: Vec<usize> =
+            joint.vars().iter().map(|v| self.vars[v.0].states.len()).collect();
+        let total: usize = cards.iter().product();
+        let mut sum = 0.0;
+        let mut assignment = vec![0usize; cards.len()];
+        for _ in 0..total {
+            if assignment.iter().all(|&s| s != 0) {
+                sum += joint.at(&assignment);
+            }
+            for i in (0..cards.len()).rev() {
+                assignment[i] += 1;
+                if assignment[i] < cards[i] {
+                    break;
+                }
+                assignment[i] = 0;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain, diamond, fig2_instance};
+
+    #[test]
+    fn chain_presence_matches_worlds() {
+        let pi = chain(3, 0.6);
+        let net = Network::compile(&pi);
+        let worlds = enumerate_worlds(&pi).unwrap();
+        for o in pi.objects() {
+            let bn = net.presence_probability(o);
+            let direct = worlds.probability_that(|s| s.contains(o));
+            assert!((bn - direct).abs() < 1e-9, "object {o:?}: {bn} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn fig2_presence_matches_worlds_even_on_shared_objects() {
+        // A1 has two parents — the case the tree-only ε method rejects;
+        // variable elimination handles it exactly.
+        let pi = fig2_instance();
+        let net = Network::compile(&pi);
+        let worlds = enumerate_worlds(&pi).unwrap();
+        for o in pi.objects() {
+            let bn = net.presence_probability(o);
+            let direct = worlds.probability_that(|s| s.contains(o));
+            assert!(
+                (bn - direct).abs() < 1e-9,
+                "object {}: {bn} vs {direct}",
+                pi.catalog().object_name(o)
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_shared_child_marginal() {
+        let pi = diamond();
+        let net = Network::compile(&pi);
+        let c = pi.oid("c").unwrap();
+        assert!((net.presence_probability(c) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_value_marginals_match_worlds() {
+        let pi = fig2_instance();
+        let net = Network::compile(&pi);
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let t1 = pi.oid("T1").unwrap();
+        let m = net.marginal(t1);
+        let states = &net.vars()[net.var(t1).unwrap().0].states;
+        for (i, s) in states.iter().enumerate() {
+            let direct = match s {
+                State::Absent => worlds.probability_that(|w| !w.contains(t1)),
+                State::Value(v) => worlds.probability_that(|w| w.value(t1) == Some(v)),
+                _ => continue,
+            };
+            assert!((m[i] - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn joint_presence_matches_worlds() {
+        let pi = fig2_instance();
+        let net = Network::compile(&pi);
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        let a1 = pi.oid("A1").unwrap();
+        let bn = net.joint_presence(&[b1, a1]);
+        let direct = worlds.probability_that(|s| s.contains(b1) && s.contains(a1));
+        assert!((bn - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_is_always_present() {
+        let pi = chain(2, 0.1);
+        let net = Network::compile(&pi);
+        assert!((net.presence_probability(pi.root()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_given_descendant_present_matches_bayes_rule() {
+        let pi = fig2_instance();
+        let net = Network::compile(&pi);
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let b2 = pi.oid("B2").unwrap();
+        let a1 = pi.oid("A1").unwrap();
+        // P(B2 | A1 present) via the network vs via the worlds.
+        let (posterior, prior) = net.presence_given_present(b2, a1);
+        let p_a1 = worlds.probability_that(|s| s.contains(a1));
+        let p_both = worlds.probability_that(|s| s.contains(a1) && s.contains(b2));
+        assert!((prior - p_a1).abs() < 1e-9);
+        assert!((posterior - p_both / p_a1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_given_exact_state_evidence() {
+        let pi = chain(2, 0.5);
+        let net = Network::compile(&pi);
+        let o1 = pi.oid("o1").unwrap();
+        let o2 = pi.oid("o2").unwrap();
+        // Evidence: o2 takes value 1 (state index via lookup).
+        let s = net
+            .state_index(o2, &State::Value(pxml_core::Value::Int(1)))
+            .expect("state exists");
+        let (m, prior) = net.marginal_given(o1, &[(o2, s)]);
+        // P(o2 = 1) = 0.25 · 0.5 = 0.125; given that, o1 is certain.
+        assert!((prior - 0.125).abs() < 1e-9);
+        assert!((m[0] - 0.0).abs() < 1e-9, "o1 cannot be absent if o2 has a value");
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evidence_on_shared_child_updates_both_parents() {
+        let pi = diamond();
+        let net = Network::compile(&pi);
+        let a = pi.oid("a").unwrap();
+        let c = pi.oid("c").unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let (posterior, _) = net.presence_given_present(a, c);
+        // a is always present in the diamond, so the posterior is 1 —
+        // but the computation must not produce anything else.
+        let direct = worlds.probability_that(|s| s.contains(a) && s.contains(c))
+            / worlds.probability_that(|s| s.contains(c));
+        assert!((posterior - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Elimination orderings.
+//!
+//! The cost of bucket elimination is governed by the induced width of the
+//! ordering (Section 6: "the complexity depends on the connectivity of
+//! the graph and the induced tree width"). Two standard greedy
+//! heuristics are provided: min-degree and min-fill.
+
+use std::collections::HashSet;
+
+use crate::factor::{Factor, Var};
+
+/// The moral/interaction graph of a factor set: vertices are variables,
+/// with an edge between any two variables sharing a factor.
+pub fn interaction_graph(factors: &[Factor], n_vars: usize) -> Vec<HashSet<usize>> {
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n_vars];
+    for f in factors {
+        let vars = f.vars();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                adj[vars[i].0].insert(vars[j].0);
+                adj[vars[j].0].insert(vars[i].0);
+            }
+        }
+    }
+    adj
+}
+
+/// Greedy min-degree ordering over the variables in `eliminate`.
+pub fn min_degree_order(factors: &[Factor], n_vars: usize, eliminate: &[Var]) -> Vec<Var> {
+    greedy_order(factors, n_vars, eliminate, |adj, v, remaining| {
+        adj[v].iter().filter(|x| remaining.contains(x)).count()
+    })
+}
+
+/// Greedy min-fill ordering over the variables in `eliminate`.
+pub fn min_fill_order(factors: &[Factor], n_vars: usize, eliminate: &[Var]) -> Vec<Var> {
+    greedy_order(factors, n_vars, eliminate, |adj, v, remaining| {
+        // Number of missing edges among v's remaining neighbours.
+        let neighbours: Vec<usize> =
+            adj[v].iter().copied().filter(|x| remaining.contains(x)).collect();
+        let mut fill = 0;
+        for i in 0..neighbours.len() {
+            for j in (i + 1)..neighbours.len() {
+                if !adj[neighbours[i]].contains(&neighbours[j]) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    })
+}
+
+fn greedy_order(
+    factors: &[Factor],
+    n_vars: usize,
+    eliminate: &[Var],
+    score: impl Fn(&[HashSet<usize>], usize, &HashSet<usize>) -> usize,
+) -> Vec<Var> {
+    let mut adj = interaction_graph(factors, n_vars);
+    let mut remaining: HashSet<usize> = eliminate.iter().map(|v| v.0).collect();
+    let mut order = Vec::with_capacity(eliminate.len());
+    while !remaining.is_empty() {
+        // Pick the remaining variable with the best (lowest) score;
+        // break ties by index for determinism.
+        let &best = remaining
+            .iter()
+            .min_by_key(|&&v| (score(&adj, v, &remaining), v))
+            .expect("non-empty");
+        // Connect best's remaining neighbours (simulate elimination).
+        let neighbours: Vec<usize> =
+            adj[best].iter().copied().filter(|x| remaining.contains(x) && *x != best).collect();
+        for i in 0..neighbours.len() {
+            for j in (i + 1)..neighbours.len() {
+                adj[neighbours[i]].insert(neighbours[j]);
+                adj[neighbours[j]].insert(neighbours[i]);
+            }
+        }
+        remaining.remove(&best);
+        order.push(Var(best));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_factors() -> Vec<Factor> {
+        // v0 - v1 - v2 (pairwise factors).
+        vec![
+            Factor::new(vec![Var(0), Var(1)], vec![2, 2], vec![1.0; 4]),
+            Factor::new(vec![Var(1), Var(2)], vec![2, 2], vec![1.0; 4]),
+        ]
+    }
+
+    #[test]
+    fn interaction_graph_links_factor_scopes() {
+        let adj = interaction_graph(&chain_factors(), 3);
+        assert!(adj[0].contains(&1));
+        assert!(adj[1].contains(&2));
+        assert!(!adj[0].contains(&2));
+    }
+
+    #[test]
+    fn min_degree_eliminates_leaves_first_on_chains() {
+        let order = min_degree_order(&chain_factors(), 3, &[Var(0), Var(1), Var(2)]);
+        // v0 and v2 have degree 1, the middle v1 degree 2 — a leaf is
+        // eliminated first (ties break towards the lower index).
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], Var(0));
+        assert_ne!(order[0], Var(1));
+    }
+
+    #[test]
+    fn min_fill_on_clique_is_any_order() {
+        let f = Factor::new(vec![Var(0), Var(1), Var(2)], vec![2, 2, 2], vec![1.0; 8]);
+        let order = min_fill_order(&[f], 3, &[Var(0), Var(1), Var(2)]);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn ordering_only_covers_requested_vars() {
+        let order = min_degree_order(&chain_factors(), 3, &[Var(0), Var(2)]);
+        assert_eq!(order.len(), 2);
+        assert!(!order.contains(&Var(1)));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = min_degree_order(&chain_factors(), 3, &[Var(0), Var(1), Var(2)]);
+        let b = min_degree_order(&chain_factors(), 3, &[Var(0), Var(1), Var(2)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation: the `u64`-bitmask child-set representation vs the sorted
+//! sparse fallback. The paper's workloads (b ≤ 8) always hit the mask
+//! path; this bench quantifies what that buys for the set operations the
+//! projection algorithm performs per OPF entry.
+//!
+//! `cargo bench -p pxml-bench --bench ablate_childset`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_core::{ChildSet, ChildUniverse, Label, ObjectId};
+
+fn universe(n: u32) -> ChildUniverse {
+    let l = Label::from_raw(0);
+    ChildUniverse::from_members((0..n).map(|i| (ObjectId::from_raw(i), l)))
+}
+
+fn ablate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("childset_representations");
+    group.sample_size(20);
+
+    // 32 members ⇒ mask; 96 members ⇒ sparse. Sets hold every other one.
+    for (name, n) in [("mask", 32u32), ("sparse", 96)] {
+        let u = universe(n);
+        let a = ChildSet::from_positions(&u, (0..n).step_by(2));
+        let b = ChildSet::from_positions(&u, (0..n).step_by(3));
+
+        group.bench_with_input(BenchmarkId::new("union", name), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| a.union(b).len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect", name),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| a.intersect(b).len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("subset_check", name),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| b.is_subset_of(a));
+            },
+        );
+        // Subset enumeration drives the projection inner loop; bound the
+        // enumerated set to 12 members so both representations finish.
+        let small = ChildSet::from_positions(&u, 0..12);
+        group.bench_with_input(BenchmarkId::new("subsets_2p12", name), &small, |bench, s| {
+            bench.iter(|| s.subsets().count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate);
+criterion_main!(benches);

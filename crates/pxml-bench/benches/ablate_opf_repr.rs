@@ -1,0 +1,60 @@
+//! Ablation: explicit-table OPFs vs the §3.2 compact representations
+//! (independent-per-child and label-product). Compares the cost of the
+//! two operations the query engines lean on — exact-set probability and
+//! presence marginals — and the cost of materialisation.
+//!
+//! `cargo bench -p pxml-bench --bench ablate_opf_repr`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_core::{ChildSet, ChildUniverse, IndependentOpf, Label, ObjectId, Opf};
+
+fn universe(n: u32) -> ChildUniverse {
+    let l = Label::from_raw(0);
+    ChildUniverse::from_members((0..n).map(|i| (ObjectId::from_raw(i), l)))
+}
+
+fn ablate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opf_representations");
+    group.sample_size(20);
+
+    for b in [8u32, 12, 16] {
+        let u = universe(b);
+        let indep = IndependentOpf::new((0..b).map(|i| 0.3 + 0.4 * (i as f64 / b as f64)).collect());
+        let compact = Opf::Independent(indep.clone());
+        let table = Opf::Table(indep.to_table(&u));
+        let probe = ChildSet::from_positions(&u, (0..b).step_by(2));
+
+        group.bench_with_input(BenchmarkId::new("prob_table", b), &table, |bench, opf| {
+            bench.iter(|| opf.prob(&probe));
+        });
+        group.bench_with_input(BenchmarkId::new("prob_compact", b), &compact, |bench, opf| {
+            bench.iter(|| opf.prob(&probe));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("marginal_table", b),
+            &table,
+            |bench, opf| {
+                bench.iter(|| opf.marginal_present(1));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("marginal_compact", b),
+            &compact,
+            |bench, opf| {
+                bench.iter(|| opf.marginal_present(1));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("materialise_compact", b),
+            &compact,
+            |bench, opf| {
+                bench.iter(|| opf.to_table(&u).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate);
+criterion_main!(benches);

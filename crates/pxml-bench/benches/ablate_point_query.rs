@@ -1,0 +1,51 @@
+//! Ablation: the three engines for `P(o ∈ p)` — the §6.2 ε propagation,
+//! Bayesian-network variable elimination, and the naive possible-worlds
+//! enumeration — on growing chain instances. The enumeration engine
+//! explodes exponentially; ε and VE stay linear, which is precisely why
+//! §6 exists.
+//!
+//! `cargo bench -p pxml-bench --bench ablate_point_query`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_algebra::PathExpr;
+use pxml_bayes::Network;
+use pxml_core::enumerate_worlds;
+use pxml_core::fixtures::chain;
+use pxml_query::point_query;
+
+fn ablate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query_engines");
+    group.sample_size(10);
+
+    for n in [4usize, 8, 12, 16] {
+        let pi = chain(n, 0.7);
+        let tail = pi.oid(&format!("o{n}")).unwrap();
+        let next = pi.lid("next").unwrap();
+        let p = PathExpr::new(pi.root(), vec![next; n]);
+
+        group.bench_with_input(BenchmarkId::new("epsilon", n), &pi, |b, pi| {
+            b.iter(|| point_query(pi, &p, tail).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bayes_ve", n), &pi, |b, pi| {
+            b.iter(|| {
+                let net = Network::compile(pi);
+                net.presence_probability(tail)
+            });
+        });
+        // World enumeration is exponential in n; keep it to sizes that
+        // finish (2^(n+1) worlds with values).
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("naive_worlds", n), &pi, |b, pi| {
+                b.iter(|| {
+                    let worlds = enumerate_worlds(pi).unwrap();
+                    worlds.probability_that(|s| s.contains(tail))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: text vs binary serialisation — the write phase that
+//! dominates Figure 7(c)'s totals. Measures encode time and output size
+//! for generated instances of growing scale.
+//!
+//! `cargo bench -p pxml-bench --bench ablate_storage`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pxml_gen::{generate, Labeling, WorkloadConfig};
+use pxml_storage::{from_binary, from_text, to_binary, to_text};
+
+fn ablate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_codecs");
+    group.sample_size(10);
+
+    for (depth, branching) in [(4usize, 2usize), (6, 2), (4, 4)] {
+        let config = WorkloadConfig::paper(depth, branching, Labeling::SameLabel, 3);
+        let g = generate(&config);
+        let n = config.object_count();
+        let text = to_text(&g.instance);
+        let bin = to_binary(&g.instance);
+
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_text", n), &g, |b, g| {
+            b.iter(|| to_text(&g.instance).len());
+        });
+        group.throughput(Throughput::Bytes(bin.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_binary", n), &g, |b, g| {
+            b.iter(|| to_binary(&g.instance).len());
+        });
+        group.bench_with_input(BenchmarkId::new("decode_text", n), &text, |b, text| {
+            b.iter(|| from_text(text).expect("round trip").object_count());
+        });
+        group.bench_with_input(BenchmarkId::new("decode_binary", n), &bin, |b, bin| {
+            b.iter(|| from_binary(bin).expect("round trip").object_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 7(a): total query time of ancestor projection (copy + locate +
+//! structure update + ℘ update + write), Criterion edition.
+//!
+//! `cargo bench -p pxml-bench --bench fig7a`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_algebra::ancestor_project_timed;
+use pxml_gen::{generate, query_batch, Labeling, WorkloadConfig};
+use pxml_storage::write_text_file;
+
+fn fig7a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_projection_total");
+    group.sample_size(10);
+    let scratch = std::env::temp_dir().join("pxml-fig7a");
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    for labeling in [Labeling::SameLabel, Labeling::FullyRandom] {
+        for (depth, branching) in [(4usize, 2usize), (6, 2), (8, 2), (4, 4), (5, 4), (3, 8)] {
+            let config = WorkloadConfig::paper(depth, branching, labeling, 7);
+            let g = generate(&config);
+            let queries = query_batch(&g, 4, 11);
+            if queries.is_empty() {
+                continue;
+            }
+            let id = format!("{}_b{}_d{}_n{}", labeling.short(), branching, depth, config.object_count());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &g, |b, g| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    let q = &queries[qi % queries.len()];
+                    qi += 1;
+                    let (result, _times) =
+                        ancestor_project_timed(&g.instance, q).expect("tree accepted");
+                    let path = scratch.join("out.pxml");
+                    write_text_file(&result, &path).expect("writable");
+                    result.object_count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a);
+criterion_main!(benches);

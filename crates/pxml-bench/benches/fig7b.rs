@@ -1,0 +1,46 @@
+//! Figure 7(b): the update-℘ phase of ancestor projection, isolated via
+//! `iter_custom` so only the local-interpretation update is timed.
+//!
+//! `cargo bench -p pxml-bench --bench fig7b`
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_algebra::ancestor_project_timed;
+use pxml_gen::{generate, query_batch, Labeling, WorkloadConfig};
+
+fn fig7b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_projection_update_interp");
+    group.sample_size(10);
+
+    for labeling in [Labeling::SameLabel, Labeling::FullyRandom] {
+        for (depth, branching) in [(4usize, 2usize), (6, 2), (8, 2), (4, 4), (5, 4), (3, 8)] {
+            let config = WorkloadConfig::paper(depth, branching, labeling, 7);
+            let g = generate(&config);
+            let queries = query_batch(&g, 4, 11);
+            if queries.is_empty() {
+                continue;
+            }
+            let id = format!("{}_b{}_d{}_n{}", labeling.short(), branching, depth, config.object_count());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &g, |b, g| {
+                let mut qi = 0usize;
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = &queries[qi % queries.len()];
+                        qi += 1;
+                        let (_result, times) =
+                            ancestor_project_timed(&g.instance, q).expect("tree accepted");
+                        total += times.update_interp;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7b);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 7(c): total query time of selection (copy + locate + ℘ update +
+//! write; the write dominates, per §7.2).
+//!
+//! `cargo bench -p pxml-bench --bench fig7c`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_algebra::select_timed;
+use pxml_gen::{generate, selection_batch, Labeling, WorkloadConfig};
+use pxml_storage::write_text_file;
+
+fn fig7c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_selection_total");
+    group.sample_size(10);
+    let scratch = std::env::temp_dir().join("pxml-fig7c");
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    for labeling in [Labeling::SameLabel, Labeling::FullyRandom] {
+        for (depth, branching) in [(4usize, 2usize), (6, 2), (8, 2), (4, 4), (5, 4), (3, 8)] {
+            let config = WorkloadConfig::paper(depth, branching, labeling, 7);
+            let g = generate(&config);
+            let selections = selection_batch(&g, 4, 13);
+            if selections.is_empty() {
+                continue;
+            }
+            let id = format!("{}_b{}_d{}_n{}", labeling.short(), branching, depth, config.object_count());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &g, |b, g| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    let (cond, _) = &selections[qi % selections.len()];
+                    qi += 1;
+                    let (selected, _times) =
+                        select_timed(&g.instance, cond).expect("selection succeeds");
+                    let path = scratch.join("out.pxml");
+                    write_text_file(&selected.instance, &path).expect("writable");
+                    selected.instance.object_count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7c);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Measurement harness for the Figure 7 reproduction.
+//!
+//! The paper's §7.1 procedure, followed literally: per (depth, branching,
+//! labelling) cell, generate `instances` balanced-tree probabilistic
+//! instances; per instance, generate accepted random queries of length
+//! equal to the depth; measure, per query, the phases of ancestor
+//! projection (copy + locate + structure + update-℘ + write) and of
+//! selection (copy + locate + update-℘ + write); report per-cell
+//! averages. The `repro_fig7` binary prints the three panels as tables.
+
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crossbeam::thread as cb_thread;
+use parking_lot::Mutex;
+
+use pxml_algebra::{ancestor_project_timed, select_timed};
+use pxml_gen::{generate, query_batch, selection_batch, GridCell, WorkloadConfig};
+use pxml_storage::write_text_file;
+
+/// Averaged timings of one grid cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell's configuration (seed field unused; per-instance seeds
+    /// are derived).
+    pub config: WorkloadConfig,
+    /// Number of objects per instance.
+    pub objects: u64,
+    /// Total `℘` entries per instance.
+    pub interp_entries: u64,
+    /// Number of (instance, query) measurements averaged.
+    pub samples: usize,
+    /// Ancestor projection: mean total time (copy+locate+structure+℘+write).
+    pub proj_total: Duration,
+    /// Ancestor projection: mean input-copy time.
+    pub proj_copy: Duration,
+    /// Ancestor projection: mean update-℘ time (the Figure 7(b) series).
+    pub proj_update: Duration,
+    /// Ancestor projection: mean result-write time.
+    pub proj_write: Duration,
+    /// Selection: mean total time.
+    pub sel_total: Duration,
+    /// Selection: mean update-℘ time (the paper: "< 0.001 second").
+    pub sel_update: Duration,
+    /// Selection: mean result-write time (the Figure 7(c) dominator).
+    pub sel_write: Duration,
+}
+
+impl CellResult {
+    /// Short cell label, e.g. `SL b=4 d=5 (781 objects)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} b={} d={} ({} objects)",
+            self.config.labeling.short(),
+            self.config.branching,
+            self.config.depth,
+            self.objects
+        )
+    }
+}
+
+/// Runs the full §7.1 measurement for one grid cell. Result files are
+/// written into (and removed from) `scratch`.
+pub fn measure_cell(cell: &GridCell, scratch: &Path) -> CellResult {
+    let mut samples = 0usize;
+    let mut proj_total = Duration::ZERO;
+    let mut proj_copy = Duration::ZERO;
+    let mut proj_update = Duration::ZERO;
+    let mut proj_write = Duration::ZERO;
+    let mut sel_total = Duration::ZERO;
+    let mut sel_update = Duration::ZERO;
+    let mut sel_write = Duration::ZERO;
+
+    for rep in 0..cell.instances {
+        let mut config = cell.config.clone();
+        config.seed = hash_seed(&config, rep as u64);
+        let g = generate(&config);
+
+        // Figure 7(a)/(b): ancestor projection.
+        for (qi, q) in query_batch(&g, cell.queries_per_instance, config.seed ^ 0xABCD)
+            .into_iter()
+            .enumerate()
+        {
+            let (result, mut times) =
+                ancestor_project_timed(&g.instance, &q).expect("generated trees are accepted");
+            let path = scratch.join(format!("proj_{rep}_{qi}.pxml"));
+            pxml_algebra::timing::timed(&mut times.write, || {
+                write_text_file(&result, &path).expect("scratch dir writable")
+            });
+            let _ = std::fs::remove_file(&path);
+            proj_total += times.total();
+            proj_copy += times.copy;
+            proj_update += times.update_interp;
+            proj_write += times.write;
+            samples += 1;
+        }
+
+        // Figure 7(c): selection.
+        for (qi, (cond, _)) in
+            selection_batch(&g, cell.queries_per_instance, config.seed ^ 0xEF01)
+                .into_iter()
+                .enumerate()
+        {
+            let (selected, mut times) =
+                select_timed(&g.instance, &cond).expect("generated selections succeed");
+            let path = scratch.join(format!("sel_{rep}_{qi}.pxml"));
+            pxml_algebra::timing::timed(&mut times.write, || {
+                write_text_file(&selected.instance, &path).expect("scratch dir writable")
+            });
+            let _ = std::fs::remove_file(&path);
+            sel_total += times.total();
+            sel_update += times.update_interp;
+            sel_write += times.write;
+        }
+    }
+
+    let n = samples.max(1) as u32;
+    CellResult {
+        config: cell.config.clone(),
+        objects: cell.config.object_count(),
+        interp_entries: cell.config.interpretation_entries(),
+        samples,
+        proj_total: proj_total / n,
+        proj_copy: proj_copy / n,
+        proj_update: proj_update / n,
+        proj_write: proj_write / n,
+        sel_total: sel_total / n,
+        sel_update: sel_update / n,
+        sel_write: sel_write / n,
+    }
+}
+
+/// Runs a whole grid, fanning cells out over `threads` workers. The
+/// sweep is embarrassingly parallel; use `threads = 1` when absolute
+/// timings matter more than wall-clock.
+pub fn measure_grid(cells: &[GridCell], scratch: &Path, threads: usize) -> Vec<CellResult> {
+    std::fs::create_dir_all(scratch).expect("scratch dir creatable");
+    if threads <= 1 {
+        return cells.iter().map(|c| measure_cell(c, scratch)).collect();
+    }
+    let results: Mutex<Vec<(usize, CellResult)>> = Mutex::new(Vec::new());
+    let next: Mutex<usize> = Mutex::new(0);
+    cb_thread::scope(|s| {
+        for t in 0..threads {
+            let results = &results;
+            let next = &next;
+            let scratch: PathBuf = scratch.join(format!("w{t}"));
+            std::fs::create_dir_all(&scratch).expect("scratch dir creatable");
+            s.spawn(move |_| loop {
+                let i = {
+                    let mut n = next.lock();
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                if i >= cells.len() {
+                    break;
+                }
+                let r = measure_cell(&cells[i], &scratch);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("worker threads join");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Derives a per-repetition seed from the cell parameters so every run
+/// of the harness is reproducible.
+pub fn hash_seed(config: &WorkloadConfig, rep: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [
+        config.depth as u64,
+        config.branching as u64,
+        config.labels_per_depth as u64,
+        match config.labeling {
+            pxml_gen::Labeling::SameLabel => 1,
+            pxml_gen::Labeling::FullyRandom => 2,
+        },
+        rep,
+    ] {
+        h ^= part;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Formats a duration in milliseconds with 3 decimal places.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_gen::{Grid, Labeling};
+
+    #[test]
+    fn measure_cell_produces_sane_numbers() {
+        let cell = GridCell {
+            config: WorkloadConfig::paper(3, 2, Labeling::SameLabel, 0),
+            instances: 1,
+            queries_per_instance: 2,
+        };
+        let scratch = std::env::temp_dir().join("pxml-bench-test");
+        std::fs::create_dir_all(&scratch).unwrap();
+        let r = measure_cell(&cell, &scratch);
+        assert_eq!(r.objects, 15);
+        assert!(r.samples > 0);
+        assert!(r.proj_total >= r.proj_update);
+        assert!(r.sel_total >= r.sel_write);
+    }
+
+    #[test]
+    fn seeds_are_reproducible_and_distinct() {
+        let c = WorkloadConfig::paper(3, 2, Labeling::SameLabel, 0);
+        assert_eq!(hash_seed(&c, 0), hash_seed(&c, 0));
+        assert_ne!(hash_seed(&c, 0), hash_seed(&c, 1));
+        let d = WorkloadConfig::paper(3, 2, Labeling::FullyRandom, 0);
+        assert_ne!(hash_seed(&c, 0), hash_seed(&d, 0));
+    }
+
+    #[test]
+    fn grid_measurement_parallel_matches_cell_count() {
+        let grid = Grid::smoke();
+        let scratch = std::env::temp_dir().join("pxml-bench-grid-test");
+        let take: Vec<_> = grid.cells.into_iter().take(3).collect();
+        let rs = measure_grid(&take, &scratch, 2);
+        assert_eq!(rs.len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! `pxml` — the command-line shell.
+//!
+//! ```text
+//! pxml <instance.pxml|instance.pxmlb> <query> [options]
+//! pxml <instance> --stdin                    # one query per input line
+//!
+//! options:
+//!   --engine auto|tree|naive    engine selection (default auto)
+//!   --out <file>                write an instance result to <file>
+//!                               (.pxml text or .pxmlb binary by extension)
+//! ```
+//!
+//! Examples:
+//! ```text
+//! pxml fig2.pxml "POINT T2 IN R.book.title"
+//! pxml fig2.pxml "SELECT R.book = B1" --out conditioned.pxml
+//! pxml fig2.pxmlb "WORLDS TOP 5"
+//! ```
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pxml_core::ProbInstance;
+use pxml_ql::{execute, parse, Engine, Output};
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return Ok(());
+    }
+    let mut instance_path: Option<PathBuf> = None;
+    let mut query: Option<String> = None;
+    let mut engine = Engine::Auto;
+    let mut out: Option<PathBuf> = None;
+    let mut use_stdin = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--engine" => {
+                i += 1;
+                engine = match args.get(i).map(String::as_str) {
+                    Some("auto") => Engine::Auto,
+                    Some("tree") => Engine::Tree,
+                    Some("naive") => Engine::Naive,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(
+                    args.get(i).ok_or("--out needs a file path")?,
+                ));
+            }
+            "--stdin" => use_stdin = true,
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg if query.is_none() => query = Some(arg.to_string()),
+            arg => return Err(format!("unexpected argument {arg:?}")),
+        }
+        i += 1;
+    }
+    let instance_path = instance_path.ok_or("missing instance file")?;
+    let pi = load(&instance_path)?;
+
+    if use_stdin {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match run_one(&pi, line, engine, out.as_deref()) {
+                Ok(()) => {}
+                Err(msg) => eprintln!("error: {msg}"),
+            }
+        }
+        return Ok(());
+    }
+    let query = query.ok_or("missing query (or pass --stdin)")?;
+    run_one(&pi, &query, engine, out.as_deref())
+}
+
+fn run_one(
+    pi: &ProbInstance,
+    query: &str,
+    engine: Engine,
+    out: Option<&Path>,
+) -> Result<(), String> {
+    let q = parse(query).map_err(|e| e.to_string())?;
+    let output = execute(pi, &q, engine).map_err(|e| e.to_string())?;
+    match (&output, out) {
+        (Output::Instance(result), Some(path)) => {
+            save(result, path)?;
+            println!("wrote {} objects to {}", result.object_count(), path.display());
+        }
+        (Output::Selected { instance, selectivity }, Some(path)) => {
+            save(instance, path)?;
+            println!(
+                "selectivity {selectivity:.6}; wrote {} objects to {}",
+                instance.object_count(),
+                path.display()
+            );
+        }
+        _ => println!("{}", output.render()),
+    }
+    Ok(())
+}
+
+fn load(path: &Path) -> Result<ProbInstance, String> {
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    if is_binary {
+        pxml_storage::read_binary_file(path).map_err(|e| e.to_string())
+    } else {
+        pxml_storage::read_text_file(path).map_err(|e| e.to_string())
+    }
+}
+
+fn save(pi: &ProbInstance, path: &Path) -> Result<(), String> {
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    if is_binary {
+        pxml_storage::write_binary_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
+    } else {
+        pxml_storage::write_text_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pxml — query probabilistic semistructured instances
+
+usage:
+  pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
+  pxml <instance> --stdin
+
+queries:
+  PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>
+  SELECT <path> = <object>
+  SELECT VALUE <path> [@ <object>] = <literal>
+  POINT <object> IN <path>
+  EXISTS <path>
+  CHAIN <o1>.<o2>.…
+  PROB <object>
+  WORLDS [TOP n]
+  RENDER"
+    );
+}

@@ -1,0 +1,186 @@
+//! The catalog: the universe `(O, L, T)` shared by instances.
+//!
+//! Definition 3.3 defines instances "over a set of objects `O`, a set of
+//! labels `L`, and a set of types `T`". A [`Catalog`] interns all three.
+//! Instances hold an `Arc<Catalog>`; operations that introduce new names
+//! (e.g. the renaming step of the Cartesian product, Definition 5.7) clone
+//! the catalog, extend the clone and wrap it in a fresh `Arc`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Interner, Label, LabelKind, ObjectId, ObjectKind};
+use crate::types::{LeafType, TypeTable};
+
+/// The shared universe of object names, edge labels and leaf types.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    objects: Interner<ObjectKind>,
+    labels: Interner<LabelKind>,
+    types: TypeTable,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an object name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        self.objects.intern(name)
+    }
+
+    /// Interns an edge label.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.intern(name)
+    }
+
+    /// Registers (or redefines) a leaf type.
+    pub fn define_type(&mut self, ty: LeafType) -> crate::ids::TypeId {
+        self.types.define(ty)
+    }
+
+    /// Looks up an object id by name.
+    pub fn find_object(&self, name: &str) -> Option<ObjectId> {
+        self.objects.get(name)
+    }
+
+    /// Looks up a label id by name.
+    pub fn find_label(&self, name: &str) -> Option<Label> {
+        self.labels.get(name)
+    }
+
+    /// Looks up a type id by name.
+    pub fn find_type(&self, name: &str) -> Option<crate::ids::TypeId> {
+        self.types.get(name)
+    }
+
+    /// Resolves an object id to its name.
+    pub fn object_name(&self, id: ObjectId) -> &str {
+        self.objects.resolve(id)
+    }
+
+    /// Resolves a label id to its name.
+    pub fn label_name(&self, id: Label) -> &str {
+        self.labels.resolve(id)
+    }
+
+    /// Resolves a type id to its definition.
+    pub fn type_def(&self, id: crate::ids::TypeId) -> &LeafType {
+        self.types.resolve(id)
+    }
+
+    /// The object-name interner.
+    pub fn objects(&self) -> &Interner<ObjectKind> {
+        &self.objects
+    }
+
+    /// The label interner.
+    pub fn labels(&self) -> &Interner<LabelKind> {
+        &self.labels
+    }
+
+    /// The type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Number of interned object names.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Generates a fresh object name not yet in the catalog, starting from
+    /// `base` and appending `'`, `''`, … as needed (the renaming convention
+    /// of Definition 5.7), then interns it.
+    pub fn fresh_object(&mut self, base: &str) -> ObjectId {
+        if self.objects.get(base).is_none() {
+            return self.objects.intern(base);
+        }
+        let mut candidate = String::from(base);
+        loop {
+            candidate.push('\'');
+            if self.objects.get(&candidate).is_none() {
+                return self.objects.intern(&candidate);
+            }
+        }
+    }
+
+    /// Rebuilds all lookup indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.objects.rebuild_index();
+        self.labels.rebuild_index();
+        self.types.rebuild_index();
+    }
+
+    /// Wraps the catalog in an `Arc` for sharing between instances.
+    pub fn into_shared(self) -> Arc<Catalog> {
+        Arc::new(self)
+    }
+}
+
+/// Helper that formats an object id using its catalog name.
+pub struct DisplayObject<'a>(pub &'a Catalog, pub ObjectId);
+
+impl fmt::Display for DisplayObject<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.objects().try_resolve(self.1) {
+            Some(name) => f.write_str(name),
+            None => write!(f, "{:?}", self.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn interning_across_kinds_is_independent() {
+        let mut c = Catalog::new();
+        let o = c.object("book");
+        let l = c.label("book");
+        assert_eq!(o.raw(), 0);
+        assert_eq!(l.raw(), 0);
+        assert_eq!(c.object_name(o), "book");
+        assert_eq!(c.label_name(l), "book");
+    }
+
+    #[test]
+    fn fresh_object_appends_primes() {
+        let mut c = Catalog::new();
+        let a = c.object("A1");
+        let b = c.fresh_object("A1");
+        let d = c.fresh_object("A1");
+        assert_ne!(a, b);
+        assert_ne!(b, d);
+        assert_eq!(c.object_name(b), "A1'");
+        assert_eq!(c.object_name(d), "A1''");
+    }
+
+    #[test]
+    fn fresh_object_uses_base_when_available() {
+        let mut c = Catalog::new();
+        let b = c.fresh_object("B9");
+        assert_eq!(c.object_name(b), "B9");
+    }
+
+    #[test]
+    fn type_round_trip() {
+        let mut c = Catalog::new();
+        let t = c.define_type(LeafType::new("inst", [Value::str("UMD")]));
+        assert_eq!(c.find_type("inst"), Some(t));
+        assert!(c.type_def(t).contains(&Value::str("UMD")));
+    }
+
+    #[test]
+    fn display_object_uses_name() {
+        let mut c = Catalog::new();
+        let o = c.object("R");
+        assert_eq!(DisplayObject(&c, o).to_string(), "R");
+    }
+}

@@ -1,0 +1,567 @@
+//! Child sets and per-object child universes.
+//!
+//! An object probability function (Definition 3.8) is a distribution over
+//! `PC(o)`, the potential child sets of `o`. Child sets are represented
+//! relative to the object's **child universe**: the ordered list of all its
+//! potential children (the union of `lch(o, l)` over all labels `l`),
+//! each tagged with its (unique) incoming label.
+//!
+//! When the universe has at most 64 members — always true in the paper's
+//! workloads, whose branching factor is at most 8 — a child set is a `u64`
+//! bitmask; larger universes fall back to a sorted index slice. The
+//! representation is chosen canonically from the universe size, so equality
+//! and hashing are structural.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::ids::{Label, ObjectId};
+
+/// The ordered potential children of one object, each with its edge label.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChildUniverse {
+    members: Vec<(ObjectId, Label)>,
+}
+
+impl ChildUniverse {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a universe from `(child, label)` pairs in declaration order.
+    ///
+    /// Duplicated children are not detected here; the weak-instance
+    /// validator rejects them with a precise error.
+    pub fn from_members(members: impl IntoIterator<Item = (ObjectId, Label)>) -> Self {
+        ChildUniverse { members: members.into_iter().collect() }
+    }
+
+    /// Appends a potential child, returning its position.
+    pub fn push(&mut self, child: ObjectId, label: Label) -> u32 {
+        let pos = self.members.len() as u32;
+        self.members.push((child, label));
+        pos
+    }
+
+    /// Number of potential children.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the object has no potential children.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The position of `child`, if it is a potential child.
+    pub fn position(&self, child: ObjectId) -> Option<u32> {
+        self.members.iter().position(|&(o, _)| o == child).map(|i| i as u32)
+    }
+
+    /// The `(child, label)` pair at `pos`.
+    pub fn member(&self, pos: u32) -> (ObjectId, Label) {
+        self.members[pos as usize]
+    }
+
+    /// The child object at `pos`.
+    pub fn object_at(&self, pos: u32) -> ObjectId {
+        self.members[pos as usize].0
+    }
+
+    /// The label of the child at `pos`.
+    pub fn label_at(&self, pos: u32) -> Label {
+        self.members[pos as usize].1
+    }
+
+    /// Iterates over `(position, child, label)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, ObjectId, Label)> + '_ {
+        self.members.iter().enumerate().map(|(i, &(o, l))| (i as u32, o, l))
+    }
+
+    /// True if masks can represent sets over this universe.
+    pub fn fits_mask(&self) -> bool {
+        self.members.len() <= 64
+    }
+
+    /// Builds the set of all members carrying `label`.
+    pub fn members_with_label(&self, label: Label) -> ChildSet {
+        let positions =
+            self.iter().filter(|&(_, _, l)| l == label).map(|(p, _, _)| p).collect::<Vec<_>>();
+        ChildSet::from_positions(self, positions)
+    }
+
+    /// The distinct labels occurring in this universe, in first-occurrence order.
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out: Vec<Label> = Vec::new();
+        for &(_, l) in &self.members {
+            if !out.contains(&l) {
+                out.push(l);
+            }
+        }
+        out
+    }
+}
+
+/// A set of potential children of one object, relative to its universe.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChildSet {
+    /// Bitmask over universe positions (universes with ≤ 64 members).
+    Mask(u64),
+    /// Sorted positions (universes with > 64 members).
+    Sparse(Box<[u32]>),
+}
+
+impl ChildSet {
+    /// The empty set for `universe`.
+    pub fn empty(universe: &ChildUniverse) -> Self {
+        if universe.fits_mask() {
+            ChildSet::Mask(0)
+        } else {
+            ChildSet::Sparse(Box::from([]))
+        }
+    }
+
+    /// The full set (all potential children) for `universe`.
+    pub fn full(universe: &ChildUniverse) -> Self {
+        if universe.fits_mask() {
+            if universe.is_empty() {
+                ChildSet::Mask(0)
+            } else {
+                ChildSet::Mask(u64::MAX >> (64 - universe.len()))
+            }
+        } else {
+            ChildSet::Sparse((0..universe.len() as u32).collect())
+        }
+    }
+
+    /// Builds a set from universe positions. Positions are deduplicated.
+    pub fn from_positions(universe: &ChildUniverse, positions: impl IntoIterator<Item = u32>) -> Self {
+        if universe.fits_mask() {
+            let mut mask = 0u64;
+            for p in positions {
+                debug_assert!((p as usize) < universe.len(), "position out of universe");
+                mask |= 1u64 << p;
+            }
+            ChildSet::Mask(mask)
+        } else {
+            let mut v: Vec<u32> = positions.into_iter().collect();
+            v.sort_unstable();
+            v.dedup();
+            ChildSet::Sparse(v.into_boxed_slice())
+        }
+    }
+
+    /// Builds a set from child object ids, which must all be in `universe`.
+    pub fn from_objects<'a>(
+        universe: &ChildUniverse,
+        objects: impl IntoIterator<Item = ObjectId>,
+    ) -> Option<Self> {
+        let mut positions = Vec::new();
+        for o in objects {
+            positions.push(universe.position(o)?);
+        }
+        Some(Self::from_positions(universe, positions))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u32 {
+        match self {
+            ChildSet::Mask(m) => m.count_ones(),
+            ChildSet::Sparse(v) => v.len() as u32,
+        }
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ChildSet::Mask(m) => *m == 0,
+            ChildSet::Sparse(v) => v.is_empty(),
+        }
+    }
+
+    /// True if position `pos` is a member.
+    pub fn contains_pos(&self, pos: u32) -> bool {
+        match self {
+            ChildSet::Mask(m) => (m >> pos) & 1 == 1,
+            ChildSet::Sparse(v) => v.binary_search(&pos).is_ok(),
+        }
+    }
+
+    /// True if `child` (resolved through `universe`) is a member.
+    pub fn contains_object(&self, universe: &ChildUniverse, child: ObjectId) -> bool {
+        universe.position(child).is_some_and(|p| self.contains_pos(p))
+    }
+
+    /// Iterates over member positions in increasing order.
+    pub fn positions(&self) -> PositionIter<'_> {
+        match self {
+            ChildSet::Mask(m) => PositionIter::Mask(*m),
+            ChildSet::Sparse(v) => PositionIter::Sparse(v.iter()),
+        }
+    }
+
+    /// Iterates over member objects (resolved through `universe`).
+    pub fn objects<'u>(&self, universe: &'u ChildUniverse) -> impl Iterator<Item = ObjectId> + 'u
+    where
+        Self: 'u,
+    {
+        let positions: Vec<u32> = self.positions().collect();
+        positions.into_iter().map(move |p| universe.object_at(p))
+    }
+
+    /// Set union. Both operands must be over the same universe.
+    pub fn union(&self, other: &ChildSet) -> ChildSet {
+        match (self, other) {
+            (ChildSet::Mask(a), ChildSet::Mask(b)) => ChildSet::Mask(a | b),
+            _ => {
+                let mut v: Vec<u32> = self.positions().chain(other.positions()).collect();
+                v.sort_unstable();
+                v.dedup();
+                ChildSet::Sparse(v.into_boxed_slice())
+            }
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ChildSet) -> ChildSet {
+        match (self, other) {
+            (ChildSet::Mask(a), ChildSet::Mask(b)) => ChildSet::Mask(a & b),
+            _ => {
+                let v: Vec<u32> =
+                    self.positions().filter(|p| other.contains_pos(*p)).collect();
+                ChildSet::Sparse(v.into_boxed_slice())
+            }
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ChildSet) -> ChildSet {
+        match (self, other) {
+            (ChildSet::Mask(a), ChildSet::Mask(b)) => ChildSet::Mask(a & !b),
+            _ => {
+                let v: Vec<u32> =
+                    self.positions().filter(|p| !other.contains_pos(*p)).collect();
+                ChildSet::Sparse(v.into_boxed_slice())
+            }
+        }
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &ChildSet) -> bool {
+        match (self, other) {
+            (ChildSet::Mask(a), ChildSet::Mask(b)) => a & !b == 0,
+            _ => self.positions().all(|p| other.contains_pos(p)),
+        }
+    }
+
+    /// Number of members carrying `label` (resolved through `universe`).
+    pub fn count_label(&self, universe: &ChildUniverse, label: Label) -> u32 {
+        self.positions().filter(|&p| universe.label_at(p) == label).count() as u32
+    }
+
+    /// Iterates over **all subsets** of this set (including the empty set
+    /// and the set itself), in an unspecified order. The number of subsets
+    /// is `2^len`, so callers must bound `len`.
+    pub fn subsets(&self) -> SubsetIter {
+        match self {
+            ChildSet::Mask(m) => SubsetIter {
+                members: None,
+                mask: *m,
+                current: 0,
+                done: false,
+            },
+            ChildSet::Sparse(v) => {
+                assert!(v.len() <= 63, "subset enumeration limited to 63 members");
+                SubsetIter {
+                    members: Some(v.clone()),
+                    mask: if v.is_empty() { 0 } else { u64::MAX >> (64 - v.len()) },
+                    current: 0,
+                    done: false,
+                }
+            }
+        }
+    }
+
+    /// Translates this set into the coordinates of `to`, dropping members
+    /// not present in the target universe.
+    pub fn translate(&self, from: &ChildUniverse, to: &ChildUniverse) -> ChildSet {
+        let positions = self
+            .positions()
+            .filter_map(|p| to.position(from.object_at(p)))
+            .collect::<Vec<_>>();
+        ChildSet::from_positions(to, positions)
+    }
+
+    /// Pretty form `{A1, T1}` using catalog names.
+    pub fn display<'a>(&'a self, universe: &'a ChildUniverse, catalog: &'a Catalog) -> DisplayChildSet<'a> {
+        DisplayChildSet { set: self, universe, catalog }
+    }
+}
+
+impl fmt::Debug for ChildSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_set();
+        for p in self.positions() {
+            s.entry(&p);
+        }
+        s.finish()
+    }
+}
+
+/// Iterator over member positions of a [`ChildSet`].
+pub enum PositionIter<'a> {
+    /// Remaining bits of a mask set.
+    Mask(u64),
+    /// Remaining indices of a sparse set.
+    Sparse(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for PositionIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            PositionIter::Mask(m) => {
+                if *m == 0 {
+                    None
+                } else {
+                    let p = m.trailing_zeros();
+                    *m &= *m - 1;
+                    Some(p)
+                }
+            }
+            PositionIter::Sparse(it) => it.next().copied(),
+        }
+    }
+}
+
+/// Iterator over all subsets of a [`ChildSet`] (see [`ChildSet::subsets`]).
+pub struct SubsetIter {
+    /// For sparse sets: the member positions; subsets are masks over them.
+    members: Option<Box<[u32]>>,
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = ChildSet;
+
+    fn next(&mut self) -> Option<ChildSet> {
+        if self.done {
+            return None;
+        }
+        let sub = self.current;
+        // Standard submask enumeration: (sub - mask) & mask walks all
+        // submasks of `mask` in increasing order starting from 0.
+        if sub == self.mask {
+            self.done = true;
+        } else {
+            self.current = (sub.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(match &self.members {
+            None => ChildSet::Mask(sub),
+            Some(members) => {
+                let mut v = Vec::with_capacity(sub.count_ones() as usize);
+                let mut bits = sub;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    v.push(members[i]);
+                    bits &= bits - 1;
+                }
+                ChildSet::Sparse(v.into_boxed_slice())
+            }
+        })
+    }
+}
+
+/// Pretty-printer returned by [`ChildSet::display`].
+pub struct DisplayChildSet<'a> {
+    set: &'a ChildSet,
+    universe: &'a ChildUniverse,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for DisplayChildSet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.set.positions() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            let o = self.universe.object_at(p);
+            match self.catalog.objects().try_resolve(o) {
+                Some(name) => write!(f, "{name}")?,
+                None => write!(f, "{o:?}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: u32) -> ChildUniverse {
+        let l = Label::from_raw(0);
+        ChildUniverse::from_members((0..n).map(|i| (ObjectId::from_raw(i), l)))
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let u = universe(3);
+        assert_eq!(ChildSet::empty(&u).len(), 0);
+        assert_eq!(ChildSet::full(&u).len(), 3);
+        assert!(ChildSet::empty(&u).is_subset_of(&ChildSet::full(&u)));
+    }
+
+    #[test]
+    fn full_of_empty_universe_is_empty() {
+        let u = universe(0);
+        assert!(ChildSet::full(&u).is_empty());
+    }
+
+    #[test]
+    fn from_objects_resolves_positions() {
+        let u = universe(4);
+        let s =
+            ChildSet::from_objects(&u, [ObjectId::from_raw(1), ObjectId::from_raw(3)]).unwrap();
+        assert!(s.contains_pos(1));
+        assert!(s.contains_pos(3));
+        assert!(!s.contains_pos(0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_objects_rejects_foreign_object() {
+        let u = universe(2);
+        assert!(ChildSet::from_objects(&u, [ObjectId::from_raw(9)]).is_none());
+    }
+
+    #[test]
+    fn set_algebra_mask() {
+        let u = universe(5);
+        let a = ChildSet::from_positions(&u, [0, 1, 2]);
+        let b = ChildSet::from_positions(&u, [2, 3]);
+        assert_eq!(a.union(&b), ChildSet::from_positions(&u, [0, 1, 2, 3]));
+        assert_eq!(a.intersect(&b), ChildSet::from_positions(&u, [2]));
+        assert_eq!(a.difference(&b), ChildSet::from_positions(&u, [0, 1]));
+        assert!(ChildSet::from_positions(&u, [1]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn set_algebra_sparse() {
+        let u = universe(100); // forces sparse representation
+        let a = ChildSet::from_positions(&u, [0, 70, 99]);
+        let b = ChildSet::from_positions(&u, [70]);
+        assert!(matches!(a, ChildSet::Sparse(_)));
+        assert_eq!(a.intersect(&b), b);
+        assert_eq!(a.difference(&b), ChildSet::from_positions(&u, [0, 99]));
+        assert_eq!(a.union(&b).len(), 3);
+        assert!(b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn positions_iterate_in_order() {
+        let u = universe(8);
+        let s = ChildSet::from_positions(&u, [5, 1, 7]);
+        assert_eq!(s.positions().collect::<Vec<_>>(), [1, 5, 7]);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let u = universe(10);
+        let s = ChildSet::from_positions(&u, [2, 5, 9]);
+        let subs: Vec<ChildSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&ChildSet::empty(&u)));
+        assert!(subs.contains(&s));
+        for sub in &subs {
+            assert!(sub.is_subset_of(&s));
+        }
+        // All distinct.
+        let unique: std::collections::HashSet<_> = subs.iter().cloned().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_sparse_set() {
+        let u = universe(70);
+        let s = ChildSet::from_positions(&u, [1, 65]);
+        let subs: Vec<ChildSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().all(|x| x.is_subset_of(&s)));
+    }
+
+    #[test]
+    fn subsets_of_empty_set_is_singleton() {
+        let u = universe(3);
+        let subs: Vec<ChildSet> = ChildSet::empty(&u).subsets().collect();
+        assert_eq!(subs, vec![ChildSet::empty(&u)]);
+    }
+
+    #[test]
+    fn count_label_respects_universe_labels() {
+        let a = Label::from_raw(0);
+        let t = Label::from_raw(1);
+        let u = ChildUniverse::from_members([
+            (ObjectId::from_raw(0), a),
+            (ObjectId::from_raw(1), a),
+            (ObjectId::from_raw(2), t),
+        ]);
+        let s = ChildSet::full(&u);
+        assert_eq!(s.count_label(&u, a), 2);
+        assert_eq!(s.count_label(&u, t), 1);
+        assert_eq!(u.labels(), vec![a, t]);
+    }
+
+    #[test]
+    fn translate_drops_missing_members() {
+        let l = Label::from_raw(0);
+        let from = ChildUniverse::from_members([
+            (ObjectId::from_raw(10), l),
+            (ObjectId::from_raw(11), l),
+            (ObjectId::from_raw(12), l),
+        ]);
+        let to = ChildUniverse::from_members([
+            (ObjectId::from_raw(12), l),
+            (ObjectId::from_raw(10), l),
+        ]);
+        let s = ChildSet::full(&from);
+        let t = s.translate(&from, &to);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains_object(&to, ObjectId::from_raw(10)));
+        assert!(t.contains_object(&to, ObjectId::from_raw(12)));
+        assert!(!t.contains_object(&to, ObjectId::from_raw(11)));
+    }
+
+    #[test]
+    fn members_with_label_builds_label_slice() {
+        let a = Label::from_raw(0);
+        let t = Label::from_raw(1);
+        let u = ChildUniverse::from_members([
+            (ObjectId::from_raw(0), a),
+            (ObjectId::from_raw(1), t),
+            (ObjectId::from_raw(2), a),
+        ]);
+        let s = u.members_with_label(a);
+        assert_eq!(s.positions().collect::<Vec<_>>(), [0, 2]);
+    }
+
+    #[test]
+    fn mask_boundary_at_64_members() {
+        let u = universe(64);
+        let full = ChildSet::full(&u);
+        assert!(matches!(full, ChildSet::Mask(u64::MAX)));
+        assert_eq!(full.len(), 64);
+        let u65 = universe(65);
+        assert!(matches!(ChildSet::full(&u65), ChildSet::Sparse(_)));
+    }
+}

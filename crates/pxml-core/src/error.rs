@@ -1,0 +1,164 @@
+//! Error types for the core data model.
+
+use std::fmt;
+
+use crate::ids::{Label, ObjectId};
+
+/// The tolerance used when checking that probability distributions sum to 1
+/// and when comparing probabilities for equality.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// Errors raised while constructing or validating instances.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum CoreError {
+    /// The instance has no root object.
+    MissingRoot,
+    /// An object is in `V` but not reachable from the root.
+    Unreachable(ObjectId),
+    /// An edge or `lch` entry refers to an object not in `V`.
+    UnknownObject(ObjectId),
+    /// The weak instance graph contains a cycle (violates Definition 4.3).
+    CycleDetected(ObjectId),
+    /// The same child appears under two different labels of one parent, so
+    /// edge labels of compatible instances would be ambiguous.
+    AmbiguousChildLabel { parent: ObjectId, child: ObjectId, first: Label, second: Label },
+    /// The same child is listed twice under one `(object, label)` pair.
+    DuplicateChild { parent: ObjectId, child: ObjectId, label: Label },
+    /// A cardinality interval has `min > max` or is unsatisfiable given
+    /// `|lch(o, l)|`.
+    BadCardinality { object: ObjectId, label: Label, min: u32, max: u32, available: u32 },
+    /// An OPF's probabilities do not sum to 1 (within [`PROB_EPS`]).
+    OpfNotNormalized { object: ObjectId, sum: f64 },
+    /// An OPF assigns probability to a child set outside `PC(o)`.
+    OpfEntryOutsidePc { object: ObjectId },
+    /// A probability is negative or greater than 1.
+    BadProbability { object: ObjectId, p: f64 },
+    /// A VPF's probabilities do not sum to 1 (within [`PROB_EPS`]).
+    VpfNotNormalized { object: ObjectId, sum: f64 },
+    /// A VPF assigns probability to a value outside `dom(τ(o))`.
+    VpfValueOutsideDomain { object: ObjectId },
+    /// A non-leaf object is missing its OPF.
+    MissingOpf(ObjectId),
+    /// A typed leaf object is missing its VPF.
+    MissingVpf(ObjectId),
+    /// A leaf object (one with a type/value) also has children.
+    LeafWithChildren(ObjectId),
+    /// A leaf object's value is outside its type's domain.
+    ValueOutsideDomain(ObjectId),
+    /// A leaf carries a value but no type.
+    ValueWithoutType(ObjectId),
+    /// An operation that assumes tree-shaped structure was applied to an
+    /// object with multiple parents.
+    NotTreeShaped(ObjectId),
+    /// A referenced name was not found in the catalog.
+    NameNotFound(String),
+    /// Two instances that must share a catalog do not.
+    CatalogMismatch,
+    /// The instance is too large for an exact possible-worlds computation.
+    TooManyWorlds { limit: u64 },
+    /// A global interpretation does not factor into a local one, i.e. it
+    /// violates the independence constraints of Definition 4.5 (Theorem 2).
+    NotFactorable,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingRoot => write!(f, "instance has no root object"),
+            CoreError::Unreachable(o) => {
+                write!(f, "object {o:?} is not reachable from the root")
+            }
+            CoreError::UnknownObject(o) => {
+                write!(f, "object {o:?} is referenced but not a member of the instance")
+            }
+            CoreError::CycleDetected(o) => {
+                write!(f, "weak instance graph has a cycle through {o:?} (Definition 4.3 requires acyclicity)")
+            }
+            CoreError::AmbiguousChildLabel { parent, child, first, second } => write!(
+                f,
+                "child {child:?} of {parent:?} appears under two labels ({first:?}, {second:?}); edge labels of compatible instances would be ambiguous"
+            ),
+            CoreError::DuplicateChild { parent, child, label } => write!(
+                f,
+                "child {child:?} listed twice in lch({parent:?}, {label:?})"
+            ),
+            CoreError::BadCardinality { object, label, min, max, available } => write!(
+                f,
+                "card({object:?}, {label:?}) = [{min},{max}] is invalid (|lch| = {available})"
+            ),
+            CoreError::OpfNotNormalized { object, sum } => {
+                write!(f, "OPF of {object:?} sums to {sum}, expected 1")
+            }
+            CoreError::OpfEntryOutsidePc { object } => {
+                write!(f, "OPF of {object:?} assigns probability to a child set outside PC")
+            }
+            CoreError::BadProbability { object, p } => {
+                write!(f, "probability {p} of {object:?} is outside [0,1]")
+            }
+            CoreError::VpfNotNormalized { object, sum } => {
+                write!(f, "VPF of {object:?} sums to {sum}, expected 1")
+            }
+            CoreError::VpfValueOutsideDomain { object } => {
+                write!(f, "VPF of {object:?} assigns probability to a value outside dom(τ)")
+            }
+            CoreError::MissingOpf(o) => write!(f, "non-leaf object {o:?} has no OPF"),
+            CoreError::MissingVpf(o) => write!(f, "typed leaf object {o:?} has no VPF"),
+            CoreError::LeafWithChildren(o) => {
+                write!(f, "object {o:?} has both a leaf type/value and children")
+            }
+            CoreError::ValueOutsideDomain(o) => {
+                write!(f, "value of leaf {o:?} is outside its type's domain")
+            }
+            CoreError::ValueWithoutType(o) => {
+                write!(f, "leaf {o:?} carries a value but no type")
+            }
+            CoreError::NotTreeShaped(o) => write!(
+                f,
+                "object {o:?} has multiple parents; this operation assumes tree-shaped instances (Section 6)"
+            ),
+            CoreError::NameNotFound(n) => write!(f, "name {n:?} not found in catalog"),
+            CoreError::CatalogMismatch => {
+                write!(f, "operands do not share a catalog")
+            }
+            CoreError::TooManyWorlds { limit } => write!(
+                f,
+                "instance has more than {limit} compatible worlds; exact enumeration refused"
+            ),
+            CoreError::NotFactorable => write!(
+                f,
+                "global interpretation violates Definition 4.5 and does not factor into a local interpretation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = CoreError::OpfNotNormalized { object: ObjectId::from_raw(3), sum: 0.9 };
+        let msg = e.to_string();
+        assert!(msg.contains("OPF"));
+        assert!(msg.contains("0.9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::MissingRoot);
+    }
+
+    #[test]
+    fn cycle_message_cites_definition() {
+        let msg = CoreError::CycleDetected(ObjectId::from_raw(0)).to_string();
+        assert!(msg.contains("4.3"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Theorem 2, constructively: recovering a local interpretation from a
+//! global one.
+//!
+//! Given a global interpretation `P` that *satisfies* its weak instance
+//! (Definition 4.5), there exists a local interpretation `℘` with
+//! `P_℘ = P`. The construction is the natural one: `℘(o)(c)` is the
+//! conditional probability `P(c_S(o) = c | o ∈ S)`. This module builds
+//! that `℘`, assembles the probabilistic instance and verifies the
+//! round trip, returning [`CoreError::NotFactorable`] when `P` does not
+//! actually factor (i.e. the hypothesis of Theorem 2 fails).
+
+use crate::error::{CoreError, Result};
+use crate::global::{ChoiceKey, GlobalInterpretation};
+use crate::ids::{IdMap, ObjectKind};
+use crate::opf::{Opf, OpfTable};
+use crate::prob_instance::ProbInstance;
+use crate::vpf::Vpf;
+use crate::worlds::enumerate_worlds;
+
+/// Recovers a probabilistic instance from a global interpretation.
+///
+/// Returns `NotFactorable` if the induced `P_℘` fails to reproduce `P`
+/// within `eps` — by Theorem 2 this happens exactly when `P` violates the
+/// independence constraints of Definition 4.5.
+pub fn factorize(global: &GlobalInterpretation, eps: f64) -> Result<ProbInstance> {
+    let weak = global.weak().clone();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    for o in weak.objects() {
+        let node = weak.node(o).expect("iterating objects");
+        let dist = global.conditional_choice_dist(o);
+        if dist.is_empty() {
+            // Object never occurs in any world with positive mass. Its
+            // local function is unconstrained; pick any legal one.
+            if node.leaf().is_some() {
+                let ty = weak.catalog().type_def(node.leaf().unwrap().ty).clone();
+                vpfs.insert(o, Vpf::uniform(&ty));
+            } else if !node.is_childless() {
+                let sets = crate::potential::pc_sets(&weak, o);
+                let p = 1.0 / sets.len() as f64;
+                opfs.insert(
+                    o,
+                    Opf::Table(OpfTable::from_entries(sets.into_iter().map(|s| (s, p)))),
+                );
+            }
+            continue;
+        }
+        if node.leaf().is_some() {
+            let mut vpf = Vpf::new();
+            for (key, p) in dist {
+                match key {
+                    ChoiceKey::Value(v) => vpf.set(v, p),
+                    _ => return Err(CoreError::NotFactorable),
+                }
+            }
+            vpfs.insert(o, vpf);
+        } else if !node.is_childless() {
+            let mut table = OpfTable::new();
+            for (key, p) in dist {
+                match key {
+                    ChoiceKey::Children(set) => table.add(set, p),
+                    _ => return Err(CoreError::NotFactorable),
+                }
+            }
+            opfs.insert(o, Opf::Table(table));
+        }
+    }
+
+    let pi = ProbInstance::from_parts(weak, opfs, vpfs)?;
+
+    // Verify the round trip: P_℘ must reproduce P world-by-world.
+    let induced = enumerate_worlds(&pi)?;
+    for (s, p) in global.table().iter() {
+        if (induced.prob(s) - p).abs() > eps {
+            return Err(CoreError::NotFactorable);
+        }
+    }
+    // And P must cover every world of P_℘ (no extra mass elsewhere).
+    for (s, p) in induced.iter() {
+        if (global.prob(s) - p).abs() > eps {
+            return Err(CoreError::NotFactorable);
+        }
+    }
+    Ok(pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{chain, diamond, fig2_instance};
+    use crate::worlds::WorldTable;
+
+    #[test]
+    fn theorem_2_round_trip_on_fixtures() {
+        for pi in [fig2_instance(), chain(3, 0.4), diamond()] {
+            let g = GlobalInterpretation::from_local(&pi).unwrap();
+            let recovered = factorize(&g, 1e-7).unwrap();
+            // The recovered instance induces the same distribution.
+            let a = enumerate_worlds(&pi).unwrap();
+            let b = enumerate_worlds(&recovered).unwrap();
+            assert!(a.approx_eq(&b, 1e-7));
+        }
+    }
+
+    #[test]
+    fn recovered_opfs_match_original() {
+        let pi = fig2_instance();
+        let g = GlobalInterpretation::from_local(&pi).unwrap();
+        let recovered = factorize(&g, 1e-7).unwrap();
+        let r = pi.root();
+        let node = pi.weak().node(r).unwrap();
+        let orig = pi.opf(r).unwrap().to_table(node.universe());
+        let rec = recovered.opf(r).unwrap().to_table(node.universe());
+        for (set, p) in orig.iter() {
+            assert!((rec.prob(set) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlated_distribution_is_not_factorable() {
+        let pi = diamond();
+        let full = enumerate_worlds(&pi).unwrap();
+        let a = pi.oid("a").unwrap();
+        let b = pi.oid("b").unwrap();
+        let c = pi.oid("c").unwrap();
+        let mut correlated: WorldTable =
+            full.filter(|s| s.children(a).contains(&c) == s.children(b).contains(&c));
+        correlated.normalize();
+        let g = GlobalInterpretation::new(pi.weak().clone(), correlated).unwrap();
+        assert!(!g.satisfies(1e-7));
+        assert!(matches!(factorize(&g, 1e-7), Err(CoreError::NotFactorable)));
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's running bibliographic example as ready-made fixtures.
+//!
+//! These are ordinary public constructors (not test-gated): downstream
+//! crates, examples and benchmarks all exercise the paper's Figures 1–3
+//! through them.
+//!
+//! Faithfulness notes:
+//! * Figure 2's printed OPF table for `A1` is partially illegible in the
+//!   archival copy; we use `℘(A1)({I1}) = 0.8, ℘(A1)(∅) = 0.2`, the values
+//!   required to reproduce Example 4.1's `P(S1) = 0.00448` exactly
+//!   (together with `VPF(T1)(VQDB) = 0.4`).
+//! * Figure 1 does not enumerate its edges in text; we reconstruct the
+//!   natural instance over the same 11 objects, consistent with Figure 4's
+//!   projection result.
+
+use crate::instance::SdInstance;
+use crate::prob_instance::ProbInstance;
+use crate::types::LeafType;
+use crate::value::Value;
+use crate::weak::WeakInstance;
+
+/// The semistructured instance of Figure 1 (reconstruction; see module docs).
+pub fn fig1_instance() -> SdInstance {
+    let mut b = SdInstance::builder();
+    b.define_type(LeafType::new("title-type", [Value::str("VQDB"), Value::str("Lore")]));
+    b.define_type(LeafType::new(
+        "institution-type",
+        [Value::str("Stanford"), Value::str("UMD")],
+    ));
+    let r = b.object("R");
+    b.edge_named("R", "book", "B1");
+    b.edge_named("R", "book", "B2");
+    b.edge_named("R", "book", "B3");
+    b.edge_named("B1", "title", "T1");
+    b.edge_named("B1", "author", "A1");
+    b.edge_named("B2", "author", "A1");
+    b.edge_named("B2", "author", "A2");
+    b.edge_named("B3", "title", "T2");
+    b.edge_named("B3", "author", "A3");
+    b.edge_named("A1", "institution", "I1");
+    b.edge_named("A2", "institution", "I1");
+    b.edge_named("A3", "institution", "I2");
+    let tt = b.catalog().find_type("title-type").unwrap();
+    let it = b.catalog().find_type("institution-type").unwrap();
+    let t1 = b.object("T1");
+    let t2 = b.object("T2");
+    let i1 = b.object("I1");
+    let i2 = b.object("I2");
+    b.leaf_value(t1, tt, Value::str("VQDB"));
+    b.leaf_value(t2, tt, Value::str("Lore"));
+    b.leaf_value(i1, it, Value::str("Stanford"));
+    b.leaf_value(i2, it, Value::str("UMD"));
+    b.build(r).expect("figure 1 instance is valid")
+}
+
+/// The weak-instance skeleton of the paper's Figure 2.
+pub fn fig2_weak() -> WeakInstance {
+    let mut b = WeakInstance::builder();
+    b.define_type(LeafType::new("title-type", [Value::str("VQDB"), Value::str("Lore")]));
+    b.define_type(LeafType::new(
+        "institution-type",
+        [Value::str("Stanford"), Value::str("UMD")],
+    ));
+    let r = b.object("R");
+    b.lch_named("R", "book", &["B1", "B2", "B3"]);
+    b.lch_named("B1", "title", &["T1"]);
+    b.lch_named("B1", "author", &["A1", "A2"]);
+    b.lch_named("B2", "author", &["A1", "A2", "A3"]);
+    b.lch_named("B3", "title", &["T2"]);
+    b.lch_named("B3", "author", &["A3"]);
+    b.lch_named("A1", "institution", &["I1"]);
+    b.lch_named("A2", "institution", &["I1", "I2"]);
+    b.lch_named("A3", "institution", &["I2"]);
+    b.card_named("R", "book", 2, 3);
+    b.card_named("B1", "author", 1, 2);
+    b.card_named("B1", "title", 0, 1);
+    b.card_named("B2", "author", 2, 2);
+    b.card_named("B3", "author", 1, 1);
+    b.card_named("B3", "title", 1, 1);
+    b.card_named("A1", "institution", 0, 1);
+    b.card_named("A2", "institution", 1, 1);
+    b.card_named("A3", "institution", 1, 1);
+    b.leaf_named("T1", "title-type", None);
+    b.leaf_named("T2", "title-type", None);
+    b.leaf_named("I1", "institution-type", Some(Value::str("Stanford")));
+    b.leaf_named("I2", "institution-type", Some(Value::str("UMD")));
+    b.build(r).expect("figure 2 weak instance is valid")
+}
+
+/// The probabilistic instance of Figure 2 with the local interpretation
+/// from the paper (see module docs for the `A1` reading).
+pub fn fig2_instance() -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new("title-type", [Value::str("VQDB"), Value::str("Lore")]));
+    b.define_type(LeafType::new(
+        "institution-type",
+        [Value::str("Stanford"), Value::str("UMD")],
+    ));
+    let r = b.object("R");
+    b.lch("R", "book", &["B1", "B2", "B3"]);
+    b.lch("B1", "title", &["T1"]);
+    b.lch("B1", "author", &["A1", "A2"]);
+    b.lch("B2", "author", &["A1", "A2", "A3"]);
+    b.lch("B3", "title", &["T2"]);
+    b.lch("B3", "author", &["A3"]);
+    b.lch("A1", "institution", &["I1"]);
+    b.lch("A2", "institution", &["I1", "I2"]);
+    b.lch("A3", "institution", &["I2"]);
+    b.card("R", "book", 2, 3);
+    b.card("B1", "author", 1, 2);
+    b.card("B1", "title", 0, 1);
+    b.card("B2", "author", 2, 2);
+    b.card("B3", "author", 1, 1);
+    b.card("B3", "title", 1, 1);
+    b.card("A1", "institution", 0, 1);
+    b.card("A2", "institution", 1, 1);
+    b.card("A3", "institution", 1, 1);
+    b.leaf("T1", "title-type", None);
+    b.leaf("T2", "title-type", None);
+    b.leaf("I1", "institution-type", None);
+    b.leaf("I2", "institution-type", None);
+    b.opf_table(
+        "R",
+        &[
+            (&["B1", "B2"], 0.2),
+            (&["B1", "B3"], 0.2),
+            (&["B2", "B3"], 0.2),
+            (&["B1", "B2", "B3"], 0.4),
+        ],
+    );
+    b.opf_table(
+        "B1",
+        &[
+            (&["A1"], 0.3),
+            (&["A1", "T1"], 0.35),
+            (&["A2"], 0.1),
+            (&["A2", "T1"], 0.15),
+            (&["A1", "A2"], 0.05),
+            (&["A1", "A2", "T1"], 0.05),
+        ],
+    );
+    b.opf_table("B2", &[(&["A1", "A2"], 0.4), (&["A1", "A3"], 0.4), (&["A2", "A3"], 0.2)]);
+    b.opf_table("B3", &[(&["A3", "T2"], 1.0)]);
+    b.opf_table("A1", &[(&["I1"], 0.8), (&[], 0.2)]);
+    b.opf_table("A2", &[(&["I1"], 0.5), (&["I2"], 0.5)]);
+    b.opf_table("A3", &[(&["I2"], 1.0)]);
+    b.vpf("T1", &[(Value::str("VQDB"), 0.4), (Value::str("Lore"), 0.6)]);
+    b.vpf("T2", &[(Value::str("VQDB"), 0.5), (Value::str("Lore"), 0.5)]);
+    b.vpf("I1", &[(Value::str("Stanford"), 1.0)]);
+    b.vpf("I2", &[(Value::str("UMD"), 1.0)]);
+    b.build(r).expect("figure 2 probabilistic instance is valid")
+}
+
+/// `S1` of Figure 3: the compatible instance whose probability Example 4.1
+/// computes (`P(S1) = 0.00448` with `T1 = VQDB`, `I1 = Stanford`).
+pub fn fig3_s1() -> SdInstance {
+    let w = fig2_weak();
+    let cat = std::sync::Arc::clone(w.catalog());
+    let mut b = SdInstance::builder_shared(std::sync::Arc::clone(&cat));
+    let find = |n: &str| cat.find_object(n).unwrap();
+    let label = |n: &str| cat.find_label(n).unwrap();
+    let r = b.object_id(find("R"));
+    b.edge(r, label("book"), find("B1"));
+    b.edge(r, label("book"), find("B2"));
+    b.edge(find("B1"), label("author"), find("A1"));
+    b.edge(find("B1"), label("title"), find("T1"));
+    b.edge(find("B2"), label("author"), find("A1"));
+    b.edge(find("B2"), label("author"), find("A2"));
+    b.edge(find("A1"), label("institution"), find("I1"));
+    b.edge(find("A2"), label("institution"), find("I1"));
+    b.leaf_value(find("T1"), cat.find_type("title-type").unwrap(), Value::str("VQDB"));
+    b.leaf_value(find("I1"), cat.find_type("institution-type").unwrap(), Value::str("Stanford"));
+    b.build(r).expect("figure 3 S1 is valid")
+}
+
+/// A probabilistic chain `r → o_1 → … → o_n` where each link exists with
+/// the given probability and the tail leaf takes value 1 or 2 uniformly.
+/// Useful as the minimal fixture for chain/point queries (Section 6.2).
+pub fn chain(n: usize, link_prob: f64) -> ProbInstance {
+    assert!(n >= 1);
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new("vt", [Value::Int(1), Value::Int(2)]));
+    let names: Vec<String> =
+        std::iter::once("r".to_string()).chain((1..=n).map(|i| format!("o{i}"))).collect();
+    let r = b.object(&names[0]);
+    for i in 0..n {
+        let parent = names[i].clone();
+        let child = names[i + 1].clone();
+        b.lch(&parent, "next", &[&child]);
+        if i + 1 == n {
+            b.leaf(&child, "vt", None);
+            b.vpf(&child, &[(Value::Int(1), 0.5), (Value::Int(2), 0.5)]);
+        }
+        b.opf_table(&parent, &[(&[child.as_str()], link_prob), (&[], 1.0 - link_prob)]);
+    }
+    b.build(r).expect("chain instance is valid")
+}
+
+/// A diamond-shaped DAG: the root always has children `a` and `b`; each of
+/// them independently has the shared child `c` with probability 0.5; `c`
+/// is a typed leaf. Exercises shared substructure in the semantics.
+pub fn diamond() -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new("vt", [Value::Int(1), Value::Int(2)]));
+    let r = b.object("r");
+    b.lch("r", "left", &["a"]);
+    b.lch("r", "right", &["b"]);
+    b.lch("a", "down", &["c"]);
+    b.lch("b", "down", &["c"]);
+    b.leaf("c", "vt", None);
+    b.opf_table("r", &[(&["a", "b"], 1.0)]);
+    b.opf_table("a", &[(&["c"], 0.5), (&[], 0.5)]);
+    b.opf_table("b", &[(&["c"], 0.5), (&[], 0.5)]);
+    b.vpf("c", &[(Value::Int(1), 0.25), (Value::Int(2), 0.75)]);
+    b.build(r).expect("diamond instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_validate() {
+        fig1_instance().validate().unwrap();
+        fig2_weak().validate().unwrap();
+        fig2_instance().validate().unwrap();
+        fig3_s1().validate().unwrap();
+        chain(3, 0.7).validate().unwrap();
+        diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn fig3_s1_is_compatible_with_fig2() {
+        fig3_s1().compatible_with(&fig2_weak()).unwrap();
+    }
+
+    #[test]
+    fn chain_has_expected_length() {
+        let c = chain(4, 0.5);
+        assert_eq!(c.object_count(), 5);
+        assert!(c.weak().is_tree_shaped());
+    }
+
+    #[test]
+    fn diamond_is_not_tree_shaped() {
+        assert!(!diamond().weak().is_tree_shaped());
+    }
+}

@@ -1,0 +1,233 @@
+//! Global interpretations (Definitions 4.2 and 4.5).
+//!
+//! A global interpretation is a distribution over `Domain(W)`. This module
+//! wraps a [`WorldTable`] with the weak instance it ranges over, checks
+//! legality (mass 1), and implements the independence condition of
+//! Definition 4.5 — "given that `o` occurs in the instance, the
+//! probability of any potential children `c` of `o` is independent of the
+//! non-descendants of `o`" — which is the hypothesis of Theorem 2.
+
+use std::collections::HashMap;
+
+use crate::childset::ChildSet;
+use crate::error::{CoreError, Result};
+use crate::ids::ObjectId;
+use crate::instance::SdInstance;
+use crate::prob_instance::ProbInstance;
+use crate::value::Value;
+use crate::weak::WeakInstance;
+use crate::worlds::{enumerate_worlds, WorldTable};
+
+/// A legal global interpretation for a weak instance.
+#[derive(Clone, Debug)]
+pub struct GlobalInterpretation {
+    weak: WeakInstance,
+    table: WorldTable,
+}
+
+impl GlobalInterpretation {
+    /// Wraps a world table, checking that every world is compatible with
+    /// `weak` and that the total mass is 1.
+    pub fn new(weak: WeakInstance, table: WorldTable) -> Result<Self> {
+        for (s, _) in table.iter() {
+            s.compatible_with(&weak)?;
+        }
+        let total = table.total();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(CoreError::OpfNotNormalized { object: weak.root(), sum: total });
+        }
+        Ok(GlobalInterpretation { weak, table })
+    }
+
+    /// The global interpretation `P_℘` induced by a local interpretation
+    /// (Definition 4.4 / Theorem 1).
+    pub fn from_local(pi: &ProbInstance) -> Result<Self> {
+        let table = enumerate_worlds(pi)?;
+        Self::new(pi.weak().clone(), table)
+    }
+
+    /// The weak instance this interpretation ranges over.
+    pub fn weak(&self) -> &WeakInstance {
+        &self.weak
+    }
+
+    /// The underlying world table.
+    pub fn table(&self) -> &WorldTable {
+        &self.table
+    }
+
+    /// `P(S)` of one instance.
+    pub fn prob(&self, s: &SdInstance) -> f64 {
+        self.table.prob(s)
+    }
+
+    /// The marginal probability that `o` occurs.
+    pub fn prob_present(&self, o: ObjectId) -> f64 {
+        self.table.probability_that(|s| s.contains(o))
+    }
+
+    /// The conditional distribution of `c_S(o)` given `o` present, as a
+    /// map from child sets (or values for leaves) to probabilities.
+    pub fn conditional_choice_dist(&self, o: ObjectId) -> HashMap<ChoiceKey, f64> {
+        let mut dist: HashMap<ChoiceKey, f64> = HashMap::new();
+        let mut mass = 0.0;
+        for (s, p) in self.table.iter() {
+            if let Some(key) = choice_key(&self.weak, s, o) {
+                *dist.entry(key).or_insert(0.0) += p;
+                mass += p;
+            }
+        }
+        if mass > 0.0 {
+            for v in dist.values_mut() {
+                *v /= mass;
+            }
+        }
+        dist
+    }
+
+    /// Checks the independence condition of Definition 4.5 within `eps`:
+    /// for every object `o`, the conditional distribution of `o`'s choice
+    /// is the same across all configurations of `o`'s non-descendants.
+    pub fn satisfies(&self, eps: f64) -> bool {
+        for o in self.weak.objects() {
+            // Group worlds containing o by the restriction of the world to
+            // the non-descendants of o.
+            let non_des = self.weak.non_descendants(o);
+            let mut groups: HashMap<Vec<Option<ChoiceKey>>, (HashMap<ChoiceKey, f64>, f64)> =
+                HashMap::new();
+            for (s, p) in self.table.iter() {
+                let Some(key) = choice_key(&self.weak, s, o) else { continue };
+                let restriction: Vec<Option<ChoiceKey>> = non_des
+                    .iter()
+                    .map(|&nd| choice_key(&self.weak, s, nd))
+                    .collect();
+                let entry = groups.entry(restriction).or_default();
+                *entry.0.entry(key).or_insert(0.0) += p;
+                entry.1 += p;
+            }
+            // Every group's conditional distribution must match the
+            // overall conditional distribution.
+            let overall = self.conditional_choice_dist(o);
+            for (cond, mass) in groups.values() {
+                if *mass <= 0.0 {
+                    continue;
+                }
+                for (key, total_p) in &overall {
+                    let in_group = cond.get(key).copied().unwrap_or(0.0) / mass;
+                    if (in_group - total_p).abs() > eps {
+                        return false;
+                    }
+                }
+                for (key, p_grp) in cond {
+                    let p_overall = overall.get(key).copied().unwrap_or(0.0);
+                    if (p_grp / mass - p_overall).abs() > eps {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The choice an instance makes at one object: its exact child set (for
+/// non-leaves of `W`) or its value (for leaves). `None` if absent.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ChoiceKey {
+    /// Child set of a non-leaf, in universe coordinates.
+    Children(ChildSet),
+    /// Value of a typed leaf.
+    Value(Value),
+    /// A bare childless object (no choice to make).
+    Bare,
+}
+
+/// Extracts the [`ChoiceKey`] of `o` in world `s`, or `None` if `o ∉ s`.
+pub fn choice_key(weak: &WeakInstance, s: &SdInstance, o: ObjectId) -> Option<ChoiceKey> {
+    if !s.contains(o) {
+        return None;
+    }
+    let wnode = weak.node(o)?;
+    if wnode.leaf().is_some() {
+        s.value(o).cloned().map(ChoiceKey::Value)
+    } else if wnode.is_childless() {
+        Some(ChoiceKey::Bare)
+    } else {
+        ChildSet::from_objects(wnode.universe(), s.children(o)).map(ChoiceKey::Children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{chain, diamond, fig2_instance, fig3_s1};
+
+    #[test]
+    fn from_local_is_legal() {
+        let g = GlobalInterpretation::from_local(&fig2_instance()).unwrap();
+        assert!((g.table().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_product_satisfies_definition_4_5() {
+        for pi in [fig2_instance(), chain(3, 0.6), diamond()] {
+            let g = GlobalInterpretation::from_local(&pi).unwrap();
+            assert!(g.satisfies(1e-7), "P_℘ must satisfy W (Theorem 2 hypothesis)");
+        }
+    }
+
+    #[test]
+    fn prob_present_matches_marginal() {
+        let pi = fig2_instance();
+        let g = GlobalInterpretation::from_local(&pi).unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        assert!((g.prob_present(b1) - 0.8).abs() < 1e-9);
+        assert!((g.prob_present(pi.root()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_choice_dist_of_root_matches_opf() {
+        let pi = fig2_instance();
+        let g = GlobalInterpretation::from_local(&pi).unwrap();
+        let dist = g.conditional_choice_dist(pi.root());
+        assert_eq!(dist.len(), 4);
+        let node = pi.weak().node(pi.root()).unwrap();
+        for (key, p) in dist {
+            let ChoiceKey::Children(set) = key else { panic!("root choice is a child set") };
+            let expected = pi.opf(pi.root()).unwrap().prob(&set);
+            let _ = node;
+            assert!((p - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dependent_distribution_fails_definition_4_5() {
+        // Build a world table over the diamond's weak instance where the
+        // choices of `a` and `b` are perfectly correlated — this cannot
+        // satisfy Definition 4.5 (b's choice depends on non-descendant a).
+        let pi = diamond();
+        let weak = pi.weak().clone();
+        let full = enumerate_worlds(&pi).unwrap();
+        // Keep only worlds where a and b agree on having c, renormalised.
+        let c = pi.oid("c").unwrap();
+        let a = pi.oid("a").unwrap();
+        let b = pi.oid("b").unwrap();
+        let mut correlated = full.filter(|s| {
+            s.children(a).contains(&c) == s.children(b).contains(&c)
+        });
+        correlated.normalize();
+        let g = GlobalInterpretation::new(weak, correlated).unwrap();
+        assert!(!g.satisfies(1e-7));
+    }
+
+    #[test]
+    fn unnormalised_table_is_rejected() {
+        let pi = fig2_instance();
+        let mut t = WorldTable::new();
+        t.add(fig3_s1(), 0.5);
+        assert!(matches!(
+            GlobalInterpretation::new(pi.weak().clone(), t),
+            Err(CoreError::OpfNotNormalized { .. })
+        ));
+    }
+}

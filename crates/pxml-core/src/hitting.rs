@@ -1,0 +1,133 @@
+//! Minimal hitting sets.
+//!
+//! Definition 3.6 of the paper defines a potential child set of `o` as
+//! `⋃H` where `H` is a *minimal* hitting set of the family
+//! `{PL(o, l) | lch(o, l) ≠ ∅}` — each `PL(o, l)` being itself a set of
+//! potential `l`-child sets. This module implements the generic
+//! minimal-hitting-set enumeration; [`crate::potential`] uses a faster
+//! per-label cross product and is property-tested against this definition.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Enumerates all **minimal** hitting sets of `families`.
+///
+/// A hitting set `H` contains at least one element of every family; it is
+/// minimal if no proper subset is also a hitting set (footnote 1 of the
+/// paper). Families must be non-empty for a hitting set to exist; if any
+/// family is empty the result is empty.
+///
+/// Elements are compared by `Eq`/`Hash`. The result contains each minimal
+/// hitting set exactly once (as a sorted-by-discovery `Vec`).
+pub fn minimal_hitting_sets<T>(families: &[Vec<T>]) -> Vec<Vec<T>>
+where
+    T: Clone + Eq + Hash + Ord,
+{
+    if families.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let mut results: HashSet<Vec<T>> = HashSet::new();
+    let mut current: Vec<T> = Vec::new();
+    branch(families, 0, &mut current, &mut results);
+    let mut out: Vec<Vec<T>> = results.into_iter().filter(|h| is_minimal(h, families)).collect();
+    out.sort();
+    out
+}
+
+/// Recursively extends `current` until every family is hit.
+fn branch<T>(
+    families: &[Vec<T>],
+    from: usize,
+    current: &mut Vec<T>,
+    results: &mut HashSet<Vec<T>>,
+) where
+    T: Clone + Eq + Hash + Ord,
+{
+    // Find the first family not yet hit.
+    let next = (from..families.len())
+        .find(|&i| !families[i].iter().any(|e| current.contains(e)));
+    match next {
+        None => {
+            let mut h = current.clone();
+            h.sort();
+            h.dedup();
+            results.insert(h);
+        }
+        Some(i) => {
+            for e in &families[i] {
+                current.push(e.clone());
+                branch(families, i + 1, current, results);
+                current.pop();
+            }
+        }
+    }
+}
+
+/// True if `h` is a hitting set of `families` with no redundant element.
+fn is_minimal<T>(h: &[T], families: &[Vec<T>]) -> bool
+where
+    T: Clone + Eq + Hash,
+{
+    let hits = |set: &[&T], fam: &Vec<T>| fam.iter().any(|e| set.contains(&e));
+    let all: Vec<&T> = h.iter().collect();
+    if !families.iter().all(|f| hits(&all, f)) {
+        return false;
+    }
+    for skip in 0..h.len() {
+        let reduced: Vec<&T> = h.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, e)| e).collect();
+        if families.iter().all(|f| hits(&reduced, f)) {
+            return false; // a proper subset still hits everything
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_family_yields_singletons() {
+        let fams = vec![vec![1, 2, 3]];
+        let hs = minimal_hitting_sets(&fams);
+        assert_eq!(hs, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn disjoint_families_yield_cross_product() {
+        let fams = vec![vec![1, 2], vec![3, 4]];
+        let hs = minimal_hitting_sets(&fams);
+        assert_eq!(hs, vec![vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn shared_element_hits_both_families_alone() {
+        let fams = vec![vec![1, 2], vec![2, 3]];
+        let hs = minimal_hitting_sets(&fams);
+        // {2} hits both; {1,3} is the other minimal one. {1,2} is NOT
+        // minimal because {2} ⊂ {1,2} already hits everything.
+        assert!(hs.contains(&vec![2]));
+        assert!(hs.contains(&vec![1, 3]));
+        assert!(!hs.contains(&vec![1, 2]));
+        assert_eq!(hs.len(), 2);
+    }
+
+    #[test]
+    fn empty_family_means_no_hitting_set() {
+        let fams: Vec<Vec<i32>> = vec![vec![1], vec![]];
+        assert!(minimal_hitting_sets(&fams).is_empty());
+    }
+
+    #[test]
+    fn no_families_has_the_empty_hitting_set() {
+        let fams: Vec<Vec<i32>> = vec![];
+        assert_eq!(minimal_hitting_sets(&fams), vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn duplicate_elements_inside_family_do_not_duplicate_results() {
+        let fams = vec![vec![1, 1, 2]];
+        let hs = minimal_hitting_sets(&fams);
+        assert_eq!(hs, vec![vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Typed identifiers and string interning.
+//!
+//! The paper's model is defined over a universe of objects `O`, labels `L`
+//! and types `T` (Definition 3.3). We intern the names of all three into
+//! dense `u32`-backed identifiers so that instances can use plain vectors
+//! indexed by id instead of hash maps keyed by strings.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Marker trait implemented by the phantom kinds of [`Id`].
+pub trait IdKind: Copy + Eq + Hash + fmt::Debug + Default + 'static {
+    /// Human-readable kind name used in `Debug`/error output.
+    const KIND: &'static str;
+}
+
+/// A dense, typed identifier. `Id<K>` for different `K` are distinct types,
+/// so an object id can never be confused with a label id at compile time.
+#[derive(Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Id<K: IdKind> {
+    raw: u32,
+    #[serde(skip)]
+    _kind: PhantomData<K>,
+}
+
+impl<K: IdKind> Id<K> {
+    /// Creates an id from its raw index.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Id { raw, _kind: PhantomData }
+    }
+
+    /// The raw dense index of this id.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// The raw index as a `usize`, for vector indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.raw as usize
+    }
+}
+
+impl<K: IdKind> Clone for Id<K> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: IdKind> Copy for Id<K> {}
+impl<K: IdKind> PartialEq for Id<K> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<K: IdKind> Eq for Id<K> {}
+impl<K: IdKind> PartialOrd for Id<K> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: IdKind> Ord for Id<K> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<K: IdKind> Hash for Id<K> {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<K: IdKind> fmt::Debug for Id<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", K::KIND, self.raw)
+    }
+}
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $kind:ident, $alias:ident, $name:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+        pub struct $kind;
+        impl IdKind for $kind {
+            const KIND: &'static str = $name;
+        }
+        $(#[$meta])*
+        pub type $alias = Id<$kind>;
+    };
+}
+
+define_id!(
+    /// Identifier of an object (a member of the paper's universe `O`).
+    ObjectKind,
+    ObjectId,
+    "o"
+);
+define_id!(
+    /// Identifier of an edge label (a member of the paper's label set `L`).
+    LabelKind,
+    Label,
+    "l"
+);
+define_id!(
+    /// Identifier of a leaf type (a member of the paper's type set `T`).
+    TypeKind,
+    TypeId,
+    "t"
+);
+
+/// An append-only interner mapping strings to dense typed ids.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interner<K: IdKind> {
+    names: Vec<Arc<str>>,
+    #[serde(skip)]
+    index: std::collections::HashMap<Arc<str>, u32>,
+    #[serde(skip)]
+    _kind: PhantomData<K>,
+}
+
+impl<K: IdKind> Interner<K> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner { names: Vec::new(), index: std::collections::HashMap::new(), _kind: PhantomData }
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Id<K> {
+        if let Some(&raw) = self.index.get(name) {
+            return Id::from_raw(raw);
+        }
+        let raw = u32::try_from(self.names.len()).expect("interner overflow");
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&arc));
+        self.index.insert(arc, raw);
+        Id::from_raw(raw)
+    }
+
+    /// Looks up the id of `name`, if already interned.
+    pub fn get(&self, name: &str) -> Option<Id<K>> {
+        self.index.get(name).map(|&raw| Id::from_raw(raw))
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: Id<K>) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Resolves an id back to its name without panicking.
+    pub fn try_resolve(&self, id: Id<K>) -> Option<&str> {
+        self.names.get(id.index()).map(|s| &**s)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<K>, &str)> {
+        self.names.iter().enumerate().map(|(i, s)| (Id::from_raw(i as u32), &**s))
+    }
+
+    /// Rebuilds the reverse index; used after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Arc::clone(s), i as u32))
+            .collect();
+    }
+}
+
+/// A sparse map from ids of kind `K` to values, backed by a dense vector.
+///
+/// Presence of a key doubles as set membership: a [`crate::WeakInstance`]
+/// stores one entry per object in its vertex set `V`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IdMap<K: IdKind, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    #[serde(skip)]
+    _kind: PhantomData<K>,
+}
+
+impl<K: IdKind, V> Default for IdMap<K, V> {
+    fn default() -> Self {
+        IdMap { slots: Vec::new(), len: 0, _kind: PhantomData }
+    }
+}
+
+impl<K: IdKind, V> IdMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value, returning the previous one if present.
+    pub fn insert(&mut self, id: Id<K>, value: V) -> Option<V> {
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let prev = self.slots[idx].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value for `id`.
+    pub fn remove(&mut self, id: Id<K>) -> Option<V> {
+        let prev = self.slots.get_mut(id.index()).and_then(Option::take);
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Returns a reference to the value for `id`.
+    #[inline]
+    pub fn get(&self, id: Id<K>) -> Option<&V> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Returns a mutable reference to the value for `id`.
+    #[inline]
+    pub fn get_mut(&mut self, id: Id<K>) -> Option<&mut V> {
+        self.slots.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// True if `id` has a value.
+    #[inline]
+    pub fn contains(&self, id: Id<K>) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(id, &value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<K>, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (Id::from_raw(i as u32), v)))
+    }
+
+    /// Iterates over `(id, &mut value)` pairs in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Id<K>, &mut V)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_mut().map(|v| (Id::from_raw(i as u32), v)))
+    }
+
+    /// Iterates over present keys in id order.
+    pub fn keys(&self) -> impl Iterator<Item = Id<K>> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| Id::from_raw(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i: Interner<ObjectKind> = Interner::new();
+        let a = i.intern("book");
+        let b = i.intern("book");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.resolve(a), "book");
+    }
+
+    #[test]
+    fn intern_distinct_names_get_distinct_ids() {
+        let mut i: Interner<LabelKind> = Interner::new();
+        let a = i.intern("author");
+        let t = i.intern("title");
+        assert_ne!(a, t);
+        assert_eq!(i.get("author"), Some(a));
+        assert_eq!(i.get("publisher"), None);
+    }
+
+    #[test]
+    fn interner_iterates_in_insertion_order() {
+        let mut i: Interner<TypeKind> = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    fn idmap_insert_get_remove() {
+        let mut m: IdMap<ObjectKind, i32> = IdMap::new();
+        let id = ObjectId::from_raw(5);
+        assert_eq!(m.insert(id, 7), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(id), Some(&7));
+        assert_eq!(m.insert(id, 9), Some(7));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(id), Some(9));
+        assert!(m.is_empty());
+        assert_eq!(m.get(id), None);
+    }
+
+    #[test]
+    fn idmap_iteration_is_in_id_order() {
+        let mut m: IdMap<ObjectKind, &str> = IdMap::new();
+        m.insert(ObjectId::from_raw(3), "c");
+        m.insert(ObjectId::from_raw(1), "a");
+        let keys: Vec<u32> = m.keys().map(|k| k.raw()).collect();
+        assert_eq!(keys, [1, 3]);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(ObjectId::from_raw(1) < ObjectId::from_raw(2));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut i: Interner<ObjectKind> = Interner::new();
+        let a = i.intern("A1");
+        let mut j = i.clone();
+        j.rebuild_index();
+        assert_eq!(j.get("A1"), Some(a));
+    }
+}

@@ -1,0 +1,646 @@
+//! Ordinary semistructured instances (Definition 3.3) and compatibility
+//! with weak instances (Definition 4.1).
+//!
+//! A semistructured instance is a rooted, edge-labelled directed graph
+//! whose leaves may carry a typed value. Instances implement structural
+//! `Eq`/`Hash` so that possible-worlds tables can merge identical
+//! instances (as the ancestor projection of Definition 5.3 requires).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::error::{CoreError, Result};
+use crate::ids::{IdMap, Label, ObjectId, ObjectKind, TypeId};
+use crate::value::Value;
+use crate::weak::WeakInstance;
+
+/// Per-object data of a semistructured instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SdNode {
+    /// Outgoing labelled edges, kept sorted by `(label, child)`.
+    children: Vec<(Label, ObjectId)>,
+    /// Type and value if this object is a typed leaf. Objects may also be
+    /// *bare* leaves (no children, no type) — these arise naturally from
+    /// ancestor projection, which cuts subtrees below the located objects.
+    leaf: Option<(TypeId, Value)>,
+}
+
+impl SdNode {
+    /// Assembles a node from parts (children need not be sorted yet —
+    /// [`SdInstance::from_parts`] canonicalises).
+    pub fn from_parts(children: Vec<(Label, ObjectId)>, leaf: Option<(TypeId, Value)>) -> Self {
+        SdNode { children, leaf }
+    }
+
+    /// Outgoing edges sorted by `(label, child)`.
+    pub fn children(&self) -> &[(Label, ObjectId)] {
+        &self.children
+    }
+
+    /// The `l`-children of this node.
+    pub fn lch(&self, l: Label) -> impl Iterator<Item = ObjectId> + '_ {
+        self.children.iter().filter(move |&&(el, _)| el == l).map(|&(_, c)| c)
+    }
+
+    /// Type and value if this is a typed leaf.
+    pub fn leaf(&self) -> Option<(TypeId, &Value)> {
+        self.leaf.as_ref().map(|(t, v)| (*t, v))
+    }
+
+    /// True if the node has no outgoing edges.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A semistructured instance `S = (V, E, ℓ, τ, val)` over a shared catalog.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SdInstance {
+    catalog: Arc<Catalog>,
+    root: ObjectId,
+    nodes: IdMap<ObjectKind, SdNode>,
+}
+
+impl SdInstance {
+    /// Starts building an instance with a fresh catalog.
+    pub fn builder() -> SdInstanceBuilder {
+        SdInstanceBuilder { catalog: CatalogHandle::Owned(Catalog::new()), nodes: IdMap::new() }
+    }
+
+    /// Starts building an instance over an existing shared catalog (used
+    /// when deriving instances from a weak instance so that object ids
+    /// stay comparable).
+    pub fn builder_shared(catalog: Arc<Catalog>) -> SdInstanceBuilder {
+        SdInstanceBuilder { catalog: CatalogHandle::Shared(catalog), nodes: IdMap::new() }
+    }
+
+    /// Constructs an instance from parts, validating it.
+    pub fn from_parts(
+        catalog: Arc<Catalog>,
+        root: ObjectId,
+        mut nodes: IdMap<ObjectKind, SdNode>,
+    ) -> Result<Self> {
+        for (_, n) in nodes.iter_mut() {
+            n.children.sort_unstable();
+        }
+        let s = SdInstance { catalog, root, nodes };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The root object.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// The vertex set `V` in id order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.nodes.keys()
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|(_, n)| n.children.len()).sum()
+    }
+
+    /// True if `o ∈ V`.
+    pub fn contains(&self, o: ObjectId) -> bool {
+        self.nodes.contains(o)
+    }
+
+    /// Node data for `o`.
+    pub fn node(&self, o: ObjectId) -> Option<&SdNode> {
+        self.nodes.get(o)
+    }
+
+    /// The children `C(o)` (Definition 3.2).
+    pub fn children(&self, o: ObjectId) -> Vec<ObjectId> {
+        self.nodes.get(o).map(|n| n.children.iter().map(|&(_, c)| c).collect()).unwrap_or_default()
+    }
+
+    /// `lch(o, l)` (Definition 3.2).
+    pub fn lch(&self, o: ObjectId, l: Label) -> Vec<ObjectId> {
+        self.nodes.get(o).map(|n| n.lch(l).collect()).unwrap_or_default()
+    }
+
+    /// The parents of `o` (Definition 3.2).
+    pub fn parents(&self, o: ObjectId) -> Vec<ObjectId> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.children.iter().any(|&(_, c)| c == o))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// The descendants `des(o)` (Definition 3.2).
+    pub fn descendants(&self, o: ObjectId) -> Vec<ObjectId> {
+        let mut seen = Vec::new();
+        let mut stack = self.children(o);
+        while let Some(c) = stack.pop() {
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            stack.extend(self.children(c));
+        }
+        seen.sort();
+        seen
+    }
+
+    /// The non-descendants `non-des(o)` (Definition 3.2).
+    pub fn non_descendants(&self, o: ObjectId) -> Vec<ObjectId> {
+        let des = self.descendants(o);
+        self.objects().filter(|&x| x != o && des.binary_search(&x).is_err()).collect()
+    }
+
+    /// True if `o` is a leaf (`C(o) = ∅`, Definition 3.2).
+    pub fn is_leaf(&self, o: ObjectId) -> bool {
+        self.nodes.get(o).is_some_and(SdNode::is_leaf)
+    }
+
+    /// The value of a typed leaf.
+    pub fn value(&self, o: ObjectId) -> Option<&Value> {
+        self.nodes.get(o).and_then(|n| n.leaf.as_ref()).map(|(_, v)| v)
+    }
+
+    /// The type of a typed leaf.
+    pub fn leaf_type(&self, o: ObjectId) -> Option<TypeId> {
+        self.nodes.get(o).and_then(|n| n.leaf.as_ref()).map(|&(t, _)| t)
+    }
+
+    /// Structural validation: root present and every object reachable,
+    /// children present, at most one edge per `(parent, child)` pair, no
+    /// typed leaf with children.
+    pub fn validate(&self) -> Result<()> {
+        if !self.nodes.contains(self.root) {
+            return Err(CoreError::MissingRoot);
+        }
+        for (o, node) in self.nodes.iter() {
+            let mut seen: HashMap<ObjectId, Label> = HashMap::new();
+            for &(l, c) in &node.children {
+                if !self.nodes.contains(c) {
+                    return Err(CoreError::UnknownObject(c));
+                }
+                match seen.get(&c) {
+                    None => {
+                        seen.insert(c, l);
+                    }
+                    Some(&first) if first == l => {
+                        return Err(CoreError::DuplicateChild { parent: o, child: c, label: l })
+                    }
+                    Some(&first) => {
+                        return Err(CoreError::AmbiguousChildLabel {
+                            parent: o,
+                            child: c,
+                            first,
+                            second: l,
+                        })
+                    }
+                }
+            }
+            if node.leaf.is_some() && !node.children.is_empty() {
+                return Err(CoreError::LeafWithChildren(o));
+            }
+            if let Some((t, v)) = &node.leaf {
+                if !self.catalog.type_def(*t).contains(v) {
+                    return Err(CoreError::ValueOutsideDomain(o));
+                }
+            }
+        }
+        let mut reached: IdMap<ObjectKind, ()> = IdMap::new();
+        let mut stack = vec![self.root];
+        while let Some(o) = stack.pop() {
+            if reached.insert(o, ()).is_some() {
+                continue;
+            }
+            stack.extend(self.children(o));
+        }
+        for o in self.objects() {
+            if !reached.contains(o) {
+                return Err(CoreError::Unreachable(o));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks compatibility with a weak instance (Definition 4.1).
+    ///
+    /// One reading note recorded in DESIGN.md: the paper's clause "if `o`
+    /// is a leaf in `S`, then `o` is also a leaf in `W`" conflicts with the
+    /// paper's own Section 6.1, where objects may lose all children under
+    /// projection (`℘'(o)({}) = 0` is *set*, implying `℘(o)({})` can be
+    /// positive). We therefore check the converse direction — every leaf
+    /// of `W` behaves as a typed leaf in `S` — and allow a non-leaf of `W`
+    /// to appear childless in `S` whenever `∅ ∈ PC(o)`.
+    pub fn compatible_with(&self, w: &WeakInstance) -> Result<()> {
+        if !Arc::ptr_eq(&self.catalog, w.catalog())
+            && self.catalog.object_count() != w.catalog().object_count()
+        {
+            return Err(CoreError::CatalogMismatch);
+        }
+        if self.root != w.root() || !self.contains(w.root()) {
+            return Err(CoreError::MissingRoot);
+        }
+        for (o, node) in self.nodes.iter() {
+            let Some(wnode) = w.node(o) else {
+                return Err(CoreError::UnknownObject(o));
+            };
+            if let Some(leaf) = wnode.leaf() {
+                // Leaf of W: must be a typed leaf in S with matching type
+                // and a value inside the domain.
+                match &node.leaf {
+                    Some((t, v)) => {
+                        if *t != leaf.ty || !self.catalog.type_def(*t).contains(v) {
+                            return Err(CoreError::ValueOutsideDomain(o));
+                        }
+                    }
+                    None => return Err(CoreError::MissingVpf(o)),
+                }
+                if !node.children.is_empty() {
+                    return Err(CoreError::LeafWithChildren(o));
+                }
+            } else {
+                if node.leaf.is_some() {
+                    // A non-leaf of W cannot carry a typed value in S.
+                    return Err(CoreError::ValueWithoutType(o));
+                }
+                // Each edge must be sanctioned by lch, and per-label counts
+                // must respect card (Definition 4.1, last clause).
+                let mut counts: HashMap<Label, u32> = HashMap::new();
+                for &(l, c) in &node.children {
+                    if !wnode.lch(l).any(|x| x == c) {
+                        return Err(CoreError::UnknownObject(c));
+                    }
+                    *counts.entry(l).or_insert(0) += 1;
+                }
+                for l in wnode.labels() {
+                    let k = counts.get(&l).copied().unwrap_or(0);
+                    let card = wnode.card(l);
+                    if !card.contains(k) {
+                        return Err(CoreError::BadCardinality {
+                            object: o,
+                            label: l,
+                            min: card.min,
+                            max: card.max,
+                            available: k,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty multi-line rendering with catalog names, for examples and
+    /// debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut visited = Vec::new();
+        self.render_rec(self.root, 0, &mut out, &mut visited);
+        out
+    }
+
+    fn render_rec(&self, o: ObjectId, depth: usize, out: &mut String, visited: &mut Vec<ObjectId>) {
+        use std::fmt::Write;
+        let name = self.catalog.objects().try_resolve(o).unwrap_or("?");
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self.nodes.get(o).and_then(|n| n.leaf.as_ref()) {
+            Some((t, v)) => {
+                let tname = self.catalog.type_def(*t).name();
+                let _ = writeln!(out, "{name}: {tname} = {v}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}");
+            }
+        }
+        if visited.contains(&o) {
+            return; // shared substructure: do not repeat
+        }
+        visited.push(o);
+        if let Some(node) = self.nodes.get(o) {
+            for &(l, c) in &node.children {
+                let lname = self.catalog.labels().try_resolve(l).unwrap_or("?");
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                let _ = writeln!(out, "  .{lname} ->");
+                self.render_rec(c, depth + 2, out, visited);
+            }
+        }
+    }
+}
+
+impl PartialEq for SdInstance {
+    fn eq(&self, other: &Self) -> bool {
+        if self.root != other.root || self.nodes.len() != other.nodes.len() {
+            return false;
+        }
+        self.nodes.iter().all(|(o, n)| other.nodes.get(o) == Some(n))
+    }
+}
+impl Eq for SdInstance {}
+
+impl std::hash::Hash for SdInstance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.root.hash(state);
+        for (o, n) in self.nodes.iter() {
+            o.hash(state);
+            n.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for SdInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Catalog being either built locally or shared.
+#[derive(Debug)]
+enum CatalogHandle {
+    Owned(Catalog),
+    Shared(Arc<Catalog>),
+}
+
+impl CatalogHandle {
+    fn as_ref(&self) -> &Catalog {
+        match self {
+            CatalogHandle::Owned(c) => c,
+            CatalogHandle::Shared(c) => c,
+        }
+    }
+    fn as_mut(&mut self) -> &mut Catalog {
+        match self {
+            CatalogHandle::Owned(c) => c,
+            CatalogHandle::Shared(_) => {
+                panic!("cannot add names to a shared catalog; use ids that already exist")
+            }
+        }
+    }
+    fn into_arc(self) -> Arc<Catalog> {
+        match self {
+            CatalogHandle::Owned(c) => Arc::new(c),
+            CatalogHandle::Shared(c) => c,
+        }
+    }
+}
+
+/// Builder for [`SdInstance`].
+#[derive(Debug)]
+pub struct SdInstanceBuilder {
+    catalog: CatalogHandle,
+    nodes: IdMap<ObjectKind, SdNode>,
+}
+
+impl SdInstanceBuilder {
+    /// Ensures an object exists by name (owned catalogs only).
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        let id = self.catalog.as_mut().object(name);
+        self.ensure(id);
+        id
+    }
+
+    /// Ensures an object exists by id (for shared catalogs).
+    pub fn object_id(&mut self, id: ObjectId) -> ObjectId {
+        self.ensure(id);
+        id
+    }
+
+    fn ensure(&mut self, id: ObjectId) {
+        if !self.nodes.contains(id) {
+            self.nodes.insert(id, SdNode::default());
+        }
+    }
+
+    /// Interns a label (owned catalogs only).
+    pub fn label(&mut self, name: &str) -> Label {
+        self.catalog.as_mut().label(name)
+    }
+
+    /// Registers a type (owned catalogs only).
+    pub fn define_type(&mut self, ty: crate::types::LeafType) -> TypeId {
+        self.catalog.as_mut().define_type(ty)
+    }
+
+    /// Adds an edge `(parent, child)` with `label`.
+    pub fn edge(&mut self, parent: ObjectId, label: Label, child: ObjectId) -> &mut Self {
+        self.ensure(parent);
+        self.ensure(child);
+        self.nodes.get_mut(parent).expect("ensured").children.push((label, child));
+        self
+    }
+
+    /// Adds an edge using string names (owned catalogs only).
+    pub fn edge_named(&mut self, parent: &str, label: &str, child: &str) -> &mut Self {
+        let p = self.object(parent);
+        let l = self.label(label);
+        let c = self.object(child);
+        self.edge(p, l, c)
+    }
+
+    /// Marks `object` as a typed leaf with `value`.
+    pub fn leaf_value(&mut self, object: ObjectId, ty: TypeId, value: Value) -> &mut Self {
+        self.ensure(object);
+        self.nodes.get_mut(object).expect("ensured").leaf = Some((ty, value));
+        self
+    }
+
+    /// Read access to the catalog being built.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog.as_ref()
+    }
+
+    /// Finishes the build, validating the instance.
+    pub fn build(self, root: ObjectId) -> Result<SdInstance> {
+        SdInstance::from_parts(self.catalog.into_arc(), root, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig1_instance, fig2_weak};
+    use crate::types::LeafType;
+
+    #[test]
+    fn fig1_builds_with_expected_shape() {
+        let s = fig1_instance();
+        assert_eq!(s.object_count(), 11);
+        let r = s.root();
+        let book = s.catalog().find_label("book").unwrap();
+        assert_eq!(s.lch(r, book).len(), 3);
+    }
+
+    #[test]
+    fn children_are_sorted_canonically() {
+        let mut b = SdInstance::builder();
+        let r = b.object("R");
+        let x = b.object("X");
+        let y = b.object("Y");
+        let l = b.label("l");
+        b.edge(r, l, y);
+        b.edge(r, l, x);
+        let s = b.build(r).unwrap();
+        let kids = s.children(r);
+        assert!(kids[0] < kids[1]);
+    }
+
+    #[test]
+    fn equal_instances_hash_equal_regardless_of_insertion_order() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let build = |flip: bool| {
+            let mut b = SdInstance::builder();
+            let r = b.object("R");
+            let x = b.object("X");
+            let y = b.object("Y");
+            let l = b.label("l");
+            if flip {
+                b.edge(r, l, y);
+                b.edge(r, l, x);
+            } else {
+                b.edge(r, l, x);
+                b.edge(r, l, y);
+            }
+            b.build(r).unwrap()
+        };
+        let a = build(false);
+        let b = build(true);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn dangling_edge_is_rejected_via_unknown_object() {
+        let mut nodes: IdMap<ObjectKind, SdNode> = IdMap::new();
+        nodes.insert(
+            ObjectId::from_raw(0),
+            SdNode { children: vec![(Label::from_raw(0), ObjectId::from_raw(9))], leaf: None },
+        );
+        let mut cat = Catalog::new();
+        cat.object("R");
+        let r = ObjectId::from_raw(0);
+        let res = SdInstance::from_parts(Arc::new(cat), r, nodes);
+        assert!(matches!(res, Err(CoreError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn typed_leaf_with_children_is_rejected() {
+        let mut b = SdInstance::builder();
+        let t = b.define_type(LeafType::new("t", [Value::Int(1)]));
+        let r = b.object("R");
+        let c = b.object("C");
+        let l = b.label("l");
+        b.edge(r, l, c);
+        b.leaf_value(r, t, Value::Int(1));
+        assert!(matches!(b.build(r), Err(CoreError::LeafWithChildren(_))));
+    }
+
+    #[test]
+    fn compatible_instance_accepted() {
+        // S1 of Figure 3: R -> {B1, B2}, B1 -> {A1, T1}, B2 -> {A1, A2},
+        // A1 -> I1, A2 -> I1.
+        let s1 = crate::fixtures::fig3_s1();
+        let w = fig2_weak();
+        s1.compatible_with(&w).unwrap();
+    }
+
+    #[test]
+    fn card_violation_breaks_compatibility() {
+        // R with a single book violates card(R, book) = [2, 3].
+        let w = fig2_weak();
+        let cat = Arc::clone(w.catalog());
+        let mut b = SdInstance::builder_shared(Arc::clone(&cat));
+        let r = b.object_id(cat.find_object("R").unwrap());
+        let b3 = b.object_id(cat.find_object("B3").unwrap());
+        let t2 = b.object_id(cat.find_object("T2").unwrap());
+        let a3 = b.object_id(cat.find_object("A3").unwrap());
+        let i2 = b.object_id(cat.find_object("I2").unwrap());
+        let book = cat.find_label("book").unwrap();
+        let title = cat.find_label("title").unwrap();
+        let author = cat.find_label("author").unwrap();
+        let inst = cat.find_label("institution").unwrap();
+        let ty = cat.find_type("title-type").unwrap();
+        let ity = cat.find_type("institution-type").unwrap();
+        b.edge(r, book, b3);
+        b.edge(b3, title, t2);
+        b.edge(b3, author, a3);
+        b.edge(a3, inst, i2);
+        b.leaf_value(t2, ty, Value::str("Lore"));
+        b.leaf_value(i2, ity, Value::str("UMD"));
+        let s = b.build(r).unwrap();
+        assert!(matches!(s.compatible_with(&w), Err(CoreError::BadCardinality { .. })));
+    }
+
+    #[test]
+    fn foreign_object_breaks_compatibility() {
+        let w = fig2_weak();
+        let mut b = SdInstance::builder();
+        let r = b.object("R"); // different catalog with fewer names
+        let s = b.build(r).unwrap();
+        assert!(s.compatible_with(&w).is_err());
+    }
+
+    #[test]
+    fn render_displays_names_and_values() {
+        let s = fig1_instance();
+        let txt = s.render();
+        assert!(txt.contains("R"));
+        assert!(txt.contains(".book ->"));
+        assert!(txt.contains("VQDB"));
+    }
+
+    #[test]
+    fn cyclic_instances_are_allowed_and_all_walks_terminate() {
+        // Definition 3.1 explicitly allows cycles in ordinary
+        // semistructured graphs (only weak instance graphs must be
+        // acyclic). Build r -> a -> r and exercise every traversal.
+        let mut b = SdInstance::builder();
+        let r = b.object("r");
+        let a = b.object("a");
+        let l = b.label("l");
+        b.edge(r, l, a);
+        b.edge(a, l, r);
+        let s = b.build(r).unwrap();
+        assert_eq!(s.descendants(r), {
+            let mut v = vec![r, a];
+            v.sort();
+            v
+        });
+        assert!(s.non_descendants(r).is_empty());
+        let txt = s.render(); // must terminate despite the cycle
+        assert!(txt.contains("r"));
+        assert_eq!(s.parents(r), vec![a]);
+    }
+
+    #[test]
+    fn parents_and_descendants() {
+        let s = crate::fixtures::fig3_s1();
+        let a1 = s.catalog().find_object("A1").unwrap();
+        let parents = s.parents(a1);
+        assert_eq!(parents.len(), 2); // B1 and B2 share A1
+        let des = s.descendants(s.root());
+        assert_eq!(des.len(), s.object_count() - 1);
+    }
+}

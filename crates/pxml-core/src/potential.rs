@@ -1,0 +1,263 @@
+//! Potential child sets (Definitions 3.5 and 3.6).
+//!
+//! `PL(o, l)` is the set of potential `l`-child sets of `o`: subsets of
+//! `lch(o, l)` whose size lies in `card(o, l)`. `PC(o)` is the set of
+//! potential child sets: unions of one potential `l`-child set per label
+//! (equivalently, unions of minimal hitting sets of `{PL(o, l)}_l`, which
+//! coincide because a child carries a unique label — see
+//! [`crate::hitting`] and the property tests below).
+
+use crate::childset::ChildSet;
+use crate::ids::{Label, ObjectId};
+use crate::weak::WeakInstance;
+
+/// Enumerates `PL(o, l)` as child sets over `o`'s universe.
+pub fn pl_sets(w: &WeakInstance, o: ObjectId, l: Label) -> Vec<ChildSet> {
+    let Some(node) = w.node(o) else { return Vec::new() };
+    let positions: Vec<u32> = node.lch_positions(l).collect();
+    let card = node.card(l);
+    let mut out = Vec::new();
+    let hi = card.max.min(positions.len() as u32);
+    for k in card.min..=hi {
+        combinations(&positions, k as usize, &mut |chosen| {
+            out.push(ChildSet::from_positions(node.universe(), chosen.iter().copied()));
+        });
+    }
+    out
+}
+
+/// The size of `PL(o, l)` without enumeration: `Σ_{k=min}^{max} C(n, k)`.
+pub fn pl_count(w: &WeakInstance, o: ObjectId, l: Label) -> u64 {
+    let Some(node) = w.node(o) else { return 0 };
+    let n = node.lch_positions(l).count() as u64;
+    let card = node.card(l);
+    let hi = u64::from(card.max).min(n);
+    (u64::from(card.min)..=hi).map(|k| binomial(n, k)).sum()
+}
+
+/// Enumerates `PC(o)`: one potential `l`-child set per non-empty label,
+/// unioned. Childless objects have `PC(o) = {∅}`.
+pub fn pc_sets(w: &WeakInstance, o: ObjectId) -> Vec<ChildSet> {
+    let Some(node) = w.node(o) else { return Vec::new() };
+    let labels = node.labels();
+    let universe = node.universe();
+    if labels.is_empty() {
+        return vec![ChildSet::empty(universe)];
+    }
+    let per_label: Vec<Vec<ChildSet>> = labels.iter().map(|&l| pl_sets(w, o, l)).collect();
+    if per_label.iter().any(Vec::is_empty) {
+        return Vec::new(); // some label's cardinality is unsatisfiable
+    }
+    let mut out = vec![ChildSet::empty(universe)];
+    for sets in &per_label {
+        let mut next = Vec::with_capacity(out.len() * sets.len());
+        for base in &out {
+            for s in sets {
+                next.push(base.union(s));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The size of `PC(o)` without enumeration: `∏_l |PL(o, l)|`.
+pub fn pc_count(w: &WeakInstance, o: ObjectId) -> u64 {
+    let Some(node) = w.node(o) else { return 0 };
+    let labels = node.labels();
+    if labels.is_empty() {
+        return 1;
+    }
+    labels.iter().map(|&l| pl_count(w, o, l)).product()
+}
+
+/// True if `set ∈ PC(o)`: for every label the number of members carrying it
+/// lies in `card(o, l)`. Members are universe positions, so membership in
+/// `lch` is structural.
+pub fn pc_contains(w: &WeakInstance, o: ObjectId, set: &ChildSet) -> bool {
+    let Some(node) = w.node(o) else { return false };
+    node.labels().iter().all(|&l| node.card(l).contains(set.count_label(node.universe(), l)))
+}
+
+/// Computes `PC(o)` via the paper's literal Definition 3.6 (unions of
+/// minimal hitting sets of the `PL` families). Exponentially slower than
+/// [`pc_sets`]; used to validate the equivalence.
+pub fn pc_sets_via_hitting(w: &WeakInstance, o: ObjectId) -> Vec<ChildSet> {
+    let Some(node) = w.node(o) else { return Vec::new() };
+    let labels = node.labels();
+    let universe = node.universe();
+    if labels.is_empty() {
+        return vec![ChildSet::empty(universe)];
+    }
+    let families: Vec<Vec<ChildSet>> = labels.iter().map(|&l| pl_sets(w, o, l)).collect();
+    let hitting = crate::hitting::minimal_hitting_sets(&families);
+    let mut out: Vec<ChildSet> = hitting
+        .into_iter()
+        .map(|h| {
+            h.into_iter()
+                .fold(ChildSet::empty(universe), |acc, s| acc.union(&s))
+        })
+        .collect();
+    out.sort_by_key(|s| s.positions().collect::<Vec<_>>());
+    out.dedup();
+    out
+}
+
+/// Applies `f` to every `k`-combination of `items` (in lexicographic order
+/// of indices).
+fn combinations<T: Copy>(items: &[T], k: usize, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Copy>(items: &[T], k: usize, start: usize, acc: &mut Vec<T>, f: &mut impl FnMut(&[T])) {
+        if acc.len() == k {
+            f(acc);
+            return;
+        }
+        let needed = k - acc.len();
+        for i in start..=items.len().saturating_sub(needed) {
+            acc.push(items[i]);
+            rec(items, k, i + 1, acc, f);
+            acc.pop();
+        }
+    }
+    if k > items.len() {
+        return;
+    }
+    let mut acc = Vec::with_capacity(k);
+    rec(items, k, 0, &mut acc, f);
+}
+
+/// Binomial coefficient `C(n, k)`, saturating at `u64::MAX`.
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * u128::from(n - i) / u128::from(i + 1);
+        if acc > u128::from(u64::MAX) {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig2_weak;
+
+    fn oid(w: &WeakInstance, name: &str) -> ObjectId {
+        w.catalog().find_object(name).unwrap()
+    }
+    fn lid(w: &WeakInstance, name: &str) -> Label {
+        w.catalog().find_label(name).unwrap()
+    }
+
+    #[test]
+    fn example_3_2_author_children_of_b1() {
+        // card(B1, author) = [1,2] over {A1, A2} ⇒ {{A1},{A2},{A1,A2}}.
+        let w = fig2_weak();
+        let b1 = oid(&w, "B1");
+        let author = lid(&w, "author");
+        let pls = pl_sets(&w, b1, author);
+        assert_eq!(pls.len(), 3);
+        assert_eq!(pl_count(&w, b1, author), 3);
+        let sizes: Vec<u32> = pls.iter().map(ChildSet::len).collect();
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 2);
+        assert_eq!(sizes.iter().filter(|&&s| s == 2).count(), 1);
+    }
+
+    #[test]
+    fn pc_of_b1_matches_figure_2() {
+        // B1: authors [1,2] over {A1,A2}, titles [0,1] over {T1}
+        // ⇒ 3 × 2 = 6 potential child sets, as the Figure 2 table shows.
+        let w = fig2_weak();
+        let b1 = oid(&w, "B1");
+        assert_eq!(pc_count(&w, b1), 6);
+        assert_eq!(pc_sets(&w, b1).len(), 6);
+    }
+
+    #[test]
+    fn pc_of_r_matches_figure_2() {
+        // R: books [2,3] over {B1,B2,B3} ⇒ C(3,2)+C(3,3) = 4 sets.
+        let w = fig2_weak();
+        assert_eq!(pc_count(&w, w.root()), 4);
+        assert_eq!(pc_sets(&w, w.root()).len(), 4);
+    }
+
+    #[test]
+    fn pc_of_childless_object_is_empty_set_only() {
+        let w = fig2_weak();
+        let t1 = oid(&w, "T1");
+        let sets = pc_sets(&w, t1);
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].is_empty());
+        assert_eq!(pc_count(&w, t1), 1);
+    }
+
+    #[test]
+    fn pc_contains_agrees_with_enumeration() {
+        let w = fig2_weak();
+        for o in w.objects() {
+            let node = w.node(o).unwrap();
+            let sets = pc_sets(&w, o);
+            for s in &sets {
+                assert!(pc_contains(&w, o, s));
+            }
+            // Every subset of the universe not in PC must be rejected.
+            let all = ChildSet::full(node.universe());
+            if node.universe().len() <= 10 {
+                for sub in all.subsets() {
+                    let in_pc = sets.contains(&sub);
+                    assert_eq!(pc_contains(&w, o, &sub), in_pc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_product_equals_hitting_set_definition() {
+        let w = fig2_weak();
+        for o in w.objects() {
+            let mut fast = pc_sets(&w, o);
+            fast.sort_by_key(|s| s.positions().collect::<Vec<_>>());
+            fast.dedup();
+            let slow = pc_sets_via_hitting(&w, o);
+            assert_eq!(fast, slow, "PC mismatch for {:?}", w.catalog().object_name(o));
+        }
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(64, 32), 1832624140942590534);
+    }
+
+    #[test]
+    fn binomial_saturates() {
+        assert_eq!(binomial(1000, 500), u64::MAX);
+    }
+
+    #[test]
+    fn combinations_visits_all() {
+        let mut seen = Vec::new();
+        combinations(&[1, 2, 3, 4], 2, &mut |c| seen.push(c.to_vec()));
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&vec![1, 4]));
+        assert!(seen.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn combinations_k_zero_yields_empty_once() {
+        let mut count = 0;
+        combinations(&[1, 2], 0, &mut |c| {
+            assert!(c.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+}

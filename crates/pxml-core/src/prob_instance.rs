@@ -1,0 +1,411 @@
+//! Probabilistic instances (Definition 3.11).
+//!
+//! A probabilistic instance is a weak instance plus a local interpretation
+//! `℘` (Definition 3.10): an OPF for every non-leaf object and a VPF for
+//! every typed leaf. Construction validates probabilistic coherence
+//! (normalisation, support within `PC(o)`, value support within the
+//! domain) and acyclicity of the weak instance graph (Definition 4.3).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::error::{CoreError, Result};
+use crate::ids::{IdMap, Label, ObjectId, ObjectKind, TypeId};
+use crate::opf::{Opf, OpfTable};
+use crate::value::Value;
+use crate::vpf::Vpf;
+use crate::weak::{WeakInstance, WeakInstanceBuilder};
+
+/// A probabilistic instance `I = (V, lch, τ, val, card, ℘)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProbInstance {
+    weak: WeakInstance,
+    opf: IdMap<ObjectKind, Opf>,
+    vpf: IdMap<ObjectKind, Vpf>,
+}
+
+impl ProbInstance {
+    /// Starts building a probabilistic instance with a fresh catalog.
+    pub fn builder() -> ProbInstanceBuilder {
+        ProbInstanceBuilder {
+            weak: WeakInstance::builder(),
+            opf: IdMap::new(),
+            vpf: IdMap::new(),
+        }
+    }
+
+    /// Starts building over an existing catalog.
+    pub fn builder_with_catalog(catalog: Catalog) -> ProbInstanceBuilder {
+        ProbInstanceBuilder {
+            weak: WeakInstance::builder_with_catalog(catalog),
+            opf: IdMap::new(),
+            vpf: IdMap::new(),
+        }
+    }
+
+    /// Assembles an instance from parts, validating everything.
+    pub fn from_parts(
+        weak: WeakInstance,
+        opf: IdMap<ObjectKind, Opf>,
+        vpf: IdMap<ObjectKind, Vpf>,
+    ) -> Result<Self> {
+        let pi = ProbInstance { weak, opf, vpf };
+        pi.validate()?;
+        Ok(pi)
+    }
+
+    /// Assembles an instance from parts **without validation** — reserved
+    /// for algebra operators whose outputs are correct by construction
+    /// (they renormalise explicitly). Misuse produces incoherent instances.
+    pub fn from_parts_unchecked(
+        weak: WeakInstance,
+        opf: IdMap<ObjectKind, Opf>,
+        vpf: IdMap<ObjectKind, Vpf>,
+    ) -> Self {
+        ProbInstance { weak, opf, vpf }
+    }
+
+    /// Decomposes into `(weak, opf, vpf)`.
+    pub fn into_parts(self) -> (WeakInstance, IdMap<ObjectKind, Opf>, IdMap<ObjectKind, Vpf>) {
+        (self.weak, self.opf, self.vpf)
+    }
+
+    /// The underlying weak instance.
+    pub fn weak(&self) -> &WeakInstance {
+        &self.weak
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        self.weak.catalog()
+    }
+
+    /// The root object.
+    pub fn root(&self) -> ObjectId {
+        self.weak.root()
+    }
+
+    /// The vertex set, in id order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.weak.objects()
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.weak.object_count()
+    }
+
+    /// The OPF of a non-leaf object, if present.
+    pub fn opf(&self, o: ObjectId) -> Option<&Opf> {
+        self.opf.get(o)
+    }
+
+    /// The VPF of a typed leaf, if present.
+    pub fn vpf(&self, o: ObjectId) -> Option<&Vpf> {
+        self.vpf.get(o)
+    }
+
+    /// All OPFs.
+    pub fn opfs(&self) -> &IdMap<ObjectKind, Opf> {
+        &self.opf
+    }
+
+    /// All VPFs.
+    pub fn vpfs(&self) -> &IdMap<ObjectKind, Vpf> {
+        &self.vpf
+    }
+
+    /// Total number of stored local-interpretation entries — the `|℘|`
+    /// statistic that the paper's Figure 7 cost model tracks.
+    pub fn interpretation_size(&self) -> usize {
+        self.opf.iter().map(|(_, o)| o.stored_len()).sum::<usize>()
+            + self.vpf.iter().map(|(_, v)| v.len()).sum::<usize>()
+    }
+
+    /// Looks up an object id by name.
+    pub fn oid(&self, name: &str) -> Result<ObjectId> {
+        self.catalog().find_object(name).ok_or_else(|| CoreError::NameNotFound(name.into()))
+    }
+
+    /// Looks up a label id by name.
+    pub fn lid(&self, name: &str) -> Result<Label> {
+        self.catalog().find_label(name).ok_or_else(|| CoreError::NameNotFound(name.into()))
+    }
+
+    /// Full validation: weak structure, acyclicity (Definition 4.3), an
+    /// OPF for every object with potential children (normalised, support
+    /// in `PC`), a VPF for every typed leaf (normalised, support in the
+    /// domain).
+    pub fn validate(&self) -> Result<()> {
+        self.weak.validate()?;
+        self.weak.topo_order()?; // acyclicity
+        for o in self.weak.objects() {
+            let node = self.weak.node(o).expect("iterating objects");
+            if let Some(leaf) = node.leaf() {
+                let ty = self.catalog().type_def(leaf.ty);
+                match self.vpf.get(o) {
+                    Some(vpf) => vpf.validate(o, ty)?,
+                    None => return Err(CoreError::MissingVpf(o)),
+                }
+            } else if !node.is_childless() {
+                match self.opf.get(o) {
+                    Some(opf) => opf.validate(&self.weak, o)?,
+                    None => return Err(CoreError::MissingOpf(o)),
+                }
+            }
+            // Bare childless objects carry no local probability function.
+        }
+        Ok(())
+    }
+
+    /// Pretty tabular rendering in the style of the paper's Figure 2.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let cat = self.catalog();
+        let _ = writeln!(out, "o | l | lch(o, l)");
+        for o in self.objects() {
+            let node = self.weak.node(o).expect("iterating");
+            for l in node.labels() {
+                let kids: Vec<&str> = node.lch(l).map(|c| cat.object_name(c)).collect();
+                let _ = writeln!(
+                    out,
+                    "{} | {} | {{{}}}",
+                    cat.object_name(o),
+                    cat.label_name(l),
+                    kids.join(", ")
+                );
+            }
+        }
+        let _ = writeln!(out, "\no | l | card(o, l)");
+        for o in self.objects() {
+            let node = self.weak.node(o).expect("iterating");
+            for l in node.labels() {
+                if let Some(card) = node.declared_card(l) {
+                    let _ = writeln!(
+                        out,
+                        "{} | {} | [{}, {}]",
+                        cat.object_name(o),
+                        cat.label_name(l),
+                        card.min,
+                        card.max
+                    );
+                }
+            }
+        }
+        for (o, opf) in self.opf.iter() {
+            let node = self.weak.node(o).expect("opf object");
+            let _ = writeln!(out, "\nc in PC({}) | P", cat.object_name(o));
+            for (set, p) in opf.to_table(node.universe()).iter() {
+                let _ = writeln!(out, "{} | {:.6}", set.display(node.universe(), cat), p);
+            }
+        }
+        for (o, vpf) in self.vpf.iter() {
+            let _ = writeln!(out, "\nv in dom(tau({})) | P", cat.object_name(o));
+            for (v, p) in vpf.iter() {
+                let _ = writeln!(out, "{v} | {p:.6}");
+            }
+        }
+        out
+    }
+}
+
+/// Builder for [`ProbInstance`], extending [`WeakInstanceBuilder`] with
+/// local probability functions.
+#[derive(Debug)]
+pub struct ProbInstanceBuilder {
+    weak: WeakInstanceBuilder,
+    opf: IdMap<ObjectKind, Opf>,
+    vpf: IdMap<ObjectKind, Vpf>,
+}
+
+impl ProbInstanceBuilder {
+    /// Access to the structural builder.
+    pub fn weak(&mut self) -> &mut WeakInstanceBuilder {
+        &mut self.weak
+    }
+
+    /// Interns an object name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        self.weak.object(name)
+    }
+
+    /// Interns a label name.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.weak.label(name)
+    }
+
+    /// Registers a leaf type.
+    pub fn define_type(&mut self, ty: crate::types::LeafType) -> TypeId {
+        self.weak.define_type(ty)
+    }
+
+    /// Declares `lch` by names.
+    pub fn lch(&mut self, parent: &str, label: &str, children: &[&str]) -> &mut Self {
+        self.weak.lch_named(parent, label, children);
+        self
+    }
+
+    /// Declares `card` by names.
+    pub fn card(&mut self, object: &str, label: &str, min: u32, max: u32) -> &mut Self {
+        self.weak.card_named(object, label, min, max);
+        self
+    }
+
+    /// Declares a typed leaf by names.
+    pub fn leaf(&mut self, object: &str, ty: &str, val: Option<Value>) -> &mut Self {
+        self.weak.leaf_named(object, ty, val);
+        self
+    }
+
+    /// Sets the OPF of `object`.
+    pub fn opf(&mut self, object: ObjectId, opf: Opf) -> &mut Self {
+        self.opf.insert(object, opf);
+        self
+    }
+
+    /// Sets an explicit-table OPF by names: each entry is a list of child
+    /// names with its probability.
+    pub fn opf_table(&mut self, object: &str, entries: &[(&[&str], f64)]) -> &mut Self {
+        let o = self.weak.object(object);
+        // Children must already have been declared via lch so the universe
+        // is complete.
+        let universe = {
+            let node = self
+                .weak_node(o)
+                .expect("declare lch before the OPF so the child universe is known");
+            node.universe().clone()
+        };
+        let mut table = OpfTable::new();
+        for (names, p) in entries {
+            let ids: Vec<ObjectId> = names
+                .iter()
+                .map(|n| self.weak.catalog().find_object(n).expect("OPF child must be declared"))
+                .collect();
+            let set = crate::childset::ChildSet::from_objects(&universe, ids)
+                .expect("OPF entry child must be in lch");
+            table.add(set, *p);
+        }
+        self.opf.insert(o, Opf::Table(table));
+        self
+    }
+
+    fn weak_node(&mut self, o: ObjectId) -> Option<&crate::weak::WeakNode> {
+        // The weak builder has no public node accessor; go through a
+        // throwaway build-free path by peeking at the nodes map.
+        self.weak.peek_node(o)
+    }
+
+    /// Sets the VPF of a typed leaf by name.
+    pub fn vpf(&mut self, object: &str, entries: &[(Value, f64)]) -> &mut Self {
+        let o = self.weak.object(object);
+        self.vpf.insert(o, Vpf::from_entries(entries.iter().cloned()));
+        self
+    }
+
+    /// Finishes the build. Typed leaves that declared a fixed value but no
+    /// VPF receive a point-mass VPF on that value.
+    pub fn build(mut self, root: ObjectId) -> Result<ProbInstance> {
+        // Default point-mass VPFs.
+        let defaults: Vec<(ObjectId, Value)> = self
+            .weak
+            .peek_leaves()
+            .filter(|(o, _)| !self.vpf.contains(*o))
+            .filter_map(|(o, leaf)| leaf.val.clone().map(|v| (o, v)))
+            .collect();
+        for (o, v) in defaults {
+            self.vpf.insert(o, Vpf::point(v));
+        }
+        let weak = self.weak.build(root)?;
+        ProbInstance::from_parts(weak, self.opf, self.vpf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig2_instance, fig2_weak};
+
+    #[test]
+    fn fig2_instance_validates() {
+        let pi = fig2_instance();
+        assert_eq!(pi.object_count(), 11);
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn fig2_opf_probabilities_match_paper() {
+        let pi = fig2_instance();
+        let r = pi.root();
+        let node = pi.weak().node(r).unwrap();
+        let opf = pi.opf(r).unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        let b2 = pi.oid("B2").unwrap();
+        let b3 = pi.oid("B3").unwrap();
+        let set12 =
+            crate::childset::ChildSet::from_objects(node.universe(), [b1, b2]).unwrap();
+        let set123 =
+            crate::childset::ChildSet::from_objects(node.universe(), [b1, b2, b3]).unwrap();
+        assert!((opf.prob(&set12) - 0.2).abs() < 1e-12);
+        assert!((opf.prob(&set123) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_opf_is_rejected() {
+        let w = fig2_weak();
+        let res = ProbInstance::from_parts(w, IdMap::new(), IdMap::new());
+        assert!(matches!(res, Err(CoreError::MissingOpf(_)) | Err(CoreError::MissingVpf(_))));
+    }
+
+    #[test]
+    fn unnormalised_opf_is_rejected() {
+        let mut b = ProbInstance::builder();
+        let r = b.object("R");
+        b.lch("R", "x", &["A"]);
+        b.opf_table("R", &[(&["A"], 0.5)]); // sums to 0.5, and ∅ missing
+        assert!(matches!(b.build(r), Err(CoreError::OpfNotNormalized { .. })));
+    }
+
+    #[test]
+    fn opf_outside_pc_is_rejected() {
+        let mut b = ProbInstance::builder();
+        let r = b.object("R");
+        b.lch("R", "x", &["A", "B"]);
+        b.card("R", "x", 2, 2);
+        // {A} has cardinality 1 ∉ [2,2].
+        b.opf_table("R", &[(&["A"], 0.5), (&["A", "B"], 0.5)]);
+        assert!(matches!(b.build(r), Err(CoreError::OpfEntryOutsidePc { .. })));
+    }
+
+    #[test]
+    fn leaf_val_defaults_to_point_vpf() {
+        let mut b = ProbInstance::builder();
+        b.define_type(crate::types::LeafType::new("t", [Value::Int(1), Value::Int(2)]));
+        let r = b.object("R");
+        b.lch("R", "x", &["A"]);
+        b.leaf("A", "t", Some(Value::Int(2)));
+        b.opf_table("R", &[(&["A"], 1.0)]);
+        let pi = b.build(r).unwrap();
+        let a = pi.oid("A").unwrap();
+        assert_eq!(pi.vpf(a).unwrap().prob(&Value::Int(2)), 1.0);
+    }
+
+    #[test]
+    fn interpretation_size_counts_entries() {
+        let pi = fig2_instance();
+        // R:4 + B1:6 + B2:3 + B3:1 + A1:2 + A2:2 + A3:1 = 19 OPF entries,
+        // T1:2 + T2:2 + I1:1 + I2:1 = 6 VPF entries.
+        assert_eq!(pi.interpretation_size(), 25);
+    }
+
+    #[test]
+    fn render_shows_figure2_style_tables() {
+        let pi = fig2_instance();
+        let txt = pi.render();
+        assert!(txt.contains("card(o, l)"));
+        assert!(txt.contains("c in PC(R)"));
+        assert!(txt.contains("{B1, B2, B3}"));
+    }
+}

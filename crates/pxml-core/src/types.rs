@@ -1,0 +1,163 @@
+//! Leaf types and their finite domains.
+//!
+//! The paper assumes each leaf type has a finite domain over which a value
+//! probability function (VPF, Definition 3.9) is defined; e.g.
+//! `dom(title-type) = {VQDB, Lore}` in Example 3.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Interner, TypeId, TypeKind};
+use crate::value::Value;
+
+/// A leaf type: a name plus a finite ordered domain of values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeafType {
+    name: String,
+    domain: Vec<Value>,
+}
+
+impl LeafType {
+    /// Creates a type. The domain is deduplicated and sorted into canonical
+    /// order so that two types with the same values compare equal.
+    pub fn new(name: impl Into<String>, domain: impl IntoIterator<Item = Value>) -> Self {
+        let mut domain: Vec<Value> = domain.into_iter().collect();
+        domain.sort();
+        domain.dedup();
+        LeafType { name: name.into(), domain }
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The finite domain `dom(τ)`, in canonical order.
+    pub fn domain(&self) -> &[Value] {
+        &self.domain
+    }
+
+    /// True if `v ∈ dom(τ)`.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.domain.binary_search(v).is_ok()
+    }
+
+    /// Size of the domain.
+    pub fn domain_size(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// The registry of leaf types of a catalog (the paper's `T`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TypeTable {
+    names: Interner<TypeKind>,
+    defs: Vec<LeafType>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a type, returning its id. Re-registering the same name
+    /// replaces the definition (last writer wins) and keeps the id stable.
+    pub fn define(&mut self, ty: LeafType) -> TypeId {
+        let id = self.names.intern(&ty.name);
+        if id.index() == self.defs.len() {
+            self.defs.push(ty);
+        } else {
+            self.defs[id.index()] = ty;
+        }
+        id
+    }
+
+    /// Looks up a type id by name.
+    pub fn get(&self, name: &str) -> Option<TypeId> {
+        self.names.get(name)
+    }
+
+    /// Resolves a type id to its definition.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: TypeId) -> &LeafType {
+        &self.defs[id.index()]
+    }
+
+    /// Resolves a type id without panicking.
+    pub fn try_resolve(&self, id: TypeId) -> Option<&LeafType> {
+        self.defs.get(id.index())
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates over `(id, definition)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &LeafType)> {
+        self.defs.iter().enumerate().map(|(i, d)| (TypeId::from_raw(i as u32), d))
+    }
+
+    /// Rebuilds internal lookup indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.names.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn title_type() -> LeafType {
+        LeafType::new("title-type", [Value::str("VQDB"), Value::str("Lore")])
+    }
+
+    #[test]
+    fn domain_is_sorted_and_deduplicated() {
+        let t = LeafType::new("t", [Value::Int(2), Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.domain(), [Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.domain_size(), 2);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let t = title_type();
+        assert!(t.contains(&Value::str("VQDB")));
+        assert!(!t.contains(&Value::str("TAX")));
+    }
+
+    #[test]
+    fn define_and_resolve_round_trip() {
+        let mut tt = TypeTable::new();
+        let id = tt.define(title_type());
+        assert_eq!(tt.resolve(id).name(), "title-type");
+        assert_eq!(tt.get("title-type"), Some(id));
+        assert_eq!(tt.get("missing"), None);
+    }
+
+    #[test]
+    fn redefining_a_type_keeps_its_id() {
+        let mut tt = TypeTable::new();
+        let id = tt.define(title_type());
+        let id2 = tt.define(LeafType::new("title-type", [Value::str("TAX")]));
+        assert_eq!(id, id2);
+        assert!(tt.resolve(id).contains(&Value::str("TAX")));
+        assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn iter_lists_types_in_registration_order() {
+        let mut tt = TypeTable::new();
+        tt.define(title_type());
+        tt.define(LeafType::new("institution-type", [Value::str("Stanford"), Value::str("UMD")]));
+        let names: Vec<&str> = tt.iter().map(|(_, d)| d.name()).collect();
+        assert_eq!(names, ["title-type", "institution-type"]);
+    }
+}

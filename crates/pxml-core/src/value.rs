@@ -1,0 +1,212 @@
+//! Leaf values.
+//!
+//! Leaf objects of a semistructured instance carry a value drawn from the
+//! (finite) domain of their type (Definition 3.3, item 3). Values must be
+//! hashable and totally ordered so that value probability functions (VPFs)
+//! and canonical instance forms can use them as keys; floats are therefore
+//! compared bitwise on a canonicalised representation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A value of a leaf object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// A string value, e.g. a paper title.
+    Str(Arc<str>),
+    /// A 64-bit signed integer, e.g. a publication year.
+    Int(i64),
+    /// A 64-bit float, e.g. a measured quantity.
+    Float(f64),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Canonicalises the float payload so that `-0.0 == 0.0` and all NaNs
+    /// compare equal. Used by `Eq`/`Hash`/`Ord`.
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0u64
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// A small integer tag establishing the ordering between variants.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Str(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            Value::Str(s) => s.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Self::float_bits(*f).hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => {
+                a.partial_cmp(b).unwrap_or_else(|| Self::float_bits(*a).cmp(&Self::float_bits(*b)))
+            }
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn string_values_compare_by_content() {
+        assert_eq!(Value::str("VQDB"), Value::str("VQDB"));
+        assert_ne!(Value::str("VQDB"), Value::str("Lore"));
+        assert!(Value::str("Lore") < Value::str("VQDB"));
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_under_canonicalisation() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn cross_variant_ordering_follows_tags() {
+        assert!(Value::str("z") < Value::Int(0));
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::MIN));
+        assert!(Value::Float(0.0) < Value::Bool(false));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
+        assert_eq!(hash_of(&Value::str("UMD")), hash_of(&Value::str("UMD")));
+    }
+
+    #[test]
+    fn cross_variant_values_are_unequal() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Bool(true), Value::Int(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::str("VQDB").to_string(), "\"VQDB\"");
+        assert_eq!(Value::Int(2003).to_string(), "2003");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

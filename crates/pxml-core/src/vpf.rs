@@ -1,0 +1,195 @@
+//! Value probability functions (Definition 3.9).
+//!
+//! A VPF for a leaf object `o` is a distribution over `dom(τ(o))`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result, PROB_EPS};
+use crate::ids::ObjectId;
+use crate::types::LeafType;
+use crate::value::Value;
+
+/// A distribution over the finite domain of a leaf's type.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vpf {
+    entries: Vec<(Value, f64)>,
+}
+
+impl Vpf {
+    /// Creates an empty VPF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a VPF from `(value, probability)` pairs; later entries for
+    /// the same value overwrite earlier ones.
+    pub fn from_entries(entries: impl IntoIterator<Item = (Value, f64)>) -> Self {
+        let mut v = Vpf::new();
+        for (val, p) in entries {
+            v.set(val, p);
+        }
+        v
+    }
+
+    /// A VPF concentrated on a single value.
+    pub fn point(value: Value) -> Self {
+        Vpf { entries: vec![(value, 1.0)] }
+    }
+
+    /// The uniform distribution over a type's domain.
+    pub fn uniform(ty: &LeafType) -> Self {
+        let n = ty.domain_size();
+        assert!(n > 0, "uniform VPF needs a non-empty domain");
+        let p = 1.0 / n as f64;
+        Vpf { entries: ty.domain().iter().map(|v| (v.clone(), p)).collect() }
+    }
+
+    /// Sets the probability of `value`.
+    pub fn set(&mut self, value: Value, p: f64) {
+        match self.entries.iter_mut().find(|(v, _)| *v == value) {
+            Some((_, q)) => *q = p,
+            None => self.entries.push((value, p)),
+        }
+    }
+
+    /// The probability of `value` (0 if absent).
+    pub fn prob(&self, value: &Value) -> f64 {
+        self.entries.iter().find(|(v, _)| v == value).map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Iterates over `(value, probability)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, f64)> {
+        self.entries.iter().map(|(v, p)| (v, *p))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the VPF has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all probabilities.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Conditions on `value`: the VPF becomes a point mass; returns the
+    /// prior probability of the value (the normalisation constant).
+    pub fn condition_to(&self, value: &Value) -> (Vpf, f64) {
+        let m = self.prob(value);
+        (Vpf::point(value.clone()), m)
+    }
+
+    /// Validates the VPF for leaf `o` of type `ty`.
+    pub fn validate(&self, o: ObjectId, ty: &LeafType) -> Result<()> {
+        let mut sum = 0.0;
+        for (v, p) in self.iter() {
+            if !(0.0..=1.0 + PROB_EPS).contains(&p) {
+                return Err(CoreError::BadProbability { object: o, p });
+            }
+            if p > 0.0 && !ty.contains(v) {
+                return Err(CoreError::VpfValueOutsideDomain { object: o });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(CoreError::VpfNotNormalized { object: o, sum });
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Vpf {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(v, p)| (other.prob(v) - p).abs() <= PROB_EPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn title_type() -> LeafType {
+        LeafType::new("title-type", [Value::str("VQDB"), Value::str("Lore")])
+    }
+
+    #[test]
+    fn set_and_prob() {
+        let mut v = Vpf::new();
+        v.set(Value::str("VQDB"), 0.4);
+        v.set(Value::str("Lore"), 0.6);
+        assert!((v.prob(&Value::str("VQDB")) - 0.4).abs() < 1e-12);
+        assert_eq!(v.prob(&Value::str("TAX")), 0.0);
+        assert!((v.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut v = Vpf::from_entries([(Value::Int(1), 0.5)]);
+        v.set(Value::Int(1), 0.25);
+        assert_eq!(v.len(), 1);
+        assert!((v.prob(&Value::Int(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_and_uniform() {
+        let p = Vpf::point(Value::str("Lore"));
+        assert_eq!(p.prob(&Value::str("Lore")), 1.0);
+        let u = Vpf::uniform(&title_type());
+        assert_eq!(u.len(), 2);
+        assert!((u.prob(&Value::str("VQDB")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_returns_prior_mass() {
+        let v = Vpf::from_entries([(Value::str("VQDB"), 0.4), (Value::str("Lore"), 0.6)]);
+        let (cond, m) = v.condition_to(&Value::str("Lore"));
+        assert!((m - 0.6).abs() < 1e-12);
+        assert_eq!(cond.prob(&Value::str("Lore")), 1.0);
+    }
+
+    #[test]
+    fn validate_accepts_legal_vpf() {
+        let v = Vpf::from_entries([(Value::str("VQDB"), 0.4), (Value::str("Lore"), 0.6)]);
+        assert!(v.validate(ObjectId::from_raw(0), &title_type()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unnormalised() {
+        let v = Vpf::from_entries([(Value::str("VQDB"), 0.4)]);
+        assert!(matches!(
+            v.validate(ObjectId::from_raw(0), &title_type()),
+            Err(CoreError::VpfNotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_value_outside_domain() {
+        let v = Vpf::from_entries([(Value::str("TAX"), 1.0)]);
+        assert!(matches!(
+            v.validate(ObjectId::from_raw(0), &title_type()),
+            Err(CoreError::VpfValueOutsideDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_negative_probability() {
+        let v = Vpf::from_entries([(Value::str("VQDB"), -0.2), (Value::str("Lore"), 1.2)]);
+        assert!(matches!(
+            v.validate(ObjectId::from_raw(0), &title_type()),
+            Err(CoreError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn vpf_equality_is_tolerant() {
+        let a = Vpf::from_entries([(Value::Int(1), 0.5), (Value::Int(2), 0.5)]);
+        let b = Vpf::from_entries([(Value::Int(2), 0.5 + 1e-12), (Value::Int(1), 0.5)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,680 @@
+//! Weak instances (Definition 3.4).
+//!
+//! A weak instance `W = (V, lch, τ, val, card)` describes which objects
+//! *may* occur as children of which objects, under which labels, and with
+//! what cardinality bounds. It carries no probabilities; a
+//! [`crate::ProbInstance`] adds a local interpretation on top.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::childset::ChildUniverse;
+use crate::error::{CoreError, Result};
+use crate::ids::{IdMap, Label, ObjectId, ObjectKind, TypeId};
+use crate::value::Value;
+
+/// A cardinality interval `card(o, l) = [min, max]` (Definition 3.4, item 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Card {
+    /// Lower bound on the number of `l`-children.
+    pub min: u32,
+    /// Upper bound on the number of `l`-children.
+    pub max: u32,
+}
+
+impl Card {
+    /// Creates an interval; requires `min <= max`.
+    pub fn new(min: u32, max: u32) -> Self {
+        assert!(min <= max, "cardinality interval must have min <= max");
+        Card { min, max }
+    }
+
+    /// The unconstrained interval `[0, n]` used when no card is declared.
+    pub fn unconstrained(n: u32) -> Self {
+        Card { min: 0, max: n }
+    }
+
+    /// True if `k` lies in the closed interval.
+    pub fn contains(&self, k: u32) -> bool {
+        self.min <= k && k <= self.max
+    }
+}
+
+/// Leaf data of an object: its type and, optionally, a fixed value.
+///
+/// In Definition 3.4, `val` associates a value with each leaf; in a
+/// probabilistic instance the VPF (Definition 3.9) distributes over the
+/// whole domain, so the fixed value is optional here and used only by
+/// ordinary (non-probabilistic) semistructured processing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeafInfo {
+    /// The leaf's type `τ(o)`.
+    pub ty: TypeId,
+    /// The leaf's fixed value, if any.
+    pub val: Option<Value>,
+}
+
+/// Per-object data of a weak instance.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WeakNode {
+    universe: ChildUniverse,
+    cards: Vec<(Label, Card)>,
+    leaf: Option<LeafInfo>,
+}
+
+impl WeakNode {
+    /// Assembles a node from parts (used by algebra operators that build
+    /// derived weak instances; [`WeakInstance::from_parts`] validates).
+    pub fn from_parts(
+        universe: ChildUniverse,
+        cards: Vec<(Label, Card)>,
+        leaf: Option<LeafInfo>,
+    ) -> Self {
+        WeakNode { universe, cards, leaf }
+    }
+
+    /// The declared cardinality intervals.
+    pub fn cards(&self) -> &[(Label, Card)] {
+        &self.cards
+    }
+
+    /// The ordered potential children (the union of `lch(o, l)` over `l`).
+    pub fn universe(&self) -> &ChildUniverse {
+        &self.universe
+    }
+
+    /// The declared cardinality for `label`, if any.
+    pub fn declared_card(&self, label: Label) -> Option<Card> {
+        self.cards.iter().find(|&&(l, _)| l == label).map(|&(_, c)| c)
+    }
+
+    /// The effective cardinality for `label`: the declared interval with
+    /// its upper bound clamped to `|lch(o, l)|`, or `[0, |lch(o, l)|]` if
+    /// none was declared.
+    pub fn card(&self, label: Label) -> Card {
+        let available = self.lch_positions(label).count() as u32;
+        match self.declared_card(label) {
+            Some(c) => Card { min: c.min, max: c.max.min(available) },
+            None => Card::unconstrained(available),
+        }
+    }
+
+    /// Positions (in the universe) of the potential `label`-children.
+    pub fn lch_positions(&self, label: Label) -> impl Iterator<Item = u32> + '_ {
+        self.universe.iter().filter(move |&(_, _, l)| l == label).map(|(p, _, _)| p)
+    }
+
+    /// The potential `label`-children `lch(o, label)`.
+    pub fn lch(&self, label: Label) -> impl Iterator<Item = ObjectId> + '_ {
+        self.universe.iter().filter(move |&(_, _, l)| l == label).map(|(_, o, _)| o)
+    }
+
+    /// The distinct labels with non-empty `lch`.
+    pub fn labels(&self) -> Vec<Label> {
+        self.universe.labels()
+    }
+
+    /// The leaf data, if this object is a typed leaf.
+    pub fn leaf(&self) -> Option<&LeafInfo> {
+        self.leaf.as_ref()
+    }
+
+    /// True if the object has no potential children.
+    pub fn is_childless(&self) -> bool {
+        self.universe.is_empty()
+    }
+}
+
+/// A weak instance `W = (V, lch, τ, val, card)` over a shared catalog.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeakInstance {
+    catalog: Arc<Catalog>,
+    root: ObjectId,
+    nodes: IdMap<ObjectKind, WeakNode>,
+}
+
+impl WeakInstance {
+    /// Starts building a weak instance with a fresh catalog.
+    pub fn builder() -> WeakInstanceBuilder {
+        WeakInstanceBuilder::new(Catalog::new())
+    }
+
+    /// Starts building a weak instance extending an existing catalog.
+    pub fn builder_with_catalog(catalog: Catalog) -> WeakInstanceBuilder {
+        WeakInstanceBuilder::new(catalog)
+    }
+
+    /// Constructs a weak instance from parts, validating it.
+    pub fn from_parts(
+        catalog: Arc<Catalog>,
+        root: ObjectId,
+        nodes: IdMap<ObjectKind, WeakNode>,
+    ) -> Result<Self> {
+        let w = WeakInstance { catalog, root, nodes };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The root object.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// The vertex set `V`, in id order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.nodes.keys()
+    }
+
+    /// Number of objects in `V`.
+    pub fn object_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if `o ∈ V`.
+    pub fn contains(&self, o: ObjectId) -> bool {
+        self.nodes.contains(o)
+    }
+
+    /// The node data for `o`.
+    pub fn node(&self, o: ObjectId) -> Option<&WeakNode> {
+        self.nodes.get(o)
+    }
+
+    /// Mutable node access, for algebra operators within this crate family.
+    pub fn node_mut(&mut self, o: ObjectId) -> Option<&mut WeakNode> {
+        self.nodes.get_mut(o)
+    }
+
+    /// The full node map.
+    pub fn nodes(&self) -> &IdMap<ObjectKind, WeakNode> {
+        &self.nodes
+    }
+
+    /// `lch(o, l)`: the objects that may be `l`-children of `o`.
+    pub fn lch(&self, o: ObjectId, l: Label) -> Vec<ObjectId> {
+        self.nodes.get(o).map(|n| n.lch(l).collect()).unwrap_or_default()
+    }
+
+    /// The effective cardinality interval for `(o, l)`.
+    pub fn card(&self, o: ObjectId, l: Label) -> Card {
+        self.nodes.get(o).map(|n| n.card(l)).unwrap_or(Card::unconstrained(0))
+    }
+
+    /// Edges of the **weak instance graph** `G_W` (Definition 3.7) leaving
+    /// `o`: there is an edge to `o'` iff some potential child set of `o`
+    /// contains `o'`, which (given validated cardinalities) holds exactly
+    /// when `o' ∈ lch(o, l)` and `card(o, l).max ≥ 1`.
+    pub fn weak_edges(&self, o: ObjectId) -> Vec<(Label, ObjectId)> {
+        let Some(node) = self.nodes.get(o) else { return Vec::new() };
+        let mut out = Vec::new();
+        for label in node.labels() {
+            if node.card(label).max >= 1 {
+                for child in node.lch(label) {
+                    out.push((label, child));
+                }
+            }
+        }
+        out
+    }
+
+    /// A topological order of the weak instance graph, or the object on a
+    /// cycle if `G_W` is cyclic (Definition 4.3 requires acyclicity).
+    pub fn topo_order(&self) -> Result<Vec<ObjectId>> {
+        let mut indegree: HashMap<ObjectId, usize> =
+            self.objects().map(|o| (o, 0)).collect();
+        for o in self.objects() {
+            for (_, c) in self.weak_edges(o) {
+                if let Some(d) = indegree.get_mut(&c) {
+                    *d += 1;
+                }
+            }
+        }
+        let mut queue: Vec<ObjectId> =
+            self.objects().filter(|o| indegree[o] == 0).collect();
+        // Sort for determinism; pop from the front via index.
+        queue.sort();
+        let mut order = Vec::with_capacity(self.object_count());
+        let mut head = 0;
+        while head < queue.len() {
+            let o = queue[head];
+            head += 1;
+            order.push(o);
+            for (_, c) in self.weak_edges(o) {
+                let d = indegree.get_mut(&c).expect("validated child");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() == self.object_count() {
+            Ok(order)
+        } else {
+            let on_cycle = self
+                .objects()
+                .find(|o| indegree[o] > 0)
+                .expect("cycle implies positive indegree");
+            Err(CoreError::CycleDetected(on_cycle))
+        }
+    }
+
+    /// True if the weak instance graph is acyclic (Definition 4.3).
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+
+    /// Parent map over the weak instance graph: for each object, the
+    /// objects with a weak edge into it.
+    pub fn parents(&self) -> IdMap<ObjectKind, Vec<ObjectId>> {
+        let mut map: IdMap<ObjectKind, Vec<ObjectId>> = IdMap::new();
+        for o in self.objects() {
+            map.insert(o, Vec::new());
+        }
+        for o in self.objects() {
+            for (_, c) in self.weak_edges(o) {
+                if let Some(v) = map.get_mut(c) {
+                    if !v.contains(&o) {
+                        v.push(o);
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// The descendants of `o` in the weak instance graph (`des(o)`,
+    /// Definition 3.2).
+    pub fn descendants(&self, o: ObjectId) -> Vec<ObjectId> {
+        let mut seen: Vec<ObjectId> = Vec::new();
+        let mut stack: Vec<ObjectId> = self.weak_edges(o).into_iter().map(|(_, c)| c).collect();
+        while let Some(c) = stack.pop() {
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            stack.extend(self.weak_edges(c).into_iter().map(|(_, c2)| c2));
+        }
+        seen.sort();
+        seen
+    }
+
+    /// The non-descendants of `o` (`non-des(o)`, Definition 3.2): every
+    /// object in `V` other than `o` and its descendants.
+    pub fn non_descendants(&self, o: ObjectId) -> Vec<ObjectId> {
+        let des = self.descendants(o);
+        self.objects().filter(|&x| x != o && des.binary_search(&x).is_err()).collect()
+    }
+
+    /// True if every object other than the root has at most one parent in
+    /// the weak instance graph — the tree-shape assumption of Section 6.
+    pub fn is_tree_shaped(&self) -> bool {
+        let parents = self.parents();
+        self.objects().all(|o| parents.get(o).map_or(0, Vec::len) <= 1 || o == self.root)
+    }
+
+    /// Full structural validation; called by [`WeakInstance::from_parts`].
+    pub fn validate(&self) -> Result<()> {
+        if !self.nodes.contains(self.root) {
+            return Err(CoreError::MissingRoot);
+        }
+        for (o, node) in self.nodes.iter() {
+            // Children must exist, be unique and carry a unique label.
+            let mut seen: HashMap<ObjectId, Label> = HashMap::new();
+            for (_, child, label) in node.universe.iter() {
+                if !self.nodes.contains(child) {
+                    return Err(CoreError::UnknownObject(child));
+                }
+                match seen.get(&child) {
+                    None => {
+                        seen.insert(child, label);
+                    }
+                    Some(&first) if first == label => {
+                        return Err(CoreError::DuplicateChild { parent: o, child, label })
+                    }
+                    Some(&first) => {
+                        return Err(CoreError::AmbiguousChildLabel {
+                            parent: o,
+                            child,
+                            first,
+                            second: label,
+                        })
+                    }
+                }
+            }
+            // Cardinalities must be satisfiable.
+            for &(label, card) in &node.cards {
+                let available = node.lch_positions(label).count() as u32;
+                if card.min > card.max || card.min > available {
+                    return Err(CoreError::BadCardinality {
+                        object: o,
+                        label,
+                        min: card.min,
+                        max: card.max,
+                        available,
+                    });
+                }
+            }
+            // Leaf constraints.
+            if let Some(leaf) = &node.leaf {
+                if !node.universe.is_empty() {
+                    return Err(CoreError::LeafWithChildren(o));
+                }
+                if let Some(val) = &leaf.val {
+                    if !self.catalog.type_def(leaf.ty).contains(val) {
+                        return Err(CoreError::ValueOutsideDomain(o));
+                    }
+                }
+            }
+        }
+        // Reachability from the root over the weak instance graph.
+        let mut reached: IdMap<ObjectKind, ()> = IdMap::new();
+        let mut stack = vec![self.root];
+        while let Some(o) = stack.pop() {
+            if reached.insert(o, ()).is_some() {
+                continue;
+            }
+            stack.extend(self.weak_edges(o).into_iter().map(|(_, c)| c));
+        }
+        for o in self.objects() {
+            if !reached.contains(o) {
+                return Err(CoreError::Unreachable(o));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the total number of compatible instances implied by purely
+    /// local choices, i.e. `∏_o |PC(o)|·|dom(τ(o))|`-style bound. This is an
+    /// upper bound on `|Domain(W)|` used to refuse infeasible enumerations.
+    pub fn world_bound(&self) -> f64 {
+        let mut log_bound = 0f64;
+        for (o, node) in self.nodes.iter() {
+            if let Some(leaf) = node.leaf() {
+                let d = self.catalog.type_def(leaf.ty).domain_size().max(1);
+                log_bound += (d as f64).ln();
+            } else if !node.is_childless() {
+                log_bound += (crate::potential::pc_count(self, o).max(1) as f64).ln();
+            }
+        }
+        log_bound.exp()
+    }
+}
+
+/// Builder for [`WeakInstance`].
+#[derive(Debug)]
+pub struct WeakInstanceBuilder {
+    catalog: Catalog,
+    nodes: IdMap<ObjectKind, WeakNode>,
+}
+
+impl WeakInstanceBuilder {
+    fn new(catalog: Catalog) -> Self {
+        WeakInstanceBuilder { catalog, nodes: IdMap::new() }
+    }
+
+    /// Interns an object name and ensures it has a node, returning its id.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        let id = self.catalog.object(name);
+        if !self.nodes.contains(id) {
+            self.nodes.insert(id, WeakNode::default());
+        }
+        id
+    }
+
+    /// Interns a label name.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.catalog.label(name)
+    }
+
+    /// Registers a leaf type.
+    pub fn define_type(&mut self, ty: crate::types::LeafType) -> TypeId {
+        self.catalog.define_type(ty)
+    }
+
+    /// Declares `lch(parent, label) ⊇ children` (appending in order).
+    pub fn lch(&mut self, parent: ObjectId, label: Label, children: &[ObjectId]) -> &mut Self {
+        for &c in children {
+            if !self.nodes.contains(c) {
+                self.nodes.insert(c, WeakNode::default());
+            }
+        }
+        let node = self.nodes.get_mut(parent).expect("parent must be declared via object()");
+        for &c in children {
+            node.universe.push(c, label);
+        }
+        self
+    }
+
+    /// Convenience: declares `lch` using string names.
+    pub fn lch_named(&mut self, parent: &str, label: &str, children: &[&str]) -> &mut Self {
+        let p = self.object(parent);
+        let l = self.label(label);
+        let kids: Vec<ObjectId> = children.iter().map(|c| self.object(c)).collect();
+        self.lch(p, l, &kids)
+    }
+
+    /// Declares `card(object, label) = [min, max]`.
+    pub fn card(&mut self, object: ObjectId, label: Label, min: u32, max: u32) -> &mut Self {
+        let node = self.nodes.get_mut(object).expect("object must be declared");
+        node.cards.retain(|&(l, _)| l != label);
+        node.cards.push((label, Card::new(min, max)));
+        self
+    }
+
+    /// Convenience: declares `card` using string names.
+    pub fn card_named(&mut self, object: &str, label: &str, min: u32, max: u32) -> &mut Self {
+        let o = self.object(object);
+        let l = self.label(label);
+        self.card(o, l, min, max)
+    }
+
+    /// Declares `object` to be a typed leaf with an optional fixed value.
+    pub fn leaf(&mut self, object: ObjectId, ty: TypeId, val: Option<Value>) -> &mut Self {
+        let node = self.nodes.get_mut(object).expect("object must be declared");
+        node.leaf = Some(LeafInfo { ty, val });
+        self
+    }
+
+    /// Convenience: declares a typed leaf using string names.
+    pub fn leaf_named(&mut self, object: &str, ty: &str, val: Option<Value>) -> &mut Self {
+        let o = self.object(object);
+        let t = self.catalog.find_type(ty).expect("type must be defined before use");
+        self.leaf(o, t, val)
+    }
+
+    /// Read access to the catalog being built.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Peeks at a node under construction (used by the probabilistic
+    /// builder to resolve child universes before the final build).
+    pub fn peek_node(&self, o: ObjectId) -> Option<&WeakNode> {
+        self.nodes.get(o)
+    }
+
+    /// Iterates over the typed leaves declared so far.
+    pub fn peek_leaves(&self) -> impl Iterator<Item = (ObjectId, &LeafInfo)> {
+        self.nodes.iter().filter_map(|(o, n)| n.leaf.as_ref().map(|l| (o, l)))
+    }
+
+    /// Finishes the build, validating the instance.
+    pub fn build(self, root: ObjectId) -> Result<WeakInstance> {
+        WeakInstance::from_parts(Arc::new(self.catalog), root, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig2_weak;
+    use crate::types::LeafType;
+
+    #[test]
+    fn fig2_builds_and_has_eleven_objects() {
+        let w = fig2_weak();
+        assert_eq!(w.object_count(), 11);
+        assert!(w.is_acyclic());
+    }
+
+    #[test]
+    fn lch_returns_declared_children() {
+        let w = fig2_weak();
+        let b1 = w.catalog().find_object("B1").unwrap();
+        let author = w.catalog().find_label("author").unwrap();
+        let names: Vec<&str> =
+            w.lch(b1, author).iter().map(|&o| w.catalog().object_name(o)).collect();
+        assert_eq!(names, ["A1", "A2"]);
+    }
+
+    #[test]
+    fn effective_card_clamps_and_defaults() {
+        let w = fig2_weak();
+        let r = w.root();
+        let book = w.catalog().find_label("book").unwrap();
+        assert_eq!(w.card(r, book), Card { min: 2, max: 3 });
+        let title = w.catalog().find_label("title").unwrap();
+        // R has no title children: default unconstrained over 0.
+        assert_eq!(w.card(r, title), Card { min: 0, max: 0 });
+    }
+
+    #[test]
+    fn duplicate_child_in_label_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a, a]);
+        assert!(matches!(b.build(r), Err(CoreError::DuplicateChild { .. })));
+    }
+
+    #[test]
+    fn ambiguous_child_label_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let l1 = b.label("x");
+        let l2 = b.label("y");
+        b.lch(r, l1, &[a]);
+        b.lch(r, l2, &[a]);
+        assert!(matches!(b.build(r), Err(CoreError::AmbiguousChildLabel { .. })));
+    }
+
+    #[test]
+    fn unsatisfiable_card_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a]);
+        b.card(r, l, 2, 3); // only one potential child available
+        assert!(matches!(b.build(r), Err(CoreError::BadCardinality { .. })));
+    }
+
+    #[test]
+    fn unreachable_object_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        b.object("Lost");
+        assert!(matches!(b.build(r), Err(CoreError::Unreachable(_))));
+    }
+
+    #[test]
+    fn leaf_with_children_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let t = b.define_type(LeafType::new("t", [Value::Int(1)]));
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a]);
+        b.leaf(r, t, None);
+        assert!(matches!(b.build(r), Err(CoreError::LeafWithChildren(_))));
+    }
+
+    #[test]
+    fn leaf_value_outside_domain_is_rejected() {
+        let mut b = WeakInstance::builder();
+        let t = b.define_type(LeafType::new("t", [Value::Int(1)]));
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a]);
+        b.leaf(a, t, Some(Value::Int(7)));
+        assert!(matches!(b.build(r), Err(CoreError::ValueOutsideDomain(_))));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a]);
+        b.lch(a, l, &[r]);
+        let w = b.build(r).unwrap(); // structurally fine...
+        assert!(!w.is_acyclic()); // ...but not acyclic (Definition 4.3)
+        assert!(matches!(w.topo_order(), Err(CoreError::CycleDetected(_))));
+    }
+
+    #[test]
+    fn card_zero_max_suppresses_weak_edges() {
+        let mut b = WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let c = b.object("C");
+        let l = b.label("x");
+        let m = b.label("y");
+        b.lch(r, l, &[a]);
+        b.lch(r, m, &[c]);
+        b.card(r, m, 0, 0);
+        // C can never be chosen, so it is unreachable.
+        assert!(matches!(b.build(r), Err(CoreError::Unreachable(_))));
+    }
+
+    #[test]
+    fn topo_order_is_topological() {
+        let w = fig2_weak();
+        let order = w.topo_order().unwrap();
+        let pos: HashMap<ObjectId, usize> =
+            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        for o in w.objects() {
+            for (_, c) in w.weak_edges(o) {
+                assert!(pos[&o] < pos[&c], "edge must go forward in topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_and_non_descendants_partition() {
+        let w = fig2_weak();
+        let b1 = w.catalog().find_object("B1").unwrap();
+        let des = w.descendants(b1);
+        let non = w.non_descendants(b1);
+        assert_eq!(des.len() + non.len() + 1, w.object_count());
+        let names: Vec<&str> = des.iter().map(|&o| w.catalog().object_name(o)).collect();
+        assert!(names.contains(&"A1"));
+        assert!(names.contains(&"T1"));
+        assert!(names.contains(&"I1"));
+        assert!(names.contains(&"I2")); // via A2
+        assert!(!names.contains(&"B2"));
+    }
+
+    #[test]
+    fn fig2_is_not_tree_shaped() {
+        // A1 has two potential parents (B1 and B2).
+        assert!(!fig2_weak().is_tree_shaped());
+    }
+
+    #[test]
+    fn world_bound_is_positive() {
+        assert!(fig2_weak().world_bound() > 1.0);
+    }
+}

@@ -1,0 +1,424 @@
+//! Possible-worlds semantics (Section 4).
+//!
+//! A probabilistic instance denotes a distribution over `Domain(W)`, the
+//! compatible semistructured instances of its weak instance. This module
+//! enumerates that distribution exactly (Definition 4.4's `P_℘`) and
+//! provides [`WorldTable`], the explicit world/probability table used as
+//! the *oracle* against which every efficient algorithm in the algebra
+//! and query crates is property-tested.
+//!
+//! Enumeration is exponential by nature; callers pass a world limit and
+//! get [`CoreError::TooManyWorlds`] when the instance exceeds it.
+
+use std::collections::HashMap;
+
+use crate::childset::ChildSet;
+use crate::error::{CoreError, Result};
+use crate::ids::{IdMap, ObjectId, ObjectKind};
+use crate::instance::{SdInstance, SdNode};
+use crate::opf::OpfTable;
+use crate::prob_instance::ProbInstance;
+use crate::value::Value;
+
+/// Default cap on the number of compatible worlds enumerated.
+pub const DEFAULT_WORLD_LIMIT: u64 = 2_000_000;
+
+/// An explicit distribution over semistructured instances.
+///
+/// Instances are deduplicated structurally: merging two worlds with the
+/// same instance sums their probabilities (the combination step of
+/// Definition 5.3).
+#[derive(Clone, Debug, Default)]
+pub struct WorldTable {
+    worlds: Vec<(SdInstance, f64)>,
+    index: HashMap<SdInstance, usize>,
+}
+
+impl WorldTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds probability mass to an instance, merging duplicates.
+    pub fn add(&mut self, instance: SdInstance, p: f64) {
+        match self.index.get(&instance) {
+            Some(&i) => self.worlds[i].1 += p,
+            None => {
+                self.index.insert(instance.clone(), self.worlds.len());
+                self.worlds.push((instance, p));
+            }
+        }
+    }
+
+    /// The probability of an instance (0 if absent).
+    pub fn prob(&self, instance: &SdInstance) -> f64 {
+        self.index.get(instance).map_or(0.0, |&i| self.worlds[i].1)
+    }
+
+    /// Number of distinct worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Iterates over `(instance, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SdInstance, f64)> {
+        self.worlds.iter().map(|(s, p)| (s, *p))
+    }
+
+    /// Total probability mass.
+    pub fn total(&self) -> f64 {
+        self.worlds.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Scales all probabilities so the total becomes 1; returns the prior
+    /// total (the normalisation constant of Definition 5.6). Worlds with
+    /// zero mass are dropped.
+    pub fn normalize(&mut self) -> f64 {
+        let total = self.total();
+        if total > 0.0 {
+            for (_, p) in &mut self.worlds {
+                *p /= total;
+            }
+        }
+        self.worlds.retain(|&(_, p)| p > 0.0);
+        self.index = self.worlds.iter().enumerate().map(|(i, (s, _))| (s.clone(), i)).collect();
+        total
+    }
+
+    /// Retains only worlds satisfying `pred`, returning the retained mass.
+    pub fn filter(&self, pred: impl Fn(&SdInstance) -> bool) -> WorldTable {
+        let mut out = WorldTable::new();
+        for (s, p) in self.iter() {
+            if pred(s) {
+                out.add(s.clone(), p);
+            }
+        }
+        out
+    }
+
+    /// Maps every world through `f`, merging collisions (the global
+    /// semantics of ancestor projection, Definition 5.3).
+    pub fn map(&self, f: impl Fn(&SdInstance) -> SdInstance) -> WorldTable {
+        let mut out = WorldTable::new();
+        for (s, p) in self.iter() {
+            out.add(f(s), p);
+        }
+        out
+    }
+
+    /// Expected value of `f` under the distribution.
+    pub fn expectation(&self, f: impl Fn(&SdInstance) -> f64) -> f64 {
+        self.iter().map(|(s, p)| f(s) * p).sum()
+    }
+
+    /// Probability that `pred` holds.
+    pub fn probability_that(&self, pred: impl Fn(&SdInstance) -> bool) -> f64 {
+        self.iter().filter(|(s, _)| pred(s)).map(|(_, p)| p).sum()
+    }
+
+    /// True if two tables represent the same distribution within `eps`.
+    pub fn approx_eq(&self, other: &WorldTable, eps: f64) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.iter().all(|(s, p)| (other.prob(s) - p).abs() <= eps)
+    }
+}
+
+/// Enumerates all compatible worlds of `pi` with their probabilities
+/// (Definition 4.4), with the default world limit.
+pub fn enumerate_worlds(pi: &ProbInstance) -> Result<WorldTable> {
+    enumerate_worlds_with_limit(pi, DEFAULT_WORLD_LIMIT)
+}
+
+/// Enumerates all compatible worlds with an explicit limit.
+pub fn enumerate_worlds_with_limit(pi: &ProbInstance, limit: u64) -> Result<WorldTable> {
+    if pi.weak().world_bound() > limit as f64 {
+        return Err(CoreError::TooManyWorlds { limit });
+    }
+    let order = pi.weak().topo_order()?;
+    // Pre-materialise every OPF to a table once.
+    let mut tables: IdMap<ObjectKind, OpfTable> = IdMap::new();
+    for o in pi.objects() {
+        if let Some(opf) = pi.opf(o) {
+            let node = pi.weak().node(o).expect("object exists");
+            tables.insert(o, opf.to_table(node.universe()));
+        }
+    }
+
+    let mut table = WorldTable::new();
+    let mut state = EnumState {
+        pi,
+        order: &order,
+        tables: &tables,
+        included: vec![false; order.len()],
+        chosen: vec![Choice::None; order.len()],
+        pos_of: order.iter().enumerate().map(|(i, &o)| (o, i)).collect(),
+        out: &mut table,
+    };
+    state.included[0] = true; // the root is always present
+    state.recurse(0, 1.0);
+    Ok(table)
+}
+
+/// Per-object decision recorded during enumeration.
+#[derive(Clone)]
+enum Choice {
+    None,
+    Children(ChildSet),
+    Value(Value),
+}
+
+struct EnumState<'a> {
+    pi: &'a ProbInstance,
+    order: &'a [ObjectId],
+    tables: &'a IdMap<ObjectKind, OpfTable>,
+    included: Vec<bool>,
+    chosen: Vec<Choice>,
+    pos_of: HashMap<ObjectId, usize>,
+    out: &'a mut WorldTable,
+}
+
+impl EnumState<'_> {
+    fn recurse(&mut self, i: usize, prob: f64) {
+        if prob == 0.0 {
+            return;
+        }
+        if i == self.order.len() {
+            self.emit(prob);
+            return;
+        }
+        if !self.included[i] {
+            self.recurse(i + 1, prob);
+            return;
+        }
+        let o = self.order[i];
+        let node = self.pi.weak().node(o).expect("object exists");
+        if let Some(leaf) = node.leaf() {
+            let vpf = self.pi.vpf(o).expect("validated: typed leaf has VPF");
+            let _ = leaf;
+            let values: Vec<(Value, f64)> =
+                vpf.iter().map(|(v, p)| (v.clone(), p)).collect();
+            for (v, p) in values {
+                if p == 0.0 {
+                    continue;
+                }
+                self.chosen[i] = Choice::Value(v);
+                self.recurse(i + 1, prob * p);
+            }
+            self.chosen[i] = Choice::None;
+        } else if node.is_childless() {
+            // Bare object: no choice, probability factor 1.
+            self.recurse(i + 1, prob);
+        } else {
+            let table = self.tables.get(o).expect("validated: non-leaf has OPF");
+            let entries: Vec<(ChildSet, f64)> =
+                table.iter().map(|(s, p)| (s.clone(), p)).collect();
+            for (set, p) in entries {
+                if p == 0.0 {
+                    continue;
+                }
+                // Mark chosen children as included (parents precede
+                // children in topological order).
+                let newly: Vec<usize> = set
+                    .objects(node.universe())
+                    .map(|c| self.pos_of[&c])
+                    .filter(|&j| !self.included[j])
+                    .collect();
+                for &j in &newly {
+                    self.included[j] = true;
+                }
+                self.chosen[i] = Choice::Children(set);
+                self.recurse(i + 1, prob * p);
+                for &j in &newly {
+                    self.included[j] = false;
+                }
+            }
+            self.chosen[i] = Choice::None;
+        }
+    }
+
+    fn emit(&mut self, prob: f64) {
+        let mut nodes: IdMap<ObjectKind, SdNode> = IdMap::new();
+        let mut builder_nodes: Vec<(ObjectId, Vec<(crate::ids::Label, ObjectId)>, Option<(crate::ids::TypeId, Value)>)> = Vec::new();
+        for (i, &o) in self.order.iter().enumerate() {
+            if !self.included[i] {
+                continue;
+            }
+            let node = self.pi.weak().node(o).expect("object exists");
+            match &self.chosen[i] {
+                Choice::Children(set) => {
+                    let children: Vec<(crate::ids::Label, ObjectId)> = set
+                        .positions()
+                        .map(|p| {
+                            let (c, l) = node.universe().member(p);
+                            (l, c)
+                        })
+                        .collect();
+                    builder_nodes.push((o, children, None));
+                }
+                Choice::Value(v) => {
+                    let ty = node.leaf().expect("value chosen only for leaves").ty;
+                    builder_nodes.push((o, Vec::new(), Some((ty, v.clone()))));
+                }
+                Choice::None => {
+                    builder_nodes.push((o, Vec::new(), None));
+                }
+            }
+        }
+        for (o, mut children, leaf) in builder_nodes {
+            children.sort_unstable();
+            nodes.insert(o, SdNode::from_parts(children, leaf));
+        }
+        let instance = SdInstance::from_parts(
+            std::sync::Arc::clone(self.pi.catalog()),
+            self.pi.root(),
+            nodes,
+        )
+        .expect("enumerated world is structurally valid");
+        self.out.add(instance, prob);
+    }
+}
+
+/// `P_℘(S)` for one instance by the direct product of Definition 4.4 —
+/// `∏_{o ∈ S} ℘(o)(c_S(o))`, where `c_S(o)` is the child set of non-leaf
+/// objects and the value of leaves.
+pub fn world_probability(pi: &ProbInstance, s: &SdInstance) -> Result<f64> {
+    s.compatible_with(pi.weak())?;
+    let mut p = 1.0;
+    for o in s.objects() {
+        let wnode = pi.weak().node(o).expect("compatible ⇒ object in W");
+        if let Some(_leaf) = wnode.leaf() {
+            let v = s.value(o).expect("compatible ⇒ leaf has value");
+            p *= pi.vpf(o).map_or(0.0, |vpf| vpf.prob(v));
+        } else if !wnode.is_childless() {
+            let children = s.children(o);
+            let set = ChildSet::from_objects(wnode.universe(), children)
+                .ok_or(CoreError::UnknownObject(o))?;
+            p *= pi.opf(o).map_or(0.0, |opf| opf.prob(&set));
+        }
+    }
+    Ok(p)
+}
+
+/// Checks Theorem 1 numerically: the enumerated `P_℘` is a legal global
+/// interpretation (total mass 1 within tolerance).
+pub fn check_theorem_1(pi: &ProbInstance) -> Result<f64> {
+    let table = enumerate_worlds(pi)?;
+    let total = table.total();
+    if (total - 1.0).abs() > 1e-6 {
+        return Err(CoreError::OpfNotNormalized { object: pi.root(), sum: total });
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{chain, diamond, fig2_instance, fig3_s1};
+
+    #[test]
+    fn fig2_worlds_sum_to_one() {
+        let total = check_theorem_1(&fig2_instance()).unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_4_1_probability_of_s1() {
+        let pi = fig2_instance();
+        let s1 = fig3_s1();
+        let p = world_probability(&pi, &s1).unwrap();
+        assert!((p - 0.00448).abs() < 1e-12, "P(S1) = {p}, expected 0.00448");
+        // The enumerated table must agree with the direct product.
+        let table = enumerate_worlds(&pi).unwrap();
+        assert!((table.prob(&s1) - 0.00448).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_agrees_with_direct_product_on_every_world() {
+        let pi = fig2_instance();
+        let table = enumerate_worlds(&pi).unwrap();
+        for (s, p) in table.iter() {
+            let direct = world_probability(&pi, s).unwrap();
+            assert!((p - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_world_count_and_mass() {
+        // chain(2): r -> o1 -> o2(leaf with 2 values).
+        // Worlds: {r}, {r,o1}, {r,o1,o2=1}, {r,o1,o2=2}.
+        let pi = chain(2, 0.5);
+        let table = enumerate_worlds(&pi).unwrap();
+        assert_eq!(table.len(), 4);
+        assert!((table.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_handles_shared_children() {
+        let pi = diamond();
+        let table = enumerate_worlds(&pi).unwrap();
+        // Choices: a in {c,∅} × b in {c,∅}; c has 2 values when present.
+        // Worlds: (∅,∅) 1 + (c,∅) 2 + (∅,c) 2 + (c,c) 2 = 7 distinct.
+        assert_eq!(table.len(), 7);
+        assert!((table.total() - 1.0).abs() < 1e-9);
+        // P(c present) = 1 - 0.25 = 0.75.
+        let c = pi.oid("c").unwrap();
+        let p_c = table.probability_that(|s| s.contains(c));
+        assert!((p_c - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_limit_is_enforced() {
+        let pi = fig2_instance();
+        assert!(matches!(
+            enumerate_worlds_with_limit(&pi, 2),
+            Err(CoreError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn world_table_merges_duplicates() {
+        let s = fig3_s1();
+        let mut t = WorldTable::new();
+        t.add(s.clone(), 0.25);
+        t.add(s.clone(), 0.25);
+        assert_eq!(t.len(), 1);
+        assert!((t.prob(&s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_table_normalize() {
+        let s = fig3_s1();
+        let mut t = WorldTable::new();
+        t.add(s.clone(), 0.2);
+        let prior = t.normalize();
+        assert!((prior - 0.2).abs() < 1e-12);
+        assert!((t.prob(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_that_counts_satisfying_worlds() {
+        let pi = fig2_instance();
+        let table = enumerate_worlds(&pi).unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        // P(B1 present) = ℘(R)({B1,B2}) + ℘(R)({B1,B3}) + ℘(R)({B1,B2,B3}).
+        let p = table.probability_that(|s| s.contains(b1));
+        assert!((p - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expectation_of_object_count() {
+        let pi = chain(1, 0.5);
+        let table = enumerate_worlds(&pi).unwrap();
+        // Worlds: {r} (0.5), {r, o1=1} (0.25), {r, o1=2} (0.25).
+        let avg = table.expectation(|s| s.object_count() as f64);
+        assert!((avg - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Workload configuration mirroring Section 7.1.
+
+/// Edge-labelling scheme of Section 7.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Labeling {
+    /// "Same label" (SL): all children of the same parent share one label.
+    SameLabel,
+    /// "Fully random" (FR): every child gets an independently random label.
+    FullyRandom,
+}
+
+impl Labeling {
+    /// The short name used in the paper's figures.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Labeling::SameLabel => "SL",
+            Labeling::FullyRandom => "FR",
+        }
+    }
+}
+
+/// Configuration of one generated probabilistic instance.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Tree depth (number of edge levels below the root); 3–9 in §7.1.
+    pub depth: usize,
+    /// Branching factor (children per non-leaf); 2–8 in §7.1.
+    pub branching: usize,
+    /// Labelling scheme.
+    pub labeling: Labeling,
+    /// Size of the per-depth label alphabet (the paper's example uses 2).
+    pub labels_per_depth: usize,
+    /// Domain size of leaf values (0 disables typed leaves, as in the
+    /// paper's structural experiments).
+    pub leaf_domain: usize,
+    /// RNG seed — all generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A §7.1-style configuration with the paper's defaults.
+    pub fn paper(depth: usize, branching: usize, labeling: Labeling, seed: u64) -> Self {
+        WorkloadConfig {
+            depth,
+            branching,
+            labeling,
+            labels_per_depth: 2,
+            leaf_domain: 0,
+            seed,
+        }
+    }
+
+    /// Total number of objects of the balanced tree:
+    /// `(b^(d+1) - 1) / (b - 1)`.
+    pub fn object_count(&self) -> u64 {
+        let b = self.branching as u64;
+        if b == 1 {
+            return self.depth as u64 + 1;
+        }
+        (b.pow(self.depth as u32 + 1) - 1) / (b - 1)
+    }
+
+    /// Number of non-leaf objects: `(b^d - 1) / (b - 1)`.
+    pub fn non_leaf_count(&self) -> u64 {
+        let b = self.branching as u64;
+        if b == 1 {
+            return self.depth as u64;
+        }
+        (b.pow(self.depth as u32) - 1) / (b - 1)
+    }
+
+    /// Number of OPF entries per non-leaf object (`2^b`, §7.1: "the total
+    /// number of entries in a local interpretation for each non-leaf
+    /// object is 2^b").
+    pub fn entries_per_opf(&self) -> u64 {
+        1u64 << self.branching
+    }
+
+    /// Total `℘` entries across the instance.
+    pub fn interpretation_entries(&self) -> u64 {
+        self.non_leaf_count() * self.entries_per_opf()
+            + if self.leaf_domain > 0 {
+                (self.object_count() - self.non_leaf_count()) * self.leaf_domain as u64
+            } else {
+                0
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_counts_match_closed_form() {
+        let c = WorkloadConfig::paper(2, 2, Labeling::SameLabel, 0);
+        assert_eq!(c.object_count(), 7); // 1 + 2 + 4
+        assert_eq!(c.non_leaf_count(), 3); // 1 + 2
+        assert_eq!(c.entries_per_opf(), 4);
+        assert_eq!(c.interpretation_entries(), 12);
+    }
+
+    #[test]
+    fn paper_extreme_cell_is_299593_objects() {
+        // §7.2: "the updating time for 299593 objects and branch factor 8".
+        let c = WorkloadConfig::paper(6, 8, Labeling::SameLabel, 0);
+        assert_eq!(c.object_count(), 299_593);
+    }
+
+    #[test]
+    fn labeling_short_names() {
+        assert_eq!(Labeling::SameLabel.short(), "SL");
+        assert_eq!(Labeling::FullyRandom.short(), "FR");
+    }
+}

@@ -1,0 +1,176 @@
+//! Random DAG-shaped instance generation.
+//!
+//! The paper's experiments use trees, but the PXML model allows any
+//! acyclic weak instance (shared children, multiple parents). This
+//! generator produces small random DAGs — forward edges between
+//! topologically ordered objects, occasional cardinality constraints,
+//! occasional typed leaves — used by the cross-crate property tests to
+//! exercise exactly the structure the tree-only algorithms must refuse.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::potential::pc_sets;
+use pxml_core::{
+    Card, Catalog, ChildUniverse, LeafInfo, LeafType, ObjectId, Opf, OpfTable, ProbInstance,
+    Value, Vpf, WeakInstance, WeakNode,
+};
+
+/// Configuration for [`random_dag`].
+#[derive(Clone, Debug)]
+pub struct DagConfig {
+    /// Minimum number of objects (inclusive).
+    pub min_objects: usize,
+    /// Maximum number of objects (inclusive).
+    pub max_objects: usize,
+    /// Probability of adding each candidate forward edge.
+    pub edge_prob: f64,
+    /// Maximum children per object.
+    pub max_children: usize,
+    /// Probability that a childless object is a typed leaf.
+    pub leaf_prob: f64,
+    /// Probability that an object gets a cardinality constraint.
+    pub card_prob: f64,
+}
+
+impl Default for DagConfig {
+    fn default() -> Self {
+        DagConfig {
+            min_objects: 3,
+            max_objects: 7,
+            edge_prob: 0.35,
+            max_children: 4,
+            leaf_prob: 0.6,
+            card_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random acyclic probabilistic instance; deterministic in
+/// the seed. Objects are named `g0..gN`, labels are `x` and `y`, leaves
+/// use the type `vt` with domain `{1, 2}`.
+pub fn random_dag(seed: u64) -> ProbInstance {
+    random_dag_with(seed, &DagConfig::default())
+}
+
+/// [`random_dag`] with an explicit configuration.
+pub fn random_dag_with(seed: u64, cfg: &DagConfig) -> ProbInstance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n = rng.gen_range(cfg.min_objects..=cfg.max_objects);
+    let mut catalog = Catalog::new();
+    let ty = catalog.define_type(LeafType::new("vt", [Value::Int(1), Value::Int(2)]));
+    let labels = [catalog.label("x"), catalog.label("y")];
+    let ids: Vec<ObjectId> = (0..n).map(|i| catalog.object(&format!("g{i}"))).collect();
+
+    // Forward edges; every non-root gets at least one parent.
+    let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for j in 1..n {
+        let mut got_parent = false;
+        for i in 0..j {
+            if children[i].len() < cfg.max_children && rng.gen_bool(cfg.edge_prob) {
+                children[i].push((j, rng.gen_range(0..labels.len())));
+                got_parent = true;
+            }
+        }
+        if !got_parent {
+            let i = rng.gen_range(0..j);
+            children[i].push((j, rng.gen_range(0..labels.len())));
+        }
+    }
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    for i in 0..n {
+        let mut universe = ChildUniverse::new();
+        for &(c, l) in &children[i] {
+            universe.push(ids[c], labels[l]);
+        }
+        let mut cards = Vec::new();
+        if !children[i].is_empty() && rng.gen_bool(cfg.card_prob) {
+            let l = labels[children[i][0].1];
+            let avail = children[i].iter().filter(|&&(_, li)| labels[li] == l).count() as u32;
+            let min = rng.gen_range(0..=avail);
+            let max = rng.gen_range(min.max(1)..=avail.max(min.max(1)));
+            cards.push((l, Card::new(min, max.min(avail).max(min))));
+        }
+        let leaf = if children[i].is_empty() && rng.gen_bool(cfg.leaf_prob) {
+            Some(LeafInfo { ty, val: None })
+        } else {
+            None
+        };
+        nodes.insert(ids[i], WeakNode::from_parts(universe, cards, leaf));
+    }
+    let weak = WeakInstance::from_parts(Arc::new(catalog), ids[0], nodes)
+        .expect("forward edges with full parent coverage are valid");
+
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+    for &o in &ids {
+        let node = weak.node(o).expect("member");
+        if node.leaf().is_some() {
+            let a = rng.gen_range(0.05..0.95);
+            vpfs.insert(
+                o,
+                Vpf::from_entries([(Value::Int(1), a), (Value::Int(2), 1.0 - a)]),
+            );
+        } else if !node.is_childless() {
+            let sets = pc_sets(&weak, o);
+            let mut weights: Vec<f64> =
+                (0..sets.len()).map(|_| rng.gen::<f64>() + 1e-6).collect();
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            opfs.insert(
+                o,
+                Opf::Table(OpfTable::from_entries(sets.into_iter().zip(weights))),
+            );
+        }
+    }
+    ProbInstance::from_parts(weak, opfs, vpfs).expect("constructed instance is coherent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::enumerate_worlds;
+
+    #[test]
+    fn random_dags_are_valid_and_coherent() {
+        for seed in 0..50 {
+            let pi = random_dag(seed);
+            pi.validate().unwrap();
+            let worlds = enumerate_worlds(&pi).unwrap();
+            assert!((worlds.total() - 1.0).abs() < 1e-7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_dag(17);
+        let b = random_dag(17);
+        assert_eq!(a.object_count(), b.object_count());
+        let wa = enumerate_worlds(&a).unwrap();
+        let wb = enumerate_worlds(&b).unwrap();
+        assert!(wa.approx_eq(&wb, 1e-12));
+    }
+
+    #[test]
+    fn some_seeds_produce_shared_children() {
+        let shared = (0..80).any(|seed| {
+            let pi = random_dag(seed);
+            !pi.weak().is_tree_shaped()
+        });
+        assert!(shared, "DAG generator must sometimes produce multi-parent objects");
+    }
+
+    #[test]
+    fn config_bounds_are_respected() {
+        let cfg = DagConfig { min_objects: 4, max_objects: 4, ..DagConfig::default() };
+        for seed in 0..20 {
+            assert_eq!(random_dag_with(seed, &cfg).object_count(), 4);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Balanced-tree instance generation (Section 7.1).
+//!
+//! "We generated probabilistic instances as balanced trees with every
+//! non-leaf node having the same number of children. […] We assume that
+//! there is no cardinality constraint, so the total number of entries in
+//! a local interpretation for each non-leaf object is 2^b."
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Catalog, ChildSet, ChildUniverse, Label, LeafInfo, LeafType, ObjectId, Opf, OpfTable,
+    ProbInstance, Value, Vpf, WeakInstance, WeakNode,
+};
+
+use crate::config::{Labeling, WorkloadConfig};
+
+/// A generated instance plus the bookkeeping the query generator needs.
+#[derive(Clone, Debug)]
+pub struct GeneratedInstance {
+    /// The probabilistic instance.
+    pub instance: ProbInstance,
+    /// For each edge depth `1..=d`, the labels actually used at that depth
+    /// ("we kept track of labels used by edges of objects in each depth").
+    pub depth_labels: Vec<Vec<Label>>,
+    /// The configuration that produced the instance.
+    pub config: WorkloadConfig,
+}
+
+/// Generates a probabilistic instance per §7.1. Deterministic in the seed.
+pub fn generate(config: &WorkloadConfig) -> GeneratedInstance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let b = config.branching;
+    let d = config.depth;
+    assert!(b >= 1 && b <= 63, "branching factor must be in 1..=63");
+    assert!(d >= 1, "depth must be at least 1");
+
+    let mut catalog = Catalog::new();
+    // Per-depth label alphabets, e.g. depth 1 uses d1_0, d1_1, ...
+    let alphabet: Vec<Vec<Label>> = (1..=d)
+        .map(|depth| {
+            (0..config.labels_per_depth.max(1))
+                .map(|k| catalog.label(&format!("d{depth}_{k}")))
+                .collect()
+        })
+        .collect();
+    let leaf_ty = if config.leaf_domain > 0 {
+        Some(catalog.define_type(LeafType::new(
+            "leaf-type",
+            (0..config.leaf_domain).map(|i| Value::Int(i as i64)),
+        )))
+    } else {
+        None
+    };
+
+    let total = config.object_count() as usize;
+    let non_leaves = config.non_leaf_count() as usize;
+    let mut ids: Vec<ObjectId> = Vec::with_capacity(total);
+    for i in 0..total {
+        ids.push(catalog.object(&format!("n{i}")));
+    }
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+    let mut depth_labels: Vec<Vec<Label>> = vec![Vec::new(); d];
+
+    // BFS numbering: node i's children are b*i+1 .. b*i+b.
+    let mut depth_of = vec![0usize; total];
+    for i in 0..non_leaves {
+        for k in 0..b {
+            depth_of[b * i + 1 + k] = depth_of[i] + 1;
+        }
+    }
+
+    for i in 0..total {
+        if i < non_leaves {
+            let child_depth = depth_of[i] + 1;
+            let letters = &alphabet[child_depth - 1];
+            let parent_label = letters[rng.gen_range(0..letters.len())];
+            let mut universe = ChildUniverse::new();
+            for k in 0..b {
+                let label = match config.labeling {
+                    Labeling::SameLabel => parent_label,
+                    Labeling::FullyRandom => letters[rng.gen_range(0..letters.len())],
+                };
+                if !depth_labels[child_depth - 1].contains(&label) {
+                    depth_labels[child_depth - 1].push(label);
+                }
+                universe.push(ids[b * i + 1 + k], label);
+            }
+            // Random OPF over all 2^b subsets (no cardinality constraint).
+            let entries = 1u64 << b;
+            let mut weights: Vec<f64> = (0..entries).map(|_| rng.gen::<f64>() + 1e-9).collect();
+            let total_w: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total_w;
+            }
+            let table = OpfTable::from_entries(
+                weights.into_iter().enumerate().map(|(m, p)| (ChildSet::Mask(m as u64), p)),
+            );
+            nodes.insert(ids[i], WeakNode::from_parts(universe, Vec::new(), None));
+            opfs.insert(ids[i], Opf::Table(table));
+        } else {
+            // Leaf.
+            let leaf = leaf_ty.map(|ty| LeafInfo { ty, val: None });
+            nodes.insert(ids[i], WeakNode::from_parts(ChildUniverse::new(), Vec::new(), leaf));
+            if leaf_ty.is_some() {
+                let n = config.leaf_domain;
+                let mut weights: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-9).collect();
+                let total_w: f64 = weights.iter().sum();
+                for w in &mut weights {
+                    *w /= total_w;
+                }
+                vpfs.insert(
+                    ids[i],
+                    Vpf::from_entries(
+                        weights.into_iter().enumerate().map(|(v, p)| (Value::Int(v as i64), p)),
+                    ),
+                );
+            }
+        }
+    }
+
+    let weak = WeakInstance::from_parts(Arc::new(catalog), ids[0], nodes)
+        .expect("generated tree is structurally valid");
+    // Generated OPFs are normalised by construction and no cardinality
+    // constraints exist, so the full validation would only re-derive
+    // facts true by construction; still run it for small instances to
+    // catch generator regressions cheaply.
+    let instance = if total <= 10_000 {
+        ProbInstance::from_parts(weak, opfs, vpfs).expect("generated instance is coherent")
+    } else {
+        ProbInstance::from_parts_unchecked(weak, opfs, vpfs)
+    };
+    GeneratedInstance { instance, depth_labels, config: config.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tree_has_expected_shape() {
+        let cfg = WorkloadConfig::paper(3, 2, Labeling::SameLabel, 42);
+        let g = generate(&cfg);
+        assert_eq!(g.instance.object_count() as u64, cfg.object_count());
+        assert!(g.instance.weak().is_tree_shaped());
+        assert!(g.instance.weak().is_acyclic());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = WorkloadConfig::paper(3, 3, Labeling::FullyRandom, 7);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        let r = a.instance.root();
+        let node_a = a.instance.weak().node(r).unwrap();
+        let node_b = b.instance.weak().node(r).unwrap();
+        let ta = a.instance.opf(r).unwrap().to_table(node_a.universe());
+        let tb = b.instance.opf(r).unwrap().to_table(node_b.universe());
+        for (set, p) in ta.iter() {
+            assert_eq!(tb.prob(set), p);
+        }
+        assert_eq!(a.depth_labels, b.depth_labels);
+    }
+
+    #[test]
+    fn opf_has_2_pow_b_entries() {
+        for b in [2usize, 3, 4] {
+            let cfg = WorkloadConfig::paper(2, b, Labeling::SameLabel, 1);
+            let g = generate(&cfg);
+            let r = g.instance.root();
+            let node = g.instance.weak().node(r).unwrap();
+            let table = g.instance.opf(r).unwrap().to_table(node.universe());
+            assert_eq!(table.len(), 1 << b);
+            assert!((table.total() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_label_children_share_one_label() {
+        let cfg = WorkloadConfig::paper(3, 4, Labeling::SameLabel, 5);
+        let g = generate(&cfg);
+        for o in g.instance.objects() {
+            let node = g.instance.weak().node(o).unwrap();
+            if !node.is_childless() {
+                assert_eq!(node.labels().len(), 1, "SL: one label per parent");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_random_uses_multiple_labels_somewhere() {
+        let cfg = WorkloadConfig::paper(3, 8, Labeling::FullyRandom, 5);
+        let g = generate(&cfg);
+        let multi = g
+            .instance
+            .objects()
+            .filter_map(|o| g.instance.weak().node(o))
+            .any(|n| n.labels().len() > 1);
+        assert!(multi, "FR labelling should mix labels under some parent");
+    }
+
+    #[test]
+    fn depth_labels_track_usage() {
+        let cfg = WorkloadConfig::paper(4, 2, Labeling::FullyRandom, 11);
+        let g = generate(&cfg);
+        assert_eq!(g.depth_labels.len(), 4);
+        for labels in &g.depth_labels {
+            assert!(!labels.is_empty());
+            assert!(labels.len() <= cfg.labels_per_depth);
+        }
+    }
+
+    #[test]
+    fn leaves_get_vpfs_when_domain_positive() {
+        let mut cfg = WorkloadConfig::paper(2, 2, Labeling::SameLabel, 3);
+        cfg.leaf_domain = 3;
+        let g = generate(&cfg);
+        let leaf_count = g
+            .instance
+            .objects()
+            .filter(|&o| g.instance.vpf(o).is_some())
+            .count() as u64;
+        assert_eq!(leaf_count, cfg.object_count() - cfg.non_leaf_count());
+        g.instance.validate().unwrap();
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one_on_small_instances() {
+        let cfg = WorkloadConfig::paper(2, 2, Labeling::SameLabel, 9);
+        let g = generate(&cfg);
+        let worlds = pxml_core::enumerate_worlds(&g.instance).unwrap();
+        assert!((worlds.total() - 1.0).abs() < 1e-6);
+    }
+}

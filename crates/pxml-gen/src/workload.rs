@@ -1,0 +1,89 @@
+//! The full Figure 7 parameter sweep.
+//!
+//! §7.1: depths 3–9, branching factors 2–8, both labelings; "for each
+//! depth, each branching factor and each operation, we generated 10
+//! instances … For each combination we took the average of 100 such
+//! queries." The grid here is parameterised so the bench harness can run
+//! a scaled-down sweep quickly and the full sweep on demand.
+
+use crate::config::{Labeling, WorkloadConfig};
+
+/// One cell of the experimental grid.
+#[derive(Clone, Debug)]
+pub struct GridCell {
+    /// Instance configuration (seed varies per repetition).
+    pub config: WorkloadConfig,
+    /// Number of instances per cell (10 in the paper).
+    pub instances: usize,
+    /// Number of queries per instance (10 in the paper).
+    pub queries_per_instance: usize,
+}
+
+/// The experimental grid.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// All cells in sweep order.
+    pub cells: Vec<GridCell>,
+}
+
+impl Grid {
+    /// The paper's full grid: depth 3–9 × branching 2–8 × {SL, FR},
+    /// skipping cells whose object count exceeds `max_objects`.
+    pub fn paper_grid(max_objects: u64, instances: usize, queries: usize) -> Grid {
+        let mut cells = Vec::new();
+        for &labeling in &[Labeling::SameLabel, Labeling::FullyRandom] {
+            for branching in 2..=8 {
+                for depth in 3..=9 {
+                    let config = WorkloadConfig::paper(depth, branching, labeling, 0);
+                    if config.object_count() <= max_objects {
+                        cells.push(GridCell {
+                            config,
+                            instances,
+                            queries_per_instance: queries,
+                        });
+                    }
+                }
+            }
+        }
+        Grid { cells }
+    }
+
+    /// A small smoke grid for CI and unit tests.
+    pub fn smoke() -> Grid {
+        Grid::paper_grid(1_000, 2, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_covers_both_labelings() {
+        let g = Grid::paper_grid(100_000, 10, 10);
+        assert!(g.cells.iter().any(|c| c.config.labeling == Labeling::SameLabel));
+        assert!(g.cells.iter().any(|c| c.config.labeling == Labeling::FullyRandom));
+        // Every cell respects the cap.
+        for c in &g.cells {
+            assert!(c.config.object_count() <= 100_000);
+        }
+    }
+
+    #[test]
+    fn grid_includes_the_paper_ranges() {
+        let g = Grid::paper_grid(u64::MAX, 10, 10);
+        let depths: std::collections::HashSet<_> =
+            g.cells.iter().map(|c| c.config.depth).collect();
+        let branchings: std::collections::HashSet<_> =
+            g.cells.iter().map(|c| c.config.branching).collect();
+        assert_eq!(depths, (3..=9).collect());
+        assert_eq!(branchings, (2..=8).collect());
+    }
+
+    #[test]
+    fn smoke_grid_is_small() {
+        let g = Grid::smoke();
+        assert!(!g.cells.is_empty());
+        assert!(g.cells.iter().all(|c| c.config.object_count() <= 1_000));
+    }
+}

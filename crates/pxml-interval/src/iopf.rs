@@ -1,0 +1,255 @@
+//! Interval-valued local interpretations and instances.
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    ChildSet, ObjectId, Opf, OpfTable, ProbInstance, Value, Vpf, WeakInstance,
+};
+
+use crate::iprob::{coherent, pick_point, tighten, Interval};
+
+/// An interval OPF: each potential child set gets a probability interval.
+#[derive(Clone, Debug, Default)]
+pub struct IOpf {
+    entries: Vec<(ChildSet, Interval)>,
+}
+
+impl IOpf {
+    /// Builds from entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (ChildSet, Interval)>) -> Self {
+        IOpf { entries: entries.into_iter().collect() }
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[(ChildSet, Interval)] {
+        &self.entries
+    }
+
+    /// True iff some point OPF fits all intervals.
+    pub fn is_coherent(&self) -> bool {
+        coherent(&self.entries.iter().map(|&(_, i)| i).collect::<Vec<_>>())
+    }
+
+    /// Tightens every interval to its attainable range.
+    pub fn tighten(&self) -> Option<IOpf> {
+        let tight = tighten(&self.entries.iter().map(|&(_, i)| i).collect::<Vec<_>>())?;
+        Some(IOpf {
+            entries: self
+                .entries
+                .iter()
+                .zip(tight)
+                .map(|((s, _), i)| (s.clone(), i))
+                .collect(),
+        })
+    }
+
+    /// The interval for `P(child at pos present)`: sum of member-set lows
+    /// and highs, intersected with the complement constraint from the
+    /// non-member sets.
+    pub fn marginal_present(&self, pos: u32) -> Interval {
+        let tight = self.tighten().unwrap_or_else(|| self.clone());
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        let mut lo_out = 0.0;
+        let mut hi_out = 0.0;
+        for (s, i) in &tight.entries {
+            if s.contains_pos(pos) {
+                lo += i.lo;
+                hi += i.hi;
+            } else {
+                lo_out += i.lo;
+                hi_out += i.hi;
+            }
+        }
+        let direct = Interval { lo: lo.min(1.0), hi: hi.min(1.0) };
+        let via_complement =
+            Interval { lo: (1.0 - hi_out).max(0.0), hi: (1.0 - lo_out).clamp(0.0, 1.0) };
+        direct.intersect(&via_complement).unwrap_or(direct)
+    }
+
+    /// A canonical point OPF inside the intervals.
+    pub fn pick_point(&self) -> Option<OpfTable> {
+        let probs = pick_point(&self.entries.iter().map(|&(_, i)| i).collect::<Vec<_>>())?;
+        Some(OpfTable::from_entries(
+            self.entries.iter().zip(probs).map(|((s, _), p)| (s.clone(), p)),
+        ))
+    }
+
+    /// True if the point table lies within every interval.
+    pub fn contains(&self, table: &OpfTable) -> bool {
+        self.entries.iter().all(|(s, i)| i.contains(table.prob(s)))
+            && (table.total() - 1.0).abs() < 1e-9
+    }
+}
+
+/// An interval VPF.
+#[derive(Clone, Debug, Default)]
+pub struct IVpf {
+    entries: Vec<(Value, Interval)>,
+}
+
+impl IVpf {
+    /// Builds from entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (Value, Interval)>) -> Self {
+        IVpf { entries: entries.into_iter().collect() }
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[(Value, Interval)] {
+        &self.entries
+    }
+
+    /// True iff some point VPF fits.
+    pub fn is_coherent(&self) -> bool {
+        coherent(&self.entries.iter().map(|&(_, i)| i).collect::<Vec<_>>())
+    }
+
+    /// A canonical point VPF inside the intervals.
+    pub fn pick_point(&self) -> Option<Vpf> {
+        let probs = pick_point(&self.entries.iter().map(|&(_, i)| i).collect::<Vec<_>>())?;
+        Some(Vpf::from_entries(
+            self.entries.iter().zip(probs).map(|((v, _), p)| (v.clone(), p)),
+        ))
+    }
+}
+
+/// An interval probabilistic instance: a weak instance whose local
+/// interpretation maps to probability intervals instead of points.
+#[derive(Clone, Debug)]
+pub struct IProbInstance {
+    weak: WeakInstance,
+    iopf: IdMap<ObjectKind, IOpf>,
+    ivpf: IdMap<ObjectKind, IVpf>,
+}
+
+impl IProbInstance {
+    /// Assembles and checks coherence of every local family.
+    pub fn new(
+        weak: WeakInstance,
+        iopf: IdMap<ObjectKind, IOpf>,
+        ivpf: IdMap<ObjectKind, IVpf>,
+    ) -> Option<Self> {
+        let inst = IProbInstance { weak, iopf, ivpf };
+        inst.is_coherent().then_some(inst)
+    }
+
+    /// The weak instance.
+    pub fn weak(&self) -> &WeakInstance {
+        &self.weak
+    }
+
+    /// The interval OPF of an object.
+    pub fn iopf(&self, o: ObjectId) -> Option<&IOpf> {
+        self.iopf.get(o)
+    }
+
+    /// The interval VPF of a leaf.
+    pub fn ivpf(&self, o: ObjectId) -> Option<&IVpf> {
+        self.ivpf.get(o)
+    }
+
+    /// True iff every local family is coherent.
+    pub fn is_coherent(&self) -> bool {
+        self.iopf.iter().all(|(_, f)| f.is_coherent())
+            && self.ivpf.iter().all(|(_, f)| f.is_coherent())
+    }
+
+    /// Materialises a point probabilistic instance inside the intervals.
+    pub fn instantiate(&self) -> Option<ProbInstance> {
+        let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+        for (o, f) in self.iopf.iter() {
+            opfs.insert(o, Opf::Table(f.pick_point()?));
+        }
+        let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+        for (o, f) in self.ivpf.iter() {
+            vpfs.insert(o, f.pick_point()?);
+        }
+        ProbInstance::from_parts(self.weak.clone(), opfs, vpfs).ok()
+    }
+
+    /// True if a point instance over the same weak structure lies within
+    /// every interval.
+    pub fn contains(&self, pi: &ProbInstance) -> bool {
+        for (o, f) in self.iopf.iter() {
+            let Some(node) = pi.weak().node(o) else { return false };
+            let Some(opf) = pi.opf(o) else { return false };
+            if !f.contains(&opf.to_table(node.universe())) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::ChildUniverse;
+    use pxml_core::Label;
+
+    fn universe2() -> ChildUniverse {
+        let l = Label::from_raw(0);
+        ChildUniverse::from_members([
+            (ObjectId::from_raw(1), l),
+            (ObjectId::from_raw(2), l),
+        ])
+    }
+
+    fn set(u: &ChildUniverse, ps: &[u32]) -> ChildSet {
+        ChildSet::from_positions(u, ps.iter().copied())
+    }
+
+    #[test]
+    fn iopf_coherence_and_pick_point() {
+        let u = universe2();
+        let f = IOpf::from_entries([
+            (set(&u, &[]), Interval::new(0.1, 0.4)),
+            (set(&u, &[0]), Interval::new(0.2, 0.5)),
+            (set(&u, &[1]), Interval::new(0.1, 0.6)),
+        ]);
+        assert!(f.is_coherent());
+        let point = f.pick_point().unwrap();
+        assert!((point.total() - 1.0).abs() < 1e-9);
+        assert!(f.contains(&point));
+    }
+
+    #[test]
+    fn incoherent_iopf_detected() {
+        let u = universe2();
+        let f = IOpf::from_entries([
+            (set(&u, &[]), Interval::new(0.0, 0.2)),
+            (set(&u, &[0]), Interval::new(0.0, 0.3)),
+        ]);
+        assert!(!f.is_coherent());
+        assert!(f.pick_point().is_none());
+        assert!(f.tighten().is_none());
+    }
+
+    #[test]
+    fn marginal_present_bounds_all_point_marginals() {
+        let u = universe2();
+        let f = IOpf::from_entries([
+            (set(&u, &[]), Interval::new(0.1, 0.4)),
+            (set(&u, &[0]), Interval::new(0.2, 0.5)),
+            (set(&u, &[0, 1]), Interval::new(0.2, 0.6)),
+        ]);
+        let m = f.marginal_present(0);
+        // Any point distribution (p∅, p0, p01) summing to 1 within the
+        // intervals has marginal p0 + p01 = 1 - p∅ ∈ [0.6, 0.9].
+        assert!((m.lo - 0.6).abs() < 1e-9);
+        assert!((m.hi - 0.9).abs() < 1e-9);
+        let point = f.pick_point().unwrap();
+        assert!(m.contains(point.marginal_present(0)));
+    }
+
+    #[test]
+    fn point_opf_is_degenerate_interval_opf() {
+        let u = universe2();
+        let f = IOpf::from_entries([
+            (set(&u, &[]), Interval::point(0.25)),
+            (set(&u, &[0]), Interval::point(0.75)),
+        ]);
+        assert!(f.is_coherent());
+        let point = f.pick_point().unwrap();
+        assert!((point.prob(&set(&u, &[0])) - 0.75).abs() < 1e-12);
+    }
+}

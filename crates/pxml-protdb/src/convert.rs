@@ -1,0 +1,168 @@
+//! The subsumption mapping: ProTDB trees as PXML probabilistic instances.
+//!
+//! Each ProTDB node's independent child probabilities become a compact
+//! [`pxml_core::IndependentOpf`] — the special case of an OPF that §8
+//! identifies. The converse does not hold: an OPF correlating children
+//! (e.g. exactly-one-of-two) has no independent-probability encoding,
+//! demonstrated in the tests below.
+
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Catalog, ChildUniverse, IndependentOpf, LeafInfo, ObjectId, Opf, ProbInstance, Vpf,
+    WeakInstance, WeakNode,
+};
+
+use crate::model::{ProtNode, ProtTree};
+
+/// Converts a ProTDB tree into an equivalent PXML probabilistic instance.
+///
+/// The resulting instance uses `Opf::Independent` throughout — storing
+/// `b` parameters per node instead of `2^b` table entries.
+pub fn to_pxml(tree: &ProtTree) -> pxml_core::Result<ProbInstance> {
+    let mut catalog = Catalog::new();
+    for ty in &tree.types {
+        catalog.define_type(ty.clone());
+    }
+    let root = catalog.object(&tree.root);
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    build(&mut catalog, &mut nodes, &mut opfs, &mut vpfs, root, &tree.children)?;
+
+    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
+    ProbInstance::from_parts(weak, opfs, vpfs)
+}
+
+fn build(
+    catalog: &mut Catalog,
+    nodes: &mut IdMap<ObjectKind, WeakNode>,
+    opfs: &mut IdMap<ObjectKind, Opf>,
+    vpfs: &mut IdMap<ObjectKind, Vpf>,
+    parent: ObjectId,
+    children: &[ProtNode],
+) -> pxml_core::Result<()> {
+    let mut universe = ChildUniverse::new();
+    let mut probs = Vec::with_capacity(children.len());
+    let mut child_ids = Vec::with_capacity(children.len());
+    for c in children {
+        let label = catalog.label(&c.label);
+        let id = catalog.object(&c.name);
+        universe.push(id, label);
+        probs.push(c.prob);
+        child_ids.push(id);
+    }
+    if !children.is_empty() {
+        opfs.insert(parent, Opf::Independent(IndependentOpf::new(probs)));
+    }
+    // The parent node may already exist if it is a leaf-typed child: in
+    // ProTDB a node has either children or a value.
+    let parent_leaf = nodes.get(parent).and_then(|n| n.leaf().cloned());
+    nodes.insert(parent, WeakNode::from_parts(universe, Vec::new(), parent_leaf));
+
+    for (c, id) in children.iter().zip(child_ids) {
+        match &c.value {
+            Some((ty_name, value)) => {
+                let ty = catalog
+                    .find_type(ty_name)
+                    .ok_or_else(|| pxml_core::CoreError::NameNotFound(ty_name.clone()))?;
+                nodes.insert(
+                    id,
+                    WeakNode::from_parts(
+                        ChildUniverse::new(),
+                        Vec::new(),
+                        Some(LeafInfo { ty, val: Some(value.clone()) }),
+                    ),
+                );
+                vpfs.insert(id, Vpf::point(value.clone()));
+            }
+            None => {
+                build(catalog, nodes, opfs, vpfs, id, &c.children)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProtNode;
+    use pxml_core::{enumerate_worlds, LeafType, Value};
+    use pxml_query::chain_probability_named;
+
+    fn small_tree() -> ProtTree {
+        ProtTree {
+            root: "R".into(),
+            types: vec![LeafType::new("t", [Value::Int(1), Value::Int(2)])],
+            children: vec![
+                ProtNode::internal(
+                    "B1",
+                    "book",
+                    0.6,
+                    vec![ProtNode::leaf("T1", "title", 0.5, "t", Value::Int(1))],
+                ),
+                ProtNode::leaf("B2", "book", 0.9, "t", Value::Int(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn conversion_produces_a_valid_instance() {
+        let pi = to_pxml(&small_tree()).unwrap();
+        pi.validate().unwrap();
+        assert_eq!(pi.object_count(), 4);
+        // The root's OPF is the compact independent form.
+        assert!(matches!(pi.opf(pi.root()), Some(Opf::Independent(_))));
+    }
+
+    #[test]
+    fn chain_probabilities_agree_between_models() {
+        let tree = small_tree();
+        let pi = to_pxml(&tree).unwrap();
+        for chain in [vec!["R", "B1"], vec!["R", "B2"], vec!["R", "B1", "T1"]] {
+            let protdb = tree.chain_probability(&chain).unwrap();
+            let pxml = chain_probability_named(&pi, &chain).unwrap();
+            assert!((protdb - pxml).abs() < 1e-9, "chain {chain:?}");
+        }
+    }
+
+    #[test]
+    fn worlds_of_converted_tree_factor_independently() {
+        let pi = to_pxml(&small_tree()).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        assert!((worlds.total() - 1.0).abs() < 1e-9);
+        let b1 = pi.oid("B1").unwrap();
+        let b2 = pi.oid("B2").unwrap();
+        let p_b1 = worlds.probability_that(|s| s.contains(b1));
+        let p_b2 = worlds.probability_that(|s| s.contains(b2));
+        let p_both = worlds.probability_that(|s| s.contains(b1) && s.contains(b2));
+        assert!((p_b1 - 0.6).abs() < 1e-9);
+        assert!((p_b2 - 0.9).abs() < 1e-9);
+        assert!((p_both - p_b1 * p_b2).abs() < 1e-9, "ProTDB children are independent");
+    }
+
+    #[test]
+    fn pxml_expresses_correlations_protdb_cannot() {
+        // PXML: exactly one of {A, B} exists (perfect anti-correlation).
+        let mut b = pxml_core::ProbInstance::builder();
+        let r = b.object("r");
+        b.lch("r", "x", &["A", "B"]);
+        b.opf_table("r", &[(&["A"], 0.5), (&["B"], 0.5)]);
+        let pi = b.build(r).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let a = pi.oid("A").unwrap();
+        let bb = pi.oid("B").unwrap();
+        let pa = worlds.probability_that(|s| s.contains(a));
+        let pb = worlds.probability_that(|s| s.contains(bb));
+        let pboth = worlds.probability_that(|s| s.contains(a) && s.contains(bb));
+        // Any ProTDB tree with the same marginals predicts joint 0.25;
+        // the PXML instance realises joint 0.
+        assert!((pa - 0.5).abs() < 1e-9);
+        assert!((pb - 0.5).abs() < 1e-9);
+        assert!(pboth.abs() < 1e-9);
+        assert!((pa * pb - 0.25).abs() < 1e-9, "independence would force 0.25");
+    }
+}

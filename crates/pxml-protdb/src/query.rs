@@ -1,0 +1,181 @@
+//! ProTDB-style conjunctive (pattern-tree) queries.
+//!
+//! Section 8 of the PXML paper contrasts its path-expression algebra
+//! with ProTDB's query model: "in their conjunctive query, given a query
+//! pattern tree, they return a set of subtrees (with some modified node
+//! probabilities) from the given instance, each with a global
+//! probability". This module implements that query over [`ProtTree`]s:
+//! every embedding of the pattern into the data tree is returned with
+//! the product of the independent existence probabilities of all matched
+//! nodes — and the tests cross-check each match probability against the
+//! possible-worlds semantics of the PXML embedding, exhibiting the §8
+//! relationship concretely.
+
+use crate::model::{ProtNode, ProtTree};
+
+/// A node of a query pattern tree: an edge label plus sub-patterns.
+#[derive(Clone, Debug)]
+pub struct PatternNode {
+    /// Required label of the edge from the parent.
+    pub label: String,
+    /// Sub-patterns that must embed below the matched node.
+    pub children: Vec<PatternNode>,
+}
+
+impl PatternNode {
+    /// A leaf pattern.
+    pub fn leaf(label: &str) -> Self {
+        PatternNode { label: label.into(), children: Vec::new() }
+    }
+
+    /// An internal pattern.
+    pub fn internal(label: &str, children: Vec<PatternNode>) -> Self {
+        PatternNode { label: label.into(), children }
+    }
+}
+
+/// One embedding of the pattern: the matched node names (preorder) and
+/// the match's global probability — the product of the matched nodes'
+/// independent existence probabilities (ProTDB semantics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternMatch {
+    /// Matched data-node names, in pattern preorder.
+    pub nodes: Vec<String>,
+    /// Probability that every matched node exists.
+    pub probability: f64,
+}
+
+/// Evaluates a conjunctive query: the pattern's top-level entries must
+/// embed (injectively) below the data root. Returns every embedding.
+pub fn conjunctive_query(tree: &ProtTree, pattern: &[PatternNode]) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    embed_children(&tree.children, pattern, 1.0, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Recursively embeds `patterns` into distinct members of `candidates`.
+fn embed_children(
+    candidates: &[ProtNode],
+    patterns: &[PatternNode],
+    prob: f64,
+    matched: &mut Vec<String>,
+    out: &mut Vec<PatternMatch>,
+) {
+    let Some((first, rest)) = patterns.split_first() else {
+        out.push(PatternMatch { nodes: matched.clone(), probability: prob });
+        return;
+    };
+    for cand in candidates {
+        if cand.label != first.label || matched.contains(&cand.name) {
+            continue;
+        }
+        matched.push(cand.name.clone());
+        // Embed this pattern node's children below the candidate, then
+        // continue with the remaining sibling patterns (which may match
+        // other candidates, but never a node already matched).
+        let mut inner: Vec<PatternMatch> = Vec::new();
+        embed_children(&cand.children, &first.children, prob * cand.prob, matched, &mut inner);
+        for partial in inner {
+            let mut matched2 = partial.nodes;
+            embed_children(candidates, rest, partial.probability, &mut matched2, out);
+        }
+        matched.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::to_pxml;
+    use pxml_core::{enumerate_worlds, LeafType, Value};
+
+    fn library() -> ProtTree {
+        ProtTree {
+            root: "R".into(),
+            types: vec![LeafType::new("t", [Value::Int(1)])],
+            children: vec![
+                ProtNode::internal(
+                    "B1",
+                    "book",
+                    0.6,
+                    vec![
+                        ProtNode::leaf("T1", "title", 0.9, "t", Value::Int(1)),
+                        ProtNode::leaf("A1", "author", 0.5, "t", Value::Int(1)),
+                    ],
+                ),
+                ProtNode::internal(
+                    "B2",
+                    "book",
+                    0.8,
+                    vec![ProtNode::leaf("A2", "author", 0.7, "t", Value::Int(1))],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn single_node_pattern_matches_each_book() {
+        let matches = conjunctive_query(&library(), &[PatternNode::leaf("book")]);
+        assert_eq!(matches.len(), 2);
+        let probs: Vec<f64> = matches.iter().map(|m| m.probability).collect();
+        assert!(probs.contains(&0.6));
+        assert!(probs.contains(&0.8));
+    }
+
+    #[test]
+    fn nested_pattern_multiplies_probabilities() {
+        let pattern =
+            [PatternNode::internal("book", vec![PatternNode::leaf("author")])];
+        let matches = conjunctive_query(&library(), &pattern);
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            match m.nodes[0].as_str() {
+                "B1" => assert!((m.probability - 0.6 * 0.5).abs() < 1e-12),
+                "B2" => assert!((m.probability - 0.8 * 0.7).abs() < 1e-12),
+                other => panic!("unexpected match root {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_patterns_embed_injectively() {
+        // Two book patterns must match two DIFFERENT books.
+        let pattern = [PatternNode::leaf("book"), PatternNode::leaf("book")];
+        let matches = conjunctive_query(&library(), &pattern);
+        // (B1, B2) and (B2, B1).
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            assert!((m.probability - 0.6 * 0.8).abs() < 1e-12);
+            assert_ne!(m.nodes[0], m.nodes[1]);
+        }
+    }
+
+    #[test]
+    fn unmatched_pattern_returns_nothing() {
+        let matches = conjunctive_query(&library(), &[PatternNode::leaf("publisher")]);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn match_probability_equals_pxml_world_probability() {
+        // The §8 relationship: a ProTDB match probability is exactly the
+        // PXML probability that all matched nodes exist.
+        let tree = library();
+        let pi = to_pxml(&tree).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let pattern =
+            [PatternNode::internal("book", vec![PatternNode::leaf("author")])];
+        for m in conjunctive_query(&tree, &pattern) {
+            let ids: Vec<_> = m.nodes.iter().map(|n| pi.oid(n).unwrap()).collect();
+            let direct =
+                worlds.probability_that(|s| ids.iter().all(|&o| s.contains(o)));
+            assert!(
+                (m.probability - direct).abs() < 1e-9,
+                "match {:?}: {} vs {}",
+                m.nodes,
+                m.probability,
+                direct
+            );
+        }
+    }
+}

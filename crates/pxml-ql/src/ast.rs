@@ -1,0 +1,102 @@
+//! The query AST.
+
+use pxml_core::Value;
+
+/// A path expression in textual form: a root object name followed by
+/// label names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathText {
+    /// Root object name.
+    pub root: String,
+    /// Edge label names, outermost first.
+    pub labels: Vec<String>,
+}
+
+impl PathText {
+    /// Builds from dotted segments (first = root).
+    pub fn new(segments: Vec<String>) -> Option<Self> {
+        let mut it = segments.into_iter();
+        let root = it.next()?;
+        Some(PathText { root, labels: it.collect() })
+    }
+}
+
+impl std::fmt::Display for PathText {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.root)?;
+        for l in &self.labels {
+            write!(f, ".{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which projection operator to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProjectKind {
+    /// Ancestor projection (Definition 5.2) — the default.
+    Ancestor,
+    /// Single projection (targets directly under the root).
+    Single,
+    /// Descendant projection (targets plus their subtrees).
+    Descendant,
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// `PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>`
+    Project {
+        /// The projection operator.
+        kind: ProjectKind,
+        /// The path expression.
+        path: PathText,
+    },
+    /// `SELECT <path> = <object>` — object selection (Definition 5.4).
+    SelectObject {
+        /// The locating path.
+        path: PathText,
+        /// The selected object's name.
+        object: String,
+    },
+    /// `SELECT VALUE <path> [@ <object>] = <literal>` — value selection
+    /// (Definition 5.5), optionally pinned to one object.
+    SelectValue {
+        /// The locating path.
+        path: PathText,
+        /// The designated object, if any.
+        object: Option<String>,
+        /// The value to match.
+        value: Value,
+    },
+    /// `POINT <object> IN <path>` — `P(o ∈ p)` (Definition 6.1).
+    Point {
+        /// The queried object's name.
+        object: String,
+        /// The path expression.
+        path: PathText,
+    },
+    /// `EXISTS <path>` — `P(∃o ∈ p)`.
+    Exists {
+        /// The path expression.
+        path: PathText,
+    },
+    /// `CHAIN <o1>.<o2>.…` — simple object-chain probability (§6.2).
+    Chain {
+        /// The object names, root first.
+        objects: Vec<String>,
+    },
+    /// `PROB <object>` — presence probability (Bayesian network).
+    Prob {
+        /// The queried object's name.
+        object: String,
+    },
+    /// `WORLDS [TOP <n>]` — enumerate compatible worlds (most probable
+    /// first).
+    Worlds {
+        /// Optional cap on the number of worlds reported.
+        top: Option<usize>,
+    },
+    /// `RENDER` — pretty-print the instance's Figure-2-style tables.
+    Render,
+}

@@ -1,0 +1,79 @@
+//! Error types for the query language.
+
+use std::fmt;
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum QlError {
+    /// The query text failed to tokenise or parse.
+    Parse { position: usize, message: String },
+    /// A name in the query is not in the instance's catalog.
+    UnknownName(String),
+    /// An underlying model error.
+    Core(pxml_core::CoreError),
+    /// An underlying algebra error.
+    Algebra(pxml_algebra::AlgebraError),
+    /// An underlying query-engine error.
+    Query(pxml_query::QueryError),
+    /// No engine can answer this query on this instance.
+    NoEngine(String),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            QlError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            QlError::Core(e) => write!(f, "{e}"),
+            QlError::Algebra(e) => write!(f, "{e}"),
+            QlError::Query(e) => write!(f, "{e}"),
+            QlError::NoEngine(m) => write!(f, "no engine can answer: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QlError::Core(e) => Some(e),
+            QlError::Algebra(e) => Some(e),
+            QlError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pxml_core::CoreError> for QlError {
+    fn from(e: pxml_core::CoreError) -> Self {
+        QlError::Core(e)
+    }
+}
+impl From<pxml_algebra::AlgebraError> for QlError {
+    fn from(e: pxml_algebra::AlgebraError) -> Self {
+        QlError::Algebra(e)
+    }
+}
+impl From<pxml_query::QueryError> for QlError {
+    fn from(e: pxml_query::QueryError) -> Self {
+        QlError::Query(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = QlError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = QlError::Parse { position: 3, message: "expected path".into() };
+        assert!(e.to_string().contains("token 3"));
+        let e: QlError = pxml_core::CoreError::MissingRoot.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,388 @@
+//! Query execution: compiles the AST onto the algebra/query/BN engines
+//! with automatic fallback.
+//!
+//! The `Auto` engine tries the paper's efficient algorithms first and
+//! falls back in order of increasing cost when an algorithm's
+//! assumptions fail:
+//!
+//! * point/exists: §6.2 ε propagation → inclusion–exclusion over chains
+//!   → possible-worlds enumeration;
+//! * projection/selection: efficient local algorithm → global semantics
+//!   (world table), reported as [`Output::Worlds`] when the result is
+//!   not expressible as a single probabilistic instance.
+
+use pxml_algebra::naive::{
+    ancestor_project_global, descendant_project_global, select_global, single_project_global,
+};
+use pxml_algebra::{
+    ancestor_project, descendant_project, select, single_project, AlgebraError, PathExpr,
+    SelectCond,
+};
+use pxml_core::{enumerate_worlds, ObjectId, ProbInstance, WorldTable};
+use pxml_query::{
+    chain_probability, exists_query, exists_query_dag, point_query, point_query_dag, QueryError,
+};
+
+use crate::ast::{PathText, ProjectKind, Query};
+use crate::error::{QlError, Result};
+
+/// Engine selection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Efficient algorithms with automatic fallback (default).
+    #[default]
+    Auto,
+    /// Only the efficient tree algorithms; errors on DAGs.
+    Tree,
+    /// Only the global possible-worlds semantics.
+    Naive,
+}
+
+/// The result of executing a query.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// A probabilistic instance (projection / selection result).
+    Instance(ProbInstance),
+    /// An instance plus the selection's prior probability.
+    Selected {
+        /// The conditioned instance.
+        instance: ProbInstance,
+        /// Prior probability of the condition.
+        selectivity: f64,
+    },
+    /// A single probability.
+    Probability(f64),
+    /// A distribution over worlds, rendered (most probable first).
+    Worlds(Vec<(String, f64)>),
+    /// Free-form text (e.g. `RENDER`).
+    Text(String),
+}
+
+impl Output {
+    /// Human-readable rendering for CLI/logging use.
+    pub fn render(&self) -> String {
+        match self {
+            Output::Instance(pi) => {
+                format!("instance with {} objects\n{}", pi.object_count(), pi.render())
+            }
+            Output::Selected { instance, selectivity } => format!(
+                "selectivity {selectivity:.6}; instance with {} objects",
+                instance.object_count()
+            ),
+            Output::Probability(p) => format!("{p:.6}"),
+            Output::Worlds(ws) => {
+                let mut out = String::new();
+                for (s, p) in ws {
+                    out.push_str(&format!("p = {p:.6}\n{s}\n"));
+                }
+                out
+            }
+            Output::Text(t) => t.clone(),
+        }
+    }
+}
+
+/// Parses and executes a query string with the default engine.
+pub fn run(pi: &ProbInstance, input: &str) -> Result<Output> {
+    execute(pi, &crate::parser::parse(input)?, Engine::Auto)
+}
+
+/// Executes a parsed query.
+pub fn execute(pi: &ProbInstance, q: &Query, engine: Engine) -> Result<Output> {
+    match q {
+        Query::Project { kind, path } => project(pi, *kind, path, engine),
+        Query::SelectObject { path, object } => {
+            let p = resolve_path(pi, path)?;
+            let o = resolve_object(pi, object)?;
+            let cond = SelectCond::ObjectAt(p, o);
+            selection(pi, &cond, engine)
+        }
+        Query::SelectValue { path, object, value } => {
+            let p = resolve_path(pi, path)?;
+            let cond = match object {
+                Some(name) => {
+                    SelectCond::ValueAt(p, resolve_object(pi, name)?, value.clone())
+                }
+                None => SelectCond::ValueEquals(p, value.clone()),
+            };
+            selection(pi, &cond, engine)
+        }
+        Query::Point { object, path } => {
+            let p = resolve_path(pi, path)?;
+            let o = resolve_object(pi, object)?;
+            point(pi, &p, o, engine).map(Output::Probability)
+        }
+        Query::Exists { path } => {
+            let p = resolve_path(pi, path)?;
+            exists(pi, &p, engine).map(Output::Probability)
+        }
+        Query::Chain { objects } => {
+            let ids: Vec<ObjectId> = objects
+                .iter()
+                .map(|n| resolve_object(pi, n))
+                .collect::<Result<_>>()?;
+            Ok(Output::Probability(chain_probability(pi, &ids)?))
+        }
+        Query::Prob { object } => {
+            let o = resolve_object(pi, object)?;
+            let net = pxml_bayes::Network::compile(pi);
+            Ok(Output::Probability(net.presence_probability(o)))
+        }
+        Query::Worlds { top } => {
+            let worlds = enumerate_worlds(pi)?;
+            Ok(Output::Worlds(render_worlds(&worlds, *top)))
+        }
+        Query::Render => Ok(Output::Text(pi.render())),
+    }
+}
+
+fn resolve_path(pi: &ProbInstance, path: &PathText) -> Result<PathExpr> {
+    let root = pi
+        .catalog()
+        .find_object(&path.root)
+        .ok_or_else(|| QlError::UnknownName(path.root.clone()))?;
+    let labels = path
+        .labels
+        .iter()
+        .map(|l| {
+            pi.catalog().find_label(l).ok_or_else(|| QlError::UnknownName(l.clone()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(PathExpr::new(root, labels))
+}
+
+fn resolve_object(pi: &ProbInstance, name: &str) -> Result<ObjectId> {
+    pi.catalog().find_object(name).ok_or_else(|| QlError::UnknownName(name.into()))
+}
+
+fn project(
+    pi: &ProbInstance,
+    kind: ProjectKind,
+    path: &PathText,
+    engine: Engine,
+) -> Result<Output> {
+    let p = resolve_path(pi, path)?;
+    match (kind, engine) {
+        (ProjectKind::Ancestor, Engine::Tree) => {
+            Ok(Output::Instance(ancestor_project(pi, &p)?))
+        }
+        (ProjectKind::Ancestor, Engine::Auto) => match ancestor_project(pi, &p) {
+            Ok(out) => Ok(Output::Instance(out)),
+            Err(AlgebraError::NotTreeShaped(_)) => {
+                Ok(Output::Worlds(render_worlds(&ancestor_project_global(pi, &p)?, None)))
+            }
+            Err(e) => Err(e.into()),
+        },
+        (ProjectKind::Ancestor, Engine::Naive) => {
+            Ok(Output::Worlds(render_worlds(&ancestor_project_global(pi, &p)?, None)))
+        }
+        (ProjectKind::Single, Engine::Tree) => Ok(Output::Instance(single_project(pi, &p)?)),
+        (ProjectKind::Single, Engine::Auto) => match single_project(pi, &p) {
+            Ok(out) => Ok(Output::Instance(out)),
+            Err(AlgebraError::NotTreeShaped(_)) | Err(AlgebraError::UnsupportedCondition(_)) => {
+                Ok(Output::Worlds(render_worlds(&single_project_global(pi, &p)?, None)))
+            }
+            Err(e) => Err(e.into()),
+        },
+        (ProjectKind::Single, Engine::Naive) => {
+            Ok(Output::Worlds(render_worlds(&single_project_global(pi, &p)?, None)))
+        }
+        (ProjectKind::Descendant, Engine::Tree) => {
+            Ok(Output::Instance(descendant_project(pi, &p)?))
+        }
+        (ProjectKind::Descendant, Engine::Auto) => match descendant_project(pi, &p) {
+            Ok(out) => Ok(Output::Instance(out)),
+            Err(AlgebraError::NotTreeShaped(_)) | Err(AlgebraError::UnsupportedCondition(_)) => {
+                Ok(Output::Worlds(render_worlds(&descendant_project_global(pi, &p)?, None)))
+            }
+            Err(e) => Err(e.into()),
+        },
+        (ProjectKind::Descendant, Engine::Naive) => {
+            Ok(Output::Worlds(render_worlds(&descendant_project_global(pi, &p)?, None)))
+        }
+    }
+}
+
+fn selection(pi: &ProbInstance, cond: &SelectCond, engine: Engine) -> Result<Output> {
+    match engine {
+        Engine::Tree => {
+            let sel = select(pi, cond)?;
+            Ok(Output::Selected { instance: sel.instance, selectivity: sel.selectivity })
+        }
+        Engine::Auto => match select(pi, cond) {
+            Ok(sel) => {
+                Ok(Output::Selected { instance: sel.instance, selectivity: sel.selectivity })
+            }
+            Err(AlgebraError::NotTreeShaped(_)) | Err(AlgebraError::UnsupportedCondition(_)) => {
+                let (worlds, _prior) = select_global(pi, cond)?;
+                Ok(Output::Worlds(render_worlds(&worlds, None)))
+            }
+            Err(e) => Err(e.into()),
+        },
+        Engine::Naive => {
+            let (worlds, _prior) = select_global(pi, cond)?;
+            Ok(Output::Worlds(render_worlds(&worlds, None)))
+        }
+    }
+}
+
+fn point(pi: &ProbInstance, p: &PathExpr, o: ObjectId, engine: Engine) -> Result<f64> {
+    match engine {
+        Engine::Tree => Ok(point_query(pi, p, o)?),
+        Engine::Naive => {
+            let worlds = enumerate_worlds(pi)?;
+            Ok(worlds.probability_that(|s| pxml_algebra::satisfies_sd(s, p, o)))
+        }
+        Engine::Auto => match point_query(pi, p, o) {
+            Ok(x) => Ok(x),
+            Err(QueryError::NotTreeShaped(_)) => match point_query_dag(pi, p, o) {
+                Ok(x) => Ok(x),
+                Err(QueryError::TooManyChains(_)) => {
+                    let worlds = enumerate_worlds(pi)?;
+                    Ok(worlds.probability_that(|s| pxml_algebra::satisfies_sd(s, p, o)))
+                }
+                Err(e) => Err(e.into()),
+            },
+            Err(e) => Err(e.into()),
+        },
+    }
+}
+
+fn exists(pi: &ProbInstance, p: &PathExpr, engine: Engine) -> Result<f64> {
+    match engine {
+        Engine::Tree => Ok(exists_query(pi, p)?),
+        Engine::Naive => Ok(pxml_algebra::naive::exists_global(pi, p)?),
+        Engine::Auto => match exists_query(pi, p) {
+            Ok(x) => Ok(x),
+            Err(QueryError::NotTreeShaped(_)) => match exists_query_dag(pi, p) {
+                Ok(x) => Ok(x),
+                Err(QueryError::TooManyChains(_)) => {
+                    Ok(pxml_algebra::naive::exists_global(pi, p)?)
+                }
+                Err(e) => Err(e.into()),
+            },
+            Err(e) => Err(e.into()),
+        },
+    }
+}
+
+fn render_worlds(worlds: &WorldTable, top: Option<usize>) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> =
+        worlds.iter().map(|(s, p)| (s.render(), p)).collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some(n) = top {
+        rows.truncate(n);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::{chain, fig2_instance};
+
+    #[test]
+    fn point_query_via_ql_matches_engines() {
+        let pi = fig2_instance();
+        // T2 is exclusively reachable (tree path) — efficient engine.
+        let out = run(&pi, "POINT T2 IN R.book.title").unwrap();
+        let Output::Probability(p) = out else { panic!("probability expected") };
+        assert!((p - 0.8).abs() < 1e-9);
+        // A1 is shared — Auto falls through to inclusion–exclusion.
+        let out = run(&pi, "POINT A1 IN R.book.author").unwrap();
+        let Output::Probability(p) = out else { panic!("probability expected") };
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let a1 = pi.oid("A1").unwrap();
+        let path = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let direct = worlds.probability_that(|s| pxml_algebra::satisfies_sd(s, &path, a1));
+        assert!((p - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_via_ql() {
+        let pi = chain(3, 0.5);
+        let out = run(&pi, "SELECT r.next.next = o2").unwrap();
+        let Output::Selected { selectivity, instance } = out else {
+            panic!("selected expected")
+        };
+        assert!((selectivity - 0.25).abs() < 1e-12);
+        assert_eq!(instance.object_count(), 4);
+    }
+
+    #[test]
+    fn projection_via_ql_tree_and_dag() {
+        let pi = chain(3, 0.5);
+        let out = run(&pi, "PROJECT r.next").unwrap();
+        assert!(matches!(out, Output::Instance(_)));
+        // The Figure 2 instance routes to the global engine.
+        let fig2 = fig2_instance();
+        let out = run(&fig2, "PROJECT R.book.author").unwrap();
+        assert!(matches!(out, Output::Worlds(_)));
+    }
+
+    #[test]
+    fn single_and_descendant_projection_via_ql() {
+        let pi = chain(2, 0.6);
+        assert!(matches!(
+            run(&pi, "PROJECT SINGLE r.next.next").unwrap(),
+            Output::Instance(_)
+        ));
+        assert!(matches!(
+            run(&pi, "PROJECT DESCENDANT r.next").unwrap(),
+            Output::Instance(_)
+        ));
+        // A DAG routes descendant projection to the global engine.
+        let fig2 = pxml_core::fixtures::fig2_instance();
+        assert!(matches!(
+            run(&fig2, "PROJECT DESCENDANT R.book.author").unwrap(),
+            Output::Worlds(_)
+        ));
+    }
+
+    #[test]
+    fn chain_prob_exists_and_render() {
+        let pi = chain(2, 0.5);
+        let Output::Probability(p) = run(&pi, "CHAIN r.o1.o2").unwrap() else {
+            panic!()
+        };
+        assert!((p - 0.25).abs() < 1e-12);
+        let Output::Probability(e) = run(&pi, "EXISTS r.next").unwrap() else {
+            panic!()
+        };
+        assert!((e - 0.5).abs() < 1e-12);
+        assert!(matches!(run(&pi, "RENDER").unwrap(), Output::Text(_)));
+    }
+
+    #[test]
+    fn worlds_query_sorts_and_truncates() {
+        let pi = chain(1, 0.9);
+        let Output::Worlds(ws) = run(&pi, "WORLDS TOP 2").unwrap() else { panic!() };
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].1 >= ws[1].1);
+    }
+
+    #[test]
+    fn prob_uses_the_bayes_engine() {
+        let pi = fig2_instance(); // shared A1: BN still exact
+        let Output::Probability(p) = run(&pi, "PROB B1").unwrap() else { panic!() };
+        assert!((p - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let pi = chain(1, 0.5);
+        assert!(matches!(run(&pi, "PROB ghost"), Err(QlError::UnknownName(_))));
+        assert!(matches!(
+            run(&pi, "PROJECT r.bogus"),
+            Err(QlError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn engine_tree_refuses_dags() {
+        let fig2 = fig2_instance();
+        let q = crate::parser::parse("POINT A1 IN R.book.author").unwrap();
+        assert!(execute(&fig2, &q, Engine::Tree).is_err());
+        assert!(execute(&fig2, &q, Engine::Naive).is_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! Tokeniser for the query language.
+
+use pxml_core::Value;
+
+use crate::error::{QlError, Result};
+
+/// A query token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare word (keyword or name).
+    Word(String),
+    /// Quoted name (allows dots/spaces inside names).
+    Quoted(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `@`
+    At,
+}
+
+impl Tok {
+    /// The token as a name, if it is one.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            Tok::Word(w) => Some(w),
+            Tok::Quoted(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The token as a literal value, if it is one. Bare `true`/`false`
+    /// become booleans; quoted strings become string values.
+    pub fn as_value(&self) -> Option<Value> {
+        match self {
+            Tok::Int(i) => Some(Value::Int(*i)),
+            Tok::Float(x) => Some(Value::Float(*x)),
+            Tok::Quoted(s) => Some(Value::str(s)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("true") => Some(Value::Bool(true)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("false") => Some(Value::Bool(false)),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenises a query string.
+pub fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut pos = 0usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                chars.next();
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                chars.next();
+            }
+            '@' => {
+                out.push(Tok::At);
+                chars.next();
+            }
+            '"' | '\'' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c2 in chars.by_ref() {
+                    if c2 == quote {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c2);
+                }
+                if !closed {
+                    return Err(QlError::Parse {
+                        position: pos,
+                        message: "unterminated quoted name".into(),
+                    });
+                }
+                out.push(Tok::Quoted(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() || c2 == '-' || c2 == '+' {
+                        text.push(c2);
+                        chars.next();
+                    } else if c2 == 'e' || c2 == 'E' {
+                        is_float = true;
+                        text.push(c2);
+                        chars.next();
+                    } else if c2 == '.' {
+                        // A dot is a path separator unless followed by a
+                        // digit (allowing `0.5` but keeping `R.book`).
+                        let mut lookahead = chars.clone();
+                        lookahead.next();
+                        if lookahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push('.');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|e| QlError::Parse {
+                        position: pos,
+                        message: format!("bad float {text:?}: {e}"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|e| QlError::Parse {
+                        position: pos,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?)
+                };
+                out.push(tok);
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Word(s));
+            }
+            other => {
+                return Err(QlError::Parse {
+                    position: pos,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+        pos += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_words_dots_and_eq() {
+        let toks = lex("SELECT R.book = B1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Word("SELECT".into()),
+                Tok::Word("R".into()),
+                Tok::Dot,
+                Tok::Word("book".into()),
+                Tok::Eq,
+                Tok::Word("B1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_vs_paths() {
+        assert_eq!(lex("0.5").unwrap(), vec![Tok::Float(0.5)]);
+        assert_eq!(
+            lex("2.book").unwrap(),
+            vec![Tok::Int(2), Tok::Dot, Tok::Word("book".into())]
+        );
+        assert_eq!(lex("1e-3").unwrap(), vec![Tok::Float(1e-3)]);
+    }
+
+    #[test]
+    fn quoted_names_allow_special_characters() {
+        let toks = lex("POINT \"odd name\" IN R.x").unwrap();
+        assert_eq!(toks[1], Tok::Quoted("odd name".into()));
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn value_conversion() {
+        assert_eq!(Tok::Int(3).as_value(), Some(Value::Int(3)));
+        assert_eq!(Tok::Word("true".into()).as_value(), Some(Value::Bool(true)));
+        assert_eq!(Tok::Quoted("VQDB".into()).as_value(), Some(Value::str("VQDB")));
+        assert_eq!(Tok::Dot.as_value(), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Conditional queries: point queries after selection.
+//!
+//! Composes the algebra's selection (Definition 5.6) with the point
+//! queries of Section 6.2, answering questions like "given that book B1
+//! surely exists (situation 2 of Section 2), what is the probability
+//! that author A2 exists?".
+
+use pxml_algebra::path::PathExpr;
+use pxml_algebra::selection::{select, SelectCond};
+use pxml_core::{ObjectId, ProbInstance};
+
+use crate::error::Result;
+use crate::point::{exists_query, point_query};
+
+/// `P(o ∈ p | sc)`: the point-query probability in the instance
+/// conditioned on the selection condition.
+pub fn conditional_point_query(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    p: &PathExpr,
+    o: ObjectId,
+) -> Result<f64> {
+    let selected = select(pi, cond)?;
+    point_query(&selected.instance, p, o)
+}
+
+/// `P(∃ o ∈ p | sc)`.
+pub fn conditional_exists_query(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    p: &PathExpr,
+) -> Result<f64> {
+    let selected = select(pi, cond)?;
+    exists_query(&selected.instance, p)
+}
+
+/// The probability that `o` occurs at all, on a tree-shaped instance:
+/// the product of link marginals along `o`'s unique ancestor chain.
+pub fn presence_probability(pi: &ProbInstance, o: ObjectId) -> Result<f64> {
+    if o == pi.root() {
+        return Ok(1.0);
+    }
+    let parents = pi.weak().parents();
+    let mut chain = vec![o];
+    let mut cur = o;
+    while cur != pi.root() {
+        match parents.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+            [] => return Ok(0.0),
+            [p] => {
+                chain.push(*p);
+                cur = *p;
+            }
+            _ => return Err(crate::error::QueryError::NotTreeShaped(cur)),
+        }
+        if chain.len() > pi.object_count() {
+            return Ok(0.0);
+        }
+    }
+    chain.reverse();
+    crate::chain::chain_probability(pi, &chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::chain as chain_fixture;
+
+    #[test]
+    fn conditioning_on_an_ancestor_raises_the_probability() {
+        let pi = chain_fixture(3, 0.5);
+        let o1 = pi.oid("o1").unwrap();
+        let o3 = pi.oid("o3").unwrap();
+        let p3 = PathExpr::parse(pi.catalog(), "r.next.next.next").unwrap();
+        let p1 = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let unconditional = point_query(&pi, &p3, o3).unwrap();
+        let cond = SelectCond::ObjectAt(p1, o1);
+        let conditional = conditional_point_query(&pi, &cond, &p3, o3).unwrap();
+        assert!((unconditional - 0.125).abs() < 1e-12);
+        assert!((conditional - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_matches_bayes_rule_from_worlds() {
+        let pi = chain_fixture(2, 0.6);
+        let o1 = pi.oid("o1").unwrap();
+        let o2 = pi.oid("o2").unwrap();
+        let p1 = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let p2 = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let cond = SelectCond::ObjectAt(p1, o1);
+        let conditional = conditional_point_query(&pi, &cond, &p2, o2).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let p_both = worlds.probability_that(|s| s.contains(o1) && s.contains(o2));
+        let p_cond = worlds.probability_that(|s| s.contains(o1));
+        assert!((conditional - p_both / p_cond).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_exists_after_selection() {
+        let pi = chain_fixture(2, 0.5);
+        let o1 = pi.oid("o1").unwrap();
+        let p1 = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        let p2 = PathExpr::parse(pi.catalog(), "r.next.next").unwrap();
+        let cond = SelectCond::ObjectAt(p1, o1);
+        let e = conditional_exists_query(&pi, &cond, &p2).unwrap();
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presence_probability_along_chain() {
+        let pi = chain_fixture(3, 0.5);
+        assert_eq!(presence_probability(&pi, pi.root()).unwrap(), 1.0);
+        let o2 = pi.oid("o2").unwrap();
+        assert!((presence_probability(&pi, o2).unwrap() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Exact point and existential queries on **DAG-shaped** instances.
+//!
+//! The ε propagation of Section 6.2 assumes tree-shaped kept regions.
+//! When an object is reachable through several label-matching chains
+//! (e.g. `A1` in the paper's Figure 2, a potential child of both `B1`
+//! and `B2`), `P(o ∈ p)` is the probability of a *union* of chain
+//! events. Each chain event is a conjunction of link events, and any
+//! conjunction of chain events factorises over parents (local choices
+//! are independent given presence, and every parent in a rooted link set
+//! is itself made present by its incoming link), so inclusion–exclusion
+//! over the matching chains is exact:
+//!
+//! `P(⋃ᵢ Eᵢ) = Σ_{∅≠S} (−1)^{|S|+1} Π_{parent} P(children ⊇ req_S(parent))`.
+//!
+//! The cost is `2^k` for `k` matching chains; [`MAX_CHAINS`] bounds it.
+
+use std::collections::HashMap;
+
+use pxml_algebra::locate::layers_weak;
+use pxml_algebra::path::PathExpr;
+use pxml_core::{ObjectId, ProbInstance};
+
+use crate::error::{QueryError, Result};
+
+/// Maximum number of matching chains inclusion–exclusion will expand.
+pub const MAX_CHAINS: usize = 24;
+
+/// `P(o ∈ p)` on an arbitrary acyclic instance.
+pub fn point_query_dag(pi: &ProbInstance, p: &PathExpr, o: ObjectId) -> Result<f64> {
+    let layers = layers_weak(pi.weak(), p);
+    let located = layers.last().cloned().unwrap_or_default();
+    if located.binary_search(&o).is_err() {
+        return Ok(0.0);
+    }
+    let chains = matching_chains(pi, p, &layers, &[o])?;
+    union_probability(pi, &chains)
+}
+
+/// `P(∃o: o ∈ p)` on an arbitrary acyclic instance.
+pub fn exists_query_dag(pi: &ProbInstance, p: &PathExpr) -> Result<f64> {
+    let layers = layers_weak(pi.weak(), p);
+    let located = layers.last().cloned().unwrap_or_default();
+    if located.is_empty() {
+        return Ok(0.0);
+    }
+    let chains = matching_chains(pi, p, &layers, &located)?;
+    union_probability(pi, &chains)
+}
+
+/// Enumerates every chain `root = c₀ → … → cₙ ∈ targets` whose edge
+/// labels spell `p`, via the per-depth layers.
+fn matching_chains(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    layers: &[Vec<ObjectId>],
+    targets: &[ObjectId],
+) -> Result<Vec<Vec<ObjectId>>> {
+    let n = p.labels.len();
+    // chains_to[depth][object] = all chains from the root to `object`
+    // arriving at `depth`.
+    let mut current: HashMap<ObjectId, Vec<Vec<ObjectId>>> = HashMap::new();
+    current.insert(pi.root(), vec![vec![pi.root()]]);
+    for depth in 0..n {
+        let mut next: HashMap<ObjectId, Vec<Vec<ObjectId>>> = HashMap::new();
+        for &parent in &layers[depth] {
+            let Some(parent_chains) = current.get(&parent) else { continue };
+            let node = pi.weak().node(parent).expect("layer member");
+            for (pos, child, label) in node.universe().iter() {
+                let _ = pos;
+                if label != p.labels[depth] {
+                    continue;
+                }
+                // The edge must be choosable (validated weak edges).
+                if !pi.weak().weak_edges(parent).iter().any(|&(l, c)| l == label && c == child) {
+                    continue;
+                }
+                for chain in parent_chains {
+                    let mut extended = chain.clone();
+                    extended.push(child);
+                    next.entry(child).or_default().push(extended);
+                    let total: usize = next.values().map(Vec::len).sum();
+                    if total > MAX_CHAINS * 8 {
+                        return Err(QueryError::TooManyChains(total));
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    let mut out = Vec::new();
+    for t in targets {
+        if let Some(cs) = current.get(t) {
+            out.extend(cs.iter().cloned());
+        }
+    }
+    if out.len() > MAX_CHAINS {
+        return Err(QueryError::TooManyChains(out.len()));
+    }
+    Ok(out)
+}
+
+/// `P(⋃ chains)` by inclusion–exclusion; each conjunction factorises
+/// over parents as `Π P(children ⊇ required)`.
+fn union_probability(pi: &ProbInstance, chains: &[Vec<ObjectId>]) -> Result<f64> {
+    if chains.is_empty() {
+        return Ok(0.0);
+    }
+    let k = chains.len();
+    let mut total = 0.0;
+    for mask in 1u64..(1 << k) {
+        // Union of required links of the selected chains, grouped per
+        // parent as universe positions.
+        let mut required: HashMap<ObjectId, Vec<u32>> = HashMap::new();
+        for (i, chain) in chains.iter().enumerate() {
+            if (mask >> i) & 1 == 0 {
+                continue;
+            }
+            for w in chain.windows(2) {
+                let node = pi.weak().node(w[0]).expect("chain member");
+                let pos = node
+                    .universe()
+                    .position(w[1])
+                    .expect("chain edges come from the universe");
+                let slot = required.entry(w[0]).or_default();
+                if !slot.contains(&pos) {
+                    slot.push(pos);
+                }
+            }
+        }
+        let mut term = 1.0;
+        for (parent, positions) in &required {
+            let opf = pi.opf(*parent).ok_or(QueryError::UnknownObject(*parent))?;
+            term *= opf.marginal_all_present(positions);
+            if term == 0.0 {
+                break;
+            }
+        }
+        if mask.count_ones() % 2 == 1 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_algebra::satisfies_sd;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain, diamond, fig2_instance};
+
+    #[test]
+    fn fig2_shared_author_point_query() {
+        // A1 is reachable via B1 and B2 — the case Section 6.2's ε method
+        // cannot handle (see point.rs). Inclusion–exclusion is exact.
+        let pi = fig2_instance();
+        let a1 = pi.oid("A1").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let eff = point_query_dag(&pi, &p, a1).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let direct = worlds.probability_that(|s| satisfies_sd(s, &p, a1));
+        assert!((eff - direct).abs() < 1e-9, "{eff} vs {direct}");
+    }
+
+    #[test]
+    fn fig2_all_authors_exist_query() {
+        let pi = fig2_instance();
+        let p = PathExpr::parse(pi.catalog(), "R.book.author").unwrap();
+        let eff = exists_query_dag(&pi, &p).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let direct = worlds
+            .probability_that(|s| !pxml_algebra::locate_sd(s, &p).is_empty());
+        assert!((eff - direct).abs() < 1e-9);
+        // Some book always exists (card(R, book).min = 2) and every book
+        // always has an author, so the existential is certain.
+        assert!((eff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_tree_engine_on_chains() {
+        let pi = chain(3, 0.45);
+        let o3 = pi.oid("o3").unwrap();
+        let p = PathExpr::parse(pi.catalog(), "r.next.next.next").unwrap();
+        let tree = crate::point::point_query(&pi, &p, o3).unwrap();
+        let dag = point_query_dag(&pi, &p, o3).unwrap();
+        assert!((tree - dag).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_union_of_two_chains() {
+        // Make both branches use the same labels so c is reachable via
+        // two matching chains.
+        let mut b = pxml_core::ProbInstance::builder();
+        let r = b.object("r");
+        b.lch("r", "x", &["a", "d"]);
+        b.lch("a", "y", &["c"]);
+        b.lch("d", "y", &["c"]);
+        b.opf_table(
+            "r",
+            &[(&["a", "d"], 0.25), (&["a"], 0.25), (&["d"], 0.25), (&[], 0.25)],
+        );
+        b.opf_table("a", &[(&["c"], 0.5), (&[], 0.5)]);
+        b.opf_table("d", &[(&["c"], 0.5), (&[], 0.5)]);
+        let pi = b.build(r).unwrap();
+        let c = pi.oid("c").unwrap();
+        let p = PathExpr::new(pi.root(), [pi.lid("x").unwrap(), pi.lid("y").unwrap()]);
+        let eff = point_query_dag(&pi, &p, c).unwrap();
+        let worlds = enumerate_worlds(&pi).unwrap();
+        let direct = worlds.probability_that(|s| satisfies_sd(s, &p, c));
+        assert!((eff - direct).abs() < 1e-9, "{eff} vs {direct}");
+        // By hand: P = P(a∧a→c) + P(d∧d→c) − P(both) = 0.25+0.25−0.0625·...
+        // P(a present)=0.5, P(a→c|a)=0.5 ⇒ chain_a = 0.25; both chains =
+        // P(a∧d)·0.25 = 0.0625. Union = 0.25+0.25−0.0625 = 0.4375.
+        assert!((eff - 0.4375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_single_branch_matches_tree_engine() {
+        let pi = diamond();
+        let c = pi.oid("c").unwrap();
+        let p = PathExpr::new(pi.root(), [pi.lid("left").unwrap(), pi.lid("down").unwrap()]);
+        let eff = point_query_dag(&pi, &p, c).unwrap();
+        assert!((eff - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_object_is_zero() {
+        let pi = chain(2, 0.5);
+        let o2 = pi.oid("o2").unwrap();
+        let short = PathExpr::parse(pi.catalog(), "r.next").unwrap();
+        assert_eq!(point_query_dag(&pi, &short, o2).unwrap(), 0.0);
+    }
+}

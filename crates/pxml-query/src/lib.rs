@@ -1,0 +1,33 @@
+//! # pxml-query — probabilistic point queries (Section 6.2)
+//!
+//! Queries that return probabilities rather than instances:
+//!
+//! * [`chain::chain_probability`] — the probability of a simple object
+//!   chain `r.o₁.….oᵢ` (product of OPF marginals along the chain, exact
+//!   on arbitrary DAGs).
+//! * [`point::point_query`] — `P(o ∈ p)` (Definition 6.1) via the
+//!   path-ancestor extraction and ε propagation of Section 6.2.
+//! * [`point::exists_query`] — `P(∃o ∈ p)`, the extension discussed at
+//!   the end of Section 6.2.
+//! * [`conditional`] — point queries composed with selection
+//!   (Definition 5.6), answering the "now we know B1 surely exists"
+//!   scenario of Section 2.
+//!
+//! The ε computations assume tree-shaped kept regions (the standing
+//! assumption of Section 6) and return [`QueryError::NotTreeShaped`]
+//! otherwise; `pxml_algebra::naive` and `pxml-bayes` handle general DAGs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chain;
+pub mod conditional;
+pub mod dag;
+pub mod error;
+pub mod point;
+
+pub use chain::{chain_probability, chain_probability_named};
+pub use dag::{exists_query_dag, point_query_dag};
+pub use conditional::{conditional_exists_query, conditional_point_query, presence_probability};
+pub use error::{QueryError, Result};
+pub use point::{exists_query, point_query};

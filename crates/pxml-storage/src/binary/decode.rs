@@ -1,0 +1,315 @@
+//! Binary decoder with full bounds checking.
+
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Card, Catalog, ChildSet, ChildUniverse, Label, LeafInfo, LeafType, ObjectId, Opf, OpfTable,
+    ProbInstance, TypeId, Value, Vpf, WeakInstance, WeakNode,
+};
+
+use crate::binary::encode::{BINARY_VERSION, MAGIC};
+use crate::error::{Result, StorageError};
+
+/// Decodes an instance from its binary encoding, validating it.
+pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(StorageError::Binary("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version > BINARY_VERSION {
+        return Err(StorageError::Version { found: version, supported: BINARY_VERSION });
+    }
+
+    let mut catalog = Catalog::new();
+    // Objects.
+    let n_objects = r.u32()? as usize;
+    if n_objects > bytes.len() {
+        return Err(StorageError::Binary("object count exceeds input size".into()));
+    }
+    let mut ids: Vec<ObjectId> = Vec::with_capacity(n_objects);
+    for _ in 0..n_objects {
+        let name = r.string()?;
+        ids.push(catalog.object(&name));
+    }
+    // Labels.
+    let n_labels = r.u32()? as usize;
+    if n_labels > bytes.len() {
+        return Err(StorageError::Binary("label count exceeds input size".into()));
+    }
+    let mut labels: Vec<Label> = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let name = r.string()?;
+        labels.push(catalog.label(&name));
+    }
+    // Types.
+    let n_types = r.u32()? as usize;
+    if n_types > bytes.len() {
+        return Err(StorageError::Binary("type count exceeds input size".into()));
+    }
+    let mut types: Vec<TypeId> = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        let name = r.string()?;
+        let n_dom = r.u32()? as usize;
+        if n_dom > bytes.len() {
+            return Err(StorageError::Binary("domain size exceeds input size".into()));
+        }
+        let mut domain = Vec::with_capacity(n_dom);
+        for _ in 0..n_dom {
+            domain.push(r.value()?);
+        }
+        types.push(catalog.define_type(LeafType::new(name, domain)));
+    }
+    let root_idx = r.u32()? as usize;
+    let root = *ids.get(root_idx).ok_or_else(|| StorageError::Binary("bad root index".into()))?;
+
+    let object_at = |idx: u32| -> Result<ObjectId> {
+        ids.get(idx as usize)
+            .copied()
+            .ok_or_else(|| StorageError::Binary(format!("object index {idx} out of range")))
+    };
+    let label_at = |idx: u32| -> Result<Label> {
+        labels
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| StorageError::Binary(format!("label index {idx} out of range")))
+    };
+    let type_at = |idx: u32| -> Result<TypeId> {
+        types
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| StorageError::Binary(format!("type index {idx} out of range")))
+    };
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    for &id in &ids {
+        // Universe.
+        let n = r.u32()? as usize;
+        if n > bytes.len() {
+            return Err(StorageError::Binary("universe size exceeds input size".into()));
+        }
+        let mut universe = ChildUniverse::new();
+        for _ in 0..n {
+            let child = object_at(r.u32()?)?;
+            let label = label_at(r.u32()?)?;
+            universe.push(child, label);
+        }
+        // Cards.
+        let n_cards = r.u32()? as usize;
+        if n_cards > bytes.len() {
+            return Err(StorageError::Binary("card count exceeds input size".into()));
+        }
+        let mut cards = Vec::with_capacity(n_cards);
+        for _ in 0..n_cards {
+            let l = label_at(r.u32()?)?;
+            let min = r.u32()?;
+            let max = r.u32()?;
+            if min > max {
+                return Err(StorageError::Binary(format!("card [{min},{max}] inverted")));
+            }
+            cards.push((l, Card::new(min, max)));
+        }
+        // Leaf.
+        let leaf = if r.u8()? == 1 {
+            let ty = type_at(r.u32()?)?;
+            let val = if r.u8()? == 1 { Some(r.value()?) } else { None };
+            Some(LeafInfo { ty, val })
+        } else {
+            None
+        };
+        // OPF.
+        if r.u8()? == 1 {
+            let n_entries = r.u32()? as usize;
+            if n_entries > bytes.len() {
+                return Err(StorageError::Binary("OPF size exceeds input size".into()));
+            }
+            let mut table = OpfTable::new();
+            for _ in 0..n_entries {
+                let n_pos = r.u32()? as usize;
+                if n_pos > universe.len() {
+                    return Err(StorageError::Binary("child set larger than universe".into()));
+                }
+                let mut positions = Vec::with_capacity(n_pos);
+                for _ in 0..n_pos {
+                    let pos = r.u32()?;
+                    if pos as usize >= universe.len() {
+                        return Err(StorageError::Binary(format!(
+                            "position {pos} outside universe"
+                        )));
+                    }
+                    positions.push(pos);
+                }
+                let set = ChildSet::from_positions(&universe, positions);
+                table.add(set, r.f64()?);
+            }
+            opfs.insert(id, Opf::Table(table));
+        }
+        // VPF.
+        if r.u8()? == 1 {
+            let n_entries = r.u32()? as usize;
+            if n_entries > bytes.len() {
+                return Err(StorageError::Binary("VPF size exceeds input size".into()));
+            }
+            let mut vpf = Vpf::new();
+            for _ in 0..n_entries {
+                let v = r.value()?;
+                vpf.set(v, r.f64()?);
+            }
+            vpfs.insert(id, vpf);
+        }
+        nodes.insert(id, WeakNode::from_parts(universe, cards, leaf));
+    }
+    if r.pos != bytes.len() {
+        return Err(StorageError::Binary(format!(
+            "{} trailing bytes after instance",
+            bytes.len() - r.pos
+        )));
+    }
+
+    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
+    Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+}
+
+/// Reads a binary `.pxmlb` file.
+pub fn read_binary_file(path: &std::path::Path) -> Result<ProbInstance> {
+    let bytes = std::fs::read(path)?;
+    from_binary(&bytes)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StorageError::Binary("unexpected end of input".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Binary("invalid UTF-8 in string".into()))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.u8()? {
+            0 => Ok(Value::str(&self.string()?)),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Float(self.f64()?)),
+            3 => Ok(Value::Bool(self.u8()? == 1)),
+            tag => Err(StorageError::Binary(format!("unknown value tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::encode::to_binary;
+    use pxml_core::enumerate_worlds;
+    use pxml_core::fixtures::{chain, diamond, fig2_instance};
+
+    fn same_distribution(a: &ProbInstance, b: &ProbInstance) {
+        let wa = enumerate_worlds(a).unwrap();
+        let wb = enumerate_worlds(b).unwrap();
+        assert_eq!(wa.len(), wb.len());
+        let mut map = std::collections::HashMap::new();
+        for (s, p) in wa.iter() {
+            *map.entry(s.render()).or_insert(0.0) += p;
+        }
+        for (s, p) in wb.iter() {
+            let q = map.get(&s.render()).copied().unwrap_or(-1.0);
+            assert!((q - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_round_trips_binary() {
+        let pi = fig2_instance();
+        let decoded = from_binary(&to_binary(&pi)).unwrap();
+        same_distribution(&pi, &decoded);
+    }
+
+    #[test]
+    fn chain_and_diamond_round_trip_binary() {
+        for pi in [chain(4, 0.51), diamond()] {
+            let decoded = from_binary(&to_binary(&pi)).unwrap();
+            same_distribution(&pi, &decoded);
+        }
+    }
+
+    #[test]
+    fn double_round_trip_is_byte_identical() {
+        let pi = fig2_instance();
+        let once = to_binary(&pi);
+        let twice = to_binary(&from_binary(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            from_binary(b"NOTPXML0rest"),
+            Err(StorageError::Binary(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = to_binary(&fig2_instance());
+        for cut in [10, 50, bytes.len() - 1] {
+            assert!(from_binary(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_probability_fails_validation() {
+        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        // Flip a byte near the end (inside an f64 probability).
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        assert!(from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        bytes.push(0);
+        assert!(matches!(from_binary(&bytes), Err(StorageError::Binary(_))));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        bytes[8] = 0xff; // bump the version field
+        assert!(matches!(from_binary(&bytes), Err(StorageError::Version { .. })));
+    }
+}

@@ -1,0 +1,175 @@
+//! Binary encoder: a compact length-prefixed codec for probabilistic
+//! instances.
+//!
+//! Layout (all integers little-endian):
+//! `magic "PXMLBIN1" · u32 version · catalog (objects, labels, types) ·
+//! u32 root-index · per-object records (universe, cards, leaf, OPF, VPF)`.
+//! Child sets are encoded as position lists relative to each object's
+//! universe, so the decoder rebuilds the canonical mask/sparse form.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use pxml_core::{ObjectId, ProbInstance, Value};
+
+use crate::error::Result;
+
+/// Magic prefix of the binary format.
+pub const MAGIC: &[u8; 8] = b"PXMLBIN1";
+/// Current binary-format version.
+pub const BINARY_VERSION: u32 = 1;
+
+/// Encodes an instance into a binary buffer.
+pub fn to_binary(pi: &ProbInstance) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(BINARY_VERSION);
+
+    let cat = pi.catalog();
+    // Objects: only the members of V, in id order; ids are re-assigned
+    // densely on decode.
+    let members: Vec<ObjectId> = pi.objects().collect();
+    let index_of = |o: ObjectId| -> u32 {
+        members.binary_search(&o).expect("member of V") as u32
+    };
+    buf.put_u32_le(members.len() as u32);
+    for &o in &members {
+        put_str(&mut buf, cat.object_name(o));
+    }
+    // Labels: full catalog label table (label ids are dense).
+    buf.put_u32_le(cat.labels().len() as u32);
+    for (_, name) in cat.labels().iter() {
+        put_str(&mut buf, name);
+    }
+    // Types.
+    buf.put_u32_le(cat.types().len() as u32);
+    for (_, def) in cat.types().iter() {
+        put_str(&mut buf, def.name());
+        buf.put_u32_le(def.domain().len() as u32);
+        for v in def.domain() {
+            put_value(&mut buf, v);
+        }
+    }
+    buf.put_u32_le(index_of(pi.root()));
+
+    // Per-object records, in the same order as the member table.
+    for &o in &members {
+        let node = pi.weak().node(o).expect("member of V");
+        // Universe.
+        buf.put_u32_le(node.universe().len() as u32);
+        for (_, child, label) in node.universe().iter() {
+            buf.put_u32_le(index_of(child));
+            buf.put_u32_le(label.raw());
+        }
+        // Cards.
+        buf.put_u32_le(node.cards().len() as u32);
+        for &(l, card) in node.cards() {
+            buf.put_u32_le(l.raw());
+            buf.put_u32_le(card.min);
+            buf.put_u32_le(card.max);
+        }
+        // Leaf.
+        match node.leaf() {
+            Some(leaf) => {
+                buf.put_u8(1);
+                buf.put_u32_le(leaf.ty.raw());
+                match &leaf.val {
+                    Some(v) => {
+                        buf.put_u8(1);
+                        put_value(&mut buf, v);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            None => buf.put_u8(0),
+        }
+        // OPF (always materialised to a table).
+        match pi.opf(o) {
+            Some(opf) => {
+                let table = opf.to_table(node.universe());
+                buf.put_u8(1);
+                buf.put_u32_le(table.len() as u32);
+                for (set, p) in table.iter() {
+                    let positions: Vec<u32> = set.positions().collect();
+                    buf.put_u32_le(positions.len() as u32);
+                    for pos in positions {
+                        buf.put_u32_le(pos);
+                    }
+                    buf.put_f64_le(p);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+        // VPF.
+        match pi.vpf(o) {
+            Some(vpf) => {
+                buf.put_u8(1);
+                buf.put_u32_le(vpf.len() as u32);
+                for (v, p) in vpf.iter() {
+                    put_value(&mut buf, v);
+                    buf.put_f64_le(p);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf.freeze()
+}
+
+/// Writes the binary encoding to a file, returning the byte count.
+pub fn write_binary_file(pi: &ProbInstance, path: &std::path::Path) -> Result<usize> {
+    let bytes = to_binary(pi);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            buf.put_u8(0);
+            put_str(buf, s);
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*f);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(3);
+            buf.put_u8(u8::from(*b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::fig2_instance;
+
+    #[test]
+    fn encoding_starts_with_magic_and_version() {
+        let bytes = to_binary(&fig2_instance());
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), BINARY_VERSION);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(to_binary(&fig2_instance()), to_binary(&fig2_instance()));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let pi = fig2_instance();
+        let bin = to_binary(&pi).len();
+        let txt = crate::text::writer::to_text(&pi).len();
+        assert!(bin < txt, "binary {bin} should beat text {txt}");
+    }
+}

@@ -1,0 +1,4 @@
+//! The compact `.pxmlb` binary format.
+
+pub mod decode;
+pub mod encode;

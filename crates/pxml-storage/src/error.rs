@@ -1,0 +1,84 @@
+//! Error types for persistence.
+
+use std::fmt;
+
+use pxml_core::CoreError;
+
+/// Errors raised while reading or writing instances.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum StorageError {
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// The text input failed to tokenise.
+    Lex { line: usize, message: String },
+    /// The text input failed to parse.
+    Parse { line: usize, message: String },
+    /// The binary input is malformed.
+    Binary(String),
+    /// The decoded instance failed model validation.
+    Core(CoreError),
+    /// Unsupported format version.
+    Version { found: u32, supported: u32 },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            StorageError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            StorageError::Binary(m) => write!(f, "binary decode error: {m}"),
+            StorageError::Core(e) => write!(f, "decoded instance is invalid: {e}"),
+            StorageError::Version { found, supported } => {
+                write!(f, "format version {found} unsupported (this build reads ≤ {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+impl From<CoreError> for StorageError {
+    fn from(e: CoreError) -> Self {
+        StorageError::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = StorageError::Parse { line: 7, message: "expected '{'".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: StorageError = CoreError::MissingRoot.into();
+        assert!(matches!(e, StorageError::Core(_)));
+        let e: StorageError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pxml-storage — persistence for probabilistic instances
+//!
+//! The paper's experiments include "the time to write the resulting
+//! instance onto a disk" in every total (Section 7.1), and for selection
+//! that write *dominates* the total (Figure 7(c)). This crate supplies:
+//!
+//! * [`text`] — a deterministic human-readable `.pxml` format that
+//!   transcribes the tables of Figure 2 (hand-written lexer +
+//!   recursive-descent parser, no external formats);
+//! * [`binary`] — a compact length-prefixed `.pxmlb` codec;
+//! * [`xml`] — XML export of individual worlds (semistructured
+//!   instances), with `ref` attributes for shared DAG objects.
+//!
+//! Both round-trip the full model: weak structure, cardinalities, OPFs,
+//! VPFs, types and values. Decoders validate everything through
+//! `ProbInstance::from_parts`, so a corrupt file can never produce an
+//! incoherent instance.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binary;
+pub mod error;
+pub mod text;
+pub mod xml;
+
+pub use binary::decode::{from_binary, read_binary_file};
+pub use binary::encode::{to_binary, write_binary_file};
+pub use error::{Result, StorageError};
+pub use text::parser::{from_text, read_text_file};
+pub use text::writer::{to_text, write_text_file};
+pub use xml::to_xml;

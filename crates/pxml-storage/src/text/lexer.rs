@@ -1,0 +1,244 @@
+//! Tokeniser for the `.pxml` text format.
+
+use crate::error::{Result, StorageError};
+
+/// A token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: Tok,
+    /// 1-based source line, for error messages.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare identifier/keyword (`pxml`, `object`, `str`, `true`, …).
+    Ident(String),
+    /// Double-quoted string with `\"`/`\\` escapes.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.`, `e` or `E`).
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+}
+
+/// Tokenises the whole input. `#` starts a comment until end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    let mut line = 1usize;
+    while let Some(&(start, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                out.push(Token { kind: Tok::LBrace, line });
+                chars.next();
+            }
+            '}' => {
+                out.push(Token { kind: Tok::RBrace, line });
+                chars.next();
+            }
+            '[' => {
+                out.push(Token { kind: Tok::LBracket, line });
+                chars.next();
+            }
+            ']' => {
+                out.push(Token { kind: Tok::RBracket, line });
+                chars.next();
+            }
+            '=' => {
+                out.push(Token { kind: Tok::Eq, line });
+                chars.next();
+            }
+            ':' => {
+                out.push(Token { kind: Tok::Colon, line });
+                chars.next();
+            }
+            ',' => {
+                out.push(Token { kind: Tok::Comma, line });
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c2)) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            other => {
+                                return Err(StorageError::Lex {
+                                    line,
+                                    message: format!("bad escape {other:?}"),
+                                })
+                            }
+                        },
+                        '\n' => {
+                            return Err(StorageError::Lex {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        c2 => s.push(c2),
+                    }
+                }
+                if !closed {
+                    return Err(StorageError::Lex { line, message: "unterminated string".into() });
+                }
+                out.push(Token { kind: Tok::Str(s), line });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() || c2 == '-' || c2 == '+' {
+                        text.push(c2);
+                        chars.next();
+                    } else if c2 == '.' || c2 == 'e' || c2 == 'E' {
+                        is_float = true;
+                        text.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    Tok::Float(text.parse::<f64>().map_err(|e| StorageError::Lex {
+                        line,
+                        message: format!("bad float {text:?}: {e}"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse::<i64>().map_err(|e| StorageError::Lex {
+                        line,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?)
+                };
+                out.push(Token { kind, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: Tok::Ident(s), line });
+            }
+            other => {
+                let _ = start;
+                return Err(StorageError::Lex {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        assert_eq!(
+            kinds("opf { [\"A\"] : 0.5 }"),
+            vec![
+                Tok::Ident("opf".into()),
+                Tok::LBrace,
+                Tok::LBracket,
+                Tok::Str("A".into()),
+                Tok::RBracket,
+                Tok::Colon,
+                Tok::Float(0.5),
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42 -7 0.25 1e-3"), vec![
+            Tok::Int(42),
+            Tok::Int(-7),
+            Tok::Float(0.25),
+            Tok::Float(1e-3),
+        ]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        assert_eq!(kinds(r#""a\"b\\c""#), vec![Tok::Str("a\"b\\c".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a # comment\nb"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into())
+        ]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"oops"), Err(StorageError::Lex { .. })));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(lex("a ~ b"), Err(StorageError::Lex { .. })));
+    }
+}

@@ -1,0 +1,5 @@
+//! The human-readable `.pxml` text format.
+
+pub mod lexer;
+pub mod parser;
+pub mod writer;

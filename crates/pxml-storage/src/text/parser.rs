@@ -1,0 +1,485 @@
+//! Recursive-descent parser for the `.pxml` text format.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pxml_core::ids::{IdMap, ObjectKind};
+use pxml_core::{
+    Card, Catalog, ChildSet, ChildUniverse, LeafInfo, LeafType, ObjectId, Opf, OpfTable,
+    ProbInstance, Value, Vpf, WeakInstance, WeakNode,
+};
+
+use crate::error::{Result, StorageError};
+use crate::text::lexer::{lex, Tok, Token};
+use crate::text::writer::TEXT_VERSION;
+
+/// Parses the `.pxml` text format into a validated probabilistic instance.
+pub fn from_text(input: &str) -> Result<ProbInstance> {
+    let tokens = lex(input)?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+/// Reads and parses a `.pxml` file.
+pub fn read_text_file(path: &std::path::Path) -> Result<ProbInstance> {
+    let text = std::fs::read_to_string(path)?;
+    from_text(&text)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Raw (unresolved) object declaration accumulated in the first pass.
+#[derive(Default)]
+struct RawObject {
+    lch: Vec<(String, Vec<String>)>,
+    cards: Vec<(String, u32, u32)>,
+    opf: Option<Vec<(Vec<String>, f64)>>,
+    leaf: Option<RawLeaf>,
+}
+
+struct RawLeaf {
+    ty: String,
+    val: Option<Value>,
+    vpf: Option<Vec<(Value, f64)>>,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        let line = self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line);
+        Err(StorageError::Parse { line, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected {want:?}, found {other:?}"))
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let s = self.ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            self.err(format!("expected keyword {kw:?}, found {s:?}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected string, found {other:?}"))
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Tok::Float(x)) => Ok(x),
+            Some(Tok::Int(i)) => Ok(i as f64),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected number, found {other:?}"))
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(i),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected integer, found {other:?}"))
+            }
+        }
+    }
+
+    /// `value := str STR | int INT | float NUM | bool (true|false)`
+    fn value(&mut self) -> Result<Value> {
+        let tag = self.ident()?;
+        match tag.as_str() {
+            "str" => Ok(Value::str(&self.string()?)),
+            "int" => Ok(Value::Int(self.integer()?)),
+            "float" => Ok(Value::Float(self.number()?)),
+            "bool" => {
+                let b = self.ident()?;
+                match b.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => self.err(format!("expected true/false, found {b:?}")),
+                }
+            }
+            _ => self.err(format!("expected value tag, found {tag:?}")),
+        }
+    }
+
+    fn file(&mut self) -> Result<ProbInstance> {
+        self.keyword("pxml")?;
+        let v = self.ident()?;
+        let version: u32 = v
+            .strip_prefix('v')
+            .and_then(|n| n.parse().ok())
+            .ok_or(StorageError::Parse { line: 1, message: format!("bad version {v:?}") })?;
+        if version > TEXT_VERSION {
+            return Err(StorageError::Version { found: version, supported: TEXT_VERSION });
+        }
+
+        // types { ... }
+        let mut types: Vec<LeafType> = Vec::new();
+        self.keyword("types")?;
+        self.expect(&Tok::LBrace)?;
+        while self.peek() != Some(&Tok::RBrace) {
+            self.keyword("type")?;
+            let name = self.string()?;
+            self.expect(&Tok::LBrace)?;
+            let mut domain = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                domain.push(self.value()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+            types.push(LeafType::new(name, domain));
+        }
+        self.expect(&Tok::RBrace)?;
+
+        // instance root="R" { ... }
+        self.keyword("instance")?;
+        self.keyword("root")?;
+        self.expect(&Tok::Eq)?;
+        let root_name = self.string()?;
+        self.expect(&Tok::LBrace)?;
+        let mut objects: Vec<(String, RawObject)> = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let kw = self.ident()?;
+            match kw.as_str() {
+                "object" => {
+                    let name = self.string()?;
+                    let raw = self.object_body()?;
+                    objects.push((name, raw));
+                }
+                "leaf" => {
+                    let name = self.string()?;
+                    let raw = self.leaf_body()?;
+                    objects.push((name, raw));
+                }
+                _ => {
+                    self.pos -= 1;
+                    return self.err(format!("expected object/leaf, found {kw:?}"));
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        if self.pos != self.tokens.len() {
+            return self.err("trailing input after instance");
+        }
+
+        resolve(types, &root_name, objects)
+    }
+
+    fn object_body(&mut self) -> Result<RawObject> {
+        let mut raw = RawObject::default();
+        self.expect(&Tok::LBrace)?;
+        while self.peek() != Some(&Tok::RBrace) {
+            let kw = self.ident()?;
+            match kw.as_str() {
+                "lch" => {
+                    let label = self.string()?;
+                    self.expect(&Tok::Eq)?;
+                    raw.lch.push((label, self.name_list()?));
+                }
+                "card" => {
+                    let label = self.string()?;
+                    self.expect(&Tok::Eq)?;
+                    self.expect(&Tok::LBracket)?;
+                    let min = self.integer()?;
+                    self.expect(&Tok::Comma)?;
+                    let max = self.integer()?;
+                    self.expect(&Tok::RBracket)?;
+                    if min < 0 || max < min {
+                        return self.err(format!("bad cardinality [{min}, {max}]"));
+                    }
+                    raw.cards.push((label, min as u32, max as u32));
+                }
+                "opf" => {
+                    self.expect(&Tok::LBrace)?;
+                    let mut entries = Vec::new();
+                    while self.peek() != Some(&Tok::RBrace) {
+                        let names = self.name_list()?;
+                        self.expect(&Tok::Colon)?;
+                        entries.push((names, self.number()?));
+                    }
+                    self.expect(&Tok::RBrace)?;
+                    raw.opf = Some(entries);
+                }
+                _ => {
+                    self.pos -= 1;
+                    return self.err(format!("expected lch/card/opf, found {kw:?}"));
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(raw)
+    }
+
+    fn leaf_body(&mut self) -> Result<RawObject> {
+        self.expect(&Tok::Colon)?;
+        let ty = self.string()?;
+        let val = if self.peek() == Some(&Tok::Eq) {
+            self.next();
+            Some(self.value()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut vpf = None;
+        while self.peek() != Some(&Tok::RBrace) {
+            self.keyword("vpf")?;
+            self.expect(&Tok::LBrace)?;
+            let mut entries = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                let v = self.value()?;
+                self.expect(&Tok::Colon)?;
+                entries.push((v, self.number()?));
+            }
+            self.expect(&Tok::RBrace)?;
+            vpf = Some(entries);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(RawObject { leaf: Some(RawLeaf { ty, val, vpf }), ..RawObject::default() })
+    }
+
+    /// `[ "A", "B" ]` (possibly empty).
+    fn name_list(&mut self) -> Result<Vec<String>> {
+        self.expect(&Tok::LBracket)?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Tok::RBracket) {
+            out.push(self.string()?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.next();
+            }
+        }
+        self.expect(&Tok::RBracket)?;
+        Ok(out)
+    }
+}
+
+/// Second pass: resolve names to ids and build the validated instance.
+fn resolve(
+    types: Vec<LeafType>,
+    root_name: &str,
+    objects: Vec<(String, RawObject)>,
+) -> Result<ProbInstance> {
+    let mut catalog = Catalog::new();
+    for ty in types {
+        catalog.define_type(ty);
+    }
+    // Intern objects in declaration order so ids are stable/predictable.
+    let mut oid: HashMap<String, ObjectId> = HashMap::new();
+    for (name, _) in &objects {
+        oid.insert(name.clone(), catalog.object(name));
+    }
+    // Referenced-but-undeclared children are an error (the model requires
+    // every object in V to be declared).
+    let root = *oid.get(root_name).ok_or(StorageError::Parse {
+        line: 0,
+        message: format!("root {root_name:?} is not declared"),
+    })?;
+
+    let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<ObjectKind, Opf> = IdMap::new();
+    let mut vpfs: IdMap<ObjectKind, Vpf> = IdMap::new();
+
+    for (name, raw) in &objects {
+        let id = oid[name];
+        if let Some(leaf) = &raw.leaf {
+            let ty = catalog.find_type(&leaf.ty).ok_or(StorageError::Parse {
+                line: 0,
+                message: format!("unknown type {:?} for leaf {name:?}", leaf.ty),
+            })?;
+            nodes.insert(
+                id,
+                WeakNode::from_parts(
+                    ChildUniverse::new(),
+                    Vec::new(),
+                    Some(LeafInfo { ty, val: leaf.val.clone() }),
+                ),
+            );
+            if let Some(entries) = &leaf.vpf {
+                vpfs.insert(id, Vpf::from_entries(entries.iter().cloned()));
+            } else if let Some(v) = &leaf.val {
+                vpfs.insert(id, Vpf::point(v.clone()));
+            }
+        } else {
+            let mut universe = ChildUniverse::new();
+            for (label, children) in &raw.lch {
+                let l = catalog.label(label);
+                for child in children {
+                    let c = *oid.get(child).ok_or(StorageError::Parse {
+                        line: 0,
+                        message: format!("child {child:?} of {name:?} is not declared"),
+                    })?;
+                    universe.push(c, l);
+                }
+            }
+            let cards: Vec<(pxml_core::Label, Card)> = raw
+                .cards
+                .iter()
+                .map(|(label, min, max)| (catalog.label(label), Card::new(*min, *max)))
+                .collect();
+            if let Some(entries) = &raw.opf {
+                let mut table = OpfTable::new();
+                for (names, p) in entries {
+                    let ids: Option<Vec<ObjectId>> =
+                        names.iter().map(|n| oid.get(n).copied()).collect();
+                    let ids = ids.ok_or(StorageError::Parse {
+                        line: 0,
+                        message: format!("OPF of {name:?} references an undeclared object"),
+                    })?;
+                    let set = ChildSet::from_objects(&universe, ids).ok_or(
+                        StorageError::Parse {
+                            line: 0,
+                            message: format!("OPF of {name:?} references a non-child"),
+                        },
+                    )?;
+                    table.add(set, *p);
+                }
+                opfs.insert(id, Opf::Table(table));
+            }
+            nodes.insert(id, WeakNode::from_parts(universe, cards, None));
+        }
+    }
+
+    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
+    Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::writer::to_text;
+    use pxml_core::fixtures::{chain, diamond, fig2_instance};
+    use pxml_core::enumerate_worlds;
+
+    /// Semantic equality by names: same worlds with the same probabilities
+    /// when both instances are rendered through their own catalogs.
+    fn same_distribution(a: &ProbInstance, b: &ProbInstance) {
+        let wa = enumerate_worlds(a).unwrap();
+        let wb = enumerate_worlds(b).unwrap();
+        assert_eq!(wa.len(), wb.len());
+        // Compare via the deterministic text rendering of each world set:
+        // match worlds by their rendered string.
+        let mut map = std::collections::HashMap::new();
+        for (s, p) in wa.iter() {
+            *map.entry(s.render()).or_insert(0.0) += p;
+        }
+        for (s, p) in wb.iter() {
+            let q = map.get(&s.render()).copied().unwrap_or(-1.0);
+            assert!((q - p).abs() < 1e-9, "world mismatch:\n{}", s.render());
+        }
+    }
+
+    #[test]
+    fn fig2_round_trips() {
+        let pi = fig2_instance();
+        let text = to_text(&pi);
+        let parsed = from_text(&text).unwrap();
+        same_distribution(&pi, &parsed);
+        // And the re-rendered text is a fixed point.
+        assert_eq!(to_text(&parsed), to_text(&from_text(&to_text(&parsed)).unwrap()));
+    }
+
+    #[test]
+    fn chain_and_diamond_round_trip() {
+        for pi in [chain(3, 0.37), diamond()] {
+            let parsed = from_text(&to_text(&pi)).unwrap();
+            same_distribution(&pi, &parsed);
+        }
+    }
+
+    #[test]
+    fn unknown_root_is_rejected() {
+        let text = "pxml v1\ntypes { }\ninstance root=\"Z\" { object \"R\" { } }";
+        assert!(matches!(from_text(text), Err(StorageError::Parse { .. })));
+    }
+
+    #[test]
+    fn undeclared_child_is_rejected() {
+        let text =
+            "pxml v1\ntypes { }\ninstance root=\"R\" { object \"R\" { lch \"x\" = [\"ghost\"] } }";
+        assert!(matches!(from_text(text), Err(StorageError::Parse { .. })));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = "pxml v99\ntypes { }\ninstance root=\"R\" { object \"R\" { } }";
+        assert!(matches!(from_text(text), Err(StorageError::Version { .. })));
+    }
+
+    #[test]
+    fn invalid_probabilities_fail_model_validation() {
+        let text = r#"pxml v1
+types { }
+instance root="R" {
+  object "R" {
+    lch "x" = ["A"]
+    opf { ["A"] : 0.4 }
+  }
+  object "A" { }
+}"#;
+        assert!(matches!(from_text(text), Err(StorageError::Core(_))));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "pxml v1\ntypes { }\ninstance root=\"R\" {\n  object \"R\" {\n    bogus\n  }\n}";
+        match from_text(text) {
+            Err(StorageError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let text = r#"
+pxml v1
+# a comment
+types { }
+instance root="R" {
+  object "R" { } # trailing comment
+}
+"#;
+        let pi = from_text(text).unwrap();
+        assert_eq!(pi.object_count(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! The text writer: serialises a probabilistic instance into the
+//! human-readable `.pxml` format (a direct transcription of the tables
+//! in the paper's Figure 2).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use pxml_core::{ProbInstance, Value};
+
+use crate::error::Result;
+
+/// Current text-format version.
+pub const TEXT_VERSION: u32 = 1;
+
+/// Renders an instance to a string in `.pxml` text format.
+///
+/// The output is deterministic: objects in id order, OPF entries in table
+/// order, domains in canonical value order.
+pub fn to_text(pi: &ProbInstance) -> String {
+    let mut out = String::new();
+    let cat = pi.catalog();
+    let _ = writeln!(out, "pxml v{TEXT_VERSION}");
+
+    // Types.
+    let _ = writeln!(out, "types {{");
+    for (_, def) in cat.types().iter() {
+        let domain: Vec<String> = def.domain().iter().map(fmt_value).collect();
+        let _ = writeln!(out, "  type {:?} {{ {} }}", def.name(), domain.join(", "));
+    }
+    let _ = writeln!(out, "}}");
+
+    // Instance body.
+    let root_name = cat.object_name(pi.root());
+    let _ = writeln!(out, "instance root={root_name:?} {{");
+    for o in pi.objects() {
+        let node = pi.weak().node(o).expect("iterating objects");
+        let name = cat.object_name(o);
+        if let Some(leaf) = node.leaf() {
+            let ty = cat.type_def(leaf.ty);
+            let _ = write!(out, "  leaf {:?} : {:?}", name, ty.name());
+            if let Some(v) = &leaf.val {
+                let _ = write!(out, " = {}", fmt_value(v));
+            }
+            let _ = writeln!(out, " {{");
+            if let Some(vpf) = pi.vpf(o) {
+                let _ = writeln!(out, "    vpf {{");
+                for (v, p) in vpf.iter() {
+                    let _ = writeln!(out, "      {} : {:?}", fmt_value(v), p);
+                }
+                let _ = writeln!(out, "    }}");
+            }
+            let _ = writeln!(out, "  }}");
+        } else {
+            let _ = writeln!(out, "  object {name:?} {{");
+            for l in node.labels() {
+                let kids: Vec<String> =
+                    node.lch(l).map(|c| format!("{:?}", cat.object_name(c))).collect();
+                let _ = writeln!(
+                    out,
+                    "    lch {:?} = [{}]",
+                    cat.label_name(l),
+                    kids.join(", ")
+                );
+            }
+            for &(l, card) in node.cards() {
+                let _ = writeln!(
+                    out,
+                    "    card {:?} = [{}, {}]",
+                    cat.label_name(l),
+                    card.min,
+                    card.max
+                );
+            }
+            if let Some(opf) = pi.opf(o) {
+                let table = opf.to_table(node.universe());
+                let _ = writeln!(out, "    opf {{");
+                for (set, p) in table.iter() {
+                    let members: Vec<String> = set
+                        .positions()
+                        .map(|pos| format!("{:?}", cat.object_name(node.universe().object_at(pos))))
+                        .collect();
+                    let _ = writeln!(out, "      [{}] : {:?}", members.join(", "), p);
+                }
+                let _ = writeln!(out, "    }}");
+            }
+            let _ = writeln!(out, "  }}");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes an instance to a file in text format, returning the number of
+/// bytes written (the quantity that dominates Figure 7(c)'s totals).
+pub fn write_text_file(pi: &ProbInstance, path: &Path) -> Result<usize> {
+    let text = to_text(pi);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())?;
+    Ok(text.len())
+}
+
+/// Formats a value with an explicit type tag so parsing is unambiguous.
+pub(crate) fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("str {:?}", &**s),
+        Value::Int(i) => format!("int {i}"),
+        Value::Float(x) => format!("float {x:?}"),
+        Value::Bool(b) => format!("bool {b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::fig2_instance;
+
+    #[test]
+    fn text_contains_figure2_tables() {
+        let txt = to_text(&fig2_instance());
+        assert!(txt.starts_with("pxml v1"));
+        assert!(txt.contains("lch \"book\" = [\"B1\", \"B2\", \"B3\"]"));
+        assert!(txt.contains("card \"book\" = [2, 3]"));
+        assert!(txt.contains("[\"B1\", \"B2\", \"B3\"] : 0.4"));
+        assert!(txt.contains("leaf \"T1\" : \"title-type\""));
+        assert!(txt.contains("str \"VQDB\" : 0.4"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(to_text(&fig2_instance()), to_text(&fig2_instance()));
+    }
+
+    #[test]
+    fn write_returns_byte_count() {
+        let dir = std::env::temp_dir().join("pxml-writer-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.pxml");
+        let n = write_text_file(&fig2_instance(), &path).unwrap();
+        assert_eq!(n as u64, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn values_format_with_type_tags() {
+        assert_eq!(fmt_value(&Value::str("x")), "str \"x\"");
+        assert_eq!(fmt_value(&Value::Int(-3)), "int -3");
+        assert_eq!(fmt_value(&Value::Bool(true)), "bool true");
+        assert_eq!(fmt_value(&Value::Float(0.5)), "float 0.5");
+    }
+}

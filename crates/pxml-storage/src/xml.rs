@@ -1,0 +1,148 @@
+//! XML export of semistructured instances.
+//!
+//! PXML's possible worlds are ordinary OEM-style semistructured
+//! instances; this module renders them as XML documents — edge labels
+//! become element names, object ids become `oid` attributes, and typed
+//! leaf values become text content. Shared objects (DAG worlds) are
+//! emitted once in full and afterwards as `<... ref="oid"/>` references,
+//! so the export is linear in the instance size and loses nothing.
+
+use std::fmt::Write as _;
+
+use pxml_core::{ObjectId, SdInstance, Value};
+
+/// Renders an instance as an XML document. The root element is named
+/// after the root object's… root objects have no incoming label, so the
+/// document element is `<pxml root="R">`.
+pub fn to_xml(s: &SdInstance) -> String {
+    let mut out = String::new();
+    let root_name = s.catalog().object_name(s.root());
+    let _ = writeln!(out, r#"<pxml root="{}">"#, escape(root_name));
+    let mut emitted: Vec<ObjectId> = Vec::new();
+    for &(label, child) in s.node(s.root()).map(|n| n.children()).unwrap_or(&[]) {
+        emit(s, label, child, 1, &mut emitted, &mut out);
+    }
+    let _ = writeln!(out, "</pxml>");
+    out
+}
+
+fn emit(
+    s: &SdInstance,
+    label: pxml_core::Label,
+    o: ObjectId,
+    depth: usize,
+    emitted: &mut Vec<ObjectId>,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let tag = escape(s.catalog().label_name(label));
+    let name = escape(s.catalog().object_name(o));
+    if emitted.contains(&o) {
+        let _ = writeln!(out, r#"{indent}<{tag} ref="{name}"/>"#);
+        return;
+    }
+    emitted.push(o);
+    let node = s.node(o).expect("member of instance");
+    match (node.children().is_empty(), node.leaf()) {
+        (true, Some((_, v))) => {
+            let _ = writeln!(
+                out,
+                r#"{indent}<{tag} oid="{name}">{}</{tag}>"#,
+                escape(&value_text(v))
+            );
+        }
+        (true, None) => {
+            let _ = writeln!(out, r#"{indent}<{tag} oid="{name}"/>"#);
+        }
+        (false, _) => {
+            let _ = writeln!(out, r#"{indent}<{tag} oid="{name}">"#);
+            for &(l, c) in node.children() {
+                emit(s, l, c, depth + 1, emitted, out);
+            }
+            let _ = writeln!(out, "{indent}</{tag}>");
+        }
+    }
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => format!("{x:?}"),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// Minimal XML escaping for text and attribute content.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::fixtures::{fig1_instance, fig3_s1};
+
+    #[test]
+    fn fig1_exports_nested_elements() {
+        let xml = to_xml(&fig1_instance());
+        assert!(xml.starts_with("<pxml root=\"R\">"));
+        assert!(xml.contains("<book oid=\"B1\">"));
+        assert!(xml.contains("<title oid=\"T1\">VQDB</title>"));
+        assert!(xml.contains("<institution oid=\"I2\">UMD</institution>"));
+        assert!(xml.trim_end().ends_with("</pxml>"));
+    }
+
+    #[test]
+    fn shared_objects_become_references() {
+        // S1 of Figure 3 shares A1 between B1 and B2.
+        let xml = to_xml(&fig3_s1());
+        assert_eq!(xml.matches("oid=\"A1\"").count(), 1, "A1 emitted once in full");
+        assert_eq!(xml.matches("ref=\"A1\"").count(), 1, "second occurrence is a ref");
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let mut b = pxml_core::SdInstance::builder();
+        let t = b.define_type(pxml_core::LeafType::new(
+            "t",
+            [Value::str("a<b&c>\"d'")],
+        ));
+        let r = b.object("r");
+        let leaf = b.object("x<y");
+        let l = b.label("when&where");
+        b.edge(r, l, leaf);
+        b.leaf_value(leaf, t, Value::str("a<b&c>\"d'"));
+        let s = b.build(r).unwrap();
+        let xml = to_xml(&s);
+        assert!(xml.contains("&lt;"));
+        assert!(xml.contains("&amp;"));
+        assert!(!xml.contains("a<b"));
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let xml = to_xml(&fig1_instance());
+        for tag in ["book", "author", "title", "institution", "pxml"] {
+            let opens = xml.matches(&format!("<{tag} ")).count()
+                + xml.matches(&format!("<{tag}>")).count();
+            let closes = xml.matches(&format!("</{tag}>")).count();
+            let selfclosing = xml
+                .lines()
+                .filter(|l| l.trim_start().starts_with(&format!("<{tag} ")) && l.contains("/>"))
+                .count();
+            assert_eq!(opens, closes + selfclosing, "tag {tag} unbalanced");
+        }
+    }
+}

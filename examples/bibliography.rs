@@ -1,0 +1,112 @@
+//! Citation-index extraction — the paper's motivating application
+//! (Section 2), built from scratch rather than from the fixture.
+//!
+//! A crawler parsed two PDF reference lists with uncertainty about
+//! (a) whether each reference really is one, (b) how many authors it
+//! has, and (c) which institution an ambiguous author name refers to.
+//! We model each parsed document as a probabilistic instance, then walk
+//! through all four situations of Section 2.
+//!
+//! Run with: `cargo run --example bibliography`
+
+use pxml::algebra::{ancestor_project, cartesian_product, select, PathExpr, SelectCond};
+use pxml::core::{LeafType, ProbInstance, Value};
+use pxml::query::{exists_query, point_query};
+
+/// The references extracted from one crawled paper about databases.
+fn database_bibliography() -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new("year-type", [Value::Int(2001), Value::Int(2002)]));
+    let root = b.object("dbdoc");
+    // The parser is 90% sure ref1 is a real reference and 60% sure about
+    // ref2 (it may be a footnote). It never extracts both as one.
+    b.lch("dbdoc", "reference", &["ref1", "ref2"]);
+    b.opf_table(
+        "dbdoc",
+        &[
+            (&["ref1", "ref2"], 0.55),
+            (&["ref1"], 0.35),
+            (&["ref2"], 0.05),
+            (&[], 0.05),
+        ],
+    );
+    // ref1 surely has a year; OCR read it as 2001 or 2002.
+    b.lch("ref1", "year", &["y1"]);
+    b.card("ref1", "year", 1, 1);
+    b.opf_table("ref1", &[(&["y1"], 1.0)]);
+    b.leaf("y1", "year-type", None);
+    b.vpf("y1", &[(Value::Int(2001), 0.7), (Value::Int(2002), 0.3)]);
+    // ref2's author field: "Hung" may be one author or two (E. and S.).
+    b.lch("ref2", "author", &["hungE", "hungS"]);
+    b.card("ref2", "author", 1, 2);
+    b.opf_table(
+        "ref2",
+        &[(&["hungE"], 0.5), (&["hungS"], 0.3), (&["hungE", "hungS"], 0.2)],
+    );
+    b.build(root).expect("coherent instance")
+}
+
+/// The references extracted from a second crawled paper about AI.
+fn ai_bibliography() -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    let root = b.object("aidoc");
+    b.lch("aidoc", "reference", &["refA"]);
+    b.opf_table("aidoc", &[(&["refA"], 0.8), (&[], 0.2)]);
+    b.lch("refA", "author", &["pearl"]);
+    b.card("refA", "author", 1, 1);
+    b.opf_table("refA", &[(&["pearl"], 1.0)]);
+    b.build(root).expect("coherent instance")
+}
+
+fn main() {
+    let db = database_bibliography();
+    println!("Extracted database bibliography:\n{}", db.render());
+
+    // Situation 1: keep authors and their ancestors, stay queryable.
+    let p_authors = PathExpr::parse(db.catalog(), "dbdoc.reference.author").unwrap();
+    let authors_only = ancestor_project(&db, &p_authors).expect("tree-shaped");
+    println!(
+        "Situation 1 — ancestor projection keeps {} of {} objects and is itself a probabilistic instance",
+        authors_only.object_count(),
+        db.object_count()
+    );
+    authors_only.validate().expect("projection output is coherent");
+
+    // Situation 2: a librarian confirms ref2 really is a reference.
+    let ref2 = db.oid("ref2").unwrap();
+    let p_ref = PathExpr::parse(db.catalog(), "dbdoc.reference").unwrap();
+    let confirmed = select(&db, &SelectCond::ObjectAt(p_ref, ref2)).expect("selection");
+    println!(
+        "Situation 2 — after confirming ref2, its prior probability was {:.2}",
+        confirmed.selectivity
+    );
+    let p_e_before = point_query(&db, &p_authors, db.oid("hungE").unwrap()).unwrap();
+    let p_e_after =
+        point_query(&confirmed.instance, &p_authors, db.oid("hungE").unwrap()).unwrap();
+    println!(
+        "  P(Edward Hung is an author) rises from {p_e_before:.3} to {p_e_after:.3}"
+    );
+    assert!(p_e_after > p_e_before);
+
+    // Situation 3: combine the two crawled documents into one database.
+    let ai = ai_bibliography();
+    let combined = cartesian_product(&db, &ai).expect("disjoint instances");
+    println!(
+        "Situation 3 — Cartesian product merges the roots: {} + {} objects -> {}",
+        db.object_count(),
+        ai.object_count(),
+        combined.instance.object_count()
+    );
+    combined.instance.validate().expect("product is coherent");
+    // The same path expression now spans both sources.
+    let cat = combined.instance.catalog();
+    let p_all_refs = PathExpr::new(combined.root, [cat.find_label("reference").unwrap()]);
+    let p_any = exists_query(&combined.instance, &p_all_refs).unwrap();
+    println!("  P(the combined database has at least one reference) = {p_any:.4}");
+
+    // Situation 4: the probability that a particular author exists.
+    let p_s = point_query(&db, &p_authors, db.oid("hungS").unwrap()).unwrap();
+    println!("Situation 4 — P(Sheung-lun Hung appears as an author) = {p_s:.3}");
+    // ref2 present (0.55 + 0.05 = 0.6) times hungS chosen (0.3 + 0.2).
+    assert!((p_s - 0.6 * 0.5).abs() < 1e-9);
+}

@@ -1,0 +1,55 @@
+//! The textual query language, end to end on the paper's Figure 2.
+//!
+//! Shows every query form and the automatic engine fallback: `T2` is
+//! answered by the §6.2 ε propagation, the shared author `A1` falls
+//! through to inclusion–exclusion, and the projection whose kept region
+//! shares `A1` falls back to the global semantics (a world table), while
+//! `R.book.title` keeps the efficient local algorithm.
+//!
+//! Run with: `cargo run --example query_language`
+
+use pxml::core::fixtures::fig2_instance;
+use pxml::ql::{run, Output};
+
+fn main() {
+    let pi = fig2_instance();
+    let queries = [
+        "EXISTS R.book",
+        "POINT T2 IN R.book.title",    // tree-shaped region: ε propagation
+        "POINT A1 IN R.book.author",   // shared parent: inclusion–exclusion
+        "CHAIN R.B1.A1",               // simple object chain (§6.2)
+        "PROB A2",                     // presence via the Bayesian network
+        "SELECT R.book = B3",          // chain-conditioned selection
+        "SELECT VALUE R.book.title @ T2 = \"Lore\"",
+        "PROJECT R.book.title",        // tree-shaped region: efficient Λ_p
+        "PROJECT R.book.author",       // shared A1 ⇒ global-semantics world table
+        "WORLDS TOP 3",
+    ];
+    for q in queries {
+        println!("pxml> {q}");
+        match run(&pi, q) {
+            Ok(Output::Probability(p)) => println!("  = {p:.6}"),
+            Ok(Output::Selected { selectivity, instance }) => println!(
+                "  selectivity {selectivity:.4}; conditioned instance keeps {} objects",
+                instance.object_count()
+            ),
+            Ok(Output::Instance(out)) => {
+                println!("  instance with {} objects", out.object_count())
+            }
+            Ok(Output::Worlds(ws)) => {
+                println!("  {} worlds; most probable (p = {:.4}):", ws.len(), ws[0].1);
+                for line in ws[0].0.lines().take(4) {
+                    println!("    {line}");
+                }
+            }
+            Ok(Output::Text(t)) => println!("{t}"),
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+
+    // Cross-check one headline number programmatically.
+    let Output::Probability(p) = run(&pi, "POINT A1 IN R.book.author").unwrap() else {
+        unreachable!()
+    };
+    assert!((p - 0.88).abs() < 1e-9, "P(A1 ∈ R.book.author) = {p}");
+}

@@ -1,0 +1,90 @@
+//! Fusing two uncertain observers of the same process.
+//!
+//! Two extraction pipelines parsed the same manufacturing log and
+//! produced *different* probabilistic instances over the same weak
+//! structure. This example fuses them three ways:
+//!
+//! * **union** — a λ-mixture ("one of the two pipelines is right");
+//! * **intersection** — a normalised product of experts ("both observed
+//!   the same world independently"), factorised back into a single
+//!   probabilistic instance via Theorem 2;
+//! * **interval envelope** — an interval instance whose bounds contain
+//!   both pipelines, queried with interval chain probabilities.
+//!
+//! Run with: `cargo run --example sensor_fusion`
+
+use pxml::algebra::{intersection, try_factorize, union};
+use pxml::core::ids::IdMap;
+use pxml::core::worlds::enumerate_worlds;
+use pxml::core::{ChildSet, LeafType, ProbInstance, Value};
+use pxml::interval::{interval_chain_probability, IOpf, IProbInstance, Interval};
+use pxml::query::chain_probability_named;
+
+/// One pipeline's reading of the assembly log: the line produced a
+/// widget which may have passed inspection.
+fn pipeline(p_widget: f64, p_pass: f64) -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new("grade-type", [Value::str("A"), Value::str("B")]));
+    let line = b.object("line");
+    b.lch("line", "produced", &["widget"]);
+    b.opf_table("line", &[(&["widget"], p_widget), (&[], 1.0 - p_widget)]);
+    b.lch("widget", "inspection", &["grade"]);
+    b.opf_table("widget", &[(&["grade"], p_pass), (&[], 1.0 - p_pass)]);
+    b.leaf("grade", "grade-type", None);
+    b.vpf("grade", &[(Value::str("A"), 0.5), (Value::str("B"), 0.5)]);
+    b.build(line).expect("coherent instance")
+}
+
+fn main() {
+    let optimist = pipeline(0.9, 0.8);
+    let pessimist = pipeline(0.6, 0.5);
+
+    let chain = ["line", "widget", "grade"];
+    let p_opt = chain_probability_named(&optimist, &chain).unwrap();
+    let p_pes = chain_probability_named(&pessimist, &chain).unwrap();
+    println!("P(graded widget) — optimist {p_opt:.3}, pessimist {p_pes:.3}");
+
+    // ── Union: a 50/50 mixture over which pipeline is right ───────────
+    let mixture = union(&optimist, &pessimist, 0.5).expect("same structure");
+    let widget = optimist.oid("widget").unwrap();
+    let p_mix = mixture.probability_that(|s| s.contains(widget));
+    println!("Union (λ = 0.5): P(widget) = {p_mix:.3}");
+    assert!((p_mix - 0.75).abs() < 1e-9);
+
+    // ── Intersection: product of experts, factorised via Theorem 2 ────
+    let (consensus, agreement) = intersection(&optimist, &pessimist).expect("overlap");
+    println!("Intersection: observer agreement mass = {agreement:.4}");
+    let fused = try_factorize(optimist.weak(), consensus).expect("independent fusion factorises");
+    let p_fused = chain_probability_named(&fused, &chain).unwrap();
+    println!("  fused P(graded widget) = {p_fused:.3}");
+    // Product of experts sharpens towards agreement on the likely world.
+    assert!(p_fused > p_pes.min(p_opt));
+
+    // ── Interval envelope: bounds covering both pipelines ─────────────
+    let weak = optimist.weak().clone();
+    let mut iopfs = IdMap::new();
+    for (o, lo, hi) in [("line", 0.6, 0.9), ("widget", 0.5, 0.8)] {
+        let id = optimist.oid(o).unwrap();
+        let u = weak.node(id).unwrap().universe().clone();
+        iopfs.insert(
+            id,
+            IOpf::from_entries([
+                (ChildSet::full(&u), Interval::new(lo, hi)),
+                (ChildSet::empty(&u), Interval::new(1.0 - hi, 1.0 - lo)),
+            ]),
+        );
+    }
+    let envelope = IProbInstance::new(weak, iopfs, IdMap::new()).expect("coherent envelope");
+    let ids: Vec<_> = chain.iter().map(|n| optimist.oid(n).unwrap()).collect();
+    let bounds = interval_chain_probability(&envelope, &ids).unwrap();
+    println!(
+        "Interval envelope: P(graded widget) ∈ [{:.3}, {:.3}]",
+        bounds.lo, bounds.hi
+    );
+    assert!(bounds.contains(p_opt) && bounds.contains(p_pes));
+
+    // Sanity: the fused instance is a coherent distribution.
+    let worlds = enumerate_worlds(&fused).unwrap();
+    assert!((worlds.total() - 1.0).abs() < 1e-9);
+    println!("Fused instance has {} compatible worlds (mass 1).", worlds.len());
+}

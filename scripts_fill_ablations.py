@@ -1,0 +1,44 @@
+"""Fill EXPERIMENTS.md's 'Measured ablation excerpts' from bench_output.txt."""
+import re
+
+txt = open('/root/repo/bench_output.txt').read()
+rows = dict(re.findall(r'^([\w/.]+)\s*\n\s+time:\s+\[\S+ \S+ (\S+ \S+) \S+ \S+\]', txt, re.M))
+
+def get(name):
+    return rows.get(name, "n/a")
+
+lines = []
+lines.append("```text")
+lines.append("point_query_engines (P(tail ∈ p) on an n-chain; medians)")
+for n in (4, 8, 12, 16):
+    eps = get(f"point_query_engines/epsilon/{n}")
+    ve = get(f"point_query_engines/bayes_ve/{n}")
+    naive = get(f"point_query_engines/naive_worlds/{n}") if n <= 12 else "— (exponential)"
+    lines.append(f"  n={n:>2}: epsilon {eps:>12}   bayes_ve {ve:>12}   naive_worlds {naive}")
+lines.append("")
+lines.append("opf_representations (b potential children; medians)")
+for b in (8, 16):
+    lines.append(
+        f"  b={b:>2}: prob table {get(f'opf_representations/prob_table/{b}'):>11} vs compact {get(f'opf_representations/prob_compact/{b}'):>11};"
+        f" marginal table {get(f'opf_representations/marginal_table/{b}'):>11} vs compact {get(f'opf_representations/marginal_compact/{b}'):>11}"
+    )
+lines.append("")
+lines.append("childset_representations (mask vs sparse; medians)")
+for op in ("union", "intersect", "subset_check"):
+    lines.append(
+        f"  {op:<13} mask {get(f'childset_representations/{op}/mask'):>11}   sparse {get(f'childset_representations/{op}/sparse'):>11}"
+    )
+lines.append("")
+lines.append("storage_codecs (341-object instance; medians)")
+for op in ("encode_text", "encode_binary", "decode_text", "decode_binary"):
+    lines.append(f"  {op:<14} {get(f'storage_codecs/{op}/341'):>12}")
+lines.append("```")
+block = "\n".join(lines)
+
+p = '/root/repo/EXPERIMENTS.md'
+src = open(p).read()
+marker = "(Extracted automatically; regenerate with\n`python3 scripts_extract_ablations.py` after `cargo bench`.)"
+assert marker in src
+src = src.replace(marker, block + "\n\n(Regenerate with `python3 scripts_fill_ablations.py` after `cargo bench`.)")
+open(p, 'w').write(src)
+print("filled")

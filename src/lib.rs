@@ -1,0 +1,78 @@
+//! # PXML — a probabilistic semistructured data model and algebra
+//!
+//! A from-scratch Rust implementation of
+//!
+//! > Edward Hung, Lise Getoor, V. S. Subrahmanian.
+//! > *PXML: A Probabilistic Semistructured Data Model and Algebra.*
+//! > ICDE 2003.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents | paper sections |
+//! |---|---|---|
+//! | [`core`] | semistructured / weak / probabilistic instances, possible-worlds semantics, Theorems 1–2 | 3, 4 |
+//! | [`algebra`] | path expressions, ancestor/descendant/single projection, selection, Cartesian product, join, union/intersection, the naive oracle | 5, 6.1 |
+//! | [`query`] | chain, point and existential probability queries | 6.2 |
+//! | [`bayes`] | the Bayesian-network substrate (bucket elimination) | 6 |
+//! | [`gen`] | the Section 7.1 workload generator | 7.1 |
+//! | [`storage`] | `.pxml` text format and `.pxmlb` binary codec | 7.1 |
+//! | [`protdb`] | ProTDB and SPO baselines with subsumption mappings | 8 |
+//! | [`interval`] | interval probabilities (the PIXML companion track) | 1, 9 |
+//! | [`ql`] | a textual query language compiling onto all engines | — |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pxml::core::fixtures::{fig2_instance, fig3_s1};
+//! use pxml::core::worlds::world_probability;
+//! use pxml::algebra::{PathExpr, select, SelectCond};
+//! use pxml::query::point_query;
+//!
+//! // The paper's running example (Figure 2).
+//! let pi = fig2_instance();
+//!
+//! // Example 4.1: the probability of one compatible world.
+//! let p = world_probability(&pi, &fig3_s1()).unwrap();
+//! assert!((p - 0.00448).abs() < 1e-12);
+//!
+//! // Situation 2 of Section 2: "now we know book B1 surely exists".
+//! let b1 = pi.oid("B1").unwrap();
+//! let path = PathExpr::parse(pi.catalog(), "R.book").unwrap();
+//! let updated = select(&pi, &SelectCond::ObjectAt(path, b1)).unwrap();
+//! assert!((updated.selectivity - 0.8).abs() < 1e-9);
+//!
+//! // Situation 4: "the probability that a particular title exists".
+//! let t2 = pi.oid("T2").unwrap();
+//! let path = PathExpr::parse(pi.catalog(), "R.book.title").unwrap();
+//! assert!((point_query(&pi, &path, t2).unwrap() - 0.8).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The data model and possible-worlds semantics (`pxml-core`).
+pub use pxml_core as core;
+
+/// The algebra: projection, selection, product, join, set operations
+/// (`pxml-algebra`).
+pub use pxml_algebra as algebra;
+
+/// Probabilistic point queries (`pxml-query`).
+pub use pxml_query as query;
+
+/// Bayesian-network inference substrate (`pxml-bayes`).
+pub use pxml_bayes as bayes;
+
+/// The Section 7.1 workload generator (`pxml-gen`).
+pub use pxml_gen as gen;
+
+/// Text and binary persistence (`pxml-storage`).
+pub use pxml_storage as storage;
+
+/// ProTDB / SPO baselines (`pxml-protdb`).
+pub use pxml_protdb as protdb;
+
+/// Interval probabilities (`pxml-interval`).
+pub use pxml_interval as interval;
+
+/// The textual query language (`pxml-ql`).
+pub use pxml_ql as ql;

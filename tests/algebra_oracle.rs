@@ -1,0 +1,127 @@
+//! Property tests: every efficient algebra operator agrees with the
+//! naive possible-worlds oracle (the global semantics of Definitions 5.3
+//! and 5.6) on randomly generated instances.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::algebra::naive::{ancestor_project_global, select_global};
+use pxml::algebra::{
+    ancestor_project, ancestor_project_sd, cartesian_product, select, AlgebraError, PathExpr,
+};
+use pxml::core::worlds::enumerate_worlds;
+use pxml::gen::{query_batch, selection_batch};
+
+use common::{random_dag, random_tree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The efficient ancestor projection's output distribution equals the
+    /// naive `Λ_p` world table on random trees.
+    #[test]
+    fn efficient_projection_matches_oracle(seed in 0u64..5000) {
+        let g = pxml::gen::generate(&pxml::gen::WorkloadConfig {
+            depth: (seed % 3 + 1) as usize,
+            branching: (seed % 2 + 1) as usize,
+            labeling: if seed % 2 == 0 {
+                pxml::gen::Labeling::SameLabel
+            } else {
+                pxml::gen::Labeling::FullyRandom
+            },
+            labels_per_depth: 2,
+            leaf_domain: if seed % 3 == 0 { 2 } else { 0 },
+            seed,
+        });
+        let pi = &g.instance;
+        for q in query_batch(&g, 2, seed) {
+            let eff = ancestor_project(pi, &q).expect("trees are accepted");
+            let eff_worlds = enumerate_worlds(&eff).expect("projected instance enumerable");
+            let oracle = ancestor_project_global(pi, &q).expect("oracle enumerable");
+            prop_assert!(
+                eff_worlds.approx_eq(&oracle, 1e-7),
+                "projection mismatch for seed {seed} query {}",
+                q.display(pi.catalog())
+            );
+        }
+    }
+
+    /// The chain-conditioned selection equals the filter-and-renormalise
+    /// oracle on random trees.
+    #[test]
+    fn efficient_selection_matches_oracle(seed in 0u64..5000) {
+        // Use the generator's own accepted selection queries.
+        let gen = pxml::gen::generate(&pxml::gen::WorkloadConfig::paper(
+            (seed % 3 + 1) as usize,
+            (seed % 2 + 1) as usize,
+            pxml::gen::Labeling::FullyRandom,
+            seed,
+        ));
+        for (cond, _) in selection_batch(&gen, 2, seed) {
+            let eff = select(&gen.instance, &cond).expect("tree selection succeeds");
+            let (oracle, prior) = select_global(&gen.instance, &cond).expect("oracle");
+            prop_assert!((eff.selectivity - prior).abs() < 1e-7);
+            let eff_worlds = enumerate_worlds(&eff.instance).expect("enumerable");
+            prop_assert!(eff_worlds.approx_eq(&oracle, 1e-7));
+        }
+    }
+
+    /// Projection on DAGs either agrees with the oracle or is explicitly
+    /// rejected as non-tree — never silently wrong.
+    #[test]
+    fn dag_projection_is_exact_or_rejected(seed in 0u64..2000) {
+        let pi = random_dag(seed);
+        let labels = [pi.lid("x").unwrap(), pi.lid("y").unwrap()];
+        let q = PathExpr::new(pi.root(), [labels[(seed % 2) as usize]]);
+        match ancestor_project(&pi, &q) {
+            Ok(eff) => {
+                let eff_worlds = enumerate_worlds(&eff).expect("enumerable");
+                let oracle = ancestor_project_global(&pi, &q).expect("oracle");
+                prop_assert!(eff_worlds.approx_eq(&oracle, 1e-7));
+            }
+            Err(AlgebraError::NotTreeShaped(_)) => {} // honest refusal
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// The Cartesian product is a coherent instance whose marginals are
+    /// the operands' marginals, independently combined.
+    #[test]
+    fn product_is_independent_combination(sa in 0u64..1000, sb in 0u64..1000) {
+        let a = random_tree(sa);
+        let b = random_tree(sb);
+        let prod = cartesian_product(&a, &b).expect("product of trees");
+        prod.instance.validate().expect("coherent product");
+        let wa = enumerate_worlds(&a).expect("a enumerable");
+        let wb = enumerate_worlds(&b).expect("b enumerable");
+        let wp = enumerate_worlds(&prod.instance).expect("product enumerable");
+        prop_assert!((wp.total() - 1.0).abs() < 1e-7);
+        // Spot-check independence on the first non-root object of each.
+        let oa = a.objects().find(|&o| o != a.root());
+        let ob = b.objects().find(|&o| o != b.root());
+        if let (Some(oa), Some(ob)) = (oa, ob) {
+            let mob = prod.right_map[&ob];
+            let pa = wa.probability_that(|s| s.contains(oa));
+            let pb = wb.probability_that(|s| s.contains(ob));
+            let joint = wp.probability_that(|s| s.contains(oa) && s.contains(mob));
+            prop_assert!((joint - pa * pb).abs() < 1e-7);
+        }
+    }
+
+    /// Structural ancestor projection is idempotent and monotone
+    /// (a projection never adds objects).
+    #[test]
+    fn sd_projection_idempotent_and_shrinking(seed in 0u64..2000) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let labels = [pi.lid("x").unwrap(), pi.lid("y").unwrap()];
+        let q = PathExpr::new(pi.root(), [labels[(seed % 2) as usize]]);
+        for (s, _) in worlds.iter().take(8) {
+            let once = ancestor_project_sd(s, &q);
+            prop_assert!(once.object_count() <= s.object_count());
+            let twice = ancestor_project_sd(&once, &q);
+            prop_assert!(once == twice);
+        }
+    }
+}

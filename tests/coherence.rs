@@ -1,0 +1,83 @@
+//! Property tests of the semantics layer: Theorem 1, Definition 4.5 and
+//! Theorem 2 hold on randomly generated instances (trees and DAGs).
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::core::factorize::factorize;
+use pxml::core::worlds::{enumerate_worlds, world_probability};
+use pxml::core::GlobalInterpretation;
+
+use common::{random_dag, random_tree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: `P_℘` is a legal global interpretation — the world
+    /// probabilities of any valid probabilistic instance sum to 1.
+    #[test]
+    fn theorem_1_total_mass_is_one(seed in 0u64..5000) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let worlds = enumerate_worlds(&pi).expect("enumerable");
+            prop_assert!((worlds.total() - 1.0).abs() < 1e-7);
+        }
+    }
+
+    /// Enumeration and the direct product of Definition 4.4 agree on
+    /// every world.
+    #[test]
+    fn definition_4_4_product_matches_enumeration(seed in 0u64..3000) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        for (s, p) in worlds.iter() {
+            let direct = world_probability(&pi, s).expect("compatible");
+            prop_assert!((p - direct).abs() < 1e-9);
+        }
+    }
+
+    /// Definition 4.5: the induced global interpretation satisfies the
+    /// independence constraints of its weak instance.
+    #[test]
+    fn induced_interpretation_satisfies_weak_instance(seed in 0u64..800) {
+        let pi = random_dag(seed);
+        let g = GlobalInterpretation::from_local(&pi).expect("legal");
+        prop_assert!(g.satisfies(1e-6));
+    }
+
+    /// Theorem 2 round trip: factorising `P_℘` recovers a local
+    /// interpretation inducing the same distribution.
+    #[test]
+    fn theorem_2_round_trip(seed in 0u64..800) {
+        let pi = random_dag(seed);
+        let g = GlobalInterpretation::from_local(&pi).expect("legal");
+        let recovered = factorize(&g, 1e-6).expect("P_℘ factorises (Theorem 2)");
+        let a = enumerate_worlds(&pi).expect("enumerable");
+        let b = enumerate_worlds(&recovered).expect("enumerable");
+        prop_assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    /// Every enumerated world is compatible with the weak instance
+    /// (Definition 4.1), and marginal presence probabilities are monotone
+    /// along weak edges: a child is present no more often than *some*
+    /// parent is present.
+    #[test]
+    fn worlds_are_compatible_and_presence_is_dominated(seed in 0u64..2000) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        for (s, _) in worlds.iter() {
+            s.compatible_with(pi.weak()).expect("compatible world");
+        }
+        let parents = pi.weak().parents();
+        for o in pi.objects() {
+            if o == pi.root() {
+                continue;
+            }
+            let p_o = worlds.probability_that(|s| s.contains(o));
+            let ps = parents.get(o).cloned().unwrap_or_default();
+            let p_any_parent =
+                worlds.probability_that(|s| ps.iter().any(|&p| s.contains(p)));
+            prop_assert!(p_o <= p_any_parent + 1e-9);
+        }
+    }
+}

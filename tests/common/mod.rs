@@ -1,0 +1,27 @@
+//! Shared generators for the cross-crate property tests.
+
+use pxml::core::ProbInstance;
+use pxml::gen::{random_dag as gen_random_dag, Labeling, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random small **tree** instance (every object one parent), small
+/// enough that the possible-worlds oracle stays enumerable.
+#[allow(dead_code)] // not every test binary uses both generators
+pub fn random_tree(seed: u64) -> ProbInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let depth = rng.gen_range(1..=2usize);
+    let branching = rng.gen_range(1..=2usize);
+    let labeling =
+        if rng.gen_bool(0.5) { Labeling::SameLabel } else { Labeling::FullyRandom };
+    let mut cfg = WorkloadConfig::paper(depth, branching, labeling, seed);
+    cfg.leaf_domain = if rng.gen_bool(0.5) { 2 } else { 0 };
+    pxml::gen::generate(&cfg).instance
+}
+
+/// A random small **DAG** instance (shared children allowed); see
+/// `pxml::gen::dag`.
+#[allow(dead_code)]
+pub fn random_dag(seed: u64) -> ProbInstance {
+    gen_random_dag(seed)
+}

@@ -1,0 +1,128 @@
+//! Cross-crate behaviour of the §3.2 compact OPF representations:
+//! algebra operators, queries and persistence must treat an instance the
+//! same whatever representation its OPFs use.
+
+use pxml::core::ids::IdMap;
+use pxml::core::{
+    enumerate_worlds, Catalog, ChildUniverse, IndependentOpf, LabelProductOpf, Opf, OpfTable,
+    ProbInstance, WeakInstance, WeakNode,
+};
+use pxml::algebra::{ancestor_project, cartesian_product, PathExpr};
+use pxml::query::{exists_query, point_query};
+use pxml::storage::{from_text, to_text};
+
+/// Root with two x-children (independent presence 0.7/0.4), one of which
+/// has a y-child via a label-product OPF.
+fn compact_instance() -> ProbInstance {
+    let mut catalog = Catalog::new();
+    let x = catalog.label("x");
+    let y = catalog.label("y");
+    let r = catalog.object("r");
+    let a = catalog.object("a");
+    let b = catalog.object("b");
+    let c = catalog.object("c");
+    let mut nodes: IdMap<pxml::core::ids::ObjectKind, WeakNode> = IdMap::new();
+    nodes.insert(
+        r,
+        WeakNode::from_parts(ChildUniverse::from_members([(a, x), (b, x)]), Vec::new(), None),
+    );
+    let a_universe = ChildUniverse::from_members([(c, y)]);
+    nodes.insert(a, WeakNode::from_parts(a_universe.clone(), Vec::new(), None));
+    nodes.insert(b, WeakNode::from_parts(ChildUniverse::new(), Vec::new(), None));
+    nodes.insert(c, WeakNode::from_parts(ChildUniverse::new(), Vec::new(), None));
+    let weak = WeakInstance::from_parts(std::sync::Arc::new(catalog), r, nodes).unwrap();
+
+    let mut opfs: IdMap<pxml::core::ids::ObjectKind, Opf> = IdMap::new();
+    opfs.insert(r, Opf::Independent(IndependentOpf::new(vec![0.7, 0.4])));
+    // A label-product OPF with a single y-part over {c}.
+    let part = OpfTable::from_entries([
+        (pxml::core::ChildSet::from_positions(&a_universe, Vec::<u32>::new()), 0.2),
+        (pxml::core::ChildSet::from_positions(&a_universe, [0]), 0.8),
+    ]);
+    opfs.insert(a, Opf::LabelProduct(LabelProductOpf::new(&a_universe, [(weak.catalog().find_label("y").unwrap(), part)])));
+    ProbInstance::from_parts(weak, opfs, IdMap::new()).unwrap()
+}
+
+/// The same instance with every OPF materialised to an explicit table.
+fn materialised(pi: &ProbInstance) -> ProbInstance {
+    let weak = pi.weak().clone();
+    let mut opfs: IdMap<pxml::core::ids::ObjectKind, Opf> = IdMap::new();
+    for o in pi.objects() {
+        if let Some(opf) = pi.opf(o) {
+            let node = weak.node(o).unwrap();
+            opfs.insert(o, Opf::Table(opf.to_table(node.universe())));
+        }
+    }
+    let vpfs = pi.vpfs().clone();
+    ProbInstance::from_parts(weak, opfs, vpfs).unwrap()
+}
+
+#[test]
+fn compact_and_materialised_have_identical_worlds() {
+    let compact = compact_instance();
+    let table = materialised(&compact);
+    let wa = enumerate_worlds(&compact).unwrap();
+    let wb = enumerate_worlds(&table).unwrap();
+    assert!(wa.approx_eq(&wb, 1e-12));
+}
+
+#[test]
+fn queries_agree_across_representations() {
+    let compact = compact_instance();
+    let table = materialised(&compact);
+    let p_xy = PathExpr::new(
+        compact.root(),
+        [compact.lid("x").unwrap(), compact.lid("y").unwrap()],
+    );
+    let c = compact.oid("c").unwrap();
+    assert!(
+        (point_query(&compact, &p_xy, c).unwrap() - point_query(&table, &p_xy, c).unwrap())
+            .abs()
+            < 1e-12
+    );
+    assert!(
+        (exists_query(&compact, &p_xy).unwrap() - exists_query(&table, &p_xy).unwrap()).abs()
+            < 1e-12
+    );
+    // P(c via x.y) = P(a) · P(c | a) = 0.7 · 0.8.
+    assert!((point_query(&compact, &p_xy, c).unwrap() - 0.56).abs() < 1e-12);
+}
+
+#[test]
+fn projection_accepts_compact_opfs() {
+    let compact = compact_instance();
+    let p = PathExpr::new(compact.root(), [compact.lid("x").unwrap()]);
+    let projected = ancestor_project(&compact, &p).unwrap();
+    projected.validate().unwrap();
+    let worlds = enumerate_worlds(&projected).unwrap();
+    assert!((worlds.total() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn storage_round_trips_compact_instances_as_tables() {
+    // The text format materialises compact OPFs (documented); semantics
+    // must survive.
+    let compact = compact_instance();
+    let parsed = from_text(&to_text(&compact)).unwrap();
+    let wa = enumerate_worlds(&compact).unwrap();
+    let wb = enumerate_worlds(&parsed).unwrap();
+    assert_eq!(wa.len(), wb.len());
+    let mut map = std::collections::HashMap::new();
+    for (s, p) in wa.iter() {
+        *map.entry(s.render()).or_insert(0.0) += p;
+    }
+    for (s, p) in wb.iter() {
+        let q = map.get(&s.render()).copied().unwrap_or(-1.0);
+        assert!((q - p).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn product_of_compact_instances_is_coherent() {
+    let a = compact_instance();
+    let b = compact_instance();
+    let prod = cartesian_product(&a, &b).unwrap();
+    prod.instance.validate().unwrap();
+    let worlds = enumerate_worlds(&prod.instance).unwrap();
+    assert!((worlds.total() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,69 @@
+//! The shipped `data/` instances stay loadable and semantically equal to
+//! the in-code Figure 2 fixture.
+
+use pxml::core::fixtures::fig2_instance;
+use pxml::core::worlds::enumerate_worlds;
+use pxml::storage::{read_binary_file, read_text_file};
+
+fn same_distribution(a: &pxml::core::ProbInstance, b: &pxml::core::ProbInstance) {
+    let wa = enumerate_worlds(a).unwrap();
+    let wb = enumerate_worlds(b).unwrap();
+    assert_eq!(wa.len(), wb.len());
+    let mut map = std::collections::HashMap::new();
+    for (s, p) in wa.iter() {
+        *map.entry(s.render()).or_insert(0.0) += p;
+    }
+    for (s, p) in wb.iter() {
+        let q = map.get(&s.render()).copied().unwrap_or(-1.0);
+        assert!((q - p).abs() < 1e-9, "world mismatch:\n{}", s.render());
+    }
+}
+
+#[test]
+fn shipped_text_instance_matches_fixture() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("data/fig2.pxml");
+    let loaded = read_text_file(&path).expect("shipped file parses");
+    same_distribution(&fig2_instance(), &loaded);
+}
+
+#[test]
+fn shipped_binary_instance_matches_fixture() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("data/fig2.pxmlb");
+    let loaded = read_binary_file(&path).expect("shipped file decodes");
+    same_distribution(&fig2_instance(), &loaded);
+}
+
+#[test]
+fn example_4_1_holds_on_the_shipped_file() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("data/fig2.pxml");
+    let loaded = read_text_file(&path).unwrap();
+    let p = pxml::core::worlds::world_probability(&loaded, &{
+        // Rebuild S1 against the loaded catalog via names.
+        let cat = std::sync::Arc::clone(loaded.catalog());
+        let mut b = pxml::core::SdInstance::builder_shared(std::sync::Arc::clone(&cat));
+        let find = |n: &str| cat.find_object(n).unwrap();
+        let label = |n: &str| cat.find_label(n).unwrap();
+        let r = b.object_id(find("R"));
+        b.edge(r, label("book"), find("B1"));
+        b.edge(r, label("book"), find("B2"));
+        b.edge(find("B1"), label("author"), find("A1"));
+        b.edge(find("B1"), label("title"), find("T1"));
+        b.edge(find("B2"), label("author"), find("A1"));
+        b.edge(find("B2"), label("author"), find("A2"));
+        b.edge(find("A1"), label("institution"), find("I1"));
+        b.edge(find("A2"), label("institution"), find("I1"));
+        b.leaf_value(
+            find("T1"),
+            cat.find_type("title-type").unwrap(),
+            pxml::core::Value::str("VQDB"),
+        );
+        b.leaf_value(
+            find("I1"),
+            cat.find_type("institution-type").unwrap(),
+            pxml::core::Value::str("Stanford"),
+        );
+        b.build(r).unwrap()
+    })
+    .unwrap();
+    assert!((p - 0.00448).abs() < 1e-12);
+}

@@ -1,0 +1,193 @@
+//! Property tests for the interval-probability extension: tightening is
+//! sound and idempotent, and interval query bounds enclose every point
+//! instance.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pxml::core::ids::IdMap;
+use pxml::core::{ChildSet, WeakInstance};
+use pxml::interval::{
+    bound_expectation, coherent, interval_chain_probability, interval_exists_query,
+    pick_point, tighten, IOpf, IProbInstance, Interval,
+};
+use pxml::query::{chain_probability, exists_query};
+
+/// A random coherent interval family of size `n`: widen a random point
+/// distribution.
+fn random_family(seed: u64, n: usize) -> Vec<Interval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut point: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-6).collect();
+    let total: f64 = point.iter().sum();
+    for p in &mut point {
+        *p /= total;
+    }
+    point
+        .into_iter()
+        .map(|p| {
+            let lo = (p - rng.gen::<f64>() * 0.3).max(0.0);
+            let hi = (p + rng.gen::<f64>() * 0.3).min(1.0);
+            Interval::new(lo, hi)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A family widened around a point distribution is coherent, and
+    /// `pick_point` recovers a distribution inside every interval.
+    #[test]
+    fn widened_families_are_coherent(seed in 0u64..5000, n in 1usize..6) {
+        let fam = random_family(seed, n);
+        prop_assert!(coherent(&fam));
+        let point = pick_point(&fam).expect("coherent family has a point");
+        prop_assert!((point.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let tight = tighten(&fam).expect("coherent");
+        for (p, i) in point.iter().zip(&tight) {
+            prop_assert!(i.contains(*p));
+        }
+    }
+
+    /// Tightening never widens, preserves coherence, and is idempotent.
+    #[test]
+    fn tightening_is_sound(seed in 0u64..5000, n in 1usize..6) {
+        let fam = random_family(seed, n);
+        let tight = tighten(&fam).expect("coherent");
+        for (orig, t) in fam.iter().zip(&tight) {
+            prop_assert!(t.lo >= orig.lo - 1e-12);
+            prop_assert!(t.hi <= orig.hi + 1e-12);
+        }
+        prop_assert!(coherent(&tight));
+        let twice = tighten(&tight).expect("still coherent");
+        for (a, b) in tight.iter().zip(&twice) {
+            prop_assert!((a.lo - b.lo).abs() < 1e-9);
+            prop_assert!((a.hi - b.hi).abs() < 1e-9);
+        }
+    }
+
+    /// The simplex-constrained expectation bound is sound: any point
+    /// distribution inside the intervals has its expectation inside the
+    /// bound.
+    #[test]
+    fn bound_expectation_is_sound(seed in 0u64..3000, n in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fam = random_family(seed, n);
+        let values: Vec<Interval> = (0..n)
+            .map(|_| {
+                let lo: f64 = rng.gen_range(0.0..0.9);
+                Interval::new(lo, rng.gen_range(lo..1.0))
+            })
+            .collect();
+        let bound = bound_expectation(&fam, &values).expect("coherent");
+        // Sample a point distribution inside the family and point values
+        // inside the value intervals.
+        let point = pick_point(&fam).expect("coherent");
+        let point_values: Vec<f64> =
+            values.iter().map(|v| rng.gen_range(v.lo..=v.hi)).collect();
+        let expectation: f64 =
+            point.iter().zip(&point_values).map(|(p, v)| p * v).sum();
+        prop_assert!(
+            bound.lo - 1e-9 <= expectation && expectation <= bound.hi + 1e-9,
+            "{expectation} outside [{}, {}]",
+            bound.lo,
+            bound.hi
+        );
+    }
+
+    /// Interval ε propagation bounds enclose the exact existential
+    /// probability of every point instance inside the envelope.
+    #[test]
+    fn interval_exists_encloses_point_instances(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let mut b = WeakInstance::builder();
+        let r = b.object("r");
+        let o1 = b.object("o1");
+        let o2a = b.object("o2a");
+        let o2b = b.object("o2b");
+        let l = b.label("next");
+        b.lch(r, l, &[o1]);
+        b.lch(o1, l, &[o2a, o2b]);
+        let weak = b.build(r).unwrap();
+        let mut iopf = IdMap::new();
+        // Root: one child with an interval link.
+        {
+            let u = weak.node(r).unwrap().universe().clone();
+            let lo: f64 = rng.gen_range(0.0..0.6);
+            let hi: f64 = rng.gen_range(lo..1.0f64.min(lo + 0.4));
+            iopf.insert(
+                r,
+                IOpf::from_entries([
+                    (ChildSet::full(&u), Interval::new(lo, hi)),
+                    (ChildSet::empty(&u), Interval::new(1.0 - hi, 1.0 - lo)),
+                ]),
+            );
+        }
+        // o1: intervals over the four subsets of {o2a, o2b}, widened
+        // around a random point distribution.
+        {
+            let u = weak.node(o1).unwrap().universe().clone();
+            let mut weights: Vec<f64> = (0..4).map(|_| rng.gen::<f64>() + 1e-6).collect();
+            let tot: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= tot;
+            }
+            let sets: Vec<ChildSet> = ChildSet::full(&u).subsets().collect();
+            iopf.insert(
+                o1,
+                IOpf::from_entries(sets.into_iter().zip(weights).map(|(s, w)| {
+                    let lo = (w - rng.gen::<f64>() * 0.2).max(0.0);
+                    let hi = (w + rng.gen::<f64>() * 0.2).min(1.0);
+                    (s, Interval::new(lo, hi))
+                })),
+            );
+        }
+        let ipi = IProbInstance::new(weak, iopf, IdMap::new()).expect("coherent");
+        let path = pxml::algebra::PathExpr::new(r, [l, l]);
+        let bounds = interval_exists_query(&ipi, &path).expect("tree-shaped");
+        let pi = ipi.instantiate().expect("point instance");
+        let exact = exists_query(&pi, &path).expect("tree accepted");
+        prop_assert!(
+            bounds.lo - 1e-9 <= exact && exact <= bounds.hi + 1e-9,
+            "{exact} outside [{}, {}]",
+            bounds.lo,
+            bounds.hi
+        );
+    }
+
+    /// Interval chain bounds enclose the chain probability of every
+    /// sampled point instance inside the envelope.
+    #[test]
+    fn interval_chain_encloses_point_instances(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Chain r -> o1 -> o2 with random interval links.
+        let mut b = WeakInstance::builder();
+        let r = b.object("r");
+        let o1 = b.object("o1");
+        let o2 = b.object("o2");
+        let l = b.label("next");
+        b.lch(r, l, &[o1]);
+        b.lch(o1, l, &[o2]);
+        let weak = b.build(r).expect("valid");
+        let mut iopf = IdMap::new();
+        for o in [r, o1] {
+            let lo: f64 = rng.gen_range(0.0..0.6);
+            let hi: f64 = rng.gen_range(lo..1.0f64.min(lo + 0.4));
+            let u = weak.node(o).unwrap().universe().clone();
+            iopf.insert(
+                o,
+                IOpf::from_entries([
+                    (ChildSet::full(&u), Interval::new(lo, hi)),
+                    (ChildSet::empty(&u), Interval::new(1.0 - hi, 1.0 - lo)),
+                ]),
+            );
+        }
+        let ipi = IProbInstance::new(weak, iopf, IdMap::new()).expect("coherent");
+        let bounds = interval_chain_probability(&ipi, &[r, o1, o2]).expect("chain");
+        let pi = ipi.instantiate().expect("point instance");
+        prop_assert!(ipi.contains(&pi));
+        let p = chain_probability(&pi, &[r, o1, o2]).expect("chain");
+        prop_assert!(bounds.contains(p), "{p} not in [{}, {}]", bounds.lo, bounds.hi);
+    }
+}

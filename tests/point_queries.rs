@@ -1,0 +1,150 @@
+//! Property tests for the Section 6.2 query algorithms: chain, point and
+//! existential probabilities agree with the possible-worlds oracle.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::algebra::{locate_weak, satisfies_sd, PathExpr};
+use pxml::core::worlds::enumerate_worlds;
+use pxml::query::{chain_probability, exists_query, exists_query_dag, point_query, point_query_dag, QueryError};
+
+use common::{random_dag, random_tree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chain probabilities are exact on arbitrary DAGs: the product of
+    /// OPF marginals equals the world-table probability of the chain.
+    #[test]
+    fn chain_probability_matches_worlds(seed in 0u64..3000) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        // Walk a random-ish chain: always pick the first potential child.
+        let mut chain = vec![pi.root()];
+        let mut cur = pi.root();
+        loop {
+            let node = pi.weak().node(cur).expect("member");
+            let Some((_, child, _)) = node.universe().iter().next() else { break };
+            chain.push(child);
+            cur = child;
+            if chain.len() > 5 {
+                break;
+            }
+        }
+        let p = chain_probability(&pi, &chain).expect("chain within lch");
+        let direct = worlds.probability_that(|s| {
+            chain.windows(2).all(|w| s.children(w[0]).contains(&w[1]))
+        });
+        prop_assert!((p - direct).abs() < 1e-9, "chain {chain:?}: {p} vs {direct}");
+    }
+
+    /// Point queries on trees agree with the oracle for every located
+    /// object.
+    #[test]
+    fn point_query_matches_worlds_on_trees(seed in 0u64..3000) {
+        let pi = random_tree(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        // Build a path of each feasible length from the first labels seen.
+        let mut labels = Vec::new();
+        let mut cur = pi.root();
+        while let Some(node) = pi.weak().node(cur) {
+            let Some((_, child, l)) = node.universe().iter().next() else { break };
+            labels.push(l);
+            cur = child;
+        }
+        for len in 1..=labels.len() {
+            let q = PathExpr::new(pi.root(), labels[..len].iter().copied());
+            for o in locate_weak(&pi, &q) {
+                let eff = point_query(&pi, &q, o).expect("trees accepted");
+                let direct = worlds.probability_that(|s| satisfies_sd(s, &q, o));
+                prop_assert!((eff - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Existential queries on trees agree with the oracle, and the
+    /// existential probability dominates every member's point query.
+    #[test]
+    fn exists_query_matches_and_dominates(seed in 0u64..3000) {
+        let pi = random_tree(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let mut labels = Vec::new();
+        let mut cur = pi.root();
+        while let Some(node) = pi.weak().node(cur) {
+            let Some((_, child, l)) = node.universe().iter().next() else { break };
+            labels.push(l);
+            cur = child;
+        }
+        for len in 1..=labels.len() {
+            let q = PathExpr::new(pi.root(), labels[..len].iter().copied());
+            let e = exists_query(&pi, &q).expect("trees accepted");
+            let direct =
+                worlds.probability_that(|s| !pxml::algebra::locate_sd(s, &q).is_empty());
+            prop_assert!((e - direct).abs() < 1e-9);
+            for o in locate_weak(&pi, &q) {
+                let p_o = point_query(&pi, &q, o).expect("trees accepted");
+                prop_assert!(p_o <= e + 1e-9, "P(o ∈ p) must not exceed P(∃ o ∈ p)");
+            }
+        }
+    }
+
+    /// On DAGs the point query either matches the oracle or refuses with
+    /// `NotTreeShaped` — and in the latter case the inclusion–exclusion
+    /// DAG engine answers exactly.
+    #[test]
+    fn dag_point_query_exact_or_rejected(seed in 0u64..2000) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let labels = [pi.lid("x").unwrap(), pi.lid("y").unwrap()];
+        for &l in &labels {
+            let q = PathExpr::new(pi.root(), [l]);
+            for o in locate_weak(&pi, &q) {
+                let direct = worlds.probability_that(|s| satisfies_sd(s, &q, o));
+                match point_query(&pi, &q, o) {
+                    Ok(p) => prop_assert!((p - direct).abs() < 1e-9),
+                    Err(QueryError::NotTreeShaped(_)) => {
+                        let p = point_query_dag(&pi, &q, o).expect("I-E engine");
+                        prop_assert!((p - direct).abs() < 1e-9);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// The inclusion–exclusion engine matches the oracle on multi-step
+    /// DAG paths too, for both point and existential queries.
+    #[test]
+    fn dag_engine_matches_oracle_on_two_step_paths(seed in 0u64..1500) {
+        let pi = random_dag(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let labels = [pi.lid("x").unwrap(), pi.lid("y").unwrap()];
+        for &l1 in &labels {
+            for &l2 in &labels {
+                let q = PathExpr::new(pi.root(), [l1, l2]);
+                match exists_query_dag(&pi, &q) {
+                    Ok(e) => {
+                        let direct = worlds.probability_that(|s| {
+                            !pxml::algebra::locate_sd(s, &q).is_empty()
+                        });
+                        prop_assert!((e - direct).abs() < 1e-9);
+                    }
+                    Err(QueryError::TooManyChains(_)) => {} // honest refusal
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+                for o in locate_weak(&pi, &q) {
+                    match point_query_dag(&pi, &q, o) {
+                        Ok(p) => {
+                            let direct =
+                                worlds.probability_that(|s| satisfies_sd(s, &q, o));
+                            prop_assert!((p - direct).abs() < 1e-9);
+                        }
+                        Err(QueryError::TooManyChains(_)) => {}
+                        Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}

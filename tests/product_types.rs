@@ -1,0 +1,77 @@
+//! Cartesian-product corner cases: catalog merging under name and type
+//! collisions (the renaming convention of Definition 5.7).
+
+use pxml::algebra::cartesian_product;
+use pxml::core::worlds::enumerate_worlds;
+use pxml::core::{LeafType, ProbInstance, Value};
+
+fn instance_with_type(domain: &[&str], value: &str) -> ProbInstance {
+    let mut b = ProbInstance::builder();
+    b.define_type(LeafType::new(
+        "grade",
+        domain.iter().map(|s| Value::str(s)),
+    ));
+    let r = b.object("r");
+    b.lch("r", "item", &["leaf"]);
+    b.opf_table("r", &[(&["leaf"], 1.0)]);
+    b.leaf("leaf", "grade", Some(Value::str(value)));
+    b.build(r).unwrap()
+}
+
+#[test]
+fn colliding_type_names_merge_domains() {
+    // Left defines grade = {A, B}; right defines grade = {B, C}. The
+    // product must accept both leaves' values, so the merged domain is
+    // the union.
+    let left = instance_with_type(&["A", "B"], "A");
+    let right = instance_with_type(&["B", "C"], "C");
+    let prod = cartesian_product(&left, &right).unwrap();
+    prod.instance.validate().unwrap();
+    let cat = prod.instance.catalog();
+    let t = cat.find_type("grade").unwrap();
+    let dom = cat.type_def(t);
+    for v in ["A", "B", "C"] {
+        assert!(dom.contains(&Value::str(v)), "merged domain must contain {v}");
+    }
+    // Both leaf values survive in every world.
+    let worlds = enumerate_worlds(&prod.instance).unwrap();
+    assert!((worlds.total() - 1.0).abs() < 1e-9);
+    let left_leaf = prod.instance.oid("leaf").unwrap();
+    let right_leaf = prod.right_map[&right.oid("leaf").unwrap()];
+    assert!(
+        (worlds.probability_that(|s| s.value(left_leaf) == Some(&Value::str("A"))) - 1.0)
+            .abs()
+            < 1e-9
+    );
+    assert!(
+        (worlds.probability_that(|s| s.value(right_leaf) == Some(&Value::str("C"))) - 1.0)
+            .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn every_shared_name_is_primed_exactly_once() {
+    let left = instance_with_type(&["A"], "A");
+    let right = instance_with_type(&["A"], "A");
+    let prod = cartesian_product(&left, &right).unwrap();
+    let cat = prod.instance.catalog();
+    // Both roots are merged away (neither needs renaming); the colliding
+    // non-root "leaf" of the right operand is primed.
+    assert!(cat.find_object("leaf'").is_some());
+    // And a triple product primes twice.
+    let third = instance_with_type(&["A"], "A");
+    let prod2 = cartesian_product(&prod.instance, &third).unwrap();
+    let cat2 = prod2.instance.catalog();
+    assert!(cat2.find_object("leaf''").is_some());
+    prod2.instance.validate().unwrap();
+}
+
+#[test]
+fn product_root_name_records_both_operands() {
+    let left = instance_with_type(&["A"], "A");
+    let right = instance_with_type(&["A"], "A");
+    let prod = cartesian_product(&left, &right).unwrap();
+    let name = prod.instance.catalog().object_name(prod.root);
+    assert!(name.contains('x'), "merged root is named after both roots: {name}");
+}

@@ -1,0 +1,149 @@
+//! Property tests for the Section 8 subsumption claims: random ProTDB
+//! trees embed into PXML with identical semantics, and SPO tables encode
+//! with exactly-one-value worlds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pxml::core::worlds::enumerate_worlds;
+use pxml::core::{LeafType, Value};
+use pxml::protdb::{encode_spo, to_pxml, ProtNode, ProtTree, SpoVariable};
+use pxml::query::chain_probability_named;
+
+/// A random ProTDB tree of bounded size with unique names.
+fn random_prot_tree(seed: u64) -> ProtTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0usize;
+    fn gen_children(
+        rng: &mut StdRng,
+        counter: &mut usize,
+        depth: usize,
+    ) -> Vec<ProtNode> {
+        let n = rng.gen_range(0..=2usize);
+        (0..n)
+            .map(|_| {
+                *counter += 1;
+                let name = format!("n{counter}");
+                let label = if rng.gen_bool(0.5) { "a" } else { "b" };
+                let prob = rng.gen_range(0.05..0.95);
+                if depth == 0 || rng.gen_bool(0.4) {
+                    ProtNode::leaf(&name, label, prob, "t", Value::Int(1))
+                } else {
+                    let children = gen_children(rng, counter, depth - 1);
+                    ProtNode::internal(&name, label, prob, children)
+                }
+            })
+            .collect()
+    }
+    let children = gen_children(&mut rng, &mut counter, 2);
+    ProtTree {
+        root: "R".into(),
+        types: vec![LeafType::new("t", [Value::Int(1)])],
+        children,
+    }
+}
+
+/// Collects every root-to-node name chain of the tree.
+fn all_chains(tree: &ProtTree) -> Vec<Vec<String>> {
+    fn rec(prefix: &[String], nodes: &[ProtNode], out: &mut Vec<Vec<String>>) {
+        for n in nodes {
+            let mut chain = prefix.to_vec();
+            chain.push(n.name.clone());
+            out.push(chain.clone());
+            rec(&chain, &n.children, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&[tree.root.clone()], &tree.children, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every chain probability of a random ProTDB tree is preserved by
+    /// the embedding into PXML.
+    #[test]
+    fn protdb_chain_probabilities_preserved(seed in 0u64..5000) {
+        let tree = random_prot_tree(seed);
+        let pi = to_pxml(&tree).expect("embedding succeeds");
+        pi.validate().expect("embedded instance is coherent");
+        for chain in all_chains(&tree) {
+            let names: Vec<&str> = chain.iter().map(String::as_str).collect();
+            let protdb = tree.chain_probability(&names).expect("chain exists");
+            let pxml_p = chain_probability_named(&pi, &names).expect("chain exists");
+            prop_assert!((protdb - pxml_p).abs() < 1e-9, "chain {names:?}");
+        }
+    }
+
+    /// Sibling existences are pairwise independent in embedded trees —
+    /// the defining restriction of ProTDB.
+    #[test]
+    fn embedded_siblings_are_independent(seed in 0u64..2000) {
+        let tree = random_prot_tree(seed);
+        if tree.children.len() < 2 {
+            return Ok(());
+        }
+        let pi = to_pxml(&tree).expect("embedding succeeds");
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let a = pi.oid(&tree.children[0].name).unwrap();
+        let b = pi.oid(&tree.children[1].name).unwrap();
+        let pa = worlds.probability_that(|s| s.contains(a));
+        let pb = worlds.probability_that(|s| s.contains(b));
+        let joint = worlds.probability_that(|s| s.contains(a) && s.contains(b));
+        prop_assert!((joint - pa * pb).abs() < 1e-9);
+    }
+
+    /// Point/existential queries on embedded ProTDB trees use the compact
+    /// independent-OPF fast path (§3.2) and still match the oracle.
+    #[test]
+    fn compact_opf_queries_match_oracle(seed in 0u64..2000) {
+        let tree = random_prot_tree(seed);
+        let pi = to_pxml(&tree).expect("embedding succeeds");
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        for label in ["a", "b"] {
+            let Some(l) = pi.catalog().find_label(label) else { continue };
+            for len in 1..=2usize {
+                let q = pxml::algebra::PathExpr::new(pi.root(), vec![l; len]);
+                let e = pxml::query::exists_query(&pi, &q).expect("trees accepted");
+                let direct = worlds
+                    .probability_that(|s| !pxml::algebra::locate_sd(s, &q).is_empty());
+                prop_assert!((e - direct).abs() < 1e-9, "label {label} len {len}");
+                for o in pxml::algebra::locate_weak(&pi, &q) {
+                    let p = pxml::query::point_query(&pi, &q, o).expect("trees accepted");
+                    let d = worlds
+                        .probability_that(|s| pxml::algebra::satisfies_sd(s, &q, o));
+                    prop_assert!((p - d).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// SPO encodings assign exactly one value per variable in every world
+    /// and reproduce the per-variable marginals.
+    #[test]
+    fn spo_encoding_marginals(pa in 0.05f64..0.95, pb in 0.05f64..0.95) {
+        let vars = vec![
+            SpoVariable {
+                name: "v1".into(),
+                distribution: vec![(Value::Int(0), pa), (Value::Int(1), 1.0 - pa)],
+            },
+            SpoVariable {
+                name: "v2".into(),
+                distribution: vec![(Value::Int(0), pb), (Value::Int(1), 1.0 - pb)],
+            },
+        ];
+        let pi = encode_spo("table", &vars).expect("encoding succeeds");
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        prop_assert_eq!(worlds.len(), 4);
+        let v1_0 = pi.oid("v1=0").unwrap();
+        let v2_0 = pi.oid("v2=0").unwrap();
+        prop_assert!((worlds.probability_that(|s| s.contains(v1_0)) - pa).abs() < 1e-9);
+        prop_assert!((worlds.probability_that(|s| s.contains(v2_0)) - pb).abs() < 1e-9);
+        let l1 = pi.lid("v1").unwrap();
+        for (s, _) in worlds.iter() {
+            prop_assert_eq!(s.lch(pi.root(), l1).len(), 1);
+        }
+    }
+}

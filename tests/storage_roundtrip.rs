@@ -1,0 +1,94 @@
+//! Property tests: both persistence formats round-trip arbitrary
+//! generated instances without changing their semantics.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::core::worlds::enumerate_worlds;
+use pxml::core::ProbInstance;
+use pxml::storage::{from_binary, from_text, to_binary, to_text};
+
+use common::{random_dag, random_tree};
+
+/// A catalog-independent canonical form of a world: its sorted edge and
+/// leaf-value lists rendered through names. Two catalogs may intern the
+/// same names in different orders, so object/label ids are not comparable
+/// across a round trip — names are.
+fn canonical_key(s: &pxml::core::SdInstance) -> String {
+    let cat = s.catalog();
+    let mut parts: Vec<String> = Vec::new();
+    for o in s.objects() {
+        let node = s.node(o).expect("member");
+        let oname = cat.object_name(o);
+        if node.children().is_empty() && node.leaf().is_none() {
+            parts.push(format!("{oname}"));
+        }
+        for &(l, c) in node.children() {
+            parts.push(format!("{oname} -{}-> {}", cat.label_name(l), cat.object_name(c)));
+        }
+        if let Some((_, v)) = node.leaf() {
+            parts.push(format!("{oname} = {v}"));
+        }
+    }
+    parts.sort();
+    parts.join("\n")
+}
+
+/// Semantic equality through each instance's own catalog: identical
+/// world sets (matched by canonical form) with identical probabilities.
+fn assert_same_distribution(a: &ProbInstance, b: &ProbInstance) {
+    let wa = enumerate_worlds(a).expect("enumerable");
+    let wb = enumerate_worlds(b).expect("enumerable");
+    assert_eq!(wa.len(), wb.len());
+    let mut map = std::collections::HashMap::new();
+    for (s, p) in wa.iter() {
+        *map.entry(canonical_key(s)).or_insert(0.0) += p;
+    }
+    for (s, p) in wb.iter() {
+        let q = map.get(&canonical_key(s)).copied().unwrap_or(-1.0);
+        assert!((q - p).abs() < 1e-9, "world mismatch:\n{}", canonical_key(s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Text round trip on random trees and DAGs.
+    #[test]
+    fn text_round_trip(seed in 0u64..3000) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let parsed = from_text(&to_text(&pi)).expect("parses back");
+            assert_same_distribution(&pi, &parsed);
+        }
+    }
+
+    /// Binary round trip on random trees and DAGs.
+    #[test]
+    fn binary_round_trip(seed in 0u64..3000) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let decoded = from_binary(&to_binary(&pi)).expect("decodes back");
+            assert_same_distribution(&pi, &decoded);
+        }
+    }
+
+    /// Cross-format: text(parse(binary)) is stable — the two formats
+    /// agree on what the instance is.
+    #[test]
+    fn formats_agree(seed in 0u64..2000) {
+        let pi = random_dag(seed);
+        let via_binary = from_binary(&to_binary(&pi)).expect("binary");
+        let via_text = from_text(&to_text(&pi)).expect("text");
+        assert_same_distribution(&via_binary, &via_text);
+    }
+
+    /// Truncating a binary blob anywhere never panics and never yields a
+    /// valid instance with different semantics — it errors.
+    #[test]
+    fn truncated_binary_errors(seed in 0u64..500, frac in 0.01f64..0.99) {
+        let pi = random_tree(seed);
+        let bytes = to_binary(&pi);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(from_binary(&bytes[..cut]).is_err());
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! pxml <instance.pxml|instance.pxmlb> <query> [options]
 //! pxml <instance> --stdin                    # one query per input line
+//! pxml batch <instance> [queries.txt] [--threads N] [--stats]
 //!
 //! options:
 //!   --engine auto|tree|naive    engine selection (default auto)
@@ -15,7 +16,15 @@
 //! pxml fig2.pxml "POINT T2 IN R.book.title"
 //! pxml fig2.pxml "SELECT R.book = B1" --out conditioned.pxml
 //! pxml fig2.pxmlb "WORLDS TOP 5"
+//! pxml batch fig2.pxmlb queries.txt --threads 4 --stats
 //! ```
+//!
+//! `batch` answers one `POINT` / `EXISTS` / `CHAIN` query per input line
+//! (file, or stdin when no file is given) through
+//! `pxml_query::QueryEngine` — a shared marginalisation cache and
+//! optional multi-threaded fan-out — printing one result per line in
+//! input order. `--stats` reports the engine's cache/timing counters on
+//! stderr afterwards.
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -39,6 +48,9 @@ fn real_main() -> Result<(), String> {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return Ok(());
+    }
+    if args[0] == "batch" {
+        return run_batch(&args[1..]);
     }
     let mut instance_path: Option<PathBuf> = None;
     let mut query: Option<String> = None;
@@ -118,6 +130,128 @@ fn run_one(
     Ok(())
 }
 
+/// `pxml batch <instance> [queries.txt] [--threads N] [--stats]`.
+///
+/// Queries come one per line (blank lines and `#` comments skipped) from
+/// the file, or from stdin when no file is given. Only the probability
+/// queries the batch engine supports are accepted: `POINT`, `EXISTS`,
+/// `CHAIN`. Results print to stdout in input order — `{p:.6}` on
+/// success, `error: …` for a per-query failure (which does not abort the
+/// rest of the batch).
+fn run_batch(args: &[String]) -> Result<(), String> {
+    let mut instance_path: Option<PathBuf> = None;
+    let mut queries_path: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut show_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).ok_or("--threads needs a count")?;
+                threads = Some(n.parse().map_err(|_| format!("bad thread count {n:?}"))?);
+            }
+            "--stats" => show_stats = true,
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg if queries_path.is_none() => queries_path = Some(PathBuf::from(arg)),
+            arg => return Err(format!("unexpected argument {arg:?}")),
+        }
+        i += 1;
+    }
+    let instance_path = instance_path.ok_or("missing instance file")?;
+    let pi = load(&instance_path)?;
+
+    let text = match &queries_path {
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())),
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                .map_err(|e| e.to_string())?;
+            Ok(buf)
+        }
+    }?;
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+
+    // Translate each line; per-line failures keep their slot so output
+    // order matches input order.
+    let mut translated: Vec<Result<pxml_query::Query, String>> = Vec::with_capacity(lines.len());
+    for line in &lines {
+        translated.push(translate_batch_query(&pi, line));
+    }
+    let batch: Vec<pxml_query::Query> =
+        translated.iter().filter_map(|t| t.as_ref().ok()).cloned().collect();
+
+    let engine = match threads {
+        Some(n) => pxml_query::QueryEngine::with_threads(pi, n),
+        None => pxml_query::QueryEngine::new(pi),
+    };
+    let answers = engine.run_batch(&batch);
+
+    let mut next_answer = answers.into_iter();
+    for t in &translated {
+        match t {
+            Ok(_) => match next_answer.next().expect("one answer per translated query") {
+                Ok(p) => println!("{p:.6}"),
+                Err(e) => println!("error: {e}"),
+            },
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    if show_stats {
+        eprintln!("{}", engine.stats());
+    }
+    Ok(())
+}
+
+/// Parses one `batch` input line and resolves it onto the engine's query
+/// type. Non-probability queries are rejected with a pointer at the
+/// single-query mode.
+fn translate_batch_query(pi: &ProbInstance, line: &str) -> Result<pxml_query::Query, String> {
+    use pxml_ql::ast::{PathText, Query as Ast};
+    let resolve_object = |name: &str| {
+        pi.catalog().find_object(name).ok_or_else(|| format!("unknown name {name:?}"))
+    };
+    let resolve_path = |path: &PathText| -> Result<pxml_algebra::PathExpr, String> {
+        let root = resolve_object(&path.root)?;
+        let labels = path
+            .labels
+            .iter()
+            .map(|l| pi.catalog().find_label(l).ok_or_else(|| format!("unknown name {l:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(pxml_algebra::PathExpr::new(root, labels))
+    };
+    match parse(line).map_err(|e| e.to_string())? {
+        Ast::Point { object, path } => Ok(pxml_query::Query::Point {
+            path: resolve_path(&path)?,
+            object: resolve_object(&object)?,
+        }),
+        Ast::Exists { path } => Ok(pxml_query::Query::Exists { path: resolve_path(&path)? }),
+        Ast::Chain { objects } => Ok(pxml_query::Query::Chain {
+            objects: objects
+                .iter()
+                .map(|n| resolve_object(n))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        other => {
+            let keyword = match other {
+                Ast::Project { .. } => "PROJECT",
+                Ast::SelectObject { .. } | Ast::SelectValue { .. } => "SELECT",
+                Ast::Prob { .. } => "PROB",
+                Ast::Worlds { .. } => "WORLDS",
+                Ast::Render => "RENDER",
+                _ => "this query",
+            };
+            Err(format!(
+                "batch mode answers POINT/EXISTS/CHAIN only; run {keyword} through the single-query mode"
+            ))
+        }
+    }
+}
+
 fn load(path: &Path) -> Result<ProbInstance, String> {
     let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
     if is_binary {
@@ -143,6 +277,7 @@ fn print_usage() {
 usage:
   pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
   pxml <instance> --stdin
+  pxml batch <instance> [queries.txt] [--threads N] [--stats]
 
 queries:
   PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>

@@ -155,7 +155,7 @@ impl ChildSet {
     }
 
     /// Builds a set from child object ids, which must all be in `universe`.
-    pub fn from_objects<'a>(
+    pub fn from_objects(
         universe: &ChildUniverse,
         objects: impl IntoIterator<Item = ObjectId>,
     ) -> Option<Self> {

@@ -93,8 +93,11 @@ impl GlobalInterpretation {
             // Group worlds containing o by the restriction of the world to
             // the non-descendants of o.
             let non_des = self.weak.non_descendants(o);
-            let mut groups: HashMap<Vec<Option<ChoiceKey>>, (HashMap<ChoiceKey, f64>, f64)> =
-                HashMap::new();
+            // Restriction of a world to o's non-descendants → (conditional
+            // choice distribution of o, group mass).
+            type Restriction = Vec<Option<ChoiceKey>>;
+            type GroupDist = (HashMap<ChoiceKey, f64>, f64);
+            let mut groups: HashMap<Restriction, GroupDist> = HashMap::new();
             for (s, p) in self.table.iter() {
                 let Some(key) = choice_key(&self.weak, s, o) else { continue };
                 let restriction: Vec<Option<ChoiceKey>> = non_des

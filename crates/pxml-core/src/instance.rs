@@ -68,7 +68,7 @@ pub struct SdInstance {
 impl SdInstance {
     /// Starts building an instance with a fresh catalog.
     pub fn builder() -> SdInstanceBuilder {
-        SdInstanceBuilder { catalog: CatalogHandle::Owned(Catalog::new()), nodes: IdMap::new() }
+        SdInstanceBuilder { catalog: CatalogHandle::Owned(Box::new(Catalog::new())), nodes: IdMap::new() }
     }
 
     /// Starts building an instance over an existing shared catalog (used
@@ -375,7 +375,7 @@ impl fmt::Display for SdInstance {
 /// Catalog being either built locally or shared.
 #[derive(Debug)]
 enum CatalogHandle {
-    Owned(Catalog),
+    Owned(Box<Catalog>),
     Shared(Arc<Catalog>),
 }
 
@@ -396,7 +396,7 @@ impl CatalogHandle {
     }
     fn into_arc(self) -> Arc<Catalog> {
         match self {
-            CatalogHandle::Owned(c) => Arc::new(c),
+            CatalogHandle::Owned(c) => Arc::new(*c),
             CatalogHandle::Shared(c) => c,
         }
     }

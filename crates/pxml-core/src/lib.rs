@@ -51,6 +51,7 @@ pub mod hitting;
 pub mod ids;
 pub mod instance;
 pub mod opf;
+pub mod pathkey;
 pub mod potential;
 pub mod prob_instance;
 pub mod types;
@@ -66,6 +67,7 @@ pub use global::GlobalInterpretation;
 pub use ids::{IdMap, Label, ObjectId, TypeId};
 pub use instance::{SdInstance, SdInstanceBuilder, SdNode};
 pub use opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
+pub use pathkey::{LabelPath, PathSuffix};
 pub use prob_instance::{ProbInstance, ProbInstanceBuilder};
 pub use types::{LeafType, TypeTable};
 pub use value::Value;

@@ -245,8 +245,11 @@ impl EnumState<'_> {
     }
 
     fn emit(&mut self, prob: f64) {
+        // One world node awaiting insertion: (object, children, leaf value).
+        type PendingNode =
+            (ObjectId, Vec<(crate::ids::Label, ObjectId)>, Option<(crate::ids::TypeId, Value)>);
         let mut nodes: IdMap<ObjectKind, SdNode> = IdMap::new();
-        let mut builder_nodes: Vec<(ObjectId, Vec<(crate::ids::Label, ObjectId)>, Option<(crate::ids::TypeId, Value)>)> = Vec::new();
+        let mut builder_nodes: Vec<PendingNode> = Vec::new();
         for (i, &o) in self.order.iter().enumerate() {
             if !self.included[i] {
                 continue;

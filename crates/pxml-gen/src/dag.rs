@@ -69,9 +69,9 @@ pub fn random_dag_with(seed: u64, cfg: &DagConfig) -> ProbInstance {
     let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
     for j in 1..n {
         let mut got_parent = false;
-        for i in 0..j {
-            if children[i].len() < cfg.max_children && rng.gen_bool(cfg.edge_prob) {
-                children[i].push((j, rng.gen_range(0..labels.len())));
+        for child_list in children.iter_mut().take(j) {
+            if child_list.len() < cfg.max_children && rng.gen_bool(cfg.edge_prob) {
+                child_list.push((j, rng.gen_range(0..labels.len())));
                 got_parent = true;
             }
         }

@@ -35,7 +35,7 @@ pub fn generate(config: &WorkloadConfig) -> GeneratedInstance {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let b = config.branching;
     let d = config.depth;
-    assert!(b >= 1 && b <= 63, "branching factor must be in 1..=63");
+    assert!((1..=63).contains(&b), "branching factor must be in 1..=63");
     assert!(d >= 1, "depth must be at least 1");
 
     let mut catalog = Catalog::new();

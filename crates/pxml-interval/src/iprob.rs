@@ -80,8 +80,8 @@ pub fn tighten(intervals: &[Interval]) -> Option<Vec<Interval>> {
                 let others_hi = sum_hi - i.hi;
                 let others_lo = sum_lo - i.lo;
                 Interval {
-                    lo: i.lo.max(1.0 - others_hi).min(1.0).max(0.0),
-                    hi: i.hi.min(1.0 - others_lo).min(1.0).max(0.0),
+                    lo: i.lo.max(1.0 - others_hi).clamp(0.0, 1.0),
+                    hi: i.hi.min(1.0 - others_lo).clamp(0.0, 1.0),
                 }
             })
             .collect(),

@@ -68,7 +68,7 @@ impl ProtTree {
     /// ProTDB semantics: the product of the independent existence
     /// probabilities along the chain.
     pub fn chain_probability(&self, names: &[&str]) -> Option<f64> {
-        let Some((&first, rest)) = names.split_first() else { return None };
+        let (&first, rest) = names.split_first()?;
         if first != self.root {
             return None;
         }

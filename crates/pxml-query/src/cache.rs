@@ -1,0 +1,150 @@
+//! The shared marginalisation cache behind [`crate::engine::QueryEngine`].
+//!
+//! Four memo tables, each guarded by its own [`parking_lot::RwLock`] so
+//! concurrent workers contend only on the table they touch:
+//!
+//! * **results** — whole-query memo: `Query → Result<f64>`. Duplicate
+//!   queries in a batch (common in generated workloads, where distinct
+//!   path expressions are few) cost one lookup.
+//! * **layers** — the forward locate pass of `layers_weak`, keyed by
+//!   `(root, full label path)`. Every query over the same path expression
+//!   shares one traversal.
+//! * **eps** — ε marginals keyed by [`EpsKey`]: `(object, path *suffix*,
+//!   target key)`. The §6.2 survival recursion below an object `x` at
+//!   depth `d` never consults anything above `x`, so its value depends
+//!   only on `x`, the remaining labels `p[d..]`, and which final-layer
+//!   objects count as targets. Keying by suffix (not whole path) lets
+//!   queries with different prefixes but identical tails share subtree
+//!   marginals; a hit prunes the entire recursion below `x`.
+//! * **links** — per-OPF child marginals `(parent, universe position) →
+//!   P(child present)` used by chain queries.
+//!
+//! ## Why the ε key is sound
+//!
+//! The kept region below `x` is (forward reachability from `x` along the
+//! suffix labels) ∩ (backward reachability from the targets). For a
+//! *point* query the target set is the single queried object —
+//! [`TargetKey::One`]. For an *exists* query the targets are **all**
+//! objects located at the final layer; since `x` itself is located at
+//! depth `d`, every leaf reachable from `x` along the suffix is located,
+//! so the kept region below `x` is the full forward reachability —
+//! independent of the query's prefix. Both keys therefore determine the
+//! kept region below `x` exactly, and with it the ε value (bit-for-bit:
+//! the recursion order is universe order in both the engine and the
+//! sequential code, which share one implementation).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pxml_core::{LabelPath, ObjectId, PathSuffix};
+
+use crate::engine::Query;
+use crate::error::Result;
+
+/// Which final-layer objects the ε recursion treats as targets.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TargetKey {
+    /// A single target object — point queries (Definition 6.1).
+    One(ObjectId),
+    /// Every object located at the final layer — exists queries.
+    AllLocated,
+}
+
+/// Cache key for one memoised ε marginal: the value of `ε_x` where `x`
+/// sits `suffix.len()` labels above the targets.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EpsKey {
+    /// The object whose ε is memoised.
+    pub object: ObjectId,
+    /// The labels remaining below `object` (hashed by content, so equal
+    /// tails of different paths unify).
+    pub suffix: PathSuffix,
+    /// The target selector at the final layer.
+    pub target: TargetKey,
+}
+
+/// Per-depth located layers, shared between queries over the same path.
+type LayerTable = HashMap<(ObjectId, LabelPath), Arc<Vec<Vec<ObjectId>>>>;
+
+/// The shared cache. Cheap to clone the handle (`Arc` inside the engine);
+/// all tables are independently locked.
+#[derive(Debug, Default)]
+pub struct MarginalCache {
+    results: RwLock<HashMap<Query, Result<f64>>>,
+    layers: RwLock<LayerTable>,
+    eps: RwLock<HashMap<EpsKey, f64>>,
+    links: RwLock<HashMap<(ObjectId, u32), f64>>,
+}
+
+impl MarginalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whole-query lookup.
+    pub fn get_result(&self, q: &Query) -> Option<Result<f64>> {
+        self.results.read().get(q).cloned()
+    }
+
+    /// Whole-query insert.
+    pub fn put_result(&self, q: Query, r: Result<f64>) {
+        self.results.write().insert(q, r);
+    }
+
+    /// Located-layers lookup for `(root, path labels)`.
+    pub fn get_layers(&self, root: ObjectId, path: &LabelPath) -> Option<Arc<Vec<Vec<ObjectId>>>> {
+        self.layers.read().get(&(root, path.clone())).cloned()
+    }
+
+    /// Located-layers insert.
+    pub fn put_layers(&self, root: ObjectId, path: LabelPath, layers: Arc<Vec<Vec<ObjectId>>>) {
+        self.layers.write().insert((root, path), layers);
+    }
+
+    /// ε-marginal lookup.
+    pub fn get_eps(&self, key: &EpsKey) -> Option<f64> {
+        self.eps.read().get(key).copied()
+    }
+
+    /// ε-marginal insert.
+    pub fn put_eps(&self, key: EpsKey, value: f64) {
+        self.eps.write().insert(key, value);
+    }
+
+    /// Chain-link marginal lookup: `P(child at universe position ∈
+    /// children(parent))`.
+    pub fn get_link(&self, parent: ObjectId, pos: u32) -> Option<f64> {
+        self.links.read().get(&(parent, pos)).copied()
+    }
+
+    /// Chain-link marginal insert.
+    pub fn put_link(&self, parent: ObjectId, pos: u32, value: f64) {
+        self.links.write().insert((parent, pos), value);
+    }
+
+    /// Drops every memoised entry (all four tables).
+    pub fn clear(&self) {
+        self.results.write().clear();
+        self.layers.write().clear();
+        self.eps.write().clear();
+        self.links.write().clear();
+    }
+
+    /// Entry counts `(results, layers, eps, links)` — used by stats
+    /// reporting and tests.
+    pub fn len(&self) -> (usize, usize, usize, usize) {
+        (
+            self.results.read().len(),
+            self.layers.read().len(),
+            self.eps.read().len(),
+            self.links.read().len(),
+        )
+    }
+
+    /// True when no table holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0, 0, 0)
+    }
+}

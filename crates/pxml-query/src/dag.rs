@@ -60,9 +60,9 @@ fn matching_chains(
     // arriving at `depth`.
     let mut current: HashMap<ObjectId, Vec<Vec<ObjectId>>> = HashMap::new();
     current.insert(pi.root(), vec![vec![pi.root()]]);
-    for depth in 0..n {
+    for (depth, layer) in layers.iter().enumerate().take(n) {
         let mut next: HashMap<ObjectId, Vec<Vec<ObjectId>>> = HashMap::new();
-        for &parent in &layers[depth] {
+        for &parent in layer {
             let Some(parent_chains) = current.get(&parent) else { continue };
             let node = pi.weak().node(parent).expect("layer member");
             for (pos, child, label) in node.universe().iter() {

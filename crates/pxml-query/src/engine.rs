@@ -1,0 +1,449 @@
+//! The batch query engine: shared-cache, multi-threaded evaluation of
+//! point / exists / chain query batches over one [`ProbInstance`].
+//!
+//! A [`QueryEngine`] owns the instance, a [`MarginalCache`] shared by
+//! every query it answers, and an [`EngineStats`] counter block. Batches
+//! fan out over `crossbeam` scoped worker threads pulling query indices
+//! from an atomic counter; results land in per-index slots, so the output
+//! vector order always matches the input order regardless of thread
+//! count.
+//!
+//! Engine answers are **exactly** (`==`, not within-epsilon) the answers
+//! of the sequential functions [`crate::point_query`],
+//! [`crate::exists_query`] and [`crate::chain_probability`]: all four
+//! share one ε/marginal implementation, the engine only adds memo
+//! lookups, and a memoised value is bit-identical to what the recursion
+//! would recompute (see `crate::cache` for the key-soundness argument).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pxml_algebra::locate::layers_weak;
+use pxml_algebra::path::PathExpr;
+use pxml_core::{LabelPath, ObjectId, ProbInstance};
+use std::sync::Arc;
+
+use crate::cache::{EpsKey, MarginalCache, TargetKey};
+use crate::error::{QueryError, Result};
+use crate::point::{epsilon_root_with, EpsHook};
+use crate::stats::{EngineStats, StatsSnapshot};
+
+/// One query in a batch.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `P(o ∈ p)` — [`crate::point_query`] (Definition 6.1).
+    Point {
+        /// The path expression.
+        path: PathExpr,
+        /// The queried object.
+        object: ObjectId,
+    },
+    /// `P(∃o: o ∈ p)` — [`crate::exists_query`].
+    Exists {
+        /// The path expression.
+        path: PathExpr,
+    },
+    /// `P(r.o₁.….oᵢ)` — [`crate::chain_probability`].
+    Chain {
+        /// The object chain, starting at the root.
+        objects: Vec<ObjectId>,
+    },
+}
+
+impl Query {
+    /// Convenience constructor for a point query.
+    pub fn point(path: PathExpr, object: ObjectId) -> Self {
+        Query::Point { path, object }
+    }
+
+    /// Convenience constructor for an exists query.
+    pub fn exists(path: PathExpr) -> Self {
+        Query::Exists { path }
+    }
+
+    /// Convenience constructor for a chain query.
+    pub fn chain(objects: impl Into<Vec<ObjectId>>) -> Self {
+        Query::Chain { objects: objects.into() }
+    }
+}
+
+/// Batch query engine over one probabilistic instance.
+#[derive(Debug)]
+pub struct QueryEngine {
+    pi: ProbInstance,
+    cache: MarginalCache,
+    stats: EngineStats,
+    threads: usize,
+}
+
+impl QueryEngine {
+    /// An engine with as many workers as the machine has cores.
+    pub fn new(pi: ProbInstance) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(pi, threads)
+    }
+
+    /// An engine with exactly `threads` workers (clamped to ≥ 1).
+    /// `threads == 1` evaluates batches inline with no thread spawns.
+    pub fn with_threads(pi: ProbInstance, threads: usize) -> Self {
+        QueryEngine {
+            pi,
+            cache: MarginalCache::new(),
+            stats: EngineStats::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The instance being queried.
+    pub fn instance(&self) -> &ProbInstance {
+        &self.pi
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the worker count (clamped to ≥ 1). The cache is kept.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the counters (the cache is kept).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Drops every memoised value. Counters are kept.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Entry counts of the four cache tables
+    /// `(results, layers, eps, links)`.
+    pub fn cache_len(&self) -> (usize, usize, usize, usize) {
+        self.cache.len()
+    }
+
+    /// Consumes the engine, returning the instance.
+    pub fn into_instance(self) -> ProbInstance {
+        self.pi
+    }
+
+    /// Answers one query through the shared cache.
+    pub fn run(&self, q: &Query) -> Result<f64> {
+        self.stats.count_query();
+        if let Some(r) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return r;
+        }
+        self.stats.count_result(false);
+        let r = self.evaluate(q);
+        self.cache.put_result(q.clone(), r.clone());
+        r
+    }
+
+    /// Answers a batch; `results[i]` corresponds to `queries[i]`. With
+    /// more than one configured worker the batch fans out over scoped
+    /// threads sharing the cache; the result order is positional either
+    /// way, and the values are identical for any worker count.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<f64>> {
+        let start = Instant::now();
+        let out = if self.threads == 1 || queries.len() <= 1 {
+            queries.iter().map(|q| self.run(q)).collect()
+        } else {
+            let slots: Vec<Mutex<Option<Result<f64>>>> =
+                queries.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = self.threads.min(queries.len());
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        *slots[i].lock() = Some(self.run(&queries[i]));
+                    });
+                }
+            })
+            .expect("batch worker panicked");
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("every index was claimed"))
+                .collect()
+        };
+        self.stats.add_batch(start.elapsed());
+        out
+    }
+
+    fn evaluate(&self, q: &Query) -> Result<f64> {
+        match q {
+            Query::Point { path, object } => self.eval_point(path, *object),
+            Query::Exists { path } => self.eval_exists(path),
+            Query::Chain { objects } => self.eval_chain(objects),
+        }
+    }
+
+    /// The locate pass of `layers_weak`, memoised per
+    /// `(path root, label sequence)`.
+    fn layers_for(&self, path: &PathExpr, labels: &LabelPath) -> Arc<Vec<Vec<ObjectId>>> {
+        let start = Instant::now();
+        let layers = match self.cache.get_layers(path.root, labels) {
+            Some(l) => {
+                self.stats.count_layers(true);
+                l
+            }
+            None => {
+                self.stats.count_layers(false);
+                let l = Arc::new(layers_weak(self.pi.weak(), path));
+                self.cache.put_layers(path.root, labels.clone(), Arc::clone(&l));
+                l
+            }
+        };
+        self.stats.add_locate(start.elapsed());
+        layers
+    }
+
+    fn eval_point(&self, path: &PathExpr, object: ObjectId) -> Result<f64> {
+        let labels = LabelPath::from(&path.labels[..]);
+        let layers = self.layers_for(path, &labels);
+        // Mirrors `point_query`: absent from the located layer ⇒ 0.
+        if layers.last().is_none_or(|l| l.binary_search(&object).is_err()) {
+            return Ok(0.0);
+        }
+        let start = Instant::now();
+        let mut hook = CacheHook {
+            cache: &self.cache,
+            stats: &self.stats,
+            path: labels,
+            target: TargetKey::One(object),
+        };
+        let r = epsilon_root_with(&self.pi, path, &layers, &[object], &mut hook);
+        self.stats.add_marginal(start.elapsed());
+        r
+    }
+
+    fn eval_exists(&self, path: &PathExpr) -> Result<f64> {
+        let labels = LabelPath::from(&path.labels[..]);
+        let layers = self.layers_for(path, &labels);
+        // Mirrors `exists_query`: nothing located ⇒ 0.
+        let located = layers.last().cloned().unwrap_or_default();
+        if located.is_empty() {
+            return Ok(0.0);
+        }
+        let start = Instant::now();
+        let mut hook = CacheHook {
+            cache: &self.cache,
+            stats: &self.stats,
+            path: labels,
+            target: TargetKey::AllLocated,
+        };
+        let r = epsilon_root_with(&self.pi, path, &layers, &located, &mut hook);
+        self.stats.add_marginal(start.elapsed());
+        r
+    }
+
+    /// `chain_probability` with the per-link marginal memoised. The memo
+    /// is only written after a successful OPF lookup, so the error
+    /// behaviour (node → position → OPF, in that order) is unchanged.
+    fn eval_chain(&self, chain: &[ObjectId]) -> Result<f64> {
+        let start = Instant::now();
+        let r = self.eval_chain_inner(chain);
+        self.stats.add_marginal(start.elapsed());
+        r
+    }
+
+    fn eval_chain_inner(&self, chain: &[ObjectId]) -> Result<f64> {
+        let Some((&first, rest)) = chain.split_first() else {
+            return Err(QueryError::EmptyChain);
+        };
+        if first != self.pi.root() {
+            return Err(QueryError::ChainMustStartAtRoot);
+        }
+        let mut p = 1.0;
+        let mut parent = first;
+        for &child in rest {
+            let node = self
+                .pi
+                .weak()
+                .node(parent)
+                .ok_or(QueryError::UnknownObject(parent))?;
+            let pos = node
+                .universe()
+                .position(child)
+                .ok_or(QueryError::NotAChild { parent, child })?;
+            let m = match self.cache.get_link(parent, pos) {
+                Some(m) => {
+                    self.stats.count_link(true);
+                    m
+                }
+                None => {
+                    self.stats.count_link(false);
+                    let opf = self.pi.opf(parent).ok_or(QueryError::UnknownObject(parent))?;
+                    self.stats.add_opf_entries(opf.stored_len() as u64);
+                    let m = opf.marginal_present(pos);
+                    self.cache.put_link(parent, pos, m);
+                    m
+                }
+            };
+            p *= m;
+            if p == 0.0 {
+                return Ok(0.0);
+            }
+            parent = child;
+        }
+        Ok(p)
+    }
+}
+
+/// The [`EpsHook`] wiring the shared ε memo and counters into the
+/// recursion of `crate::point::eps_at`.
+struct CacheHook<'a> {
+    cache: &'a MarginalCache,
+    stats: &'a EngineStats,
+    path: LabelPath,
+    target: TargetKey,
+}
+
+impl CacheHook<'_> {
+    fn key(&self, x: ObjectId, depth: usize) -> EpsKey {
+        EpsKey { object: x, suffix: self.path.suffix(depth), target: self.target.clone() }
+    }
+}
+
+impl EpsHook for CacheHook<'_> {
+    fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64> {
+        let hit = self.cache.get_eps(&self.key(x, depth));
+        self.stats.count_eps(hit.is_some());
+        hit
+    }
+
+    fn put(&mut self, x: ObjectId, depth: usize, value: f64) {
+        self.cache.put_eps(self.key(x, depth), value);
+    }
+
+    fn visited_opf_entries(&mut self, entries: u64) {
+        self.stats.add_opf_entries(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chain_probability, exists_query, point_query};
+    use pxml_core::fixtures::{chain as chain_fixture, fig2_instance};
+
+    fn parse(pi: &ProbInstance, text: &str) -> PathExpr {
+        PathExpr::parse(pi.catalog(), text).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_functions_exactly() {
+        let pi = fig2_instance();
+        let t2 = pi.oid("T2").unwrap();
+        let a1 = pi.oid("A1").unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        let i1 = pi.oid("I1").unwrap();
+        let title = parse(&pi, "R.book.title");
+        let author = parse(&pi, "R.book.author");
+        let queries = vec![
+            Query::point(title.clone(), t2),
+            Query::exists(title.clone()),
+            Query::point(author.clone(), a1), // NotTreeShaped on Figure 2
+            Query::chain([pi.root(), b1, a1, i1]),
+            Query::point(title.clone(), t2), // duplicate → result-cache hit
+        ];
+        let engine = QueryEngine::with_threads(pi, 1);
+        let got = engine.run_batch(&queries);
+        let pi = engine.instance();
+        assert_eq!(got[0], point_query(pi, &title, t2));
+        assert_eq!(got[1], exists_query(pi, &title));
+        assert_eq!(got[2], point_query(pi, &author, a1));
+        assert!(got[2].is_err());
+        assert_eq!(got[3], chain_probability(pi, &[pi.root(), b1, a1, i1]));
+        assert_eq!(got[4], got[0]);
+        let snap = engine.stats();
+        assert_eq!(snap.queries_run, 5);
+        assert_eq!(snap.result_hits, 1);
+        assert_eq!(snap.result_misses, 4);
+        assert!(snap.layers_hits >= 1, "title path located once, reused");
+    }
+
+    #[test]
+    fn eps_cache_shares_suffixes_across_point_targets() {
+        let pi = chain_fixture(3, 0.5);
+        let o3 = pi.oid("o3").unwrap();
+        let p = parse(&pi, "r.next.next.next");
+        let engine = QueryEngine::with_threads(pi, 1);
+        let a = engine.run(&Query::point(p.clone(), o3)).unwrap();
+        // Same path again as a *different* Query value: exists — the
+        // whole-query memo misses but layers are shared.
+        let b = engine.run(&Query::exists(p.clone())).unwrap();
+        assert_eq!(a, b, "on a chain the sole target is the located set");
+        let snap = engine.stats();
+        assert_eq!(snap.layers_misses, 1);
+        assert_eq!(snap.layers_hits, 1);
+        let (results, layers, eps, links) = engine.cache_len();
+        assert_eq!(results, 2);
+        assert_eq!(layers, 1);
+        assert!(eps > 0);
+        assert_eq!(links, 0);
+    }
+
+    #[test]
+    fn chain_links_are_memoised() {
+        let pi = chain_fixture(3, 0.5);
+        let o1 = pi.oid("o1").unwrap();
+        let o2 = pi.oid("o2").unwrap();
+        let o3 = pi.oid("o3").unwrap();
+        let r = pi.root();
+        let engine = QueryEngine::with_threads(pi, 1);
+        let full = engine.run(&Query::chain([r, o1, o2, o3])).unwrap();
+        let prefix = engine.run(&Query::chain([r, o1, o2])).unwrap();
+        assert!((full - 0.125).abs() < 1e-12);
+        assert!((prefix - 0.25).abs() < 1e-12);
+        let snap = engine.stats();
+        assert_eq!(snap.link_misses, 3, "three distinct links");
+        assert_eq!(snap.link_hits, 2, "prefix chain reuses both links");
+    }
+
+    #[test]
+    fn multi_threaded_batch_preserves_order_and_values() {
+        let pi = chain_fixture(4, 0.7);
+        let p = parse(&pi, "r.next.next");
+        let o2 = pi.oid("o2").unwrap();
+        let mut queries = Vec::new();
+        for _ in 0..40 {
+            queries.push(Query::exists(p.clone()));
+            queries.push(Query::point(p.clone(), o2));
+        }
+        let seq = QueryEngine::with_threads(chain_fixture(4, 0.7), 1);
+        let par = QueryEngine::with_threads(pi, 4);
+        assert_eq!(seq.run_batch(&queries), par.run_batch(&queries));
+    }
+
+    #[test]
+    fn clear_cache_and_reset_stats() {
+        let pi = chain_fixture(2, 0.5);
+        let p = parse(&pi, "r.next");
+        let mut engine = QueryEngine::new(pi);
+        assert!(engine.threads() >= 1);
+        engine.set_threads(2);
+        assert_eq!(engine.threads(), 2);
+        engine.run(&Query::exists(p)).unwrap();
+        assert_ne!(engine.cache_len(), (0, 0, 0, 0));
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), (0, 0, 0, 0));
+        engine.reset_stats();
+        assert_eq!(engine.stats().queries_run, 0);
+        let pi = engine.into_instance();
+        assert_eq!(pi.object_count(), 3);
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`conditional`] — point queries composed with selection
 //!   (Definition 5.6), answering the "now we know B1 surely exists"
 //!   scenario of Section 2.
+//! * [`engine::QueryEngine`] — batch evaluation of the above through a
+//!   shared marginalisation cache ([`cache::MarginalCache`]), with
+//!   optional multi-threaded fan-out and [`stats::EngineStats`]
+//!   instrumentation. Engine answers are exactly equal (`==`) to the
+//!   sequential functions' answers — they share one ε implementation.
 //!
 //! The ε computations assume tree-shaped kept regions (the standing
 //! assumption of Section 6) and return [`QueryError::NotTreeShaped`]
@@ -20,14 +25,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod chain;
 pub mod conditional;
 pub mod dag;
+pub mod engine;
 pub mod error;
 pub mod point;
+pub mod stats;
 
+pub use cache::{EpsKey, MarginalCache, TargetKey};
 pub use chain::{chain_probability, chain_probability_named};
 pub use dag::{exists_query_dag, point_query_dag};
 pub use conditional::{conditional_exists_query, conditional_point_query, presence_probability};
+pub use engine::{Query, QueryEngine};
 pub use error::{QueryError, Result};
 pub use point::{exists_query, point_query};
+pub use stats::{EngineStats, StatsSnapshot};

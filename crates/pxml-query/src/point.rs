@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
 use pxml_algebra::project_sd::kept_roles;
-use pxml_core::{ObjectId, ProbInstance};
+use pxml_core::{Label, ObjectId, ProbInstance};
 
 use crate::error::{QueryError, Result};
 
@@ -42,16 +42,42 @@ pub fn exists_query(pi: &ProbInstance, p: &PathExpr) -> Result<f64> {
     epsilon_root(pi, p, &layers, &located)
 }
 
-/// The ε computation over the kept region determined by `targets`.
-///
-/// Requires the kept region to be tree-shaped (each kept object has one
-/// kept role and one kept parent), the standing assumption of Section 6.
-fn epsilon_root(
+/// Observer/memo hook threaded through the ε computation so the batch
+/// engine (`crate::engine`) can share per-`(object, path-suffix)`
+/// marginals across queries. The sequential entry points use [`NoHook`];
+/// a hook must only ever return values previously computed for the same
+/// `(object, depth-suffix, target)` triple — the recursion below an
+/// object never looks above it, so such values are bit-identical to what
+/// would be recomputed.
+pub(crate) trait EpsHook {
+    /// A previously memoised ε for `x` at `depth`, if any.
+    fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64>;
+    /// Memoises a freshly computed ε for `x` at `depth`.
+    fn put(&mut self, x: ObjectId, depth: usize, value: f64);
+    /// Reports OPF entries visited by one survival evaluation.
+    fn visited_opf_entries(&mut self, entries: u64);
+}
+
+/// The do-nothing hook used by the sequential query functions.
+pub(crate) struct NoHook;
+
+impl EpsHook for NoHook {
+    fn get(&mut self, _x: ObjectId, _depth: usize) -> Option<f64> {
+        None
+    }
+    fn put(&mut self, _x: ObjectId, _depth: usize, _value: f64) {}
+    fn visited_opf_entries(&mut self, _entries: u64) {}
+}
+
+/// Builds the kept region for `targets` and verifies it is tree-shaped
+/// (each kept object has one kept role and one kept parent), the
+/// standing assumption of Section 6.
+pub(crate) fn kept_region(
     pi: &ProbInstance,
     p: &PathExpr,
     layers: &[Vec<ObjectId>],
     targets: &[ObjectId],
-) -> Result<f64> {
+) -> Result<Vec<Vec<ObjectId>>> {
     let n = p.labels.len();
     // Restrict the final layer to the requested targets before the
     // backward kept-roles pass.
@@ -93,31 +119,69 @@ fn epsilon_root(
             }
         }
     }
+    Ok(kept)
+}
 
-    // Bottom-up ε propagation.
-    let mut eps: HashMap<ObjectId, f64> = HashMap::new();
-    for &t in &kept[n] {
-        eps.insert(t, 1.0);
+/// Top-down ε evaluation over a verified tree-shaped kept region:
+/// `ε_x = ℘(x)-survival over kept children`, `ε = 1` at depth `n`.
+/// `hook` may supply memoised subtree values, skipping their recursion.
+fn eps_at(
+    pi: &ProbInstance,
+    labels: &[Label],
+    kept: &[Vec<ObjectId>],
+    x: ObjectId,
+    depth: usize,
+    hook: &mut dyn EpsHook,
+) -> Result<f64> {
+    if depth == labels.len() {
+        return Ok(1.0);
     }
-    for depth in (0..n).rev() {
-        for &x in &kept[depth] {
-            let node = pi.weak().node(x).expect("kept object exists");
-            let opf = pi.opf(x).ok_or(QueryError::UnknownObject(x))?;
-            // Universe positions of x's kept children.
-            let kept_children: Vec<(u32, f64)> = node
-                .universe()
-                .iter()
-                .filter(|&(_, c, l)| {
-                    l == p.labels[depth] && kept[depth + 1].binary_search(&c).is_ok()
-                })
-                .map(|(pos, c, _)| (pos, eps.get(&c).copied().unwrap_or(0.0)))
-                .collect();
-            // Compact OPFs are evaluated in closed form (§3.2), explicit
-            // tables by iteration — see `Opf::survival_probability`.
-            eps.insert(x, opf.survival_probability(&kept_children));
+    if let Some(v) = hook.get(x, depth) {
+        return Ok(v);
+    }
+    let node = pi.weak().node(x).expect("kept object exists");
+    let opf = pi.opf(x).ok_or(QueryError::UnknownObject(x))?;
+    // Universe positions of x's kept children, in universe order — the
+    // recursion order is deterministic, so ε values are bit-stable
+    // across evaluations (and thus safe to share between queries).
+    let mut kept_children: Vec<(u32, f64)> = Vec::new();
+    for (pos, c, l) in node.universe().iter() {
+        if l == labels[depth] && kept[depth + 1].binary_search(&c).is_ok() {
+            kept_children.push((pos, eps_at(pi, labels, kept, c, depth + 1, hook)?));
         }
     }
-    Ok(eps.get(&pi.root()).copied().unwrap_or(0.0))
+    // Compact OPFs are evaluated in closed form (§3.2), explicit
+    // tables by iteration — see `Opf::survival_probability`.
+    hook.visited_opf_entries(opf.stored_len() as u64);
+    let v = opf.survival_probability(&kept_children);
+    hook.put(x, depth, v);
+    Ok(v)
+}
+
+/// The ε computation over the kept region determined by `targets`, with
+/// a memo hook (see [`EpsHook`]).
+pub(crate) fn epsilon_root_with(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    layers: &[Vec<ObjectId>],
+    targets: &[ObjectId],
+    hook: &mut dyn EpsHook,
+) -> Result<f64> {
+    let kept = kept_region(pi, p, layers, targets)?;
+    if kept[0].binary_search(&pi.root()).is_err() {
+        return Ok(0.0);
+    }
+    eps_at(pi, &p.labels, &kept, pi.root(), 0, hook)
+}
+
+/// The ε computation over the kept region determined by `targets`.
+fn epsilon_root(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    layers: &[Vec<ObjectId>],
+    targets: &[ObjectId],
+) -> Result<f64> {
+    epsilon_root_with(pi, p, layers, targets, &mut NoHook)
 }
 
 #[cfg(test)]

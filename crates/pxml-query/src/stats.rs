@@ -1,0 +1,247 @@
+//! Engine instrumentation: lock-free counters and per-phase wall time.
+//!
+//! [`EngineStats`] is a bag of [`AtomicU64`]s updated by worker threads
+//! with relaxed ordering (the counters are diagnostics, not
+//! synchronisation). [`EngineStats::snapshot`] captures a plain-data
+//! [`StatsSnapshot`] for reporting; its `Display` prints the compact
+//! one-block summary the CLI's `batch --stats` emits.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters owned by a [`crate::engine::QueryEngine`].
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Queries answered (including cache hits).
+    pub queries_run: AtomicU64,
+    /// Whole-query memo hits.
+    pub result_hits: AtomicU64,
+    /// Whole-query memo misses (queries actually evaluated).
+    pub result_misses: AtomicU64,
+    /// Locate-layer memo hits.
+    pub layers_hits: AtomicU64,
+    /// Locate-layer memo misses (forward traversals run).
+    pub layers_misses: AtomicU64,
+    /// ε-marginal memo hits (each prunes a whole subtree recursion).
+    pub eps_hits: AtomicU64,
+    /// ε-marginal memo misses (survival evaluations run).
+    pub eps_misses: AtomicU64,
+    /// Chain-link marginal memo hits.
+    pub link_hits: AtomicU64,
+    /// Chain-link marginal memo misses.
+    pub link_misses: AtomicU64,
+    /// OPF entries visited by survival/marginal evaluations — the `|℘|`
+    /// work measure of the paper's Figure 7 cost model.
+    pub opf_entries_visited: AtomicU64,
+    /// Nanoseconds spent locating path layers (forward pass).
+    pub locate_nanos: AtomicU64,
+    /// Nanoseconds spent in ε / chain marginalisation.
+    pub marginal_nanos: AtomicU64,
+    /// Nanoseconds of batch wall time (set once per `run_batch`).
+    pub batch_nanos: AtomicU64,
+}
+
+macro_rules! bump {
+    ($field:expr) => {
+        $field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+impl EngineStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_query(&self) {
+        bump!(self.queries_run);
+    }
+    pub(crate) fn count_result(&self, hit: bool) {
+        bump!(if hit { &self.result_hits } else { &self.result_misses });
+    }
+    pub(crate) fn count_layers(&self, hit: bool) {
+        bump!(if hit { &self.layers_hits } else { &self.layers_misses });
+    }
+    pub(crate) fn count_eps(&self, hit: bool) {
+        bump!(if hit { &self.eps_hits } else { &self.eps_misses });
+    }
+    pub(crate) fn count_link(&self, hit: bool) {
+        bump!(if hit { &self.link_hits } else { &self.link_misses });
+    }
+    pub(crate) fn add_opf_entries(&self, n: u64) {
+        self.opf_entries_visited.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_locate(&self, d: Duration) {
+        self.locate_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn add_marginal(&self, d: Duration) {
+        self.marginal_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn add_batch(&self, d: Duration) {
+        self.batch_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for f in [
+            &self.queries_run,
+            &self.result_hits,
+            &self.result_misses,
+            &self.layers_hits,
+            &self.layers_misses,
+            &self.eps_hits,
+            &self.eps_misses,
+            &self.link_hits,
+            &self.link_misses,
+            &self.opf_entries_visited,
+            &self.locate_nanos,
+            &self.marginal_nanos,
+            &self.batch_nanos,
+        ] {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        StatsSnapshot {
+            queries_run: g(&self.queries_run),
+            result_hits: g(&self.result_hits),
+            result_misses: g(&self.result_misses),
+            layers_hits: g(&self.layers_hits),
+            layers_misses: g(&self.layers_misses),
+            eps_hits: g(&self.eps_hits),
+            eps_misses: g(&self.eps_misses),
+            link_hits: g(&self.link_hits),
+            link_misses: g(&self.link_misses),
+            opf_entries_visited: g(&self.opf_entries_visited),
+            locate_nanos: g(&self.locate_nanos),
+            marginal_nanos: g(&self.marginal_nanos),
+            batch_nanos: g(&self.batch_nanos),
+        }
+    }
+}
+
+/// Plain-data copy of [`EngineStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries answered (including cache hits).
+    pub queries_run: u64,
+    /// Whole-query memo hits.
+    pub result_hits: u64,
+    /// Whole-query memo misses.
+    pub result_misses: u64,
+    /// Locate-layer memo hits.
+    pub layers_hits: u64,
+    /// Locate-layer memo misses.
+    pub layers_misses: u64,
+    /// ε-marginal memo hits.
+    pub eps_hits: u64,
+    /// ε-marginal memo misses.
+    pub eps_misses: u64,
+    /// Chain-link memo hits.
+    pub link_hits: u64,
+    /// Chain-link memo misses.
+    pub link_misses: u64,
+    /// OPF entries visited.
+    pub opf_entries_visited: u64,
+    /// Time locating path layers.
+    pub locate_nanos: u64,
+    /// Time in marginalisation.
+    pub marginal_nanos: u64,
+    /// Batch wall time.
+    pub batch_nanos: u64,
+}
+
+impl StatsSnapshot {
+    /// Total cache hits across all four tables.
+    pub fn total_hits(&self) -> u64 {
+        self.result_hits + self.layers_hits + self.eps_hits + self.link_hits
+    }
+
+    /// Total cache misses across all four tables.
+    pub fn total_misses(&self) -> u64 {
+        self.result_misses + self.layers_misses + self.eps_misses + self.link_misses
+    }
+
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries run        {}", self.queries_run)?;
+        writeln!(
+            f,
+            "cache hits/misses  result {}/{}  layers {}/{}  eps {}/{}  link {}/{}",
+            self.result_hits,
+            self.result_misses,
+            self.layers_hits,
+            self.layers_misses,
+            self.eps_hits,
+            self.eps_misses,
+            self.link_hits,
+            self.link_misses,
+        )?;
+        writeln!(f, "overall hit rate   {:.1}%", self.hit_rate() * 100.0)?;
+        writeln!(f, "OPF entries seen   {}", self.opf_entries_visited)?;
+        write!(
+            f,
+            "wall time          locate {:.3} ms, marginal {:.3} ms, batch {:.3} ms",
+            ms(self.locate_nanos),
+            ms(self.marginal_nanos),
+            ms(self.batch_nanos),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts_and_resets() {
+        let s = EngineStats::new();
+        s.count_query();
+        s.count_result(true);
+        s.count_result(false);
+        s.count_eps(true);
+        s.add_opf_entries(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.queries_run, 1);
+        assert_eq!(snap.result_hits, 1);
+        assert_eq!(snap.result_misses, 1);
+        assert_eq!(snap.eps_hits, 1);
+        assert_eq!(snap.opf_entries_visited, 7);
+        assert_eq!(snap.total_hits(), 2);
+        assert_eq!(snap.total_misses(), 1);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let s = EngineStats::new();
+        s.count_query();
+        let txt = s.snapshot().to_string();
+        assert!(txt.contains("queries run"));
+        assert!(txt.contains("cache hits/misses"));
+        assert!(txt.contains("OPF entries seen"));
+        assert!(txt.contains("wall time"));
+    }
+}

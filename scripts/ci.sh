@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. Mirrors the tier-1 verify of
+# ROADMAP.md plus clippy with warnings denied. Everything runs with
+# --offline — the workspace's dependencies are the local stand-ins
+# under vendor/, so no network (or registry cache) is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -76,3 +76,12 @@ pub use pxml_interval as interval;
 
 /// The textual query language (`pxml-ql`).
 pub use pxml_ql as ql;
+
+/// The batch query engine and its instrumentation, re-exported at the
+/// top level: answer `Vec<BatchQuery>` batches through one shared
+/// marginalisation cache, optionally fanned out over worker threads.
+/// Results are exactly (`==`) those of the sequential functions in
+/// [`query`].
+pub use pxml_query::{
+    EngineStats, MarginalCache, Query as BatchQuery, QueryEngine, StatsSnapshot,
+};

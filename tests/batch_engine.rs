@@ -1,0 +1,173 @@
+//! The batch engine's contract, property-tested across random
+//! instances:
+//!
+//! 1. **Exact equality** — engine answers are `==` (bit-identical, not
+//!    within-epsilon) to the sequential `point_query` / `exists_query` /
+//!    `chain_probability` answers, errors included, on trees and DAGs.
+//!    The engine shares the sequential functions' ε implementation, so
+//!    memoisation must never change a single bit.
+//! 2. **Oracle agreement** — on small instances the batch answers agree
+//!    with possible-worlds enumeration within 1e-9.
+//! 3. **Determinism under parallelism** — the same batch answered with
+//!    1, 2 and 8 workers returns identical result vectors.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::algebra::{locate_weak, satisfies_sd, PathExpr};
+use pxml::core::worlds::enumerate_worlds;
+use pxml::core::ProbInstance;
+use pxml::query::{chain_probability, exists_query, point_query, QueryError};
+use pxml::{BatchQuery, QueryEngine};
+
+use common::{random_dag, random_tree};
+
+/// First-potential-child walk from the root: the label sequence and the
+/// object chain it traverses (same construction as `point_queries.rs`).
+fn first_child_walk(pi: &ProbInstance) -> (Vec<pxml::core::Label>, Vec<pxml::core::ObjectId>) {
+    let mut labels = Vec::new();
+    let mut chain = vec![pi.root()];
+    let mut cur = pi.root();
+    while let Some(node) = pi.weak().node(cur) {
+        let Some((_, child, l)) = node.universe().iter().next() else { break };
+        labels.push(l);
+        chain.push(child);
+        cur = child;
+        if labels.len() > 5 {
+            break;
+        }
+    }
+    (labels, chain)
+}
+
+/// A mixed workload over `pi`: exists + per-located-object point queries
+/// for every prefix of the first-child walk (and of the `x`/`y` label
+/// pairs on DAGs), plus chain queries along the walk. Includes
+/// deliberate duplicates so the whole-query memo is exercised.
+fn build_queries(pi: &ProbInstance, extra_labels: &[pxml::core::Label]) -> Vec<BatchQuery> {
+    let (walk_labels, chain) = first_child_walk(pi);
+    let mut paths: Vec<PathExpr> = (1..=walk_labels.len())
+        .map(|len| PathExpr::new(pi.root(), walk_labels[..len].iter().copied()))
+        .collect();
+    for &l1 in extra_labels {
+        paths.push(PathExpr::new(pi.root(), [l1]));
+        for &l2 in extra_labels {
+            paths.push(PathExpr::new(pi.root(), [l1, l2]));
+        }
+    }
+    let mut queries = Vec::new();
+    for p in &paths {
+        queries.push(BatchQuery::exists(p.clone()));
+        for o in locate_weak(pi, p) {
+            queries.push(BatchQuery::point(p.clone(), o));
+        }
+    }
+    for len in 1..chain.len() {
+        queries.push(BatchQuery::chain(chain[..=len].to_vec()));
+    }
+    // Duplicates: re-ask the first half of the workload verbatim.
+    let half: Vec<BatchQuery> = queries[..queries.len() / 2].to_vec();
+    queries.extend(half);
+    queries
+}
+
+/// The sequential answer the engine must reproduce exactly.
+fn sequential_answer(pi: &ProbInstance, q: &BatchQuery) -> Result<f64, QueryError> {
+    match q {
+        BatchQuery::Point { path, object } => point_query(pi, path, *object),
+        BatchQuery::Exists { path } => exists_query(pi, path),
+        BatchQuery::Chain { objects } => chain_probability(pi, objects),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random trees, every engine answer — value or error — is
+    /// exactly equal (`==`) to the sequential answer.
+    #[test]
+    fn engine_equals_sequential_on_trees(seed in 0u64..3000) {
+        let pi = random_tree(seed);
+        let queries = build_queries(&pi, &[]);
+        let expected: Vec<_> =
+            queries.iter().map(|q| sequential_answer(&pi, q)).collect();
+        let engine = QueryEngine::with_threads(pi, 1);
+        let got = engine.run_batch(&queries);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Same exact-equality contract on random DAGs, where point/exists
+    /// queries may answer `Err(NotTreeShaped)` — the engine must return
+    /// the identical error, not a value.
+    #[test]
+    fn engine_equals_sequential_on_dags(seed in 0u64..3000) {
+        let pi = random_dag(seed);
+        let extra = [pi.lid("x").unwrap(), pi.lid("y").unwrap()];
+        let queries = build_queries(&pi, &extra);
+        let expected: Vec<_> =
+            queries.iter().map(|q| sequential_answer(&pi, q)).collect();
+        let engine = QueryEngine::with_threads(pi, 1);
+        let got = engine.run_batch(&queries);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// On small instances every successful batch answer agrees with the
+    /// possible-worlds oracle within 1e-9.
+    #[test]
+    fn engine_matches_worlds_oracle(seed in 0u64..1500) {
+        let pi = random_tree(seed);
+        let worlds = enumerate_worlds(&pi).expect("enumerable");
+        let queries = build_queries(&pi, &[]);
+        let engine = QueryEngine::with_threads(pi, 1);
+        let answers = engine.run_batch(&queries);
+        let pi = engine.instance();
+        for (q, a) in queries.iter().zip(&answers) {
+            let Ok(p) = a else { continue };
+            let direct = match q {
+                BatchQuery::Point { path, object } => {
+                    worlds.probability_that(|s| satisfies_sd(s, path, *object))
+                }
+                BatchQuery::Exists { path } => {
+                    worlds.probability_that(|s| !pxml::algebra::locate_sd(s, path).is_empty())
+                }
+                BatchQuery::Chain { objects } => worlds.probability_that(|s| {
+                    objects.windows(2).all(|w| s.children(w[0]).contains(&w[1]))
+                }),
+            };
+            prop_assert!(
+                (p - direct).abs() < 1e-9,
+                "{q:?} on seed {seed}: engine {p} vs worlds {direct} ({})",
+                pi.object_count()
+            );
+        }
+    }
+
+    /// The same batch answered with 1, 2 and 8 workers over a shared
+    /// cache returns identical (`==`) result vectors: evaluation order
+    /// must not leak into the answers.
+    #[test]
+    fn engine_is_deterministic_across_thread_counts(seed in 0u64..1500) {
+        let tree_queries = build_queries(&random_tree(seed), &[]);
+        let dag = random_dag(seed);
+        let extra = [dag.lid("x").unwrap(), dag.lid("y").unwrap()];
+        let dag_queries = build_queries(&dag, &extra);
+        for (make, queries) in [
+            (random_tree as fn(u64) -> ProbInstance, &tree_queries),
+            (random_dag as fn(u64) -> ProbInstance, &dag_queries),
+        ] {
+            let baseline = QueryEngine::with_threads(make(seed), 1).run_batch(queries);
+            for threads in [2usize, 8] {
+                let engine = QueryEngine::with_threads(make(seed), threads);
+                let got = engine.run_batch(queries);
+                prop_assert_eq!(&got, &baseline, "threads={}", threads);
+                // Re-running the identical batch on the now-warm cache
+                // must still return the same vector, all from the memo.
+                let again = engine.run_batch(queries);
+                prop_assert_eq!(&again, &baseline, "warm rerun, threads={}", threads);
+                let snap = engine.stats();
+                prop_assert!(snap.result_hits as usize >= queries.len());
+            }
+        }
+    }
+}

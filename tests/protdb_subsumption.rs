@@ -55,7 +55,7 @@ fn all_chains(tree: &ProtTree) -> Vec<Vec<String>> {
         }
     }
     let mut out = Vec::new();
-    rec(&[tree.root.clone()], &tree.children, &mut out);
+    rec(std::slice::from_ref(&tree.root), &tree.children, &mut out);
     out
 }
 

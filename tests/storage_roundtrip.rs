@@ -22,7 +22,7 @@ fn canonical_key(s: &pxml::core::SdInstance) -> String {
         let node = s.node(o).expect("member");
         let oname = cat.object_name(o);
         if node.children().is_empty() && node.leaf().is_none() {
-            parts.push(format!("{oname}"));
+            parts.push(oname.to_string());
         }
         for &(l, c) in node.children() {
             parts.push(format!("{oname} -{}-> {}", cat.label_name(l), cat.object_name(c)));

@@ -1,0 +1,265 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! A small wall-clock benchmarking harness exposing the API surface the
+//! `pxml-bench` benches use: `Criterion::benchmark_group`, group
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! `Bencher::iter`/`iter_custom`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is
+//! calibrated (iterations doubled until a sample is long enough to
+//! time), then `sample_size` samples are collected and min / mean / max
+//! per-iteration times are printed. No statistics beyond that, no HTML
+//! reports, no saved baselines — numbers land on stdout and in
+//! `EXPERIMENTS.md` by hand.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock length of one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 20, throughput: None }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 20, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark (min 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Declares the amount of work per iteration so rates are reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line; kept for API compatibility).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Work-per-iteration declaration for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time
+    /// (for setups that must exclude per-iteration preparation).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Identifier for one parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: double the iteration count until one sample is long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        // Grow faster when far from the target.
+        iters = if b.elapsed.is_zero() {
+            iters * 8
+        } else {
+            let scale = TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64();
+            (iters as f64 * scale.clamp(1.5, 8.0)).ceil() as u64
+        };
+    }
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+    }
+    per_iter.sort_unstable();
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!("  ({:.1} MiB/s)", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => {
+            format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+    });
+    println!(
+        "{label:<52} time: [{} {} {}]{}   ({iters} iters x {sample_size} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // stand-in has no CLI and ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter("custom"), |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(1 + 1);
+                }
+                start.elapsed()
+            });
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Only [`thread::scope`] is used in this workspace (scoped fan-out in
+//! `pxml-bench` and the batch query engine). Since Rust 1.63 the standard
+//! library has native scoped threads, so this shim adapts crossbeam's
+//! signature — closure receives the scope, `scope()` returns a `Result`
+//! capturing worker panics — onto `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The error half of [`scope`]'s result: the payload of whichever
+    /// panic tore the scope down.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. As in crossbeam, the closure receives
+        /// the scope again so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the
+    /// environment can be spawned; all workers are joined before this
+    /// returns. `Err` carries the panic payload if any worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_workers_share_stack_state() {
+            let hits = AtomicUsize::new(0);
+            let r = super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| hits.fetch_add(1, Ordering::SeqCst));
+                }
+                7
+            });
+            assert_eq!(r.unwrap(), 7);
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn worker_panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

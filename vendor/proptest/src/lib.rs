@@ -1,0 +1,113 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the macro surface this workspace's property tests use —
+//! `proptest! { #![proptest_config(...)] #[test] fn f(x in 0u64..N) {..} }`,
+//! `prop_assert!`, `prop_assert_eq!` — over deterministic range
+//! strategies. Each test function runs `cases` iterations with an RNG
+//! derived from the test's name (override with `PROPTEST_SEED`); on
+//! failure the offending argument values and the case number are
+//! reported so the case can be replayed. Unlike the real crate there is
+//! no shrinking and `*.proptest-regressions` files are not consulted —
+//! ranges here are small enough that the printed values are directly
+//! actionable.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{run_cases, ProptestConfig, TestCaseError, TestRng};
+pub use strategy::Strategy;
+
+pub mod prelude {
+    //! Everything the `proptest!` macro family needs in scope.
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property-test functions. See the crate docs for the accepted
+/// grammar (a subset of the real crate's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng, values| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                    *values = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    #[allow(clippy::needless_return)]
+                    {
+                        $body
+                    }
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts within a proptest body; failure aborts only the current case
+/// with a report instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value-carrying message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value-carrying message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}

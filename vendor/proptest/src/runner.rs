@@ -1,0 +1,149 @@
+//! Case loop, configuration and failure reporting.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (subset of the real crate's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Alias kept for source compatibility with the real crate.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(message: &str) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+/// FNV-1a over the test path: a stable per-test base seed.
+fn base_seed(test_path: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` for `config.cases` deterministic cases. `f` receives the
+/// case RNG and an out-slot it fills with a debug rendering of the
+/// sampled arguments (reported on failure). Panics — with the sampled
+/// values in the message — on the first failing case.
+pub fn run_cases<F>(config: &ProptestConfig, test_path: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let base = base_seed(test_path);
+    for case in 0..config.cases {
+        // SplitMix-style spread so consecutive cases are uncorrelated.
+        let case_seed = base
+            .wrapping_add((u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let mut values = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut values)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest failure in {test_path}, case {case}/{total} \
+                 (replay: PROPTEST_SEED={base}): [{values}] {e}",
+                total = config.cases,
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest panic in {test_path}, case {case}/{total} \
+                     (replay: PROPTEST_SEED={base}): [{values}]",
+                    total = config.cases,
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_case_seeds() {
+        assert_eq!(base_seed("a::b"), base_seed("a::b"));
+        assert_ne!(base_seed("a::b"), base_seed("a::c"));
+    }
+
+    #[test]
+    fn failing_case_reports_values() {
+        let err = catch_unwind(|| {
+            run_cases(&ProptestConfig::with_cases(10), "t::fails", |_rng, values| {
+                *values = "x = 3".into();
+                Err(TestCaseError::fail("nope"))
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("x = 3") && msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn passing_cases_run_to_completion() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t::passes", |_rng, _v| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+}

@@ -1,0 +1,71 @@
+//! Value-generation strategies (subset: ranges, constants, booleans).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::runner::TestRng;
+
+/// A source of random values of one type. Unlike the real crate there is
+/// no value tree / shrinking: `sample` draws directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
+
+/// The constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = (2u64..9).sample(&mut rng);
+            assert!((2..9).contains(&v));
+            let f = (0.1f64..=0.2).sample(&mut rng);
+            assert!((0.1..=0.2).contains(&f));
+            assert_eq!(Just(41).sample(&mut rng), 41);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates core types with `#[derive(Serialize,
+//! Deserialize)]` but never serialises through serde (persistence is
+//! `pxml-storage`'s own codecs), so marker traits plus no-op derives are
+//! sufficient for everything to compile offline. If a future PR needs
+//! real serde serialisation, replace this directory with the genuine
+//! crate (or a vendored copy) and nothing else has to change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

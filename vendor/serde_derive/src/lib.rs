@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serialises through serde — persistence goes
+//! through `pxml-storage`'s own text and binary codecs — so the derives
+//! only need to *exist* (and swallow `#[serde(...)]` helper attributes)
+//! for the annotated types to compile. Each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -137,7 +137,7 @@ pub fn ancestor_project_timed(
     let mut eps: HashMap<ObjectId, f64> = HashMap::new();
     let mut new_opfs: IdMap<ObjectKind, Opf> = IdMap::new();
     let mut dead: Vec<ObjectId> = Vec::new();
-    timed(&mut times.update_interp, || {
+    timed(&mut times.update_interp, || -> Result<()> {
         for depth in (0..n).rev() {
             for &o in &kept[depth] {
                 let node = weak.node(o).expect("kept object exists");
@@ -177,7 +177,11 @@ pub fn ancestor_project_timed(
                     // The root keeps its ∅ entry unnormalised.
                     // (Fill a missing ∅ so totals remain 1.)
                     let empty = ChildSet::empty(&info.universe);
-                    let missing = 1.0 - out.total();
+                    let total = out.total();
+                    if !total.is_finite() {
+                        return Err(pxml_core::CoreError::DegenerateMass { total }.into());
+                    }
+                    let missing = 1.0 - total;
                     if missing > 1e-12 {
                         out.add(empty, missing);
                     }
@@ -185,18 +189,27 @@ pub fn ancestor_project_timed(
                 } else {
                     let empty = ChildSet::empty(&info.universe);
                     out.set(empty, 0.0);
-                    let e_o = out.normalize();
+                    // A (near-)zero ε means the object can never survive:
+                    // mark it dead rather than attempting an undefined
+                    // renormalisation. Non-finite mass is an input-coherence
+                    // error and propagates as one.
+                    let e_o = out.total();
+                    if !e_o.is_finite() {
+                        return Err(pxml_core::CoreError::DegenerateMass { total: e_o }.into());
+                    }
                     if e_o <= 1e-15 {
                         dead.push(o);
                         eps.insert(o, 0.0);
                     } else {
+                        out.normalize()?;
                         eps.insert(o, e_o);
                         new_opfs.insert(o, Opf::Table(out));
                     }
                 }
             }
         }
-    });
+        Ok(())
+    })?;
 
     // A structurally kept object with ε = 0 can never survive; its
     // entries were already zeroed upstream, so `assemble` only needs to

@@ -140,10 +140,10 @@ pub fn select_timed(pi: &ProbInstance, cond: &SelectCond) -> Result<(Selected, P
                         kept.add(set.clone(), p);
                     }
                 }
-                if m <= 0.0 {
+                if m <= 0.0 || !m.is_finite() {
                     return Err(AlgebraError::EmptySelection);
                 }
-                kept.normalize();
+                kept.normalize()?;
                 selectivity *= m;
                 opfs.insert(*o, pxml_core::Opf::Table(kept));
             }

@@ -18,7 +18,7 @@ fn ablate(c: &mut Criterion) {
         let g = generate(&config);
         let n = config.object_count();
         let text = to_text(&g.instance);
-        let bin = to_binary(&g.instance);
+        let bin = to_binary(&g.instance).expect("benchmark instances encode");
 
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_with_input(BenchmarkId::new("encode_text", n), &g, |b, g| {
@@ -26,7 +26,7 @@ fn ablate(c: &mut Criterion) {
         });
         group.throughput(Throughput::Bytes(bin.len() as u64));
         group.bench_with_input(BenchmarkId::new("encode_binary", n), &g, |b, g| {
-            b.iter(|| to_binary(&g.instance).len());
+            b.iter(|| to_binary(&g.instance).expect("benchmark instances encode").len());
         });
         group.bench_with_input(BenchmarkId::new("decode_text", n), &text, |b, text| {
             b.iter(|| from_text(text).expect("round trip").object_count());

@@ -4,6 +4,7 @@
 //! pxml <instance.pxml|instance.pxmlb> <query> [options]
 //! pxml <instance> --stdin                    # one query per input line
 //! pxml batch <instance> [queries.txt] [--threads N] [--stats]
+//! pxml check <instance>                      # deep coherence lint
 //!
 //! options:
 //!   --engine auto|tree|naive    engine selection (default auto)
@@ -25,6 +26,13 @@
 //! optional multi-threaded fan-out — printing one result per line in
 //! input order. `--stats` reports the engine's cache/timing counters on
 //! stderr afterwards.
+//!
+//! `check` loads an instance *without* model validation and runs the
+//! deep coherence linter over it, printing one finding per line. Exit
+//! status is 0 when no error-severity findings exist, 1 otherwise — so
+//! it slots into shell pipelines and CI.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -51,6 +59,9 @@ fn real_main() -> Result<(), String> {
     }
     if args[0] == "batch" {
         return run_batch(&args[1..]);
+    }
+    if args[0] == "check" {
+        return run_check(&args[1..]);
     }
     let mut instance_path: Option<PathBuf> = None;
     let mut query: Option<String> = None;
@@ -194,9 +205,10 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     let mut next_answer = answers.into_iter();
     for t in &translated {
         match t {
-            Ok(_) => match next_answer.next().expect("one answer per translated query") {
-                Ok(p) => println!("{p:.6}"),
-                Err(e) => println!("error: {e}"),
+            Ok(_) => match next_answer.next() {
+                Some(Ok(p)) => println!("{p:.6}"),
+                Some(Err(e)) => println!("error: {e}"),
+                None => return Err("engine returned fewer answers than queries".into()),
             },
             Err(msg) => println!("error: {msg}"),
         }
@@ -205,6 +217,43 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         eprintln!("{}", engine.stats());
     }
     Ok(())
+}
+
+/// `pxml check <instance>`.
+///
+/// Loads the instance leniently — structural decoding only, skipping the
+/// model validation that `load` performs — and runs the deep coherence
+/// linter from `pxml_core::lint`. Every finding prints on its own line;
+/// a summary line follows. Error-severity findings make the whole run
+/// fail so scripts can gate on the exit status.
+fn run_check(args: &[String]) -> Result<(), String> {
+    let mut instance_path: Option<PathBuf> = None;
+    for arg in args {
+        match arg.as_str() {
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg => return Err(format!("unexpected argument {arg:?}")),
+        }
+    }
+    let path = instance_path.ok_or("missing instance file")?;
+    let pi = load_unchecked(&path)?;
+    let findings = pxml_core::lint(&pi);
+    for f in &findings {
+        println!("{}", f.render(pi.catalog()));
+    }
+    let errors = findings.iter().filter(|f| f.severity() == pxml_core::Severity::Error).count();
+    let warnings = findings.len() - errors;
+    if errors == 0 {
+        match warnings {
+            0 => println!("{}: ok ({} objects)", path.display(), pi.object_count()),
+            n => println!("{}: ok with {n} warning(s) ({} objects)", path.display(), pi.object_count()),
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: {errors} error(s), {warnings} warning(s)",
+            path.display()
+        ))
+    }
 }
 
 /// Parses one `batch` input line and resolves it onto the engine's query
@@ -261,6 +310,17 @@ fn load(path: &Path) -> Result<ProbInstance, String> {
     }
 }
 
+/// Lenient loader for `check`: structural decode only, so the linter can
+/// report model-level violations that the strict loaders would reject.
+fn load_unchecked(path: &Path) -> Result<ProbInstance, String> {
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    if is_binary {
+        pxml_storage::read_binary_file_unchecked(path).map_err(|e| e.to_string())
+    } else {
+        pxml_storage::read_text_file_unchecked(path).map_err(|e| e.to_string())
+    }
+}
+
 fn save(pi: &ProbInstance, path: &Path) -> Result<(), String> {
     let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
     if is_binary {
@@ -278,6 +338,7 @@ usage:
   pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
   pxml <instance> --stdin
   pxml batch <instance> [queries.txt] [--threads N] [--stats]
+  pxml check <instance>
 
 queries:
   PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>

@@ -1,0 +1,61 @@
+//! End-to-end tests for `pxml check`: drive the real binary against
+//! pristine and deliberately corrupted instance files and gate on the
+//! exit status, exactly as a CI pipeline would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pxml_core::fixtures::fig2_instance;
+use pxml_storage::to_text;
+
+fn pxml_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pxml"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pxml-check-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+#[test]
+fn check_passes_pristine_instance() {
+    let path = write_temp("pristine.pxml", &to_text(&fig2_instance()));
+    let out = pxml_bin().arg("check").arg(&path).output().expect("spawn pxml");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "{stdout}");
+}
+
+#[test]
+fn check_fails_with_nonzero_exit_on_corruption() {
+    let corrupted = to_text(&fig2_instance())
+        .replace("[\"B1\", \"B2\", \"B3\"] : 0.4", "[\"B1\", \"B2\", \"B3\"] : 0.9");
+    let path = write_temp("corrupt.pxml", &corrupted);
+    let out = pxml_bin().arg("check").arg(&path).output().expect("spawn pxml");
+    assert!(!out.status.success(), "corrupted instance must fail the check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("not-normalized"), "{stdout}");
+}
+
+#[test]
+fn check_reports_decode_errors_without_panicking() {
+    let path = write_temp("garbage.pxml", "pxml v1 types { this is not a file }");
+    let out = pxml_bin().arg("check").arg(&path).output().expect("spawn pxml");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn check_works_on_binary_files() {
+    let pi = fig2_instance();
+    let dir = std::env::temp_dir().join("pxml-check-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("pristine.pxmlb");
+    pxml_storage::write_binary_file(&pi, &path).expect("write binary");
+    let out = pxml_bin().arg("check").arg(&path).output().expect("spawn pxml");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}

@@ -34,6 +34,10 @@ pub enum CoreError {
     OpfEntryOutsidePc { object: ObjectId },
     /// A probability is negative or greater than 1.
     BadProbability { object: ObjectId, p: f64 },
+    /// A distribution's total mass is zero, negative or non-finite, so it
+    /// cannot be renormalised (the ε-normalisation of Section 6.1 is
+    /// undefined).
+    DegenerateMass { total: f64 },
     /// A VPF's probabilities do not sum to 1 (within [`PROB_EPS`]).
     VpfNotNormalized { object: ObjectId, sum: f64 },
     /// A VPF assigns probability to a value outside `dom(τ(o))`.
@@ -95,6 +99,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::BadProbability { object, p } => {
                 write!(f, "probability {p} of {object:?} is outside [0,1]")
+            }
+            CoreError::DegenerateMass { total } => {
+                write!(f, "distribution has total mass {total}; cannot renormalise")
             }
             CoreError::VpfNotNormalized { object, sum } => {
                 write!(f, "VPF of {object:?} sums to {sum}, expected 1")

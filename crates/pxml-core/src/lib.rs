@@ -50,6 +50,7 @@ pub mod global;
 pub mod hitting;
 pub mod ids;
 pub mod instance;
+pub mod lint;
 pub mod opf;
 pub mod pathkey;
 pub mod potential;
@@ -66,6 +67,7 @@ pub use error::{CoreError, Result, PROB_EPS};
 pub use global::GlobalInterpretation;
 pub use ids::{IdMap, Label, ObjectId, TypeId};
 pub use instance::{SdInstance, SdInstanceBuilder, SdNode};
+pub use lint::{lint, LintClass, LintFinding, Severity};
 pub use opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
 pub use pathkey::{LabelPath, PathSuffix};
 pub use prob_instance::{ProbInstance, ProbInstanceBuilder};

@@ -1,0 +1,1195 @@
+//! Deep coherence linter for probabilistic instances.
+//!
+//! [`ProbInstance::validate`] answers "is this instance coherent?" with the
+//! *first* violation it finds, and the algebra's `from_parts_unchecked`
+//! constructors skip even that. This module answers the operational
+//! question instead: given an instance of unknown provenance — a corrupted
+//! file, the output of a buggy operator pipeline, a hand-written fixture —
+//! report **every** way in which it fails the coherence conditions of
+//! Definitions 3.4–3.11, without panicking on arbitrarily malformed input.
+//!
+//! The linter is the backend of the CLI's `pxml check` subcommand. It
+//! never mutates the instance and never trusts it: child-set positions are
+//! bounds-checked before any universe lookup, type ids are resolved with
+//! fallible accessors, and cycle detection tolerates edges to unknown
+//! objects (all places where the validating code path is entitled to
+//! `panic!` because construction already screened its input).
+//!
+//! Beyond the hard coherence conditions the linter reports two classes of
+//! *soft* findings (severity [`Severity::Warning`]):
+//!
+//! * probability mass below [`NEAR_ZERO_MASS`], which the ε-normalisation
+//!   of Section 6.1 silently discards when an operator renormalises;
+//! * local probability functions attached to objects that cannot use them
+//!   (OPFs on leaves, VPFs on interior objects, either on objects outside
+//!   `V`) — harmless to the semantics but a symptom of a broken producer.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::catalog::{Catalog, DisplayObject};
+use crate::childset::{ChildSet, ChildUniverse};
+use crate::error::PROB_EPS;
+use crate::ids::{Label, ObjectId};
+use crate::opf::Opf;
+use crate::prob_instance::ProbInstance;
+use crate::value::Value;
+use crate::weak::{Card, WeakInstance};
+
+/// Probability mass below this threshold is effectively invisible: the
+/// ε-normalisation of Section 6.1 treats subtree survival probabilities of
+/// this magnitude as zero, so the mass is silently lost the first time an
+/// operator renormalises. (The ancestor-projection implementation kills
+/// objects whose ε drops below `1e-15`; the linter warns three orders of
+/// magnitude earlier.)
+pub const NEAR_ZERO_MASS: f64 = 1e-12;
+
+/// Tolerance for distribution totals, matching `Opf::validate`.
+const SUM_EPS: f64 = 1e-6;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Legal but fragile: likely to lose information or mask a producer bug.
+    Warning,
+    /// Violates a coherence condition of Definitions 3.4–3.11.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// The class of coherence violation (or hazard) a finding reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LintClass {
+    /// The declared root is not a member of `V`.
+    MissingRoot,
+    /// An object in `V` is not reachable from the root in `G_W`.
+    Unreachable,
+    /// The weak instance graph has a cycle through this object
+    /// (Definition 4.3 requires acyclicity).
+    OnCycle,
+    /// A potential child is not a member of `V`.
+    UnknownChild {
+        /// The referenced non-member.
+        child: ObjectId,
+    },
+    /// The same child is listed twice under one label.
+    DuplicateChild {
+        /// The repeated child.
+        child: ObjectId,
+        /// The label it repeats under.
+        label: Label,
+    },
+    /// The same child appears under two different labels.
+    AmbiguousChildLabel {
+        /// The doubly-labelled child.
+        child: ObjectId,
+        /// The first label.
+        first: Label,
+        /// The conflicting second label.
+        second: Label,
+    },
+    /// `card(o, l)` is unsatisfiable: `min > max` or `min > |lch(o, l)|`.
+    CardUnsatisfiable {
+        /// The constrained label.
+        label: Label,
+        /// Declared lower bound.
+        min: u32,
+        /// Declared upper bound.
+        max: u32,
+        /// Number of potential `label`-children actually available.
+        available: u32,
+    },
+    /// No child set in the OPF's support satisfies `card(o, l)`: the
+    /// declared interval and the distribution contradict each other
+    /// outright (every draw violates Definition 3.4).
+    CardUnsupportedByOpf {
+        /// The contradicted label.
+        label: Label,
+    },
+    /// The OPF places positive mass on child sets whose `label`-count
+    /// falls outside `card(o, l)` — support leaking out of `PC(o)`
+    /// (Definitions 3.5–3.6).
+    OpfMassOutsideCard {
+        /// The violated label.
+        label: Label,
+        /// Total offending mass.
+        mass: f64,
+    },
+    /// An OPF entry references a universe position that does not exist —
+    /// the child set belongs to a different (or corrupted) universe.
+    ChildSetOutsideUniverse {
+        /// The first out-of-range position.
+        pos: u32,
+        /// The universe's length.
+        universe_len: usize,
+    },
+    /// A label-product OPF part places mass on positions outside the
+    /// slice of positions carrying its label.
+    OpfEntryOutsidePart {
+        /// The part's label.
+        label: Label,
+    },
+    /// An independent OPF stores a different number of probabilities than
+    /// the object has potential children.
+    OpfShapeMismatch {
+        /// `|universe|`.
+        expected: usize,
+        /// Number of stored probabilities.
+        got: usize,
+    },
+    /// A probability is NaN or infinite.
+    NonFiniteProbability {
+        /// The offending value.
+        p: f64,
+    },
+    /// A probability is negative or greater than 1.
+    ProbabilityOutOfRange {
+        /// The offending value.
+        p: f64,
+    },
+    /// A distribution's total differs from 1 beyond tolerance.
+    NotNormalized {
+        /// The actual total.
+        sum: f64,
+    },
+    /// Positive probability mass small enough to be silently dropped by
+    /// ε-normalisation (Section 6.1); see [`NEAR_ZERO_MASS`].
+    NearZeroMass {
+        /// The offending value.
+        p: f64,
+    },
+    /// A non-leaf object with potential children has no OPF.
+    MissingOpf,
+    /// A typed leaf has no VPF.
+    MissingVpf,
+    /// A VPF assigns positive mass to a value outside `dom(τ(o))`.
+    VpfValueOutsideDomain {
+        /// The out-of-domain value.
+        value: Value,
+    },
+    /// A leaf's type id does not resolve in the catalog.
+    UnknownType,
+    /// A typed leaf also has potential children.
+    LeafWithChildren,
+    /// A leaf's fixed value lies outside its type's domain.
+    ValueOutsideDomain,
+    /// An OPF or VPF is attached to an object that cannot carry one
+    /// (outside `V`, or of the wrong kind).
+    OrphanInterpretation,
+}
+
+impl LintClass {
+    /// Stable machine-readable code for the class (CLI output, tests).
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintClass::MissingRoot => "missing-root",
+            LintClass::Unreachable => "unreachable",
+            LintClass::OnCycle => "cycle",
+            LintClass::UnknownChild { .. } => "unknown-child",
+            LintClass::DuplicateChild { .. } => "duplicate-child",
+            LintClass::AmbiguousChildLabel { .. } => "ambiguous-child-label",
+            LintClass::CardUnsatisfiable { .. } => "card-unsatisfiable",
+            LintClass::CardUnsupportedByOpf { .. } => "card-unsupported-by-opf",
+            LintClass::OpfMassOutsideCard { .. } => "opf-mass-outside-card",
+            LintClass::ChildSetOutsideUniverse { .. } => "child-set-outside-universe",
+            LintClass::OpfEntryOutsidePart { .. } => "opf-entry-outside-part",
+            LintClass::OpfShapeMismatch { .. } => "opf-shape-mismatch",
+            LintClass::NonFiniteProbability { .. } => "non-finite-probability",
+            LintClass::ProbabilityOutOfRange { .. } => "probability-out-of-range",
+            LintClass::NotNormalized { .. } => "not-normalized",
+            LintClass::NearZeroMass { .. } => "near-zero-mass",
+            LintClass::MissingOpf => "missing-opf",
+            LintClass::MissingVpf => "missing-vpf",
+            LintClass::VpfValueOutsideDomain { .. } => "vpf-value-outside-domain",
+            LintClass::UnknownType => "unknown-type",
+            LintClass::LeafWithChildren => "leaf-with-children",
+            LintClass::ValueOutsideDomain => "value-outside-domain",
+            LintClass::OrphanInterpretation => "orphan-interpretation",
+        }
+    }
+
+    /// The severity of this class.
+    pub fn severity(&self) -> Severity {
+        match self {
+            LintClass::NearZeroMass { .. } | LintClass::OrphanInterpretation => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One linter finding: a class of violation anchored at an object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintFinding {
+    /// The object the finding is about, if it concerns a specific object.
+    pub object: Option<ObjectId>,
+    /// What went wrong.
+    pub class: LintClass,
+}
+
+impl LintFinding {
+    /// The finding's severity (delegates to the class).
+    pub fn severity(&self) -> Severity {
+        self.class.severity()
+    }
+
+    /// Renders the finding with catalog names, in the style
+    /// `error[card-unsatisfiable] R: card(R, book) = [5,5] ...`.
+    pub fn render(&self, cat: &Catalog) -> String {
+        let mut out = format!("{}[{}]", self.severity(), self.class.code());
+        if let Some(o) = self.object {
+            out.push_str(&format!(" {}", DisplayObject(cat, o)));
+        }
+        out.push_str(": ");
+        out.push_str(&self.describe(cat));
+        out
+    }
+
+    fn describe(&self, cat: &Catalog) -> String {
+        let label = |l: &Label| cat.labels().try_resolve(*l).unwrap_or("<unknown label>");
+        match &self.class {
+            LintClass::MissingRoot => "declared root is not a member of V".into(),
+            LintClass::Unreachable => {
+                "not reachable from the root in the weak instance graph".into()
+            }
+            LintClass::OnCycle => {
+                "lies on a cycle of the weak instance graph (Definition 4.3)".into()
+            }
+            LintClass::UnknownChild { child } => {
+                format!("potential child {} is not a member of V", DisplayObject(cat, *child))
+            }
+            LintClass::DuplicateChild { child, label: l } => format!(
+                "child {} listed twice in lch(o, {})",
+                DisplayObject(cat, *child),
+                label(l)
+            ),
+            LintClass::AmbiguousChildLabel { child, first, second } => format!(
+                "child {} appears under two labels ({}, {})",
+                DisplayObject(cat, *child),
+                label(first),
+                label(second)
+            ),
+            LintClass::CardUnsatisfiable { label: l, min, max, available } => format!(
+                "card = [{min},{max}] for label {} is unsatisfiable (|lch| = {available})",
+                label(l)
+            ),
+            LintClass::CardUnsupportedByOpf { label: l } => format!(
+                "no child set in the OPF support satisfies card for label {}",
+                label(l)
+            ),
+            LintClass::OpfMassOutsideCard { label: l, mass } => format!(
+                "OPF places mass {mass:.3e} on child sets violating card for label {}",
+                label(l)
+            ),
+            LintClass::ChildSetOutsideUniverse { pos, universe_len } => format!(
+                "OPF entry references universe position {pos}, but the universe has only {universe_len} members"
+            ),
+            LintClass::OpfEntryOutsidePart { label: l } => format!(
+                "label-product part for {} places mass outside its position slice",
+                label(l)
+            ),
+            LintClass::OpfShapeMismatch { expected, got } => format!(
+                "independent OPF stores {got} probabilities for {expected} potential children"
+            ),
+            LintClass::NonFiniteProbability { p } => {
+                format!("probability {p} is not finite")
+            }
+            LintClass::ProbabilityOutOfRange { p } => {
+                format!("probability {p} is outside [0, 1]")
+            }
+            LintClass::NotNormalized { sum } => {
+                format!("distribution sums to {sum}, expected 1")
+            }
+            LintClass::NearZeroMass { p } => format!(
+                "mass {p:.3e} is below {NEAR_ZERO_MASS:.0e} and will be lost by ε-normalisation (Section 6.1)"
+            ),
+            LintClass::MissingOpf => "object with potential children has no OPF".into(),
+            LintClass::MissingVpf => "typed leaf has no VPF".into(),
+            LintClass::VpfValueOutsideDomain { value } => {
+                format!("VPF places mass on {value}, outside dom(τ)")
+            }
+            LintClass::UnknownType => "leaf type id does not resolve in the catalog".into(),
+            LintClass::LeafWithChildren => "typed leaf also has potential children".into(),
+            LintClass::ValueOutsideDomain => {
+                "fixed leaf value lies outside its type's domain".into()
+            }
+            LintClass::OrphanInterpretation => {
+                "local probability function attached to an object that cannot carry one".into()
+            }
+        }
+    }
+}
+
+/// Runs every lint pass over `pi` and returns all findings, errors first.
+///
+/// Safe on arbitrarily incoherent instances (including those assembled via
+/// `from_parts_unchecked` or loaded by the diagnostic storage paths): the
+/// linter performs its own bounds and resolution checks and never panics.
+pub fn lint(pi: &ProbInstance) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    let weak = pi.weak();
+    lint_structure(weak, &mut out);
+    lint_interpretation(pi, &mut out);
+    // Errors first, then warnings; stable within a severity.
+    out.sort_by_key(|f| std::cmp::Reverse(f.severity()));
+    out
+}
+
+/// True if `findings` contains no [`Severity::Error`] findings.
+pub fn is_clean(findings: &[LintFinding]) -> bool {
+    findings.iter().all(|f| f.severity() < Severity::Error)
+}
+
+fn push(out: &mut Vec<LintFinding>, object: impl Into<Option<ObjectId>>, class: LintClass) {
+    out.push(LintFinding { object: object.into(), class });
+}
+
+// ---------------------------------------------------------------- structure
+
+fn lint_structure(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
+    let root_known = weak.contains(weak.root());
+    if !root_known {
+        push(out, None, LintClass::MissingRoot);
+    }
+
+    for o in weak.objects() {
+        let Some(node) = weak.node(o) else { continue };
+
+        // Children must exist, be unique, and carry a unique label.
+        let mut seen: HashMap<ObjectId, Label> = HashMap::new();
+        for (_, child, label) in node.universe().iter() {
+            if !weak.contains(child) {
+                push(out, o, LintClass::UnknownChild { child });
+            }
+            match seen.get(&child) {
+                None => {
+                    seen.insert(child, label);
+                }
+                Some(&first) if first == label => {
+                    push(out, o, LintClass::DuplicateChild { child, label });
+                }
+                Some(&first) => {
+                    push(out, o, LintClass::AmbiguousChildLabel { child, first, second: label });
+                }
+            }
+        }
+
+        // Declared cardinalities must be satisfiable.
+        for &(label, card) in node.cards() {
+            let available = node.lch_positions(label).count() as u32;
+            if card.min > card.max || card.min > available {
+                push(
+                    out,
+                    o,
+                    LintClass::CardUnsatisfiable {
+                        label,
+                        min: card.min,
+                        max: card.max,
+                        available,
+                    },
+                );
+            }
+        }
+
+        // Leaf constraints.
+        if let Some(leaf) = node.leaf() {
+            if !node.is_childless() {
+                push(out, o, LintClass::LeafWithChildren);
+            }
+            match weak.catalog().types().try_resolve(leaf.ty) {
+                None => push(out, o, LintClass::UnknownType),
+                Some(ty) => {
+                    if let Some(val) = &leaf.val {
+                        if !ty.contains(val) {
+                            push(out, o, LintClass::ValueOutsideDomain);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reachability over the weak instance graph (edges to unknown objects
+    // are ignored; they are already reported above).
+    if root_known {
+        let mut reached: HashSet<ObjectId> = HashSet::new();
+        let mut stack = vec![weak.root()];
+        while let Some(o) = stack.pop() {
+            if !reached.insert(o) {
+                continue;
+            }
+            for (_, c) in weak.weak_edges(o) {
+                if weak.contains(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        for o in weak.objects() {
+            if !reached.contains(&o) {
+                push(out, o, LintClass::Unreachable);
+            }
+        }
+    }
+
+    // Cycle detection: iterative three-colour DFS. `topo_order` is not
+    // usable here — it assumes a validated instance and panics on edges to
+    // unknown objects.
+    lint_cycles(weak, out);
+}
+
+fn lint_cycles(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<ObjectId, Colour> =
+        weak.objects().map(|o| (o, Colour::White)).collect();
+    let mut reported: HashSet<ObjectId> = HashSet::new();
+
+    for start in weak.objects() {
+        if colour.get(&start) != Some(&Colour::White) {
+            continue;
+        }
+        // Stack of (object, next-edge-index); edges fetched on push.
+        let mut stack: Vec<(ObjectId, Vec<ObjectId>, usize)> = Vec::new();
+        colour.insert(start, Colour::Grey);
+        let kids = |o: ObjectId| -> Vec<ObjectId> {
+            weak.weak_edges(o).into_iter().map(|(_, c)| c).filter(|c| weak.contains(*c)).collect()
+        };
+        stack.push((start, kids(start), 0));
+        while let Some((o, edges, idx)) = stack.last_mut() {
+            if *idx >= edges.len() {
+                colour.insert(*o, Colour::Black);
+                stack.pop();
+                continue;
+            }
+            let c = edges[*idx];
+            *idx += 1;
+            match colour.get(&c).copied().unwrap_or(Colour::Black) {
+                Colour::White => {
+                    colour.insert(c, Colour::Grey);
+                    stack.push((c, kids(c), 0));
+                }
+                Colour::Grey => {
+                    // Back edge: `c` lies on a cycle.
+                    if reported.insert(c) {
+                        push(out, c, LintClass::OnCycle);
+                    }
+                }
+                Colour::Black => {}
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- interpretation
+
+fn lint_interpretation(pi: &ProbInstance, out: &mut Vec<LintFinding>) {
+    let weak = pi.weak();
+
+    for o in weak.objects() {
+        let Some(node) = weak.node(o) else { continue };
+        if let Some(leaf) = node.leaf() {
+            match pi.vpf(o) {
+                None => push(out, o, LintClass::MissingVpf),
+                Some(vpf) => {
+                    let ty = weak.catalog().types().try_resolve(leaf.ty);
+                    lint_vpf(o, vpf, ty, out);
+                }
+            }
+        } else if !node.is_childless() {
+            match pi.opf(o) {
+                None => push(out, o, LintClass::MissingOpf),
+                Some(opf) => lint_opf(o, node.universe(), node.cards(), opf, out),
+            }
+        }
+    }
+
+    // Interpretations that cannot belong to their object.
+    for (o, _) in pi.opfs().iter() {
+        let orphan = match weak.node(o) {
+            None => true,
+            Some(n) => n.leaf().is_some() || n.is_childless(),
+        };
+        if orphan {
+            push(out, o, LintClass::OrphanInterpretation);
+        }
+    }
+    for (o, _) in pi.vpfs().iter() {
+        let orphan = match weak.node(o) {
+            None => true,
+            Some(n) => n.leaf().is_none(),
+        };
+        if orphan {
+            push(out, o, LintClass::OrphanInterpretation);
+        }
+    }
+}
+
+fn lint_vpf(
+    o: ObjectId,
+    vpf: &crate::vpf::Vpf,
+    ty: Option<&crate::types::LeafType>,
+    out: &mut Vec<LintFinding>,
+) {
+    let mut sum_ok = true;
+    for (v, p) in vpf.iter() {
+        if !check_prob(o, p, out) {
+            sum_ok = false;
+            continue;
+        }
+        if let Some(ty) = ty {
+            if p > 0.0 && !ty.contains(v) {
+                push(out, o, LintClass::VpfValueOutsideDomain { value: v.clone() });
+            }
+        }
+    }
+    if sum_ok {
+        let sum = vpf.total();
+        if (sum - 1.0).abs() > SUM_EPS {
+            push(out, o, LintClass::NotNormalized { sum });
+        }
+    }
+}
+
+/// Shared per-probability checks. Returns false when the value is not
+/// finite (so callers skip aggregate checks that would inherit the NaN).
+fn check_prob(o: ObjectId, p: f64, out: &mut Vec<LintFinding>) -> bool {
+    if !p.is_finite() {
+        push(out, o, LintClass::NonFiniteProbability { p });
+        return false;
+    }
+    if !(-PROB_EPS..=1.0 + PROB_EPS).contains(&p) {
+        push(out, o, LintClass::ProbabilityOutOfRange { p });
+    } else if p > 0.0 && p < NEAR_ZERO_MASS {
+        push(out, o, LintClass::NearZeroMass { p });
+    }
+    true
+}
+
+/// Checks that `set`'s positions all fall inside the universe, reporting
+/// the first offender. Must run before any `count_label`/`label_at` call:
+/// those index the universe directly and panic on corrupt positions.
+fn check_set_bounds(
+    o: ObjectId,
+    set: &ChildSet,
+    universe: &ChildUniverse,
+    out: &mut Vec<LintFinding>,
+) -> bool {
+    match set.positions().find(|&p| p as usize >= universe.len()) {
+        Some(pos) => {
+            push(out, o, LintClass::ChildSetOutsideUniverse { pos, universe_len: universe.len() });
+            false
+        }
+        None => true,
+    }
+}
+
+/// Per-declared-label accumulator for mass satisfying / violating the card.
+struct CardMass {
+    label: Label,
+    card: Card,
+    ok: f64,
+    bad: f64,
+}
+
+impl CardMass {
+    fn findings(cards: Vec<CardMass>, o: ObjectId, out: &mut Vec<LintFinding>) {
+        for cm in cards {
+            let total = cm.ok + cm.bad;
+            if !total.is_finite() || total <= PROB_EPS {
+                continue; // mass findings already reported elsewhere
+            }
+            if cm.ok <= PROB_EPS {
+                push(out, o, LintClass::CardUnsupportedByOpf { label: cm.label });
+            } else if cm.bad > SUM_EPS {
+                push(out, o, LintClass::OpfMassOutsideCard { label: cm.label, mass: cm.bad });
+            }
+        }
+    }
+}
+
+fn lint_opf(
+    o: ObjectId,
+    universe: &ChildUniverse,
+    declared: &[(Label, Card)],
+    opf: &Opf,
+    out: &mut Vec<LintFinding>,
+) {
+    // Only satisfiable declared cards take part in the support checks; the
+    // unsatisfiable ones are already reported by the structure pass.
+    let satisfiable: Vec<(Label, Card)> = declared
+        .iter()
+        .filter(|&&(l, c)| {
+            let available =
+                universe.iter().filter(|&(_, _, ul)| ul == l).count() as u32;
+            c.min <= c.max && c.min <= available
+        })
+        .copied()
+        .collect();
+
+    match opf {
+        Opf::Table(table) => {
+            let mut cards: Vec<CardMass> = satisfiable
+                .iter()
+                .map(|&(label, card)| CardMass { label, card, ok: 0.0, bad: 0.0 })
+                .collect();
+            let mut sum_ok = true;
+            for (set, p) in table.iter() {
+                if !check_prob(o, p, out) {
+                    sum_ok = false;
+                    continue;
+                }
+                if !check_set_bounds(o, set, universe, out) {
+                    continue;
+                }
+                if p <= 0.0 {
+                    continue;
+                }
+                for cm in &mut cards {
+                    let count = set.count_label(universe, cm.label);
+                    if cm.card.contains(count) {
+                        cm.ok += p;
+                    } else {
+                        cm.bad += p;
+                    }
+                }
+            }
+            if sum_ok {
+                let sum = table.total();
+                if (sum - 1.0).abs() > SUM_EPS {
+                    push(out, o, LintClass::NotNormalized { sum });
+                }
+            }
+            CardMass::findings(cards, o, out);
+        }
+        Opf::Independent(indep) => {
+            if indep.probs().len() != universe.len() {
+                push(
+                    out,
+                    o,
+                    LintClass::OpfShapeMismatch {
+                        expected: universe.len(),
+                        got: indep.probs().len(),
+                    },
+                );
+            }
+            let mut all_finite = true;
+            for &p in indep.probs() {
+                all_finite &= check_prob(o, p, out);
+            }
+            if !all_finite {
+                return;
+            }
+            // Exact per-label count distribution via dynamic programming
+            // over the independent presence probabilities (a Poisson
+            // binomial) — no 2^n materialisation.
+            let mut cards = Vec::new();
+            for &(label, card) in &satisfiable {
+                let probs: Vec<f64> = universe
+                    .iter()
+                    .filter(|&(_, _, l)| l == label)
+                    .map(|(pos, _, _)| {
+                        indep.probs().get(pos as usize).copied().unwrap_or(0.0).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                let mut dist = vec![1.0f64];
+                for p in probs {
+                    let mut next = vec![0.0; dist.len() + 1];
+                    for (k, &m) in dist.iter().enumerate() {
+                        next[k] += m * (1.0 - p);
+                        next[k + 1] += m * p;
+                    }
+                    dist = next;
+                }
+                let mut cm = CardMass { label, card, ok: 0.0, bad: 0.0 };
+                for (k, &m) in dist.iter().enumerate() {
+                    if card.contains(k as u32) {
+                        cm.ok += m;
+                    } else {
+                        cm.bad += m;
+                    }
+                }
+                cards.push(cm);
+            }
+            CardMass::findings(cards, o, out);
+        }
+        Opf::LabelProduct(lp) => {
+            let mut cards: Vec<CardMass> = satisfiable
+                .iter()
+                .map(|&(label, card)| CardMass { label, card, ok: 0.0, bad: 0.0 })
+                .collect();
+            let mut part_labels: Vec<Label> = Vec::new();
+            for (label, slice, table) in lp.parts() {
+                part_labels.push(*label);
+                if !check_set_bounds(o, slice, universe, out) {
+                    continue;
+                }
+                let mut sum_ok = true;
+                let mut outside_part = false;
+                for (set, p) in table.iter() {
+                    if !check_prob(o, p, out) {
+                        sum_ok = false;
+                        continue;
+                    }
+                    if !check_set_bounds(o, set, universe, out) {
+                        continue;
+                    }
+                    if p > 0.0 && !set.is_subset_of(slice) {
+                        outside_part = true;
+                    }
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    // A label's count in the joint draw is determined by
+                    // its own part alone (parts partition the universe by
+                    // label when well-formed; leakage is reported below).
+                    for cm in &mut cards {
+                        if cm.label != *label {
+                            continue;
+                        }
+                        let count = set.count_label(universe, cm.label);
+                        if cm.card.contains(count) {
+                            cm.ok += p;
+                        } else {
+                            cm.bad += p;
+                        }
+                    }
+                }
+                if outside_part {
+                    push(out, o, LintClass::OpfEntryOutsidePart { label: *label });
+                }
+                if sum_ok {
+                    let sum = table.total();
+                    if (sum - 1.0).abs() > SUM_EPS {
+                        push(out, o, LintClass::NotNormalized { sum });
+                    }
+                }
+            }
+            // Labels with no part draw zero children; a card demanding
+            // more is contradicted by the whole distribution.
+            cards.retain(|cm| {
+                if part_labels.contains(&cm.label) {
+                    true
+                } else {
+                    if !cm.card.contains(0) {
+                        push(out, o, LintClass::CardUnsupportedByOpf { label: cm.label });
+                    }
+                    false
+                }
+            });
+            CardMass::findings(cards, o, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::childset::ChildSet;
+    use crate::error::CoreError;
+    use crate::fixtures::fig2_instance;
+    use crate::ids::IdMap;
+    use crate::opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
+    use crate::prob_instance::ProbInstance;
+    use crate::types::LeafType;
+    use crate::value::Value;
+    use crate::vpf::Vpf;
+    use crate::weak::{Card, LeafInfo, WeakInstance, WeakNode};
+
+    fn codes(findings: &[LintFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.class.code()).collect()
+    }
+
+    /// Builds a valid two-level instance and hands its parts to `mutate`
+    /// for seeding a specific violation, reassembling unchecked.
+    fn mutated(mutate: impl FnOnce(&mut WeakInstance, &mut IdMap<crate::ids::ObjectKind, Opf>, &mut IdMap<crate::ids::ObjectKind, Vpf>)) -> ProbInstance {
+        let mut b = ProbInstance::builder();
+        b.define_type(LeafType::new("t", [Value::Int(1), Value::Int(2)]));
+        let r = b.object("R");
+        b.lch("R", "x", &["A", "B"]);
+        b.leaf("A", "t", Some(Value::Int(1)));
+        b.leaf("B", "t", Some(Value::Int(2)));
+        b.opf_table("R", &[(&[] as &[&str], 0.25), (&["A"], 0.25), (&["B"], 0.25), (&["A", "B"], 0.25)]);
+        let pi = b.build(r).unwrap();
+        let (mut weak, mut opf, mut vpf) = pi.into_parts();
+        mutate(&mut weak, &mut opf, &mut vpf);
+        ProbInstance::from_parts_unchecked(weak, opf, vpf)
+    }
+
+    #[test]
+    fn clean_instances_produce_no_findings() {
+        assert!(lint(&fig2_instance()).is_empty());
+        assert!(lint(&mutated(|_, _, _| {})).is_empty());
+    }
+
+    #[test]
+    fn non_finite_probability_is_flagged() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::empty(&u), f64::NAN);
+            t.set(ChildSet::full(&u), 1.0);
+            opf.insert(r, Opf::Table(t));
+        });
+        let f = lint(&pi);
+        assert!(codes(&f).contains(&"non-finite-probability"), "{f:?}");
+        assert!(!is_clean(&f));
+    }
+
+    #[test]
+    fn negative_probability_is_flagged() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::empty(&u), -0.5);
+            t.set(ChildSet::full(&u), 1.5);
+            opf.insert(r, Opf::Table(t));
+        });
+        assert!(codes(&lint(&pi)).contains(&"probability-out-of-range"));
+    }
+
+    #[test]
+    fn unnormalised_opf_is_flagged() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::full(&u), 0.5);
+            opf.insert(r, Opf::Table(t));
+        });
+        assert!(codes(&lint(&pi)).contains(&"not-normalized"));
+    }
+
+    #[test]
+    fn near_zero_mass_is_a_warning() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::empty(&u), 1e-13);
+            t.set(ChildSet::full(&u), 1.0 - 1e-13);
+            opf.insert(r, Opf::Table(t));
+        });
+        let f = lint(&pi);
+        assert!(codes(&f).contains(&"near-zero-mass"));
+        assert!(is_clean(&f), "near-zero mass alone must stay a warning: {f:?}");
+    }
+
+    #[test]
+    fn card_unsatisfiable_is_flagged() {
+        let pi = mutated(|w, _, _| {
+            let r = w.root();
+            let x = w.catalog().find_label("x").unwrap();
+            let node = w.node(r).unwrap();
+            let rebuilt = WeakNode::from_parts(
+                node.universe().clone(),
+                vec![(x, Card { min: 5, max: 7 })],
+                None,
+            );
+            *w.node_mut(r).unwrap() = rebuilt;
+        });
+        assert!(codes(&lint(&pi)).contains(&"card-unsatisfiable"));
+    }
+
+    #[test]
+    fn card_contradicted_by_opf_support_is_flagged() {
+        // card(R, x) = [2,2] but the OPF puts all its mass on singletons.
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let x = w.catalog().find_label("x").unwrap();
+            let node = w.node(r).unwrap();
+            let u = node.universe().clone();
+            let rebuilt =
+                WeakNode::from_parts(u.clone(), vec![(x, Card { min: 2, max: 2 })], None);
+            *w.node_mut(r).unwrap() = rebuilt;
+            let mut t = OpfTable::new();
+            t.set(ChildSet::from_positions(&u, [0]), 0.5);
+            t.set(ChildSet::from_positions(&u, [1]), 0.5);
+            opf.insert(r, Opf::Table(t));
+        });
+        assert!(codes(&lint(&pi)).contains(&"card-unsupported-by-opf"));
+    }
+
+    #[test]
+    fn partial_mass_outside_card_is_flagged() {
+        // card(R, x) = [1,2]: the ∅ entry's 0.25 violates it.
+        let pi = mutated(|w, _, _| {
+            let r = w.root();
+            let x = w.catalog().find_label("x").unwrap();
+            let node = w.node(r).unwrap();
+            let rebuilt = WeakNode::from_parts(
+                node.universe().clone(),
+                vec![(x, Card { min: 1, max: 2 })],
+                None,
+            );
+            *w.node_mut(r).unwrap() = rebuilt;
+        });
+        let f = lint(&pi);
+        assert!(codes(&f).contains(&"opf-mass-outside-card"), "{f:?}");
+    }
+
+    #[test]
+    fn unreachable_object_is_flagged() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            // Empty OPF support over R's children: both leaves unreachable
+            // only if edges vanish — instead orphan an extra node.
+            let _ = (r, opf);
+            let mut cat = (**w.catalog()).clone();
+            let lost = cat.object("Lost");
+            let mut nodes = w.nodes().clone();
+            nodes.insert(lost, WeakNode::default());
+            *w = WeakInstance::from_parts_unchecked(cat.into_shared(), w.root(), nodes);
+        });
+        assert!(codes(&lint(&pi)).contains(&"unreachable"));
+    }
+
+    #[test]
+    fn cycle_is_flagged() {
+        let mut b = crate::weak::WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let l = b.label("x");
+        b.lch(r, l, &[a]);
+        b.lch(a, l, &[r]);
+        let w = b.build(r).unwrap();
+        let mut opf = IdMap::new();
+        for o in [r, a] {
+            let u = w.node(o).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::full(&u), 1.0);
+            opf.insert(o, Opf::Table(t));
+        }
+        let pi = ProbInstance::from_parts_unchecked(w, opf, IdMap::new());
+        assert!(codes(&lint(&pi)).contains(&"cycle"));
+    }
+
+    #[test]
+    fn corrupt_child_set_positions_do_not_panic() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            // Position 7 does not exist in a 2-member universe.
+            t.set(ChildSet::Mask(1 << 7), 1.0);
+            let _ = u;
+            opf.insert(r, Opf::Table(t));
+        });
+        assert!(codes(&lint(&pi)).contains(&"child-set-outside-universe"));
+    }
+
+    #[test]
+    fn vpf_value_outside_domain_is_flagged() {
+        let pi = mutated(|w, _, vpf| {
+            let a = w.catalog().find_object("A").unwrap();
+            vpf.insert(a, Vpf::point(Value::Int(99)));
+        });
+        assert!(codes(&lint(&pi)).contains(&"vpf-value-outside-domain"));
+    }
+
+    #[test]
+    fn missing_opf_and_vpf_are_flagged() {
+        let pi = mutated(|w, opf, vpf| {
+            let r = w.root();
+            let a = w.catalog().find_object("A").unwrap();
+            opf.remove(r);
+            vpf.remove(a);
+        });
+        let c = codes(&lint(&pi));
+        assert!(c.contains(&"missing-opf"));
+        assert!(c.contains(&"missing-vpf"));
+    }
+
+    #[test]
+    fn orphan_interpretation_is_a_warning() {
+        let pi = mutated(|w, opf, _| {
+            let a = w.catalog().find_object("A").unwrap();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::Mask(0), 1.0);
+            opf.insert(a, Opf::Table(t)); // OPF on a leaf
+        });
+        let f = lint(&pi);
+        assert!(codes(&f).contains(&"orphan-interpretation"));
+        assert!(is_clean(&f));
+    }
+
+    #[test]
+    fn independent_opf_shape_and_card_checks() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let x = w.catalog().find_label("x").unwrap();
+            let node = w.node(r).unwrap();
+            let u = node.universe().clone();
+            // card [2,2] but each child present with probability 0.5:
+            // P(count = 2) = 0.25, so 0.75 of the mass violates the card.
+            let rebuilt = WeakNode::from_parts(u, vec![(x, Card { min: 2, max: 2 })], None);
+            *w.node_mut(r).unwrap() = rebuilt;
+            opf.insert(r, Opf::Independent(IndependentOpf::new(vec![0.5, 0.5, 0.5])));
+        });
+        let c = codes(&lint(&pi));
+        assert!(c.contains(&"opf-shape-mismatch")); // 3 probs, 2 children
+        assert!(c.contains(&"opf-mass-outside-card"));
+    }
+
+    #[test]
+    fn label_product_part_leak_is_flagged() {
+        // Two labels; the part for `x` puts mass on `y`'s position, which
+        // leaks outside its slice.
+        let mut b = crate::weak::WeakInstance::builder();
+        let r = b.object("R");
+        let a = b.object("A");
+        let c2 = b.object("C");
+        let x = b.label("x");
+        let y = b.label("y");
+        b.lch(r, x, &[a]);
+        b.lch(r, y, &[c2]);
+        let w = b.build(r).unwrap();
+        let u = w.node(r).unwrap().universe().clone();
+        let leak = {
+            let mut t = OpfTable::new();
+            // Position 1 is C, which carries label y, not x.
+            t.set(ChildSet::from_positions(&u, [1]), 1.0);
+            t
+        };
+        let ok_part = {
+            let mut t = OpfTable::new();
+            t.set(ChildSet::from_positions(&u, [1]), 1.0);
+            t
+        };
+        let lp = LabelProductOpf::new(&u, [(x, leak), (y, ok_part)]);
+        let mut opf = IdMap::new();
+        opf.insert(r, Opf::LabelProduct(lp));
+        let pi = ProbInstance::from_parts_unchecked(w, opf, IdMap::new());
+        let c = codes(&lint(&pi));
+        assert!(c.contains(&"opf-entry-outside-part"), "{c:?}");
+    }
+
+    #[test]
+    fn missing_root_is_flagged() {
+        let pi = mutated(|w, _, _| {
+            let mut cat = (**w.catalog()).clone();
+            let ghost = cat.object("Ghost");
+            let nodes = w.nodes().clone();
+            *w = WeakInstance::from_parts_unchecked(cat.into_shared(), ghost, nodes);
+        });
+        assert!(codes(&lint(&pi)).contains(&"missing-root"));
+    }
+
+    #[test]
+    fn lint_agrees_with_validate_on_valid_instances() {
+        let pi = fig2_instance();
+        assert!(pi.validate().is_ok());
+        assert!(is_clean(&lint(&pi)));
+    }
+
+    #[test]
+    fn findings_render_with_catalog_names() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::full(&u), 0.5);
+            opf.insert(r, Opf::Table(t));
+        });
+        let f = lint(&pi);
+        let rendered = f[0].render(pi.catalog());
+        assert!(rendered.contains("error[not-normalized]"), "{rendered}");
+        assert!(rendered.contains('R'), "{rendered}");
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let a = w.catalog().find_object("A").unwrap();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::full(&u), 0.5); // error: not normalised
+            opf.insert(r, Opf::Table(t));
+            let mut orphan = OpfTable::new();
+            orphan.set(ChildSet::Mask(0), 1.0);
+            opf.insert(a, Opf::Table(orphan)); // warning: orphan
+        });
+        let f = lint(&pi);
+        assert!(f.len() >= 2);
+        assert_eq!(f[0].severity(), Severity::Error);
+        assert_eq!(f.last().unwrap().severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn validate_error_implies_lint_finding() {
+        // Cross-check: every mutation that validate rejects must surface
+        // at least one error-severity lint finding.
+        type Mutation =
+            fn(&mut WeakInstance, &mut IdMap<crate::ids::ObjectKind, Opf>, &mut IdMap<crate::ids::ObjectKind, Vpf>);
+        let muts: Vec<Mutation> = vec![
+            |w, opf, _| {
+                let r = w.root();
+                let u = w.node(r).unwrap().universe().clone();
+                let mut t = OpfTable::new();
+                t.set(ChildSet::full(&u), 0.5);
+                opf.insert(r, Opf::Table(t));
+            },
+            |w, opf, _| {
+                opf.remove(w.root());
+            },
+            |w, _, vpf| {
+                let a = w.catalog().find_object("A").unwrap();
+                vpf.insert(a, Vpf::point(Value::Int(99)));
+            },
+        ];
+        for m in muts {
+            let pi = mutated(m);
+            assert!(pi.validate().is_err());
+            assert!(!is_clean(&lint(&pi)), "validate rejected but lint stayed clean");
+        }
+    }
+
+    #[test]
+    fn leaf_with_children_and_bad_value_flagged() {
+        let pi = mutated(|w, _, _| {
+            let r = w.root();
+            let ty = w.catalog().find_type("t").unwrap();
+            let node = w.node(r).unwrap();
+            let rebuilt = WeakNode::from_parts(
+                node.universe().clone(),
+                node.cards().to_vec(),
+                Some(LeafInfo { ty, val: Some(Value::Int(42)) }),
+            );
+            *w.node_mut(r).unwrap() = rebuilt;
+        });
+        let c = codes(&lint(&pi));
+        assert!(c.contains(&"leaf-with-children"));
+        assert!(c.contains(&"value-outside-domain"));
+    }
+
+    #[test]
+    fn normalize_error_matches_lint_degenerate_view() {
+        // A zero-total table is both un-normalisable and flagged by lint.
+        let pi = mutated(|w, opf, _| {
+            let r = w.root();
+            let u = w.node(r).unwrap().universe().clone();
+            let mut t = OpfTable::new();
+            t.set(ChildSet::full(&u), 0.0);
+            opf.insert(r, Opf::Table(t));
+        });
+        assert!(codes(&lint(&pi)).contains(&"not-normalized"));
+        let mut zero = OpfTable::new();
+        zero.set(ChildSet::Mask(0), 0.0);
+        assert!(matches!(zero.normalize(), Err(CoreError::DegenerateMass { .. })));
+    }
+}

@@ -125,15 +125,22 @@ impl OpfTable {
     /// Divides every probability by `total()`, dropping zero entries.
     /// Returns the pre-normalisation total (the ε of Section 6.1 when the
     /// empty set has first been zeroed).
-    pub fn normalize(&mut self) -> f64 {
+    ///
+    /// Errors with [`CoreError::DegenerateMass`] when the total is zero,
+    /// negative or non-finite — previously a NaN total propagated silently
+    /// through every entry and a zero total left the table unnormalised.
+    /// Callers that treat a (near-)zero total as "dead" should test
+    /// [`OpfTable::total`] before normalising.
+    pub fn normalize(&mut self) -> Result<f64> {
         let total = self.total();
-        if total > 0.0 {
-            for (_, p) in &mut self.entries {
-                *p /= total;
-            }
+        if !total.is_finite() || total <= 0.0 {
+            return Err(CoreError::DegenerateMass { total });
+        }
+        for (_, p) in &mut self.entries {
+            *p /= total;
         }
         self.retain_positive();
-        total
+        Ok(total)
     }
 
     /// Removes entries with probability 0 (or below).
@@ -600,9 +607,27 @@ mod tests {
     fn table_normalize_returns_pre_total() {
         let u = universe(2);
         let mut t = OpfTable::from_entries([(set(&u, &[0]), 0.3), (set(&u, &[1]), 0.3)]);
-        let total = t.normalize();
+        let total = t.normalize().unwrap();
         assert!((total - 0.6).abs() < 1e-12);
         assert!((t.prob(&set(&u, &[0])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_normalize_rejects_degenerate_totals() {
+        use crate::error::CoreError;
+        let u = universe(2);
+        // Zero total: previously left unnormalised without any signal.
+        let mut zero = OpfTable::from_entries([(set(&u, &[0]), 0.0)]);
+        assert!(matches!(zero.normalize(), Err(CoreError::DegenerateMass { total }) if total == 0.0));
+        // NaN total: previously divided every entry by NaN silently.
+        let mut nan = OpfTable::from_entries([(set(&u, &[0]), f64::NAN), (set(&u, &[1]), 0.5)]);
+        assert!(matches!(nan.normalize(), Err(CoreError::DegenerateMass { total }) if total.is_nan()));
+        // Infinite total.
+        let mut inf = OpfTable::from_entries([(set(&u, &[0]), f64::INFINITY)]);
+        assert!(inf.normalize().is_err());
+        // Negative total.
+        let mut neg = OpfTable::from_entries([(set(&u, &[0]), -1.0)]);
+        assert!(neg.normalize().is_err());
     }
 
     #[test]

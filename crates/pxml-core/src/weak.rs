@@ -158,6 +158,19 @@ impl WeakInstance {
         Ok(w)
     }
 
+    /// Constructs a weak instance from parts **without validation** — the
+    /// structural counterpart of [`crate::ProbInstance::from_parts_unchecked`].
+    /// Used by diagnostic loaders (`pxml check`) that must hold incoherent
+    /// instances long enough to report *why* they are incoherent; run
+    /// [`crate::lint::lint`] on anything built this way.
+    pub fn from_parts_unchecked(
+        catalog: Arc<Catalog>,
+        root: ObjectId,
+        nodes: IdMap<ObjectKind, WeakNode>,
+    ) -> Self {
+        WeakInstance { catalog, root, nodes }
+    }
+
     /// The shared catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog

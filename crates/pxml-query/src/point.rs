@@ -154,6 +154,11 @@ fn eps_at(
     // tables by iteration — see `Opf::survival_probability`.
     hook.visited_opf_entries(opf.stored_len() as u64);
     let v = opf.survival_probability(&kept_children);
+    // An unchecked instance with NaN/∞ OPF mass would otherwise poison the
+    // shared ε memo and every query that reuses it.
+    if !v.is_finite() {
+        return Err(QueryError::Core(pxml_core::CoreError::DegenerateMass { total: v }));
+    }
     hook.put(x, depth, v);
     Ok(v)
 }

@@ -13,6 +13,31 @@ use crate::error::{Result, StorageError};
 
 /// Decodes an instance from its binary encoding, validating it.
 pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
+    let (catalog, root, nodes, opfs, vpfs) = decode_parts(bytes)?;
+    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
+    Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+}
+
+/// Decodes an instance **without model validation** — the diagnostic
+/// loader behind `pxml check`. Structural bounds checks (indices, counts,
+/// UTF-8) still apply, but coherence violations (unnormalised OPFs,
+/// unsatisfiable cards, unreachable objects, …) are let through so
+/// `pxml_core::lint` can report all of them instead of failing on the
+/// first.
+pub fn from_binary_unchecked(bytes: &[u8]) -> Result<ProbInstance> {
+    let (catalog, root, nodes, opfs, vpfs) = decode_parts(bytes)?;
+    let weak = WeakInstance::from_parts_unchecked(Arc::new(catalog), root, nodes);
+    Ok(ProbInstance::from_parts_unchecked(weak, opfs, vpfs))
+}
+
+type DecodedParts =
+    (Catalog, ObjectId, IdMap<ObjectKind, WeakNode>, IdMap<ObjectKind, Opf>, IdMap<ObjectKind, Vpf>);
+
+/// Shared structural decode: everything up to (but excluding) model
+/// validation. Every count is checked against the bytes actually
+/// remaining before it sizes an allocation, so a corrupt header cannot
+/// trigger a huge preallocation.
+fn decode_parts(bytes: &[u8]) -> Result<DecodedParts> {
     let mut r = Reader { bytes, pos: 0 };
     let magic = r.take(8)?;
     if magic != MAGIC {
@@ -26,9 +51,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
     let mut catalog = Catalog::new();
     // Objects.
     let n_objects = r.u32()? as usize;
-    if n_objects > bytes.len() {
-        return Err(StorageError::Binary("object count exceeds input size".into()));
-    }
+    r.check_count(n_objects, "object count")?;
     let mut ids: Vec<ObjectId> = Vec::with_capacity(n_objects);
     for _ in 0..n_objects {
         let name = r.string()?;
@@ -36,9 +59,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
     }
     // Labels.
     let n_labels = r.u32()? as usize;
-    if n_labels > bytes.len() {
-        return Err(StorageError::Binary("label count exceeds input size".into()));
-    }
+    r.check_count(n_labels, "label count")?;
     let mut labels: Vec<Label> = Vec::with_capacity(n_labels);
     for _ in 0..n_labels {
         let name = r.string()?;
@@ -46,16 +67,12 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
     }
     // Types.
     let n_types = r.u32()? as usize;
-    if n_types > bytes.len() {
-        return Err(StorageError::Binary("type count exceeds input size".into()));
-    }
+    r.check_count(n_types, "type count")?;
     let mut types: Vec<TypeId> = Vec::with_capacity(n_types);
     for _ in 0..n_types {
         let name = r.string()?;
         let n_dom = r.u32()? as usize;
-        if n_dom > bytes.len() {
-            return Err(StorageError::Binary("domain size exceeds input size".into()));
-        }
+        r.check_count(n_dom, "domain size")?;
         let mut domain = Vec::with_capacity(n_dom);
         for _ in 0..n_dom {
             domain.push(r.value()?);
@@ -90,9 +107,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
     for &id in &ids {
         // Universe.
         let n = r.u32()? as usize;
-        if n > bytes.len() {
-            return Err(StorageError::Binary("universe size exceeds input size".into()));
-        }
+        r.check_count(n, "universe size")?;
         let mut universe = ChildUniverse::new();
         for _ in 0..n {
             let child = object_at(r.u32()?)?;
@@ -101,9 +116,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
         }
         // Cards.
         let n_cards = r.u32()? as usize;
-        if n_cards > bytes.len() {
-            return Err(StorageError::Binary("card count exceeds input size".into()));
-        }
+        r.check_count(n_cards, "card count")?;
         let mut cards = Vec::with_capacity(n_cards);
         for _ in 0..n_cards {
             let l = label_at(r.u32()?)?;
@@ -125,15 +138,14 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
         // OPF.
         if r.u8()? == 1 {
             let n_entries = r.u32()? as usize;
-            if n_entries > bytes.len() {
-                return Err(StorageError::Binary("OPF size exceeds input size".into()));
-            }
+            r.check_count(n_entries, "OPF size")?;
             let mut table = OpfTable::new();
             for _ in 0..n_entries {
                 let n_pos = r.u32()? as usize;
                 if n_pos > universe.len() {
                     return Err(StorageError::Binary("child set larger than universe".into()));
                 }
+                r.check_count(n_pos, "child set size")?;
                 let mut positions = Vec::with_capacity(n_pos);
                 for _ in 0..n_pos {
                     let pos = r.u32()?;
@@ -152,9 +164,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
         // VPF.
         if r.u8()? == 1 {
             let n_entries = r.u32()? as usize;
-            if n_entries > bytes.len() {
-                return Err(StorageError::Binary("VPF size exceeds input size".into()));
-            }
+            r.check_count(n_entries, "VPF size")?;
             let mut vpf = Vpf::new();
             for _ in 0..n_entries {
                 let v = r.value()?;
@@ -171,14 +181,20 @@ pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
         )));
     }
 
-    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
-    Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+    Ok((catalog, root, nodes, opfs, vpfs))
 }
 
 /// Reads a binary `.pxmlb` file.
 pub fn read_binary_file(path: &std::path::Path) -> Result<ProbInstance> {
     let bytes = std::fs::read(path)?;
     from_binary(&bytes)
+}
+
+/// Reads a binary `.pxmlb` file without model validation (see
+/// [`from_binary_unchecked`]).
+pub fn read_binary_file_unchecked(path: &std::path::Path) -> Result<ProbInstance> {
+    let bytes = std::fs::read(path)?;
+    from_binary_unchecked(&bytes)
 }
 
 struct Reader<'a> {
@@ -188,12 +204,36 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
+        // `pos + n` can overflow on adversarial 64-bit counts; the
+        // checked form turns that into the same truncation error.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| StorageError::Binary("unexpected end of input".into()))?;
+        if end > self.bytes.len() {
             return Err(StorageError::Binary("unexpected end of input".into()));
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Bytes left after the cursor.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Rejects element counts that exceed the remaining input, so a
+    /// corrupt count can never size an allocation beyond the input itself
+    /// (every encoded element occupies at least one byte).
+    fn check_count(&self, n: usize, what: &str) -> Result<()> {
+        if n > self.remaining() {
+            return Err(StorageError::Binary(format!(
+                "{what} {n} exceeds the {} remaining input bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
     }
 
     fn u8(&mut self) -> Result<u8> {
@@ -201,15 +241,18 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn string(&mut self) -> Result<String> {
@@ -254,14 +297,14 @@ mod tests {
     #[test]
     fn fig2_round_trips_binary() {
         let pi = fig2_instance();
-        let decoded = from_binary(&to_binary(&pi)).unwrap();
+        let decoded = from_binary(&to_binary(&pi).unwrap()).unwrap();
         same_distribution(&pi, &decoded);
     }
 
     #[test]
     fn chain_and_diamond_round_trip_binary() {
         for pi in [chain(4, 0.51), diamond()] {
-            let decoded = from_binary(&to_binary(&pi)).unwrap();
+            let decoded = from_binary(&to_binary(&pi).unwrap()).unwrap();
             same_distribution(&pi, &decoded);
         }
     }
@@ -269,8 +312,8 @@ mod tests {
     #[test]
     fn double_round_trip_is_byte_identical() {
         let pi = fig2_instance();
-        let once = to_binary(&pi);
-        let twice = to_binary(&from_binary(&once).unwrap());
+        let once = to_binary(&pi).unwrap();
+        let twice = to_binary(&from_binary(&once).unwrap()).unwrap();
         assert_eq!(once, twice);
     }
 
@@ -284,7 +327,7 @@ mod tests {
 
     #[test]
     fn truncated_input_is_rejected() {
-        let bytes = to_binary(&fig2_instance());
+        let bytes = to_binary(&fig2_instance()).unwrap();
         for cut in [10, 50, bytes.len() - 1] {
             assert!(from_binary(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
@@ -292,7 +335,7 @@ mod tests {
 
     #[test]
     fn corrupted_probability_fails_validation() {
-        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        let mut bytes = to_binary(&chain(1, 0.5)).unwrap().to_vec();
         // Flip a byte near the end (inside an f64 probability).
         let n = bytes.len();
         bytes[n - 3] ^= 0xff;
@@ -301,14 +344,14 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        let mut bytes = to_binary(&chain(1, 0.5)).unwrap().to_vec();
         bytes.push(0);
         assert!(matches!(from_binary(&bytes), Err(StorageError::Binary(_))));
     }
 
     #[test]
     fn future_version_is_rejected() {
-        let mut bytes = to_binary(&chain(1, 0.5)).to_vec();
+        let mut bytes = to_binary(&chain(1, 0.5)).unwrap().to_vec();
         bytes[8] = 0xff; // bump the version field
         assert!(matches!(from_binary(&bytes), Err(StorageError::Version { .. })));
     }

@@ -9,9 +9,10 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+use pxml_core::catalog::DisplayObject;
 use pxml_core::{ObjectId, ProbInstance, Value};
 
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 
 /// Magic prefix of the binary format.
 pub const MAGIC: &[u8; 8] = b"PXMLBIN1";
@@ -19,7 +20,11 @@ pub const MAGIC: &[u8; 8] = b"PXMLBIN1";
 pub const BINARY_VERSION: u32 = 1;
 
 /// Encodes an instance into a binary buffer.
-pub fn to_binary(pi: &ProbInstance) -> Bytes {
+///
+/// Fails with [`StorageError::Encode`] when the instance references
+/// objects outside its own vertex set — possible for instances assembled
+/// with `from_parts_unchecked`, and previously a panic.
+pub fn to_binary(pi: &ProbInstance) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
     buf.put_u32_le(BINARY_VERSION);
@@ -28,8 +33,13 @@ pub fn to_binary(pi: &ProbInstance) -> Bytes {
     // Objects: only the members of V, in id order; ids are re-assigned
     // densely on decode.
     let members: Vec<ObjectId> = pi.objects().collect();
-    let index_of = |o: ObjectId| -> u32 {
-        members.binary_search(&o).expect("member of V") as u32
+    let index_of = |o: ObjectId| -> Result<u32> {
+        members.binary_search(&o).map(|i| i as u32).map_err(|_| {
+            StorageError::Encode(format!(
+                "object {} is referenced but not a member of V",
+                DisplayObject(cat, o)
+            ))
+        })
     };
     buf.put_u32_le(members.len() as u32);
     for &o in &members {
@@ -49,15 +59,17 @@ pub fn to_binary(pi: &ProbInstance) -> Bytes {
             put_value(&mut buf, v);
         }
     }
-    buf.put_u32_le(index_of(pi.root()));
+    buf.put_u32_le(index_of(pi.root())?);
 
     // Per-object records, in the same order as the member table.
     for &o in &members {
-        let node = pi.weak().node(o).expect("member of V");
+        let node = pi.weak().node(o).ok_or_else(|| {
+            StorageError::Encode(format!("no node data for object {}", DisplayObject(cat, o)))
+        })?;
         // Universe.
         buf.put_u32_le(node.universe().len() as u32);
         for (_, child, label) in node.universe().iter() {
-            buf.put_u32_le(index_of(child));
+            buf.put_u32_le(index_of(child)?);
             buf.put_u32_le(label.raw());
         }
         // Cards.
@@ -112,12 +124,12 @@ pub fn to_binary(pi: &ProbInstance) -> Bytes {
             None => buf.put_u8(0),
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Writes the binary encoding to a file, returning the byte count.
 pub fn write_binary_file(pi: &ProbInstance, path: &std::path::Path) -> Result<usize> {
-    let bytes = to_binary(pi);
+    let bytes = to_binary(pi)?;
     std::fs::write(path, &bytes)?;
     Ok(bytes.len())
 }
@@ -152,24 +164,50 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
 mod tests {
     use super::*;
     use pxml_core::fixtures::fig2_instance;
+    use pxml_core::ids::IdMap;
+    use pxml_core::{Catalog, ChildUniverse, WeakInstance, WeakNode};
 
     #[test]
     fn encoding_starts_with_magic_and_version() {
-        let bytes = to_binary(&fig2_instance());
+        let bytes = to_binary(&fig2_instance()).unwrap();
         assert_eq!(&bytes[..8], MAGIC);
         assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), BINARY_VERSION);
     }
 
     #[test]
     fn encoding_is_deterministic() {
-        assert_eq!(to_binary(&fig2_instance()), to_binary(&fig2_instance()));
+        assert_eq!(
+            to_binary(&fig2_instance()).unwrap(),
+            to_binary(&fig2_instance()).unwrap()
+        );
     }
 
     #[test]
     fn binary_is_smaller_than_text() {
         let pi = fig2_instance();
-        let bin = to_binary(&pi).len();
+        let bin = to_binary(&pi).unwrap().len();
         let txt = crate::text::writer::to_text(&pi).len();
         assert!(bin < txt, "binary {bin} should beat text {txt}");
+    }
+
+    #[test]
+    fn out_of_v_reference_is_an_error_not_a_panic() {
+        // An unchecked instance whose root's universe references an object
+        // that was never added to V.
+        let mut cat = Catalog::new();
+        let r = cat.object("R");
+        let ghost = cat.object("Ghost");
+        let x = cat.label("x");
+        let mut nodes = IdMap::new();
+        nodes.insert(
+            r,
+            WeakNode::from_parts(ChildUniverse::from_members([(ghost, x)]), Vec::new(), None),
+        );
+        let weak = WeakInstance::from_parts_unchecked(cat.into_shared(), r, nodes);
+        let pi = pxml_core::ProbInstance::from_parts_unchecked(weak, IdMap::new(), IdMap::new());
+        match to_binary(&pi) {
+            Err(StorageError::Encode(msg)) => assert!(msg.contains("Ghost"), "{msg}"),
+            other => panic!("expected Encode error, got {other:?}"),
+        }
     }
 }

@@ -16,6 +16,9 @@ pub enum StorageError {
     Parse { line: usize, message: String },
     /// The binary input is malformed.
     Binary(String),
+    /// The instance cannot be encoded (e.g. it references objects outside
+    /// its own vertex set, as `from_parts_unchecked` instances can).
+    Encode(String),
     /// The decoded instance failed model validation.
     Core(CoreError),
     /// Unsupported format version.
@@ -31,6 +34,7 @@ impl fmt::Display for StorageError {
                 write!(f, "parse error at line {line}: {message}")
             }
             StorageError::Binary(m) => write!(f, "binary decode error: {m}"),
+            StorageError::Encode(m) => write!(f, "encode error: {m}"),
             StorageError::Core(e) => write!(f, "decoded instance is invalid: {e}"),
             StorageError::Version { found, supported } => {
                 write!(f, "format version {found} unsupported (this build reads ≤ {supported})")

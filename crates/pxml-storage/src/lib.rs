@@ -14,19 +14,38 @@
 //! Both round-trip the full model: weak structure, cardinalities, OPFs,
 //! VPFs, types and values. Decoders validate everything through
 //! `ProbInstance::from_parts`, so a corrupt file can never produce an
-//! incoherent instance.
+//! incoherent instance. The `*_unchecked` loaders relax *model*
+//! validation only (structural bounds checks always apply) so the
+//! `pxml check` linter can diagnose incoherent files instead of stopping
+//! at the first violation.
+//!
+//! ## Error-handling contract
+//!
+//! Every parse and decode path in this crate is **panic-free on
+//! arbitrary input**: malformed bytes or text produce a typed
+//! [`StorageError`], never a panic, and allocations are sized only after
+//! the corresponding byte count has been checked against the remaining
+//! input. The `#![deny(clippy::unwrap_used, ...)]` attribute below
+//! enforces this at compile time for all non-test code, and the workspace
+//! fault-injection harness (`tests/fuzz_robustness.rs`) enforces it
+//! dynamically with tens of thousands of seeded byte mutations.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod binary;
 pub mod error;
 pub mod text;
 pub mod xml;
 
-pub use binary::decode::{from_binary, read_binary_file};
+pub use binary::decode::{
+    from_binary, from_binary_unchecked, read_binary_file, read_binary_file_unchecked,
+};
 pub use binary::encode::{to_binary, write_binary_file};
 pub use error::{Result, StorageError};
-pub use text::parser::{from_text, read_text_file};
+pub use text::parser::{
+    from_text, from_text_unchecked, read_text_file, read_text_file_unchecked,
+};
 pub use text::writer::{to_text, write_text_file};
 pub use xml::to_xml;

@@ -16,13 +16,29 @@ use crate::text::writer::TEXT_VERSION;
 /// Parses the `.pxml` text format into a validated probabilistic instance.
 pub fn from_text(input: &str) -> Result<ProbInstance> {
     let tokens = lex(input)?;
-    Parser { tokens, pos: 0 }.file()
+    Parser { tokens, pos: 0 }.file(true)
+}
+
+/// Parses the `.pxml` text format **without model validation** — the
+/// diagnostic loader behind `pxml check`. Syntax and name resolution are
+/// still enforced; coherence violations (unnormalised OPFs, unreachable
+/// objects, …) are let through so `pxml_core::lint` can report them all.
+pub fn from_text_unchecked(input: &str) -> Result<ProbInstance> {
+    let tokens = lex(input)?;
+    Parser { tokens, pos: 0 }.file(false)
 }
 
 /// Reads and parses a `.pxml` file.
 pub fn read_text_file(path: &std::path::Path) -> Result<ProbInstance> {
     let text = std::fs::read_to_string(path)?;
     from_text(&text)
+}
+
+/// Reads a `.pxml` file without model validation (see
+/// [`from_text_unchecked`]).
+pub fn read_text_file_unchecked(path: &std::path::Path) -> Result<ProbInstance> {
+    let text = std::fs::read_to_string(path)?;
+    from_text_unchecked(&text)
 }
 
 struct Parser {
@@ -142,7 +158,7 @@ impl Parser {
         }
     }
 
-    fn file(&mut self) -> Result<ProbInstance> {
+    fn file(&mut self, checked: bool) -> Result<ProbInstance> {
         self.keyword("pxml")?;
         let v = self.ident()?;
         let version: u32 = v
@@ -204,7 +220,7 @@ impl Parser {
             return self.err("trailing input after instance");
         }
 
-        resolve(types, &root_name, objects)
+        resolve(types, &root_name, objects, checked)
     }
 
     fn object_body(&mut self) -> Result<RawObject> {
@@ -294,11 +310,13 @@ impl Parser {
     }
 }
 
-/// Second pass: resolve names to ids and build the validated instance.
+/// Second pass: resolve names to ids and build the instance — validated
+/// when `checked`, assembled leniently for diagnostics otherwise.
 fn resolve(
     types: Vec<LeafType>,
     root_name: &str,
     objects: Vec<(String, RawObject)>,
+    checked: bool,
 ) -> Result<ProbInstance> {
     let mut catalog = Catalog::new();
     for ty in types {
@@ -380,8 +398,13 @@ fn resolve(
         }
     }
 
-    let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
-    Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+    if checked {
+        let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
+        Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
+    } else {
+        let weak = WeakInstance::from_parts_unchecked(Arc::new(catalog), root, nodes);
+        Ok(ProbInstance::from_parts_unchecked(weak, opfs, vpfs))
+    }
 }
 
 #[cfg(test)]

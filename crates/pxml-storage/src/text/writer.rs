@@ -34,7 +34,7 @@ pub fn to_text(pi: &ProbInstance) -> String {
     let root_name = cat.object_name(pi.root());
     let _ = writeln!(out, "instance root={root_name:?} {{");
     for o in pi.objects() {
-        let node = pi.weak().node(o).expect("iterating objects");
+        let Some(node) = pi.weak().node(o) else { continue };
         let name = cat.object_name(o);
         if let Some(leaf) = node.leaf() {
             let ty = cat.type_def(leaf.ty);

@@ -42,7 +42,7 @@ fn emit(
         return;
     }
     emitted.push(o);
-    let node = s.node(o).expect("member of instance");
+    let Some(node) = s.node(o) else { return };
     match (node.children().is_empty(), node.leaf()) {
         (true, Some((_, v))) => {
             let _ = writeln!(

@@ -25,3 +25,77 @@ pub fn random_tree(seed: u64) -> ProbInstance {
 pub fn random_dag(seed: u64) -> ProbInstance {
     gen_random_dag(seed)
 }
+
+// ---------------------------------------------------------------------
+// Deterministic byte mutator for the fault-injection harness
+// (tests/fuzz_robustness.rs). No external RNG: a fixed xorshift64*
+// keeps every run byte-identical across machines and toolchains.
+// ---------------------------------------------------------------------
+
+/// Minimal xorshift64* generator. Deterministic and dependency-free on
+/// purpose — fuzz failures must replay from the seed alone.
+#[allow(dead_code)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+#[allow(dead_code)]
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped (xorshift sticks at 0).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish draw in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Applies 1–8 random byte-level edits (bit flips, overwrites, inserts,
+/// deletes, truncations) to a copy of `input`. Empty results are allowed
+/// — decoders must reject those gracefully too.
+#[allow(dead_code)]
+pub fn mutate_bytes(rng: &mut XorShift64, input: &[u8]) -> Vec<u8> {
+    let mut out = input.to_vec();
+    let edits = 1 + rng.below(8);
+    for _ in 0..edits {
+        if out.is_empty() {
+            out.push(rng.next_u64() as u8);
+            continue;
+        }
+        match rng.below(5) {
+            0 => {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+            1 => {
+                let i = rng.below(out.len());
+                out[i] = rng.next_u64() as u8;
+            }
+            2 => {
+                let i = rng.below(out.len() + 1);
+                out.insert(i, rng.next_u64() as u8);
+            }
+            3 => {
+                let i = rng.below(out.len());
+                out.remove(i);
+            }
+            _ => {
+                let keep = rng.below(out.len() + 1);
+                out.truncate(keep);
+            }
+        }
+    }
+    out
+}

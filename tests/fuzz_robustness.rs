@@ -1,0 +1,226 @@
+//! Deterministic fault-injection harness for the untrusted-input paths.
+//!
+//! Three surfaces take bytes from outside the process — the `.pxmlb`
+//! binary codec, the `.pxml` text parser, and the PXML-QL query string —
+//! and all three promise the same contract: **any** input yields
+//! `Ok(..)` or a typed error, never a panic. This harness byte-mutates
+//! well-formed seeds with a fixed xorshift64* generator
+//! (`tests/common`), so every run replays the exact same 20 000
+//! mutations per surface; a failure reproduces from the iteration index
+//! alone.
+//!
+//! The second half seeds *semantic* corruption — coherence violations
+//! that survive structural parsing — and asserts the deep linter behind
+//! `pxml check` reports each class.
+
+mod common;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use common::{mutate_bytes, XorShift64};
+use pxml::core::fixtures::fig2_instance;
+use pxml::core::lint::{is_clean, lint};
+use pxml::storage::{
+    from_binary, from_binary_unchecked, from_text, from_text_unchecked, to_binary, to_text,
+};
+
+const MUTATIONS: usize = 20_000;
+
+#[test]
+fn binary_decoder_never_panics_on_mutated_input() {
+    let seed = to_binary(&fig2_instance()).expect("fig2 encodes");
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0001);
+    let mut rejected = 0usize;
+    for i in 0..MUTATIONS {
+        let mutated = mutate_bytes(&mut rng, &seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let strict = from_binary(&mutated).is_err();
+            let lenient = from_binary_unchecked(&mutated).is_err();
+            (strict, lenient)
+        }));
+        match outcome {
+            Ok((strict_err, _)) => rejected += usize::from(strict_err),
+            Err(_) => panic!("binary decoder panicked on mutation #{i}"),
+        }
+    }
+    // Sanity: the harness is actually corrupting things, not no-opping.
+    assert!(rejected > MUTATIONS / 2, "only {rejected} mutations rejected");
+}
+
+#[test]
+fn text_parser_never_panics_on_mutated_input() {
+    let seed = to_text(&fig2_instance()).into_bytes();
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0002);
+    let mut rejected = 0usize;
+    for i in 0..MUTATIONS {
+        let mutated = mutate_bytes(&mut rng, &seed);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let strict = from_text(&text).is_err();
+            let lenient = from_text_unchecked(&text).is_err();
+            (strict, lenient)
+        }));
+        match outcome {
+            Ok((strict_err, _)) => rejected += usize::from(strict_err),
+            Err(_) => panic!("text parser panicked on mutation #{i}"),
+        }
+    }
+    assert!(rejected > MUTATIONS / 2, "only {rejected} mutations rejected");
+}
+
+#[test]
+fn query_language_never_panics_on_mutated_input() {
+    let pi = fig2_instance();
+    let seeds: [&str; 6] = [
+        "POINT T2 IN R.book.title",
+        "SELECT VALUE R.book.title @ T1 = \"VQDB\"",
+        "PROJECT DESCENDANT R.book.author",
+        "CHAIN R.B1.A1",
+        "WORLDS TOP 3",
+        "PROB B1",
+    ];
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0003);
+    for i in 0..MUTATIONS {
+        let seed = seeds[i % seeds.len()].as_bytes();
+        let mutated = mutate_bytes(&mut rng, seed);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Parsing must never panic; when the mutation still parses,
+            // resolution + execution must not panic either.
+            let _ = pxml::ql::run(&pi, &text);
+        }));
+        assert!(outcome.is_ok(), "query pipeline panicked on mutation #{i}: {text:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded semantic corruption: each case plants exactly one coherence
+// violation in the Figure 2 text serialisation, loads it through the
+// lenient parser (the `pxml check` path), and asserts the linter
+// reports the expected class.
+// ---------------------------------------------------------------------
+
+/// Applies `edit` to the pristine Figure 2 text and returns the lint
+/// codes of the corrupted instance. Panics if the edit was a no-op —
+/// that means the needle drifted from the writer's output.
+fn lint_after(edit: impl Fn(&str) -> String) -> Vec<&'static str> {
+    let base = to_text(&fig2_instance());
+    let corrupted = edit(&base);
+    assert_ne!(base, corrupted, "corruption edit did not change the text");
+    let pi = from_text_unchecked(&corrupted).expect("corrupted text still parses structurally");
+    lint(&pi).iter().map(|f| f.class.code()).collect()
+}
+
+#[test]
+fn check_catches_unnormalised_opf() {
+    let codes =
+        lint_after(|t| t.replace("[\"B1\", \"B2\", \"B3\"] : 0.4", "[\"B1\", \"B2\", \"B3\"] : 0.9"));
+    assert!(codes.contains(&"not-normalized"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_negative_probability() {
+    let codes = lint_after(|t| t.replace("[\"B1\", \"B2\"] : 0.2", "[\"B1\", \"B2\"] : -0.2"));
+    assert!(codes.contains(&"probability-out-of-range"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_non_finite_probability() {
+    // 2e308 overflows f64 to +inf during lexing; the linter must flag it.
+    let codes = lint_after(|t| t.replace("[\"B1\", \"B2\"] : 0.2", "[\"B1\", \"B2\"] : 2e308"));
+    assert!(codes.contains(&"non-finite-probability"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_unsatisfiable_card() {
+    let codes = lint_after(|t| t.replace("card \"book\" = [2, 3]", "card \"book\" = [4, 5]"));
+    assert!(codes.contains(&"card-unsatisfiable"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_unreachable_object() {
+    let codes = lint_after(|t| {
+        let body = t.trim_end().strip_suffix('}').expect("instance block close");
+        format!("{body}  object \"Zombie\" {{\n  }}\n}}\n")
+    });
+    assert!(codes.contains(&"unreachable"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_cycle() {
+    // B3 gains a back-edge to the root: R → B3 → R.
+    let codes = lint_after(|t| {
+        t.replace(
+            "lch \"author\" = [\"A3\"]",
+            "lch \"author\" = [\"A3\"]\n    lch \"back\" = [\"R\"]",
+        )
+    });
+    assert!(codes.contains(&"cycle"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_missing_opf() {
+    let r_opf = "    opf {\n      [\"B1\", \"B2\"] : 0.2\n      [\"B1\", \"B3\"] : 0.2\n      \
+                 [\"B2\", \"B3\"] : 0.2\n      [\"B1\", \"B2\", \"B3\"] : 0.4\n    }\n";
+    let codes = lint_after(|t| t.replace(r_opf, ""));
+    assert!(codes.contains(&"missing-opf"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_missing_vpf() {
+    let t1_vpf = "    vpf {\n      str \"VQDB\" : 0.4\n      str \"Lore\" : 0.6\n    }\n";
+    let codes = lint_after(|t| t.replacen(t1_vpf, "", 1));
+    assert!(codes.contains(&"missing-vpf"), "{codes:?}");
+}
+
+#[test]
+fn check_catches_vpf_value_outside_domain() {
+    let codes = lint_after(|t| t.replace("str \"Lore\" : 0.6", "str \"Borges\" : 0.6"));
+    assert!(codes.contains(&"vpf-value-outside-domain"), "{codes:?}");
+}
+
+#[test]
+fn check_warns_on_near_zero_mass() {
+    // T2's VPF keeps total mass ≈ 1 but one entry drops below the
+    // ε-normalisation floor — a warning, not an error.
+    let codes = lint_after(|t| {
+        t.replace("str \"VQDB\" : 0.5\n      str \"Lore\" : 0.5", "str \"VQDB\" : 1e-13\n      str \"Lore\" : 0.9999999999999")
+    });
+    assert!(codes.contains(&"near-zero-mass"), "{codes:?}");
+    let base = to_text(&fig2_instance());
+    let corrupted = base.replace(
+        "str \"VQDB\" : 0.5\n      str \"Lore\" : 0.5",
+        "str \"VQDB\" : 1e-13\n      str \"Lore\" : 0.9999999999999",
+    );
+    let pi = from_text_unchecked(&corrupted).expect("parses");
+    assert!(is_clean(&lint(&pi)), "near-zero mass alone must stay warning-severity");
+}
+
+#[test]
+fn corrupted_instances_survive_a_binary_round_trip_for_diagnosis() {
+    // `pxml check` must work on .pxmlb files too: incoherent instances
+    // encode, decode through the lenient loader, and lint identically.
+    for (needle, replacement, code) in [
+        ("[\"B1\", \"B2\", \"B3\"] : 0.4", "[\"B1\", \"B2\", \"B3\"] : 0.9", "not-normalized"),
+        ("card \"book\" = [2, 3]", "card \"book\" = [4, 5]", "card-unsatisfiable"),
+    ] {
+        let corrupted = to_text(&fig2_instance()).replace(needle, replacement);
+        let pi = from_text_unchecked(&corrupted).expect("parses");
+        let bytes = to_binary(&pi).expect("incoherent instances still encode");
+        let back = from_binary_unchecked(&bytes).expect("decodes leniently");
+        let codes: Vec<_> = lint(&back).iter().map(|f| f.class.code()).collect();
+        assert!(codes.contains(&code), "{code} lost in round-trip: {codes:?}");
+    }
+}
+
+#[test]
+fn pristine_fixtures_lint_clean() {
+    let pi = fig2_instance();
+    let findings = lint(&pi);
+    assert!(findings.is_empty(), "{findings:?}");
+    // And through both serialisation paths.
+    let text_pi = from_text_unchecked(&to_text(&pi)).expect("parses");
+    assert!(lint(&text_pi).is_empty());
+    let bin_pi = from_binary_unchecked(&to_binary(&pi).expect("encodes")).expect("decodes");
+    assert!(lint(&bin_pi).is_empty());
+}

@@ -67,7 +67,7 @@ proptest! {
     #[test]
     fn binary_round_trip(seed in 0u64..3000) {
         for pi in [random_tree(seed), random_dag(seed)] {
-            let decoded = from_binary(&to_binary(&pi)).expect("decodes back");
+            let decoded = from_binary(&to_binary(&pi).expect("encodes")).expect("decodes back");
             assert_same_distribution(&pi, &decoded);
         }
     }
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn formats_agree(seed in 0u64..2000) {
         let pi = random_dag(seed);
-        let via_binary = from_binary(&to_binary(&pi)).expect("binary");
+        let via_binary = from_binary(&to_binary(&pi).expect("encodes")).expect("binary");
         let via_text = from_text(&to_text(&pi)).expect("text");
         assert_same_distribution(&via_binary, &via_text);
     }
@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn truncated_binary_errors(seed in 0u64..500, frac in 0.01f64..0.99) {
         let pi = random_tree(seed);
-        let bytes = to_binary(&pi);
+        let bytes = to_binary(&pi).expect("encodes");
         let cut = ((bytes.len() as f64) * frac) as usize;
         prop_assert!(from_binary(&bytes[..cut]).is_err());
     }

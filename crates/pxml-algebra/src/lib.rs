@@ -40,10 +40,10 @@ pub use error::{AlgebraError, Result};
 pub use join::{join, join_on_paths, JoinCond, Joined};
 pub use locate::{layers_sd, layers_weak, locate_sd, locate_weak, satisfies_sd};
 pub use path::PathExpr;
-pub use product::{cartesian_product, Product};
-pub use project_prob::{ancestor_project, ancestor_project_timed};
+pub use product::{cartesian_product, cartesian_product_budgeted, Product};
+pub use project_prob::{ancestor_project, ancestor_project_budgeted, ancestor_project_timed};
 pub use project_sd::{ancestor_project_sd, descendant_project_sd, single_project_sd};
 pub use project_single::{descendant_project, joint_target_distribution, single_project};
-pub use selection::{select, select_timed, SelectCond, Selected};
+pub use selection::{select, select_budgeted, select_timed, SelectCond, Selected};
 pub use setops::{intersection, try_factorize, union};
 pub use timing::PhaseTimes;

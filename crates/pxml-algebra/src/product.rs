@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use pxml_core::ids::{IdMap, ObjectKind};
 use pxml_core::{
-    Card, Catalog, ChildSet, ChildUniverse, Label, LeafInfo, LeafType, ObjectId, Opf, OpfTable,
-    ProbInstance, TypeId, Vpf, WeakInstance, WeakNode,
+    Budget, Card, Catalog, ChildSet, ChildUniverse, Label, LeafInfo, LeafType, ObjectId, Opf,
+    OpfTable, ProbInstance, TypeId, Vpf, WeakInstance, WeakNode,
 };
 
 use crate::error::{AlgebraError, Result};
@@ -32,6 +32,20 @@ pub struct Product {
 
 /// Computes `I × I'` (Definition 5.7).
 pub fn cartesian_product(left: &ProbInstance, right: &ProbInstance) -> Result<Product> {
+    cartesian_product_budgeted(left, right, &Budget::unlimited())
+}
+
+/// [`cartesian_product`] under a resource [`Budget`]: one step per
+/// copied/remapped object and per entry pair of the merged root's
+/// product OPF (the `℘(r)(c)·℘'(r')(c')` table, whose size is the
+/// product of the operand OPF sizes). Exhaustion surfaces as
+/// [`pxml_core::CoreError::Exhausted`] wrapped in
+/// [`AlgebraError::Core`].
+pub fn cartesian_product_budgeted(
+    left: &ProbInstance,
+    right: &ProbInstance,
+    budget: &Budget,
+) -> Result<Product> {
     let l_root = left.root();
     let r_root = right.root();
     let l_root_node = left.weak().node(l_root).expect("root exists");
@@ -89,6 +103,7 @@ pub fn cartesian_product(left: &ProbInstance, right: &ProbInstance) -> Result<Pr
         if o == l_root {
             continue;
         }
+        budget.charge(1).map_err(pxml_core::CoreError::from)?;
         let node = left.weak().node(o).expect("iterating");
         nodes.insert(o, node.clone());
         if let Some(opf) = left.opf(o) {
@@ -104,6 +119,7 @@ pub fn cartesian_product(left: &ProbInstance, right: &ProbInstance) -> Result<Pr
         if o == r_root {
             continue;
         }
+        budget.charge(1).map_err(pxml_core::CoreError::from)?;
         let node = right.weak().node(o).expect("iterating");
         let new_id = right_map[&o];
         let universe = ChildUniverse::from_members(
@@ -155,6 +171,7 @@ pub fn cartesian_product(left: &ProbInstance, right: &ProbInstance) -> Result<Pr
     let mut root_table = OpfTable::new();
     for (cl, pl) in l_table.iter() {
         for (cr, pr) in r_table.iter() {
+            budget.charge(1).map_err(pxml_core::CoreError::from)?;
             let positions = cl.positions().chain(cr.positions().map(|p| p + left_len));
             let set = ChildSet::from_positions(&root_universe, positions);
             root_table.add(set, pl * pr);

@@ -28,8 +28,8 @@ use std::sync::Arc;
 
 use pxml_core::ids::{IdMap, ObjectKind};
 use pxml_core::{
-    Card, ChildSet, ChildUniverse, Label, ObjectId, Opf, OpfTable, ProbInstance, Vpf, WeakInstance,
-    WeakNode,
+    Budget, Card, ChildSet, ChildUniverse, Label, ObjectId, Opf, OpfTable, ProbInstance, Vpf,
+    WeakInstance, WeakNode,
 };
 
 use crate::error::{AlgebraError, Result};
@@ -43,6 +43,20 @@ pub fn ancestor_project(pi: &ProbInstance, p: &PathExpr) -> Result<ProbInstance>
     ancestor_project_timed(pi, p).map(|(out, _)| out)
 }
 
+/// [`ancestor_project`] under a resource [`Budget`]: one step per
+/// survivor subset considered in the bottom-up `℘` update — the
+/// marginalisation loop is the dominant cost (Figure 7(b)), so the
+/// step count tracks real work. Exhaustion surfaces as
+/// [`pxml_core::CoreError::Exhausted`] wrapped in
+/// [`AlgebraError::Core`]; no partial instance escapes.
+pub fn ancestor_project_budgeted(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    budget: &Budget,
+) -> Result<ProbInstance> {
+    ancestor_project_timed_budgeted(pi, p, budget).map(|(out, _)| out)
+}
+
 /// Ancestor projection with per-phase timing (for the Figure 7 harness).
 ///
 /// Phases mirror the paper's experimental procedure: the input is copied
@@ -51,6 +65,14 @@ pub fn ancestor_project(pi: &ProbInstance, p: &PathExpr) -> Result<ProbInstance>
 pub fn ancestor_project_timed(
     pi: &ProbInstance,
     p: &PathExpr,
+) -> Result<(ProbInstance, PhaseTimes)> {
+    ancestor_project_timed_budgeted(pi, p, &Budget::unlimited())
+}
+
+fn ancestor_project_timed_budgeted(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    budget: &Budget,
 ) -> Result<(ProbInstance, PhaseTimes)> {
     let mut times = PhaseTimes::default();
     // Phase 1: copy the input instance (part of "total query time" in §7.1).
@@ -154,6 +176,7 @@ pub fn ancestor_project_timed(
                     let ck = c.intersect(&info.kept_child_set);
                     // Distribute over survivor subsets c' ⊆ ck.
                     for sub in ck.subsets() {
+                        budget.charge(1).map_err(pxml_core::CoreError::from)?;
                         let mut weight = pc;
                         for pos in ck.positions() {
                             let child = node.universe().object_at(pos);

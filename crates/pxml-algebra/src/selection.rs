@@ -9,7 +9,7 @@
 //! Figure 7(c) experiment relies on ("the number [of objects whose ℘
 //! needs updating] is the same as the depth").
 
-use pxml_core::{Card, Label, ObjectId, ProbInstance, SdInstance, Value};
+use pxml_core::{Budget, Card, Label, ObjectId, ProbInstance, SdInstance, Value};
 
 use crate::error::{AlgebraError, Result};
 use crate::locate::{locate_sd, satisfies_sd};
@@ -73,8 +73,29 @@ pub fn select(pi: &ProbInstance, cond: &SelectCond) -> Result<Selected> {
     select_timed(pi, cond).map(|(s, _)| s)
 }
 
+/// [`select`] under a resource [`Budget`]: one step per conditioned
+/// chain link and per inspected OPF table entry (for cardinality
+/// conditions). Exhaustion surfaces as
+/// [`pxml_core::CoreError::Exhausted`] wrapped in
+/// [`AlgebraError::Core`].
+pub fn select_budgeted(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    budget: &Budget,
+) -> Result<Selected> {
+    select_timed_budgeted(pi, cond, budget).map(|(s, _)| s)
+}
+
 /// Selection with per-phase timing (for the Figure 7(c) harness).
 pub fn select_timed(pi: &ProbInstance, cond: &SelectCond) -> Result<(Selected, PhaseTimes)> {
+    select_timed_budgeted(pi, cond, &Budget::unlimited())
+}
+
+fn select_timed_budgeted(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    budget: &Budget,
+) -> Result<(Selected, PhaseTimes)> {
     let mut times = PhaseTimes::default();
     let input = timed(&mut times.copy, || pi.clone());
     let (path, object) = match cond {
@@ -102,6 +123,7 @@ pub fn select_timed(pi: &ProbInstance, cond: &SelectCond) -> Result<(Selected, P
     let mut selectivity = 1.0;
     timed(&mut times.update_interp, || -> Result<()> {
         for window in chain.windows(2) {
+            budget.charge(1).map_err(pxml_core::CoreError::from)?;
             let (parent, child) = (window[0], window[1]);
             let node = weak.node(parent).expect("chain object exists");
             let pos = node.universe().position(child).expect("chain edge exists");
@@ -135,6 +157,7 @@ pub fn select_timed(pi: &ProbInstance, cond: &SelectCond) -> Result<(Selected, P
                 let mut kept = pxml_core::OpfTable::new();
                 let mut m = 0.0;
                 for (set, p) in table.iter() {
+                    budget.charge(1).map_err(pxml_core::CoreError::from)?;
                     if card.contains(set.count_label(node.universe(), *l)) {
                         m += p;
                         kept.add(set.clone(), p);

@@ -71,6 +71,28 @@ fn ablate(c: &mut Criterion) {
             b.iter(|| black_box(engine.run_batch(&queries)));
         });
 
+        // Resource-governance overhead: the same batch through the
+        // governed path with a generous never-hit budget. Warm measures
+        // the budget plumbing on the cache-hit fast path (the PR 1
+        // regression guard); cold additionally shows the governed
+        // evaluator's private ε memo (per-query, no cross-query ε
+        // sharing) against the ungoverned shared-memo cold run.
+        let spec = pxml_query::BudgetSpec {
+            max_steps: Some(u64::MAX),
+            timeout: Some(std::time::Duration::from_secs(3600)),
+            ..pxml_query::BudgetSpec::default()
+        };
+        engine.run_batch_governed(&queries, &spec); // prime
+        group.bench_function(BenchmarkId::new("engine_warm_governed", tag), |b| {
+            b.iter(|| black_box(engine.run_batch_governed(&queries, &spec)));
+        });
+        group.bench_function(BenchmarkId::new("engine_cold_governed", tag), |b| {
+            b.iter(|| {
+                engine.clear_cache();
+                black_box(engine.run_batch_governed(&queries, &spec))
+            });
+        });
+
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let parallel = QueryEngine::with_threads(pi.clone(), threads);
         group.bench_function(

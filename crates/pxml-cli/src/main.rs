@@ -3,14 +3,25 @@
 //! ```text
 //! pxml <instance.pxml|instance.pxmlb> <query> [options]
 //! pxml <instance> --stdin                    # one query per input line
-//! pxml batch <instance> [queries.txt] [--threads N] [--stats]
-//! pxml check <instance>                      # deep coherence lint
+//! pxml batch <instance> [queries.txt] [--threads N] [--stats] [governance]
+//! pxml check <instance> [governance]         # deep coherence lint
 //!
 //! options:
 //!   --engine auto|tree|naive    engine selection (default auto)
 //!   --out <file>                write an instance result to <file>
 //!                               (.pxml text or .pxmlb binary by extension)
+//!
+//! governance (resource limits; see the README's "Resource governance"):
+//!   --timeout DUR               wall-clock deadline per query (500ms, 2s, 1m)
+//!   --max-steps N               work-step ceiling per query
+//!   --max-cache-bytes N         byte ceiling for the shared result cache
+//!   --degrade error|interval    on exhaustion: typed error (default) or a
+//!                               guaranteed-bracketing [lo, hi] answer
 //! ```
+//!
+//! Exit codes: `0` success (degraded interval answers included), `1`
+//! operational error (I/O, parse, lint errors), `2` usage error, `3` at
+//! least one budget exhausted under `--degrade error`.
 //!
 //! Examples:
 //! ```text
@@ -41,17 +52,54 @@ use std::process::ExitCode;
 use pxml_core::ProbInstance;
 use pxml_ql::{execute, parse, Engine, Output};
 
+/// The documented exit-code taxonomy. `Run` covers I/O, parse and lint
+/// failures; `Usage` covers malformed invocations; `Exhausted` means a
+/// resource budget ran out with `--degrade error` in force (the caller
+/// asked for hard failure instead of interval degradation).
+enum CliError {
+    /// Operational failure — exit 1.
+    Run(String),
+    /// Malformed invocation — exit 2.
+    Usage(String),
+    /// Budget exhausted under `--degrade error` — exit 3.
+    Exhausted(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Run(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Run(msg)) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Exhausted(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn real_main() -> Result<(), String> {
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
@@ -77,7 +125,7 @@ fn real_main() -> Result<(), String> {
                     Some("auto") => Engine::Auto,
                     Some("tree") => Engine::Tree,
                     Some("naive") => Engine::Naive,
-                    other => return Err(format!("unknown engine {other:?}")),
+                    other => return Err(usage_err(format!("unknown engine {other:?}"))),
                 };
             }
             "--out" => {
@@ -89,7 +137,7 @@ fn real_main() -> Result<(), String> {
             "--stdin" => use_stdin = true,
             arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
             arg if query.is_none() => query = Some(arg.to_string()),
-            arg => return Err(format!("unexpected argument {arg:?}")),
+            arg => return Err(usage_err(format!("unexpected argument {arg:?}"))),
         }
         i += 1;
     }
@@ -112,7 +160,8 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
     let query = query.ok_or("missing query (or pass --stdin)")?;
-    run_one(&pi, &query, engine, out.as_deref())
+    run_one(&pi, &query, engine, out.as_deref())?;
+    Ok(())
 }
 
 fn run_one(
@@ -141,31 +190,55 @@ fn run_one(
     Ok(())
 }
 
-/// `pxml batch <instance> [queries.txt] [--threads N] [--stats]`.
+/// `pxml batch <instance> [queries.txt] [--threads N] [--stats]
+/// [--timeout DUR] [--max-steps N] [--max-cache-bytes N] [--degrade P]`.
 ///
 /// Queries come one per line (blank lines and `#` comments skipped) from
 /// the file, or from stdin when no file is given. Only the probability
 /// queries the batch engine supports are accepted: `POINT`, `EXISTS`,
 /// `CHAIN`. Results print to stdout in input order — `{p:.6}` on
-/// success, `error: …` for a per-query failure (which does not abort the
-/// rest of the batch).
-fn run_batch(args: &[String]) -> Result<(), String> {
+/// success, `[lo, hi]` for a budget-degraded interval answer under
+/// `--degrade interval`, `error: …` for a per-query failure (which does
+/// not abort the rest of the batch). With `--degrade error` (the
+/// default when a budget flag is given) any exhausted query makes the
+/// whole run exit 3 after all answers have printed, so one pathological
+/// query degrades or fails *that query* without stalling the fleet.
+fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut instance_path: Option<PathBuf> = None;
     let mut queries_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut show_stats = false;
+    let mut gov = GovernanceArgs::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--threads" => {
                 i += 1;
                 let n = args.get(i).ok_or("--threads needs a count")?;
-                threads = Some(n.parse().map_err(|_| format!("bad thread count {n:?}"))?);
+                threads =
+                    Some(n.parse().map_err(|_| usage_err(format!("bad thread count {n:?}")))?);
             }
             "--stats" => show_stats = true,
+            "--timeout" => {
+                i += 1;
+                gov.timeout =
+                    Some(parse_duration(args.get(i).ok_or("--timeout needs a duration")?)?);
+            }
+            "--max-steps" => {
+                i += 1;
+                gov.max_steps = Some(parse_count(args.get(i), "--max-steps")?);
+            }
+            "--max-cache-bytes" => {
+                i += 1;
+                gov.max_cache_bytes = Some(parse_count(args.get(i), "--max-cache-bytes")?);
+            }
+            "--degrade" => {
+                i += 1;
+                gov.degrade = Some(parse_degrade(args.get(i))?);
+            }
             arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
             arg if queries_path.is_none() => queries_path = Some(PathBuf::from(arg)),
-            arg => return Err(format!("unexpected argument {arg:?}")),
+            arg => return Err(usage_err(format!("unexpected argument {arg:?}"))),
         }
         i += 1;
     }
@@ -200,15 +273,42 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         Some(n) => pxml_query::QueryEngine::with_threads(pi, n),
         None => pxml_query::QueryEngine::new(pi),
     };
-    let answers = engine.run_batch(&batch);
+    if let Some(bytes) = gov.max_cache_bytes {
+        engine.set_max_cache_bytes(bytes);
+    }
 
+    // Governed and ungoverned runs print through one uniform Answer
+    // stream; an ungoverned probability is just an exact answer.
+    let answers: Vec<Result<pxml_query::Answer, pxml_query::QueryError>> = if gov.is_governed() {
+        engine.run_batch_governed(&batch, &gov.spec())
+    } else {
+        engine
+            .run_batch(&batch)
+            .into_iter()
+            .map(|r| r.map(pxml_query::Answer::Exact))
+            .collect()
+    };
+
+    let mut exhausted = 0usize;
     let mut next_answer = answers.into_iter();
     for t in &translated {
         match t {
             Ok(_) => match next_answer.next() {
-                Some(Ok(p)) => println!("{p:.6}"),
-                Some(Err(e)) => println!("error: {e}"),
-                None => return Err("engine returned fewer answers than queries".into()),
+                Some(Ok(pxml_query::Answer::Exact(p))) => println!("{p:.6}"),
+                Some(Ok(pxml_query::Answer::Interval(iv))) => {
+                    println!("[{:.6}, {:.6}]", iv.lo, iv.hi)
+                }
+                Some(Err(e)) => {
+                    if is_exhausted(&e) {
+                        exhausted += 1;
+                    }
+                    println!("error: {e}")
+                }
+                None => {
+                    return Err(CliError::Run(
+                        "engine returned fewer answers than queries".into(),
+                    ))
+                }
             },
             Err(msg) => println!("error: {msg}"),
         }
@@ -216,43 +316,179 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     if show_stats {
         eprintln!("{}", engine.stats());
     }
+    if exhausted > 0 {
+        return Err(CliError::Exhausted(format!(
+            "{exhausted} of {} queries exhausted their budget (rerun with --degrade interval for bracketing answers)",
+            translated.len()
+        )));
+    }
     Ok(())
 }
 
-/// `pxml check <instance>`.
-///
-/// Loads the instance leniently — structural decoding only, skipping the
-/// model validation that `load` performs — and runs the deep coherence
-/// linter from `pxml_core::lint`. Every finding prints on its own line;
-/// a summary line follows. Error-severity findings make the whole run
-/// fail so scripts can gate on the exit status.
-fn run_check(args: &[String]) -> Result<(), String> {
-    let mut instance_path: Option<PathBuf> = None;
-    for arg in args {
-        match arg.as_str() {
-            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
-            arg => return Err(format!("unexpected argument {arg:?}")),
+/// Governance flags shared by `batch` and `check`.
+#[derive(Default)]
+struct GovernanceArgs {
+    timeout: Option<std::time::Duration>,
+    max_steps: Option<u64>,
+    max_cache_bytes: Option<u64>,
+    degrade: Option<pxml_query::DegradePolicy>,
+}
+
+impl GovernanceArgs {
+    /// True when any per-query budget is in force. `--max-cache-bytes`
+    /// alone does not switch to the governed path — it caps the shared
+    /// cache, which the ungoverned engine honours too.
+    fn is_governed(&self) -> bool {
+        self.timeout.is_some() || self.max_steps.is_some() || self.degrade.is_some()
+    }
+
+    fn spec(&self) -> pxml_query::BudgetSpec {
+        pxml_query::BudgetSpec {
+            max_steps: self.max_steps,
+            timeout: self.timeout,
+            cancel: None,
+            degrade: self.degrade.unwrap_or_default(),
         }
     }
+
+    /// The per-run budget for non-engine paths (`check`'s linter).
+    fn budget(&self) -> pxml_query::Budget {
+        let mut b = pxml_query::Budget::unlimited();
+        if let Some(n) = self.max_steps {
+            b = b.with_max_steps(n);
+        }
+        if let Some(t) = self.timeout {
+            b = b.with_timeout(t);
+        }
+        b
+    }
+}
+
+/// Parses `500ms` / `2s` / `1m` into a duration. A bare number is
+/// rejected so nobody guesses the unit wrong silently.
+fn parse_duration(s: &str) -> Result<std::time::Duration, CliError> {
+    let (digits, unit_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60_000)
+    } else {
+        return Err(usage_err(format!("duration {s:?} needs a unit: ms, s or m")));
+    };
+    let n: u64 =
+        digits.parse().map_err(|_| usage_err(format!("bad duration {s:?}")))?;
+    n.checked_mul(unit_ms)
+        .map(std::time::Duration::from_millis)
+        .ok_or_else(|| usage_err(format!("duration {s:?} overflows")))
+}
+
+fn parse_count(arg: Option<&String>, flag: &str) -> Result<u64, CliError> {
+    let n = arg.ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
+    n.parse().map_err(|_| usage_err(format!("bad {flag} value {n:?}")))
+}
+
+fn parse_degrade(arg: Option<&String>) -> Result<pxml_query::DegradePolicy, CliError> {
+    match arg.map(String::as_str) {
+        Some("error") => Ok(pxml_query::DegradePolicy::Error),
+        Some("interval") => Ok(pxml_query::DegradePolicy::Interval),
+        other => Err(usage_err(format!("--degrade wants error|interval, got {other:?}"))),
+    }
+}
+
+fn is_exhausted(e: &pxml_query::QueryError) -> bool {
+    matches!(e, pxml_query::QueryError::Core(pxml_core::CoreError::Exhausted(_)))
+}
+
+/// `pxml check <instance> [--timeout DUR] [--max-steps N] [--degrade P]`.
+///
+/// Loads the instance leniently — structural decoding only, skipping the
+/// model validation that `load` performs; for `.pxmlb` files even a CRC
+/// mismatch is tolerated and reported as an error-severity finding — and
+/// runs the deep coherence linter from `pxml_core::lint`. Every finding
+/// prints on its own line; a summary line follows. Error-severity
+/// findings make the whole run fail so scripts can gate on the exit
+/// status.
+///
+/// The governance flags bound the linter itself (a hostile `.pxmlb` can
+/// carry enormous OPF tables): on exhaustion, `--degrade interval`
+/// reports the findings gathered so far plus an `incomplete` warning and
+/// keeps exit status 0 (absent real errors), while the default
+/// `--degrade error` exits 3.
+fn run_check(args: &[String]) -> Result<(), CliError> {
+    let mut instance_path: Option<PathBuf> = None;
+    let mut gov = GovernanceArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                gov.timeout =
+                    Some(parse_duration(args.get(i).ok_or("--timeout needs a duration")?)?);
+            }
+            "--max-steps" => {
+                i += 1;
+                gov.max_steps = Some(parse_count(args.get(i), "--max-steps")?);
+            }
+            "--degrade" => {
+                i += 1;
+                gov.degrade = Some(parse_degrade(args.get(i))?);
+            }
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg => return Err(usage_err(format!("unexpected argument {arg:?}"))),
+        }
+        i += 1;
+    }
     let path = instance_path.ok_or("missing instance file")?;
-    let pi = load_unchecked(&path)?;
-    let findings = pxml_core::lint(&pi);
-    for f in &findings {
+    let (pi, corruption) = load_for_check(&path)?;
+
+    let outcome = pxml_core::lint_governed(&pi, &gov.budget());
+    let mut errors = 0usize;
+    if let Some(mm) = &corruption {
+        println!(
+            "error[corrupt-file]: checksum mismatch (footer {:#010x}, payload {:#010x}) — findings below describe the damaged bytes",
+            mm.expected, mm.actual
+        );
+        errors += 1;
+    }
+    for f in &outcome.findings {
         println!("{}", f.render(pi.catalog()));
     }
-    let errors = findings.iter().filter(|f| f.severity() == pxml_core::Severity::Error).count();
-    let warnings = findings.len() - errors;
+    errors += outcome
+        .findings
+        .iter()
+        .filter(|f| f.severity() == pxml_core::Severity::Error)
+        .count();
+    let warnings = outcome.findings.len() + usize::from(corruption.is_some()) - errors;
+
+    if let Some(ex) = outcome.exhausted {
+        match gov.degrade.unwrap_or_default() {
+            pxml_query::DegradePolicy::Interval => {
+                println!("warning: lint incomplete — {ex}; findings above are a prefix");
+            }
+            pxml_query::DegradePolicy::Error => {
+                return Err(CliError::Exhausted(format!(
+                    "{}: lint stopped early: {ex} (rerun with --degrade interval for partial findings)",
+                    path.display()
+                )));
+            }
+        }
+    }
     if errors == 0 {
         match warnings {
             0 => println!("{}: ok ({} objects)", path.display(), pi.object_count()),
-            n => println!("{}: ok with {n} warning(s) ({} objects)", path.display(), pi.object_count()),
+            n => println!(
+                "{}: ok with {n} warning(s) ({} objects)",
+                path.display(),
+                pi.object_count()
+            ),
         }
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Run(format!(
             "{}: {errors} error(s), {warnings} warning(s)",
             path.display()
-        ))
+        )))
     }
 }
 
@@ -312,12 +548,18 @@ fn load(path: &Path) -> Result<ProbInstance, String> {
 
 /// Lenient loader for `check`: structural decode only, so the linter can
 /// report model-level violations that the strict loaders would reject.
-fn load_unchecked(path: &Path) -> Result<ProbInstance, String> {
+/// Binary files additionally tolerate a CRC footer mismatch, which is
+/// returned for `check` to report as a finding instead of refusing.
+fn load_for_check(
+    path: &Path,
+) -> Result<(ProbInstance, Option<pxml_storage::ChecksumMismatch>), String> {
     let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
     if is_binary {
-        pxml_storage::read_binary_file_unchecked(path).map_err(|e| e.to_string())
+        let lenient = pxml_storage::read_binary_file_lenient(path).map_err(|e| e.to_string())?;
+        Ok((lenient.instance, lenient.checksum_mismatch))
     } else {
-        pxml_storage::read_text_file_unchecked(path).map_err(|e| e.to_string())
+        let pi = pxml_storage::read_text_file_unchecked(path).map_err(|e| e.to_string())?;
+        Ok((pi, None))
     }
 }
 
@@ -337,8 +579,21 @@ fn print_usage() {
 usage:
   pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
   pxml <instance> --stdin
-  pxml batch <instance> [queries.txt] [--threads N] [--stats]
-  pxml check <instance>
+  pxml batch <instance> [queries.txt] [--threads N] [--stats] [governance]
+  pxml check <instance> [governance]
+
+governance (resource limits):
+  --timeout DUR             wall-clock deadline per query (e.g. 500ms, 2s, 1m)
+  --max-steps N             work-step ceiling per query
+  --max-cache-bytes N       byte ceiling for the shared result cache (batch)
+  --degrade error|interval  on exhaustion: typed error (exit 3, default)
+                            or a guaranteed-bracketing [lo, hi] answer
+
+exit codes:
+  0 success (including degraded interval answers)
+  1 operational error (i/o, parse, lint errors)
+  2 usage error
+  3 a budget was exhausted under --degrade error
 
 queries:
   PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>

@@ -61,6 +61,12 @@ pub enum CoreError {
     CatalogMismatch,
     /// The instance is too large for an exact possible-worlds computation.
     TooManyWorlds { limit: u64 },
+    /// A potential-child-set expansion would exceed the given cap
+    /// (`PC(o)` of Definition 3.6 grows as a product of binomials).
+    TooManyPotentialSets { object: ObjectId, count: u64, limit: u64 },
+    /// A resource budget ran out before the computation finished (see
+    /// [`crate::budget::Budget`]).
+    Exhausted(crate::budget::Exhausted),
     /// A global interpretation does not factor into a local one, i.e. it
     /// violates the independence constraints of Definition 4.5 (Theorem 2).
     NotFactorable,
@@ -132,6 +138,11 @@ impl fmt::Display for CoreError {
                 f,
                 "instance has more than {limit} compatible worlds; exact enumeration refused"
             ),
+            CoreError::TooManyPotentialSets { object, count, limit } => write!(
+                f,
+                "PC({object:?}) has {count} potential child sets, above the cap of {limit}; expansion refused"
+            ),
+            CoreError::Exhausted(e) => write!(f, "{e}"),
             CoreError::NotFactorable => write!(
                 f,
                 "global interpretation violates Definition 4.5 and does not factor into a local interpretation"
@@ -141,6 +152,12 @@ impl fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
+
+impl From<crate::budget::Exhausted> for CoreError {
+    fn from(e: crate::budget::Exhausted) -> Self {
+        CoreError::Exhausted(e)
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;

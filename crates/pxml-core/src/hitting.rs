@@ -10,6 +10,9 @@
 use std::collections::HashSet;
 use std::hash::Hash;
 
+use crate::budget::Budget;
+use crate::error::Result;
+
 /// Enumerates all **minimal** hitting sets of `families`.
 ///
 /// A hitting set `H` contains at least one element of every family; it is
@@ -23,15 +26,26 @@ pub fn minimal_hitting_sets<T>(families: &[Vec<T>]) -> Vec<Vec<T>>
 where
     T: Clone + Eq + Hash + Ord,
 {
+    minimal_hitting_sets_budgeted(families, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`minimal_hitting_sets`] charging one budget step per branch of the
+/// exponential enumeration, so dense families exhaust cleanly instead of
+/// running until heat death.
+pub fn minimal_hitting_sets_budgeted<T>(families: &[Vec<T>], budget: &Budget) -> Result<Vec<Vec<T>>>
+where
+    T: Clone + Eq + Hash + Ord,
+{
     if families.iter().any(Vec::is_empty) {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut results: HashSet<Vec<T>> = HashSet::new();
     let mut current: Vec<T> = Vec::new();
-    branch(families, 0, &mut current, &mut results);
+    branch(families, 0, &mut current, &mut results, budget)?;
     let mut out: Vec<Vec<T>> = results.into_iter().filter(|h| is_minimal(h, families)).collect();
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Recursively extends `current` until every family is hit.
@@ -40,9 +54,12 @@ fn branch<T>(
     from: usize,
     current: &mut Vec<T>,
     results: &mut HashSet<Vec<T>>,
-) where
+    budget: &Budget,
+) -> Result<()>
+where
     T: Clone + Eq + Hash + Ord,
 {
+    budget.charge(1)?;
     // Find the first family not yet hit.
     let next = (from..families.len())
         .find(|&i| !families[i].iter().any(|e| current.contains(e)));
@@ -56,11 +73,12 @@ fn branch<T>(
         Some(i) => {
             for e in &families[i] {
                 current.push(e.clone());
-                branch(families, i + 1, current, results);
+                branch(families, i + 1, current, results, budget)?;
                 current.pop();
             }
         }
     }
+    Ok(())
 }
 
 /// True if `h` is a hitting set of `families` with no redundant element.

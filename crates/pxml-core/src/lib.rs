@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod catalog;
 pub mod childset;
 pub mod error;
@@ -61,13 +62,14 @@ pub mod vpf;
 pub mod weak;
 pub mod worlds;
 
+pub use budget::{Budget, CancelToken, Exhausted, Resource};
 pub use catalog::Catalog;
 pub use childset::{ChildSet, ChildUniverse};
 pub use error::{CoreError, Result, PROB_EPS};
 pub use global::GlobalInterpretation;
 pub use ids::{IdMap, Label, ObjectId, TypeId};
 pub use instance::{SdInstance, SdInstanceBuilder, SdNode};
-pub use lint::{lint, LintClass, LintFinding, Severity};
+pub use lint::{lint, lint_governed, LintClass, LintFinding, LintOutcome, Severity};
 pub use opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
 pub use pathkey::{LabelPath, PathSuffix};
 pub use prob_instance::{ProbInstance, ProbInstanceBuilder};
@@ -75,4 +77,7 @@ pub use types::{LeafType, TypeTable};
 pub use value::Value;
 pub use vpf::Vpf;
 pub use weak::{Card, LeafInfo, WeakInstance, WeakInstanceBuilder, WeakNode};
-pub use worlds::{enumerate_worlds, enumerate_worlds_with_limit, world_probability, WorldTable};
+pub use worlds::{
+    enumerate_worlds, enumerate_worlds_budgeted, enumerate_worlds_with_limit, world_probability,
+    WorldTable,
+};

@@ -27,6 +27,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use crate::budget::{Budget, Exhausted};
 use crate::catalog::{Catalog, DisplayObject};
 use crate::childset::{ChildSet, ChildUniverse};
 use crate::error::PROB_EPS;
@@ -335,13 +336,34 @@ impl LintFinding {
 /// `from_parts_unchecked` or loaded by the diagnostic storage paths): the
 /// linter performs its own bounds and resolution checks and never panics.
 pub fn lint(pi: &ProbInstance) -> Vec<LintFinding> {
+    lint_governed(pi, &Budget::unlimited()).findings
+}
+
+/// Result of a budgeted lint run: the findings collected so far, plus
+/// whether the budget ran out before every pass completed.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// All findings collected before the budget (if any) was exhausted.
+    pub findings: Vec<LintFinding>,
+    /// `Some` when the run stopped early; `findings` is then a prefix of
+    /// what an unbounded run would report, never a superset.
+    pub exhausted: Option<Exhausted>,
+}
+
+/// [`lint`] under a [`Budget`]: one step is charged per object per pass
+/// and per OPF/VPF table entry, so a hostile instance (e.g. a decoded
+/// `.pxmlb` with an enormous OPF table) cannot pin the linter. On
+/// exhaustion the findings gathered so far are returned alongside the
+/// typed [`Exhausted`] — partial diagnosis beats none.
+pub fn lint_governed(pi: &ProbInstance, budget: &Budget) -> LintOutcome {
     let mut out = Vec::new();
     let weak = pi.weak();
-    lint_structure(weak, &mut out);
-    lint_interpretation(pi, &mut out);
+    let exhausted = lint_structure(weak, &mut out, budget)
+        .and_then(|()| lint_interpretation(pi, &mut out, budget))
+        .err();
     // Errors first, then warnings; stable within a severity.
     out.sort_by_key(|f| std::cmp::Reverse(f.severity()));
-    out
+    LintOutcome { findings: out, exhausted }
 }
 
 /// True if `findings` contains no [`Severity::Error`] findings.
@@ -355,13 +377,18 @@ fn push(out: &mut Vec<LintFinding>, object: impl Into<Option<ObjectId>>, class: 
 
 // ---------------------------------------------------------------- structure
 
-fn lint_structure(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
+fn lint_structure(
+    weak: &WeakInstance,
+    out: &mut Vec<LintFinding>,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     let root_known = weak.contains(weak.root());
     if !root_known {
         push(out, None, LintClass::MissingRoot);
     }
 
     for o in weak.objects() {
+        budget.charge(1)?;
         let Some(node) = weak.node(o) else { continue };
 
         // Children must exist, be unique, and carry a unique label.
@@ -424,6 +451,7 @@ fn lint_structure(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
         let mut reached: HashSet<ObjectId> = HashSet::new();
         let mut stack = vec![weak.root()];
         while let Some(o) = stack.pop() {
+            budget.charge(1)?;
             if !reached.insert(o) {
                 continue;
             }
@@ -443,10 +471,14 @@ fn lint_structure(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
     // Cycle detection: iterative three-colour DFS. `topo_order` is not
     // usable here — it assumes a validated instance and panics on edges to
     // unknown objects.
-    lint_cycles(weak, out);
+    lint_cycles(weak, out, budget)
 }
 
-fn lint_cycles(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
+fn lint_cycles(
+    weak: &WeakInstance,
+    out: &mut Vec<LintFinding>,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     #[derive(Clone, Copy, PartialEq)]
     enum Colour {
         White,
@@ -469,6 +501,7 @@ fn lint_cycles(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
         };
         stack.push((start, kids(start), 0));
         while let Some((o, edges, idx)) = stack.last_mut() {
+            budget.charge(1)?;
             if *idx >= edges.len() {
                 colour.insert(*o, Colour::Black);
                 stack.pop();
@@ -491,33 +524,41 @@ fn lint_cycles(weak: &WeakInstance, out: &mut Vec<LintFinding>) {
             }
         }
     }
+    Ok(())
 }
 
 // --------------------------------------------------------- interpretation
 
-fn lint_interpretation(pi: &ProbInstance, out: &mut Vec<LintFinding>) {
+fn lint_interpretation(
+    pi: &ProbInstance,
+    out: &mut Vec<LintFinding>,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     let weak = pi.weak();
 
     for o in weak.objects() {
+        budget.charge(1)?;
         let Some(node) = weak.node(o) else { continue };
         if let Some(leaf) = node.leaf() {
             match pi.vpf(o) {
                 None => push(out, o, LintClass::MissingVpf),
                 Some(vpf) => {
                     let ty = weak.catalog().types().try_resolve(leaf.ty);
+                    budget.charge(vpf.len() as u64)?;
                     lint_vpf(o, vpf, ty, out);
                 }
             }
         } else if !node.is_childless() {
             match pi.opf(o) {
                 None => push(out, o, LintClass::MissingOpf),
-                Some(opf) => lint_opf(o, node.universe(), node.cards(), opf, out),
+                Some(opf) => lint_opf(o, node.universe(), node.cards(), opf, out, budget)?,
             }
         }
     }
 
     // Interpretations that cannot belong to their object.
     for (o, _) in pi.opfs().iter() {
+        budget.charge(1)?;
         let orphan = match weak.node(o) {
             None => true,
             Some(n) => n.leaf().is_some() || n.is_childless(),
@@ -527,6 +568,7 @@ fn lint_interpretation(pi: &ProbInstance, out: &mut Vec<LintFinding>) {
         }
     }
     for (o, _) in pi.vpfs().iter() {
+        budget.charge(1)?;
         let orphan = match weak.node(o) {
             None => true,
             Some(n) => n.leaf().is_none(),
@@ -535,6 +577,7 @@ fn lint_interpretation(pi: &ProbInstance, out: &mut Vec<LintFinding>) {
             push(out, o, LintClass::OrphanInterpretation);
         }
     }
+    Ok(())
 }
 
 fn lint_vpf(
@@ -626,7 +669,8 @@ fn lint_opf(
     declared: &[(Label, Card)],
     opf: &Opf,
     out: &mut Vec<LintFinding>,
-) {
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     // Only satisfiable declared cards take part in the support checks; the
     // unsatisfiable ones are already reported by the structure pass.
     let satisfiable: Vec<(Label, Card)> = declared
@@ -647,6 +691,7 @@ fn lint_opf(
                 .collect();
             let mut sum_ok = true;
             for (set, p) in table.iter() {
+                budget.charge(1)?;
                 if !check_prob(o, p, out) {
                     sum_ok = false;
                     continue;
@@ -690,7 +735,7 @@ fn lint_opf(
                 all_finite &= check_prob(o, p, out);
             }
             if !all_finite {
-                return;
+                return Ok(());
             }
             // Exact per-label count distribution via dynamic programming
             // over the independent presence probabilities (a Poisson
@@ -706,6 +751,7 @@ fn lint_opf(
                     .collect();
                 let mut dist = vec![1.0f64];
                 for p in probs {
+                    budget.charge(dist.len() as u64)?;
                     let mut next = vec![0.0; dist.len() + 1];
                     for (k, &m) in dist.iter().enumerate() {
                         next[k] += m * (1.0 - p);
@@ -739,6 +785,7 @@ fn lint_opf(
                 let mut sum_ok = true;
                 let mut outside_part = false;
                 for (set, p) in table.iter() {
+                    budget.charge(1)?;
                     if !check_prob(o, p, out) {
                         sum_ok = false;
                         continue;
@@ -792,6 +839,7 @@ fn lint_opf(
             CardMass::findings(cards, o, out);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1109,6 +1157,24 @@ mod tests {
         let rendered = f[0].render(pi.catalog());
         assert!(rendered.contains("error[not-normalized]"), "{rendered}");
         assert!(rendered.contains('R'), "{rendered}");
+    }
+
+    #[test]
+    fn governed_lint_degrades_to_a_prefix_not_a_panic() {
+        let pi = fig2_instance();
+        // Unlimited budget reproduces `lint` exactly.
+        let full = lint_governed(&pi, &Budget::unlimited());
+        assert!(full.exhausted.is_none());
+        assert_eq!(codes(&full.findings), codes(&lint(&pi)));
+        // A one-step budget stops early but still returns cleanly, and
+        // never invents findings an unbounded run would not report.
+        let tiny = lint_governed(&pi, &Budget::unlimited().with_max_steps(1));
+        let ex = tiny.exhausted.expect("one step cannot cover fig2");
+        assert!(ex.spent <= ex.limit + 1);
+        let full_codes = codes(&full.findings);
+        for c in codes(&tiny.findings) {
+            assert!(full_codes.contains(&c), "phantom finding {c}");
+        }
     }
 
     #[test]

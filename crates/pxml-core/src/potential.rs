@@ -7,9 +7,17 @@
 //! coincide because a child carries a unique label — see
 //! [`crate::hitting`] and the property tests below).
 
+use crate::budget::Budget;
 use crate::childset::ChildSet;
+use crate::error::{CoreError, Result};
 use crate::ids::{Label, ObjectId};
 use crate::weak::WeakInstance;
+
+/// Default cap on `|PC(o)|` for the checked expansion entry points. The
+/// product-of-binomials count (Definition 3.6) crosses this long before
+/// the corresponding allocation would be survivable, so the count check
+/// replaces an OOM with a typed error.
+pub const DEFAULT_PC_LIMIT: u64 = 4_000_000;
 
 /// Enumerates `PL(o, l)` as child sets over `o`'s universe.
 pub fn pl_sets(w: &WeakInstance, o: ObjectId, l: Label) -> Vec<ChildSet> {
@@ -32,7 +40,7 @@ pub fn pl_count(w: &WeakInstance, o: ObjectId, l: Label) -> u64 {
     let n = node.lch_positions(l).count() as u64;
     let card = node.card(l);
     let hi = u64::from(card.max).min(n);
-    (u64::from(card.min)..=hi).map(|k| binomial(n, k)).sum()
+    (u64::from(card.min)..=hi).fold(0u64, |acc, k| acc.saturating_add(binomial(n, k)))
 }
 
 /// Enumerates `PC(o)`: one potential `l`-child set per non-empty label,
@@ -61,6 +69,69 @@ pub fn pc_sets(w: &WeakInstance, o: ObjectId) -> Vec<ChildSet> {
     out
 }
 
+/// [`pc_sets`] with a checked count: refuses (with
+/// [`CoreError::TooManyPotentialSets`]) when `|PC(o)|` — computed
+/// analytically by [`pc_count`], saturating, *before any allocation* —
+/// exceeds `limit`.
+pub fn pc_sets_checked(w: &WeakInstance, o: ObjectId, limit: u64) -> Result<Vec<ChildSet>> {
+    pc_sets_budgeted(w, o, limit, &Budget::unlimited())
+}
+
+/// [`pc_sets_checked`] that additionally charges one budget step per
+/// intermediate set produced by the cross product.
+pub fn pc_sets_budgeted(
+    w: &WeakInstance,
+    o: ObjectId,
+    limit: u64,
+    budget: &Budget,
+) -> Result<Vec<ChildSet>> {
+    let count = pc_count(w, o);
+    if count > limit {
+        return Err(CoreError::TooManyPotentialSets { object: o, count, limit });
+    }
+    let Some(node) = w.node(o) else { return Ok(Vec::new()) };
+    let labels = node.labels();
+    let universe = node.universe();
+    if labels.is_empty() {
+        return Ok(vec![ChildSet::empty(universe)]);
+    }
+    let mut per_label = Vec::with_capacity(labels.len());
+    for &l in labels.iter() {
+        let pls = pl_sets_checked(w, o, l, limit)?;
+        if pls.is_empty() {
+            return Ok(Vec::new()); // some label's cardinality is unsatisfiable
+        }
+        per_label.push(pls);
+    }
+    let mut out = vec![ChildSet::empty(universe)];
+    for sets in &per_label {
+        budget.charge((out.len() * sets.len()) as u64)?;
+        let mut next = Vec::with_capacity(out.len() * sets.len());
+        for base in &out {
+            for s in sets {
+                next.push(base.union(s));
+            }
+        }
+        out = next;
+    }
+    Ok(out)
+}
+
+/// [`pl_sets`] with a checked count against [`pl_count`] (which uses
+/// saturating binomials, so the check itself cannot overflow).
+pub fn pl_sets_checked(
+    w: &WeakInstance,
+    o: ObjectId,
+    l: Label,
+    limit: u64,
+) -> Result<Vec<ChildSet>> {
+    let count = pl_count(w, o, l);
+    if count > limit {
+        return Err(CoreError::TooManyPotentialSets { object: o, count, limit });
+    }
+    Ok(pl_sets(w, o, l))
+}
+
 /// The size of `PC(o)` without enumeration: `∏_l |PL(o, l)|`.
 pub fn pc_count(w: &WeakInstance, o: ObjectId) -> u64 {
     let Some(node) = w.node(o) else { return 0 };
@@ -68,7 +139,7 @@ pub fn pc_count(w: &WeakInstance, o: ObjectId) -> u64 {
     if labels.is_empty() {
         return 1;
     }
-    labels.iter().map(|&l| pl_count(w, o, l)).product()
+    labels.iter().fold(1u64, |acc, &l| acc.saturating_mul(pl_count(w, o, l)))
 }
 
 /// True if `set ∈ PC(o)`: for every label the number of members carrying it

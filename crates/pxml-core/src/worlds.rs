@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use crate::budget::Budget;
 use crate::childset::ChildSet;
 use crate::error::{CoreError, Result};
 use crate::ids::{IdMap, ObjectId, ObjectKind};
@@ -139,6 +140,23 @@ pub fn enumerate_worlds(pi: &ProbInstance) -> Result<WorldTable> {
 
 /// Enumerates all compatible worlds with an explicit limit.
 pub fn enumerate_worlds_with_limit(pi: &ProbInstance, limit: u64) -> Result<WorldTable> {
+    enumerate_worlds_budgeted(pi, limit, &Budget::unlimited())
+}
+
+/// Enumerates all compatible worlds under both an explicit world-count
+/// limit and a resource [`Budget`].
+///
+/// The limit is enforced twice: *a priori* against the weak instance's
+/// analytic world bound, and — because that bound can be loose on
+/// instances whose OPFs assign zero mass — *during* recursion, counting
+/// worlds actually materialised. The in-recursion check fires **before**
+/// the table grows past `limit`, so a hostile instance errors instead of
+/// allocating; each recursion step additionally charges `budget`.
+pub fn enumerate_worlds_budgeted(
+    pi: &ProbInstance,
+    limit: u64,
+    budget: &Budget,
+) -> Result<WorldTable> {
     if pi.weak().world_bound() > limit as f64 {
         return Err(CoreError::TooManyWorlds { limit });
     }
@@ -161,9 +179,11 @@ pub fn enumerate_worlds_with_limit(pi: &ProbInstance, limit: u64) -> Result<Worl
         chosen: vec![Choice::None; order.len()],
         pos_of: order.iter().enumerate().map(|(i, &o)| (o, i)).collect(),
         out: &mut table,
+        limit,
+        budget,
     };
     state.included[0] = true; // the root is always present
-    state.recurse(0, 1.0);
+    state.recurse(0, 1.0)?;
     Ok(table)
 }
 
@@ -183,20 +203,29 @@ struct EnumState<'a> {
     chosen: Vec<Choice>,
     pos_of: HashMap<ObjectId, usize>,
     out: &'a mut WorldTable,
+    limit: u64,
+    budget: &'a Budget,
 }
 
 impl EnumState<'_> {
-    fn recurse(&mut self, i: usize, prob: f64) {
+    fn recurse(&mut self, i: usize, prob: f64) -> Result<()> {
+        self.budget.charge(1)?;
         if prob == 0.0 {
-            return;
+            return Ok(());
         }
         if i == self.order.len() {
             self.emit(prob);
-            return;
+            // Checked count: the a-priori bound can be loose when OPFs
+            // carry zero-mass entries, so re-check against the number of
+            // *distinct* worlds actually materialised (duplicates merge
+            // and do not grow the table).
+            if self.out.len() as u64 > self.limit {
+                return Err(CoreError::TooManyWorlds { limit: self.limit });
+            }
+            return Ok(());
         }
         if !self.included[i] {
-            self.recurse(i + 1, prob);
-            return;
+            return self.recurse(i + 1, prob);
         }
         let o = self.order[i];
         let node = self.pi.weak().node(o).expect("object exists");
@@ -210,12 +239,12 @@ impl EnumState<'_> {
                     continue;
                 }
                 self.chosen[i] = Choice::Value(v);
-                self.recurse(i + 1, prob * p);
+                self.recurse(i + 1, prob * p)?;
             }
             self.chosen[i] = Choice::None;
         } else if node.is_childless() {
             // Bare object: no choice, probability factor 1.
-            self.recurse(i + 1, prob);
+            self.recurse(i + 1, prob)?;
         } else {
             let table = self.tables.get(o).expect("validated: non-leaf has OPF");
             let entries: Vec<(ChildSet, f64)> =
@@ -235,13 +264,15 @@ impl EnumState<'_> {
                     self.included[j] = true;
                 }
                 self.chosen[i] = Choice::Children(set);
-                self.recurse(i + 1, prob * p);
+                let r = self.recurse(i + 1, prob * p);
                 for &j in &newly {
                     self.included[j] = false;
                 }
+                r?;
             }
             self.chosen[i] = Choice::None;
         }
+        Ok(())
     }
 
     fn emit(&mut self, prob: f64) {

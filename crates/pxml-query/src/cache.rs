@@ -34,6 +34,8 @@
 //! sequential code, which share one implementation).
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -64,18 +66,61 @@ pub struct EpsKey {
     pub target: TargetKey,
 }
 
+/// One memo table plus its approximate heap footprint. The byte counter
+/// is only touched under the table's write lock, so it needs no
+/// atomicity of its own.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    bytes: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard { map: HashMap::new(), bytes: 0 }
+    }
+}
+
 /// Per-depth located layers, shared between queries over the same path.
-type LayerTable = HashMap<(ObjectId, LabelPath), Arc<Vec<Vec<ObjectId>>>>;
+type LayerTable = Shard<(ObjectId, LabelPath), Arc<Vec<Vec<ObjectId>>>>;
 
 /// The shared cache. Cheap to clone the handle (`Arc` inside the engine);
 /// all tables are independently locked.
+///
+/// ## Byte accounting and eviction
+///
+/// Every insert carries an *approximate* cost estimate (entry struct
+/// sizes plus variable-length heap parts; hash-table overhead is folded
+/// into per-entry constants). When a ceiling is set via
+/// [`MarginalCache::set_max_bytes`], admission is governed: an insert
+/// that would push the total over the ceiling first evicts the whole
+/// table it targets (epoch-style — the memo tables have no useful
+/// recency structure, and dropping a table is correctness-neutral
+/// because every entry is a pure function of the instance), and is
+/// refused outright if it still does not fit. The accounted total
+/// therefore **never** exceeds the ceiling.
 #[derive(Debug, Default)]
 pub struct MarginalCache {
-    results: RwLock<HashMap<Query, Result<f64>>>,
+    results: RwLock<Shard<Query, Result<f64>>>,
     layers: RwLock<LayerTable>,
-    eps: RwLock<HashMap<EpsKey, f64>>,
-    links: RwLock<HashMap<(ObjectId, u32), f64>>,
+    eps: RwLock<Shard<EpsKey, f64>>,
+    links: RwLock<Shard<(ObjectId, u32), f64>>,
+    /// Byte ceiling; 0 = unlimited.
+    max_bytes: AtomicU64,
+    /// Sum of the four shards' `bytes` (kept in lock-step under the
+    /// respective write locks; reads are advisory).
+    total_bytes: AtomicU64,
+    /// Whole-table evictions performed by the admission path.
+    evictions: AtomicU64,
 }
+
+/// Flat per-entry cost estimates (key + value + hash-table slot). The
+/// variable-length parts (chain object lists, layer vectors) are added
+/// on top at the insert sites.
+const RESULT_ENTRY_BYTES: u64 = 96;
+const LAYERS_ENTRY_BYTES: u64 = 64;
+const EPS_ENTRY_BYTES: u64 = 80;
+const LINK_ENTRY_BYTES: u64 = 40;
 
 impl MarginalCache {
     /// An empty cache.
@@ -83,63 +128,122 @@ impl MarginalCache {
         Self::default()
     }
 
+    /// Sets the byte ceiling for the accounted footprint (0 disables the
+    /// ceiling). Takes effect on subsequent inserts.
+    pub fn set_max_bytes(&self, max: u64) {
+        self.max_bytes.store(max, Ordering::Relaxed);
+    }
+
+    /// The configured byte ceiling (0 = unlimited).
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The approximate accounted footprint of all four tables.
+    pub fn approx_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Whole-table evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the eviction counter (for `reset_stats`).
+    pub fn reset_evictions(&self) {
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Byte-governed insert into one shard: evict the shard when the
+    /// ceiling would be crossed, refuse admission when the entry still
+    /// does not fit. Only this shard's lock is taken, so concurrent
+    /// inserts into different tables never deadlock.
+    fn admit<K: Eq + Hash, V>(&self, shard: &RwLock<Shard<K, V>>, key: K, value: V, cost: u64) {
+        let max = self.max_bytes.load(Ordering::Relaxed);
+        let mut s = shard.write();
+        if max > 0 && self.total_bytes.load(Ordering::Relaxed).saturating_add(cost) > max {
+            self.total_bytes.fetch_sub(s.bytes, Ordering::Relaxed);
+            s.map.clear();
+            s.bytes = 0;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if self.total_bytes.load(Ordering::Relaxed).saturating_add(cost) > max {
+                return; // other tables hold the budget; skip admission
+            }
+        }
+        if s.map.insert(key, value).is_none() {
+            s.bytes += cost;
+            self.total_bytes.fetch_add(cost, Ordering::Relaxed);
+        }
+    }
+
     /// Whole-query lookup.
     pub fn get_result(&self, q: &Query) -> Option<Result<f64>> {
-        self.results.read().get(q).cloned()
+        self.results.read().map.get(q).cloned()
     }
 
     /// Whole-query insert.
     pub fn put_result(&self, q: Query, r: Result<f64>) {
-        self.results.write().insert(q, r);
+        let extra = match &q {
+            Query::Chain { objects } => objects.len() as u64 * 4,
+            Query::Point { path, .. } | Query::Exists { path } => path.labels.len() as u64 * 4,
+        };
+        self.admit(&self.results, q, r, RESULT_ENTRY_BYTES + extra);
     }
 
     /// Located-layers lookup for `(root, path labels)`.
     pub fn get_layers(&self, root: ObjectId, path: &LabelPath) -> Option<Arc<Vec<Vec<ObjectId>>>> {
-        self.layers.read().get(&(root, path.clone())).cloned()
+        self.layers.read().map.get(&(root, path.clone())).cloned()
     }
 
     /// Located-layers insert.
     pub fn put_layers(&self, root: ObjectId, path: LabelPath, layers: Arc<Vec<Vec<ObjectId>>>) {
-        self.layers.write().insert((root, path), layers);
+        let extra: u64 = layers.iter().map(|l| 24 + l.len() as u64 * 4).sum();
+        self.admit(&self.layers, (root, path), layers, LAYERS_ENTRY_BYTES + extra);
     }
 
     /// ε-marginal lookup.
     pub fn get_eps(&self, key: &EpsKey) -> Option<f64> {
-        self.eps.read().get(key).copied()
+        self.eps.read().map.get(key).copied()
     }
 
     /// ε-marginal insert.
     pub fn put_eps(&self, key: EpsKey, value: f64) {
-        self.eps.write().insert(key, value);
+        self.admit(&self.eps, key, value, EPS_ENTRY_BYTES);
     }
 
     /// Chain-link marginal lookup: `P(child at universe position ∈
     /// children(parent))`.
     pub fn get_link(&self, parent: ObjectId, pos: u32) -> Option<f64> {
-        self.links.read().get(&(parent, pos)).copied()
+        self.links.read().map.get(&(parent, pos)).copied()
     }
 
     /// Chain-link marginal insert.
     pub fn put_link(&self, parent: ObjectId, pos: u32, value: f64) {
-        self.links.write().insert((parent, pos), value);
+        self.admit(&self.links, (parent, pos), value, LINK_ENTRY_BYTES);
     }
 
     /// Drops every memoised entry (all four tables).
     pub fn clear(&self) {
-        self.results.write().clear();
-        self.layers.write().clear();
-        self.eps.write().clear();
-        self.links.write().clear();
+        fn wipe<K, V>(shard: &RwLock<Shard<K, V>>) {
+            let mut s = shard.write();
+            s.map.clear();
+            s.bytes = 0;
+        }
+        wipe(&self.results);
+        wipe(&self.layers);
+        wipe(&self.eps);
+        wipe(&self.links);
+        self.total_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Entry counts `(results, layers, eps, links)` — used by stats
     /// reporting and tests.
     pub fn len(&self) -> (usize, usize, usize, usize) {
         (
-            self.results.read().len(),
-            self.layers.read().len(),
-            self.eps.read().len(),
-            self.links.read().len(),
+            self.results.read().map.len(),
+            self.layers.read().map.len(),
+            self.eps.read().map.len(),
+            self.links.read().map.len(),
         )
     }
 

@@ -6,11 +6,13 @@
 //! that author A2 exists?".
 
 use pxml_algebra::path::PathExpr;
-use pxml_algebra::selection::{select, SelectCond};
-use pxml_core::{ObjectId, ProbInstance};
+use pxml_algebra::selection::{select, select_budgeted, SelectCond};
+use pxml_core::{Budget, ObjectId, ProbInstance};
 
 use crate::error::Result;
-use crate::point::{exists_query, point_query};
+use crate::point::{
+    exists_query, exists_query_budgeted, point_query, point_query_budgeted,
+};
 
 /// `P(o ∈ p | sc)`: the point-query probability in the instance
 /// conditioned on the selection condition.
@@ -24,6 +26,20 @@ pub fn conditional_point_query(
     point_query(&selected.instance, p, o)
 }
 
+/// [`conditional_point_query`] under a resource [`Budget`]: both the
+/// selection (chain conditioning) and the follow-up point query charge
+/// the same budget, so a single ceiling covers the whole composition.
+pub fn conditional_point_query_budgeted(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    p: &PathExpr,
+    o: ObjectId,
+    budget: &Budget,
+) -> Result<f64> {
+    let selected = select_budgeted(pi, cond, budget)?;
+    point_query_budgeted(&selected.instance, p, o, budget)
+}
+
 /// `P(∃ o ∈ p | sc)`.
 pub fn conditional_exists_query(
     pi: &ProbInstance,
@@ -34,9 +50,31 @@ pub fn conditional_exists_query(
     exists_query(&selected.instance, p)
 }
 
+/// [`conditional_exists_query`] under a resource [`Budget`] (shared by
+/// selection and query, as in [`conditional_point_query_budgeted`]).
+pub fn conditional_exists_query_budgeted(
+    pi: &ProbInstance,
+    cond: &SelectCond,
+    p: &PathExpr,
+    budget: &Budget,
+) -> Result<f64> {
+    let selected = select_budgeted(pi, cond, budget)?;
+    exists_query_budgeted(&selected.instance, p, budget)
+}
+
 /// The probability that `o` occurs at all, on a tree-shaped instance:
 /// the product of link marginals along `o`'s unique ancestor chain.
 pub fn presence_probability(pi: &ProbInstance, o: ObjectId) -> Result<f64> {
+    presence_probability_budgeted(pi, o, &Budget::unlimited())
+}
+
+/// [`presence_probability`] under a resource [`Budget`]: one step per
+/// ancestor-chain link (charged by the underlying budgeted chain walk).
+pub fn presence_probability_budgeted(
+    pi: &ProbInstance,
+    o: ObjectId,
+    budget: &Budget,
+) -> Result<f64> {
     if o == pi.root() {
         return Ok(1.0);
     }
@@ -57,7 +95,7 @@ pub fn presence_probability(pi: &ProbInstance, o: ObjectId) -> Result<f64> {
         }
     }
     chain.reverse();
-    crate::chain::chain_probability(pi, &chain)
+    crate::chain::chain_probability_budgeted(pi, &chain, budget)
 }
 
 #[cfg(test)]

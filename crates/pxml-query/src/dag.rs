@@ -18,33 +18,80 @@ use std::collections::HashMap;
 
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
-use pxml_core::{ObjectId, ProbInstance};
+use pxml_core::{Budget, ObjectId, ProbInstance};
 
 use crate::error::{QueryError, Result};
 
 /// Maximum number of matching chains inclusion–exclusion will expand.
 pub const MAX_CHAINS: usize = 24;
 
+/// Outcome of a budget-governed DAG marginalisation: either the exact
+/// union probability, or — when the budget ran out mid-expansion — a
+/// guaranteed Bonferroni bracket (see [`union_probability_governed`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum DagOutcome {
+    /// The inclusion–exclusion sum ran to completion.
+    Exact(f64),
+    /// Budget exhausted; `[lo, hi]` brackets the exact value.
+    Bracket {
+        /// Best complete even-truncation (or single-chain) lower bound.
+        lo: f64,
+        /// Best complete odd-truncation upper bound.
+        hi: f64,
+        /// The exhaustion record that stopped the expansion.
+        exhausted: pxml_core::Exhausted,
+    },
+}
+
 /// `P(o ∈ p)` on an arbitrary acyclic instance.
 pub fn point_query_dag(pi: &ProbInstance, p: &PathExpr, o: ObjectId) -> Result<f64> {
-    let layers = layers_weak(pi.weak(), p);
-    let located = layers.last().cloned().unwrap_or_default();
-    if located.binary_search(&o).is_err() {
-        return Ok(0.0);
+    match point_query_dag_governed(pi, p, o, &Budget::unlimited())? {
+        DagOutcome::Exact(v) => Ok(v),
+        DagOutcome::Bracket { exhausted, .. } => {
+            Err(QueryError::Core(pxml_core::CoreError::Exhausted(exhausted)))
+        }
     }
-    let chains = matching_chains(pi, p, &layers, &[o])?;
-    union_probability(pi, &chains)
 }
 
 /// `P(∃o: o ∈ p)` on an arbitrary acyclic instance.
 pub fn exists_query_dag(pi: &ProbInstance, p: &PathExpr) -> Result<f64> {
+    match exists_query_dag_governed(pi, p, &Budget::unlimited())? {
+        DagOutcome::Exact(v) => Ok(v),
+        DagOutcome::Bracket { exhausted, .. } => {
+            Err(QueryError::Core(pxml_core::CoreError::Exhausted(exhausted)))
+        }
+    }
+}
+
+/// Budget-governed [`point_query_dag`].
+pub(crate) fn point_query_dag_governed(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    o: ObjectId,
+    budget: &Budget,
+) -> Result<DagOutcome> {
+    let layers = layers_weak(pi.weak(), p);
+    let located = layers.last().cloned().unwrap_or_default();
+    if located.binary_search(&o).is_err() {
+        return Ok(DagOutcome::Exact(0.0));
+    }
+    let chains = matching_chains(pi, p, &layers, &[o], budget)?;
+    union_probability_governed(pi, &chains, budget)
+}
+
+/// Budget-governed [`exists_query_dag`].
+pub(crate) fn exists_query_dag_governed(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    budget: &Budget,
+) -> Result<DagOutcome> {
     let layers = layers_weak(pi.weak(), p);
     let located = layers.last().cloned().unwrap_or_default();
     if located.is_empty() {
-        return Ok(0.0);
+        return Ok(DagOutcome::Exact(0.0));
     }
-    let chains = matching_chains(pi, p, &layers, &located)?;
-    union_probability(pi, &chains)
+    let chains = matching_chains(pi, p, &layers, &located, budget)?;
+    union_probability_governed(pi, &chains, budget)
 }
 
 /// Enumerates every chain `root = c₀ → … → cₙ ∈ targets` whose edge
@@ -54,6 +101,7 @@ fn matching_chains(
     p: &PathExpr,
     layers: &[Vec<ObjectId>],
     targets: &[ObjectId],
+    budget: &Budget,
 ) -> Result<Vec<Vec<ObjectId>>> {
     let n = p.labels.len();
     // chains_to[depth][object] = all chains from the root to `object`
@@ -75,6 +123,7 @@ fn matching_chains(
                     continue;
                 }
                 for chain in parent_chains {
+                    budget.charge(1).map_err(pxml_core::CoreError::from)?;
                     let mut extended = chain.clone();
                     extended.push(child);
                     next.entry(child).or_default().push(extended);
@@ -99,49 +148,97 @@ fn matching_chains(
     Ok(out)
 }
 
+/// One inclusion–exclusion term: `Π_parent P(children ⊇ required)` for
+/// the chains selected by `mask`.
+fn mask_term(pi: &ProbInstance, chains: &[Vec<ObjectId>], mask: u64) -> Result<f64> {
+    // Union of required links of the selected chains, grouped per
+    // parent as universe positions.
+    let mut required: HashMap<ObjectId, Vec<u32>> = HashMap::new();
+    for (i, chain) in chains.iter().enumerate() {
+        if (mask >> i) & 1 == 0 {
+            continue;
+        }
+        for w in chain.windows(2) {
+            let node = pi.weak().node(w[0]).expect("chain member");
+            let pos = node
+                .universe()
+                .position(w[1])
+                .expect("chain edges come from the universe");
+            let slot = required.entry(w[0]).or_default();
+            if !slot.contains(&pos) {
+                slot.push(pos);
+            }
+        }
+    }
+    let mut term = 1.0;
+    for (parent, positions) in &required {
+        let opf = pi.opf(*parent).ok_or(QueryError::UnknownObject(*parent))?;
+        term *= opf.marginal_all_present(positions);
+        if term == 0.0 {
+            break;
+        }
+    }
+    Ok(term)
+}
+
 /// `P(⋃ chains)` by inclusion–exclusion; each conjunction factorises
 /// over parents as `Π P(children ⊇ required)`.
-fn union_probability(pi: &ProbInstance, chains: &[Vec<ObjectId>]) -> Result<f64> {
+///
+/// Subsets are enumerated **by cardinality** (Gosper's hack within each
+/// level), so the partial signed sums are exactly the Bonferroni
+/// truncations: stopping after a complete odd level gives an upper
+/// bound on the union, after a complete even level a lower bound, and
+/// every level-1 term is itself a lower bound. When the budget runs out
+/// mid-expansion the best bounds proved so far form a guaranteed
+/// bracket — that is [`DagOutcome::Bracket`]; an unlimited budget always
+/// returns [`DagOutcome::Exact`].
+fn union_probability_governed(
+    pi: &ProbInstance,
+    chains: &[Vec<ObjectId>],
+    budget: &Budget,
+) -> Result<DagOutcome> {
     if chains.is_empty() {
-        return Ok(0.0);
+        return Ok(DagOutcome::Exact(0.0));
     }
     let k = chains.len();
-    let mut total = 0.0;
-    for mask in 1u64..(1 << k) {
-        // Union of required links of the selected chains, grouped per
-        // parent as universe positions.
-        let mut required: HashMap<ObjectId, Vec<u32>> = HashMap::new();
-        for (i, chain) in chains.iter().enumerate() {
-            if (mask >> i) & 1 == 0 {
-                continue;
+    debug_assert!(k <= MAX_CHAINS);
+    let all_masks: u64 = 1u64 << k;
+    let mut signed = 0.0f64; // Bonferroni truncation after last complete level
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for level in 1..=k {
+        let mut level_sum = 0.0f64;
+        let mut mask: u64 = (1u64 << level) - 1;
+        loop {
+            if let Err(e) = budget.charge(1) {
+                // `lo ≤ P ≤ hi` holds by construction; the min guards
+                // against floating-point inversion of near-equal bounds.
+                return Ok(DagOutcome::Bracket { lo: lo.min(hi), hi, exhausted: e });
             }
-            for w in chain.windows(2) {
-                let node = pi.weak().node(w[0]).expect("chain member");
-                let pos = node
-                    .universe()
-                    .position(w[1])
-                    .expect("chain edges come from the universe");
-                let slot = required.entry(w[0]).or_default();
-                if !slot.contains(&pos) {
-                    slot.push(pos);
-                }
+            let term = mask_term(pi, chains, mask)?;
+            if level == 1 {
+                // Any single chain's probability lower-bounds the union.
+                lo = lo.max(term.clamp(0.0, 1.0));
             }
-        }
-        let mut term = 1.0;
-        for (parent, positions) in &required {
-            let opf = pi.opf(*parent).ok_or(QueryError::UnknownObject(*parent))?;
-            term *= opf.marginal_all_present(positions);
-            if term == 0.0 {
+            level_sum += term;
+            // Gosper's hack: next mask with the same popcount.
+            let c = mask & mask.wrapping_neg();
+            let r = mask + c;
+            let next = (((r ^ mask) >> 2) / c) | r;
+            if next >= all_masks {
                 break;
             }
+            mask = next;
         }
-        if mask.count_ones() % 2 == 1 {
-            total += term;
+        if level % 2 == 1 {
+            signed += level_sum;
+            hi = hi.min(signed.clamp(0.0, 1.0));
         } else {
-            total -= term;
+            signed -= level_sum;
+            lo = lo.max(signed.clamp(0.0, 1.0));
         }
     }
-    Ok(total.clamp(0.0, 1.0))
+    Ok(DagOutcome::Exact(signed.clamp(0.0, 1.0)))
 }
 
 #[cfg(test)]

@@ -15,18 +15,22 @@
 //! lookups, and a memoised value is bit-identical to what the recursion
 //! would recompute (see `crate::cache` for the key-soundness argument).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
-use pxml_core::{LabelPath, ObjectId, ProbInstance};
+use pxml_core::{Budget, CancelToken, LabelPath, ObjectId, ProbInstance};
+use pxml_interval::Interval;
 use std::sync::Arc;
 
 use crate::cache::{EpsKey, MarginalCache, TargetKey};
+use crate::chain::{chain_probability_budgeted, chain_probability_interval};
+use crate::dag::{exists_query_dag_governed, point_query_dag_governed, DagOutcome};
 use crate::error::{QueryError, Result};
-use crate::point::{epsilon_root_with, EpsHook};
+use crate::point::{epsilon_root_interval, epsilon_root_with, EpsHook};
 use crate::stats::{EngineStats, StatsSnapshot};
 
 /// One query in a batch.
@@ -65,6 +69,101 @@ impl Query {
     /// Convenience constructor for a chain query.
     pub fn chain(objects: impl Into<Vec<ObjectId>>) -> Self {
         Query::Chain { objects: objects.into() }
+    }
+}
+
+/// What a governed run does when a query exhausts its [`Budget`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Surface the typed [`pxml_core::Exhausted`] error (via
+    /// [`pxml_core::CoreError::Exhausted`]). The default.
+    #[default]
+    Error,
+    /// Degrade to a guaranteed-bracketing interval `[lo, hi]` built from
+    /// the partially-marginalised state (see [`Answer::Interval`]).
+    Interval,
+}
+
+/// Per-query resource limits for [`QueryEngine::run_governed`] and
+/// [`QueryEngine::run_batch_governed`]. Every field is optional;
+/// `BudgetSpec::default()` is fully unlimited with `Error` degradation.
+///
+/// In a batch, each query gets its **own** [`Budget`] built from this
+/// spec (so step exhaustion is a deterministic property of the query,
+/// independent of worker count); the cancellation token, when present,
+/// is shared across the batch so one `cancel()` stops everything.
+#[derive(Clone, Debug, Default)]
+pub struct BudgetSpec {
+    /// Ceiling on work steps (survival evaluations, link marginals,
+    /// chain extensions, inclusion–exclusion terms).
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline, measured from each query's start.
+    pub timeout: Option<Duration>,
+    /// Cooperative cancellation token, polled at the same checkpoints
+    /// as the deadline.
+    pub cancel: Option<CancelToken>,
+    /// Exhaustion behaviour.
+    pub degrade: DegradePolicy,
+}
+
+impl BudgetSpec {
+    /// A fresh [`Budget`] configured per this spec.
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(s) = self.max_steps {
+            b = b.with_max_steps(s);
+        }
+        if let Some(t) = self.timeout {
+            b = b.with_timeout(t);
+        }
+        if let Some(c) = &self.cancel {
+            b = b.with_cancel_token(c.clone());
+        }
+        b
+    }
+}
+
+/// A governed query answer: the exact probability when the budget
+/// sufficed, or a guaranteed bracket of it when the run degraded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Answer {
+    /// The exact probability — identical to what the ungoverned path
+    /// would return.
+    Exact(f64),
+    /// A bracket `[lo, hi]` guaranteed to contain the exact probability;
+    /// produced only under [`DegradePolicy::Interval`] after exhaustion.
+    Interval(Interval),
+}
+
+impl Answer {
+    /// Lower bound (the value itself when exact).
+    pub fn lo(&self) -> f64 {
+        match self {
+            Answer::Exact(v) => *v,
+            Answer::Interval(i) => i.lo,
+        }
+    }
+
+    /// Upper bound (the value itself when exact).
+    pub fn hi(&self) -> f64 {
+        match self {
+            Answer::Exact(v) => *v,
+            Answer::Interval(i) => i.hi,
+        }
+    }
+
+    /// True when this is a degraded interval answer.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Answer::Interval(_))
+    }
+
+    /// True when `p` lies inside the answer (exact match or bracket
+    /// containment, with the interval type's tolerance).
+    pub fn contains(&self, p: f64) -> bool {
+        match self {
+            Answer::Exact(v) => (v - p).abs() <= 1e-12,
+            Answer::Interval(i) => i.contains(p),
+        }
     }
 }
 
@@ -110,14 +209,17 @@ impl QueryEngine {
         self.threads = threads.max(1);
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters (cache evictions included).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.cache_evictions = self.cache.evictions();
+        s
     }
 
     /// Zeroes the counters (the cache is kept).
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.cache.reset_evictions();
     }
 
     /// Drops every memoised value. Counters are kept.
@@ -129,6 +231,18 @@ impl QueryEngine {
     /// `(results, layers, eps, links)`.
     pub fn cache_len(&self) -> (usize, usize, usize, usize) {
         self.cache.len()
+    }
+
+    /// Caps the shared cache's accounted footprint at `bytes`
+    /// (0 = unlimited). Crossing the ceiling evicts whole tables
+    /// epoch-style; see [`MarginalCache`].
+    pub fn set_max_cache_bytes(&self, bytes: u64) {
+        self.cache.set_max_bytes(bytes);
+    }
+
+    /// The cache's approximate accounted footprint in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.approx_bytes()
     }
 
     /// Consumes the engine, returning the instance.
@@ -183,6 +297,215 @@ impl QueryEngine {
         out
     }
 
+    /// Answers one query under a resource budget built from `spec`.
+    ///
+    /// Differences from [`QueryEngine::run`]:
+    ///
+    /// * Evaluation is charged against a fresh per-query [`Budget`];
+    ///   exhaustion yields the typed error or — under
+    ///   [`DegradePolicy::Interval`] — a bracketing [`Answer::Interval`].
+    /// * Non-tree point/exists queries fall back to the governed DAG
+    ///   inclusion–exclusion engine instead of erring `NotTreeShaped`.
+    /// * ε memoisation is **query-private**, so the steps a query spends
+    ///   (and hence `Exhausted::spent`) are a deterministic function of
+    ///   the instance and query, independent of worker count or shared
+    ///   cache state. Only exact whole-query results that the ungoverned
+    ///   path would also produce are written back to the shared cache;
+    ///   degraded and DAG-fallback answers are never cached.
+    pub fn run_governed(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
+        self.stats.count_query();
+        if let Some(Ok(v)) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return Ok(Answer::Exact(v));
+        }
+        self.stats.count_result(false);
+        let budget = spec.budget();
+        let (r, cacheable) = self.evaluate_governed(q, spec, &budget);
+        match &r {
+            Ok(Answer::Exact(v)) if cacheable => {
+                self.cache.put_result(q.clone(), Ok(*v));
+            }
+            Ok(Answer::Interval(_)) => self.stats.count_degraded(),
+            Err(e) if exhaustion_of(e).is_some() => self.stats.count_exhausted(),
+            _ => {}
+        }
+        r
+    }
+
+    /// Governed batch: `results[i]` answers `queries[i]`. Fan-out
+    /// mirrors [`QueryEngine::run_batch`]; every query gets its own
+    /// budget from `spec` (see [`BudgetSpec`]).
+    pub fn run_batch_governed(&self, queries: &[Query], spec: &BudgetSpec) -> Vec<Result<Answer>> {
+        let start = Instant::now();
+        let out = if self.threads == 1 || queries.len() <= 1 {
+            queries.iter().map(|q| self.run_governed(q, spec)).collect()
+        } else {
+            let slots: Vec<Mutex<Option<Result<Answer>>>> =
+                queries.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = self.threads.min(queries.len());
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        *slots[i].lock() = Some(self.run_governed(&queries[i], spec));
+                    });
+                }
+            })
+            .expect("batch worker panicked");
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("every index was claimed"))
+                .collect()
+        };
+        self.stats.add_batch(start.elapsed());
+        out
+    }
+
+    /// Governed evaluation. The second component is `true` when the
+    /// answer is safe to write to the shared result cache: exact, and
+    /// identical to what the ungoverned path would return (DAG-fallback
+    /// answers are excluded — the ungoverned path errs `NotTreeShaped`
+    /// there, and caching `Ok` would break the engine/sequential
+    /// exact-equality contract).
+    fn evaluate_governed(
+        &self,
+        q: &Query,
+        spec: &BudgetSpec,
+        budget: &Budget,
+    ) -> (Result<Answer>, bool) {
+        match q {
+            Query::Point { path, object } => self.eval_point_governed(path, *object, spec, budget),
+            Query::Exists { path } => self.eval_exists_governed(path, spec, budget),
+            Query::Chain { objects } => {
+                let start = Instant::now();
+                let r = match spec.degrade {
+                    DegradePolicy::Error => {
+                        chain_probability_budgeted(&self.pi, objects, budget).map(Answer::Exact)
+                    }
+                    DegradePolicy::Interval => chain_probability_interval(&self.pi, objects, budget)
+                        .map(|(lo, hi)| bounds_answer(lo, hi)),
+                };
+                self.stats.add_marginal(start.elapsed());
+                let cacheable = matches!(r, Ok(Answer::Exact(_)));
+                (r, cacheable)
+            }
+        }
+    }
+
+    fn eval_point_governed(
+        &self,
+        path: &PathExpr,
+        object: ObjectId,
+        spec: &BudgetSpec,
+        budget: &Budget,
+    ) -> (Result<Answer>, bool) {
+        let labels = LabelPath::from(&path.labels[..]);
+        let layers = self.layers_for(path, &labels);
+        if layers.last().is_none_or(|l| l.binary_search(&object).is_err()) {
+            return (Ok(Answer::Exact(0.0)), true);
+        }
+        let start = Instant::now();
+        let mut hook = LocalHook::default();
+        let tree = self.eps_governed(path, &layers, &[object], spec, budget, &mut hook);
+        self.stats.add_opf_entries(hook.opf_entries);
+        let out = match tree {
+            Err(QueryError::NotTreeShaped(_)) => {
+                let dag = point_query_dag_governed(&self.pi, path, object, budget);
+                (self.dag_answer(dag, spec), false)
+            }
+            other => {
+                let cacheable = matches!(other, Ok(Answer::Exact(_)));
+                (other, cacheable)
+            }
+        };
+        self.stats.add_marginal(start.elapsed());
+        out
+    }
+
+    fn eval_exists_governed(
+        &self,
+        path: &PathExpr,
+        spec: &BudgetSpec,
+        budget: &Budget,
+    ) -> (Result<Answer>, bool) {
+        let labels = LabelPath::from(&path.labels[..]);
+        let layers = self.layers_for(path, &labels);
+        let located = layers.last().cloned().unwrap_or_default();
+        if located.is_empty() {
+            return (Ok(Answer::Exact(0.0)), true);
+        }
+        let start = Instant::now();
+        let mut hook = LocalHook::default();
+        let tree = self.eps_governed(path, &layers, &located, spec, budget, &mut hook);
+        self.stats.add_opf_entries(hook.opf_entries);
+        let out = match tree {
+            Err(QueryError::NotTreeShaped(_)) => {
+                let dag = exists_query_dag_governed(&self.pi, path, budget);
+                (self.dag_answer(dag, spec), false)
+            }
+            other => {
+                let cacheable = matches!(other, Ok(Answer::Exact(_)));
+                (other, cacheable)
+            }
+        };
+        self.stats.add_marginal(start.elapsed());
+        out
+    }
+
+    /// The tree-shaped ε evaluation under the chosen degrade policy.
+    /// Under `Interval`, an exhaustion escaping *before* the interval
+    /// recursion can widen it (i.e. while building the kept region)
+    /// degrades to the trivial bracket `[0, 1]`.
+    fn eps_governed(
+        &self,
+        path: &PathExpr,
+        layers: &[Vec<ObjectId>],
+        targets: &[ObjectId],
+        spec: &BudgetSpec,
+        budget: &Budget,
+        hook: &mut LocalHook,
+    ) -> Result<Answer> {
+        match spec.degrade {
+            DegradePolicy::Error => {
+                epsilon_root_with(&self.pi, path, layers, targets, hook, budget).map(Answer::Exact)
+            }
+            DegradePolicy::Interval => {
+                match epsilon_root_interval(&self.pi, path, layers, targets, hook, budget) {
+                    Ok((lo, hi)) => Ok(bounds_answer(lo, hi)),
+                    Err(e) if exhaustion_of(&e).is_some() => {
+                        Ok(Answer::Interval(Interval { lo: 0.0, hi: 1.0 }))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Maps a governed DAG outcome through the degrade policy.
+    fn dag_answer(&self, r: Result<DagOutcome>, spec: &BudgetSpec) -> Result<Answer> {
+        match r {
+            Ok(DagOutcome::Exact(v)) => Ok(Answer::Exact(v)),
+            Ok(DagOutcome::Bracket { lo, hi, exhausted }) => match spec.degrade {
+                DegradePolicy::Interval => Ok(bounds_answer(lo, hi)),
+                DegradePolicy::Error => {
+                    Err(QueryError::Core(pxml_core::CoreError::Exhausted(exhausted)))
+                }
+            },
+            Err(e) => match spec.degrade {
+                // Exhaustion while still enumerating chains: nothing is
+                // known yet, the trivial bracket is the only safe answer.
+                DegradePolicy::Interval if exhaustion_of(&e).is_some() => {
+                    Ok(Answer::Interval(Interval { lo: 0.0, hi: 1.0 }))
+                }
+                _ => Err(e),
+            },
+        }
+    }
+
     fn evaluate(&self, q: &Query) -> Result<f64> {
         match q {
             Query::Point { path, object } => self.eval_point(path, *object),
@@ -225,7 +548,7 @@ impl QueryEngine {
             path: labels,
             target: TargetKey::One(object),
         };
-        let r = epsilon_root_with(&self.pi, path, &layers, &[object], &mut hook);
+        let r = epsilon_root_with(&self.pi, path, &layers, &[object], &mut hook, &Budget::unlimited());
         self.stats.add_marginal(start.elapsed());
         r
     }
@@ -245,7 +568,7 @@ impl QueryEngine {
             path: labels,
             target: TargetKey::AllLocated,
         };
-        let r = epsilon_root_with(&self.pi, path, &layers, &located, &mut hook);
+        let r = epsilon_root_with(&self.pi, path, &layers, &located, &mut hook, &Budget::unlimited());
         self.stats.add_marginal(start.elapsed());
         r
     }
@@ -300,6 +623,50 @@ impl QueryEngine {
             parent = child;
         }
         Ok(p)
+    }
+}
+
+/// The exhaustion record inside a [`QueryError`], if that is what it is.
+fn exhaustion_of(e: &QueryError) -> Option<pxml_core::Exhausted> {
+    match e {
+        QueryError::Core(pxml_core::CoreError::Exhausted(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Collapses a bracket to [`Answer::Exact`] when it is degenerate;
+/// bounds are clamped into `[0, 1]` and ordered defensively.
+fn bounds_answer(lo: f64, hi: f64) -> Answer {
+    let lo = lo.clamp(0.0, 1.0);
+    let hi = hi.clamp(0.0, 1.0).max(lo);
+    if lo == hi {
+        Answer::Exact(lo)
+    } else {
+        Answer::Interval(Interval { lo, hi })
+    }
+}
+
+/// Query-private ε memo for governed runs. Keyed by `(object, depth)`,
+/// which is sound within one query (single path, fixed target set);
+/// being private, the steps charged per query do not depend on what
+/// other queries or threads have cached.
+#[derive(Default)]
+struct LocalHook {
+    memo: HashMap<(ObjectId, usize), f64>,
+    opf_entries: u64,
+}
+
+impl EpsHook for LocalHook {
+    fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64> {
+        self.memo.get(&(x, depth)).copied()
+    }
+
+    fn put(&mut self, x: ObjectId, depth: usize, value: f64) {
+        self.memo.insert((x, depth), value);
+    }
+
+    fn visited_opf_entries(&mut self, entries: u64) {
+        self.opf_entries += entries;
     }
 }
 
@@ -427,6 +794,175 @@ mod tests {
         let seq = QueryEngine::with_threads(chain_fixture(4, 0.7), 1);
         let par = QueryEngine::with_threads(pi, 4);
         assert_eq!(seq.run_batch(&queries), par.run_batch(&queries));
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned_exactly() {
+        let pi = fig2_instance();
+        let t2 = pi.oid("T2").unwrap();
+        let b1 = pi.oid("B1").unwrap();
+        let a1 = pi.oid("A1").unwrap();
+        let i1 = pi.oid("I1").unwrap();
+        let title = parse(&pi, "R.book.title");
+        let queries = vec![
+            Query::point(title.clone(), t2),
+            Query::exists(title.clone()),
+            Query::chain([pi.root(), b1, a1, i1]),
+        ];
+        let engine = QueryEngine::with_threads(pi, 1);
+        let spec = BudgetSpec::default();
+        for q in &queries {
+            let governed = engine.run_governed(q, &spec).unwrap();
+            let plain = engine.run(q).unwrap();
+            assert_eq!(governed, Answer::Exact(plain));
+            assert!(!governed.is_degraded());
+        }
+        assert_eq!(engine.stats().queries_degraded, 0);
+        assert_eq!(engine.stats().queries_exhausted, 0);
+    }
+
+    #[test]
+    fn governed_non_tree_point_falls_back_to_dag() {
+        // Ungoverned `run` errs NotTreeShaped on Figure 2's author path;
+        // the governed run answers exactly via inclusion–exclusion.
+        let pi = fig2_instance();
+        let a1 = pi.oid("A1").unwrap();
+        let author = parse(&pi, "R.book.author");
+        let q = Query::point(author.clone(), a1);
+        let engine = QueryEngine::with_threads(pi, 1);
+        assert!(engine.run(&q).is_err());
+        let got = engine.run_governed(&q, &BudgetSpec::default()).unwrap();
+        let oracle = crate::dag::point_query_dag(engine.instance(), &author, a1).unwrap();
+        assert_eq!(got, Answer::Exact(oracle));
+        // The DAG answer must NOT have been written to the result cache:
+        // a later ungoverned run still errs.
+        assert!(engine.run(&q).is_err());
+    }
+
+    #[test]
+    fn exhausted_error_policy_returns_typed_error() {
+        let pi = chain_fixture(6, 0.5);
+        let o6 = pi.oid("o6").unwrap();
+        let p = parse(&pi, "r.next.next.next.next.next.next");
+        let q = Query::point(p, o6);
+        let engine = QueryEngine::with_threads(pi, 1);
+        let spec = BudgetSpec { max_steps: Some(1), ..BudgetSpec::default() };
+        let err = engine.run_governed(&q, &spec).unwrap_err();
+        let ex = exhaustion_of(&err).expect("budget of 1 must exhaust");
+        assert_eq!(ex.resource, pxml_core::Resource::Steps);
+        assert_eq!(engine.stats().queries_exhausted, 1);
+        // Exhausted results are never cached: a later unlimited governed
+        // run answers exactly.
+        let exact = engine.run_governed(&q, &BudgetSpec::default()).unwrap();
+        assert_eq!(exact, Answer::Exact(0.5f64.powi(6)));
+    }
+
+    #[test]
+    fn exhausted_interval_policy_brackets_the_exact_answer() {
+        let pi = chain_fixture(6, 0.5);
+        let o6 = pi.oid("o6").unwrap();
+        let p = parse(&pi, "r.next.next.next.next.next.next");
+        let exact = 0.5f64.powi(6);
+        for steps in 1..12 {
+            let engine = QueryEngine::with_threads(chain_fixture(6, 0.5), 1);
+            let spec = BudgetSpec {
+                max_steps: Some(steps),
+                degrade: DegradePolicy::Interval,
+                ..BudgetSpec::default()
+            };
+            let ans = engine.run_governed(&Query::point(p.clone(), o6), &spec).unwrap();
+            assert!(
+                ans.contains(exact),
+                "budget {steps}: {ans:?} must bracket {exact}"
+            );
+            if ans.is_degraded() {
+                assert_eq!(engine.stats().queries_degraded, 1);
+            } else {
+                assert_eq!(ans, Answer::Exact(exact));
+            }
+        }
+    }
+
+    #[test]
+    fn governed_chain_degrades_to_prefix_bound() {
+        let pi = chain_fixture(4, 0.5);
+        let o = |n: &str| pi.oid(n).unwrap();
+        let objects = vec![pi.root(), o("o1"), o("o2"), o("o3"), o("o4")];
+        let exact = 0.5f64.powi(4);
+        let engine = QueryEngine::with_threads(pi, 1);
+        let spec = BudgetSpec {
+            max_steps: Some(2),
+            degrade: DegradePolicy::Interval,
+            ..BudgetSpec::default()
+        };
+        let ans = engine.run_governed(&Query::chain(objects), &spec).unwrap();
+        assert!(ans.is_degraded());
+        assert!(ans.contains(exact));
+        assert!(ans.hi() <= 0.25 + 1e-12, "prefix product after 2 links");
+    }
+
+    #[test]
+    fn shared_cancel_token_stops_a_batch() {
+        let pi = chain_fixture(3, 0.5);
+        let o3 = pi.oid("o3").unwrap();
+        let p = parse(&pi, "r.next.next.next");
+        let engine = QueryEngine::with_threads(pi, 1);
+        let token = pxml_core::CancelToken::new();
+        token.cancel();
+        let spec = BudgetSpec {
+            cancel: Some(token),
+            ..BudgetSpec::default()
+        };
+        let out = engine.run_batch_governed(&[Query::point(p, o3)], &spec);
+        let err = out[0].as_ref().unwrap_err();
+        let ex = exhaustion_of(err).expect("cancelled run must exhaust");
+        assert_eq!(ex.resource, pxml_core::Resource::Cancelled);
+    }
+
+    #[test]
+    fn exhausted_spent_is_deterministic_across_thread_counts() {
+        let p_text = "r.next.next.next.next.next.next.next";
+        let mk = || chain_fixture(7, 0.5);
+        let spent_with = |threads: usize| {
+            let pi = mk();
+            let o7 = pi.oid("o7").unwrap();
+            let p = parse(&pi, p_text);
+            let engine = QueryEngine::with_threads(pi, threads);
+            let spec = BudgetSpec { max_steps: Some(3), ..BudgetSpec::default() };
+            let queries: Vec<Query> = (0..8).map(|_| Query::point(p.clone(), o7)).collect();
+            engine
+                .run_batch_governed(&queries, &spec)
+                .into_iter()
+                .map(|r| exhaustion_of(&r.unwrap_err()).unwrap().spent)
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(spent_with(1), spent_with(4));
+    }
+
+    #[test]
+    fn cache_byte_ceiling_is_respected_and_evictions_are_counted() {
+        let pi = chain_fixture(8, 0.5);
+        let engine = QueryEngine::with_threads(pi, 1);
+        let cap = 600u64;
+        engine.set_max_cache_bytes(cap);
+        let pi = engine.instance().clone();
+        // Distinct chain queries of growing length fill the result and
+        // link tables past the tiny ceiling.
+        let names = ["o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8"];
+        let mut chain = vec![pi.root()];
+        for n in names {
+            chain.push(pi.oid(n).unwrap());
+            engine.run(&Query::chain(chain.clone())).unwrap();
+        }
+        assert!(
+            engine.cache_bytes() <= cap,
+            "accounted bytes {} exceed ceiling {cap}",
+            engine.cache_bytes()
+        );
+        assert!(engine.stats().cache_evictions > 0);
+        // Values survive eviction churn unchanged.
+        let full = engine.run(&Query::chain(chain)).unwrap();
+        assert!((full - 0.5f64.powi(8)).abs() < 1e-12);
     }
 
     #[test]

@@ -18,6 +18,23 @@
 //!   instrumentation. Engine answers are exactly equal (`==`) to the
 //!   sequential functions' answers — they share one ε implementation.
 //!
+//! ## Resource governance
+//!
+//! Every evaluation path exists in a budgeted form
+//! ([`point_query_budgeted`], [`exists_query_budgeted`],
+//! [`chain_probability_budgeted`], the `*_budgeted` conditional
+//! queries) charging a [`pxml_core::Budget`] — a work-step counter,
+//! wall-clock deadline and cooperative cancellation token — at every
+//! expansion point. Exhaustion surfaces as the typed
+//! [`pxml_core::Exhausted`] error (via `CoreError::Exhausted`), never a
+//! panic and never silently. [`engine::QueryEngine::run_governed`] /
+//! [`engine::QueryEngine::run_batch_governed`] additionally support
+//! graceful degradation: under [`engine::DegradePolicy::Interval`] an
+//! exhausted query returns a guaranteed-bracketing
+//! [`engine::Answer::Interval`] built from the partially-marginalised
+//! state instead of an error. The shared cache can be byte-capped via
+//! [`engine::QueryEngine::set_max_cache_bytes`].
+//!
 //! The ε computations assume tree-shaped kept regions (the standing
 //! assumption of Section 6) and return [`QueryError::NotTreeShaped`]
 //! otherwise; `pxml_algebra::naive` and `pxml-bayes` handle general DAGs.
@@ -35,10 +52,17 @@ pub mod point;
 pub mod stats;
 
 pub use cache::{EpsKey, MarginalCache, TargetKey};
-pub use chain::{chain_probability, chain_probability_named};
+pub use chain::{chain_probability, chain_probability_budgeted, chain_probability_named};
+pub use conditional::{
+    conditional_exists_query, conditional_exists_query_budgeted, conditional_point_query,
+    conditional_point_query_budgeted, presence_probability, presence_probability_budgeted,
+};
 pub use dag::{exists_query_dag, point_query_dag};
-pub use conditional::{conditional_exists_query, conditional_point_query, presence_probability};
-pub use engine::{Query, QueryEngine};
+pub use engine::{Answer, BudgetSpec, DegradePolicy, Query, QueryEngine};
 pub use error::{QueryError, Result};
-pub use point::{exists_query, point_query};
+pub use point::{exists_query, exists_query_budgeted, point_query, point_query_budgeted};
 pub use stats::{EngineStats, StatsSnapshot};
+
+// Re-exported so downstream users (the CLI, tests) can build budgets
+// without importing pxml-core directly.
+pub use pxml_core::{Budget, CancelToken, Exhausted, Resource};

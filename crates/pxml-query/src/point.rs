@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
 use pxml_algebra::project_sd::kept_roles;
-use pxml_core::{Label, ObjectId, ProbInstance};
+use pxml_core::{Budget, Label, ObjectId, ProbInstance};
 
 use crate::error::{QueryError, Result};
 
@@ -23,23 +23,40 @@ use crate::error::{QueryError, Result};
 /// compatible instance (Definition 6.1). Returns 0 when `o` cannot
 /// satisfy `p` in any world.
 pub fn point_query(pi: &ProbInstance, p: &PathExpr, o: ObjectId) -> Result<f64> {
+    point_query_budgeted(pi, p, o, &Budget::unlimited())
+}
+
+/// [`point_query`] under a resource [`Budget`]: one step is charged per
+/// ε survival evaluation, and exhaustion surfaces as
+/// [`pxml_core::CoreError::Exhausted`].
+pub fn point_query_budgeted(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    o: ObjectId,
+    budget: &Budget,
+) -> Result<f64> {
     let layers = layers_weak(pi.weak(), p);
     let located = layers.last().cloned().unwrap_or_default();
     if located.binary_search(&o).is_err() {
         return Ok(0.0);
     }
-    epsilon_root(pi, p, &layers, &[o])
+    epsilon_root(pi, p, &layers, &[o], budget)
 }
 
 /// `P(∃ o: o ∈ p)`: the probability that *some* object satisfies `p`
 /// (the extension discussed at the end of Section 6.2).
 pub fn exists_query(pi: &ProbInstance, p: &PathExpr) -> Result<f64> {
+    exists_query_budgeted(pi, p, &Budget::unlimited())
+}
+
+/// [`exists_query`] under a resource [`Budget`].
+pub fn exists_query_budgeted(pi: &ProbInstance, p: &PathExpr, budget: &Budget) -> Result<f64> {
     let layers = layers_weak(pi.weak(), p);
     let located = layers.last().cloned().unwrap_or_default();
     if located.is_empty() {
         return Ok(0.0);
     }
-    epsilon_root(pi, p, &layers, &located)
+    epsilon_root(pi, p, &layers, &located, budget)
 }
 
 /// Observer/memo hook threaded through the ε computation so the batch
@@ -132,6 +149,7 @@ fn eps_at(
     x: ObjectId,
     depth: usize,
     hook: &mut dyn EpsHook,
+    budget: &Budget,
 ) -> Result<f64> {
     if depth == labels.len() {
         return Ok(1.0);
@@ -139,6 +157,10 @@ fn eps_at(
     if let Some(v) = hook.get(x, depth) {
         return Ok(v);
     }
+    // One work step per survival evaluation — memo hits above are free,
+    // which keeps `Exhausted.spent` a function of (instance, query,
+    // memo) alone, independent of wall clock or thread count.
+    budget.charge(1).map_err(pxml_core::CoreError::from)?;
     let node = pi.weak().node(x).expect("kept object exists");
     let opf = pi.opf(x).ok_or(QueryError::UnknownObject(x))?;
     // Universe positions of x's kept children, in universe order — the
@@ -147,7 +169,7 @@ fn eps_at(
     let mut kept_children: Vec<(u32, f64)> = Vec::new();
     for (pos, c, l) in node.universe().iter() {
         if l == labels[depth] && kept[depth + 1].binary_search(&c).is_ok() {
-            kept_children.push((pos, eps_at(pi, labels, kept, c, depth + 1, hook)?));
+            kept_children.push((pos, eps_at(pi, labels, kept, c, depth + 1, hook, budget)?));
         }
     }
     // Compact OPFs are evaluated in closed form (§3.2), explicit
@@ -163,6 +185,60 @@ fn eps_at(
     Ok(v)
 }
 
+/// Interval-mode ε evaluation: identical recursion, but a failed budget
+/// charge yields the trivially bracketing `[0, 1]` for that subtree
+/// instead of an error. Because `Opf::survival_probability` is monotone
+/// non-decreasing in every child's ε (each factor `1 − ε` shrinks as ε
+/// grows, in all three OPF representations), evaluating once with all
+/// child lower bounds and once with all child upper bounds yields a
+/// guaranteed bracket of the exact ε at every node — this is the
+/// "partially-marginalised state" degradation: subtrees finished before
+/// exhaustion contribute exact point intervals, unfinished ones `[0, 1]`.
+fn eps_interval_at(
+    pi: &ProbInstance,
+    labels: &[Label],
+    kept: &[Vec<ObjectId>],
+    x: ObjectId,
+    depth: usize,
+    hook: &mut dyn EpsHook,
+    budget: &Budget,
+) -> Result<(f64, f64)> {
+    if depth == labels.len() {
+        return Ok((1.0, 1.0));
+    }
+    if let Some(v) = hook.get(x, depth) {
+        return Ok((v, v));
+    }
+    if budget.charge(1).is_err() {
+        return Ok((0.0, 1.0));
+    }
+    let node = pi.weak().node(x).expect("kept object exists");
+    let opf = pi.opf(x).ok_or(QueryError::UnknownObject(x))?;
+    let mut lo_children: Vec<(u32, f64)> = Vec::new();
+    let mut hi_children: Vec<(u32, f64)> = Vec::new();
+    let mut all_exact = true;
+    for (pos, c, l) in node.universe().iter() {
+        if l == labels[depth] && kept[depth + 1].binary_search(&c).is_ok() {
+            let (clo, chi) = eps_interval_at(pi, labels, kept, c, depth + 1, hook, budget)?;
+            all_exact &= clo == chi;
+            lo_children.push((pos, clo));
+            hi_children.push((pos, chi));
+        }
+    }
+    hook.visited_opf_entries(opf.stored_len() as u64);
+    let lo = opf.survival_probability(&lo_children);
+    let hi = if all_exact { lo } else { opf.survival_probability(&hi_children) };
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(QueryError::Core(pxml_core::CoreError::DegenerateMass { total: lo }));
+    }
+    if lo == hi {
+        // Only exact values enter the memo — the hook contract promises
+        // bit-identical recomputation, which holds for points only.
+        hook.put(x, depth, lo);
+    }
+    Ok((lo.min(hi), hi.max(lo)))
+}
+
 /// The ε computation over the kept region determined by `targets`, with
 /// a memo hook (see [`EpsHook`]).
 pub(crate) fn epsilon_root_with(
@@ -171,12 +247,33 @@ pub(crate) fn epsilon_root_with(
     layers: &[Vec<ObjectId>],
     targets: &[ObjectId],
     hook: &mut dyn EpsHook,
+    budget: &Budget,
 ) -> Result<f64> {
     let kept = kept_region(pi, p, layers, targets)?;
     if kept[0].binary_search(&pi.root()).is_err() {
         return Ok(0.0);
     }
-    eps_at(pi, &p.labels, &kept, pi.root(), 0, hook)
+    eps_at(pi, &p.labels, &kept, pi.root(), 0, hook, budget)
+}
+
+/// Interval-mode counterpart of [`epsilon_root_with`]: returns a
+/// guaranteed bracket `[lo, hi]` of the exact root ε. Exhaustion inside
+/// the recursion widens the answer instead of erring; an exhaustion
+/// *before* the recursion starts (building the kept region) still
+/// propagates, and the caller answers `[0, 1]`.
+pub(crate) fn epsilon_root_interval(
+    pi: &ProbInstance,
+    p: &PathExpr,
+    layers: &[Vec<ObjectId>],
+    targets: &[ObjectId],
+    hook: &mut dyn EpsHook,
+    budget: &Budget,
+) -> Result<(f64, f64)> {
+    let kept = kept_region(pi, p, layers, targets)?;
+    if kept[0].binary_search(&pi.root()).is_err() {
+        return Ok((0.0, 0.0));
+    }
+    eps_interval_at(pi, &p.labels, &kept, pi.root(), 0, hook, budget)
 }
 
 /// The ε computation over the kept region determined by `targets`.
@@ -185,8 +282,9 @@ fn epsilon_root(
     p: &PathExpr,
     layers: &[Vec<ObjectId>],
     targets: &[ObjectId],
+    budget: &Budget,
 ) -> Result<f64> {
-    epsilon_root_with(pi, p, layers, targets, &mut NoHook)
+    epsilon_root_with(pi, p, layers, targets, &mut NoHook, budget)
 }
 
 #[cfg(test)]

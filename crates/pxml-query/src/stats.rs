@@ -34,6 +34,12 @@ pub struct EngineStats {
     /// OPF entries visited by survival/marginal evaluations — the `|℘|`
     /// work measure of the paper's Figure 7 cost model.
     pub opf_entries_visited: AtomicU64,
+    /// Governed queries that exhausted their budget and degraded to an
+    /// interval answer (`DegradePolicy::Interval`).
+    pub queries_degraded: AtomicU64,
+    /// Governed queries that exhausted their budget and returned the
+    /// typed `Exhausted` error (`DegradePolicy::Error`).
+    pub queries_exhausted: AtomicU64,
     /// Nanoseconds spent locating path layers (forward pass).
     pub locate_nanos: AtomicU64,
     /// Nanoseconds spent in ε / chain marginalisation.
@@ -72,6 +78,12 @@ impl EngineStats {
     pub(crate) fn add_opf_entries(&self, n: u64) {
         self.opf_entries_visited.fetch_add(n, Ordering::Relaxed);
     }
+    pub(crate) fn count_degraded(&self) {
+        bump!(self.queries_degraded);
+    }
+    pub(crate) fn count_exhausted(&self) {
+        bump!(self.queries_exhausted);
+    }
     pub(crate) fn add_locate(&self, d: Duration) {
         self.locate_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -95,6 +107,8 @@ impl EngineStats {
             &self.link_hits,
             &self.link_misses,
             &self.opf_entries_visited,
+            &self.queries_degraded,
+            &self.queries_exhausted,
             &self.locate_nanos,
             &self.marginal_nanos,
             &self.batch_nanos,
@@ -117,6 +131,9 @@ impl EngineStats {
             link_hits: g(&self.link_hits),
             link_misses: g(&self.link_misses),
             opf_entries_visited: g(&self.opf_entries_visited),
+            queries_degraded: g(&self.queries_degraded),
+            queries_exhausted: g(&self.queries_exhausted),
+            cache_evictions: 0,
             locate_nanos: g(&self.locate_nanos),
             marginal_nanos: g(&self.marginal_nanos),
             batch_nanos: g(&self.batch_nanos),
@@ -147,6 +164,13 @@ pub struct StatsSnapshot {
     pub link_misses: u64,
     /// OPF entries visited.
     pub opf_entries_visited: u64,
+    /// Governed queries degraded to interval answers.
+    pub queries_degraded: u64,
+    /// Governed queries that returned `Exhausted` errors.
+    pub queries_exhausted: u64,
+    /// Whole-table cache evictions under the byte ceiling (merged in
+    /// from the cache by `QueryEngine::stats`).
+    pub cache_evictions: u64,
     /// Time locating path layers.
     pub locate_nanos: u64,
     /// Time in marginalisation.
@@ -198,6 +222,11 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "overall hit rate   {:.1}%", self.hit_rate() * 100.0)?;
         writeln!(f, "OPF entries seen   {}", self.opf_entries_visited)?;
+        writeln!(
+            f,
+            "governance         degraded {}  exhausted {}  cache evictions {}",
+            self.queries_degraded, self.queries_exhausted, self.cache_evictions,
+        )?;
         write!(
             f,
             "wall time          locate {:.3} ms, marginal {:.3} ms, batch {:.3} ms",

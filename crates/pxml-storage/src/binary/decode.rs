@@ -8,26 +8,103 @@ use pxml_core::{
     ProbInstance, TypeId, Value, Vpf, WeakInstance, WeakNode,
 };
 
-use crate::binary::encode::{BINARY_VERSION, MAGIC};
+use crate::binary::encode::{BINARY_VERSION, FOOTER_MAGIC, MAGIC};
+use crate::crc::crc32;
 use crate::error::{Result, StorageError};
 
 /// Decodes an instance from its binary encoding, validating it.
+///
+/// The CRC-32 integrity footer (when present) is verified first; a
+/// mismatch fails with [`StorageError::Corrupt`] before any structural
+/// decoding. Footer-less payloads from older builds decode normally.
 pub fn from_binary(bytes: &[u8]) -> Result<ProbInstance> {
-    let (catalog, root, nodes, opfs, vpfs) = decode_parts(bytes)?;
+    let payload = verify_footer(bytes)?;
+    let (catalog, root, nodes, opfs, vpfs) = decode_parts(payload)?;
     let weak = WeakInstance::from_parts(Arc::new(catalog), root, nodes)?;
     Ok(ProbInstance::from_parts(weak, opfs, vpfs)?)
 }
 
 /// Decodes an instance **without model validation** — the diagnostic
 /// loader behind `pxml check`. Structural bounds checks (indices, counts,
-/// UTF-8) still apply, but coherence violations (unnormalised OPFs,
-/// unsatisfiable cards, unreachable objects, …) are let through so
-/// `pxml_core::lint` can report all of them instead of failing on the
-/// first.
+/// UTF-8, the CRC footer) still apply, but coherence violations
+/// (unnormalised OPFs, unsatisfiable cards, unreachable objects, …) are
+/// let through so `pxml_core::lint` can report all of them instead of
+/// failing on the first.
 pub fn from_binary_unchecked(bytes: &[u8]) -> Result<ProbInstance> {
-    let (catalog, root, nodes, opfs, vpfs) = decode_parts(bytes)?;
+    let payload = verify_footer(bytes)?;
+    decode_parts_unchecked(payload)
+}
+
+/// A CRC footer that did not match its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChecksumMismatch {
+    /// The CRC-32 stored in the footer.
+    pub expected: u32,
+    /// The CRC-32 the payload actually hashes to.
+    pub actual: u32,
+}
+
+/// Result of [`from_binary_lenient`]: an instance decoded without model
+/// validation, plus the checksum verdict.
+#[derive(Debug)]
+pub struct LenientBinary {
+    /// The decoded (unvalidated) instance.
+    pub instance: ProbInstance,
+    /// `Some` when the file carried a footer whose CRC did not match —
+    /// the bytes are corrupt even though they happened to decode.
+    pub checksum_mismatch: Option<ChecksumMismatch>,
+}
+
+/// Decodes an instance for diagnosis even when its checksum fails.
+///
+/// Where [`from_binary_unchecked`] refuses a corrupt file outright, this
+/// loader attempts the structural decode anyway and reports the mismatch
+/// in [`LenientBinary::checksum_mismatch`], so `pxml check` can show what
+/// the damaged file *contains* alongside the corruption diagnostic.
+/// Structural decode failures (truncation, bad indices) still error.
+pub fn from_binary_lenient(bytes: &[u8]) -> Result<LenientBinary> {
+    let (payload, stored) = split_footer(bytes);
+    let checksum_mismatch = stored.and_then(|expected| {
+        let actual = crc32(payload);
+        (actual != expected).then_some(ChecksumMismatch { expected, actual })
+    });
+    let instance = decode_parts_unchecked(payload)?;
+    Ok(LenientBinary { instance, checksum_mismatch })
+}
+
+fn decode_parts_unchecked(payload: &[u8]) -> Result<ProbInstance> {
+    let (catalog, root, nodes, opfs, vpfs) = decode_parts(payload)?;
     let weak = WeakInstance::from_parts_unchecked(Arc::new(catalog), root, nodes);
     Ok(ProbInstance::from_parts_unchecked(weak, opfs, vpfs))
+}
+
+/// Splits the 8-byte integrity footer off `bytes`, if one is present.
+/// Returns the payload and the stored CRC (`None` for footer-less legacy
+/// payloads).
+fn split_footer(bytes: &[u8]) -> (&[u8], Option<u32>) {
+    let Some(footer_at) = bytes.len().checked_sub(8) else { return (bytes, None) };
+    if &bytes[footer_at..footer_at + 4] != FOOTER_MAGIC {
+        return (bytes, None);
+    }
+    let crc = u32::from_le_bytes([
+        bytes[footer_at + 4],
+        bytes[footer_at + 5],
+        bytes[footer_at + 6],
+        bytes[footer_at + 7],
+    ]);
+    (&bytes[..footer_at], Some(crc))
+}
+
+/// Verifies the footer (when present) and returns the payload.
+fn verify_footer(bytes: &[u8]) -> Result<&[u8]> {
+    let (payload, stored) = split_footer(bytes);
+    if let Some(expected) = stored {
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(StorageError::Corrupt { expected, actual });
+        }
+    }
+    Ok(payload)
 }
 
 type DecodedParts =
@@ -197,6 +274,12 @@ pub fn read_binary_file_unchecked(path: &std::path::Path) -> Result<ProbInstance
     from_binary_unchecked(&bytes)
 }
 
+/// Reads a binary `.pxmlb` file leniently (see [`from_binary_lenient`]).
+pub fn read_binary_file_lenient(path: &std::path::Path) -> Result<LenientBinary> {
+    let bytes = std::fs::read(path)?;
+    from_binary_lenient(&bytes)
+}
+
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -353,6 +436,59 @@ mod tests {
     fn future_version_is_rejected() {
         let mut bytes = to_binary(&chain(1, 0.5)).unwrap().to_vec();
         bytes[8] = 0xff; // bump the version field
+        // Re-seal the footer so the version check (not the CRC) fires.
+        let payload_len = bytes.len() - 8;
+        let crc = crate::crc::crc32(&bytes[..payload_len]).to_le_bytes();
+        bytes[payload_len + 4..].copy_from_slice(&crc);
         assert!(matches!(from_binary(&bytes), Err(StorageError::Version { .. })));
+    }
+
+    #[test]
+    fn encoding_ends_in_matching_crc_footer() {
+        let bytes = to_binary(&fig2_instance()).unwrap();
+        let n = bytes.len();
+        assert_eq!(&bytes[n - 8..n - 4], crate::binary::encode::FOOTER_MAGIC);
+        let stored = u32::from_le_bytes(bytes[n - 4..].try_into().unwrap());
+        assert_eq!(stored, crate::crc::crc32(&bytes[..n - 8]));
+    }
+
+    #[test]
+    fn payload_corruption_is_reported_as_corrupt() {
+        let mut bytes = to_binary(&fig2_instance()).unwrap().to_vec();
+        bytes[20] ^= 0x40; // flip a payload bit well before the footer
+        match from_binary(&bytes) {
+            Err(StorageError::Corrupt { expected, actual }) => assert_ne!(expected, actual),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(matches!(
+            from_binary_unchecked(&bytes),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_footerless_payload_still_decodes() {
+        let pi = fig2_instance();
+        let with_footer = to_binary(&pi).unwrap();
+        let legacy = &with_footer[..with_footer.len() - 8];
+        same_distribution(&pi, &from_binary(legacy).unwrap());
+    }
+
+    #[test]
+    fn lenient_decode_surfaces_checksum_mismatch() {
+        let pi = chain(2, 0.5);
+        let good = to_binary(&pi).unwrap().to_vec();
+        // Pristine bytes: no mismatch.
+        assert!(from_binary_lenient(&good).unwrap().checksum_mismatch.is_none());
+        // Corrupt a probability byte: strict loaders refuse, lenient
+        // decodes and reports the mismatch.
+        let mut bad = good.clone();
+        let prob_at = bad.len() - 8 - 4; // inside the last encoded f64
+        bad[prob_at] ^= 0xff;
+        assert!(matches!(from_binary(&bad), Err(StorageError::Corrupt { .. })));
+        let lenient = from_binary_lenient(&bad).unwrap();
+        let mm = lenient.checksum_mismatch.expect("mismatch must be reported");
+        assert_ne!(mm.expected, mm.actual);
+        assert_eq!(lenient.instance.objects().count(), pi.objects().count());
     }
 }

@@ -3,9 +3,12 @@
 //!
 //! Layout (all integers little-endian):
 //! `magic "PXMLBIN1" · u32 version · catalog (objects, labels, types) ·
-//! u32 root-index · per-object records (universe, cards, leaf, OPF, VPF)`.
+//! u32 root-index · per-object records (universe, cards, leaf, OPF, VPF) ·
+//! footer "PXC1" · u32 CRC-32 of everything before the footer`.
 //! Child sets are encoded as position lists relative to each object's
 //! universe, so the decoder rebuilds the canonical mask/sparse form.
+//! The footer lets loaders detect torn writes and bit rot; footer-less
+//! payloads (written by older builds) are still accepted on decode.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -18,6 +21,9 @@ use crate::error::{Result, StorageError};
 pub const MAGIC: &[u8; 8] = b"PXMLBIN1";
 /// Current binary-format version.
 pub const BINARY_VERSION: u32 = 1;
+/// Magic prefix of the 8-byte integrity footer (`"PXC1"` + u32 LE CRC-32
+/// of the payload preceding the footer).
+pub const FOOTER_MAGIC: &[u8; 4] = b"PXC1";
 
 /// Encodes an instance into a binary buffer.
 ///
@@ -124,13 +130,48 @@ pub fn to_binary(pi: &ProbInstance) -> Result<Bytes> {
             None => buf.put_u8(0),
         }
     }
+    // Integrity footer: CRC-32 of everything encoded so far.
+    let crc = crate::crc::crc32(&buf);
+    buf.put_slice(FOOTER_MAGIC);
+    buf.put_u32_le(crc);
     Ok(buf.freeze())
 }
 
-/// Writes the binary encoding to a file, returning the byte count.
+/// Writes the binary encoding to a file **atomically**, returning the
+/// byte count.
+///
+/// Bytes go to a uniquely-named temp file in the destination directory,
+/// are fsynced, and are renamed over `path`. A crash at any point leaves
+/// either the old file or the complete new one on disk — never a torn
+/// hybrid. The temp file is removed on failure.
 pub fn write_binary_file(pi: &ProbInstance, path: &std::path::Path) -> Result<usize> {
+    use std::io::Write;
+
     let bytes = to_binary(pi)?;
-    std::fs::write(path, &bytes)?;
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "instance.pxmlb".into());
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    let write_and_sync = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        // The rename must never expose partially-flushed bytes.
+        f.sync_all()
+    };
+    if let Err(e) = write_and_sync().and_then(|()| std::fs::rename(&tmp, path)) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Best-effort: make the rename itself durable. The destination is
+    // complete either way, so failure here is not an integrity problem.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
     Ok(bytes.len())
 }
 

@@ -23,6 +23,10 @@ pub enum StorageError {
     Core(CoreError),
     /// Unsupported format version.
     Version { found: u32, supported: u32 },
+    /// The binary payload fails its CRC-32 footer check — the file was
+    /// corrupted (torn write, bit rot, truncation that happened to keep
+    /// the footer shape).
+    Corrupt { expected: u32, actual: u32 },
 }
 
 impl fmt::Display for StorageError {
@@ -39,6 +43,10 @@ impl fmt::Display for StorageError {
             StorageError::Version { found, supported } => {
                 write!(f, "format version {found} unsupported (this build reads ≤ {supported})")
             }
+            StorageError::Corrupt { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer says {expected:#010x}, payload hashes to {actual:#010x} — file is corrupt"
+            ),
         }
     }
 }

@@ -29,20 +29,35 @@
 //! enforces this at compile time for all non-test code, and the workspace
 //! fault-injection harness (`tests/fuzz_robustness.rs`) enforces it
 //! dynamically with tens of thousands of seeded byte mutations.
+//!
+//! ## Crash safety and integrity
+//!
+//! [`write_binary_file`] is **atomic**: bytes go to a temp file in the
+//! target directory, are fsynced, and are renamed over the destination —
+//! a crash mid-write leaves either the old file or the new one, never a
+//! torn hybrid. Every `.pxmlb` written by this crate ends in a CRC-32
+//! footer (see [`crc`]); the strict loaders verify it and report
+//! [`StorageError::Corrupt`] on mismatch, while the lenient
+//! [`from_binary_lenient`] decodes anyway and surfaces the mismatch as a
+//! diagnostic so `pxml check` can still inspect a damaged file.
+//! Footer-less files (written by older versions) remain readable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod binary;
+pub mod crc;
 pub mod error;
 pub mod text;
 pub mod xml;
 
 pub use binary::decode::{
-    from_binary, from_binary_unchecked, read_binary_file, read_binary_file_unchecked,
+    from_binary, from_binary_lenient, from_binary_unchecked, read_binary_file,
+    read_binary_file_lenient, read_binary_file_unchecked, ChecksumMismatch, LenientBinary,
 };
 pub use binary::encode::{to_binary, write_binary_file};
+pub use crc::crc32;
 pub use error::{Result, StorageError};
 pub use text::parser::{
     from_text, from_text_unchecked, read_text_file, read_text_file_unchecked,

@@ -28,8 +28,62 @@ for f in crates/pxml-storage/src/lib.rs crates/pxml-ql/src/lib.rs crates/pxml-cl
 done
 
 # The deterministic fault-injection harness (20k byte-mutations per
-# input surface, fixed xorshift seed — replays identically everywhere).
-echo "==> fuzz robustness harness"
+# input surface, fixed xorshift seed — replays identically everywhere),
+# now including the torn-write / truncation injection tests for the
+# atomic `.pxmlb` writer and CRC footer.
+echo "==> fuzz robustness harness (incl. torn-write injection)"
 cargo test -q --offline --test fuzz_robustness
+
+# Resource-governance contracts: any budget is exact-or-bracketing,
+# exhaustion accounting is thread-count independent, and the dense
+# 2^24-term acceptance instance brackets under a 500 ms deadline.
+echo "==> resource governance proptests + acceptance"
+cargo test -q --offline --test resource_budget
+cargo test -q --offline --test governance_acceptance
+
+# CLI governance smoke on a generated dense instance: R has 24
+# always-present children that all point at one shared leaf, so the
+# kept region is not tree-shaped and exact evaluation is a 2^24-term
+# DAG inclusion–exclusion — guaranteed to blow a 1 ms deadline on any
+# machine. With --degrade interval that must exit 0 with a degraded
+# query in --stats (printed on stderr); under the default error policy
+# the same deadline must exit 3 (documented taxonomy: 0 ok,
+# 1 operational, 2 usage, 3 budget exhausted).
+echo "==> cli governance smoke (dense 2^24-term instance)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+{
+  echo 'pxml v1'
+  echo 'types {'
+  echo '  type "t" { str "v" }'
+  echo '}'
+  echo 'instance root="R" {'
+  mids=$(printf '"M%d", ' $(seq 0 23)); mids=${mids%, }
+  echo '  object "R" {'
+  echo "    lch \"a\" = [$mids]"
+  echo "    opf { [$mids] : 1.0 }"
+  echo '  }'
+  for i in $(seq 0 23); do
+    echo "  object \"M$i\" { lch \"b\" = [\"T\"] opf { [\"T\"] : 0.5 [] : 0.5 } }"
+  done
+  echo '  leaf "T" : "t" { vpf { str "v" : 1.0 } }'
+  echo '}'
+} > "$smoke_dir/dense24.pxml"
+printf 'EXISTS R.a.b\n' > "$smoke_dir/queries.txt"
+out="$(target/release/pxml batch "$smoke_dir/dense24.pxml" "$smoke_dir/queries.txt" \
+  --timeout 1ms --degrade interval --stats 2>&1)" || {
+  echo "error: --degrade interval exited nonzero under a 1 ms deadline"; exit 1;
+}
+echo "$out" | grep -Eq 'degraded [1-9]' || {
+  echo "error: dense governed batch reported no degraded queries:"; echo "$out"; exit 1;
+}
+set +e
+target/release/pxml batch "$smoke_dir/dense24.pxml" "$smoke_dir/queries.txt" \
+  --timeout 1ms --degrade error >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 3 ] || {
+  echo "error: --degrade error under a 1 ms deadline exited $code, want 3"; exit 1;
+}
 
 echo "==> ci.sh: all green"

@@ -213,6 +213,157 @@ fn corrupted_instances_survive_a_binary_round_trip_for_diagnosis() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Torn-write / truncation injection against the crash-safe writer.
+//
+// `write_binary_file` promises: bytes land in a temp file, are fsynced,
+// and are renamed over the destination — so a crash at *any* byte
+// boundary leaves either the old complete file or the new complete
+// file. These tests simulate the observable crash states (partial temp
+// file present, rename never happened, truncated destination) and
+// assert the loaders always see a complete version or a typed error,
+// never a panic or a half-decoded hybrid.
+// ---------------------------------------------------------------------
+
+/// A scratch directory unique to this test process, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("pxml-torn-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn every_truncation_point_is_a_clean_error_or_a_complete_decode() {
+    let pi = fig2_instance();
+    let bytes = to_binary(&pi).expect("encodes");
+    let full = from_binary(&bytes).expect("pristine decodes");
+    for cut in 0..bytes.len() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| from_binary(&bytes[..cut])));
+        match outcome {
+            Err(_) => panic!("decoder panicked at truncation {cut}"),
+            // Cutting exactly the 8-byte footer leaves a valid legacy
+            // (footer-less) payload — decoding it *completely* is
+            // correct, and it must equal the original.
+            Ok(Ok(decoded)) => {
+                assert_eq!(cut, bytes.len() - 8, "unexpected success at cut {cut}");
+                assert_eq!(decoded.object_count(), full.object_count());
+            }
+            Ok(Err(_)) => {} // clean typed error: the contract
+        }
+    }
+}
+
+#[test]
+fn torn_write_leaves_old_version_intact_never_a_hybrid() {
+    use pxml::core::fixtures::chain;
+    use pxml::storage::{read_binary_file, write_binary_file};
+
+    let scratch = Scratch::new("atomic");
+    let dest = scratch.path("instance.pxmlb");
+
+    // Install version 1 through the atomic writer.
+    let v1 = fig2_instance();
+    write_binary_file(&v1, &dest).expect("v1 writes");
+    let v1_count = read_binary_file(&dest).expect("v1 reads").object_count();
+
+    // Simulate a crash after k bytes of version 2 reached the temp file
+    // but before the rename: the destination must still read as v1.
+    let v2 = chain(3, 0.5);
+    let v2_bytes = to_binary(&v2).expect("v2 encodes");
+    for k in [0, 1, v2_bytes.len() / 2, v2_bytes.len() - 1] {
+        let tmp = scratch.path(".instance.pxmlb.crashed.tmp");
+        std::fs::write(&tmp, &v2_bytes[..k]).expect("partial temp write");
+        let survivor = read_binary_file(&dest).expect("old version must stay readable");
+        assert_eq!(survivor.object_count(), v1_count, "torn write at {k} bytes leaked");
+        // The abandoned temp file itself must be a clean error, not a
+        // panic or a half-instance (k = 0 and k = len are the only
+        // complete states, and k = len never occurs pre-crash here).
+        assert!(read_binary_file(&tmp).is_err(), "partial temp at {k} bytes decoded");
+        std::fs::remove_file(&tmp).expect("cleanup");
+    }
+
+    // The completed protocol swaps in version 2 wholesale.
+    write_binary_file(&v2, &dest).expect("v2 writes");
+    assert_eq!(
+        read_binary_file(&dest).expect("v2 reads").object_count(),
+        v2.object_count()
+    );
+    // And the writer left no stray temp files behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&scratch.0)
+        .expect("scratch listing")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name() != "instance.pxmlb")
+        .collect();
+    assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+}
+
+#[test]
+fn truncated_destination_is_corrupt_or_error_never_half_state() {
+    use pxml::storage::{read_binary_file, write_binary_file, StorageError};
+
+    let scratch = Scratch::new("trunc");
+    let dest = scratch.path("instance.pxmlb");
+    let pi = fig2_instance();
+    write_binary_file(&pi, &dest).expect("writes");
+    let full = std::fs::read(&dest).expect("reads back");
+
+    // A destination truncated out from under us (filesystem corruption,
+    // not our writer) must never yield a silently different instance.
+    for cut in [8, full.len() / 3, full.len() - 9, full.len() - 8, full.len() - 1] {
+        std::fs::write(&dest, &full[..cut]).expect("truncate");
+        match read_binary_file(&dest) {
+            Ok(decoded) => {
+                // Only the exact footer-strip point may decode, and then
+                // it must be the complete original payload.
+                assert_eq!(cut, full.len() - 8);
+                assert_eq!(decoded.object_count(), pi.object_count());
+            }
+            Err(StorageError::Io(_)) => panic!("truncation surfaced as I/O error"),
+            Err(_) => {}
+        }
+    }
+
+    // A flipped byte inside the payload surfaces as the typed Corrupt
+    // error carrying both checksums.
+    let mut flipped = full.clone();
+    flipped[20] ^= 0x01;
+    std::fs::write(&dest, &flipped).expect("flip");
+    match read_binary_file(&dest) {
+        Err(StorageError::Corrupt { expected, actual }) => assert_ne!(expected, actual),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn atomic_writer_cleans_up_temp_on_failure() {
+    use pxml::storage::write_binary_file;
+
+    let scratch = Scratch::new("fail");
+    // Destination inside a directory that does not exist: the write
+    // must fail with a typed error and leave nothing behind anywhere.
+    let dest = scratch.path("missing-subdir/instance.pxmlb");
+    assert!(write_binary_file(&fig2_instance(), &dest).is_err());
+    let leftovers: Vec<_> = std::fs::read_dir(&scratch.0)
+        .expect("scratch listing")
+        .filter_map(|e| e.ok())
+        .collect();
+    assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+}
+
 #[test]
 fn pristine_fixtures_lint_clean() {
     let pi = fig2_instance();

@@ -1,0 +1,169 @@
+//! Acceptance test for resource-governed execution (the ISSUE 4
+//! tentpole): a dense DAG whose exact point query is computationally
+//! infeasible (2^24 inclusion–exclusion terms) must, under a 500 ms
+//! deadline with `DegradePolicy::Interval`, return a guaranteed
+//! bracketing `[lo, hi]` *within* the deadline's order of magnitude —
+//! and the same spec on a feasible shrink of the instance must bracket
+//! the independently computed exact answer.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pxml::algebra::PathExpr;
+use pxml::core::ids::IdMap;
+use pxml::core::{
+    Catalog, ChildSet, ChildUniverse, IndependentOpf, ObjectId, Opf, OpfTable, ProbInstance,
+    WeakInstance, WeakNode,
+};
+use pxml::query::{point_query_dag, Answer, BudgetSpec, DegradePolicy, Query, QueryEngine};
+
+/// `R --a--> M1..Mw --b--> T` with every `Mi` sharing the single target
+/// `T`: the kept region for `R.a.b` is not tree-shaped (T has `w`
+/// parents), so the engine falls back to DAG inclusion–exclusion over
+/// `w` label-matching chains — `2^w` terms. Each chain survives
+/// independently with probability 0.25, so the exact answer is known in
+/// closed form (`1 - 0.75^w`) even when inclusion–exclusion can't
+/// finish: the ideal oracle for bracket checking.
+fn dense(width: usize) -> (ProbInstance, Query, f64) {
+    let mut cat = Catalog::new();
+    let r = cat.object("R");
+    let t = cat.object("T");
+    let mids: Vec<ObjectId> = (0..width).map(|i| cat.object(&format!("M{i}"))).collect();
+    let a = cat.label("a");
+    let b = cat.label("b");
+
+    let mut nodes: IdMap<pxml::core::ids::ObjectKind, WeakNode> = IdMap::new();
+    let mut opfs: IdMap<pxml::core::ids::ObjectKind, Opf> = IdMap::new();
+
+    let r_universe = ChildUniverse::from_members(mids.iter().map(|&m| (m, a)));
+    nodes.insert(r, WeakNode::from_parts(r_universe, Vec::new(), None));
+    opfs.insert(r, Opf::Independent(IndependentOpf::new(vec![0.5; width])));
+
+    for &m in &mids {
+        let u = ChildUniverse::from_members([(t, b)]);
+        let mut table = OpfTable::new();
+        table.set(ChildSet::full(&u), 0.5);
+        table.set(ChildSet::from_positions(&u, Vec::new()), 0.5);
+        nodes.insert(m, WeakNode::from_parts(u, Vec::new(), None));
+        opfs.insert(m, Opf::Table(table));
+    }
+    nodes.insert(t, WeakNode::from_parts(ChildUniverse::new(), Vec::new(), None));
+
+    let weak = WeakInstance::from_parts(Arc::new(cat), r, nodes).expect("valid weak instance");
+    // Full validation materialises the independent OPF to its 2^width
+    // table — the very cliff this test is about. Validate the narrow
+    // instances (the shrink test proves the shape coherent) and skip it
+    // for the wide ones.
+    let pi = if width <= 12 {
+        ProbInstance::from_parts(weak, opfs, IdMap::new()).expect("coherent instance")
+    } else {
+        ProbInstance::from_parts_unchecked(weak, opfs, IdMap::new())
+    };
+    let query = Query::Point { path: PathExpr::new(r, vec![a, b]), object: t };
+    let exact = 1.0 - 0.75f64.powi(width as i32);
+    (pi, query, exact)
+}
+
+#[test]
+fn infeasible_dense_query_brackets_within_the_deadline() {
+    // Width 24 hits the DAG path's MAX_CHAINS ceiling: 2^24 ≈ 1.7e7
+    // inclusion–exclusion terms, each a product over chain unions —
+    // far beyond 60 s of exact work at this test's budget. Ungoverned
+    // evaluation is not attempted here for exactly that reason.
+    let (pi, query, analytic) = dense(24);
+    let engine = QueryEngine::new(pi);
+    let spec = BudgetSpec {
+        timeout: Some(Duration::from_millis(500)),
+        degrade: DegradePolicy::Interval,
+        ..BudgetSpec::default()
+    };
+    let start = Instant::now();
+    let answer = engine.run_governed(&query, &spec).expect("interval policy never errors");
+    let elapsed = start.elapsed();
+
+    // The deadline is polled every 64 work steps, so the run must come
+    // back near 500 ms — a generous 10× allowance keeps CI stable.
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?} against a 500 ms deadline");
+    match answer {
+        Answer::Interval(iv) => {
+            assert!(iv.lo <= analytic && analytic <= iv.hi,
+                "[{}, {}] misses analytic {analytic}", iv.lo, iv.hi);
+            assert!(iv.hi - iv.lo > 1e-12, "interval should be genuinely degraded");
+        }
+        Answer::Exact(p) => {
+            // Only acceptable if the machine really finished 2^24 terms
+            // in half a second — then the answer must be right.
+            assert!((p - analytic).abs() < 1e-6, "exact {p} != analytic {analytic}");
+        }
+    }
+    assert_eq!(engine.stats().queries_degraded, 1);
+}
+
+#[test]
+fn feasible_shrink_cross_checks_the_bracket_against_exact() {
+    // Width 10 (2^10 terms) is exact in microseconds: compute the true
+    // value two independent ways, then confirm every budget's governed
+    // answer brackets it.
+    let (pi, query, analytic) = dense(10);
+    let Query::Point { path, object } = &query else { unreachable!() };
+    let exact = point_query_dag(&pi, path, *object).expect("feasible exact");
+    assert!((exact - analytic).abs() < 1e-9, "oracle disagrees: {exact} vs {analytic}");
+
+    for max_steps in [1u64, 3, 10, 30, 100, 300, 1000, 10_000, 1_000_000] {
+        let engine = QueryEngine::new(pi.clone());
+        let spec = BudgetSpec {
+            max_steps: Some(max_steps),
+            degrade: DegradePolicy::Interval,
+            ..BudgetSpec::default()
+        };
+        let answer = engine.run_governed(&query, &spec).expect("interval policy never errors");
+        assert!(
+            answer.lo() <= exact + 1e-9 && exact <= answer.hi() + 1e-9,
+            "budget {max_steps}: [{}, {}] misses exact {exact}",
+            answer.lo(),
+            answer.hi()
+        );
+    }
+}
+
+#[test]
+fn error_policy_on_the_dense_instance_is_a_typed_exhaustion() {
+    let (pi, query, _) = dense(24);
+    let engine = QueryEngine::new(pi);
+    let spec = BudgetSpec {
+        timeout: Some(Duration::from_millis(100)),
+        ..BudgetSpec::default() // DegradePolicy::Error
+    };
+    let err = engine.run_governed(&query, &spec).expect_err("cannot finish in 100 ms");
+    match err {
+        pxml::query::QueryError::Core(pxml::core::CoreError::Exhausted(ex)) => {
+            assert_eq!(ex.resource, pxml::core::budget::Resource::WallClock);
+        }
+        other => panic!("expected typed exhaustion, got {other}"),
+    }
+    assert_eq!(engine.stats().queries_exhausted, 1);
+}
+
+#[test]
+fn cache_ceiling_holds_under_dense_churn() {
+    let (pi, _, _) = dense(10);
+    let engine = QueryEngine::new(pi.clone());
+    let cap = 2_000u64;
+    engine.set_max_cache_bytes(cap);
+    // Churn distinct cheap queries through the cache; the accounted
+    // total must never exceed the ceiling.
+    for &m in &pi.objects().collect::<Vec<_>>() {
+        let name = pi.catalog().object_name(m).to_string();
+        if !name.starts_with('M') {
+            continue;
+        }
+        let a = pi.catalog().find_label("a").expect("label a");
+        let q = Query::Point { path: PathExpr::new(pi.root(), vec![a]), object: m };
+        let _ = engine.run(&q);
+        assert!(
+            engine.cache_bytes() <= cap,
+            "cache {} exceeded ceiling {cap}",
+            engine.cache_bytes()
+        );
+    }
+}

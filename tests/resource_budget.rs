@@ -1,0 +1,149 @@
+//! Property tests for resource-governed execution (budgets, degradation).
+//!
+//! Two contracts from the governance design are checked over random
+//! DAG-shaped instances:
+//!
+//! 1. **Bracketing**: under `DegradePolicy::Interval`, *any* step budget
+//!    — including a single step — yields either the exact answer or an
+//!    interval that brackets the exact answer of an unbounded run. The
+//!    degraded path may be imprecise, never wrong.
+//! 2. **Determinism**: `Exhausted.spent` (and every answer) is a pure
+//!    function of the query and the instance, independent of how many
+//!    worker threads the batch fans out over — budgets are per-query and
+//!    governed evaluation uses private memo tables, so thread scheduling
+//!    cannot leak into accounting.
+
+use proptest::prelude::*;
+
+use pxml::algebra::PathExpr;
+use pxml::core::CoreError;
+use pxml::gen::random_dag;
+use pxml::query::{
+    exists_query_dag, Answer, BudgetSpec, DegradePolicy, Query, QueryEngine, QueryError,
+};
+
+/// Exists queries over every 1- and 2-label path on the generator's two
+/// labels — cheap to enumerate and guaranteed to exercise both the tree
+/// ε path and the DAG inclusion–exclusion fallback.
+fn exists_queries(pi: &pxml::core::ProbInstance) -> Vec<Query> {
+    let mut queries = Vec::new();
+    let labels: Vec<_> =
+        ["x", "y"].iter().filter_map(|l| pi.catalog().find_label(l)).collect();
+    for &a in &labels {
+        queries.push(Query::Exists { path: PathExpr::new(pi.root(), vec![a]) });
+        for &b in &labels {
+            queries.push(Query::Exists { path: PathExpr::new(pi.root(), vec![a, b]) });
+        }
+    }
+    queries
+}
+
+/// The unbounded exact answer: the engine where the kept region is a
+/// tree, the exact DAG inclusion–exclusion otherwise.
+fn exact_answer(engine: &QueryEngine, pi: &pxml::core::ProbInstance, q: &Query) -> Option<f64> {
+    match engine.run(q) {
+        Ok(p) => Some(p),
+        Err(QueryError::NotTreeShaped(_)) => match q {
+            Query::Exists { path } => exists_query_dag(pi, path).ok(),
+            _ => None,
+        },
+        Err(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: every budget yields the exact answer or a bracket.
+    #[test]
+    fn any_budget_is_exact_or_bracketing(seed in 0u64..500, budget in 1u64..200) {
+        let pi = random_dag(seed);
+        let engine = QueryEngine::new(pi.clone());
+        for q in exists_queries(&pi) {
+            let Some(exact) = exact_answer(&engine, &pi, &q) else { continue };
+            let spec = BudgetSpec {
+                max_steps: Some(budget),
+                degrade: DegradePolicy::Interval,
+                ..BudgetSpec::default()
+            };
+            // Fresh engine per governed run: no cache help from the
+            // unbounded oracle run above.
+            let governed = QueryEngine::new(pi.clone());
+            let answer = governed.run_governed(&q, &spec).unwrap_or_else(|e| {
+                panic!("interval policy must not fail on budget {budget}: {e}")
+            });
+            match answer {
+                Answer::Exact(p) => prop_assert!(
+                    (p - exact).abs() < 1e-9,
+                    "budget {budget}: exact-path answer {p} != oracle {exact}"
+                ),
+                Answer::Interval(iv) => prop_assert!(
+                    iv.lo <= exact + 1e-9 && exact <= iv.hi + 1e-9,
+                    "budget {budget}: [{}, {}] does not bracket {exact}", iv.lo, iv.hi
+                ),
+            }
+        }
+    }
+
+    /// Contract 1 under `DegradePolicy::Error`: the run either matches
+    /// the oracle exactly or fails with a typed step exhaustion — no
+    /// third outcome, and never a wrong number.
+    #[test]
+    fn error_policy_is_exact_or_typed_exhaustion(seed in 0u64..500, budget in 1u64..60) {
+        let pi = random_dag(seed);
+        let engine = QueryEngine::new(pi.clone());
+        for q in exists_queries(&pi) {
+            let Some(exact) = exact_answer(&engine, &pi, &q) else { continue };
+            let spec = BudgetSpec { max_steps: Some(budget), ..BudgetSpec::default() };
+            let governed = QueryEngine::new(pi.clone());
+            match governed.run_governed(&q, &spec) {
+                Ok(Answer::Exact(p)) => prop_assert!((p - exact).abs() < 1e-9),
+                Ok(Answer::Interval(_)) => prop_assert!(false, "error policy returned interval"),
+                Err(QueryError::Core(CoreError::Exhausted(ex))) => {
+                    prop_assert!(ex.spent >= ex.limit.min(budget));
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+
+    /// Contract 2: answers and `Exhausted.spent` match slot-for-slot
+    /// between a single-threaded and a four-threaded batch run.
+    #[test]
+    fn exhaustion_accounting_is_thread_count_independent(
+        seed in 0u64..300,
+        budget in 1u64..40,
+    ) {
+        let pi = random_dag(seed);
+        let queries = exists_queries(&pi);
+        // Duplicate the batch so threads race on identical work.
+        let batch: Vec<Query> =
+            queries.iter().chain(queries.iter()).chain(queries.iter()).cloned().collect();
+        let spec = BudgetSpec { max_steps: Some(budget), ..BudgetSpec::default() };
+
+        let run = |threads: usize| {
+            let engine = QueryEngine::with_threads(pi.clone(), threads);
+            engine.run_batch_governed(&batch, &spec)
+        };
+        let single = run(1);
+        let multi = run(4);
+        prop_assert_eq!(single.len(), multi.len());
+        for (slot, (a, b)) in single.iter().zip(multi.iter()).enumerate() {
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "slot {} answers differ", slot),
+                (
+                    Err(QueryError::Core(CoreError::Exhausted(x))),
+                    Err(QueryError::Core(CoreError::Exhausted(y))),
+                ) => {
+                    prop_assert_eq!(x.resource, y.resource, "slot {}", slot);
+                    prop_assert_eq!(x.spent, y.spent, "slot {} spent differs", slot);
+                    prop_assert_eq!(x.limit, y.limit, "slot {}", slot);
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "slot {slot}: outcomes diverge across thread counts: {a:?} vs {b:?}"
+                ),
+            }
+        }
+    }
+}

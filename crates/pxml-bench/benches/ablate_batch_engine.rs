@@ -71,6 +71,29 @@ fn ablate(c: &mut Criterion) {
             b.iter(|| black_box(engine.run_batch(&queries)));
         });
 
+        // Observability overhead against the warm baseline above:
+        // `engine_warm` runs with tracing off (the default — one relaxed
+        // atomic load per query), the rows below pay for histogram
+        // observations (`Timing`) and full trace-record materialisation
+        // (`Full`). The <1% disabled-overhead claim in EXPERIMENTS.md is
+        // engine_warm (trace plumbing compiled in) vs the seed's
+        // engine_warm (no trace code at all); timing/full quantify the
+        // cost of switching observability on.
+        engine.set_trace_mode(pxml_query::TraceMode::Timing);
+        group.bench_function(BenchmarkId::new("engine_warm_timing", tag), |b| {
+            b.iter(|| black_box(engine.run_batch(&queries)));
+        });
+        engine.set_trace_mode(pxml_query::TraceMode::Full);
+        engine.set_trace_capacity(queries.len());
+        group.bench_function(BenchmarkId::new("engine_warm_full_trace", tag), |b| {
+            b.iter(|| {
+                let out = black_box(engine.run_batch(&queries));
+                engine.take_traces(); // drain, as a scraping consumer would
+                out
+            });
+        });
+        engine.set_trace_mode(pxml_query::TraceMode::Off);
+
         // Resource-governance overhead: the same batch through the
         // governed path with a generous never-hit budget. Warm measures
         // the budget plumbing on the cache-hit fast path (the PR 1

@@ -3,8 +3,9 @@
 //! ```text
 //! pxml <instance.pxml|instance.pxmlb> <query> [options]
 //! pxml <instance> --stdin                    # one query per input line
-//! pxml batch <instance> [queries.txt] [--threads N] [--stats] [governance]
-//! pxml check <instance> [governance]         # deep coherence lint
+//! pxml batch <instance> [queries.txt] [--threads N] [--stats]
+//!           [--metrics FILE] [--trace-json FILE] [governance]
+//! pxml check <instance> [--metrics FILE] [governance]  # deep coherence lint
 //!
 //! options:
 //!   --engine auto|tree|naive    engine selection (default auto)
@@ -36,7 +37,11 @@
 //! `pxml_query::QueryEngine` — a shared marginalisation cache and
 //! optional multi-threaded fan-out — printing one result per line in
 //! input order. `--stats` reports the engine's cache/timing counters on
-//! stderr afterwards.
+//! stderr afterwards. `--metrics FILE` writes a Prometheus text
+//! exposition dump of everything the engine measures; `--trace-json
+//! FILE` enables full per-query tracing and streams one JSON trace
+//! record per query (phase nanos, cache provenance, budget spend) as
+//! JSON lines.
 //!
 //! `check` loads an instance *without* model validation and runs the
 //! deep coherence linter over it, printing one finding per line. Exit
@@ -208,6 +213,8 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut queries_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut show_stats = false;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut trace_json_path: Option<PathBuf> = None;
     let mut gov = GovernanceArgs::default();
     let mut i = 0;
     while i < args.len() {
@@ -219,6 +226,16 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
                     Some(n.parse().map_err(|_| usage_err(format!("bad thread count {n:?}")))?);
             }
             "--stats" => show_stats = true,
+            "--metrics" => {
+                i += 1;
+                metrics_path =
+                    Some(PathBuf::from(args.get(i).ok_or("--metrics needs a file path")?));
+            }
+            "--trace-json" => {
+                i += 1;
+                trace_json_path =
+                    Some(PathBuf::from(args.get(i).ok_or("--trace-json needs a file path")?));
+            }
             "--timeout" => {
                 i += 1;
                 gov.timeout =
@@ -276,6 +293,14 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     if let Some(bytes) = gov.max_cache_bytes {
         engine.set_max_cache_bytes(bytes);
     }
+    // Tracing level follows what was asked for: full records for
+    // --trace-json, histogram timing for --metrics alone, off otherwise.
+    if trace_json_path.is_some() {
+        engine.set_trace_mode(pxml_query::TraceMode::Full);
+        engine.set_trace_capacity(batch.len().max(1));
+    } else if metrics_path.is_some() {
+        engine.set_trace_mode(pxml_query::TraceMode::Timing);
+    }
 
     // Governed and ungoverned runs print through one uniform Answer
     // stream; an ungoverned probability is just an exact answer.
@@ -315,6 +340,21 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     }
     if show_stats {
         eprintln!("{}", engine.stats());
+    }
+    if let Some(path) = &trace_json_path {
+        let traces = engine.take_traces();
+        let mut out = String::with_capacity(traces.len() * 256);
+        for t in &traces {
+            out.push_str(&t.to_json());
+            out.push('\n');
+        }
+        write_file(path, &out)?;
+    }
+    if let Some(path) = &metrics_path {
+        let mut reg = pxml_query::MetricsRegistry::new();
+        engine.export_metrics(&mut reg);
+        add_process_metrics(&mut reg);
+        write_file(path, reg.render())?;
     }
     if exhausted > 0 {
         return Err(CliError::Exhausted(format!(
@@ -400,7 +440,22 @@ fn is_exhausted(e: &pxml_query::QueryError) -> bool {
     matches!(e, pxml_query::QueryError::Core(pxml_core::CoreError::Exhausted(_)))
 }
 
-/// `pxml check <instance> [--timeout DUR] [--max-steps N] [--degrade P]`.
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Process-level metric families shared by `batch --metrics` and
+/// `check --metrics`.
+fn add_process_metrics(reg: &mut pxml_query::MetricsRegistry) {
+    reg.counter(
+        "pxml_storage_crc_verifications_total",
+        "Binary-file CRC-32 footer verifications performed by this process.",
+        pxml_storage::crc_verifications(),
+    );
+}
+
+/// `pxml check <instance> [--metrics FILE] [--timeout DUR] [--max-steps N]
+/// [--degrade P]`.
 ///
 /// Loads the instance leniently — structural decoding only, skipping the
 /// model validation that `load` performs; for `.pxmlb` files even a CRC
@@ -417,10 +472,16 @@ fn is_exhausted(e: &pxml_query::QueryError) -> bool {
 /// `--degrade error` exits 3.
 fn run_check(args: &[String]) -> Result<(), CliError> {
     let mut instance_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut gov = GovernanceArgs::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics" => {
+                i += 1;
+                metrics_path =
+                    Some(PathBuf::from(args.get(i).ok_or("--metrics needs a file path")?));
+            }
             "--timeout" => {
                 i += 1;
                 gov.timeout =
@@ -442,7 +503,9 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
     let path = instance_path.ok_or("missing instance file")?;
     let (pi, corruption) = load_for_check(&path)?;
 
+    let lint_started = std::time::Instant::now();
     let outcome = pxml_core::lint_governed(&pi, &gov.budget());
+    let lint_elapsed = lint_started.elapsed();
     let mut errors = 0usize;
     if let Some(mm) = &corruption {
         println!(
@@ -460,6 +523,32 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
         .filter(|f| f.severity() == pxml_core::Severity::Error)
         .count();
     let warnings = outcome.findings.len() + usize::from(corruption.is_some()) - errors;
+
+    // Written before exhaustion handling so the dump exists on every
+    // exit path, including `--degrade error` → status 3.
+    if let Some(mpath) = &metrics_path {
+        let mut reg = pxml_query::MetricsRegistry::new();
+        reg.counter_f64(
+            "pxml_lint_duration_seconds",
+            "Wall-clock time the deep coherence lint pass took.",
+            lint_elapsed.as_secs_f64(),
+        );
+        reg.counter_vec(
+            "pxml_lint_findings",
+            "Lint findings by severity (including file corruption).",
+            &[
+                ("severity=\"error\"", errors as u64),
+                ("severity=\"warning\"", warnings as u64),
+            ],
+        );
+        reg.gauge(
+            "pxml_lint_complete",
+            "1 when the lint pass ran to completion, 0 when the budget exhausted first.",
+            if outcome.exhausted.is_some() { 0.0 } else { 1.0 },
+        );
+        add_process_metrics(&mut reg);
+        write_file(mpath, reg.render())?;
+    }
 
     if let Some(ex) = outcome.exhausted {
         match gov.degrade.unwrap_or_default() {
@@ -579,8 +668,15 @@ fn print_usage() {
 usage:
   pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
   pxml <instance> --stdin
-  pxml batch <instance> [queries.txt] [--threads N] [--stats] [governance]
-  pxml check <instance> [governance]
+  pxml batch <instance> [queries.txt] [--threads N] [--stats]
+            [--metrics FILE] [--trace-json FILE] [governance]
+  pxml check <instance> [--metrics FILE] [governance]
+
+observability:
+  --metrics FILE            write a Prometheus text exposition dump of
+                            everything the engine (or linter) measured
+  --trace-json FILE         batch only: full per-query tracing; one JSON
+                            trace record per query, as JSON lines
 
 governance (resource limits):
   --timeout DUR             wall-clock deadline per query (e.g. 500ms, 2s, 1m)

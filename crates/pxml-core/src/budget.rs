@@ -120,6 +120,7 @@ pub struct Budget {
     deadline: Option<Instant>,
     timeout_ms: u64,
     cancel: Option<CancelToken>,
+    polls: AtomicU64,
 }
 
 impl Default for Budget {
@@ -140,6 +141,7 @@ impl Budget {
             deadline: None,
             timeout_ms: 0,
             cancel: None,
+            polls: AtomicU64::new(0),
         }
     }
 
@@ -187,6 +189,14 @@ impl Budget {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Deadline/cancellation polls performed so far (checkpoint events:
+    /// one per [`Budget::checkpoint`] call plus one per 64-step charge
+    /// stride). Exposed so observability layers can report how often a
+    /// governed evaluation actually looked at the clock.
+    pub fn polls_performed(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
     /// Charges `n` work steps. Deadline and cancellation are polled when
     /// the counter crosses a 64-step stride (and always on the first
     /// charge) so hot loops pay one relaxed atomic add in the common
@@ -216,6 +226,7 @@ impl Budget {
     }
 
     fn poll(&self, spent_steps: u64) -> Result<(), Exhausted> {
+        self.polls.fetch_add(1, Ordering::Relaxed);
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return Err(Exhausted {
@@ -325,6 +336,20 @@ mod tests {
         let e = b.poll_now().unwrap_err();
         assert_eq!(e.resource, Resource::WallClock);
         assert!(e.spent >= 1);
+    }
+
+    #[test]
+    fn polls_are_counted_at_checkpoints_and_strides() {
+        let b = Budget::unlimited();
+        assert_eq!(b.polls_performed(), 0);
+        b.checkpoint().unwrap();
+        assert_eq!(b.polls_performed(), 1);
+        b.charge(1).unwrap(); // first charge always polls
+        assert_eq!(b.polls_performed(), 2);
+        b.charge(1).unwrap(); // within the first 64-step stride: no poll
+        assert_eq!(b.polls_performed(), 2);
+        b.charge(64).unwrap(); // crosses a stride boundary
+        assert_eq!(b.polls_performed(), 3);
     }
 
     #[test]

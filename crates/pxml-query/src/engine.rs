@@ -16,12 +16,14 @@
 //! would recompute (see `crate::cache` for the key-soundness argument).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
+use pxml_core::catalog::DisplayObject;
 use pxml_core::{Budget, CancelToken, LabelPath, ObjectId, ProbInstance};
 use pxml_interval::Interval;
 use std::sync::Arc;
@@ -30,8 +32,10 @@ use crate::cache::{EpsKey, MarginalCache, TargetKey};
 use crate::chain::{chain_probability_budgeted, chain_probability_interval};
 use crate::dag::{exists_query_dag_governed, point_query_dag_governed, DagOutcome};
 use crate::error::{QueryError, Result};
+use crate::metrics::MetricsRegistry;
 use crate::point::{epsilon_root_interval, epsilon_root_with, EpsHook};
 use crate::stats::{EngineStats, StatsSnapshot};
+use crate::trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing, TraceTally};
 
 /// One query in a batch.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -174,6 +178,23 @@ pub struct QueryEngine {
     cache: MarginalCache,
     stats: EngineStats,
     threads: usize,
+    /// Encoded [`TraceMode`]; one relaxed load gates the whole
+    /// observability layer, so `Off` stays off the hot path.
+    trace_mode: AtomicU8,
+    traces: TraceRing,
+    trace_seq: AtomicU64,
+}
+
+const TRACE_OFF: u8 = 0;
+const TRACE_TIMING: u8 = 1;
+const TRACE_FULL: u8 = 2;
+
+fn encode_mode(mode: TraceMode) -> u8 {
+    match mode {
+        TraceMode::Off => TRACE_OFF,
+        TraceMode::Timing => TRACE_TIMING,
+        TraceMode::Full => TRACE_FULL,
+    }
 }
 
 impl QueryEngine {
@@ -191,6 +212,9 @@ impl QueryEngine {
             cache: MarginalCache::new(),
             stats: EngineStats::new(),
             threads: threads.max(1),
+            trace_mode: AtomicU8::new(TRACE_OFF),
+            traces: TraceRing::default(),
+            trace_seq: AtomicU64::new(0),
         }
     }
 
@@ -250,16 +274,202 @@ impl QueryEngine {
         self.pi
     }
 
+    /// The current trace mode.
+    pub fn trace_mode(&self) -> TraceMode {
+        match self.trace_mode.load(Ordering::Relaxed) {
+            TRACE_TIMING => TraceMode::Timing,
+            TRACE_FULL => TraceMode::Full,
+            _ => TraceMode::Off,
+        }
+    }
+
+    /// Switches per-query observability on or off. `Off` (the default)
+    /// keeps the hot path free of clock reads and allocation; `Timing`
+    /// populates the latency / budget-spend histograms; `Full` also
+    /// records one [`QueryTrace`] per query into the engine's ring
+    /// buffer (see [`QueryEngine::take_traces`]).
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.trace_mode.store(encode_mode(mode), Ordering::Relaxed);
+    }
+
+    /// Resizes the trace ring buffer (clamped to ≥ 1; default 4096).
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        self.traces.set_capacity(capacity);
+    }
+
+    /// Drains and returns the buffered trace records, oldest first.
+    pub fn take_traces(&self) -> Vec<QueryTrace> {
+        self.traces.take()
+    }
+
+    /// Trace records evicted because the ring buffer was full.
+    pub fn traces_dropped(&self) -> u64 {
+        self.traces.dropped()
+    }
+
+    /// Exports everything the engine measures into `reg` as Prometheus
+    /// metric families: the [`StatsSnapshot`] counters, cache table
+    /// sizes/footprint/evictions, budget spend, and the per-query
+    /// latency + budget-spend histograms (populated when tracing is on).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let s = self.stats();
+        reg.counter("pxml_queries_total", "Queries answered (including cache hits).", s.queries_run);
+        reg.counter("pxml_batches_total", "Query batches completed.", s.batches_run);
+        reg.counter_vec(
+            "pxml_cache_hits_total",
+            "Memo hits by cache table.",
+            &[
+                ("table=\"result\"", s.result_hits),
+                ("table=\"layers\"", s.layers_hits),
+                ("table=\"eps\"", s.eps_hits),
+                ("table=\"link\"", s.link_hits),
+            ],
+        );
+        reg.counter_vec(
+            "pxml_cache_misses_total",
+            "Memo misses by cache table.",
+            &[
+                ("table=\"result\"", s.result_misses),
+                ("table=\"layers\"", s.layers_misses),
+                ("table=\"eps\"", s.eps_misses),
+                ("table=\"link\"", s.link_misses),
+            ],
+        );
+        reg.counter(
+            "pxml_cache_evictions_total",
+            "Whole-table cache evictions under the byte ceiling.",
+            s.cache_evictions,
+        );
+        let (results, layers, eps, links) = self.cache_len();
+        reg.gauge_vec(
+            "pxml_cache_entries",
+            "Entries per cache table.",
+            &[
+                ("table=\"result\"", results as f64),
+                ("table=\"layers\"", layers as f64),
+                ("table=\"eps\"", eps as f64),
+                ("table=\"link\"", links as f64),
+            ],
+        );
+        reg.gauge(
+            "pxml_cache_bytes",
+            "Approximate accounted cache footprint in bytes.",
+            self.cache_bytes() as f64,
+        );
+        reg.counter(
+            "pxml_opf_entries_visited_total",
+            "OPF entries visited: the paper's |P| work measure (Figure 7).",
+            s.opf_entries_visited,
+        );
+        reg.counter(
+            "pxml_queries_degraded_total",
+            "Governed queries degraded to interval answers.",
+            s.queries_degraded,
+        );
+        reg.counter(
+            "pxml_queries_exhausted_total",
+            "Governed queries that returned the typed Exhausted error.",
+            s.queries_exhausted,
+        );
+        reg.counter(
+            "pxml_budget_steps_spent_total",
+            "Work steps charged against query budgets.",
+            s.budget_steps_spent,
+        );
+        reg.counter(
+            "pxml_budget_polls_total",
+            "Budget deadline/cancellation polls (checkpoint events).",
+            s.budget_polls,
+        );
+        reg.counter_f64(
+            "pxml_locate_seconds_total",
+            "Wall time locating path layers (forward pass).",
+            s.locate_nanos as f64 * 1e-9,
+        );
+        reg.counter_f64(
+            "pxml_marginal_seconds_total",
+            "Wall time in epsilon / chain marginalisation.",
+            s.marginal_nanos as f64 * 1e-9,
+        );
+        reg.counter_f64(
+            "pxml_batch_seconds_total",
+            "Batch wall time, accumulated across batches.",
+            s.batch_nanos as f64 * 1e-9,
+        );
+        reg.histogram(
+            "pxml_query_duration_seconds",
+            "Per-query wall time (recorded when tracing is enabled).",
+            &s.query_nanos_hist,
+            1e-9,
+        );
+        reg.histogram(
+            "pxml_query_budget_steps",
+            "Per-query budget spend in steps (governed queries, tracing enabled).",
+            &s.budget_steps_hist,
+            1.0,
+        );
+        reg.counter(
+            "pxml_traces_dropped_total",
+            "Trace records evicted from the ring buffer.",
+            self.traces_dropped(),
+        );
+        reg.gauge(
+            "pxml_trace_mode",
+            "Current trace mode (0 = off, 1 = timing, 2 = full).",
+            f64::from(self.trace_mode.load(Ordering::Relaxed)),
+        );
+    }
+
     /// Answers one query through the shared cache.
     pub fn run(&self, q: &Query) -> Result<f64> {
-        self.stats.count_query();
-        if let Some(r) = self.cache.get_result(q) {
-            self.stats.count_result(true);
+        // Hot path: with tracing off this is the seed-identical code —
+        // the observability layer costs one relaxed load and a branch.
+        if self.trace_mode.load(Ordering::Relaxed) == TRACE_OFF {
+            self.stats.count_query();
+            if let Some(r) = self.cache.get_result(q) {
+                self.stats.count_result(true);
+                return r;
+            }
+            self.stats.count_result(false);
+            let r = self.evaluate(q, None);
+            self.cache.put_result(q.clone(), r.clone());
             return r;
         }
-        self.stats.count_result(false);
-        let r = self.evaluate(q);
-        self.cache.put_result(q.clone(), r.clone());
+        self.run_observed(q)
+    }
+
+    /// [`QueryEngine::run`] with per-query observation: phase spans,
+    /// provenance tally, histogram observations, and (in `Full` mode) a
+    /// trace record. Kept out of line so the traced machinery never
+    /// bloats the disabled fast path in [`QueryEngine::run`].
+    #[cold]
+    #[inline(never)]
+    fn run_observed(&self, q: &Query) -> Result<f64> {
+        let started = Instant::now();
+        self.stats.count_query();
+        let mut tally = TraceTally::default();
+        let r = if let Some(r) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            tally.result_hit = true;
+            r
+        } else {
+            self.stats.count_result(false);
+            let r = self.evaluate(q, Some(&mut tally));
+            // Normalise span: answer assembly + result-memo writeback.
+            let n0 = Instant::now();
+            self.cache.put_result(q.clone(), r.clone());
+            tally.normalise_nanos = n0.elapsed().as_nanos() as u64;
+            r
+        };
+        let total = started.elapsed().as_nanos() as u64;
+        self.stats.observe_query_nanos(total);
+        if self.trace_mode.load(Ordering::Relaxed) == TRACE_FULL {
+            let (outcome, lo, hi, error) = match &r {
+                Ok(v) => (TraceOutcome::Exact, *v, *v, None),
+                Err(e) => (TraceOutcome::Error, 0.0, 0.0, Some(e.to_string())),
+            };
+            self.push_trace(q, &tally, total, outcome, lo, hi, error);
+        }
         r
     }
 
@@ -313,15 +523,31 @@ impl QueryEngine {
     ///   path would also produce are written back to the shared cache;
     ///   degraded and DAG-fallback answers are never cached.
     pub fn run_governed(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
-        self.stats.count_query();
-        if let Some(Ok(v)) = self.cache.get_result(q) {
-            self.stats.count_result(true);
-            return Ok(Answer::Exact(v));
+        if self.trace_mode.load(Ordering::Relaxed) == TRACE_OFF {
+            self.stats.count_query();
+            if let Some(Ok(v)) = self.cache.get_result(q) {
+                self.stats.count_result(true);
+                return Ok(Answer::Exact(v));
+            }
+            self.stats.count_result(false);
+            let budget = spec.budget();
+            let (r, cacheable) = self.evaluate_governed(q, spec, &budget, None);
+            self.finish_governed(q, &r, cacheable);
+            self.stats.add_budget_spend(budget.steps_spent(), budget.polls_performed());
+            return r;
         }
-        self.stats.count_result(false);
-        let budget = spec.budget();
-        let (r, cacheable) = self.evaluate_governed(q, spec, &budget);
-        match &r {
+        self.run_governed_observed(q, spec)
+    }
+
+    /// Post-evaluation accounting shared by the governed paths: result
+    /// writeback for cacheable exact answers, degradation/exhaustion
+    /// counting. A query answered under `DegradePolicy::Interval` is
+    /// counted exactly once in `queries_run` (by its single
+    /// `count_query` on entry) and lands in `result_misses` +
+    /// `queries_degraded` — there is no retry path that could count it
+    /// again.
+    fn finish_governed(&self, q: &Query, r: &Result<Answer>, cacheable: bool) {
+        match r {
             Ok(Answer::Exact(v)) if cacheable => {
                 self.cache.put_result(q.clone(), Ok(*v));
             }
@@ -329,7 +555,130 @@ impl QueryEngine {
             Err(e) if exhaustion_of(e).is_some() => self.stats.count_exhausted(),
             _ => {}
         }
+    }
+
+    /// [`QueryEngine::run_governed`] with per-query observation. Out of
+    /// line for the same fast-path reason as `run_observed`.
+    #[cold]
+    #[inline(never)]
+    fn run_governed_observed(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
+        let started = Instant::now();
+        self.stats.count_query();
+        let mut tally = TraceTally::default();
+        let r = if let Some(Ok(v)) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            tally.result_hit = true;
+            Ok(Answer::Exact(v))
+        } else {
+            self.stats.count_result(false);
+            let budget = spec.budget();
+            let (r, cacheable) = self.evaluate_governed(q, spec, &budget, Some(&mut tally));
+            let n0 = Instant::now();
+            self.finish_governed(q, &r, cacheable);
+            tally.normalise_nanos = n0.elapsed().as_nanos() as u64;
+            tally.budget_steps = budget.steps_spent();
+            tally.budget_polls = budget.polls_performed();
+            self.stats.add_budget_spend(tally.budget_steps, tally.budget_polls);
+            self.stats.observe_budget_steps(tally.budget_steps);
+            r
+        };
+        let total = started.elapsed().as_nanos() as u64;
+        self.stats.observe_query_nanos(total);
+        if self.trace_mode.load(Ordering::Relaxed) == TRACE_FULL {
+            let (outcome, lo, hi, error) = match &r {
+                Ok(Answer::Exact(v)) => (TraceOutcome::Exact, *v, *v, None),
+                Ok(Answer::Interval(i)) => (TraceOutcome::Degraded, i.lo, i.hi, None),
+                Err(e) => {
+                    let outcome = if exhaustion_of(e).is_some() {
+                        TraceOutcome::Exhausted
+                    } else {
+                        TraceOutcome::Error
+                    };
+                    (outcome, 0.0, 0.0, Some(e.to_string()))
+                }
+            };
+            self.push_trace(q, &tally, total, outcome, lo, hi, error);
+        }
         r
+    }
+
+    /// Materialises one trace record from a finished query.
+    #[allow(clippy::too_many_arguments)]
+    fn push_trace(
+        &self,
+        q: &Query,
+        tally: &TraceTally,
+        total_nanos: u64,
+        outcome: TraceOutcome,
+        lo: f64,
+        hi: f64,
+        error: Option<String>,
+    ) {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let kind = match q {
+            Query::Point { .. } => QueryKind::Point,
+            Query::Exists { .. } => QueryKind::Exists,
+            Query::Chain { .. } => QueryKind::Chain,
+        };
+        self.traces.push(QueryTrace {
+            seq,
+            query: self.render_query(q),
+            kind,
+            outcome,
+            lo,
+            hi,
+            error,
+            total_nanos,
+            locate_nanos: tally.locate_nanos,
+            marginal_nanos: tally.marginal_nanos,
+            normalise_nanos: tally.normalise_nanos,
+            result_hit: tally.result_hit,
+            layers_hits: tally.layers_hits,
+            layers_misses: tally.layers_misses,
+            eps_hits: tally.eps_hits,
+            eps_misses: tally.eps_misses,
+            link_hits: tally.link_hits,
+            link_misses: tally.link_misses,
+            opf_entries: tally.opf_entries,
+            budget_steps: tally.budget_steps,
+            budget_polls: tally.budget_polls,
+        });
+    }
+
+    /// Renders `q` in the CLI batch-file surface syntax, falling back to
+    /// debug ids for names missing from the catalog (never panics).
+    fn render_query(&self, q: &Query) -> String {
+        let cat = self.pi.catalog();
+        let path_str = |p: &PathExpr| {
+            let mut s = String::new();
+            let _ = write!(s, "{}", DisplayObject(cat, p.root));
+            for l in &p.labels {
+                s.push('.');
+                match cat.labels().try_resolve(*l) {
+                    Some(name) => s.push_str(name),
+                    None => {
+                        let _ = write!(s, "{l:?}");
+                    }
+                }
+            }
+            s
+        };
+        match q {
+            Query::Point { path, object } => {
+                format!("POINT {} IN {}", DisplayObject(cat, *object), path_str(path))
+            }
+            Query::Exists { path } => format!("EXISTS {}", path_str(path)),
+            Query::Chain { objects } => {
+                let mut s = String::from("CHAIN ");
+                for (i, o) in objects.iter().enumerate() {
+                    if i > 0 {
+                        s.push('.');
+                    }
+                    let _ = write!(s, "{}", DisplayObject(cat, *o));
+                }
+                s
+            }
+        }
     }
 
     /// Governed batch: `results[i]` answers `queries[i]`. Fan-out
@@ -376,10 +725,13 @@ impl QueryEngine {
         q: &Query,
         spec: &BudgetSpec,
         budget: &Budget,
+        t: Option<&mut TraceTally>,
     ) -> (Result<Answer>, bool) {
         match q {
-            Query::Point { path, object } => self.eval_point_governed(path, *object, spec, budget),
-            Query::Exists { path } => self.eval_exists_governed(path, spec, budget),
+            Query::Point { path, object } => {
+                self.eval_point_governed(path, *object, spec, budget, t)
+            }
+            Query::Exists { path } => self.eval_exists_governed(path, spec, budget, t),
             Query::Chain { objects } => {
                 let start = Instant::now();
                 let r = match spec.degrade {
@@ -389,7 +741,11 @@ impl QueryEngine {
                     DegradePolicy::Interval => chain_probability_interval(&self.pi, objects, budget)
                         .map(|(lo, hi)| bounds_answer(lo, hi)),
                 };
-                self.stats.add_marginal(start.elapsed());
+                let elapsed = start.elapsed();
+                self.stats.add_marginal(elapsed);
+                if let Some(t) = t {
+                    t.marginal_nanos += elapsed.as_nanos() as u64;
+                }
                 let cacheable = matches!(r, Ok(Answer::Exact(_)));
                 (r, cacheable)
             }
@@ -402,9 +758,10 @@ impl QueryEngine {
         object: ObjectId,
         spec: &BudgetSpec,
         budget: &Budget,
+        mut t: Option<&mut TraceTally>,
     ) -> (Result<Answer>, bool) {
         let labels = LabelPath::from(&path.labels[..]);
-        let layers = self.layers_for(path, &labels);
+        let layers = self.layers_for(path, &labels, t.as_deref_mut());
         if layers.last().is_none_or(|l| l.binary_search(&object).is_err()) {
             return (Ok(Answer::Exact(0.0)), true);
         }
@@ -422,7 +779,12 @@ impl QueryEngine {
                 (other, cacheable)
             }
         };
-        self.stats.add_marginal(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.add_marginal(elapsed);
+        if let Some(t) = t {
+            t.marginal_nanos += elapsed.as_nanos() as u64;
+            hook.merge_into(t);
+        }
         out
     }
 
@@ -431,9 +793,10 @@ impl QueryEngine {
         path: &PathExpr,
         spec: &BudgetSpec,
         budget: &Budget,
+        mut t: Option<&mut TraceTally>,
     ) -> (Result<Answer>, bool) {
         let labels = LabelPath::from(&path.labels[..]);
-        let layers = self.layers_for(path, &labels);
+        let layers = self.layers_for(path, &labels, t.as_deref_mut());
         let located = layers.last().cloned().unwrap_or_default();
         if located.is_empty() {
             return (Ok(Answer::Exact(0.0)), true);
@@ -452,7 +815,12 @@ impl QueryEngine {
                 (other, cacheable)
             }
         };
-        self.stats.add_marginal(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.add_marginal(elapsed);
+        if let Some(t) = t {
+            t.marginal_nanos += elapsed.as_nanos() as u64;
+            hook.merge_into(t);
+        }
         out
     }
 
@@ -506,37 +874,56 @@ impl QueryEngine {
         }
     }
 
-    fn evaluate(&self, q: &Query) -> Result<f64> {
+    fn evaluate(&self, q: &Query, t: Option<&mut TraceTally>) -> Result<f64> {
         match q {
-            Query::Point { path, object } => self.eval_point(path, *object),
-            Query::Exists { path } => self.eval_exists(path),
-            Query::Chain { objects } => self.eval_chain(objects),
+            Query::Point { path, object } => self.eval_point(path, *object, t),
+            Query::Exists { path } => self.eval_exists(path, t),
+            Query::Chain { objects } => self.eval_chain(objects, t),
         }
     }
 
     /// The locate pass of `layers_weak`, memoised per
     /// `(path root, label sequence)`.
-    fn layers_for(&self, path: &PathExpr, labels: &LabelPath) -> Arc<Vec<Vec<ObjectId>>> {
+    fn layers_for(
+        &self,
+        path: &PathExpr,
+        labels: &LabelPath,
+        t: Option<&mut TraceTally>,
+    ) -> Arc<Vec<Vec<ObjectId>>> {
         let start = Instant::now();
-        let layers = match self.cache.get_layers(path.root, labels) {
+        let (layers, hit) = match self.cache.get_layers(path.root, labels) {
             Some(l) => {
                 self.stats.count_layers(true);
-                l
+                (l, true)
             }
             None => {
                 self.stats.count_layers(false);
                 let l = Arc::new(layers_weak(self.pi.weak(), path));
                 self.cache.put_layers(path.root, labels.clone(), Arc::clone(&l));
-                l
+                (l, false)
             }
         };
-        self.stats.add_locate(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.add_locate(elapsed);
+        if let Some(t) = t {
+            if hit {
+                t.layers_hits += 1;
+            } else {
+                t.layers_misses += 1;
+            }
+            t.locate_nanos += elapsed.as_nanos() as u64;
+        }
         layers
     }
 
-    fn eval_point(&self, path: &PathExpr, object: ObjectId) -> Result<f64> {
+    fn eval_point(
+        &self,
+        path: &PathExpr,
+        object: ObjectId,
+        mut t: Option<&mut TraceTally>,
+    ) -> Result<f64> {
         let labels = LabelPath::from(&path.labels[..]);
-        let layers = self.layers_for(path, &labels);
+        let layers = self.layers_for(path, &labels, t.as_deref_mut());
         // Mirrors `point_query`: absent from the located layer ⇒ 0.
         if layers.last().is_none_or(|l| l.binary_search(&object).is_err()) {
             return Ok(0.0);
@@ -547,15 +934,20 @@ impl QueryEngine {
             stats: &self.stats,
             path: labels,
             target: TargetKey::One(object),
+            tally: t,
         };
         let r = epsilon_root_with(&self.pi, path, &layers, &[object], &mut hook, &Budget::unlimited());
-        self.stats.add_marginal(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.add_marginal(elapsed);
+        if let Some(t) = hook.tally {
+            t.marginal_nanos += elapsed.as_nanos() as u64;
+        }
         r
     }
 
-    fn eval_exists(&self, path: &PathExpr) -> Result<f64> {
+    fn eval_exists(&self, path: &PathExpr, mut t: Option<&mut TraceTally>) -> Result<f64> {
         let labels = LabelPath::from(&path.labels[..]);
-        let layers = self.layers_for(path, &labels);
+        let layers = self.layers_for(path, &labels, t.as_deref_mut());
         // Mirrors `exists_query`: nothing located ⇒ 0.
         let located = layers.last().cloned().unwrap_or_default();
         if located.is_empty() {
@@ -567,23 +959,32 @@ impl QueryEngine {
             stats: &self.stats,
             path: labels,
             target: TargetKey::AllLocated,
+            tally: t,
         };
         let r = epsilon_root_with(&self.pi, path, &layers, &located, &mut hook, &Budget::unlimited());
-        self.stats.add_marginal(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.add_marginal(elapsed);
+        if let Some(t) = hook.tally {
+            t.marginal_nanos += elapsed.as_nanos() as u64;
+        }
         r
     }
 
     /// `chain_probability` with the per-link marginal memoised. The memo
     /// is only written after a successful OPF lookup, so the error
     /// behaviour (node → position → OPF, in that order) is unchanged.
-    fn eval_chain(&self, chain: &[ObjectId]) -> Result<f64> {
+    fn eval_chain(&self, chain: &[ObjectId], mut t: Option<&mut TraceTally>) -> Result<f64> {
         let start = Instant::now();
-        let r = self.eval_chain_inner(chain);
-        self.stats.add_marginal(start.elapsed());
+        let r = self.eval_chain_inner(chain, t.as_deref_mut());
+        let elapsed = start.elapsed();
+        self.stats.add_marginal(elapsed);
+        if let Some(t) = t {
+            t.marginal_nanos += elapsed.as_nanos() as u64;
+        }
         r
     }
 
-    fn eval_chain_inner(&self, chain: &[ObjectId]) -> Result<f64> {
+    fn eval_chain_inner(&self, chain: &[ObjectId], mut t: Option<&mut TraceTally>) -> Result<f64> {
         let Some((&first, rest)) = chain.split_first() else {
             return Err(QueryError::EmptyChain);
         };
@@ -605,12 +1006,20 @@ impl QueryEngine {
             let m = match self.cache.get_link(parent, pos) {
                 Some(m) => {
                     self.stats.count_link(true);
+                    if let Some(t) = t.as_deref_mut() {
+                        t.link_hits += 1;
+                    }
                     m
                 }
                 None => {
                     self.stats.count_link(false);
                     let opf = self.pi.opf(parent).ok_or(QueryError::UnknownObject(parent))?;
-                    self.stats.add_opf_entries(opf.stored_len() as u64);
+                    let entries = opf.stored_len() as u64;
+                    self.stats.add_opf_entries(entries);
+                    if let Some(t) = t.as_deref_mut() {
+                        t.link_misses += 1;
+                        t.opf_entries += entries;
+                    }
                     let m = opf.marginal_present(pos);
                     self.cache.put_link(parent, pos, m);
                     m
@@ -650,15 +1059,36 @@ fn bounds_answer(lo: f64, hi: f64) -> Answer {
 /// which is sound within one query (single path, fixed target set);
 /// being private, the steps charged per query do not depend on what
 /// other queries or threads have cached.
+///
+/// The hit/miss tallies here describe the *private* memo — they feed
+/// the per-query trace, not the engine-wide `eps_hits`/`eps_misses`
+/// counters (which track the shared cache only).
 #[derive(Default)]
 struct LocalHook {
     memo: HashMap<(ObjectId, usize), f64>,
     opf_entries: u64,
+    eps_hits: u64,
+    eps_misses: u64,
+}
+
+impl LocalHook {
+    /// Folds this query's private-memo provenance into its trace tally.
+    fn merge_into(&self, t: &mut TraceTally) {
+        t.opf_entries += self.opf_entries;
+        t.eps_hits += self.eps_hits;
+        t.eps_misses += self.eps_misses;
+    }
 }
 
 impl EpsHook for LocalHook {
     fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64> {
-        self.memo.get(&(x, depth)).copied()
+        let hit = self.memo.get(&(x, depth)).copied();
+        if hit.is_some() {
+            self.eps_hits += 1;
+        } else {
+            self.eps_misses += 1;
+        }
+        hit
     }
 
     fn put(&mut self, x: ObjectId, depth: usize, value: f64) {
@@ -677,6 +1107,8 @@ struct CacheHook<'a> {
     stats: &'a EngineStats,
     path: LabelPath,
     target: TargetKey,
+    /// Per-query provenance tally; `None` when tracing is off.
+    tally: Option<&'a mut TraceTally>,
 }
 
 impl CacheHook<'_> {
@@ -689,6 +1121,13 @@ impl EpsHook for CacheHook<'_> {
     fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64> {
         let hit = self.cache.get_eps(&self.key(x, depth));
         self.stats.count_eps(hit.is_some());
+        if let Some(t) = self.tally.as_deref_mut() {
+            if hit.is_some() {
+                t.eps_hits += 1;
+            } else {
+                t.eps_misses += 1;
+            }
+        }
         hit
     }
 
@@ -698,6 +1137,9 @@ impl EpsHook for CacheHook<'_> {
 
     fn visited_opf_entries(&mut self, entries: u64) {
         self.stats.add_opf_entries(entries);
+        if let Some(t) = self.tally.as_deref_mut() {
+            t.opf_entries += entries;
+        }
     }
 }
 

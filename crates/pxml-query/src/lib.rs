@@ -35,6 +35,21 @@
 //! state instead of an error. The shared cache can be byte-capped via
 //! [`engine::QueryEngine::set_max_cache_bytes`].
 //!
+//! ## Observability
+//!
+//! The engine carries an opt-in tracing + metrics layer (off by
+//! default, one relaxed atomic load on the hot path when disabled):
+//! [`engine::QueryEngine::set_trace_mode`] switches between
+//! [`trace::TraceMode::Off`], `Timing` (per-query latency /
+//! budget-spend histograms in [`stats::EngineStats`]) and `Full`
+//! (per-query [`trace::QueryTrace`] records — phase spans, cache
+//! provenance per memo layer, `|℘|` OPF-entry work, budget spend — in a
+//! bounded ring buffer drained via
+//! [`engine::QueryEngine::take_traces`]). Everything measured exports
+//! to Prometheus text exposition format through
+//! [`engine::QueryEngine::export_metrics`] /
+//! [`metrics::MetricsRegistry`].
+//!
 //! The ε computations assume tree-shaped kept regions (the standing
 //! assumption of Section 6) and return [`QueryError::NotTreeShaped`]
 //! otherwise; `pxml_algebra::naive` and `pxml-bayes` handle general DAGs.
@@ -48,8 +63,10 @@ pub mod conditional;
 pub mod dag;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod point;
 pub mod stats;
+pub mod trace;
 
 pub use cache::{EpsKey, MarginalCache, TargetKey};
 pub use chain::{chain_probability, chain_probability_budgeted, chain_probability_named};
@@ -60,8 +77,10 @@ pub use conditional::{
 pub use dag::{exists_query_dag, point_query_dag};
 pub use engine::{Answer, BudgetSpec, DegradePolicy, Query, QueryEngine};
 pub use error::{QueryError, Result};
+pub use metrics::MetricsRegistry;
 pub use point::{exists_query, exists_query_budgeted, point_query, point_query_budgeted};
-pub use stats::{EngineStats, StatsSnapshot};
+pub use stats::{EngineStats, HistSnapshot, LogHistogram, StatsSnapshot};
+pub use trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing};
 
 // Re-exported so downstream users (the CLI, tests) can build budgets
 // without importing pxml-core directly.

@@ -1,0 +1,222 @@
+//! Metrics registry rendering the Prometheus text exposition format.
+//!
+//! [`MetricsRegistry`] is a write-only builder: callers append metric
+//! families (counters, gauges, log-scaled histograms) and
+//! [`MetricsRegistry::render`] returns the canonical
+//! `# HELP` / `# TYPE` / sample text that any Prometheus scraper (or
+//! `promtool check metrics`) parses. There is no background collection
+//! — the engine exports a consistent point-in-time view from a
+//! [`crate::StatsSnapshot`] via `QueryEngine::export_metrics`, and the
+//! CLI adds process-level families (storage CRC verifications, lint
+//! timing) on top.
+//!
+//! Histograms come from [`HistSnapshot`] (16 log₄ buckets) and render
+//! as cumulative `le` buckets with `_sum` / `_count`, optionally scaled
+//! (e.g. nanosecond observations exposed in seconds, per Prometheus
+//! base-unit convention).
+
+use std::fmt::Write as _;
+
+use crate::stats::{HistSnapshot, HIST_BUCKETS};
+
+/// A builder for one exposition-format dump.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    body: String,
+}
+
+/// Formats an `f64` sample value the way Prometheus expects: finite
+/// shortest round-trip decimal, `+Inf`/`-Inf`/`NaN` for the specials.
+fn sample_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit()))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let _ = writeln!(self.body, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.body, "# TYPE {name} {kind}");
+    }
+
+    /// Appends an integer counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, help, "counter");
+        let _ = writeln!(self.body, "{name} {value}");
+    }
+
+    /// Appends a float counter family with one unlabelled sample
+    /// (monotone totals measured in fractional units, e.g. seconds).
+    pub fn counter_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "counter");
+        let _ = writeln!(self.body, "{name} {}", sample_value(value));
+    }
+
+    /// Appends a counter family with one sample per label set. Each
+    /// entry is `(rendered_labels, value)` where `rendered_labels` is
+    /// already in exposition form, e.g. `table="result"`.
+    pub fn counter_vec(&mut self, name: &str, help: &str, samples: &[(&str, u64)]) {
+        self.family(name, help, "counter");
+        for (labels, value) in samples {
+            let _ = writeln!(self.body, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    /// Appends a gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "gauge");
+        let _ = writeln!(self.body, "{name} {}", sample_value(value));
+    }
+
+    /// Appends a gauge family with one sample per label set (labels
+    /// pre-rendered as in [`MetricsRegistry::counter_vec`]).
+    pub fn gauge_vec(&mut self, name: &str, help: &str, samples: &[(&str, f64)]) {
+        self.family(name, help, "gauge");
+        for (labels, value) in samples {
+            let _ = writeln!(self.body, "{name}{{{labels}}} {}", sample_value(*value));
+        }
+    }
+
+    /// Appends a histogram family from a log₄-bucketed [`HistSnapshot`].
+    ///
+    /// Raw `u64` observations (and bucket bounds) are multiplied by
+    /// `scale` for exposition — pass `1e-9` to expose nanosecond
+    /// observations in seconds, `1.0` to expose raw units. Buckets
+    /// render cumulatively with an explicit `+Inf` bucket, followed by
+    /// `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &HistSnapshot, scale: f64) {
+        self.family(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.buckets.iter().enumerate() {
+            cumulative += count;
+            // The last log₄ bucket is open-ended; it only renders
+            // through the +Inf bucket below.
+            if i + 1 < HIST_BUCKETS {
+                let le = HistSnapshot::bucket_upper_bound(i) as f64 * scale;
+                let _ = writeln!(
+                    self.body,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    sample_value(le)
+                );
+            }
+        }
+        let _ = writeln!(self.body, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            self.body,
+            "{name}_sum {}",
+            sample_value(h.sum as f64 * scale)
+        );
+        let _ = writeln!(self.body, "{name}_count {}", h.count);
+    }
+
+    /// The exposition text accumulated so far.
+    pub fn render(&self) -> &str {
+        &self.body
+    }
+
+    /// Consumes the registry, returning the exposition text.
+    pub fn into_string(self) -> String {
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::LogHistogram;
+
+    #[test]
+    fn counter_and_gauge_render_exposition_lines() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("pxml_queries_total", "Queries answered.", 42);
+        reg.gauge("pxml_cache_bytes", "Approximate cache footprint.", 1024.0);
+        reg.counter_vec(
+            "pxml_cache_hits_total",
+            "Cache hits by table.",
+            &[("table=\"result\"", 7), ("table=\"eps\"", 9)],
+        );
+        let text = reg.render();
+        assert!(text.contains("# HELP pxml_queries_total Queries answered."));
+        assert!(text.contains("# TYPE pxml_queries_total counter"));
+        assert!(text.contains("\npxml_queries_total 42\n"));
+        assert!(text.contains("# TYPE pxml_cache_bytes gauge"));
+        assert!(text.contains("\npxml_cache_bytes 1024.0\n"));
+        assert!(text.contains("pxml_cache_hits_total{table=\"result\"} 7"));
+        assert!(text.contains("pxml_cache_hits_total{table=\"eps\"} 9"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_and_count() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 10, 100] {
+            h.observe(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("pxml_query_budget_steps", "Steps per query.", &h.snapshot(), 1.0);
+        let text = reg.render();
+        assert!(text.contains("# TYPE pxml_query_budget_steps histogram"));
+        // le="3.0" covers {1, 2}; le="15.0" adds {10}; le="255.0" adds {100}.
+        assert!(text.contains("pxml_query_budget_steps_bucket{le=\"3.0\"} 2"), "{text}");
+        assert!(text.contains("pxml_query_budget_steps_bucket{le=\"15.0\"} 3"), "{text}");
+        assert!(text.contains("pxml_query_budget_steps_bucket{le=\"255.0\"} 4"), "{text}");
+        assert!(text.contains("pxml_query_budget_steps_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("pxml_query_budget_steps_sum 113.0"), "{text}");
+        assert!(text.contains("pxml_query_budget_steps_count 4"), "{text}");
+    }
+
+    #[test]
+    fn histogram_scale_converts_nanos_to_seconds() {
+        let h = LogHistogram::new();
+        h.observe(1_000_000_000); // 1 s
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("pxml_query_duration_seconds", "Latency.", &h.snapshot(), 1e-9);
+        let text = reg.render();
+        assert!(text.contains("pxml_query_duration_seconds_sum 1.0"), "{text}");
+        assert!(text.contains("pxml_query_duration_seconds_count 1"), "{text}");
+        // First bucket bound is 3 ns, scaled to seconds.
+        let first_bound = format!("le=\"{:?}\"", 3.0f64 * 1e-9);
+        assert!(text.contains(&first_bound), "{text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("pxml_x_total", "line one\nline two \\ backslash", 1);
+        let text = reg.render();
+        assert!(text.contains("line one\\nline two \\\\ backslash"));
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_name("pxml_queries_total"));
+        assert!(valid_name("a:b_c1"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("1leading_digit"));
+        assert!(!valid_name("has-dash"));
+        assert!(!valid_name("has space"));
+    }
+}

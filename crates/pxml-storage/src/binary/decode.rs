@@ -1,5 +1,6 @@
 //! Binary decoder with full bounds checking.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pxml_core::ids::{IdMap, ObjectKind};
@@ -11,6 +12,25 @@ use pxml_core::{
 use crate::binary::encode::{BINARY_VERSION, FOOTER_MAGIC, MAGIC};
 use crate::crc::crc32;
 use crate::error::{Result, StorageError};
+
+/// Process-wide count of CRC-32 footer verifications performed (strict
+/// and lenient loads alike). Observability only — see
+/// [`crc_verifications`].
+static CRC_VERIFICATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many `.pxmlb` CRC-32 footer verifications this process has
+/// performed (each one hashed a whole payload and compared it against
+/// the stored footer). Exported as the
+/// `pxml_storage_crc_verifications_total` metric.
+pub fn crc_verifications() -> u64 {
+    CRC_VERIFICATIONS.load(Ordering::Relaxed)
+}
+
+/// Hashes `payload` for footer verification, counting the verification.
+fn verified_crc(payload: &[u8]) -> u32 {
+    CRC_VERIFICATIONS.fetch_add(1, Ordering::Relaxed);
+    crc32(payload)
+}
 
 /// Decodes an instance from its binary encoding, validating it.
 ///
@@ -65,7 +85,7 @@ pub struct LenientBinary {
 pub fn from_binary_lenient(bytes: &[u8]) -> Result<LenientBinary> {
     let (payload, stored) = split_footer(bytes);
     let checksum_mismatch = stored.and_then(|expected| {
-        let actual = crc32(payload);
+        let actual = verified_crc(payload);
         (actual != expected).then_some(ChecksumMismatch { expected, actual })
     });
     let instance = decode_parts_unchecked(payload)?;
@@ -99,7 +119,7 @@ fn split_footer(bytes: &[u8]) -> (&[u8], Option<u32>) {
 fn verify_footer(bytes: &[u8]) -> Result<&[u8]> {
     let (payload, stored) = split_footer(bytes);
     if let Some(expected) = stored {
-        let actual = crc32(payload);
+        let actual = verified_crc(payload);
         if actual != expected {
             return Err(StorageError::Corrupt { expected, actual });
         }

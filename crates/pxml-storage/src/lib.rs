@@ -53,7 +53,7 @@ pub mod text;
 pub mod xml;
 
 pub use binary::decode::{
-    from_binary, from_binary_lenient, from_binary_unchecked, read_binary_file,
+    crc_verifications, from_binary, from_binary_lenient, from_binary_unchecked, read_binary_file,
     read_binary_file_lenient, read_binary_file_unchecked, ChecksumMismatch, LenientBinary,
 };
 pub use binary::encode::{to_binary, write_binary_file};

@@ -86,4 +86,43 @@ set -e
   echo "error: --degrade error under a 1 ms deadline exited $code, want 3"; exit 1;
 }
 
+# Observability smoke on the same dense instance (no deadline, so every
+# query completes): --metrics must produce a structurally-valid
+# Prometheus text exposition dump, --trace-json one JSON-lines record
+# per input query, and `check --metrics` the lint-timing families.
+echo "==> cli observability smoke (--metrics / --trace-json)"
+printf 'EXISTS R.a\nCHAIN R.M0\nEXISTS R.a\n' > "$smoke_dir/obs-queries.txt"
+target/release/pxml batch "$smoke_dir/dense24.pxml" "$smoke_dir/obs-queries.txt" \
+  --metrics "$smoke_dir/batch.prom" --trace-json "$smoke_dir/traces.jsonl" >/dev/null
+# Every non-comment line is `name[{labels}] value`; every value parses
+# as a float (awk accepts the exposition's 1e-9-style numbers).
+awk '
+  /^$/ { next }
+  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { types += /^# TYPE/; next }
+  /^#/ { print "bad comment: " $0; bad = 1; next }
+  {
+    if (NF != 2) { print "bad sample: " $0; bad = 1; next }
+    if ($1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})?$/) { print "bad name: " $0; bad = 1 }
+    if ($2 + 0 != $2 && $2 !~ /^[+-]Inf$|^NaN$/) { print "bad value: " $0; bad = 1 }
+    samples++
+  }
+  END { if (bad || types == 0 || samples == 0) exit 1 }
+' "$smoke_dir/batch.prom" || {
+  echo "error: --metrics dump is not valid exposition format"; exit 1;
+}
+grep -q '^pxml_queries_total 3$' "$smoke_dir/batch.prom" || {
+  echo "error: exposition dump missed pxml_queries_total 3"; exit 1;
+}
+[ "$(wc -l < "$smoke_dir/traces.jsonl")" -eq 3 ] || {
+  echo "error: expected 3 trace records, got $(wc -l < "$smoke_dir/traces.jsonl")"; exit 1;
+}
+grep -c '^{"seq":' "$smoke_dir/traces.jsonl" | grep -qx 3 || {
+  echo "error: trace JSONL lines are not trace objects"; exit 1;
+}
+target/release/pxml check "$smoke_dir/dense24.pxml" \
+  --metrics "$smoke_dir/check.prom" >/dev/null
+grep -q '^pxml_lint_duration_seconds ' "$smoke_dir/check.prom" || {
+  echo "error: check --metrics missed pxml_lint_duration_seconds"; exit 1;
+}
+
 echo "==> ci.sh: all green"

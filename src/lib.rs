@@ -85,3 +85,8 @@ pub use pxml_ql as ql;
 pub use pxml_query::{
     EngineStats, MarginalCache, Query as BatchQuery, QueryEngine, StatsSnapshot,
 };
+
+/// The observability layer, re-exported at the top level: per-query
+/// trace records (phase spans, cache provenance, budget spend) and the
+/// Prometheus text-exposition metrics registry.
+pub use pxml_query::{MetricsRegistry, QueryTrace, TraceMode, TraceOutcome};

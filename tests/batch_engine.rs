@@ -18,8 +18,9 @@ use proptest::prelude::*;
 use pxml::algebra::{locate_weak, satisfies_sd, PathExpr};
 use pxml::core::worlds::enumerate_worlds;
 use pxml::core::ProbInstance;
-use pxml::query::{chain_probability, exists_query, point_query, QueryError};
-use pxml::{BatchQuery, QueryEngine};
+use pxml::query::engine::{BudgetSpec, DegradePolicy};
+use pxml::query::{chain_probability, exists_query, point_query, QueryError, StatsSnapshot};
+use pxml::{BatchQuery, QueryEngine, QueryTrace, TraceMode};
 
 use common::{random_dag, random_tree};
 
@@ -170,4 +171,164 @@ proptest! {
             }
         }
     }
+
+    /// Counter balance: after any mix of ungoverned and governed runs —
+    /// including budget-starved `DegradePolicy::Interval` batches, whose
+    /// degraded queries must be counted exactly once — every snapshot
+    /// satisfies `result_hits + result_misses == queries_run` at rest,
+    /// plus the degraded/exhausted bounds.
+    #[test]
+    fn stats_counters_balance_across_run_modes(seed in 0u64..300, max_steps in 1u64..64) {
+        let pi = random_tree(seed);
+        let queries = build_queries(&pi, &[]);
+        let engine = QueryEngine::with_threads(pi, 2);
+
+        let mut expected_queries = 0u64;
+        engine.run_batch(&queries);
+        expected_queries += queries.len() as u64;
+
+        // Starved governed run: many queries degrade to intervals.
+        let starved = BudgetSpec {
+            max_steps: Some(max_steps),
+            degrade: DegradePolicy::Interval,
+            ..BudgetSpec::default()
+        };
+        engine.run_batch_governed(&queries, &starved);
+        expected_queries += queries.len() as u64;
+
+        // Unlimited governed run on the now-warm cache.
+        engine.run_batch_governed(&queries, &BudgetSpec::default());
+        expected_queries += queries.len() as u64;
+
+        let snap = engine.stats();
+        prop_assert_eq!(snap.queries_run, expected_queries);
+        prop_assert_eq!(snap.result_hits + snap.result_misses, snap.queries_run);
+        prop_assert!(snap.queries_degraded + snap.queries_exhausted <= snap.queries_run);
+        prop_assert!(snap.queries_degraded <= snap.result_misses);
+    }
+}
+
+/// Every invariant a snapshot racing live writers must satisfy (the
+/// at-rest balance `hits + misses == queries_run` only holds when no
+/// query is mid-flight, so racing snapshots check `<=`).
+fn assert_snapshot_invariants(snap: &StatsSnapshot) {
+    assert!(
+        snap.result_hits + snap.result_misses <= snap.queries_run,
+        "result counters overtook queries_run: {snap:?}"
+    );
+    assert!(
+        snap.queries_degraded + snap.queries_exhausted <= snap.queries_run,
+        "degradation counters overtook queries_run: {snap:?}"
+    );
+    assert!(snap.queries_degraded <= snap.result_misses, "degraded overtook misses: {snap:?}");
+}
+
+/// Satellite (a): `batch_nanos` **accumulates** across `run_batch`
+/// calls (it was documented as set-once) and `batches_run` counts them.
+#[test]
+fn batch_nanos_accumulates_across_batches() {
+    let pi = random_tree(7);
+    let queries = build_queries(&pi, &[]);
+    let engine = QueryEngine::with_threads(pi, 1);
+
+    engine.run_batch(&queries);
+    let first = engine.stats();
+    assert_eq!(first.batches_run, 1);
+    assert!(first.batch_nanos > 0, "a batch took zero time: {first:?}");
+
+    engine.run_batch(&queries);
+    let second = engine.stats();
+    assert_eq!(second.batches_run, 2);
+    assert!(
+        second.batch_nanos > first.batch_nanos,
+        "batch_nanos did not accumulate: {} then {}",
+        first.batch_nanos,
+        second.batch_nanos
+    );
+    assert_eq!(second.queries_run, 2 * queries.len() as u64);
+}
+
+/// Satellite (d), engine flavour: four threads hammer the engine (two
+/// ungoverned, one starved-interval governed, one unlimited governed)
+/// while the main thread snapshots in a loop; every racing snapshot
+/// satisfies the counter invariants, and the final at-rest snapshot
+/// balances exactly.
+#[test]
+fn concurrent_snapshots_satisfy_invariants() {
+    let pi = random_tree(11);
+    let queries = build_queries(&pi, &[]);
+    let engine = QueryEngine::with_threads(pi, 1);
+    const ROUNDS: usize = 40;
+
+    std::thread::scope(|s| {
+        for worker in 0..4usize {
+            let engine = &engine;
+            let queries = &queries;
+            s.spawn(move || {
+                let starved = BudgetSpec {
+                    max_steps: Some(2),
+                    degrade: DegradePolicy::Interval,
+                    ..BudgetSpec::default()
+                };
+                for _ in 0..ROUNDS {
+                    match worker {
+                        0 | 1 => {
+                            for q in queries {
+                                let _ = engine.run(q);
+                            }
+                        }
+                        2 => {
+                            engine.run_batch_governed(queries, &starved);
+                        }
+                        _ => {
+                            engine.run_batch_governed(queries, &BudgetSpec::default());
+                        }
+                    }
+                }
+            });
+        }
+        // Snapshot continuously while the writers run.
+        for _ in 0..10_000 {
+            assert_snapshot_invariants(&engine.stats());
+        }
+    });
+
+    let at_rest = engine.stats();
+    assert_snapshot_invariants(&at_rest);
+    assert_eq!(at_rest.queries_run, (4 * ROUNDS * queries.len()) as u64);
+    assert_eq!(at_rest.result_hits + at_rest.result_misses, at_rest.queries_run);
+}
+
+/// Full tracing materialises exactly one record per query, covering the
+/// whole batch, with coherent phase spans and cache provenance; every
+/// record survives a JSON round-trip bit-exactly.
+#[test]
+fn full_tracing_records_one_trace_per_query() {
+    let pi = random_tree(3);
+    let queries = build_queries(&pi, &[]);
+    let engine = QueryEngine::with_threads(pi, 1);
+    engine.set_trace_mode(TraceMode::Full);
+    engine.set_trace_capacity(queries.len());
+
+    engine.run_batch(&queries);
+    let traces = engine.take_traces();
+    assert_eq!(traces.len(), queries.len());
+    assert_eq!(engine.traces_dropped(), 0);
+
+    for t in &traces {
+        assert!(t.total_nanos > 0, "zero-duration trace: {t:?}");
+        assert!(
+            t.locate_nanos + t.marginal_nanos + t.normalise_nanos <= t.total_nanos,
+            "phase spans exceed the total: {t:?}"
+        );
+        let round_tripped = QueryTrace::from_json(&t.to_json()).expect("trace JSON parses");
+        assert_eq!(&round_tripped, t, "JSON round-trip changed the record");
+    }
+
+    // The duplicate half of the workload must show result-cache hits.
+    assert!(traces.iter().any(|t| t.result_hit), "no trace recorded a result hit");
+    assert!(traces.iter().any(|t| !t.result_hit), "no trace recorded a miss");
+
+    // The ring drains on take: a second drain is empty.
+    assert!(engine.take_traces().is_empty());
 }

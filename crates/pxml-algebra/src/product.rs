@@ -60,10 +60,13 @@ pub fn cartesian_product_budgeted(
     //    and intern the right's names, renaming object collisions.
     let mut catalog: Catalog = (**left.catalog()).clone();
     let mut label_map: HashMap<Label, Label> = HashMap::new();
+    // checkpoint-exempt: one-time O(catalog) name interning; the
+    // per-object merge loops below charge per object.
     for (l, name) in right.catalog().labels().iter() {
         label_map.insert(l, catalog.label(name));
     }
     let mut type_map: HashMap<TypeId, TypeId> = HashMap::new();
+    // checkpoint-exempt: one-time O(catalog) type merge.
     for (t, def) in right.catalog().types().iter() {
         let merged = match catalog.find_type(def.name()) {
             Some(existing) => {
@@ -78,6 +81,8 @@ pub fn cartesian_product_budgeted(
         type_map.insert(t, merged);
     }
     let mut right_map: HashMap<ObjectId, ObjectId> = HashMap::new();
+    // checkpoint-exempt: one-time O(objects) renaming table; the
+    // charged merge loops below do the per-object work.
     for o in right.objects() {
         if o == r_root {
             continue;
@@ -143,14 +148,18 @@ pub fn cartesian_product_budgeted(
 
     // 3. The merged root: concatenated universe, summed cards, product OPF.
     let mut root_universe = ChildUniverse::new();
+    // checkpoint-exempt: O(root degree) concatenation; the root OPF
+    // product below charges per table entry.
     for (_, c, l) in l_root_node.universe().iter() {
         root_universe.push(c, l);
     }
     let left_len = root_universe.len() as u32;
+    // checkpoint-exempt: O(root degree) concatenation.
     for (_, c, l) in r_root_node.universe().iter() {
         root_universe.push(right_map[&c], label_map[&l]);
     }
     let mut root_cards: Vec<(Label, Card)> = l_root_node.cards().to_vec();
+    // checkpoint-exempt: O(root degree) cardinality merge.
     for &(l, c) in r_root_node.cards() {
         let l = label_map[&l];
         match root_cards.iter_mut().find(|(el, _)| *el == l) {

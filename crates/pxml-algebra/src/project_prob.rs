@@ -107,6 +107,8 @@ fn ancestor_project_timed_budgeted(
     // Tree-shape check over the kept region: each kept object must have a
     // single kept role (depth) and a single kept parent.
     let mut role_of: HashMap<ObjectId, usize> = HashMap::new();
+    // checkpoint-exempt: O(kept region) role check; phase 4 below
+    // charges per distributed OPF entry, which dominates.
     for (depth, objs) in kept.iter().enumerate() {
         for &o in objs {
             if role_of.insert(o, depth).is_some() {
@@ -114,6 +116,7 @@ fn ancestor_project_timed_budgeted(
             }
         }
     }
+    // checkpoint-exempt: O(kept edges) parent-uniqueness check.
     for depth in 0..n {
         let mut seen: HashMap<ObjectId, ObjectId> = HashMap::new();
         for &o in &kept[depth] {
@@ -138,6 +141,8 @@ fn ancestor_project_timed_budgeted(
     }
     let mut new_nodes: HashMap<ObjectId, NewNode> = HashMap::new();
     timed(&mut times.structure, || {
+        // checkpoint-exempt: O(kept edges) structure rebuild; the
+        // charged phase-4 distribution visits every kept edge again.
         for depth in 0..n {
             for &o in &kept[depth] {
                 let node = weak.node(o).expect("kept object exists");

@@ -1,0 +1,195 @@
+//! Measures what the static pre-flight pass buys the batch engine and
+//! writes the numbers to `BENCH_preflight.json`.
+//!
+//! Usage:
+//! ```text
+//! bench_preflight [--out FILE] [--queries N] [--repeats R]
+//! ```
+//!
+//! The workload is a §7.1 grid instance under fully-random labelling —
+//! located sets are often singletons there, so the `POINT` →
+//! `EXISTS` plan normalisation actually fires. Two phases per mode:
+//!
+//! * **Warm-up pass** — every query in *canonical* form (`EXISTS` over
+//!   each structural-summary label path, plus the dead paths and
+//!   never-located point queries from `pxml_gen::analysis_batch`).
+//! * **Warm passes** — the same workload, but each satisfiable
+//!   singleton path arrives as its equivalent `POINT` twin:
+//!   syntactically distinct, canonically identical.
+//!
+//! The headline number is the *warm hit-rate delta*: plan
+//! normalisation maps a singleton `POINT` and its `EXISTS` twin onto
+//! one `MarginalCache` key, so the pre-flighted engine answers the
+//! variant forms from the cache it warmed in pass 0, while the plain
+//! engine misses each twin and re-evaluates it. Both modes answer the
+//! identical query stream; a checksum asserts the answers agree.
+
+use std::time::Instant;
+
+use pxml_algebra::PathExpr;
+use pxml_core::StructuralSummary;
+use pxml_gen::{analysis_batch, generate, Labeling, WorkloadConfig};
+use pxml_query::{Query, QueryEngine};
+
+struct ModeResult {
+    pass_ms: Vec<f64>,
+    result_hits: u64,
+    result_misses: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    preflight_zeros: u64,
+    preflight_rewrites: u64,
+    footprint_bytes: u64,
+    checksum: f64,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Pass 0 answers `warmup`; passes `1..repeats` answer `warm`. Hits
+/// and misses counted after pass 0 are the warm-pass numbers.
+fn run_mode(
+    pi: &pxml_core::ProbInstance,
+    warmup: &[Query],
+    warm: &[Query],
+    repeats: usize,
+    preflight: bool,
+) -> ModeResult {
+    let engine = QueryEngine::new(pi.clone());
+    engine.set_preflight(preflight);
+    let mut pass_ms = Vec::with_capacity(repeats);
+    let mut checksum = 0.0;
+    let mut cold_hits = 0;
+    let mut cold_misses = 0;
+    for pass in 0..repeats {
+        let batch = if pass == 0 { warmup } else { warm };
+        let started = Instant::now();
+        for r in engine.run_batch(batch) {
+            checksum += r.unwrap_or(0.0);
+        }
+        pass_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        if pass == 0 {
+            let s = engine.stats();
+            cold_hits = s.result_hits;
+            cold_misses = s.result_misses;
+        }
+    }
+    let s = engine.stats();
+    ModeResult {
+        pass_ms,
+        result_hits: s.result_hits,
+        result_misses: s.result_misses,
+        warm_hits: s.result_hits - cold_hits,
+        warm_misses: s.result_misses - cold_misses,
+        preflight_zeros: s.preflight_zeros,
+        preflight_rewrites: s.preflight_rewrites,
+        footprint_bytes: engine.cache_bytes(),
+        checksum,
+    }
+}
+
+fn json_mode(name: &str, m: &ModeResult) -> String {
+    let passes: Vec<String> = m.pass_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+    format!(
+        "  \"{name}\": {{\n    \"pass_ms\": [{}],\n    \"result_hits\": {},\n    \"result_misses\": {},\n    \"overall_hit_rate\": {:.6},\n    \"warm_hit_rate\": {:.6},\n    \"preflight_zeros\": {},\n    \"preflight_rewrites\": {},\n    \"footprint_bytes\": {},\n    \"checksum\": {:.9}\n  }}",
+        passes.join(", "),
+        m.result_hits,
+        m.result_misses,
+        rate(m.result_hits, m.result_misses),
+        rate(m.warm_hits, m.warm_misses),
+        m.preflight_zeros,
+        m.preflight_rewrites,
+        m.footprint_bytes,
+        m.checksum,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = get("--out").unwrap_or_else(|| "BENCH_preflight.json".into());
+    let count: usize = get("--queries").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let repeats: usize = get("--repeats").and_then(|v| v.parse().ok()).unwrap_or(3);
+    assert!(repeats >= 2, "--repeats must be >= 2 (one warm-up pass plus warm passes)");
+
+    // Depth 8 over branching 2 with fully-random labels: located sets
+    // are frequently singletons, so the POINT → EXISTS canonicalisation
+    // has real work to do.
+    let g = generate(&WorkloadConfig::paper(8, 2, Labeling::FullyRandom, 42));
+    let pi = &g.instance;
+    let summary = StructuralSummary::build(pi);
+    let root = pi.root();
+
+    let mut warmup: Vec<Query> = Vec::new();
+    let mut warm: Vec<Query> = Vec::new();
+    let mut twins = 0usize;
+    // Every summary label path in canonical EXISTS form for the
+    // warm-up; singleton paths come back as POINT twins on the warm
+    // passes.
+    for labels in summary.label_paths(8, count) {
+        let path = PathExpr::new(root, labels);
+        let located = pxml_algebra::locate_weak(pi, &path);
+        warmup.push(Query::exists(path.clone()));
+        if located.len() == 1 {
+            warm.push(Query::point(path, located[0]));
+            twins += 1;
+        } else {
+            warm.push(Query::exists(path));
+        }
+    }
+    // Mixed noise from the generator — dead paths and never-located
+    // point queries exercise the zero short-circuit — identical in
+    // both phases.
+    for a in analysis_batch(&g, count.saturating_sub(warmup.len()), 7) {
+        let q = match a.target {
+            Some(t) => Query::point(a.path, t),
+            None => Query::exists(a.path),
+        };
+        warmup.push(q.clone());
+        warm.push(q);
+    }
+    eprintln!(
+        "bench_preflight: {} queries ({twins} point/exists twins) x 1 warm-up + {} warm passes over {} objects",
+        warmup.len(),
+        repeats - 1,
+        pi.object_count()
+    );
+
+    let off = run_mode(pi, &warmup, &warm, repeats, false);
+    let on = run_mode(pi, &warmup, &warm, repeats, true);
+    assert!(
+        (off.checksum - on.checksum).abs() < 1e-6,
+        "pre-flight changed answers: {} vs {}",
+        off.checksum,
+        on.checksum
+    );
+
+    let delta = rate(on.warm_hits, on.warm_misses) - rate(off.warm_hits, off.warm_misses);
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"labeling\": \"fr\", \"depth\": 8, \"branching\": 2,\n    \"queries\": {}, \"point_exists_twins\": {twins}, \"repeats\": {repeats}, \"objects\": {}\n  }},\n{},\n{},\n  \"warm_hit_rate_delta\": {delta:.6}\n}}\n",
+        warmup.len(),
+        pi.object_count(),
+        json_mode("preflight_off", &off),
+        json_mode("preflight_on", &on),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_preflight.json");
+    eprintln!(
+        "warm hit rate: off {:.1}% -> on {:.1}% (delta {:+.1} pp); zeros {}, rewrites {}, footprint {} -> {} B",
+        100.0 * rate(off.warm_hits, off.warm_misses),
+        100.0 * rate(on.warm_hits, on.warm_misses),
+        100.0 * delta,
+        on.preflight_zeros,
+        on.preflight_rewrites,
+        off.footprint_bytes,
+        on.footprint_bytes,
+    );
+    println!("wrote {out}");
+}

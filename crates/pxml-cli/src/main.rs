@@ -3,9 +3,10 @@
 //! ```text
 //! pxml <instance.pxml|instance.pxmlb> <query> [options]
 //! pxml <instance> --stdin                    # one query per input line
-//! pxml batch <instance> [queries.txt] [--threads N] [--stats]
+//! pxml batch <instance> [queries.txt] [--threads N] [--stats] [--preflight]
 //!           [--metrics FILE] [--trace-json FILE] [governance]
 //! pxml check <instance> [--metrics FILE] [governance]  # deep coherence lint
+//! pxml analyze <instance> [queries.txt] [governance]   # static pre-flight
 //!
 //! options:
 //!   --engine auto|tree|naive    engine selection (default auto)
@@ -47,6 +48,16 @@
 //! deep coherence linter over it, printing one finding per line. Exit
 //! status is 0 when no error-severity findings exist, 1 otherwise — so
 //! it slots into shell pipelines and CI.
+//!
+//! `analyze` statically analyses a query workload against the
+//! instance's structural summary without executing anything: per-line
+//! `AQ0xx` diagnostics (unsatisfiable paths, out-of-domain literals,
+//! dead branches, unknown names), work-step and memoisation bounds, and
+//! — with governance flags — pre-flight budget admission (exit 3 when a
+//! query is provably doomed to exhaust its budget). `batch --preflight`
+//! turns the same analysis on inside the engine, short-circuiting
+//! provably-zero queries and normalising equivalent plans onto shared
+//! cache keys.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
@@ -115,6 +126,9 @@ fn real_main() -> Result<(), CliError> {
     }
     if args[0] == "check" {
         return run_check(&args[1..]);
+    }
+    if args[0] == "analyze" {
+        return run_analyze(&args[1..]);
     }
     let mut instance_path: Option<PathBuf> = None;
     let mut query: Option<String> = None;
@@ -215,6 +229,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut show_stats = false;
     let mut metrics_path: Option<PathBuf> = None;
     let mut trace_json_path: Option<PathBuf> = None;
+    let mut preflight = false;
     let mut gov = GovernanceArgs::default();
     let mut i = 0;
     while i < args.len() {
@@ -226,6 +241,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
                     Some(n.parse().map_err(|_| usage_err(format!("bad thread count {n:?}")))?);
             }
             "--stats" => show_stats = true,
+            "--preflight" => preflight = true,
             "--metrics" => {
                 i += 1;
                 metrics_path =
@@ -292,6 +308,9 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     };
     if let Some(bytes) = gov.max_cache_bytes {
         engine.set_max_cache_bytes(bytes);
+    }
+    if preflight {
+        engine.set_preflight(true);
     }
     // Tracing level follows what was asked for: full records for
     // --trace-json, histogram timing for --metrics alone, off otherwise.
@@ -360,6 +379,133 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Exhausted(format!(
             "{exhausted} of {} queries exhausted their budget (rerun with --degrade interval for bracketing answers)",
             translated.len()
+        )));
+    }
+    Ok(())
+}
+
+/// `pxml analyze <instance> [queries.txt] [governance]`.
+///
+/// Static analysis only — nothing is executed. Each input line (file, or
+/// stdin when no file is given; blank lines and `#` comments skipped) is
+/// parsed, name-resolved and checked against the instance's structural
+/// summary, printing one line per finding with its stable `AQ0xx` code.
+/// For the probability queries (`POINT` / `EXISTS` / `CHAIN`) the
+/// engine pre-flight also reports a work-step bound, a memoisation-byte
+/// bound and a probability ceiling.
+///
+/// With governance flags the predicted cost is held against the budget:
+/// a query whose *exact* step count provably exceeds `--max-steps`
+/// under `--degrade error` is reported as `AQ006 budget-rejected` and
+/// the whole run exits 3, so a fleet operator learns about a doomed
+/// batch before spending anything on it.
+fn run_analyze(args: &[String]) -> Result<(), CliError> {
+    let mut instance_path: Option<PathBuf> = None;
+    let mut queries_path: Option<PathBuf> = None;
+    let mut gov = GovernanceArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                gov.timeout =
+                    Some(parse_duration(args.get(i).ok_or("--timeout needs a duration")?)?);
+            }
+            "--max-steps" => {
+                i += 1;
+                gov.max_steps = Some(parse_count(args.get(i), "--max-steps")?);
+            }
+            "--max-cache-bytes" => {
+                i += 1;
+                gov.max_cache_bytes = Some(parse_count(args.get(i), "--max-cache-bytes")?);
+            }
+            "--degrade" => {
+                i += 1;
+                gov.degrade = Some(parse_degrade(args.get(i))?);
+            }
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg if queries_path.is_none() => queries_path = Some(PathBuf::from(arg)),
+            arg => return Err(usage_err(format!("unexpected argument {arg:?}"))),
+        }
+        i += 1;
+    }
+    let instance_path = instance_path.ok_or("missing instance file")?;
+    let pi = load(&instance_path)?;
+    let text = match &queries_path {
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())),
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                .map_err(|e| e.to_string())?;
+            Ok(buf)
+        }
+    }?;
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+
+    let summary = pxml_core::StructuralSummary::build(&pi);
+    let spec = gov.spec();
+    let mut clean = 0usize;
+    let mut rejected = 0usize;
+    for (n, line) in lines.iter().enumerate() {
+        let a = pxml_ql::analyze_text(&pi, &summary, line);
+        let mut flagged = false;
+        for d in &a.diagnostics {
+            println!("line {}: {d}", n + 1);
+            flagged = true;
+        }
+        if let Some(r) = &a.report {
+            if gov.is_governed() {
+                if let Some(ex) = r.predicted_exhaustion(&spec) {
+                    println!(
+                        "line {}: AQ006 budget-rejected: predicted {} steps exceed the \
+                         {}-step budget",
+                        n + 1,
+                        ex.spent,
+                        ex.limit
+                    );
+                    rejected += 1;
+                    flagged = true;
+                }
+            }
+            if let Some(limit) = gov.max_cache_bytes {
+                if r.cost.memo_bytes > limit {
+                    println!(
+                        "line {}: note: predicted memoisation {} B exceeds the {limit} B \
+                         cache ceiling; expect evictions, not errors",
+                        n + 1,
+                        r.cost.memo_bytes
+                    );
+                }
+            }
+        }
+        if !flagged {
+            clean += 1;
+            match &a.report {
+                Some(r) => println!(
+                    "line {}: clean (steps <= {}{}, memo <= {} B, p <= {:.6})",
+                    n + 1,
+                    r.cost.steps,
+                    if r.cost.exact_steps { ", exact" } else { "" },
+                    r.cost.memo_bytes,
+                    r.upper_bound
+                ),
+                None => println!("line {}: clean", n + 1),
+            }
+        }
+    }
+    println!(
+        "analyzed {} queries: {clean} clean, {} flagged, {rejected} budget-rejected",
+        lines.len(),
+        lines.len() - clean
+    );
+    if rejected > 0 {
+        return Err(CliError::Exhausted(format!(
+            "{rejected} of {} queries would exhaust their budget; nothing was executed",
+            lines.len()
         )));
     }
     Ok(())
@@ -668,9 +814,20 @@ fn print_usage() {
 usage:
   pxml <instance.pxml|instance.pxmlb> <query> [--engine auto|tree|naive] [--out FILE]
   pxml <instance> --stdin
-  pxml batch <instance> [queries.txt] [--threads N] [--stats]
+  pxml batch <instance> [queries.txt] [--threads N] [--stats] [--preflight]
             [--metrics FILE] [--trace-json FILE] [governance]
   pxml check <instance> [--metrics FILE] [governance]
+  pxml analyze <instance> [queries.txt] [governance]
+
+static analysis:
+  analyze                   report per-query AQ0xx diagnostics, step and
+                            memo bounds, probability ceilings; with
+                            governance flags, exit 3 if any query would
+                            provably exhaust its budget (nothing runs)
+  --preflight               batch only: analyse each query first —
+                            answer provably-zero queries without
+                            evaluation and canonicalise equivalent plans
+                            onto shared cache keys
 
 observability:
   --metrics FILE            write a Prometheus text exposition dump of

@@ -56,6 +56,7 @@ pub mod opf;
 pub mod pathkey;
 pub mod potential;
 pub mod prob_instance;
+pub mod summary;
 pub mod types;
 pub mod value;
 pub mod vpf;
@@ -73,6 +74,7 @@ pub use lint::{lint, lint_governed, LintClass, LintFinding, LintOutcome, Severit
 pub use opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
 pub use pathkey::{LabelPath, PathSuffix};
 pub use prob_instance::{ProbInstance, ProbInstanceBuilder};
+pub use summary::{EdgeSummary, LeafSummary, ObjectSummary, StructuralSummary};
 pub use types::{LeafType, TypeTable};
 pub use value::Value;
 pub use vpf::Vpf;

@@ -461,6 +461,8 @@ fn lint_structure(
                 }
             }
         }
+        // checkpoint-exempt: O(objects) report pass; the reachability
+        // walk above already charged once per visited node.
         for o in weak.objects() {
             if !reached.contains(&o) {
                 push(out, o, LintClass::Unreachable);
@@ -731,6 +733,8 @@ fn lint_opf(
                 );
             }
             let mut all_finite = true;
+            // checkpoint-exempt: O(universe) finiteness scan; the count
+            // DP below charges per distribution entry.
             for &p in indep.probs() {
                 all_finite &= check_prob(o, p, out);
             }

@@ -96,6 +96,9 @@ pub fn pc_sets_budgeted(
         return Ok(vec![ChildSet::empty(universe)]);
     }
     let mut per_label = Vec::with_capacity(labels.len());
+    // checkpoint-exempt: per-label collection is bounded by the
+    // TooManyPotentialSets limit; the product loop below charges per
+    // combination it materialises.
     for &l in labels.iter() {
         let pls = pl_sets_checked(w, o, l, limit)?;
         if pls.is_empty() {

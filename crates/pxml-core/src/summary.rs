@@ -1,0 +1,445 @@
+//! A DataGuide-style **structural summary** of a probabilistic instance.
+//!
+//! The summary is the static-analysis mirror of the data the §6.1
+//! marginalisation actually walks: for every object it records the
+//! child universe in position order, each edge's *probability ceiling*
+//! (the exact marginal presence probability `Σ_{c∈PC, pos∈c} ℘(c)` —
+//! the highest probability any query can extract from that edge), the
+//! per-label weak-traversability flag that `weak_edges` applies
+//! (cardinality `max ≥ 1`), and — for leaves — a digest of the value
+//! domain (the VPF support and its maximum mass).
+//!
+//! Built once per instance, the summary answers the questions a query
+//! pre-flight needs without touching the OPF tables again:
+//!
+//! * which objects a label path can reach ([`StructuralSummary::layers`],
+//!   mirroring `layers_weak` exactly),
+//! * which of those remain reachable through strictly-positive edges
+//!   ([`StructuralSummary::positive_layers`] — an empty positive layer
+//!   proves the query answer is exactly zero),
+//! * which root-to-target region a point/existential query keeps
+//!   ([`StructuralSummary::kept`], mirroring the engine's backward
+//!   kept-roles pass) and whether that region is tree-shaped
+//!   ([`StructuralSummary::tree_violation`]),
+//! * whether a literal value can possibly be taken by a located leaf
+//!   ([`LeafSummary::supports`]).
+//!
+//! The construction is total: instances that would fail validation
+//! (missing OPFs, dangling children) degrade to *conservative* ceilings
+//! of 1.0 and open value domains, so every verdict derived from the
+//! summary stays sound on hostile input.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{Label, ObjectId, TypeId};
+use crate::prob_instance::ProbInstance;
+use crate::value::Value;
+
+/// One potential child edge of an object, in universe-position order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeSummary {
+    /// The edge's position in the parent's child universe.
+    pub pos: u32,
+    /// The child object.
+    pub child: ObjectId,
+    /// The edge label.
+    pub label: Label,
+    /// The marginal probability that the edge is present, conditional
+    /// on the parent being present: `Σ_{c ∈ PC(o), pos ∈ c} ℘(c)`.
+    /// This is an exact marginal when the parent has an OPF and the
+    /// conservative ceiling `1.0` otherwise.
+    pub ceiling: f64,
+    /// Whether `weak_edges` traverses this edge: the effective
+    /// cardinality of `label` at the parent has `max ≥ 1`.
+    pub traversable: bool,
+}
+
+/// A digest of a leaf's value domain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeafSummary {
+    /// The leaf's declared type `τ(o)`.
+    pub ty: TypeId,
+    /// The values the leaf can take with positive probability: the VPF
+    /// support, or the fixed `val(o)` when no VPF is attached.
+    pub values: Vec<Value>,
+    /// The largest single-value mass in the VPF (1.0 for fixed values
+    /// or open domains).
+    pub max_prob: f64,
+    /// True when the domain could not be determined (no VPF and no
+    /// fixed value) — out-of-domain verdicts must be suppressed.
+    pub open: bool,
+}
+
+impl LeafSummary {
+    /// Whether `v` can be taken with positive probability. Open
+    /// domains conservatively support everything.
+    pub fn supports(&self, v: &Value) -> bool {
+        self.open || self.values.iter().any(|w| w == v)
+    }
+}
+
+/// Per-object entry of the structural summary.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectSummary {
+    /// The child universe with ceilings, in position order.
+    pub edges: Vec<EdgeSummary>,
+    /// The value-domain digest when the object is a leaf.
+    pub leaf: Option<LeafSummary>,
+}
+
+impl ObjectSummary {
+    /// The universe position of `child`, mirroring
+    /// `ChildUniverse::position` (first occurrence wins).
+    pub fn position(&self, child: ObjectId) -> Option<u32> {
+        self.edges.iter().find(|e| e.child == child).map(|e| e.pos)
+    }
+
+    /// The edge ceiling at universe position `pos`, if any.
+    pub fn ceiling_at(&self, pos: u32) -> Option<f64> {
+        self.edges.iter().find(|e| e.pos == pos).map(|e| e.ceiling)
+    }
+}
+
+/// The structural summary of one [`ProbInstance`]. See the module
+/// docs for what it records and which walks it supports.
+#[derive(Clone, Debug)]
+pub struct StructuralSummary {
+    root: ObjectId,
+    objects: BTreeMap<ObjectId, ObjectSummary>,
+}
+
+impl StructuralSummary {
+    /// Builds the summary. Total and panic-free: objects without OPFs
+    /// get conservative ceilings of 1.0, leaves without VPFs or fixed
+    /// values get open domains.
+    pub fn build(pi: &ProbInstance) -> Self {
+        let w = pi.weak();
+        let mut objects = BTreeMap::new();
+        for o in w.objects() {
+            let Some(node) = w.node(o) else { continue };
+            let opf = pi.opf(o);
+            let mut edges = Vec::with_capacity(node.universe().len());
+            for (pos, child, label) in node.universe().iter() {
+                let ceiling = opf.map_or(1.0, |f| f.marginal_present(pos));
+                // Guard against denormal / NaN-producing OPFs on
+                // unvalidated input: a non-finite or negative marginal
+                // degrades to the conservative ceiling.
+                let ceiling = if ceiling.is_finite() && ceiling >= 0.0 {
+                    ceiling.min(1.0)
+                } else {
+                    1.0
+                };
+                let traversable = node.card(label).max >= 1;
+                edges.push(EdgeSummary { pos, child, label, ceiling, traversable });
+            }
+            let leaf = node.leaf().map(|info| {
+                let ty = info.ty;
+                match pi.vpf(o) {
+                    Some(vpf) => {
+                        let values: Vec<Value> = vpf
+                            .iter()
+                            .filter(|&(_, p)| p > 0.0)
+                            .map(|(v, _)| v.clone())
+                            .collect();
+                        let max_prob =
+                            vpf.iter().map(|(_, p)| p).fold(0.0_f64, f64::max).clamp(0.0, 1.0);
+                        LeafSummary { ty, values, max_prob, open: false }
+                    }
+                    None => match &info.val {
+                        Some(v) => LeafSummary {
+                            ty,
+                            values: vec![v.clone()],
+                            max_prob: 1.0,
+                            open: false,
+                        },
+                        None => {
+                            LeafSummary { ty, values: Vec::new(), max_prob: 1.0, open: true }
+                        }
+                    },
+                }
+            });
+            objects.insert(o, ObjectSummary { edges, leaf });
+        }
+        StructuralSummary { root: w.root(), objects }
+    }
+
+    /// The summarised instance's root object.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// The number of summarised objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The summary entry for `o`, if the object exists.
+    pub fn object(&self, o: ObjectId) -> Option<&ObjectSummary> {
+        self.objects.get(&o)
+    }
+
+    /// Iterates the summarised objects in `ObjectId` order.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, &ObjectSummary)> {
+        self.objects.iter().map(|(&o, s)| (o, s))
+    }
+
+    /// The per-depth layers a label path reaches, mirroring
+    /// `layers_weak` exactly: layer 0 is `[root]`, layer `d+1` is the
+    /// sorted, deduplicated set of `labels[d]`-children of layer `d`
+    /// reachable through weak-traversable edges. A `root` different
+    /// from the instance root yields `labels.len() + 1` empty layers.
+    pub fn layers(&self, root: ObjectId, labels: &[Label]) -> Vec<Vec<ObjectId>> {
+        self.walk(root, labels, |_| true)
+    }
+
+    /// Like [`StructuralSummary::layers`] but following only edges with
+    /// a strictly positive ceiling. Any object in a weak layer that is
+    /// absent from the corresponding positive layer is *blocked*: every
+    /// root path to it crosses an edge of marginal probability exactly
+    /// zero, so its contribution to the query answer is exactly zero.
+    pub fn positive_layers(&self, root: ObjectId, labels: &[Label]) -> Vec<Vec<ObjectId>> {
+        self.walk(root, labels, |e| e.ceiling > 0.0)
+    }
+
+    fn walk(
+        &self,
+        root: ObjectId,
+        labels: &[Label],
+        admit: impl Fn(&EdgeSummary) -> bool,
+    ) -> Vec<Vec<ObjectId>> {
+        if root != self.root {
+            return vec![Vec::new(); labels.len() + 1];
+        }
+        let mut layers = Vec::with_capacity(labels.len() + 1);
+        layers.push(vec![self.root]);
+        for &label in labels {
+            let prev = layers.last().map(Vec::as_slice).unwrap_or(&[]);
+            let mut next: Vec<ObjectId> = prev
+                .iter()
+                .filter_map(|&o| self.objects.get(&o))
+                .flat_map(|s| {
+                    s.edges
+                        .iter()
+                        .filter(|e| e.traversable && e.label == label && admit(e))
+                        .map(|e| e.child)
+                })
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            layers.push(next);
+        }
+        layers
+    }
+
+    /// The backward kept-roles pass of the engine's `kept_region`: the
+    /// final layer is restricted to `targets` (sorted, deduplicated)
+    /// and each earlier layer keeps the objects with at least one kept
+    /// child through a weak-traversable edge of the right label.
+    pub fn kept(
+        &self,
+        layers: &[Vec<ObjectId>],
+        labels: &[Label],
+        targets: &[ObjectId],
+    ) -> Vec<Vec<ObjectId>> {
+        let n = labels.len();
+        if layers.len() != n + 1 {
+            return vec![Vec::new(); n + 1];
+        }
+        let mut kept: Vec<Vec<ObjectId>> = vec![Vec::new(); n + 1];
+        let mut final_layer: Vec<ObjectId> = targets.to_vec();
+        final_layer.sort_unstable();
+        final_layer.dedup();
+        kept[n] = final_layer;
+        for i in (0..n).rev() {
+            let mut layer: Vec<ObjectId> = layers[i]
+                .iter()
+                .copied()
+                .filter(|&o| {
+                    self.objects.get(&o).is_some_and(|s| {
+                        s.edges.iter().any(|e| {
+                            e.traversable
+                                && e.label == labels[i]
+                                && kept[i + 1].binary_search(&e.child).is_ok()
+                        })
+                    })
+                })
+                .collect();
+            layer.sort_unstable();
+            layer.dedup();
+            kept[i] = layer;
+        }
+        kept
+    }
+
+    /// The engine's tree-shape check over a kept region: every kept
+    /// object must appear at exactly one depth and have at most one
+    /// kept parent per depth (parenthood judged on the *raw* child
+    /// list, mirroring `kept_region`). Returns the first offending
+    /// object, or `None` when the region is tree-shaped.
+    pub fn tree_violation(&self, kept: &[Vec<ObjectId>], labels: &[Label]) -> Option<ObjectId> {
+        let n = labels.len();
+        if kept.len() != n + 1 {
+            return None;
+        }
+        let mut role_of: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        for (depth, objs) in kept.iter().enumerate() {
+            for &x in objs {
+                if role_of.insert(x, depth).is_some() {
+                    return Some(x);
+                }
+            }
+        }
+        for depth in 0..n {
+            let mut parent_of: BTreeMap<ObjectId, ObjectId> = BTreeMap::new();
+            for &x in &kept[depth] {
+                let Some(s) = self.objects.get(&x) else { continue };
+                for e in &s.edges {
+                    if e.label == labels[depth] && kept[depth + 1].binary_search(&e.child).is_ok()
+                    {
+                        if let Some(prev) = parent_of.insert(e.child, x) {
+                            if prev != x {
+                                return Some(e.child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// An upper bound on the probability that object `v` at depth `d`
+    /// of `kept` is present, propagated root-down through edge
+    /// ceilings with union bounds: `ub(root) = 1`,
+    /// `ub(v) = min(1, Σ_{kept parents p} ub(p) · ceiling(p→v))`.
+    /// Returns per-depth maps aligned with `kept`.
+    pub fn presence_ceilings(
+        &self,
+        kept: &[Vec<ObjectId>],
+        labels: &[Label],
+    ) -> Vec<BTreeMap<ObjectId, f64>> {
+        let n = labels.len();
+        let mut ub: Vec<BTreeMap<ObjectId, f64>> = Vec::with_capacity(kept.len());
+        let mut first: BTreeMap<ObjectId, f64> = BTreeMap::new();
+        for &o in kept.first().map(Vec::as_slice).unwrap_or(&[]) {
+            first.insert(o, 1.0);
+        }
+        ub.push(first);
+        for depth in 0..n.min(kept.len().saturating_sub(1)) {
+            let mut next: BTreeMap<ObjectId, f64> = BTreeMap::new();
+            for &p in &kept[depth] {
+                let Some(&up) = ub[depth].get(&p) else { continue };
+                let Some(s) = self.objects.get(&p) else { continue };
+                for e in &s.edges {
+                    if e.traversable
+                        && e.label == labels[depth]
+                        && kept[depth + 1].binary_search(&e.child).is_ok()
+                    {
+                        let acc = next.entry(e.child).or_insert(0.0);
+                        *acc = (*acc + up * e.ceiling).min(1.0);
+                    }
+                }
+            }
+            ub.push(next);
+        }
+        ub
+    }
+
+    /// Enumerates the distinct label paths reachable from the root up
+    /// to `max_depth` edges, in breadth-first order — the classic
+    /// DataGuide view of the summary. Paths are capped at `max_paths`
+    /// entries to stay total on adversarial fan-outs.
+    pub fn label_paths(&self, max_depth: usize, max_paths: usize) -> Vec<Vec<Label>> {
+        let mut out: Vec<Vec<Label>> = Vec::new();
+        // Frontier of (objects, path) pairs; objects deduplicated.
+        let mut frontier: Vec<(Vec<ObjectId>, Vec<Label>)> = vec![(vec![self.root], Vec::new())];
+        for _ in 0..max_depth {
+            let mut next_frontier: Vec<(Vec<ObjectId>, Vec<Label>)> = Vec::new();
+            for (objs, path) in &frontier {
+                let mut labels: Vec<Label> = objs
+                    .iter()
+                    .filter_map(|o| self.objects.get(o))
+                    .flat_map(|s| s.edges.iter().filter(|e| e.traversable).map(|e| e.label))
+                    .collect();
+                labels.sort_unstable();
+                labels.dedup();
+                for label in labels {
+                    let mut children: Vec<ObjectId> = objs
+                        .iter()
+                        .filter_map(|o| self.objects.get(o))
+                        .flat_map(|s| {
+                            s.edges
+                                .iter()
+                                .filter(|e| e.traversable && e.label == label)
+                                .map(|e| e.child)
+                        })
+                        .collect();
+                    children.sort_unstable();
+                    children.dedup();
+                    let mut p = path.clone();
+                    p.push(label);
+                    if out.len() >= max_paths {
+                        return out;
+                    }
+                    out.push(p.clone());
+                    next_frontier.push((children, p));
+                }
+            }
+            if next_frontier.is_empty() {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig2_instance;
+
+    #[test]
+    fn summary_layers_match_instance_shape() {
+        let pi = fig2_instance();
+        let s = StructuralSummary::build(&pi);
+        assert_eq!(s.root(), pi.root());
+        assert_eq!(s.object_count(), pi.object_count());
+        let book = pi.lid("book").unwrap();
+        let title = pi.lid("title").unwrap();
+        let layers = s.layers(pi.root(), &[book, title]);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], vec![pi.root()]);
+        assert!(!layers[2].is_empty());
+        // A wrong root yields all-empty layers, like layers_weak.
+        let b1 = pi.oid("B1").unwrap();
+        let wrong = s.layers(b1, &[title]);
+        assert!(wrong.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn ceilings_are_probabilities() {
+        let pi = fig2_instance();
+        let s = StructuralSummary::build(&pi);
+        for (_, os) in s.objects() {
+            for e in &os.edges {
+                assert!((0.0..=1.0).contains(&e.ceiling));
+            }
+            if let Some(leaf) = &os.leaf {
+                assert!(leaf.max_prob <= 1.0);
+                assert!(!leaf.open);
+            }
+        }
+    }
+
+    #[test]
+    fn label_paths_enumerate_the_dataguide() {
+        let pi = fig2_instance();
+        let s = StructuralSummary::build(&pi);
+        let paths = s.label_paths(3, 64);
+        let book = pi.lid("book").unwrap();
+        let title = pi.lid("title").unwrap();
+        assert!(paths.contains(&vec![book]));
+        assert!(paths.contains(&vec![book, title]));
+    }
+}

@@ -163,6 +163,8 @@ pub fn enumerate_worlds_budgeted(
     let order = pi.weak().topo_order()?;
     // Pre-materialise every OPF to a table once.
     let mut tables: IdMap<ObjectKind, OpfTable> = IdMap::new();
+    // checkpoint-exempt: one-time O(objects) table build; the recursive
+    // enumeration charges per emitted world.
     for o in pi.objects() {
         if let Some(opf) = pi.opf(o) {
             let node = pi.weak().node(o).expect("object exists");

@@ -31,12 +31,14 @@
 #![warn(rust_2018_idioms)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 
+pub use analyze::{analyze as analyze_text, analyze_query, QueryAnalysis};
 pub use ast::{PathText, ProjectKind, Query};
 pub use error::{QlError, Result};
 pub use exec::{execute, run, Engine, Output};

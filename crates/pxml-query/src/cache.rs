@@ -117,10 +117,10 @@ pub struct MarginalCache {
 /// Flat per-entry cost estimates (key + value + hash-table slot). The
 /// variable-length parts (chain object lists, layer vectors) are added
 /// on top at the insert sites.
-const RESULT_ENTRY_BYTES: u64 = 96;
-const LAYERS_ENTRY_BYTES: u64 = 64;
-const EPS_ENTRY_BYTES: u64 = 80;
-const LINK_ENTRY_BYTES: u64 = 40;
+pub(crate) const RESULT_ENTRY_BYTES: u64 = 96;
+pub(crate) const LAYERS_ENTRY_BYTES: u64 = 64;
+pub(crate) const EPS_ENTRY_BYTES: u64 = 80;
+pub(crate) const LINK_ENTRY_BYTES: u64 = 40;
 
 impl MarginalCache {
     /// An empty cache.

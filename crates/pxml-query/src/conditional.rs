@@ -81,6 +81,8 @@ pub fn presence_probability_budgeted(
     let parents = pi.weak().parents();
     let mut chain = vec![o];
     let mut cur = o;
+    // checkpoint-exempt: ancestor walk bounded by object_count with an
+    // explicit escape; the chain walk below charges one step per link.
     while cur != pi.root() {
         match parents.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
             [] => return Ok(0.0),

@@ -137,6 +137,8 @@ fn matching_chains(
         current = next;
     }
     let mut out = Vec::new();
+    // checkpoint-exempt: O(MAX_CHAINS) collection pass; every chain in
+    // `current` was charged when it was extended above.
     for t in targets {
         if let Some(cs) = current.get(t) {
             out.extend(cs.iter().cloned());

@@ -17,14 +17,16 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
 use pxml_core::catalog::DisplayObject;
-use pxml_core::{Budget, CancelToken, LabelPath, ObjectId, ProbInstance};
+use pxml_core::summary::StructuralSummary;
+use pxml_core::{Budget, CancelToken, Exhausted, LabelPath, ObjectId, ProbInstance};
 use pxml_interval::Interval;
 use std::sync::Arc;
 
@@ -34,6 +36,7 @@ use crate::dag::{exists_query_dag_governed, point_query_dag_governed, DagOutcome
 use crate::error::{QueryError, Result};
 use crate::metrics::MetricsRegistry;
 use crate::point::{epsilon_root_interval, epsilon_root_with, EpsHook};
+use crate::preflight;
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing, TraceTally};
 
@@ -183,6 +186,12 @@ pub struct QueryEngine {
     trace_mode: AtomicU8,
     traces: TraceRing,
     trace_seq: AtomicU64,
+    /// Lazily-built structural summary backing the pre-flight stage
+    /// and the `analyze` surface.
+    summary: OnceLock<Arc<StructuralSummary>>,
+    /// Opt-in static pre-flight stage; one relaxed load gates it, so
+    /// the default-off hot path is unchanged.
+    preflight: AtomicBool,
 }
 
 const TRACE_OFF: u8 = 0;
@@ -215,7 +224,30 @@ impl QueryEngine {
             trace_mode: AtomicU8::new(TRACE_OFF),
             traces: TraceRing::default(),
             trace_seq: AtomicU64::new(0),
+            summary: OnceLock::new(),
+            preflight: AtomicBool::new(false),
         }
+    }
+
+    /// The structural summary of the instance, built on first use and
+    /// shared by every later pre-flight.
+    pub fn summary(&self) -> &Arc<StructuralSummary> {
+        self.summary.get_or_init(|| Arc::new(StructuralSummary::build(&self.pi)))
+    }
+
+    /// Switches the static pre-flight stage on or off (off by
+    /// default). When on, every query is normalised and checked
+    /// against the structural summary before evaluation: provably-zero
+    /// queries short-circuit to exact `0.0`, canonicalised plans share
+    /// result-cache keys, and governed queries whose exact predicted
+    /// step count exceeds the budget are rejected without spending it.
+    pub fn set_preflight(&self, on: bool) {
+        self.preflight.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the pre-flight stage is enabled.
+    pub fn preflight_enabled(&self) -> bool {
+        self.preflight.load(Ordering::Relaxed)
     }
 
     /// The instance being queried.
@@ -381,6 +413,21 @@ impl QueryEngine {
             "Budget deadline/cancellation polls (checkpoint events).",
             s.budget_polls,
         );
+        reg.counter(
+            "pxml_preflight_zeros_total",
+            "Queries short-circuited to exact 0.0 by the static pre-flight.",
+            s.preflight_zeros,
+        );
+        reg.counter(
+            "pxml_preflight_rewrites_total",
+            "Queries canonicalised by the pre-flight plan normaliser.",
+            s.preflight_rewrites,
+        );
+        reg.counter(
+            "pxml_preflight_rejections_total",
+            "Governed queries rejected by pre-flight admission control.",
+            s.preflight_rejections,
+        );
         reg.counter_f64(
             "pxml_locate_seconds_total",
             "Wall time locating path layers (forward pass).",
@@ -422,20 +469,76 @@ impl QueryEngine {
 
     /// Answers one query through the shared cache.
     pub fn run(&self, q: &Query) -> Result<f64> {
-        // Hot path: with tracing off this is the seed-identical code —
-        // the observability layer costs one relaxed load and a branch.
+        // Hot path: with tracing and pre-flight off this is the
+        // seed-identical code — the two opt-in layers cost one relaxed
+        // load and a branch each.
         if self.trace_mode.load(Ordering::Relaxed) == TRACE_OFF {
-            self.stats.count_query();
-            if let Some(r) = self.cache.get_result(q) {
-                self.stats.count_result(true);
-                return r;
+            if self.preflight.load(Ordering::Relaxed) {
+                return self.run_preflighted(q);
             }
-            self.stats.count_result(false);
-            let r = self.evaluate(q, None);
-            self.cache.put_result(q.clone(), r.clone());
-            return r;
+            return self.run_inner(q);
         }
         self.run_observed(q)
+    }
+
+    /// The untraced evaluation path: count, memo lookup, evaluate,
+    /// writeback.
+    fn run_inner(&self, q: &Query) -> Result<f64> {
+        self.stats.count_query();
+        if let Some(r) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return r;
+        }
+        self.stats.count_result(false);
+        let r = self.evaluate(q, None);
+        self.cache.put_result(q.clone(), r.clone());
+        r
+    }
+
+    /// [`QueryEngine::run`] behind the opt-in pre-flight stage:
+    /// provably-zero queries return exact `0.0` without evaluation and
+    /// canonicalisable plans are rewritten onto their canonical cache
+    /// key. The result cache is probed *before* any analysis — a
+    /// memoised answer needs no verdict, so steady-state serving pays
+    /// nothing for pre-flight — and a proved zero is written back as an
+    /// ordinary exact result, so each zero is proved once, not per
+    /// encounter.
+    #[inline(never)]
+    fn run_preflighted(&self, q: &Query) -> Result<f64> {
+        self.stats.count_query();
+        if let Some(r) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return r;
+        }
+        let report = preflight::analyze(self.summary(), q);
+        if report.is_provably_zero() {
+            self.stats.count_result(false);
+            self.stats.count_preflight_zero();
+            self.cache.put_result(q.clone(), Ok(0.0));
+            return Ok(0.0);
+        }
+        match report.normalised {
+            Some(nq) => {
+                self.stats.count_preflight_rewrite();
+                // The canonical key may be warm even though the
+                // original's probe above missed.
+                if let Some(r) = self.cache.get_result(&nq) {
+                    self.stats.count_result(true);
+                    return r;
+                }
+                self.evaluate_preflight_miss(&nq)
+            }
+            None => self.evaluate_preflight_miss(q),
+        }
+    }
+
+    /// Miss path behind [`QueryEngine::run_preflighted`]: the caller
+    /// already counted the query and probed the (canonical) key.
+    fn evaluate_preflight_miss(&self, q: &Query) -> Result<f64> {
+        self.stats.count_result(false);
+        let r = self.evaluate(q, None);
+        self.cache.put_result(q.clone(), r.clone());
+        r
     }
 
     /// [`QueryEngine::run`] with per-query observation: phase spans,
@@ -446,6 +549,37 @@ impl QueryEngine {
     #[inline(never)]
     fn run_observed(&self, q: &Query) -> Result<f64> {
         let started = Instant::now();
+        if self.preflight.load(Ordering::Relaxed) {
+            let report = preflight::analyze(self.summary(), q);
+            if report.is_provably_zero() {
+                self.stats.count_query();
+                self.stats.count_preflight_zero();
+                let total = started.elapsed().as_nanos() as u64;
+                self.stats.observe_query_nanos(total);
+                if self.trace_mode.load(Ordering::Relaxed) == TRACE_FULL {
+                    self.push_trace(
+                        q,
+                        &TraceTally::default(),
+                        total,
+                        TraceOutcome::PreflightZero,
+                        0.0,
+                        0.0,
+                        None,
+                    );
+                }
+                return Ok(0.0);
+            }
+            if let Some(nq) = report.normalised {
+                self.stats.count_preflight_rewrite();
+                return self.run_observed_inner(&nq, started);
+            }
+        }
+        self.run_observed_inner(q, started)
+    }
+
+    /// The traced evaluation path, timed from `started` (which may
+    /// include a pre-flight stage).
+    fn run_observed_inner(&self, q: &Query, started: Instant) -> Result<f64> {
         self.stats.count_query();
         let mut tally = TraceTally::default();
         let r = if let Some(r) = self.cache.get_result(q) {
@@ -524,19 +658,81 @@ impl QueryEngine {
     ///   degraded and DAG-fallback answers are never cached.
     pub fn run_governed(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
         if self.trace_mode.load(Ordering::Relaxed) == TRACE_OFF {
-            self.stats.count_query();
-            if let Some(Ok(v)) = self.cache.get_result(q) {
-                self.stats.count_result(true);
-                return Ok(Answer::Exact(v));
+            if self.preflight.load(Ordering::Relaxed) {
+                return self.run_governed_preflighted(q, spec);
             }
-            self.stats.count_result(false);
-            let budget = spec.budget();
-            let (r, cacheable) = self.evaluate_governed(q, spec, &budget, None);
-            self.finish_governed(q, &r, cacheable);
-            self.stats.add_budget_spend(budget.steps_spent(), budget.polls_performed());
-            return r;
+            return self.run_governed_inner(q, spec);
         }
         self.run_governed_observed(q, spec)
+    }
+
+    /// The untraced governed path: count, memo lookup, miss handling.
+    fn run_governed_inner(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
+        self.stats.count_query();
+        if let Some(Ok(v)) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return Ok(Answer::Exact(v));
+        }
+        self.run_governed_miss(q, spec, None)
+    }
+
+    /// Governed miss path. `admission` carries a pre-flight verdict
+    /// that the budget is certain to exhaust; reaching here means every
+    /// cache probe missed, so honouring it now preserves the invariant
+    /// that a memoised exact answer never opens a budget and always
+    /// wins over admission control.
+    fn run_governed_miss(
+        &self,
+        q: &Query,
+        spec: &BudgetSpec,
+        admission: Option<Exhausted>,
+    ) -> Result<Answer> {
+        self.stats.count_result(false);
+        if let Some(ex) = admission {
+            self.stats.count_preflight_rejection();
+            self.stats.count_exhausted();
+            return Err(QueryError::Core(pxml_core::CoreError::Exhausted(ex)));
+        }
+        let budget = spec.budget();
+        let (r, cacheable) = self.evaluate_governed(q, spec, &budget, None);
+        self.finish_governed(q, &r, cacheable);
+        self.stats.add_budget_spend(budget.steps_spent(), budget.polls_performed());
+        r
+    }
+
+    /// [`QueryEngine::run_governed`] behind the pre-flight stage:
+    /// provable zeros short-circuit (and are memoised, like the
+    /// ungoverned path), plans are canonicalised, and budget-doomed
+    /// queries (exact step prediction above the ceiling under
+    /// [`DegradePolicy::Error`]) are refused without spending. The
+    /// result cache is probed before analysis, so warm serving pays
+    /// nothing and cache hits keep winning over admission control.
+    #[inline(never)]
+    fn run_governed_preflighted(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
+        self.stats.count_query();
+        if let Some(Ok(v)) = self.cache.get_result(q) {
+            self.stats.count_result(true);
+            return Ok(Answer::Exact(v));
+        }
+        let report = preflight::analyze(self.summary(), q);
+        if report.is_provably_zero() {
+            self.stats.count_result(false);
+            self.stats.count_preflight_zero();
+            self.cache.put_result(q.clone(), Ok(0.0));
+            return Ok(Answer::Exact(0.0));
+        }
+        let admission = report.predicted_exhaustion(spec);
+        match report.normalised {
+            Some(nq) => {
+                self.stats.count_preflight_rewrite();
+                if let Some(Ok(v)) = self.cache.get_result(&nq) {
+                    self.stats.count_result(true);
+                    return Ok(Answer::Exact(v));
+                }
+                self.run_governed_miss(&nq, spec, admission)
+            }
+            None => self.run_governed_miss(q, spec, admission),
+        }
     }
 
     /// Post-evaluation accounting shared by the governed paths: result
@@ -563,12 +759,59 @@ impl QueryEngine {
     #[inline(never)]
     fn run_governed_observed(&self, q: &Query, spec: &BudgetSpec) -> Result<Answer> {
         let started = Instant::now();
+        if self.preflight.load(Ordering::Relaxed) {
+            let report = preflight::analyze(self.summary(), q);
+            if report.is_provably_zero() {
+                self.stats.count_query();
+                self.stats.count_preflight_zero();
+                let total = started.elapsed().as_nanos() as u64;
+                self.stats.observe_query_nanos(total);
+                if self.trace_mode.load(Ordering::Relaxed) == TRACE_FULL {
+                    self.push_trace(
+                        q,
+                        &TraceTally::default(),
+                        total,
+                        TraceOutcome::PreflightZero,
+                        0.0,
+                        0.0,
+                        None,
+                    );
+                }
+                return Ok(Answer::Exact(0.0));
+            }
+            let admission = report.predicted_exhaustion(spec);
+            return match report.normalised {
+                Some(nq) => {
+                    self.stats.count_preflight_rewrite();
+                    self.run_governed_observed_inner(&nq, spec, started, admission)
+                }
+                None => self.run_governed_observed_inner(q, spec, started, admission),
+            };
+        }
+        self.run_governed_observed_inner(q, spec, started, None)
+    }
+
+    /// The traced governed path, timed from `started`. `admission` has
+    /// the same cache-miss-only semantics as in
+    /// [`QueryEngine::run_governed_inner`].
+    fn run_governed_observed_inner(
+        &self,
+        q: &Query,
+        spec: &BudgetSpec,
+        started: Instant,
+        admission: Option<Exhausted>,
+    ) -> Result<Answer> {
         self.stats.count_query();
         let mut tally = TraceTally::default();
         let r = if let Some(Ok(v)) = self.cache.get_result(q) {
             self.stats.count_result(true);
             tally.result_hit = true;
             Ok(Answer::Exact(v))
+        } else if let Some(ex) = admission {
+            self.stats.count_result(false);
+            self.stats.count_preflight_rejection();
+            self.stats.count_exhausted();
+            Err(QueryError::Core(pxml_core::CoreError::Exhausted(ex)))
         } else {
             self.stats.count_result(false);
             let budget = spec.budget();

@@ -65,6 +65,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod point;
+pub mod preflight;
 pub mod stats;
 pub mod trace;
 
@@ -79,6 +80,7 @@ pub use engine::{Answer, BudgetSpec, DegradePolicy, Query, QueryEngine};
 pub use error::{QueryError, Result};
 pub use metrics::MetricsRegistry;
 pub use point::{exists_query, exists_query_budgeted, point_query, point_query_budgeted};
+pub use preflight::{analyze, normalise, CostEstimate, DiagCode, Diagnostic, Report, Verdict};
 pub use stats::{EngineStats, HistSnapshot, LogHistogram, StatsSnapshot};
 pub use trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing};
 

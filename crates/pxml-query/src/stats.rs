@@ -165,6 +165,15 @@ pub struct EngineStats {
     pub budget_steps_spent: AtomicU64,
     /// Budget deadline/cancellation polls performed by governed queries.
     pub budget_polls: AtomicU64,
+    /// Queries short-circuited to exact `0.0` by the static pre-flight
+    /// (`ProvablyZero` verdicts) without touching the evaluator.
+    pub preflight_zeros: AtomicU64,
+    /// Queries rewritten to a canonical equivalent plan by the
+    /// pre-flight normaliser before cache lookup.
+    pub preflight_rewrites: AtomicU64,
+    /// Governed queries rejected by pre-flight admission control (the
+    /// predicted exact step count exceeded the budget).
+    pub preflight_rejections: AtomicU64,
     /// Nanoseconds spent locating path layers (forward pass).
     pub locate_nanos: AtomicU64,
     /// Nanoseconds spent in ε / chain marginalisation.
@@ -226,6 +235,15 @@ impl EngineStats {
         self.budget_steps_spent.fetch_add(steps, Ordering::Relaxed);
         self.budget_polls.fetch_add(polls, Ordering::Relaxed);
     }
+    pub(crate) fn count_preflight_zero(&self) {
+        bump!(self.preflight_zeros);
+    }
+    pub(crate) fn count_preflight_rewrite(&self) {
+        bump!(self.preflight_rewrites);
+    }
+    pub(crate) fn count_preflight_rejection(&self) {
+        bump!(self.preflight_rejections);
+    }
     pub(crate) fn add_locate(&self, d: Duration) {
         self.locate_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -260,6 +278,9 @@ impl EngineStats {
             &self.queries_exhausted,
             &self.budget_steps_spent,
             &self.budget_polls,
+            &self.preflight_zeros,
+            &self.preflight_rewrites,
+            &self.preflight_rejections,
             &self.locate_nanos,
             &self.marginal_nanos,
             &self.batch_nanos,
@@ -300,6 +321,9 @@ impl EngineStats {
             queries_exhausted,
             budget_steps_spent: g(&self.budget_steps_spent),
             budget_polls: g(&self.budget_polls),
+            preflight_zeros: g(&self.preflight_zeros),
+            preflight_rewrites: g(&self.preflight_rewrites),
+            preflight_rejections: g(&self.preflight_rejections),
             cache_evictions: 0,
             locate_nanos: g(&self.locate_nanos),
             marginal_nanos: g(&self.marginal_nanos),
@@ -342,6 +366,12 @@ pub struct StatsSnapshot {
     pub budget_steps_spent: u64,
     /// Budget deadline/cancellation polls performed.
     pub budget_polls: u64,
+    /// Queries short-circuited to exact `0.0` by the pre-flight.
+    pub preflight_zeros: u64,
+    /// Queries canonicalised by the pre-flight normaliser.
+    pub preflight_rewrites: u64,
+    /// Governed queries rejected by pre-flight admission control.
+    pub preflight_rejections: u64,
     /// Whole-table cache evictions under the byte ceiling (merged in
     /// from the cache by `QueryEngine::stats`).
     pub cache_evictions: u64,
@@ -499,6 +529,11 @@ impl fmt::Display for StatsSnapshot {
             "budget             steps {}  polls {}",
             self.budget_steps_spent, self.budget_polls,
         )?;
+        writeln!(
+            f,
+            "preflight          zeros {}  rewrites {}  rejections {}",
+            self.preflight_zeros, self.preflight_rewrites, self.preflight_rejections,
+        )?;
         write!(
             f,
             "wall time          locate {:.3} ms, marginal {:.3} ms, batch {:.3} ms",
@@ -604,6 +639,7 @@ mod tests {
         assert!(txt.contains("OPF entries seen"));
         assert!(txt.contains("governance"));
         assert!(txt.contains("budget"));
+        assert!(txt.contains("preflight"));
         assert!(txt.contains("wall time"));
     }
 

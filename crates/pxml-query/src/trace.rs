@@ -87,6 +87,9 @@ pub enum TraceOutcome {
     Exhausted,
     /// Any other query error (structural, not-tree-shaped, …).
     Error,
+    /// The static pre-flight proved the answer is exactly `0.0` and the
+    /// evaluator was never entered.
+    PreflightZero,
 }
 
 impl TraceOutcome {
@@ -97,6 +100,7 @@ impl TraceOutcome {
             TraceOutcome::Degraded => "degraded",
             TraceOutcome::Exhausted => "exhausted",
             TraceOutcome::Error => "error",
+            TraceOutcome::PreflightZero => "preflight-zero",
         }
     }
 
@@ -106,6 +110,7 @@ impl TraceOutcome {
             "degraded" => Some(TraceOutcome::Degraded),
             "exhausted" => Some(TraceOutcome::Exhausted),
             "error" => Some(TraceOutcome::Error),
+            "preflight-zero" => Some(TraceOutcome::PreflightZero),
             _ => None,
         }
     }

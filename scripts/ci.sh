@@ -125,4 +125,45 @@ grep -q '^pxml_lint_duration_seconds ' "$smoke_dir/check.prom" || {
   echo "error: check --metrics missed pxml_lint_duration_seconds"; exit 1;
 }
 
+# Static budget-checkpoint lint: every expansion loop in the evaluator
+# crates must charge a budget (or carry an explicit exemption comment),
+# so a new §6 expansion loop cannot silently dodge governance.
+echo "==> budget checkpoint lint"
+python3 scripts/lint_checkpoints.py
+
+# Static query-analysis smoke, exercising the documented exit taxonomy:
+# clean analysis exits 0, missing arguments exit 2, and an admission
+# rejection (predicted steps over --max-steps, AQ006) exits 3. On the
+# dense instance `EXISTS R.a` is tree-shaped and costs exactly one
+# expansion step, so a zero-step budget must reject it statically.
+echo "==> cli static-analysis smoke (pxml analyze)"
+printf 'EXISTS R.a\n' > "$smoke_dir/analyze-queries.txt"
+out="$(target/release/pxml analyze "$smoke_dir/dense24.pxml" "$smoke_dir/analyze-queries.txt")"
+echo "$out" | grep -q 'line 1: clean' || {
+  echo "error: analyze did not report EXISTS R.a as clean:"; echo "$out"; exit 1;
+}
+set +e
+target/release/pxml analyze >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 2 ] || {
+  echo "error: analyze without arguments exited $code, want 2 (usage)"; exit 1;
+}
+set +e
+target/release/pxml analyze "$smoke_dir/dense24.pxml" "$smoke_dir/analyze-queries.txt" \
+  --max-steps 0 >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 3 ] || {
+  echo "error: analyze --max-steps 0 exited $code, want 3 (AQ006 rejection)"; exit 1;
+}
+# The batch pre-flight short-circuits a provably-dead query to exact 0
+# and reports it in --stats.
+printf 'EXISTS R.b\n' > "$smoke_dir/preflight-queries.txt"
+out="$(target/release/pxml batch "$smoke_dir/dense24.pxml" "$smoke_dir/preflight-queries.txt" \
+  --preflight --stats 2>&1)"
+echo "$out" | grep -Eq 'preflight +zeros 1' || {
+  echo "error: batch --preflight did not short-circuit the dead query:"; echo "$out"; exit 1;
+}
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Budget-checkpoint linter.
+
+Every function in pxml-core / pxml-algebra / pxml-query that takes a
+``&Budget`` is part of the governed evaluation surface (the Section 6
+expansion loops and their helpers).  The resource-governance invariant is
+that no loop in such a function can run unbounded work without charging
+the budget: an expansion loop whose head never reaches a ``charge`` call
+is exactly the bug class where `Exhausted` is *spent* instead of
+*predicted*, and the static cost pre-flight's step bounds silently go
+stale.
+
+This linter enforces the invariant syntactically: for every ``fn`` whose
+signature mentions ``&Budget``, every ``for`` / ``while`` / ``loop``
+body inside it must mention the budget (``charge(``, ``.poll``, or the
+``budget`` binding itself) — or carry an explicit exemption comment
+
+    // checkpoint-exempt: <why this loop is O(1)-bounded>
+
+on the line directly above the loop head (it covers the loop's nested
+loops too), or ``checkpoint-exempt-fn`` in the comment block above the
+function signature to exempt a whole function.
+
+Stdlib only; exits 0 when clean, 1 with one ``file:line`` finding per
+violation otherwise.
+"""
+
+import os
+import re
+import sys
+
+CRATES = ("pxml-core", "pxml-algebra", "pxml-query")
+EXEMPT = "checkpoint-exempt"
+BUDGET_TOKENS = ("charge(", ".poll", "budget")
+LOOP_HEAD = re.compile(r"(?:^|[\s}])(for|while|loop)\b")
+
+
+def strip_noncode(src: str) -> str:
+    """Replaces comments, strings and char literals with spaces,
+    preserving offsets and newlines so brace matching and line numbers
+    stay exact."""
+    out = list(src)
+    i, n = 0, len(src)
+    while i < n:
+        c = src[i]
+        nxt = src[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and src[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            depth = 0
+            while i < n:
+                if src[i] == "/" and i + 1 < n and src[i + 1] == "*":
+                    depth += 1
+                    out[i] = out[i + 1] = " "
+                    i += 2
+                elif src[i] == "*" and i + 1 < n and src[i + 1] == "/":
+                    depth -= 1
+                    out[i] = out[i + 1] = " "
+                    i += 2
+                    if depth == 0:
+                        break
+                else:
+                    if src[i] != "\n":
+                        out[i] = " "
+                    i += 1
+        elif c == '"':
+            out[i] = " "
+            i += 1
+            while i < n:
+                if src[i] == "\\":
+                    out[i] = " "
+                    if i + 1 < n and src[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                elif src[i] == '"':
+                    out[i] = " "
+                    i += 1
+                    break
+                else:
+                    if src[i] != "\n":
+                        out[i] = " "
+                    i += 1
+        elif c == "'":
+            # Char literal ('x', '\n', '\u{1f600}') vs lifetime ('a in
+            # `&'a str`). A lifetime is never closed by a quote within a
+            # few chars; a char literal always is.
+            m = re.match(r"'(\\[^\n]|[^'\\\n])((\\u\{[0-9a-fA-F]+\})?)'", src[i:])
+            if m:
+                for j in range(i, i + m.end()):
+                    if src[j] != "\n":
+                        out[j] = " "
+                i += m.end()
+            else:
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(code: str, open_idx: int) -> int:
+    """Returns the index one past the brace matching ``code[open_idx]``."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def line_of(src: str, idx: int) -> int:
+    return src.count("\n", 0, idx) + 1
+
+
+def budget_functions(code: str):
+    """Yields (sig_start, body_start, body_end) for fns taking &Budget."""
+    for m in re.finditer(r"\bfn\s+\w+", code):
+        brace = code.find("{", m.start())
+        semi = code.find(";", m.start())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue  # trait method declaration without a body
+        sig = code[m.start() : brace]
+        # `&Budget` exactly — not `&BudgetSpec`, which is a policy
+        # object, not a charged meter.
+        if not re.search(r"&\s*Budget\b", sig):
+            continue
+        yield m.start(), brace, match_brace(code, brace)
+
+
+def loops_in(code: str, start: int, end: int, metered: bool = False):
+    """Yields (head_idx, body_start, body_end, metered) for every loop in
+    the region.  ``metered`` is True when the loop sits inside an
+    enclosing loop whose body charges the budget — each enclosing
+    iteration is already a paid checkpoint, so the inner loop runs in a
+    metered region."""
+    i = start
+    while i < end:
+        m = LOOP_HEAD.search(code, i, end)
+        if not m:
+            return
+        head = m.start(1)
+        brace = code.find("{", head)
+        if brace == -1 or brace >= end:
+            return
+        body_end = min(match_brace(code, brace), end)
+        yield head, brace, body_end, metered
+        body = code[brace:body_end]
+        charges = any(tok in body for tok in BUDGET_TOKENS)
+        yield from loops_in(code, brace + 1, body_end, metered or charges)
+        i = body_end
+
+
+def is_exempt(raw_lines, head_line: int, marker: str = EXEMPT) -> bool:
+    # Walk the contiguous comment/attribute block directly above the
+    # head line looking for the marker.
+    j = head_line - 2
+    while j >= 0:
+        stripped = raw_lines[j].lstrip()
+        if marker in raw_lines[j]:
+            return True
+        if not (stripped.startswith("//") or stripped.startswith("#[")):
+            return False
+        j -= 1
+    return False
+
+
+def lint_file(path: str, findings: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_noncode(raw)
+    raw_lines = raw.splitlines()
+    for sig_start, body_start, body_end in budget_functions(code):
+        if is_exempt(raw_lines, line_of(code, sig_start), EXEMPT + "-fn"):
+            continue
+        exempt_until = -1
+        for head, brace, loop_end, metered in loops_in(code, body_start, body_end):
+            if head < exempt_until:
+                continue  # inside an exempted loop's body
+            head_line = line_of(code, head)
+            if is_exempt(raw_lines, head_line):
+                exempt_until = max(exempt_until, loop_end)
+                continue
+            body = code[brace:loop_end]
+            if metered or any(tok in body for tok in BUDGET_TOKENS):
+                continue
+            findings.append(
+                f"{path}:{head_line}: loop in a &Budget-taking function "
+                f"never charges the budget (add a charge call or a "
+                f"`// {EXEMPT}: <reason>` comment above the loop)"
+            )
+
+
+def main() -> int:
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    scanned = 0
+    for crate in CRATES:
+        src_root = os.path.join(repo, "crates", crate, "src")
+        for dirpath, _dirs, files in os.walk(src_root):
+            for name in sorted(files):
+                if name.endswith(".rs"):
+                    lint_file(os.path.join(dirpath, name), findings)
+                    scanned += 1
+    for f in findings:
+        print(f)
+    print(
+        f"lint_checkpoints: {scanned} files scanned, "
+        f"{len(findings)} unbudgeted loop(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

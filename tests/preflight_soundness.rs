@@ -1,0 +1,177 @@
+//! Property tests for the static query-analysis pass (pre-flight).
+//!
+//! Soundness contracts checked over random DAG-shaped instances:
+//!
+//! 1. **Provable zeros are zeros**: a `ProvablyZero` verdict means the
+//!    engine answers exactly `0.0` — not approximately, exactly — so the
+//!    engine may short-circuit such queries without evaluation.
+//! 2. **Predicted errors error**: a `WillError` verdict means the
+//!    ungoverned engine returns an error for the query.
+//! 3. **Cost bounds bound**: the predicted step count is an upper bound
+//!    on the steps a governed run actually charges, and is *exact* when
+//!    the report says so — the admission-control rejection (`AQ006`)
+//!    never refuses a query that would in fact have fit its budget.
+//! 4. **Pre-flight preserves answers**: an engine with pre-flight
+//!    enabled (zero short-circuit + plan normalisation) answers every
+//!    query identically to a plain engine, slot for slot.
+
+use proptest::prelude::*;
+
+use pxml::algebra::PathExpr;
+use pxml::gen::random_dag;
+use pxml::query::preflight::{self, Verdict};
+use pxml::query::{BudgetSpec, DegradePolicy, Query, QueryEngine};
+
+/// A mixed probe workload: existence queries over every 1- and 2-label
+/// path on the generator's two labels, point queries on located objects
+/// and on the (never-located) root, and short chains off the root —
+/// covering every verdict the analyser can produce.
+fn probe_queries(pi: &pxml::core::ProbInstance) -> Vec<Query> {
+    let root = pi.root();
+    let labels: Vec<_> =
+        ["x", "y"].iter().filter_map(|l| pi.catalog().find_label(l)).collect();
+    let mut paths = Vec::new();
+    for &a in &labels {
+        paths.push(PathExpr::new(root, vec![a]));
+        for &b in &labels {
+            paths.push(PathExpr::new(root, vec![a, b]));
+        }
+    }
+    let mut queries = Vec::new();
+    for p in &paths {
+        queries.push(Query::Exists { path: p.clone() });
+        // The root is never located by a positive-length path, so this
+        // point query is provably zero on every instance.
+        queries.push(Query::point(p.clone(), root));
+        for &target in pxml::algebra::locate::locate_weak(pi, p).iter().take(2) {
+            queries.push(Query::point(p.clone(), target));
+        }
+    }
+    // Chains: one valid link per weak edge of the root, plus a
+    // structurally-broken chain (root is not its own child).
+    for &(_, child) in pi.weak().weak_edges(root).iter().take(3) {
+        queries.push(Query::chain(vec![root, child]));
+    }
+    queries.push(Query::chain(vec![root, root]));
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Contracts 1 and 2: verdicts are theorems about the engine.
+    #[test]
+    fn verdicts_are_sound(seed in 0u64..500) {
+        let pi = random_dag(seed);
+        let summary = pxml::core::StructuralSummary::build(&pi);
+        let engine = QueryEngine::new(pi.clone());
+        for q in probe_queries(&pi) {
+            let report = preflight::analyze(&summary, &q);
+            match report.verdict {
+                Verdict::ProvablyZero => {
+                    let p = engine.run(&q).unwrap_or_else(|e| {
+                        panic!("ProvablyZero query must evaluate, got {e}: {q:?}")
+                    });
+                    prop_assert!(
+                        p == 0.0,
+                        "ProvablyZero but engine answered {p}: {q:?}"
+                    );
+                }
+                Verdict::WillError => {
+                    prop_assert!(
+                        engine.run(&q).is_err(),
+                        "WillError but engine answered: {q:?}"
+                    );
+                }
+                Verdict::Clean => {}
+            }
+            // The probability ceiling is a genuine upper bound.
+            if let Ok(p) = engine.run(&q) {
+                prop_assert!(
+                    p <= report.upper_bound + 1e-9,
+                    "answer {p} above the static ceiling {}: {q:?}",
+                    report.upper_bound
+                );
+            }
+        }
+    }
+
+    /// Contract 3: the cost pre-flight never under-predicts, and its
+    /// exact predictions match the governed engine's meter to the step.
+    #[test]
+    fn step_bounds_bound_actual_spend(seed in 0u64..500) {
+        let pi = random_dag(seed);
+        let summary = pxml::core::StructuralSummary::build(&pi);
+        let spec = BudgetSpec {
+            max_steps: Some(u64::MAX / 2),
+            degrade: DegradePolicy::Error,
+            ..BudgetSpec::default()
+        };
+        for q in probe_queries(&pi) {
+            let report = preflight::analyze(&summary, &q);
+            // Fresh engine per query: a shared cache would absorb work
+            // and make the meter read low for the wrong reason.
+            let engine = QueryEngine::new(pi.clone());
+            let outcome = engine.run_governed(&q, &spec);
+            let spent = engine.stats().budget_steps_spent;
+            prop_assert!(
+                spent <= report.cost.steps,
+                "spent {spent} > predicted {}: {q:?}",
+                report.cost.steps
+            );
+            if report.cost.exact_steps && outcome.is_ok() {
+                prop_assert!(
+                    spent == report.cost.steps,
+                    "exact prediction {} != spent {spent}: {q:?}",
+                    report.cost.steps
+                );
+            }
+        }
+    }
+
+    /// Contract 4: pre-flight (zero short-circuit + normalisation) is
+    /// invisible in the answers, slot for slot.
+    #[test]
+    fn preflight_preserves_answers(seed in 0u64..500) {
+        let pi = random_dag(seed);
+        let queries = probe_queries(&pi);
+        let plain = QueryEngine::new(pi.clone());
+        let checked = QueryEngine::new(pi.clone());
+        checked.set_preflight(true);
+        let a = plain.run_batch(&queries);
+        let b = checked.run_batch(&queries);
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            match (x, y) {
+                (Ok(p), Ok(r)) => prop_assert!(
+                    p == r,
+                    "slot {i}: plain {p} != preflighted {r}: {:?}",
+                    queries[i]
+                ),
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(
+                    false,
+                    "slot {i}: outcome shape diverged: {x:?} vs {y:?} for {:?}",
+                    queries[i]
+                ),
+            }
+        }
+        // Normalised plans answer identically to their originals.
+        let summary = pxml::core::StructuralSummary::build(&pi);
+        for q in &queries {
+            if let Some(nq) = preflight::normalise(&summary, q) {
+                let eng = QueryEngine::new(pi.clone());
+                match (eng.run(q), eng.run(&nq)) {
+                    (Ok(p), Ok(r)) => prop_assert!(
+                        p == r,
+                        "normalised plan diverged: {p} vs {r} for {q:?}"
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (x, y) => prop_assert!(
+                        false,
+                        "normalisation changed the outcome shape: {x:?} vs {y:?}"
+                    ),
+                }
+            }
+        }
+    }
+}

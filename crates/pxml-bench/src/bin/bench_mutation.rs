@@ -1,0 +1,219 @@
+//! Measures what dirty-set invalidation buys the engine over the naive
+//! flush-on-write baseline and writes the numbers to
+//! `BENCH_mutation.json`.
+//!
+//! Usage:
+//! ```text
+//! bench_mutation [--out FILE] [--queries N] [--ops N]
+//! ```
+//!
+//! The workload is a §7.1 instance (depth 7, branching 2, fully-random
+//! labels, typed leaves) under two read/write mixes — 90/10 and 50/50 —
+//! built from one shared query pool (exists/point over structural-
+//! summary label paths) and one shared pool of generated entry-level
+//! mutations (`SETEDGE`/`SETVAL`, always-applicable by construction).
+//! Both invalidation policies answer the *identical* interleaved
+//! sequence single-threaded; a checksum asserts the answers agree.
+//!
+//! The headline numbers, per mix:
+//!
+//! * **warm hit-rate** — result-cache hits over the mixed phase (the
+//!   pool is answered once before measuring). Dirty-set invalidation
+//!   evicts only entries a mutation can affect, so most re-asked
+//!   queries stay hits; flush-on-write starts from an empty cache after
+//!   every mutation.
+//! * **p50 query / mutation latency** — medians over the mixed phase.
+
+use std::time::Instant;
+
+use pxml_algebra::PathExpr;
+use pxml_core::{Mutation, ProbInstance, StructuralSummary};
+use pxml_gen::{generate, random_mutations, Labeling, WorkloadConfig};
+use pxml_query::{InvalidationPolicy, Query, QueryEngine};
+
+enum Step {
+    Read(usize),
+    Write(usize),
+}
+
+struct ModeResult {
+    warm_hits: u64,
+    warm_misses: u64,
+    p50_query_us: f64,
+    p50_mutation_us: f64,
+    invalidations: u64,
+    mix_ms: f64,
+    checksum: f64,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn p50_us(mut nanos: Vec<u64>) -> f64 {
+    if nanos.is_empty() {
+        return 0.0;
+    }
+    nanos.sort_unstable();
+    nanos[nanos.len() / 2] as f64 / 1e3
+}
+
+/// Answers the whole query pool once (warm-up), then replays the mixed
+/// sequence; hits/misses counted after warm-up are the warm numbers.
+fn run_mode(
+    pi: &ProbInstance,
+    queries: &[Query],
+    muts: &[Mutation],
+    steps: &[Step],
+    policy: InvalidationPolicy,
+) -> ModeResult {
+    let mut engine = QueryEngine::with_threads(pi.clone(), 1);
+    engine.set_invalidation_policy(policy);
+    let mut checksum = 0.0;
+    for q in queries {
+        checksum += engine.run(q).unwrap_or(0.0);
+    }
+    let warm = engine.stats();
+    let mut query_ns = Vec::new();
+    let mut mutation_ns = Vec::new();
+    let started = Instant::now();
+    for step in steps {
+        match step {
+            Step::Read(i) => {
+                let t = Instant::now();
+                checksum += engine.run(&queries[*i]).unwrap_or(0.0);
+                query_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            Step::Write(i) => {
+                let t = Instant::now();
+                engine.apply_mutation(&muts[*i]).expect("generated op applies");
+                mutation_ns.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    let mix_ms = started.elapsed().as_secs_f64() * 1e3;
+    let s = engine.stats();
+    ModeResult {
+        warm_hits: s.result_hits - warm.result_hits,
+        warm_misses: s.result_misses - warm.result_misses,
+        p50_query_us: p50_us(query_ns),
+        p50_mutation_us: p50_us(mutation_ns),
+        invalidations: s.cache_invalidations,
+        mix_ms,
+        checksum,
+    }
+}
+
+fn json_mode(name: &str, m: &ModeResult) -> String {
+    format!(
+        "    \"{name}\": {{\n      \"warm_hits\": {},\n      \"warm_misses\": {},\n      \"warm_hit_rate\": {:.6},\n      \"p50_query_us\": {:.3},\n      \"p50_mutation_us\": {:.3},\n      \"invalidations\": {},\n      \"mix_ms\": {:.3},\n      \"checksum\": {:.9}\n    }}",
+        m.warm_hits,
+        m.warm_misses,
+        rate(m.warm_hits, m.warm_misses),
+        m.p50_query_us,
+        m.p50_mutation_us,
+        m.invalidations,
+        m.mix_ms,
+        m.checksum,
+    )
+}
+
+/// Deterministic interleave: `reads_per_10` reads out of every block of
+/// ten steps, pools consumed round-robin.
+fn mix_steps(ops: usize, reads_per_10: usize, queries: usize, muts: usize) -> Vec<Step> {
+    let (mut qi, mut mi) = (0usize, 0usize);
+    (0..ops)
+        .map(|s| {
+            if s % 10 < reads_per_10 {
+                qi += 1;
+                Step::Read((qi - 1) % queries)
+            } else {
+                mi += 1;
+                Step::Write((mi - 1) % muts)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = get("--out").unwrap_or_else(|| "BENCH_mutation.json".into());
+    let count: usize = get("--queries").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let ops: usize = get("--ops").and_then(|v| v.parse().ok()).unwrap_or(3000);
+
+    let mut cfg = WorkloadConfig::paper(7, 2, Labeling::FullyRandom, 42);
+    cfg.leaf_domain = 2; // typed leaves so SETVAL ops have targets
+    let g = generate(&cfg);
+    let pi = &g.instance;
+    let summary = StructuralSummary::build(pi);
+
+    let mut queries: Vec<Query> = Vec::new();
+    for labels in summary.label_paths(7, count) {
+        let path = PathExpr::new(pi.root(), labels);
+        let located = pxml_algebra::locate_weak(pi, &path);
+        match located.first() {
+            Some(&o) if queries.len().is_multiple_of(2) => queries.push(Query::point(path, o)),
+            _ => queries.push(Query::exists(path)),
+        }
+    }
+    let muts = random_mutations(pi, ops, 7);
+    assert!(!muts.is_empty(), "workload must offer mutable targets");
+    eprintln!(
+        "bench_mutation: {} queries, {} mutation ops, {} mixed steps over {} objects",
+        queries.len(),
+        muts.len(),
+        ops,
+        pi.object_count()
+    );
+
+    let mut blocks = Vec::new();
+    let mut summary_lines = Vec::new();
+    for (mix_name, reads_per_10) in [("rw_90_10", 9usize), ("rw_50_50", 5usize)] {
+        let steps = mix_steps(ops, reads_per_10, queries.len(), muts.len());
+        let dirty = run_mode(pi, &queries, &muts, &steps, InvalidationPolicy::DirtySet);
+        let flush = run_mode(pi, &queries, &muts, &steps, InvalidationPolicy::FlushAll);
+        assert!(
+            (dirty.checksum - flush.checksum).abs() < 1e-6,
+            "{mix_name}: invalidation policy changed answers: {} vs {}",
+            dirty.checksum,
+            flush.checksum
+        );
+        let delta = rate(dirty.warm_hits, dirty.warm_misses) - rate(flush.warm_hits, flush.warm_misses);
+        summary_lines.push(format!(
+            "{mix_name}: warm hit rate flush {:.1}% -> dirty {:.1}% (delta {:+.1} pp); p50 query {:.1} -> {:.1} us; p50 mutation {:.1} vs {:.1} us",
+            100.0 * rate(flush.warm_hits, flush.warm_misses),
+            100.0 * rate(dirty.warm_hits, dirty.warm_misses),
+            100.0 * delta,
+            flush.p50_query_us,
+            dirty.p50_query_us,
+            flush.p50_mutation_us,
+            dirty.p50_mutation_us,
+        ));
+        blocks.push(format!(
+            "  \"{mix_name}\": {{\n{},\n{},\n    \"warm_hit_rate_delta\": {delta:.6}\n  }}",
+            json_mode("dirty_set", &dirty),
+            json_mode("flush_all", &flush),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"labeling\": \"fr\", \"depth\": 7, \"branching\": 2, \"leaf_domain\": 2,\n    \"queries\": {}, \"mutation_pool\": {}, \"mixed_steps\": {ops}, \"objects\": {}\n  }},\n{}\n}}\n",
+        queries.len(),
+        muts.len(),
+        pi.object_count(),
+        blocks.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_mutation.json");
+    for line in &summary_lines {
+        eprintln!("{line}");
+    }
+    println!("wrote {out}");
+}

@@ -130,6 +130,9 @@ fn real_main() -> Result<(), CliError> {
     if args[0] == "analyze" {
         return run_analyze(&args[1..]);
     }
+    if args[0] == "mutate" {
+        return run_mutate(&args[1..]);
+    }
     let mut instance_path: Option<PathBuf> = None;
     let mut query: Option<String> = None;
     let mut engine = Engine::Auto;
@@ -394,6 +397,99 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
 /// engine pre-flight also reports a work-step bound, a memoisation-byte
 /// bound and a probability ceiling.
 ///
+/// `pxml mutate <instance> <ops-file> [--out FILE] [--stats] [--audit]
+/// [--flush] [--metrics FILE]`.
+///
+/// Applies the ops file (one mutation per line, `#` comments) through a
+/// [`pxml_query::QueryEngine`] with dirty-set cache invalidation
+/// (`--flush` switches to the flush-on-write baseline). The whole file
+/// is **atomic at the file level**: the instance is written back (to
+/// `--out`, or in place) only after every op applied cleanly, so a
+/// failing op leaves the stored instance untouched.
+///
+/// Exit taxonomy: syntactically malformed ops (unknown keyword, bad
+/// arity, unresolvable name — `CoreError::BadOps`) are usage errors
+/// (exit 2); ops that parse but fail to apply (cardinality violation,
+/// cycle, degenerate renormalisation) are operational errors (exit 1).
+fn run_mutate(args: &[String]) -> Result<(), CliError> {
+    let mut instance_path: Option<PathBuf> = None;
+    let mut ops_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut show_stats = false;
+    let mut audit = false;
+    let mut flush = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = Some(PathBuf::from(args.get(i).ok_or("--out needs a file path")?));
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_path =
+                    Some(PathBuf::from(args.get(i).ok_or("--metrics needs a file path")?));
+            }
+            "--stats" => show_stats = true,
+            "--audit" => audit = true,
+            "--flush" => flush = true,
+            arg if instance_path.is_none() => instance_path = Some(PathBuf::from(arg)),
+            arg if ops_path.is_none() => ops_path = Some(PathBuf::from(arg)),
+            arg => return Err(usage_err(format!("unexpected argument {arg:?}"))),
+        }
+        i += 1;
+    }
+    let instance_path = instance_path.ok_or("missing instance file")?;
+    let ops_path = ops_path.ok_or("missing ops file")?;
+    let pi = load(&instance_path)?;
+    let text = std::fs::read_to_string(&ops_path)
+        .map_err(|e| CliError::Run(format!("{}: {e}", ops_path.display())))?;
+    let ops = pxml_core::parse_ops(&pi, &text).map_err(|e| usage_err(e.to_string()))?;
+
+    let mut engine = pxml_query::QueryEngine::with_threads(pi, 1);
+    if flush {
+        engine.set_invalidation_policy(pxml_query::InvalidationPolicy::FlushAll);
+    }
+    let mut dirty_total = 0usize;
+    let mut invalidated_total = 0u64;
+    for (idx, op) in ops.iter().enumerate() {
+        let outcome = engine
+            .apply_mutation(op)
+            .map_err(|e| CliError::Run(format!("op {} failed: {e}", idx + 1)))?;
+        dirty_total += outcome.effect.dirty.len();
+        invalidated_total += outcome.invalidated.total();
+        if audit {
+            let findings = engine.audit_cache();
+            if !findings.is_empty() {
+                return Err(CliError::Run(format!(
+                    "cache audit failed after op {}: {}",
+                    idx + 1,
+                    findings.join("; ")
+                )));
+            }
+        }
+    }
+    if show_stats {
+        eprintln!("{}", engine.stats());
+    }
+    if let Some(path) = &metrics_path {
+        let mut reg = pxml_query::MetricsRegistry::new();
+        engine.export_metrics(&mut reg);
+        add_process_metrics(&mut reg);
+        write_file(path, reg.render())?;
+    }
+    let pi = engine.into_instance();
+    let target = out_path.as_deref().unwrap_or(&instance_path);
+    save(&pi, target)?;
+    println!(
+        "applied {} ops ({dirty_total} dirty objects, {invalidated_total} cache entries evicted) -> {}",
+        ops.len(),
+        target.display()
+    );
+    Ok(())
+}
+
 /// With governance flags the predicted cost is held against the budget:
 /// a query whose *exact* step count provably exceeds `--max-steps`
 /// under `--degrade error` is reported as `AQ006 budget-rejected` and
@@ -818,6 +914,8 @@ usage:
             [--metrics FILE] [--trace-json FILE] [governance]
   pxml check <instance> [--metrics FILE] [governance]
   pxml analyze <instance> [queries.txt] [governance]
+  pxml mutate <instance> <ops.txt> [--out FILE] [--stats] [--audit]
+            [--flush] [--metrics FILE]
 
 static analysis:
   analyze                   report per-query AQ0xx diagnostics, step and
@@ -847,6 +945,17 @@ exit codes:
   1 operational error (i/o, parse, lint errors)
   2 usage error
   3 a budget was exhausted under --degrade error
+
+mutation ops (one per line; names resolve against the instance catalog):
+  INSERT <new> UNDER <parent> LABEL <label> PROB <p>
+  DELETE <object>
+  LINK <parent> <label> <child> PROB <p>
+  UNLINK <parent> <child>
+  SETEDGE <parent> <child> PROB <p>
+  SETVAL <leaf> STR|INT|FLOAT|BOOL <value> PROB <p>
+  (--audit recomputes every retained cache entry after each op;
+   --flush benchmarks the flush-on-write baseline; the instance file is
+   rewritten only after every op applied cleanly)
 
 queries:
   PROJECT [ANCESTOR|SINGLE|DESCENDANT] <path>

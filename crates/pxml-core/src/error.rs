@@ -70,6 +70,13 @@ pub enum CoreError {
     /// A global interpretation does not factor into a local one, i.e. it
     /// violates the independence constraints of Definition 4.5 (Theorem 2).
     NotFactorable,
+    /// A mutation attempted to delete (or orphan) the instance root.
+    CannotDeleteRoot,
+    /// A mutation tried to create an object under a name that already
+    /// names a member of `V`.
+    AlreadyExists { object: ObjectId },
+    /// A mutation ops-file failed to parse (1-based line number).
+    BadOps { line: usize, msg: String },
 }
 
 impl fmt::Display for CoreError {
@@ -147,6 +154,15 @@ impl fmt::Display for CoreError {
                 f,
                 "global interpretation violates Definition 4.5 and does not factor into a local interpretation"
             ),
+            CoreError::CannotDeleteRoot => {
+                write!(f, "mutation would delete or orphan the instance root")
+            }
+            CoreError::AlreadyExists { object } => {
+                write!(f, "object {object:?} already exists; insert needs a fresh name")
+            }
+            CoreError::BadOps { line, msg } => {
+                write!(f, "ops file line {line}: {msg}")
+            }
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod hitting;
 pub mod ids;
 pub mod instance;
 pub mod lint;
+pub mod mutate;
 pub mod opf;
 pub mod pathkey;
 pub mod potential;
@@ -71,6 +72,7 @@ pub use global::GlobalInterpretation;
 pub use ids::{IdMap, Label, ObjectId, TypeId};
 pub use instance::{SdInstance, SdInstanceBuilder, SdNode};
 pub use lint::{lint, lint_governed, LintClass, LintFinding, LintOutcome, Severity};
+pub use mutate::{parse_ops, render_ops, Mutation, MutationEffect};
 pub use opf::{IndependentOpf, LabelProductOpf, Opf, OpfTable};
 pub use pathkey::{LabelPath, PathSuffix};
 pub use prob_instance::{ProbInstance, ProbInstanceBuilder};

@@ -1,0 +1,1263 @@
+//! In-place mutation of a [`ProbInstance`] with the §6.1 local
+//! recomputation rule.
+//!
+//! Section 6.1 of the paper shows that deleting (or conditioning away) a
+//! child only requires *local* changes to the parent: the OPF is
+//! restricted to the surviving child sets and renormalised, and the
+//! `card` intervals are re-checked against the shrunken `lch`. This
+//! module applies the same rule in both directions:
+//!
+//! * **shrink** (delete / unlink): condition the parent OPF on the
+//!   removed child's absence (`℘'(c) = ℘(c) / P(absent)` over sets not
+//!   containing it — exactly the ε-renormalisation of §6.1), rebuild the
+//!   child universe without it, and re-check `card` satisfiability;
+//! * **grow** (insert / link): extend the parent OPF with an independent
+//!   presence event (`(S, q) → (S, q·(1−p)) + (S ∪ {new}, q·p)`), then
+//!   verify the support still lies inside the recomputed `PC(o)`
+//!   (Definition 3.6 over the grown universe);
+//! * **repoint** (edge/value marginal updates): mix the
+//!   present/absent-conditioned distributions back together at the new
+//!   marginal, which keeps the support inside the old `PC(o)`.
+//!
+//! Every operation is **atomic**: either the instance transitions to a
+//! coherent state or an error is returned and the instance is bytewise
+//! unchanged (structural operations build a candidate clone and swap it
+//! in only after validation; entry-level operations validate before the
+//! first write). The returned [`MutationEffect`] names the directly
+//! changed objects so callers (the query-engine cache) can bound the
+//! invalidation blast radius.
+
+use std::collections::HashSet;
+
+use crate::childset::{ChildSet, ChildUniverse};
+use crate::error::{CoreError, Result, PROB_EPS};
+use crate::ids::{Label, ObjectId};
+use crate::opf::{LabelProductOpf, Opf, OpfTable};
+use crate::prob_instance::ProbInstance;
+use crate::value::Value;
+use crate::vpf::Vpf;
+use crate::weak::{WeakInstance, WeakNode};
+
+/// One mutation against a [`ProbInstance`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mutation {
+    /// Insert a fresh childless object named `name` as a potential
+    /// `label`-child of `parent`, present independently with
+    /// probability `prob`.
+    InsertObject {
+        /// Catalog name for the new object (must not name a member of `V`).
+        name: String,
+        /// The parent gaining the potential child.
+        parent: ObjectId,
+        /// The edge label.
+        label: Label,
+        /// Independent presence probability of the new child.
+        prob: f64,
+    },
+    /// Delete `object` and everything that becomes unreachable with it,
+    /// conditioning every retained parent's OPF on the removals' absence.
+    DeleteObject {
+        /// The object to delete (must not be the root).
+        object: ObjectId,
+    },
+    /// Add an existing object as a potential `label`-child of `parent`
+    /// (present independently with probability `prob`).
+    AddEdge {
+        /// The parent gaining the edge.
+        parent: ObjectId,
+        /// The edge label.
+        label: Label,
+        /// The existing object becoming a potential child.
+        child: ObjectId,
+        /// Independent presence probability of the new edge.
+        prob: f64,
+    },
+    /// Remove the `parent → child` edge, conditioning the parent OPF on
+    /// the child's absence (§6.1). The child must stay reachable.
+    RemoveEdge {
+        /// The parent losing the edge.
+        parent: ObjectId,
+        /// The potential child being unlinked.
+        child: ObjectId,
+    },
+    /// Set the marginal presence probability of `child` under `parent`
+    /// to `prob` by remixing the present/absent conditionals.
+    SetEdgeProb {
+        /// The parent whose OPF is adjusted.
+        parent: ObjectId,
+        /// The potential child whose marginal changes.
+        child: ObjectId,
+        /// The new marginal presence probability.
+        prob: f64,
+    },
+    /// Set the VPF probability of `value` at leaf `object` to `prob`,
+    /// rescaling the remaining mass proportionally.
+    SetValueProb {
+        /// The typed leaf whose VPF is adjusted.
+        object: ObjectId,
+        /// The domain value whose probability changes.
+        value: Value,
+        /// The new probability of `value`.
+        prob: f64,
+    },
+    /// Replace the whole OPF of `object` (validated against `PC(o)`).
+    ReplaceOpf {
+        /// The non-leaf object.
+        object: ObjectId,
+        /// The replacement OPF.
+        opf: Opf,
+    },
+    /// Replace the whole VPF of `object` (validated against `dom(τ(o))`).
+    ReplaceVpf {
+        /// The typed leaf object.
+        object: ObjectId,
+        /// The replacement VPF.
+        vpf: Vpf,
+    },
+}
+
+impl Mutation {
+    /// True when the mutation changes the weak skeleton (membership of
+    /// `V` or a child universe) rather than only probability entries.
+    /// Structural mutations can change located layers; entry-level ones
+    /// cannot (`layers_weak` traverses `card`-gated universes only).
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            Mutation::InsertObject { .. }
+                | Mutation::DeleteObject { .. }
+                | Mutation::AddEdge { .. }
+                | Mutation::RemoveEdge { .. }
+        )
+    }
+}
+
+/// What a successful mutation touched — the input to cache invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct MutationEffect {
+    /// Directly changed objects `D`: mutated parents, removed objects,
+    /// the inserted object, leaves with changed VPFs. Sorted, deduped.
+    pub dirty: Vec<ObjectId>,
+    /// Objects removed from `V` (subset of `dirty`).
+    pub removed: Vec<ObjectId>,
+    /// The freshly inserted object, if any.
+    pub inserted: Option<ObjectId>,
+    /// True when the weak skeleton changed (see
+    /// [`Mutation::is_structural`]); false for pure entry updates and
+    /// for provable no-ops.
+    pub structural: bool,
+}
+
+impl MutationEffect {
+    fn noop() -> Self {
+        MutationEffect::default()
+    }
+
+    fn new(mut dirty: Vec<ObjectId>, structural: bool) -> Self {
+        dirty.sort_unstable();
+        dirty.dedup();
+        MutationEffect { dirty, removed: Vec::new(), inserted: None, structural }
+    }
+}
+
+fn check_prob(object: ObjectId, p: f64) -> Result<()> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(CoreError::BadProbability { object, p });
+    }
+    Ok(())
+}
+
+/// Re-anchors every entry of `table` onto `universe` (canonicalising the
+/// `Mask`/`Sparse` representation so hash lookups stay consistent after
+/// the universe changed size).
+fn recanon_table(table: &OpfTable, universe: &ChildUniverse) -> OpfTable {
+    let mut out = OpfTable::new();
+    for (s, p) in table.iter() {
+        out.add(ChildSet::from_positions(universe, s.positions()), p);
+    }
+    out
+}
+
+/// `(S, q) → (S, q·(1−prob)) + (S ∪ {np}, q·prob)` over `new_u`,
+/// dropping zero-mass entries.
+fn extend_table(table: &OpfTable, new_u: &ChildUniverse, np: u32, prob: f64) -> OpfTable {
+    let mut out = OpfTable::new();
+    for (s, p) in table.iter() {
+        let keep: Vec<u32> = s.positions().collect();
+        let without = p * (1.0 - prob);
+        if without > 0.0 {
+            out.add(ChildSet::from_positions(new_u, keep.iter().copied()), without);
+        }
+        let with = p * prob;
+        if with > 0.0 {
+            out.add(
+                ChildSet::from_positions(new_u, keep.iter().copied().chain([np])),
+                with,
+            );
+        }
+    }
+    out
+}
+
+/// Extends `opf` (over `old → new` universe) with an independent
+/// presence event for the child appended at position `np` under `label`.
+fn extend_opf(opf: &Opf, new_u: &ChildUniverse, label: Label, np: u32, prob: f64) -> Opf {
+    match opf {
+        Opf::Table(t) => Opf::Table(extend_table(t, new_u, np, prob)),
+        Opf::Independent(i) => {
+            let mut probs = i.probs().to_vec();
+            // The appended universe position is exactly the old length;
+            // pad in case a lenient instance had a short prob vector.
+            probs.resize(np as usize, 0.0);
+            probs.push(prob);
+            Opf::Independent(crate::opf::IndependentOpf::new(probs))
+        }
+        Opf::LabelProduct(l) => {
+            let mut tables: Vec<(Label, OpfTable)> = Vec::new();
+            let mut found = false;
+            for (pl, _, t) in l.parts() {
+                if *pl == label && !found {
+                    found = true;
+                    tables.push((*pl, extend_table(t, new_u, np, prob)));
+                } else {
+                    tables.push((*pl, recanon_table(t, new_u)));
+                }
+            }
+            if !found {
+                let mut t = OpfTable::new();
+                if 1.0 - prob > 0.0 {
+                    t.add(ChildSet::from_positions(new_u, []), 1.0 - prob);
+                }
+                if prob > 0.0 {
+                    t.add(ChildSet::from_positions(new_u, [np]), prob);
+                }
+                tables.push((label, t));
+            }
+            Opf::LabelProduct(LabelProductOpf::new(new_u, tables))
+        }
+    }
+}
+
+/// Conditions `table` on the absence of every position in `gone`
+/// (positions over the *old* universe), then re-anchors the survivors
+/// onto `new_u`. Errors with [`CoreError::DegenerateMass`] when a gone
+/// child is present with probability 1 (no surviving mass — the §6.1
+/// renormalisation is undefined).
+fn shrink_table(
+    table: &OpfTable,
+    gone: &[u32],
+    new_u: &ChildUniverse,
+    old_u: &ChildUniverse,
+) -> Result<OpfTable> {
+    let mut cur = table.clone();
+    for &pos in gone {
+        let (next, m) = cur.condition(pos, false);
+        if m <= 0.0 {
+            return Err(CoreError::DegenerateMass { total: m });
+        }
+        cur = next;
+    }
+    let mut out = OpfTable::new();
+    for (s, p) in cur.iter() {
+        out.add(s.translate(old_u, new_u), p);
+    }
+    Ok(out)
+}
+
+/// Conditions `opf` on the absence of the children at positions `gone`
+/// and rebuilds it over `new_u` (§6.1's local recomputation).
+fn shrink_opf(
+    opf: &Opf,
+    gone: &[u32],
+    old_u: &ChildUniverse,
+    new_u: &ChildUniverse,
+) -> Result<Opf> {
+    match opf {
+        Opf::Table(t) => Ok(Opf::Table(shrink_table(t, gone, new_u, old_u)?)),
+        Opf::Independent(i) => {
+            let mut probs = i.probs().to_vec();
+            probs.resize(old_u.len(), 0.0);
+            for &pos in gone {
+                if probs[pos as usize] >= 1.0 {
+                    return Err(CoreError::DegenerateMass { total: 0.0 });
+                }
+            }
+            let kept: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !gone.contains(&(*i as u32)))
+                .map(|(_, &p)| p)
+                .collect();
+            Ok(Opf::Independent(crate::opf::IndependentOpf::new(kept)))
+        }
+        Opf::LabelProduct(l) => {
+            let mut tables: Vec<(Label, OpfTable)> = Vec::new();
+            for (pl, slice, t) in l.parts() {
+                let in_part: Vec<u32> =
+                    gone.iter().copied().filter(|&p| slice.contains_pos(p)).collect();
+                let shrunk = shrink_table(t, &in_part, new_u, old_u)?;
+                // Keep only parts whose label still has members.
+                if !new_u.members_with_label(*pl).is_empty() {
+                    tables.push((*pl, shrunk));
+                }
+            }
+            Ok(Opf::LabelProduct(LabelProductOpf::new(new_u, tables)))
+        }
+    }
+}
+
+/// Checks that every declared cardinality interval of `node` is still
+/// satisfiable by its universe (`min ≤ |lch(o, l)|`, Definition 3.4).
+fn check_cards(o: ObjectId, node: &WeakNode) -> Result<()> {
+    for &(l, card) in node.cards() {
+        let available = node.universe().members_with_label(l).len();
+        if card.min > available {
+            return Err(CoreError::BadCardinality {
+                object: o,
+                label: l,
+                min: card.min,
+                max: card.max,
+                available,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every positive-mass child set of `opf` lies inside the
+/// recomputed `PC(o)` over `node`'s (possibly just-changed) universe.
+/// Mirrors [`crate::potential::pc_contains`] without needing the whole
+/// weak instance.
+fn check_opf_pc(o: ObjectId, node: &WeakNode, opf: &Opf) -> Result<()> {
+    let labels = node.labels();
+    let in_pc = |set: &ChildSet| -> bool {
+        labels
+            .iter()
+            .all(|&l| node.card(l).contains(set.count_label(node.universe(), l)))
+    };
+    match opf {
+        Opf::Table(t) => {
+            for (s, p) in t.iter() {
+                if p > 0.0 && !in_pc(s) {
+                    return Err(CoreError::OpfEntryOutsidePc { object: o });
+                }
+            }
+        }
+        Opf::Independent(i) => {
+            // Per-label possible counts: forced (p = 1) up to
+            // forced + uncertain (0 < p < 1); the whole range must fit
+            // the card interval.
+            for &l in &labels {
+                let mut forced = 0u32;
+                let mut uncertain = 0u32;
+                for (pos, _, pl) in node.universe().iter() {
+                    if pl != l {
+                        continue;
+                    }
+                    let p = i.probs().get(pos as usize).copied().unwrap_or(0.0);
+                    if p >= 1.0 {
+                        forced += 1;
+                    } else if p > 0.0 {
+                        uncertain += 1;
+                    }
+                }
+                let card = node.card(l);
+                if !card.contains(forced) || !card.contains(forced + uncertain) {
+                    return Err(CoreError::OpfEntryOutsidePc { object: o });
+                }
+            }
+        }
+        Opf::LabelProduct(lp) => {
+            let mut covered: Vec<Label> = Vec::new();
+            for (pl, _, t) in lp.parts() {
+                covered.push(*pl);
+                for (s, p) in t.iter() {
+                    if p > 0.0 && !node.card(*pl).contains(s.len()) {
+                        return Err(CoreError::OpfEntryOutsidePc { object: o });
+                    }
+                }
+            }
+            for &l in &labels {
+                if !covered.contains(&l) && !node.card(l).contains(0) {
+                    return Err(CoreError::OpfEntryOutsidePc { object: o });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Objects reachable from the root over full child universes, skipping
+/// `skip` (never entered) and the single edge `skip_edge` when given.
+fn reachable(
+    w: &WeakInstance,
+    skip: Option<ObjectId>,
+    skip_edge: Option<(ObjectId, ObjectId)>,
+) -> HashSet<ObjectId> {
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    let root = w.root();
+    if Some(root) == skip || !w.contains(root) {
+        return seen;
+    }
+    let mut stack = vec![root];
+    seen.insert(root);
+    while let Some(o) = stack.pop() {
+        let Some(node) = w.node(o) else { continue };
+        for (_, c, _) in node.universe().iter() {
+            if Some(c) == skip || skip_edge == Some((o, c)) {
+                continue;
+            }
+            if w.contains(c) && seen.insert(c) {
+                stack.push(c);
+            }
+        }
+    }
+    seen
+}
+
+/// The base OPF for a parent about to gain its first potential child:
+/// bare childless objects carry no `℘`, so start from the point mass on
+/// the empty set. A parent with children but no OPF is an incoherent
+/// (leniently loaded) instance — surface [`CoreError::MissingOpf`].
+fn base_opf(pi: &ProbInstance, parent: ObjectId, node: &WeakNode) -> Result<Opf> {
+    match pi.opf(parent) {
+        Some(o) => Ok(o.clone()),
+        None if node.is_childless() => {
+            Ok(Opf::Table(OpfTable::from_entries([(ChildSet::empty(node.universe()), 1.0)])))
+        }
+        None => Err(CoreError::MissingOpf(parent)),
+    }
+}
+
+impl ProbInstance {
+    /// Applies one mutation atomically: on `Ok` the instance is coherent
+    /// and the returned [`MutationEffect`] lists the directly changed
+    /// objects; on `Err` the instance is unchanged (bytewise).
+    pub fn apply(&mut self, m: &Mutation) -> Result<MutationEffect> {
+        match m {
+            Mutation::InsertObject { name, parent, label, prob } => {
+                self.apply_insert(name, *parent, *label, *prob)
+            }
+            Mutation::DeleteObject { object } => self.apply_delete(*object),
+            Mutation::AddEdge { parent, label, child, prob } => {
+                self.apply_add_edge(*parent, *label, *child, *prob)
+            }
+            Mutation::RemoveEdge { parent, child } => self.apply_remove_edge(*parent, *child),
+            Mutation::SetEdgeProb { parent, child, prob } => {
+                self.apply_set_edge(*parent, *child, *prob)
+            }
+            Mutation::SetValueProb { object, value, prob } => {
+                self.apply_set_value(*object, value, *prob)
+            }
+            Mutation::ReplaceOpf { object, opf } => {
+                if !self.weak().contains(*object) {
+                    return Err(CoreError::UnknownObject(*object));
+                }
+                opf.validate(self.weak(), *object)?;
+                self.opf_map_mut().insert(*object, opf.clone());
+                Ok(MutationEffect::new(vec![*object], false))
+            }
+            Mutation::ReplaceVpf { object, vpf } => {
+                let node =
+                    self.weak().node(*object).ok_or(CoreError::UnknownObject(*object))?;
+                let leaf = node.leaf().ok_or(CoreError::MissingVpf(*object))?;
+                let ty = self
+                    .catalog()
+                    .types()
+                    .try_resolve(leaf.ty)
+                    .ok_or(CoreError::MissingVpf(*object))?
+                    .clone();
+                vpf.validate(*object, &ty)?;
+                self.vpf_map_mut().insert(*object, vpf.clone());
+                Ok(MutationEffect::new(vec![*object], false))
+            }
+        }
+    }
+
+    /// Grow: shared tail of insert and link — `child` is already a
+    /// member of `V` on a candidate clone; extend `parent`'s universe
+    /// and OPF and re-check `card`/`PC`.
+    fn grow_edge(
+        cand: &mut ProbInstance,
+        parent: ObjectId,
+        label: Label,
+        child: ObjectId,
+        prob: f64,
+    ) -> Result<()> {
+        let node = cand.weak().node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        if node.leaf().is_some() {
+            return Err(CoreError::LeafWithChildren(parent));
+        }
+        if let Some(pos) = node.universe().position(child) {
+            let first = node.universe().label_at(pos);
+            return Err(if first == label {
+                CoreError::DuplicateChild { parent, child, label }
+            } else {
+                CoreError::AmbiguousChildLabel { parent, child, first, second: label }
+            });
+        }
+        let base = base_opf(cand, parent, node)?;
+        let mut new_u = node.universe().clone();
+        let np = new_u.push(child, label);
+        let new_opf = extend_opf(&base, &new_u, label, np, prob);
+        if let Some(n) = cand.weak_mut().node_mut(parent) {
+            n.set_universe(new_u);
+        }
+        // Re-check against the grown universe: `card.max` may forbid the
+        // new child co-occurring with existing ones (PC shrank relative
+        // to the support we just built).
+        let node = cand.weak().node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        check_cards(parent, node)?;
+        check_opf_pc(parent, node, &new_opf)?;
+        cand.opf_map_mut().insert(parent, new_opf);
+        Ok(())
+    }
+
+    fn apply_insert(
+        &mut self,
+        name: &str,
+        parent: ObjectId,
+        label: Label,
+        prob: f64,
+    ) -> Result<MutationEffect> {
+        check_prob(parent, prob)?;
+        if let Some(id) = self.catalog().find_object(name) {
+            if self.weak().contains(id) {
+                return Err(CoreError::AlreadyExists { object: id });
+            }
+        }
+        if !self.weak().contains(parent) {
+            return Err(CoreError::UnknownObject(parent));
+        }
+        // Candidate clone: all remaining checks happen on the copy, so a
+        // failure leaves `self` (catalog included) untouched.
+        let mut cand = self.clone();
+        let id = cand.weak_mut().catalog_mut().object(name);
+        cand.weak_mut().insert_node(
+            id,
+            WeakNode::from_parts(ChildUniverse::from_members([]), Vec::new(), None),
+        );
+        Self::grow_edge(&mut cand, parent, label, id, prob)?;
+        *self = cand;
+        let mut effect = MutationEffect::new(vec![parent, id], true);
+        effect.inserted = Some(id);
+        Ok(effect)
+    }
+
+    fn apply_add_edge(
+        &mut self,
+        parent: ObjectId,
+        label: Label,
+        child: ObjectId,
+        prob: f64,
+    ) -> Result<MutationEffect> {
+        check_prob(parent, prob)?;
+        let w = self.weak();
+        if !w.contains(parent) {
+            return Err(CoreError::UnknownObject(parent));
+        }
+        if !w.contains(child) {
+            return Err(CoreError::UnknownObject(child));
+        }
+        // Acyclicity (Definition 4.3): the child must not already reach
+        // the parent through full child universes.
+        if child == parent || reaches(w, child, parent) {
+            return Err(CoreError::CycleDetected(parent));
+        }
+        let mut cand = self.clone();
+        Self::grow_edge(&mut cand, parent, label, child, prob)?;
+        *self = cand;
+        Ok(MutationEffect::new(vec![parent], true))
+    }
+
+    fn apply_remove_edge(&mut self, parent: ObjectId, child: ObjectId) -> Result<MutationEffect> {
+        let w = self.weak();
+        let node = w.node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        let pos = node.universe().position(child).ok_or(CoreError::UnknownObject(child))?;
+        // The child must stay reachable without this edge; callers that
+        // mean "remove the subtree" should use DeleteObject.
+        if !reachable(w, None, Some((parent, child))).contains(&child) {
+            return Err(CoreError::Unreachable(child));
+        }
+        let mut cand = self.clone();
+        let node = cand.weak().node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        let old_u = node.universe().clone();
+        let new_u = ChildUniverse::from_members(
+            old_u.iter().filter(|&(p, _, _)| p != pos).map(|(_, c, l)| (c, l)),
+        );
+        let new_opf = match cand.opf(parent) {
+            Some(o) => Some(shrink_opf(o, &[pos], &old_u, &new_u)?),
+            None => None,
+        };
+        if let Some(n) = cand.weak_mut().node_mut(parent) {
+            n.set_universe(new_u);
+        }
+        let node = cand.weak().node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        check_cards(parent, node)?;
+        if let Some(opf) = new_opf {
+            check_opf_pc(parent, node, &opf)?;
+            cand.opf_map_mut().insert(parent, opf);
+        }
+        *self = cand;
+        Ok(MutationEffect::new(vec![parent], true))
+    }
+
+    fn apply_delete(&mut self, object: ObjectId) -> Result<MutationEffect> {
+        if object == self.root() {
+            return Err(CoreError::CannotDeleteRoot);
+        }
+        if !self.weak().contains(object) {
+            return Err(CoreError::UnknownObject(object));
+        }
+        let reached = reachable(self.weak(), Some(object), None);
+        let removed: Vec<ObjectId> =
+            self.weak().objects().filter(|o| !reached.contains(o)).collect();
+        let mut cand = self.clone();
+        let mut dirty: Vec<ObjectId> = removed.clone();
+        // Condition every retained parent on the removed members' absence.
+        for &p in &reached {
+            let Some(node) = cand.weak().node(p) else { continue };
+            let gone: Vec<u32> = node
+                .universe()
+                .iter()
+                .filter(|(_, c, _)| removed.contains(c))
+                .map(|(pos, _, _)| pos)
+                .collect();
+            if gone.is_empty() {
+                continue;
+            }
+            let old_u = node.universe().clone();
+            let new_u = ChildUniverse::from_members(
+                old_u.iter().filter(|(pos, _, _)| !gone.contains(pos)).map(|(_, c, l)| (c, l)),
+            );
+            let new_opf = match cand.opf(p) {
+                Some(o) => Some(shrink_opf(o, &gone, &old_u, &new_u)?),
+                None => None,
+            };
+            if let Some(n) = cand.weak_mut().node_mut(p) {
+                n.set_universe(new_u);
+            }
+            let node = cand.weak().node(p).ok_or(CoreError::UnknownObject(p))?;
+            check_cards(p, node)?;
+            if let Some(opf) = new_opf {
+                check_opf_pc(p, node, &opf)?;
+                cand.opf_map_mut().insert(p, opf);
+            }
+            dirty.push(p);
+        }
+        for &r in &removed {
+            cand.weak_mut().remove_node(r);
+            cand.opf_map_mut().remove(r);
+            cand.vpf_map_mut().remove(r);
+        }
+        *self = cand;
+        let mut effect = MutationEffect::new(dirty, true);
+        effect.removed = removed;
+        effect.removed.sort_unstable();
+        Ok(effect)
+    }
+
+    fn apply_set_edge(
+        &mut self,
+        parent: ObjectId,
+        child: ObjectId,
+        prob: f64,
+    ) -> Result<MutationEffect> {
+        check_prob(child, prob)?;
+        let node = self.weak().node(parent).ok_or(CoreError::UnknownObject(parent))?;
+        let pos = node.universe().position(child).ok_or(CoreError::UnknownObject(child))?;
+        let opf = self.opf(parent).ok_or(CoreError::MissingOpf(parent))?;
+        let m = opf.marginal_present(pos);
+        if (m - prob).abs() <= PROB_EPS {
+            return Ok(MutationEffect::noop());
+        }
+        let new_opf = match opf {
+            Opf::Independent(i) => {
+                let mut probs = i.probs().to_vec();
+                probs.resize(node.universe().len().max(pos as usize + 1), 0.0);
+                probs[pos as usize] = prob;
+                Opf::Independent(crate::opf::IndependentOpf::new(probs))
+            }
+            Opf::Table(t) => Opf::Table(remix_table(t, pos, m, prob)?),
+            Opf::LabelProduct(l) => {
+                let mut tables: Vec<(Label, OpfTable)> = Vec::new();
+                let mut hit = false;
+                for (pl, slice, t) in l.parts() {
+                    if slice.contains_pos(pos) && !hit {
+                        hit = true;
+                        let part_m = t.marginal_present(pos);
+                        tables.push((*pl, remix_table(t, pos, part_m, prob)?));
+                    } else {
+                        tables.push((*pl, t.clone()));
+                    }
+                }
+                if !hit {
+                    // The position belongs to no part: its marginal is
+                    // structurally 0 and cannot be raised in place.
+                    return Err(CoreError::DegenerateMass { total: 0.0 });
+                }
+                Opf::LabelProduct(LabelProductOpf::new(node.universe(), tables))
+            }
+        };
+        check_opf_pc(parent, node, &new_opf)?;
+        self.opf_map_mut().insert(parent, new_opf);
+        Ok(MutationEffect::new(vec![parent], false))
+    }
+
+    fn apply_set_value(
+        &mut self,
+        object: ObjectId,
+        value: &Value,
+        prob: f64,
+    ) -> Result<MutationEffect> {
+        check_prob(object, prob)?;
+        let node = self.weak().node(object).ok_or(CoreError::UnknownObject(object))?;
+        let leaf = node.leaf().ok_or(CoreError::MissingVpf(object))?;
+        let ty = self
+            .catalog()
+            .types()
+            .try_resolve(leaf.ty)
+            .ok_or(CoreError::MissingVpf(object))?;
+        if !ty.contains(value) {
+            return Err(CoreError::VpfValueOutsideDomain { object });
+        }
+        let vpf = self.vpf(object).ok_or(CoreError::MissingVpf(object))?;
+        let old = vpf.prob(value);
+        if (old - prob).abs() <= PROB_EPS {
+            return Ok(MutationEffect::noop());
+        }
+        let rest = 1.0 - old;
+        if rest <= 0.0 {
+            // All mass already on `value`; no other entries to scale up.
+            return Err(CoreError::DegenerateMass { total: rest });
+        }
+        let scale = (1.0 - prob) / rest;
+        let mut entries: Vec<(Value, f64)> = vec![(value.clone(), prob)];
+        for (v, p) in vpf.iter() {
+            if v != value && p * scale > 0.0 {
+                entries.push((v.clone(), p * scale));
+            }
+        }
+        self.vpf_map_mut().insert(object, Vpf::from_entries(entries));
+        Ok(MutationEffect::new(vec![object], false))
+    }
+}
+
+/// `P(pos present) := prob` by remixing the conditioned distributions:
+/// present-sets scale by `prob / m`, absent-sets by `(1−prob) / (1−m)`.
+fn remix_table(t: &OpfTable, pos: u32, m: f64, prob: f64) -> Result<OpfTable> {
+    if prob > 0.0 && m <= 0.0 {
+        return Err(CoreError::DegenerateMass { total: m });
+    }
+    if prob < 1.0 && m >= 1.0 {
+        return Err(CoreError::DegenerateMass { total: 1.0 - m });
+    }
+    let mut out = OpfTable::new();
+    for (s, p) in t.iter() {
+        let w = if s.contains_pos(pos) {
+            if m > 0.0 {
+                prob / m
+            } else {
+                0.0
+            }
+        } else if m < 1.0 {
+            (1.0 - prob) / (1.0 - m)
+        } else {
+            0.0
+        };
+        if p * w > 0.0 {
+            out.add(s.clone(), p * w);
+        }
+    }
+    Ok(out)
+}
+
+/// True when `from` reaches `to` over full child universes.
+fn reaches(w: &WeakInstance, from: ObjectId, to: ObjectId) -> bool {
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    let mut stack = vec![from];
+    seen.insert(from);
+    while let Some(o) = stack.pop() {
+        if o == to {
+            return true;
+        }
+        let Some(node) = w.node(o) else { continue };
+        for (_, c, _) in node.universe().iter() {
+            if seen.insert(c) {
+                stack.push(c);
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Ops-file surface syntax
+// ---------------------------------------------------------------------
+
+/// Parses a mutation ops file (one op per line, `#` comments):
+///
+/// ```text
+/// INSERT <new-name> UNDER <parent> LABEL <label> PROB <p>
+/// DELETE <object>
+/// LINK <parent> <label> <child> PROB <p>
+/// UNLINK <parent> <child>
+/// SETEDGE <parent> <child> PROB <p>
+/// SETVAL <leaf> STR <v>|INT <n>|FLOAT <x>|BOOL <b> PROB <p>
+/// ```
+///
+/// Object and label names resolve against `pi`'s catalog (except the
+/// fresh `INSERT` name); failures surface as [`CoreError::BadOps`] with
+/// the 1-based line number, so malformed files are distinguishable from
+/// operationally-failed applies.
+pub fn parse_ops(pi: &ProbInstance, text: &str) -> Result<Vec<Mutation>> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let src = raw.split('#').next().unwrap_or("").trim();
+        if src.is_empty() {
+            continue;
+        }
+        ops.push(parse_op(pi, line, src)?);
+    }
+    Ok(ops)
+}
+
+fn bad(line: usize, msg: impl Into<String>) -> CoreError {
+    CoreError::BadOps { line, msg: msg.into() }
+}
+
+fn parse_op(pi: &ProbInstance, line: usize, src: &str) -> Result<Mutation> {
+    let toks: Vec<&str> = src.split_whitespace().collect();
+    let cat = pi.catalog();
+    let oid = |t: &str| -> Result<ObjectId> {
+        cat.find_object(t)
+            .filter(|&o| pi.weak().contains(o))
+            .ok_or_else(|| bad(line, format!("unknown object {t:?}")))
+    };
+    let lid = |t: &str| -> Result<Label> {
+        cat.find_label(t).ok_or_else(|| bad(line, format!("unknown label {t:?}")))
+    };
+    let prob = |t: &str| -> Result<f64> {
+        t.parse::<f64>().map_err(|_| bad(line, format!("bad probability {t:?}")))
+    };
+    let kw = |got: &str, want: &str| -> Result<()> {
+        if got.eq_ignore_ascii_case(want) {
+            Ok(())
+        } else {
+            Err(bad(line, format!("expected {want}, got {got:?}")))
+        }
+    };
+    let arity = |n: usize| -> Result<()> {
+        if toks.len() == n {
+            Ok(())
+        } else {
+            Err(bad(line, format!("expected {n} tokens, got {}", toks.len())))
+        }
+    };
+    match toks.first().map(|t| t.to_ascii_uppercase()).as_deref() {
+        Some("INSERT") => {
+            arity(8)?;
+            kw(toks[2], "UNDER")?;
+            kw(toks[4], "LABEL")?;
+            kw(toks[6], "PROB")?;
+            Ok(Mutation::InsertObject {
+                name: toks[1].to_string(),
+                parent: oid(toks[3])?,
+                label: lid(toks[5])?,
+                prob: prob(toks[7])?,
+            })
+        }
+        Some("DELETE") => {
+            arity(2)?;
+            Ok(Mutation::DeleteObject { object: oid(toks[1])? })
+        }
+        Some("LINK") => {
+            arity(6)?;
+            kw(toks[4], "PROB")?;
+            Ok(Mutation::AddEdge {
+                parent: oid(toks[1])?,
+                label: lid(toks[2])?,
+                child: oid(toks[3])?,
+                prob: prob(toks[5])?,
+            })
+        }
+        Some("UNLINK") => {
+            arity(3)?;
+            Ok(Mutation::RemoveEdge { parent: oid(toks[1])?, child: oid(toks[2])? })
+        }
+        Some("SETEDGE") => {
+            arity(5)?;
+            kw(toks[3], "PROB")?;
+            Ok(Mutation::SetEdgeProb {
+                parent: oid(toks[1])?,
+                child: oid(toks[2])?,
+                prob: prob(toks[4])?,
+            })
+        }
+        Some("SETVAL") => {
+            arity(6)?;
+            kw(toks[4], "PROB")?;
+            let value = match toks[2].to_ascii_uppercase().as_str() {
+                "STR" => Value::str(toks[3]),
+                "INT" => Value::Int(
+                    toks[3]
+                        .parse::<i64>()
+                        .map_err(|_| bad(line, format!("bad int {:?}", toks[3])))?,
+                ),
+                "FLOAT" => Value::Float(
+                    toks[3]
+                        .parse::<f64>()
+                        .map_err(|_| bad(line, format!("bad float {:?}", toks[3])))?,
+                ),
+                "BOOL" => Value::Bool(
+                    toks[3]
+                        .parse::<bool>()
+                        .map_err(|_| bad(line, format!("bad bool {:?}", toks[3])))?,
+                ),
+                other => return Err(bad(line, format!("unknown value kind {other:?}"))),
+            };
+            Ok(Mutation::SetValueProb {
+                object: oid(toks[1])?,
+                value,
+                prob: prob(toks[5])?,
+            })
+        }
+        Some(other) => Err(bad(line, format!("unknown op {other:?}"))),
+        None => Err(bad(line, "empty op")),
+    }
+}
+
+/// Renders `ops` back into the surface syntax (inverse of
+/// [`parse_ops`] for every op kind the syntax covers; `ReplaceOpf` /
+/// `ReplaceVpf` have no textual form and render as comments).
+pub fn render_ops(pi: &ProbInstance, ops: &[Mutation]) -> String {
+    let cat = pi.catalog();
+    let on = |o: ObjectId| cat.objects().try_resolve(o).unwrap_or("?").to_string();
+    let ln = |l: Label| cat.labels().try_resolve(l).unwrap_or("?").to_string();
+    let mut out = String::new();
+    for m in ops {
+        let lineout = match m {
+            Mutation::InsertObject { name, parent, label, prob } => {
+                format!("INSERT {name} UNDER {} LABEL {} PROB {prob}", on(*parent), ln(*label))
+            }
+            Mutation::DeleteObject { object } => format!("DELETE {}", on(*object)),
+            Mutation::AddEdge { parent, label, child, prob } => {
+                format!("LINK {} {} {} PROB {prob}", on(*parent), ln(*label), on(*child))
+            }
+            Mutation::RemoveEdge { parent, child } => {
+                format!("UNLINK {} {}", on(*parent), on(*child))
+            }
+            Mutation::SetEdgeProb { parent, child, prob } => {
+                format!("SETEDGE {} {} PROB {prob}", on(*parent), on(*child))
+            }
+            Mutation::SetValueProb { object, value, prob } => {
+                let v = match value {
+                    Value::Str(s) => format!("STR {s}"),
+                    Value::Int(n) => format!("INT {n}"),
+                    Value::Float(x) => format!("FLOAT {x}"),
+                    Value::Bool(b) => format!("BOOL {b}"),
+                };
+                format!("SETVAL {} {v} PROB {prob}", on(*object))
+            }
+            Mutation::ReplaceOpf { object, .. } => {
+                format!("# REPLACE-OPF {} (no textual form)", on(*object))
+            }
+            Mutation::ReplaceVpf { object, .. } => {
+                format!("# REPLACE-VPF {} (no textual form)", on(*object))
+            }
+        };
+        out.push_str(&lineout);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig2_instance;
+
+    fn oid(pi: &ProbInstance, n: &str) -> ObjectId {
+        pi.oid(n).unwrap()
+    }
+
+    #[test]
+    fn set_edge_prob_changes_marginal_and_validates() {
+        let mut pi = fig2_instance();
+        let (r, b1) = (oid(&pi, "R"), oid(&pi, "B1"));
+        let pos = pi.weak().node(r).unwrap().universe().position(b1).unwrap();
+        let before = pi.opf(r).unwrap().marginal_present(pos);
+        assert!(before > 0.0 && before < 1.0);
+        let m = Mutation::SetEdgeProb { parent: r, child: b1, prob: 0.25 };
+        let effect = pi.apply(&m).unwrap();
+        assert_eq!(effect.dirty, vec![r]);
+        assert!(!effect.structural);
+        let after = pi.opf(r).unwrap().marginal_present(pos);
+        assert!((after - 0.25).abs() < 1e-12, "marginal {after}");
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn set_edge_prob_is_noop_at_current_marginal() {
+        let mut pi = fig2_instance();
+        let (r, b1) = (oid(&pi, "R"), oid(&pi, "B1"));
+        let pos = pi.weak().node(r).unwrap().universe().position(b1).unwrap();
+        let m = pi.opf(r).unwrap().marginal_present(pos);
+        let effect =
+            pi.apply(&Mutation::SetEdgeProb { parent: r, child: b1, prob: m }).unwrap();
+        assert!(effect.dirty.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrips_validity() {
+        let mut pi = fig2_instance();
+        let b1 = oid(&pi, "B1");
+        let label = pi.lid("author").unwrap();
+        let before = pi.object_count();
+        let effect = pi
+            .apply(&Mutation::InsertObject {
+                name: "A9".into(),
+                parent: b1,
+                label,
+                prob: 0.0, // card(B1, author) = [1,2] is already saturated
+            })
+            .unwrap();
+        assert!(effect.structural);
+        let a9 = effect.inserted.unwrap();
+        assert_eq!(pi.object_count(), before + 1);
+        pi.validate().unwrap();
+        let effect = pi.apply(&Mutation::DeleteObject { object: a9 }).unwrap();
+        assert_eq!(effect.removed, vec![a9]);
+        assert_eq!(pi.object_count(), before);
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_violating_card_max_is_rejected_atomically() {
+        let mut pi = fig2_instance();
+        let snapshot = pi.render();
+        let b1 = oid(&pi, "B1");
+        let label = pi.lid("author").unwrap();
+        // card(B1, author) = [1,2]; a third author with positive presence
+        // probability puts mass outside PC(B1).
+        let err = pi
+            .apply(&Mutation::InsertObject {
+                name: "A9".into(),
+                parent: b1,
+                label,
+                prob: 0.5,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::OpfEntryOutsidePc { .. }), "{err}");
+        assert_eq!(pi.render(), snapshot, "failed insert must not change the instance");
+        assert!(pi.catalog().find_object("A9").is_none(), "catalog must stay clean");
+    }
+
+    #[test]
+    fn delete_cascades_to_exclusive_subtree() {
+        let mut pi = fig2_instance();
+        let b3 = oid(&pi, "B3");
+        let t2 = oid(&pi, "T2");
+        let effect = pi.apply(&Mutation::DeleteObject { object: b3 }).unwrap();
+        // B3's title T2 is exclusive to B3; A3 under B3 is shared with B2
+        // and I2 stays reachable through A2.
+        assert!(effect.removed.contains(&b3));
+        assert!(effect.removed.contains(&t2));
+        assert!(pi.weak().contains(oid(&pi, "A3")));
+        assert!(pi.weak().contains(oid(&pi, "I2")));
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_root_and_unknown_are_typed_errors() {
+        let mut pi = fig2_instance();
+        let r = oid(&pi, "R");
+        assert!(matches!(
+            pi.apply(&Mutation::DeleteObject { object: r }),
+            Err(CoreError::CannotDeleteRoot)
+        ));
+        assert!(matches!(
+            pi.apply(&Mutation::DeleteObject { object: ObjectId::from_raw(9999) }),
+            Err(CoreError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_exclusive_child_is_unreachable() {
+        let mut pi = fig2_instance();
+        // T2 has no parent besides B3: unlinking would orphan it.
+        let (b3, t2) = (oid(&pi, "B3"), oid(&pi, "T2"));
+        let err = pi.apply(&Mutation::RemoveEdge { parent: b3, child: t2 }).unwrap_err();
+        assert!(matches!(err, CoreError::Unreachable(_)), "{err}");
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn unlink_forced_shared_child_is_degenerate() {
+        // R forces both M and X present; M also forces X. Unlinking
+        // R → X keeps X reachable through M, but conditioning R's OPF on
+        // X's absence has zero surviving mass (§6.1 renormalisation is
+        // undefined).
+        let mut b = ProbInstance::builder();
+        let r = b.object("R");
+        let m = b.object("M");
+        let x = b.object("X");
+        b.lch("R", "a", &["M", "X"]);
+        b.lch("M", "a", &["X"]);
+        b.opf_table("R", &[(&["M", "X"], 1.0)]);
+        b.opf_table("M", &[(&["X"], 1.0)]);
+        b.opf_table("X", &[(&[], 1.0)]);
+        let mut pi = b.build(r).unwrap();
+        pi.validate().unwrap();
+        let err = pi.apply(&Mutation::RemoveEdge { parent: r, child: x }).unwrap_err();
+        assert!(matches!(err, CoreError::DegenerateMass { .. }), "{err}");
+        let _ = m;
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn unlink_optional_child_renormalises() {
+        let mut pi = fig2_instance();
+        // card(B1, title) = [0,1]: T1 is optional under B1.
+        let (b1, t1) = (oid(&pi, "B1"), oid(&pi, "T1"));
+        let err = pi.apply(&Mutation::RemoveEdge { parent: b1, child: t1 });
+        // T1 has no other parent, so the unlink orphans it — typed error.
+        assert!(matches!(err, Err(CoreError::Unreachable(_))), "{err:?}");
+        // Deleting instead cascades.
+        pi.apply(&Mutation::DeleteObject { object: t1 }).unwrap();
+        assert!(!pi.weak().contains(t1));
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn link_and_unlink_shared_child() {
+        let mut pi = fig2_instance();
+        let (b1, i1) = (oid(&pi, "B1"), oid(&pi, "I1"));
+        let label = pi.lid("institution").unwrap();
+        // I1 is already a child of A1 and A2; link it under B1 too.
+        pi.apply(&Mutation::AddEdge { parent: b1, label, child: i1, prob: 0.5 }).unwrap();
+        pi.validate().unwrap();
+        // Now unlink is fine: I1 stays reachable through A1/A2.
+        pi.apply(&Mutation::RemoveEdge { parent: b1, child: i1 }).unwrap();
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn add_edge_cycle_is_rejected() {
+        let mut pi = fig2_instance();
+        let (b1, r) = (oid(&pi, "B1"), oid(&pi, "R"));
+        let label = pi.lid("book").unwrap();
+        let err =
+            pi.apply(&Mutation::AddEdge { parent: b1, label, child: r, prob: 0.5 }).unwrap_err();
+        assert!(matches!(err, CoreError::CycleDetected(_)), "{err}");
+    }
+
+    #[test]
+    fn set_value_prob_rescales_rest() {
+        let mut pi = fig2_instance();
+        let t1 = oid(&pi, "T1");
+        let vqdb = Value::str("VQDB");
+        let lore = Value::str("Lore");
+        let before_lore = pi.vpf(t1).unwrap().prob(&lore);
+        pi.apply(&Mutation::SetValueProb { object: t1, value: vqdb.clone(), prob: 0.9 })
+            .unwrap();
+        let v = pi.vpf(t1).unwrap();
+        assert!((v.prob(&vqdb) - 0.9).abs() < 1e-12);
+        assert!((v.total() - 1.0).abs() < 1e-9);
+        assert!(v.prob(&lore) < before_lore);
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn set_value_outside_domain_is_typed() {
+        let mut pi = fig2_instance();
+        let t1 = oid(&pi, "T1");
+        let err = pi
+            .apply(&Mutation::SetValueProb { object: t1, value: Value::Int(7), prob: 0.5 })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::VpfValueOutsideDomain { .. }), "{err}");
+    }
+
+    #[test]
+    fn replace_opf_validates_support() {
+        let mut pi = fig2_instance();
+        let b1 = oid(&pi, "B1");
+        let u = pi.weak().node(b1).unwrap().universe().clone();
+        // All-empty support violates card(B1, author) = [1,2].
+        let bogus = Opf::Table(OpfTable::from_entries([(ChildSet::empty(&u), 1.0)]));
+        let err = pi.apply(&Mutation::ReplaceOpf { object: b1, opf: bogus }).unwrap_err();
+        assert!(matches!(err, CoreError::OpfEntryOutsidePc { .. }), "{err}");
+        // Replacing with its own (valid) OPF is fine.
+        let own = pi.opf(b1).unwrap().clone();
+        pi.apply(&Mutation::ReplaceOpf { object: b1, opf: own }).unwrap();
+        pi.validate().unwrap();
+    }
+
+    #[test]
+    fn ops_roundtrip_through_text() {
+        let pi = fig2_instance();
+        let ops = vec![
+            Mutation::SetEdgeProb {
+                parent: oid(&pi, "R"),
+                child: oid(&pi, "B1"),
+                prob: 0.25,
+            },
+            Mutation::SetValueProb {
+                object: oid(&pi, "T1"),
+                value: Value::str("VQDB"),
+                prob: 0.9,
+            },
+            Mutation::InsertObject {
+                name: "B9".into(),
+                parent: oid(&pi, "R"),
+                label: pi.lid("book").unwrap(),
+                prob: 0.0,
+            },
+            Mutation::RemoveEdge { parent: oid(&pi, "B1"), child: oid(&pi, "T1") },
+            Mutation::DeleteObject { object: oid(&pi, "B3") },
+        ];
+        let text = render_ops(&pi, &ops);
+        let back = parse_ops(&pi, &text).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let pi = fig2_instance();
+        let err = parse_ops(&pi, "# fine\nDELETE B1\nFROB x\n").unwrap_err();
+        assert!(matches!(err, CoreError::BadOps { line: 3, .. }), "{err}");
+        let err = parse_ops(&pi, "DELETE NOSUCH\n").unwrap_err();
+        assert!(matches!(err, CoreError::BadOps { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn structural_mutations_keep_compact_opfs_valid() {
+        // An Independent-OPF parent: three children, no binding cards.
+        let mut b = ProbInstance::builder();
+        let r = b.object("R");
+        b.lch("R", "a", &["X", "Y", "Z"]);
+        b.opf(r, Opf::Independent(crate::opf::IndependentOpf::new(vec![0.5, 0.5, 0.5])));
+        let mut pi = b.build(r).unwrap();
+        pi.validate().unwrap();
+        let z = pi.oid("Z").unwrap();
+        // Shrink: delete Z; the Independent OPF drops its slot.
+        pi.apply(&Mutation::DeleteObject { object: z }).unwrap();
+        pi.validate().unwrap();
+        assert_eq!(pi.weak().node(pi.root()).unwrap().universe().len(), 2);
+        // Grow: insert a fresh child with p = 0.25.
+        let label = pi.lid("a").unwrap();
+        pi.apply(&Mutation::InsertObject {
+            name: "W".into(),
+            parent: pi.root(),
+            label,
+            prob: 0.25,
+        })
+        .unwrap();
+        pi.validate().unwrap();
+        let w = pi.oid("W").unwrap();
+        let pos = pi.weak().node(pi.root()).unwrap().universe().position(w).unwrap();
+        let marg = pi.opf(pi.root()).unwrap().marginal_present(pos);
+        assert!((marg - 0.25).abs() < 1e-12, "{marg}");
+    }
+}

@@ -72,6 +72,22 @@ impl ProbInstance {
         (self.weak, self.opf, self.vpf)
     }
 
+    /// Mutable access to the weak skeleton (mutation support; see
+    /// [`crate::mutate`]).
+    pub(crate) fn weak_mut(&mut self) -> &mut WeakInstance {
+        &mut self.weak
+    }
+
+    /// Mutable access to the OPF map (mutation support).
+    pub(crate) fn opf_map_mut(&mut self) -> &mut IdMap<ObjectKind, Opf> {
+        &mut self.opf
+    }
+
+    /// Mutable access to the VPF map (mutation support).
+    pub(crate) fn vpf_map_mut(&mut self) -> &mut IdMap<ObjectKind, Vpf> {
+        &mut self.vpf
+    }
+
     /// The underlying weak instance.
     pub fn weak(&self) -> &WeakInstance {
         &self.weak

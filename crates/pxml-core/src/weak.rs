@@ -126,6 +126,12 @@ impl WeakNode {
     pub fn is_childless(&self) -> bool {
         self.universe.is_empty()
     }
+
+    /// Replaces the child universe wholesale (mutation support: edge and
+    /// object removal rebuild the universe so positions stay dense).
+    pub(crate) fn set_universe(&mut self, universe: ChildUniverse) {
+        self.universe = universe;
+    }
 }
 
 /// A weak instance `W = (V, lch, τ, val, card)` over a shared catalog.
@@ -301,6 +307,24 @@ impl WeakInstance {
             }
         }
         map
+    }
+
+    /// Mutable access to the shared catalog (copy-on-write when other
+    /// instances still hold the `Arc`); used by mutations that intern
+    /// fresh object names.
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        Arc::make_mut(&mut self.catalog)
+    }
+
+    /// Inserts (or replaces) a node; mutation support — the caller is
+    /// responsible for re-validating the affected neighbourhood.
+    pub(crate) fn insert_node(&mut self, o: ObjectId, node: WeakNode) {
+        self.nodes.insert(o, node);
+    }
+
+    /// Removes a node from `V`; mutation support.
+    pub(crate) fn remove_node(&mut self, o: ObjectId) -> Option<WeakNode> {
+        self.nodes.remove(o)
     }
 
     /// The descendants of `o` in the weak instance graph (`des(o)`,

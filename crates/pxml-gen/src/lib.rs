@@ -17,12 +17,14 @@
 
 pub mod config;
 pub mod dag;
+pub mod mutations;
 pub mod queries;
 pub mod tree;
 pub mod workload;
 
 pub use config::{Labeling, WorkloadConfig};
 pub use dag::{random_dag, random_dag_with, DagConfig};
+pub use mutations::random_mutations;
 pub use queries::{
     analysis_batch, query_batch, random_dead_path, random_path_query, random_selection_query,
     selection_batch, AnalysisQuery,

@@ -1,0 +1,172 @@
+//! Cache-coherence audit: recompute every *retained* cache entry from
+//! scratch and report mismatches.
+//!
+//! Dirty-set invalidation has one silent failure mode:
+//! under-invalidation, where a stale entry survives a mutation and
+//! poisons later answers with plausible-but-wrong probabilities. The
+//! differential test suite catches this indirectly (a later query must
+//! disagree with the fresh-instance oracle); [`QueryEngine::audit_cache`]
+//! catches it directly by checking, entry by entry, that what the cache
+//! holds is exactly what evaluation would recompute against the current
+//! instance:
+//!
+//! * **layers** — rerun the forward locate pass and compare.
+//! * **links** — compare against `℘(parent)`'s marginal at the cached
+//!   universe position.
+//! * **eps** — rebuild the kept region below the entry's object for its
+//!   `(suffix, target)` key and rerun the §6.2 recursion (bit-exact: the
+//!   recursion order is universe order in both paths).
+//! * **results** — rerun each cached query on a fresh single-threaded
+//!   engine over a clone of the instance and compare answers bit-exactly
+//!   (errors compare by rendered message).
+//!
+//! The audit is test/debug machinery — it is deliberately `O(cache)` ×
+//! `O(instance)` and takes no shortcuts from the very caches it audits.
+
+use pxml_algebra::locate::layers_weak;
+use pxml_algebra::path::PathExpr;
+use pxml_core::{Budget, ObjectId};
+
+use crate::cache::TargetKey;
+use crate::engine::QueryEngine;
+use crate::point::{eps_at, kept_region, NoHook};
+
+impl QueryEngine {
+    /// Recomputes every retained cache entry from scratch; returns one
+    /// human-readable finding per mismatch (empty = coherent). See the
+    /// module docs for what is checked per table.
+    pub fn audit_cache(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        self.audit_layers(&mut findings);
+        self.audit_links(&mut findings);
+        self.audit_eps(&mut findings);
+        self.audit_results(&mut findings);
+        findings
+    }
+
+    fn audit_layers(&self, findings: &mut Vec<String>) {
+        let pi = self.instance();
+        for ((root, labels), cached) in self.cache().layer_entries() {
+            let p = PathExpr::new(root, labels.labels().to_vec());
+            let fresh = layers_weak(pi.weak(), &p);
+            if *cached != fresh {
+                findings.push(format!(
+                    "layers[{root:?}, {:?}]: cached {:?} != fresh {:?}",
+                    labels.labels(),
+                    &*cached,
+                    fresh
+                ));
+            }
+        }
+    }
+
+    fn audit_links(&self, findings: &mut Vec<String>) {
+        let pi = self.instance();
+        for ((parent, pos), cached) in self.cache().link_entries() {
+            let fresh = match pi.opf(parent) {
+                Some(opf) if (pos as usize) < pi.weak().node(parent).map_or(0, |n| n.universe().len()) => {
+                    opf.marginal_present(pos)
+                }
+                _ => {
+                    findings.push(format!(
+                        "links[{parent:?}, {pos}]: parent or position no longer exists"
+                    ));
+                    continue;
+                }
+            };
+            if cached.to_bits() != fresh.to_bits() {
+                findings.push(format!(
+                    "links[{parent:?}, {pos}]: cached {cached} != fresh {fresh}"
+                ));
+            }
+        }
+    }
+
+    fn audit_eps(&self, findings: &mut Vec<String>) {
+        let pi = self.instance();
+        let budget = Budget::unlimited();
+        for (key, cached) in self.cache().eps_entries() {
+            let labels = key.suffix.labels().to_vec();
+            // Forward locate from the entry's object along the suffix —
+            // `layers_weak` anchors at the instance root, so walk here.
+            let mut layers: Vec<Vec<ObjectId>> = vec![vec![key.object]];
+            for &l in &labels {
+                let mut next: Vec<ObjectId> = layers
+                    .last()
+                    .expect("at least the seed layer")
+                    .iter()
+                    .flat_map(|&o| {
+                        pi.weak()
+                            .weak_edges(o)
+                            .into_iter()
+                            .filter(move |&(el, _)| el == l)
+                            .map(|(_, c)| c)
+                    })
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                layers.push(next);
+            }
+            let targets: Vec<ObjectId> = match &key.target {
+                TargetKey::One(o) => vec![*o],
+                TargetKey::AllLocated => layers.last().cloned().unwrap_or_default(),
+            };
+            let p = PathExpr::new(key.object, labels.clone());
+            let fresh = match kept_region(pi, &p, &layers, &targets) {
+                Ok(kept) if kept.first().is_some_and(|l| l.contains(&key.object)) => {
+                    match eps_at(pi, &labels, &kept, key.object, 0, &mut NoHook, &budget) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            findings.push(format!(
+                                "eps[{:?}, {:?}, {:?}]: recompute failed: {e}",
+                                key.object,
+                                labels,
+                                key.target
+                            ));
+                            continue;
+                        }
+                    }
+                }
+                // Object can no longer reach any target: ε = 0.
+                Ok(_) => 0.0,
+                Err(e) => {
+                    findings.push(format!(
+                        "eps[{:?}, {:?}, {:?}]: kept region invalid ({e}) — \
+                         a retained entry must still be tree-shaped",
+                        key.object, labels, key.target
+                    ));
+                    continue;
+                }
+            };
+            if cached.to_bits() != fresh.to_bits() {
+                findings.push(format!(
+                    "eps[{:?}, {:?}, {:?}]: cached {cached} != fresh {fresh}",
+                    key.object, labels, key.target
+                ));
+            }
+        }
+    }
+
+    fn audit_results(&self, findings: &mut Vec<String>) {
+        let entries = self.cache().result_entries();
+        if entries.is_empty() {
+            return;
+        }
+        // A fresh single-threaded engine with an empty cache is the
+        // from-scratch oracle; it shares no state with `self`.
+        let oracle = QueryEngine::with_threads(self.instance().clone(), 1);
+        for (q, cached) in entries {
+            let fresh = oracle.run(&q);
+            let agree = match (&cached, &fresh) {
+                (Ok(a), Ok(b)) => a.to_bits() == b.to_bits(),
+                (Err(a), Err(b)) => a.to_string() == b.to_string(),
+                _ => false,
+            };
+            if !agree {
+                findings.push(format!(
+                    "results[{q:?}]: cached {cached:?} != fresh {fresh:?}"
+                ));
+            }
+        }
+    }
+}

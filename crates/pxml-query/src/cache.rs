@@ -251,4 +251,165 @@ impl MarginalCache {
     pub fn is_empty(&self) -> bool {
         self.len() == (0, 0, 0, 0)
     }
+
+    /// Dirty-set invalidation after a mutation: evicts exactly the
+    /// entries whose keys can be affected, leaving the rest warm.
+    ///
+    /// `direct` is the set `D` of directly changed objects (mutated
+    /// parents, removed objects, the inserted object); `affected` is
+    /// `D ∪ ancestors(D)` over the weak-edge DAG. Per table:
+    ///
+    /// * **eps** — `ε_x` integrates over the subtree below `x`, so it is
+    ///   stale exactly when `subtree(x) ∩ D ≠ ∅`, i.e. when `x` is in
+    ///   `D` or an ancestor of a member: evict `key.object ∈ affected`.
+    /// * **links** — `(parent, pos)` memoises one OPF marginal: evict
+    ///   `parent ∈ D`.
+    /// * **layers** — located layers depend only on the weak skeleton,
+    ///   so entry-level mutations keep them valid; on structural
+    ///   mutations evict entries with any located object in `D`. This is
+    ///   sound for *additions* too: a newly locatable path must traverse
+    ///   the mutated parent `P`, and its prefix uses only pre-existing
+    ///   edges, so `P ∈ D` already appears in the stale entry's layers.
+    /// * **results** — `Chain` answers touch exactly their listed
+    ///   objects: evict on overlap with `D`. `Point`/`Exists` answers
+    ///   are determined by the located layers plus the OPFs of objects
+    ///   in them, so consult this cache's own layers entry for the
+    ///   query's path (results are therefore evicted *before* layers);
+    ///   evict on overlap with `D`, or conservatively when the layers
+    ///   entry is gone.
+    pub fn invalidate_dirty(
+        &self,
+        direct: &std::collections::HashSet<ObjectId>,
+        affected: &std::collections::HashSet<ObjectId>,
+        structural: bool,
+    ) -> InvalidationCounts {
+        let mut counts = InvalidationCounts::default();
+        let touches_direct =
+            |layers: &[Vec<ObjectId>]| layers.iter().any(|l| l.iter().any(|o| direct.contains(o)));
+
+        // Results first: the Point/Exists test reads the layers table,
+        // which must still hold the pre-mutation entries.
+        {
+            let layers = self.layers.read();
+            let mut s = self.results.write();
+            let mut freed = 0u64;
+            s.map.retain(|q, _| {
+                let stale = match q {
+                    Query::Chain { objects } => objects.iter().any(|o| direct.contains(o)),
+                    Query::Point { path, .. } | Query::Exists { path } => {
+                        match layers.map.get(&(path.root, LabelPath::from(&path.labels[..]))) {
+                            Some(l) => touches_direct(l),
+                            None => true, // no witness — evict conservatively
+                        }
+                    }
+                };
+                if stale {
+                    let extra = match q {
+                        Query::Chain { objects } => objects.len() as u64 * 4,
+                        Query::Point { path, .. } | Query::Exists { path } => {
+                            path.labels.len() as u64 * 4
+                        }
+                    };
+                    freed += RESULT_ENTRY_BYTES + extra;
+                    counts.results += 1;
+                }
+                !stale
+            });
+            s.bytes -= freed;
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        if structural {
+            let mut s = self.layers.write();
+            let mut freed = 0u64;
+            s.map.retain(|_, l| {
+                let stale = touches_direct(l);
+                if stale {
+                    let extra: u64 = l.iter().map(|lay| 24 + lay.len() as u64 * 4).sum();
+                    freed += LAYERS_ENTRY_BYTES + extra;
+                    counts.layers += 1;
+                }
+                !stale
+            });
+            s.bytes -= freed;
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        {
+            let mut s = self.eps.write();
+            let mut freed = 0u64;
+            s.map.retain(|k, _| {
+                let stale = affected.contains(&k.object);
+                if stale {
+                    freed += EPS_ENTRY_BYTES;
+                    counts.eps += 1;
+                }
+                !stale
+            });
+            s.bytes -= freed;
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        {
+            let mut s = self.links.write();
+            let mut freed = 0u64;
+            s.map.retain(|(parent, _), _| {
+                let stale = direct.contains(parent);
+                if stale {
+                    freed += LINK_ENTRY_BYTES;
+                    counts.links += 1;
+                }
+                !stale
+            });
+            s.bytes -= freed;
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        counts
+    }
+
+    /// Snapshot of the whole-query memo (audit support).
+    pub(crate) fn result_entries(&self) -> Vec<(Query, Result<f64>)> {
+        self.results.read().map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Snapshot of the located-layers memo (audit support).
+    pub(crate) fn layer_entries(&self) -> LayerEntries {
+        self.layers.read().map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+    }
+
+    /// Snapshot of the ε memo (audit support).
+    pub(crate) fn eps_entries(&self) -> Vec<(EpsKey, f64)> {
+        self.eps.read().map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Snapshot of the link-marginal memo (audit support).
+    pub(crate) fn link_entries(&self) -> Vec<((ObjectId, u32), f64)> {
+        self.links.read().map.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+/// Snapshot of the located-layers memo: `(root, label path)` key plus
+/// the cached per-depth layers (audit support).
+pub(crate) type LayerEntries = Vec<((ObjectId, LabelPath), Arc<Vec<Vec<ObjectId>>>)>;
+
+/// Per-table eviction counts from one [`MarginalCache::invalidate_dirty`]
+/// call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationCounts {
+    /// Whole-query results evicted.
+    pub results: u64,
+    /// Located-layer entries evicted.
+    pub layers: u64,
+    /// ε marginals evicted.
+    pub eps: u64,
+    /// Link marginals evicted.
+    pub links: u64,
+}
+
+impl InvalidationCounts {
+    /// Total entries evicted across all four tables.
+    pub fn total(&self) -> u64 {
+        self.results + self.layers + self.eps + self.links
+    }
 }

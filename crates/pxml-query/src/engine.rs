@@ -26,11 +26,13 @@ use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
 use pxml_core::catalog::DisplayObject;
 use pxml_core::summary::StructuralSummary;
-use pxml_core::{Budget, CancelToken, Exhausted, LabelPath, ObjectId, ProbInstance};
+use pxml_core::{
+    render_ops, Budget, CancelToken, Exhausted, LabelPath, Mutation, ObjectId, ProbInstance,
+};
 use pxml_interval::Interval;
 use std::sync::Arc;
 
-use crate::cache::{EpsKey, MarginalCache, TargetKey};
+use crate::cache::{EpsKey, InvalidationCounts, MarginalCache, TargetKey};
 use crate::chain::{chain_probability_budgeted, chain_probability_interval};
 use crate::dag::{exists_query_dag_governed, point_query_dag_governed, DagOutcome};
 use crate::error::{QueryError, Result};
@@ -174,6 +176,33 @@ impl Answer {
     }
 }
 
+/// How [`QueryEngine::apply_mutation`] invalidates the shared cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InvalidationPolicy {
+    /// Evict only the entries whose keys can be affected by the
+    /// mutation's dirty set (see [`MarginalCache::invalidate_dirty`]).
+    /// The default.
+    #[default]
+    DirtySet,
+    /// Drop the whole cache on every mutation — the trivially correct
+    /// baseline the dirty-set path is benchmarked against.
+    FlushAll,
+}
+
+/// What one [`QueryEngine::apply_mutation`] call did.
+#[derive(Clone, Debug)]
+pub struct MutationOutcome {
+    /// The core-layer effect: dirty/removed/inserted objects.
+    pub effect: pxml_core::MutationEffect,
+    /// Size of the affected set `D ∪ ancestors(D)` used for ε eviction.
+    pub affected: usize,
+    /// Per-table eviction counts (all zero under `FlushAll`, which
+    /// bypasses entry-level accounting).
+    pub invalidated: InvalidationCounts,
+    /// Wall time of apply + propagation + eviction, in nanoseconds.
+    pub nanos: u64,
+}
+
 /// Batch query engine over one probabilistic instance.
 #[derive(Debug)]
 pub struct QueryEngine {
@@ -192,6 +221,8 @@ pub struct QueryEngine {
     /// Opt-in static pre-flight stage; one relaxed load gates it, so
     /// the default-off hot path is unchanged.
     preflight: AtomicBool,
+    /// Cache-invalidation strategy for mutations.
+    invalidation: InvalidationPolicy,
 }
 
 const TRACE_OFF: u8 = 0;
@@ -226,6 +257,7 @@ impl QueryEngine {
             trace_seq: AtomicU64::new(0),
             summary: OnceLock::new(),
             preflight: AtomicBool::new(false),
+            invalidation: InvalidationPolicy::default(),
         }
     }
 
@@ -304,6 +336,132 @@ impl QueryEngine {
     /// Consumes the engine, returning the instance.
     pub fn into_instance(self) -> ProbInstance {
         self.pi
+    }
+
+    /// Shared-cache handle for the audit hook (`crate::audit`).
+    pub(crate) fn cache(&self) -> &MarginalCache {
+        &self.cache
+    }
+
+    /// The configured cache-invalidation strategy for mutations.
+    pub fn invalidation_policy(&self) -> InvalidationPolicy {
+        self.invalidation
+    }
+
+    /// Selects how mutations invalidate the cache (default:
+    /// [`InvalidationPolicy::DirtySet`]).
+    pub fn set_invalidation_policy(&mut self, policy: InvalidationPolicy) {
+        self.invalidation = policy;
+    }
+
+    /// Applies one mutation to the owned instance and invalidates the
+    /// cache per the configured [`InvalidationPolicy`]. Atomic: on `Err`
+    /// the instance, the cache, and the structural summary are all
+    /// unchanged.
+    pub fn apply_mutation(&mut self, m: &Mutation) -> Result<MutationOutcome> {
+        self.apply_mutation_governed(m, &Budget::unlimited())
+    }
+
+    /// [`QueryEngine::apply_mutation`] under a resource budget: the
+    /// §6.1 recomputation is bounded by the core layer's own checks, and
+    /// the dirty-set ancestor propagation charges one step per object
+    /// visited, so a runaway blast radius surfaces as a typed
+    /// [`pxml_core::Exhausted`] error *before* any eviction happens
+    /// (the mutation itself is already applied and stays applied; the
+    /// cache falls back to a full flush, which is always sound).
+    pub fn apply_mutation_governed(
+        &mut self,
+        m: &Mutation,
+        budget: &Budget,
+    ) -> Result<MutationOutcome> {
+        let started = Instant::now();
+        let effect = self.pi.apply(m).map_err(QueryError::from)?;
+        // Any mutation can stale the structural summary (presence
+        // ceilings read OPF marginals), so rebuild lazily on next use.
+        self.summary = OnceLock::new();
+
+        let mut affected_len = 0usize;
+        let invalidated = if effect.dirty.is_empty() {
+            InvalidationCounts::default() // provable no-op
+        } else if self.invalidation == InvalidationPolicy::FlushAll {
+            self.cache.clear();
+            InvalidationCounts::default()
+        } else {
+            match self.propagate_dirty(&effect.dirty, budget) {
+                Ok((direct, affected)) => {
+                    affected_len = affected.len();
+                    self.cache.invalidate_dirty(&direct, &affected, effect.structural)
+                }
+                Err(e) => {
+                    // Budget died mid-propagation: the instance already
+                    // mutated, so flush wholesale to stay sound.
+                    self.cache.clear();
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    self.stats.count_mutation(0, nanos);
+                    return Err(e);
+                }
+            }
+        };
+
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.stats.count_mutation(invalidated.total(), nanos);
+        if self.trace_mode.load(Ordering::Relaxed) == TRACE_FULL {
+            self.push_mutation_trace(m, nanos);
+        }
+        Ok(MutationOutcome { effect, affected: affected_len, invalidated, nanos })
+    }
+
+    /// Propagates the direct dirty set `D` up the ancestor DAG:
+    /// returns `(D, D ∪ ancestors(D))`. One budget step per object
+    /// visited bounds the walk on adversarial instances.
+    fn propagate_dirty(
+        &self,
+        dirty: &[ObjectId],
+        budget: &Budget,
+    ) -> Result<(std::collections::HashSet<ObjectId>, std::collections::HashSet<ObjectId>)> {
+        let parents = self.pi.weak().parents();
+        let direct: std::collections::HashSet<ObjectId> = dirty.iter().copied().collect();
+        let mut affected = direct.clone();
+        let mut queue: Vec<ObjectId> = dirty.to_vec();
+        while let Some(o) = queue.pop() {
+            budget.charge(1).map_err(pxml_core::CoreError::from)?;
+            let Some(ps) = parents.get(o) else { continue };
+            for &p in ps {
+                if affected.insert(p) {
+                    queue.push(p);
+                }
+            }
+        }
+        Ok((direct, affected))
+    }
+
+    /// Materialises one trace record for an applied mutation.
+    fn push_mutation_trace(&self, m: &Mutation, nanos: u64) {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let query = render_ops(&self.pi, std::slice::from_ref(m)).trim_end().to_string();
+        self.traces.push(QueryTrace {
+            seq,
+            query,
+            kind: QueryKind::Mutation,
+            outcome: TraceOutcome::Exact,
+            lo: 0.0,
+            hi: 0.0,
+            error: None,
+            total_nanos: nanos,
+            locate_nanos: 0,
+            marginal_nanos: 0,
+            normalise_nanos: 0,
+            result_hit: false,
+            layers_hits: 0,
+            layers_misses: 0,
+            eps_hits: 0,
+            eps_misses: 0,
+            link_hits: 0,
+            link_misses: 0,
+            opf_entries: 0,
+            budget_steps: 0,
+            budget_polls: 0,
+        });
     }
 
     /// The current trace mode.
@@ -454,6 +612,21 @@ impl QueryEngine {
             "Per-query budget spend in steps (governed queries, tracing enabled).",
             &s.budget_steps_hist,
             1.0,
+        );
+        reg.counter(
+            "pxml_mutations_total",
+            "Instance mutations applied through the engine.",
+            s.mutations_applied,
+        );
+        reg.counter(
+            "pxml_invalidations_total",
+            "Cache entries evicted by dirty-set invalidation.",
+            s.cache_invalidations,
+        );
+        reg.counter_f64(
+            "pxml_mutation_nanos_total",
+            "Wall time applying mutations, in nanoseconds.",
+            s.mutation_nanos as f64,
         );
         reg.counter(
             "pxml_traces_dropped_total",

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod cache;
 pub mod chain;
 pub mod conditional;
@@ -69,14 +70,16 @@ pub mod preflight;
 pub mod stats;
 pub mod trace;
 
-pub use cache::{EpsKey, MarginalCache, TargetKey};
+pub use cache::{EpsKey, InvalidationCounts, MarginalCache, TargetKey};
 pub use chain::{chain_probability, chain_probability_budgeted, chain_probability_named};
 pub use conditional::{
     conditional_exists_query, conditional_exists_query_budgeted, conditional_point_query,
     conditional_point_query_budgeted, presence_probability, presence_probability_budgeted,
 };
 pub use dag::{exists_query_dag, point_query_dag};
-pub use engine::{Answer, BudgetSpec, DegradePolicy, Query, QueryEngine};
+pub use engine::{
+    Answer, BudgetSpec, DegradePolicy, InvalidationPolicy, MutationOutcome, Query, QueryEngine,
+};
 pub use error::{QueryError, Result};
 pub use metrics::MetricsRegistry;
 pub use point::{exists_query, exists_query_budgeted, point_query, point_query_budgeted};
@@ -86,4 +89,6 @@ pub use trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing};
 
 // Re-exported so downstream users (the CLI, tests) can build budgets
 // without importing pxml-core directly.
-pub use pxml_core::{Budget, CancelToken, Exhausted, Resource};
+pub use pxml_core::{
+    parse_ops, render_ops, Budget, CancelToken, Exhausted, Mutation, MutationEffect, Resource,
+};

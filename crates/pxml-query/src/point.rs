@@ -142,7 +142,7 @@ pub(crate) fn kept_region(
 /// Top-down ε evaluation over a verified tree-shaped kept region:
 /// `ε_x = ℘(x)-survival over kept children`, `ε = 1` at depth `n`.
 /// `hook` may supply memoised subtree values, skipping their recursion.
-fn eps_at(
+pub(crate) fn eps_at(
     pi: &ProbInstance,
     labels: &[Label],
     kept: &[Vec<ObjectId>],

@@ -184,6 +184,14 @@ pub struct EngineStats {
     pub batch_nanos: AtomicU64,
     /// Number of `run_batch` / `run_batch_governed` calls completed.
     pub batches_run: AtomicU64,
+    /// Mutations applied through `QueryEngine::apply_mutation`.
+    pub mutations_applied: AtomicU64,
+    /// Cache entries evicted by dirty-set invalidation (all four tables;
+    /// whole-table byte-ceiling evictions are counted separately).
+    pub cache_invalidations: AtomicU64,
+    /// Nanoseconds spent applying mutations (§6.1 recomputation plus
+    /// dirty-set propagation and eviction).
+    pub mutation_nanos: AtomicU64,
     /// Per-query wall-time histogram (nanoseconds), populated only when
     /// the engine's trace mode enables per-query timing.
     pub query_nanos_hist: LogHistogram,
@@ -254,6 +262,11 @@ impl EngineStats {
         self.batch_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         bump!(self.batches_run);
     }
+    pub(crate) fn count_mutation(&self, invalidated: u64, nanos: u64) {
+        bump!(self.mutations_applied);
+        self.cache_invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        self.mutation_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
     pub(crate) fn observe_query_nanos(&self, nanos: u64) {
         self.query_nanos_hist.observe(nanos);
     }
@@ -285,6 +298,9 @@ impl EngineStats {
             &self.marginal_nanos,
             &self.batch_nanos,
             &self.batches_run,
+            &self.mutations_applied,
+            &self.cache_invalidations,
+            &self.mutation_nanos,
         ] {
             f.store(0, Ordering::Relaxed);
         }
@@ -329,6 +345,9 @@ impl EngineStats {
             marginal_nanos: g(&self.marginal_nanos),
             batch_nanos: g(&self.batch_nanos),
             batches_run: g(&self.batches_run),
+            mutations_applied: g(&self.mutations_applied),
+            cache_invalidations: g(&self.cache_invalidations),
+            mutation_nanos: g(&self.mutation_nanos),
             query_nanos_hist: self.query_nanos_hist.snapshot(),
             budget_steps_hist: self.budget_steps_hist.snapshot(),
         }
@@ -383,6 +402,12 @@ pub struct StatsSnapshot {
     pub batch_nanos: u64,
     /// Batches completed.
     pub batches_run: u64,
+    /// Mutations applied.
+    pub mutations_applied: u64,
+    /// Cache entries evicted by dirty-set invalidation.
+    pub cache_invalidations: u64,
+    /// Wall time spent applying mutations.
+    pub mutation_nanos: u64,
     /// Per-query latency histogram (nanoseconds; empty unless tracing
     /// was enabled).
     pub query_nanos_hist: HistSnapshot,
@@ -533,6 +558,13 @@ impl fmt::Display for StatsSnapshot {
             f,
             "preflight          zeros {}  rewrites {}  rejections {}",
             self.preflight_zeros, self.preflight_rewrites, self.preflight_rejections,
+        )?;
+        writeln!(
+            f,
+            "mutations          applied {}  invalidations {}  wall {:.3} ms",
+            self.mutations_applied,
+            self.cache_invalidations,
+            ms(self.mutation_nanos),
         )?;
         write!(
             f,

@@ -51,6 +51,9 @@ pub enum QueryKind {
     Exists,
     /// `P(r.o₁.….oᵢ)`.
     Chain,
+    /// An instance mutation applied through the engine (the trace's
+    /// timing fields carry apply + invalidation wall time).
+    Mutation,
 }
 
 impl QueryKind {
@@ -60,6 +63,7 @@ impl QueryKind {
             QueryKind::Point => "point",
             QueryKind::Exists => "exists",
             QueryKind::Chain => "chain",
+            QueryKind::Mutation => "mutation",
         }
     }
 
@@ -68,6 +72,7 @@ impl QueryKind {
             "point" => Some(QueryKind::Point),
             "exists" => Some(QueryKind::Exists),
             "chain" => Some(QueryKind::Chain),
+            "mutation" => Some(QueryKind::Mutation),
             _ => None,
         }
     }

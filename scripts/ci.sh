@@ -30,9 +30,18 @@ done
 # The deterministic fault-injection harness (20k byte-mutations per
 # input surface, fixed xorshift seed — replays identically everywhere),
 # now including the torn-write / truncation injection tests for the
-# atomic `.pxmlb` writer and CRC footer.
-echo "==> fuzz robustness harness (incl. torn-write injection)"
+# atomic `.pxmlb` writer, CRC footer, and the mutation-ops surface
+# (byte-mutated ops files + mutations against lenient instances).
+echo "==> fuzz robustness harness (incl. torn-write + mutation-ops injection)"
 cargo test -q --offline --test fuzz_robustness
+
+# Incremental-mutation differential suite: random mutation sequences
+# interleaved with point/exists/chain queries; every answer from the
+# dirty-set-invalidated engines must equal fresh-instance
+# recomputation slot-for-slot (1 vs 4 threads, governed and not), and
+# audit_cache must find zero stale retained entries after every op.
+echo "==> mutation differential suite"
+cargo test -q --offline --test mutation_differential
 
 # Resource-governance contracts: any budget is exact-or-bracketing,
 # exhaustion accounting is thread-count independent, and the dense
@@ -164,6 +173,36 @@ out="$(target/release/pxml batch "$smoke_dir/dense24.pxml" "$smoke_dir/preflight
   --preflight --stats 2>&1)"
 echo "$out" | grep -Eq 'preflight +zeros 1' || {
   echo "error: batch --preflight did not short-circuit the dead query:"; echo "$out"; exit 1;
+}
+
+# Mutation smoke, exercising the documented exit taxonomy on the
+# shipped Figure 2 instance: a valid ops file applies (exit 0, file
+# rewritten, --audit recomputing every retained cache entry), a
+# malformed ops file is a usage error (exit 2) that leaves the
+# instance untouched.
+echo "==> cli mutation smoke (pxml mutate)"
+cp data/fig2.pxml "$smoke_dir/mutate.pxml"
+printf 'SETEDGE R B1 PROB 0.25\nSETVAL T1 STR VQDB PROB 0.9\n' > "$smoke_dir/ops.txt"
+out="$(target/release/pxml mutate "$smoke_dir/mutate.pxml" "$smoke_dir/ops.txt" --audit --stats 2>&1)" || {
+  echo "error: valid mutate run exited nonzero:"; echo "$out"; exit 1;
+}
+echo "$out" | grep -q 'applied 2 ops' || {
+  echo "error: mutate did not report applied ops:"; echo "$out"; exit 1;
+}
+cmp -s data/fig2.pxml "$smoke_dir/mutate.pxml" && {
+  echo "error: mutate did not rewrite the instance file"; exit 1;
+}
+cp data/fig2.pxml "$smoke_dir/mutate.pxml"
+printf 'SETEDGE R B1 PROB 0.25\nFROBNICATE everything\n' > "$smoke_dir/bad-ops.txt"
+set +e
+target/release/pxml mutate "$smoke_dir/mutate.pxml" "$smoke_dir/bad-ops.txt" >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 2 ] || {
+  echo "error: malformed ops file exited $code, want 2 (usage)"; exit 1;
+}
+cmp -s data/fig2.pxml "$smoke_dir/mutate.pxml" || {
+  echo "error: failed mutate run modified the instance file"; exit 1;
 }
 
 echo "==> ci.sh: all green"

@@ -137,6 +137,75 @@ fn static_analyzer_never_panics_on_mutated_input() {
     }
 }
 
+#[test]
+fn ops_parser_never_panics_and_failed_applies_leave_the_instance_untouched() {
+    // The fourth byte-taking surface: `pxml mutate` ops files. Contract:
+    // any bytes parse to typed `BadOps` errors or a valid op list, never
+    // a panic — and an op that fails to *apply* leaves the instance
+    // bytewise unchanged (checked through the binary codec).
+    let pi = fig2_instance();
+    let seed_ops = "SETEDGE R B1 PROB 0.25\n\
+                    SETVAL T1 STR VQDB PROB 0.7\n\
+                    INSERT B9 UNDER R LABEL book PROB 0.0\n\
+                    LINK B3 author A1 PROB 0.3\n\
+                    UNLINK B1 T1\n\
+                    DELETE B2\n";
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0005);
+    let mut parse_rejected = 0usize;
+    for i in 0..MUTATIONS {
+        let mutated = mutate_bytes(&mut rng, seed_ops.as_bytes());
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match pxml::core::parse_ops(&pi, &text) {
+            Err(_) => 1usize,
+            Ok(ops) => {
+                let mut work = pi.clone();
+                for op in &ops {
+                    let before = to_binary(&work).expect("encodes");
+                    if work.apply(op).is_err() {
+                        let after = to_binary(&work).expect("still encodes");
+                        assert_eq!(before, after, "failed op changed the instance: {op:?}");
+                    }
+                }
+                0
+            }
+        }));
+        match outcome {
+            Ok(rejected) => parse_rejected += rejected,
+            Err(_) => panic!("ops pipeline panicked on mutation #{i}: {text:?}"),
+        }
+    }
+    assert!(parse_rejected > MUTATIONS / 2, "only {parse_rejected} mutations rejected");
+}
+
+#[test]
+fn mutations_against_lenient_instances_never_panic() {
+    // Instances loaded through the *lenient* decoders can be incoherent
+    // (that is the point of `pxml check`); mutating them must still be
+    // total — apply cleanly or fail with a typed error, never panic.
+    let seed = to_binary(&fig2_instance()).expect("fig2 encodes");
+    let ops_text = "SETEDGE R B1 PROB 0.4\nDELETE B3\nINSERT Z1 UNDER R LABEL book PROB 0.1\n";
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0006);
+    for i in 0..MUTATIONS {
+        let mutated = mutate_bytes(&mut rng, &seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let Ok(hostile) = from_binary_unchecked(&mutated) else { return };
+            // Generated entry-level ops: valid against whatever survived.
+            let mut work = hostile.clone();
+            for op in pxml::gen::random_mutations(&hostile, 4, i as u64) {
+                let _ = work.apply(&op);
+            }
+            // Parsed ops: names resolve only when the catalog survived.
+            if let Ok(ops) = pxml::core::parse_ops(&hostile, ops_text) {
+                let mut work = hostile;
+                for op in &ops {
+                    let _ = work.apply(op);
+                }
+            }
+        }));
+        assert!(outcome.is_ok(), "mutation pipeline panicked on lenient instance #{i}");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Seeded semantic corruption: each case plants exactly one coherence
 // violation in the Figure 2 text serialisation, loads it through the

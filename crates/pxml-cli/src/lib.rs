@@ -1,0 +1,93 @@
+//! # pxml-cli — shared machinery behind the `pxml` binary
+//!
+//! The binary (`src/main.rs`) stays a thin argument parser; everything a
+//! long-running process or a test needs programmatically lives here:
+//!
+//! * [`protocol`] — the length-prefixed wire protocol spoken by
+//!   `pxml serve` and `pxml request`: framing, request grammar, and the
+//!   status-byte taxonomy mirroring the CLI exit codes.
+//! * [`serve`] — the query daemon itself: an instance registry answering
+//!   queries from each instance's warm [`pxml_query::MarginalCache`],
+//!   per-request [`pxml_query::BudgetSpec`]s as admission control,
+//!   governed mutations with dirty-set invalidation, hot reload via
+//!   atomic `Arc` swap, and a Prometheus `/metrics` exposition.
+//! * [`load`] / [`save`] / [`translate_query`] — the loader/saver pair
+//!   shared by every verb and the QL→engine query translation shared by
+//!   `batch` and the daemon.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod protocol;
+pub mod serve;
+
+use std::path::Path;
+
+use pxml_core::ProbInstance;
+
+/// Loads an instance by extension: `.pxmlb` binary (CRC-checked),
+/// anything else text.
+pub fn load(path: &Path) -> Result<ProbInstance, String> {
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    if is_binary {
+        pxml_storage::read_binary_file(path).map_err(|e| e.to_string())
+    } else {
+        pxml_storage::read_text_file(path).map_err(|e| e.to_string())
+    }
+}
+
+/// Saves an instance by extension: `.pxmlb` binary (atomic, CRC
+/// footer), anything else text.
+pub fn save(pi: &ProbInstance, path: &Path) -> Result<(), String> {
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    if is_binary {
+        pxml_storage::write_binary_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
+    } else {
+        pxml_storage::write_text_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+/// Parses one QL line and resolves it onto the engine's query type.
+/// Only the probability queries the batch engine supports are accepted
+/// (`POINT` / `EXISTS` / `CHAIN`); everything else is rejected with a
+/// pointer at the single-query mode.
+pub fn translate_query(pi: &ProbInstance, line: &str) -> Result<pxml_query::Query, String> {
+    use pxml_ql::ast::{PathText, Query as Ast};
+    let resolve_object = |name: &str| {
+        pi.catalog().find_object(name).ok_or_else(|| format!("unknown name {name:?}"))
+    };
+    let resolve_path = |path: &PathText| -> Result<pxml_algebra::PathExpr, String> {
+        let root = resolve_object(&path.root)?;
+        let labels = path
+            .labels
+            .iter()
+            .map(|l| pi.catalog().find_label(l).ok_or_else(|| format!("unknown name {l:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(pxml_algebra::PathExpr::new(root, labels))
+    };
+    match pxml_ql::parse(line).map_err(|e| e.to_string())? {
+        Ast::Point { object, path } => Ok(pxml_query::Query::Point {
+            path: resolve_path(&path)?,
+            object: resolve_object(&object)?,
+        }),
+        Ast::Exists { path } => Ok(pxml_query::Query::Exists { path: resolve_path(&path)? }),
+        Ast::Chain { objects } => Ok(pxml_query::Query::Chain {
+            objects: objects
+                .iter()
+                .map(|n| resolve_object(n))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        other => {
+            let keyword = match other {
+                Ast::Project { .. } => "PROJECT",
+                Ast::SelectObject { .. } | Ast::SelectValue { .. } => "SELECT",
+                Ast::Prob { .. } => "PROB",
+                Ast::Worlds { .. } => "WORLDS",
+                Ast::Render => "RENDER",
+                _ => "this query",
+            };
+            Err(format!(
+                "batch mode answers POINT/EXISTS/CHAIN only; run {keyword} through the single-query mode"
+            ))
+        }
+    }
+}

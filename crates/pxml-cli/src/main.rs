@@ -65,6 +65,8 @@ use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use pxml_cli::serve::{self, Bind, ServeConfig, Server, Target};
+use pxml_cli::{load, protocol, save, translate_query};
 use pxml_core::ProbInstance;
 use pxml_ql::{execute, parse, Engine, Output};
 
@@ -132,6 +134,12 @@ fn real_main() -> Result<(), CliError> {
     }
     if args[0] == "mutate" {
         return run_mutate(&args[1..]);
+    }
+    if args[0] == "serve" {
+        return run_serve(&args[1..]);
+    }
+    if args[0] == "request" {
+        return run_request(&args[1..]);
     }
     let mut instance_path: Option<PathBuf> = None;
     let mut query: Option<String> = None;
@@ -300,7 +308,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     // order matches input order.
     let mut translated: Vec<Result<pxml_query::Query, String>> = Vec::with_capacity(lines.len());
     for line in &lines {
-        translated.push(translate_batch_query(&pi, line));
+        translated.push(translate_query(&pi, line));
     }
     let batch: Vec<pxml_query::Query> =
         translated.iter().filter_map(|t| t.as_ref().ok()).cloned().collect();
@@ -823,60 +831,6 @@ fn run_check(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// Parses one `batch` input line and resolves it onto the engine's query
-/// type. Non-probability queries are rejected with a pointer at the
-/// single-query mode.
-fn translate_batch_query(pi: &ProbInstance, line: &str) -> Result<pxml_query::Query, String> {
-    use pxml_ql::ast::{PathText, Query as Ast};
-    let resolve_object = |name: &str| {
-        pi.catalog().find_object(name).ok_or_else(|| format!("unknown name {name:?}"))
-    };
-    let resolve_path = |path: &PathText| -> Result<pxml_algebra::PathExpr, String> {
-        let root = resolve_object(&path.root)?;
-        let labels = path
-            .labels
-            .iter()
-            .map(|l| pi.catalog().find_label(l).ok_or_else(|| format!("unknown name {l:?}")))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(pxml_algebra::PathExpr::new(root, labels))
-    };
-    match parse(line).map_err(|e| e.to_string())? {
-        Ast::Point { object, path } => Ok(pxml_query::Query::Point {
-            path: resolve_path(&path)?,
-            object: resolve_object(&object)?,
-        }),
-        Ast::Exists { path } => Ok(pxml_query::Query::Exists { path: resolve_path(&path)? }),
-        Ast::Chain { objects } => Ok(pxml_query::Query::Chain {
-            objects: objects
-                .iter()
-                .map(|n| resolve_object(n))
-                .collect::<Result<Vec<_>, _>>()?,
-        }),
-        other => {
-            let keyword = match other {
-                Ast::Project { .. } => "PROJECT",
-                Ast::SelectObject { .. } | Ast::SelectValue { .. } => "SELECT",
-                Ast::Prob { .. } => "PROB",
-                Ast::Worlds { .. } => "WORLDS",
-                Ast::Render => "RENDER",
-                _ => "this query",
-            };
-            Err(format!(
-                "batch mode answers POINT/EXISTS/CHAIN only; run {keyword} through the single-query mode"
-            ))
-        }
-    }
-}
-
-fn load(path: &Path) -> Result<ProbInstance, String> {
-    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
-    if is_binary {
-        pxml_storage::read_binary_file(path).map_err(|e| e.to_string())
-    } else {
-        pxml_storage::read_text_file(path).map_err(|e| e.to_string())
-    }
-}
-
 /// Lenient loader for `check`: structural decode only, so the linter can
 /// report model-level violations that the strict loaders would reject.
 /// Binary files additionally tolerate a CRC footer mismatch, which is
@@ -894,12 +848,213 @@ fn load_for_check(
     }
 }
 
-fn save(pi: &ProbInstance, path: &Path) -> Result<(), String> {
-    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
-    if is_binary {
-        pxml_storage::write_binary_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
-    } else {
-        pxml_storage::write_text_file(pi, path).map(|_| ()).map_err(|e| e.to_string())
+/// `pxml serve <instance>... (--port N | --socket PATH) [--max-cache-bytes N]
+/// [--preflight] [--timeout DUR] [--max-steps N] [--degrade P]
+/// [--trace-json FILE]`.
+///
+/// Loads every instance into a registry (named by file stem) and
+/// answers the length-prefixed wire protocol until SIGTERM/SIGINT or a
+/// `SHUTDOWN` request, then drains in-flight requests and exits 0.
+/// `GET /metrics` and `GET /healthz` over plain HTTP are answered on
+/// the same listener. The governance flags set per-request *defaults*;
+/// requests may override them with `k=v` options (see `pxml request`).
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let mut instances: Vec<PathBuf> = Vec::new();
+    let mut port: Option<u16> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut cfg_max_cache: Option<u64> = None;
+    let mut preflight = false;
+    let mut trace_json: Option<PathBuf> = None;
+    let mut gov = GovernanceArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                let p = args.get(i).ok_or("--port needs a port number")?;
+                port = Some(p.parse().map_err(|_| usage_err(format!("bad port {p:?}")))?);
+            }
+            "--socket" => {
+                i += 1;
+                socket = Some(PathBuf::from(args.get(i).ok_or("--socket needs a path")?));
+            }
+            "--max-cache-bytes" => {
+                i += 1;
+                cfg_max_cache = Some(parse_count(args.get(i), "--max-cache-bytes")?);
+            }
+            "--preflight" => preflight = true,
+            "--trace-json" => {
+                i += 1;
+                trace_json =
+                    Some(PathBuf::from(args.get(i).ok_or("--trace-json needs a file path")?));
+            }
+            "--timeout" => {
+                i += 1;
+                gov.timeout =
+                    Some(parse_duration(args.get(i).ok_or("--timeout needs a duration")?)?);
+            }
+            "--max-steps" => {
+                i += 1;
+                gov.max_steps = Some(parse_count(args.get(i), "--max-steps")?);
+            }
+            "--degrade" => {
+                i += 1;
+                gov.degrade = Some(parse_degrade(args.get(i))?);
+            }
+            arg if arg.starts_with("--") => {
+                return Err(usage_err(format!("unexpected argument {arg:?}")))
+            }
+            arg => instances.push(PathBuf::from(arg)),
+        }
+        i += 1;
+    }
+    if instances.is_empty() {
+        return Err(usage_err("serve needs at least one instance file"));
+    }
+    let bind = match (port, socket) {
+        (Some(p), None) => Bind::Tcp(p),
+        (None, Some(s)) => Bind::Unix(s),
+        (None, None) => return Err(usage_err("serve needs --port N or --socket PATH")),
+        (Some(_), Some(_)) => {
+            return Err(usage_err("--port and --socket are mutually exclusive"))
+        }
+    };
+    let cfg = ServeConfig {
+        instances,
+        bind,
+        max_cache_bytes: cfg_max_cache,
+        max_steps: gov.max_steps,
+        timeout: gov.timeout,
+        degrade: gov.degrade,
+        preflight,
+        trace_json,
+    };
+
+    serve::install_term_handler();
+    let handle = Server::start(cfg).map_err(CliError::Run)?;
+    match handle.port() {
+        Some(p) => eprintln!("pxml serve: listening on 127.0.0.1:{p}"),
+        None => eprintln!("pxml serve: listening"),
+    }
+    while !serve::term_requested() && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("pxml serve: draining {} active connection(s)", handle.active_connections());
+    handle.shutdown_and_join().map_err(CliError::Run)?;
+    eprintln!("pxml serve: drained, exiting");
+    Ok(())
+}
+
+/// `pxml request (--socket PATH | --port N [--host H]) <verb> [args]`.
+///
+/// The daemon-side status digit becomes this process's exit code, so
+/// the wire taxonomy and the CLI exit taxonomy are literally the same:
+///
+/// ```text
+/// pxml request --socket S ping
+/// pxml request --socket S query fig2 "POINT T2 IN R.book.title" \
+///              [--max-steps N] [--timeout DUR] [--degrade error|interval]
+/// pxml request --socket S mutate fig2 --ops ops.txt   # or ops on stdin
+/// pxml request --socket S stats fig2
+/// pxml request --socket S reload fig2
+/// pxml request --socket S metrics
+/// pxml request --socket S shutdown
+/// ```
+fn run_request(args: &[String]) -> Result<(), CliError> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: Option<u16> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut ops_path: Option<PathBuf> = None;
+    let mut options = protocol::RequestOptions::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--host" => {
+                i += 1;
+                host = args.get(i).ok_or("--host needs a host")?.clone();
+            }
+            "--port" => {
+                i += 1;
+                let p = args.get(i).ok_or("--port needs a port number")?;
+                port = Some(p.parse().map_err(|_| usage_err(format!("bad port {p:?}")))?);
+            }
+            "--socket" => {
+                i += 1;
+                socket = Some(PathBuf::from(args.get(i).ok_or("--socket needs a path")?));
+            }
+            "--ops" => {
+                i += 1;
+                ops_path = Some(PathBuf::from(args.get(i).ok_or("--ops needs a file path")?));
+            }
+            "--max-steps" => {
+                i += 1;
+                options.max_steps = Some(parse_count(args.get(i), "--max-steps")?);
+            }
+            "--timeout" => {
+                i += 1;
+                let d = parse_duration(args.get(i).ok_or("--timeout needs a duration")?)?;
+                options.timeout_ms = Some(d.as_millis() as u64);
+            }
+            "--degrade" => {
+                i += 1;
+                options.degrade = Some(parse_degrade(args.get(i))?);
+            }
+            arg if arg.starts_with("--") => {
+                return Err(usage_err(format!("unexpected argument {arg:?}")))
+            }
+            arg => positional.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    let target = match (port, socket) {
+        (Some(p), None) => Target::Tcp(format!("{host}:{p}")),
+        (None, Some(s)) => Target::Unix(s),
+        _ => return Err(usage_err("request needs exactly one of --port N or --socket PATH")),
+    };
+    let mut positional = positional.into_iter();
+    let verb = positional.next().ok_or("request needs a verb")?.to_uppercase();
+    let mut instance_arg =
+        |verb: &str| positional.next().ok_or_else(|| usage_err(format!("{verb} needs an instance name")));
+    let req = match verb.as_str() {
+        "QUERY" => {
+            let instance = instance_arg("query")?;
+            let query = positional.next().ok_or("query needs a QL line")?;
+            protocol::Request::Query { instance, options, query }
+        }
+        "MUTATE" => {
+            let instance = instance_arg("mutate")?;
+            let ops = match &ops_path {
+                Some(p) => std::fs::read_to_string(p)
+                    .map_err(|e| CliError::Run(format!("{}: {e}", p.display())))?,
+                None => {
+                    let mut buf = String::new();
+                    std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+                        .map_err(|e| e.to_string())?;
+                    buf
+                }
+            };
+            protocol::Request::Mutate { instance, options, ops }
+        }
+        "STATS" => protocol::Request::Stats { instance: instance_arg("stats")? },
+        "RELOAD" => protocol::Request::Reload { instance: instance_arg("reload")? },
+        "METRICS" => protocol::Request::Metrics,
+        "PING" => protocol::Request::Ping,
+        "SHUTDOWN" => protocol::Request::Shutdown,
+        other => return Err(usage_err(format!("unknown request verb {other:?}"))),
+    };
+    if let Some(extra) = positional.next() {
+        return Err(usage_err(format!("unexpected argument {extra:?}")));
+    }
+    let (status, body) = serve::send_request(&target, &req).map_err(CliError::Run)?;
+    match status {
+        protocol::Status::Ok => {
+            println!("{body}");
+            Ok(())
+        }
+        protocol::Status::RunError => Err(CliError::Run(body)),
+        protocol::Status::BadRequest => Err(CliError::Usage(body)),
+        protocol::Status::BudgetRejected => Err(CliError::Exhausted(body)),
     }
 }
 
@@ -916,6 +1071,19 @@ usage:
   pxml analyze <instance> [queries.txt] [governance]
   pxml mutate <instance> <ops.txt> [--out FILE] [--stats] [--audit]
             [--flush] [--metrics FILE]
+  pxml serve <instance>... (--port N | --socket PATH) [--max-cache-bytes N]
+            [--preflight] [--trace-json FILE] [governance]
+  pxml request (--socket PATH | --port N [--host H]) <verb> [args]
+            verbs: query <inst> <QL>, mutate <inst> [--ops FILE],
+            stats <inst>, reload <inst>, metrics, ping, shutdown
+
+serve (the query daemon; see the README's \"Serving\"):
+  instances register under their file stem; requests speak the
+  length-prefixed protocol (pxml request is the client) and carry the
+  exit taxonomy below as wire status codes; GET /metrics and /healthz
+  answer over plain HTTP on the same listener; governance flags set
+  per-request defaults which requests may override; SIGTERM drains
+  in-flight requests and exits 0
 
 static analysis:
   analyze                   report per-query AQ0xx diagnostics, step and

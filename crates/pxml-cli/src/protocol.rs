@@ -1,0 +1,501 @@
+//! The `pxml serve` wire protocol: length-prefixed frames carrying a
+//! line-oriented request grammar, answered with a status byte plus a
+//! UTF-8 body.
+//!
+//! ## Framing
+//!
+//! Every message — request and response alike — is one frame:
+//!
+//! ```text
+//! [u32 length, big-endian][length bytes of UTF-8 payload]
+//! ```
+//!
+//! Lengths above [`MAX_FRAME_BYTES`] are refused before any allocation,
+//! so a hostile 4-byte prefix cannot balloon memory. A connection may
+//! carry any number of frames back-to-back (one response per request,
+//! in order). As a convenience the daemon also sniffs plain HTTP: a
+//! connection whose first four bytes are `GET ` is answered as a
+//! one-shot HTTP/1.1 exchange (`/metrics`, `/healthz`) — the prefix
+//! doubles as the frame length otherwise.
+//!
+//! ## Request grammar
+//!
+//! The first payload line is `VERB [instance] [k=v ...]`; some verbs
+//! carry further lines:
+//!
+//! ```text
+//! QUERY <instance> [max_steps=N] [timeout_ms=N] [degrade=error|interval]
+//! <one QL line: POINT ... | EXISTS ... | CHAIN ...>
+//!
+//! MUTATE <instance> [max_steps=N] [timeout_ms=N]
+//! <one mutation op per line, as in `pxml mutate` ops files>
+//!
+//! STATS <instance>      # engine counter snapshot, human-readable
+//! RELOAD <instance>     # re-load from disk; other instances stay warm
+//! METRICS               # Prometheus text exposition
+//! PING                  # liveness
+//! SHUTDOWN              # graceful drain, then exit 0
+//! ```
+//!
+//! ## Response status taxonomy
+//!
+//! The response payload is one ASCII status digit followed by the body.
+//! The digits are exactly the CLI exit taxonomy, so `pxml request` can
+//! exit with the status it received:
+//!
+//! | byte | meaning                                  | CLI exit |
+//! |------|------------------------------------------|----------|
+//! | `0`  | ok (degraded interval answers included)  | 0        |
+//! | `1`  | run error (engine/mutation failure)      | 1        |
+//! | `2`  | bad request (frame, grammar, names)      | 2        |
+//! | `3`  | budget rejected / exhausted              | 3        |
+
+use std::io::{self, Read, Write};
+
+/// Refuse frames above 16 MiB before allocating anything.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Writes one `[len][payload]` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling", payload.len()),
+        ));
+    }
+    // One buffer, one write: a split prefix/payload write pair over TCP
+    // interacts with Nagle + delayed ACK into ~40 ms stalls per frame.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads the 4-byte frame prefix. `Ok(None)` on clean EOF before any
+/// byte; an error if the stream dies mid-prefix.
+pub fn read_prefix(r: &mut impl Read) -> io::Result<Option<[u8; 4]>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(prefix))
+}
+
+/// Validates a frame length against [`MAX_FRAME_BYTES`].
+pub fn frame_len(prefix: [u8; 4]) -> io::Result<u32> {
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte ceiling"),
+        ));
+    }
+    Ok(len)
+}
+
+/// Reads exactly `len` payload bytes.
+pub fn read_payload(r: &mut impl Read, len: u32) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads one whole frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    match read_prefix(r)? {
+        None => Ok(None),
+        Some(prefix) => {
+            let len = frame_len(prefix)?;
+            Ok(Some(read_payload(r, len)?))
+        }
+    }
+}
+
+/// Response status — the CLI exit taxonomy on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Success, including degraded interval answers.
+    Ok,
+    /// Operational failure (engine error, failed mutation, I/O).
+    RunError,
+    /// Malformed frame, grammar, options, or unknown names/instances.
+    BadRequest,
+    /// A budget was exhausted / admission control refused the request.
+    BudgetRejected,
+}
+
+impl Status {
+    /// The wire byte — an ASCII digit so payloads stay printable.
+    pub fn byte(self) -> u8 {
+        match self {
+            Status::Ok => b'0',
+            Status::RunError => b'1',
+            Status::BadRequest => b'2',
+            Status::BudgetRejected => b'3',
+        }
+    }
+
+    /// The matching CLI exit code.
+    pub fn exit_code(self) -> u8 {
+        self.byte() - b'0'
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            b'0' => Some(Status::Ok),
+            b'1' => Some(Status::RunError),
+            b'2' => Some(Status::BadRequest),
+            b'3' => Some(Status::BudgetRejected),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a response payload: status digit + body.
+pub fn encode_response(status: Status, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(status.byte());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Splits a response payload back into status and body.
+pub fn parse_response(payload: &[u8]) -> Result<(Status, String), String> {
+    let (&first, rest) = payload.split_first().ok_or("empty response frame")?;
+    let status = Status::from_byte(first)
+        .ok_or_else(|| format!("unknown status byte {first:#04x}"))?;
+    let body = String::from_utf8(rest.to_vec()).map_err(|e| e.to_string())?;
+    Ok((status, body))
+}
+
+/// Per-request governance overrides, parsed from `k=v` tokens on the
+/// verb line. Anything not given falls back to the daemon's defaults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Work-step ceiling for this request.
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline for this request, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Exhaustion policy: typed rejection or bracketing interval.
+    pub degrade: Option<pxml_query::DegradePolicy>,
+}
+
+impl RequestOptions {
+    fn parse_token(&mut self, token: &str) -> Result<(), String> {
+        let (key, value) =
+            token.split_once('=').ok_or_else(|| format!("bad option token {token:?}"))?;
+        match key {
+            "max_steps" => {
+                self.max_steps =
+                    Some(value.parse().map_err(|_| format!("bad max_steps {value:?}"))?);
+            }
+            "timeout_ms" => {
+                self.timeout_ms =
+                    Some(value.parse().map_err(|_| format!("bad timeout_ms {value:?}"))?);
+            }
+            "degrade" => {
+                self.degrade = Some(match value {
+                    "error" => pxml_query::DegradePolicy::Error,
+                    "interval" => pxml_query::DegradePolicy::Interval,
+                    other => return Err(format!("degrade wants error|interval, got {other:?}")),
+                });
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Renders back to `k=v` tokens (the client side of the grammar).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(n) = self.max_steps {
+            out.push_str(&format!(" max_steps={n}"));
+        }
+        if let Some(ms) = self.timeout_ms {
+            out.push_str(&format!(" timeout_ms={ms}"));
+        }
+        match self.degrade {
+            Some(pxml_query::DegradePolicy::Error) => out.push_str(" degrade=error"),
+            Some(pxml_query::DegradePolicy::Interval) => out.push_str(" degrade=interval"),
+            None => {}
+        }
+        out
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Answer one QL probability query against a named instance.
+    Query {
+        /// Registry name (the instance file's stem).
+        instance: String,
+        /// Governance overrides for this request.
+        options: RequestOptions,
+        /// The QL line (`POINT` / `EXISTS` / `CHAIN`).
+        query: String,
+    },
+    /// Apply a block of mutation ops to a named instance.
+    Mutate {
+        /// Registry name.
+        instance: String,
+        /// Governance overrides for this request.
+        options: RequestOptions,
+        /// Ops text, one op per line (as in `pxml mutate` files).
+        ops: String,
+    },
+    /// Human-readable engine counter snapshot for one instance.
+    Stats {
+        /// Registry name.
+        instance: String,
+    },
+    /// Re-load one instance from its path; other instances stay warm.
+    Reload {
+        /// Registry name.
+        instance: String,
+    },
+    /// The Prometheus text exposition for the whole daemon.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Graceful drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request payload (the client side).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Query { instance, options, query } => {
+                format!("QUERY {instance}{}\n{query}", options.render())
+            }
+            Request::Mutate { instance, options, ops } => {
+                format!("MUTATE {instance}{}\n{ops}", options.render())
+            }
+            Request::Stats { instance } => format!("STATS {instance}"),
+            Request::Reload { instance } => format!("RELOAD {instance}"),
+            Request::Metrics => "METRICS".into(),
+            Request::Ping => "PING".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+}
+
+/// Parses a request payload against the grammar in the module docs.
+pub fn parse_request(payload: &str) -> Result<Request, String> {
+    let (head, rest) = match payload.split_once('\n') {
+        Some((h, r)) => (h, r),
+        None => (payload, ""),
+    };
+    let mut words = head.split_whitespace();
+    let verb = words.next().ok_or("empty request")?;
+
+    let mut instance_and_options = |needs_body: bool| -> Result<(String, RequestOptions), String> {
+        let instance = words
+            .next()
+            .ok_or_else(|| format!("{verb} needs an instance name"))?
+            .to_string();
+        let mut options = RequestOptions::default();
+        for token in words.by_ref() {
+            options.parse_token(token)?;
+        }
+        if needs_body && rest.trim().is_empty() {
+            return Err(format!("{verb} needs a body after the verb line"));
+        }
+        Ok((instance, options))
+    };
+
+    match verb {
+        "QUERY" => {
+            let (instance, options) = instance_and_options(true)?;
+            let query = rest.trim();
+            if query.lines().count() > 1 {
+                return Err("QUERY carries exactly one QL line".into());
+            }
+            Ok(Request::Query { instance, options, query: query.to_string() })
+        }
+        "MUTATE" => {
+            let (instance, options) = instance_and_options(true)?;
+            Ok(Request::Mutate { instance, options, ops: rest.to_string() })
+        }
+        "STATS" | "RELOAD" => {
+            let (instance, options) = instance_and_options(false)?;
+            if options != RequestOptions::default() {
+                return Err(format!("{verb} takes no options"));
+            }
+            if !rest.trim().is_empty() {
+                return Err(format!("{verb} takes no body"));
+            }
+            if verb == "STATS" {
+                Ok(Request::Stats { instance })
+            } else {
+                Ok(Request::Reload { instance })
+            }
+        }
+        "METRICS" | "PING" | "SHUTDOWN" => {
+            if words.next().is_some() || !rest.trim().is_empty() {
+                return Err(format!("{verb} takes no arguments"));
+            }
+            match verb {
+                "METRICS" => Ok(Request::Metrics),
+                "PING" => Ok(Request::Ping),
+                _ => Ok(Request::Shutdown),
+            }
+        }
+        other => Err(format!(
+            "unknown verb {other:?} (expected QUERY, MUTATE, STATS, RELOAD, METRICS, PING or SHUTDOWN)"
+        )),
+    }
+}
+
+/// The verb keyword of a request — the `verb` label on
+/// `pxml_serve_requests_total`.
+pub fn verb_name(r: &Request) -> &'static str {
+    match r {
+        Request::Query { .. } => "QUERY",
+        Request::Mutate { .. } => "MUTATE",
+        Request::Stats { .. } => "STATS",
+        Request::Reload { .. } => "RELOAD",
+        Request::Metrics => "METRICS",
+        Request::Ping => "PING",
+        Request::Shutdown => "SHUTDOWN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"QUERY fig2\nEXISTS R.book").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"QUERY fig2\nEXISTS R.book"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_refused_before_allocation() {
+        let mut r = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        // Mid-prefix EOF.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+        // Prefix promises more payload than the stream holds.
+        let mut wire = 8u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"abc");
+        let mut r = Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for status in
+            [Status::Ok, Status::RunError, Status::BadRequest, Status::BudgetRejected]
+        {
+            let payload = encode_response(status, "0.500000");
+            let (s, body) = parse_response(&payload).unwrap();
+            assert_eq!(s, status);
+            assert_eq!(body, "0.500000");
+            assert_eq!(s.exit_code(), status.byte() - b'0');
+        }
+        assert!(parse_response(&[]).is_err());
+        assert!(parse_response(b"X?").is_err());
+    }
+
+    #[test]
+    fn request_grammar_round_trip() {
+        let cases = [
+            Request::Query {
+                instance: "fig2".into(),
+                options: RequestOptions {
+                    max_steps: Some(1000),
+                    timeout_ms: Some(250),
+                    degrade: Some(pxml_query::DegradePolicy::Interval),
+                },
+                query: "POINT T2 IN R.book.title".into(),
+            },
+            Request::Mutate {
+                instance: "fig2".into(),
+                options: RequestOptions::default(),
+                ops: "SETEDGE B1 T2 PROB 0.7\nSETEDGE B1 T3 PROB 0.2".into(),
+            },
+            Request::Stats { instance: "fig2".into() },
+            Request::Reload { instance: "fig2".into() },
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            assert_eq!(parse_request(&req.render()), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let bad = [
+            "",
+            "FROBNICATE fig2",
+            "QUERY",
+            "QUERY fig2",               // missing body
+            "QUERY fig2 max_steps=abc\nEXISTS R.b",
+            "QUERY fig2 degrade=never\nEXISTS R.b",
+            "QUERY fig2 bogus\nEXISTS R.b",
+            "QUERY fig2 unknown=1\nEXISTS R.b",
+            "QUERY fig2\nEXISTS R.b\nEXISTS R.c", // two QL lines
+            "MUTATE fig2",
+            "STATS",
+            "STATS fig2 max_steps=1",
+            "STATS fig2\nbody",
+            "PING extra",
+            "METRICS fig2",
+            "SHUTDOWN now",
+        ];
+        for payload in bad {
+            assert!(parse_request(payload).is_err(), "{payload:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser() {
+        // Deterministic xorshift junk — the parser must reject or accept,
+        // never panic, whatever the payload decodes to.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            let mut bytes = Vec::with_capacity(32);
+            for _ in 0..32 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                bytes.push((state >> 32) as u8);
+            }
+            if let Ok(text) = std::str::from_utf8(&bytes) {
+                let _ = parse_request(text);
+            }
+            let _ = parse_response(&bytes);
+        }
+    }
+}

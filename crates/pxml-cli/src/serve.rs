@@ -1,0 +1,918 @@
+//! The `pxml serve` daemon: a persistent process answering the wire
+//! protocol of [`crate::protocol`] from a registry of loaded instances.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────┐
+//!   accept loop → │ Registry: RwLock<BTreeMap<name, Arc<Slot>>>│
+//!   (1 thread)    │   Slot { path, RwLock<QueryEngine> }       │
+//!   conn threads →│     engine owns the warm MarginalCache     │
+//!                 └────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Queries** clone the slot's `Arc` out of the registry (a brief
+//!   registry read lock), then take the slot's engine **read** lock —
+//!   so any number of connections answer concurrently from the shared
+//!   [`pxml_query::MarginalCache`], exactly like threads inside
+//!   `run_batch`.
+//! * **Mutations** take the engine **write** lock and route through
+//!   [`pxml_query::QueryEngine::apply_mutation_governed`] with
+//!   dirty-set invalidation — no flush-on-write, so unrelated cached
+//!   answers stay warm across writes. Mutations live in registry
+//!   memory; `RELOAD` (or a restart) reverts to the on-disk instance.
+//! * **Hot reload** builds a fresh engine for one instance and swaps
+//!   the slot's `Arc` in the registry map atomically. In-flight
+//!   requests holding the old `Arc` finish against the old instance;
+//!   every *other* instance keeps its warm cache untouched.
+//! * **Admission control**: the daemon's `--max-steps/--timeout/
+//!   --degrade` defaults apply to every request; requests may tighten
+//!   or override them with `k=v` options. Exhaustion maps to wire
+//!   status `3` (budget-rejected), mirroring CLI exit 3.
+//! * **Shutdown** (SIGTERM, SIGINT, or the `SHUTDOWN` verb) stops the
+//!   accept loop, lets in-flight requests finish, closes idle
+//!   connections, and exits 0.
+//!
+//! The module doubles as a library so benches and tests can run the
+//! daemon in-process: [`Server::start`] → [`ServerHandle`].
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use pxml_query::{Answer, BudgetSpec, DegradePolicy, QueryEngine};
+
+use crate::protocol::{
+    encode_response, frame_len, read_frame, read_payload, verb_name, write_frame, Request,
+    RequestOptions, Status,
+};
+use crate::{load, translate_query};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// TCP on 127.0.0.1; port 0 asks the kernel for an ephemeral port
+    /// (see [`ServerHandle::port`]).
+    Tcp(u16),
+    /// A unix-domain socket at this path (created on start, removed on
+    /// clean shutdown).
+    Unix(PathBuf),
+}
+
+/// Daemon configuration: instances to load plus engine and governance
+/// defaults shared by every request.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Instance files; each registers under its file stem.
+    pub instances: Vec<PathBuf>,
+    /// Listener address.
+    pub bind: Bind,
+    /// Byte ceiling for each instance's marginal cache.
+    pub max_cache_bytes: Option<u64>,
+    /// Default per-request work-step ceiling.
+    pub max_steps: Option<u64>,
+    /// Default per-request wall-clock deadline.
+    pub timeout: Option<Duration>,
+    /// Default exhaustion policy (requests may override).
+    pub degrade: Option<DegradePolicy>,
+    /// Enable the static pre-flight inside each engine.
+    pub preflight: bool,
+    /// Append one JSON trace record per request to this file.
+    pub trace_json: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A config serving `instances` on an ephemeral localhost TCP port
+    /// with no governance defaults — what tests and benches want.
+    pub fn ephemeral(instances: Vec<PathBuf>) -> Self {
+        ServeConfig {
+            instances,
+            bind: Bind::Tcp(0),
+            max_cache_bytes: None,
+            max_steps: None,
+            timeout: None,
+            degrade: None,
+            preflight: false,
+            trace_json: None,
+        }
+    }
+}
+
+/// One loaded instance: its origin path (for `RELOAD`) and the engine
+/// owning the warm cache. Queries share the engine behind the read
+/// lock; mutations serialise on the write lock.
+struct Slot {
+    path: PathBuf,
+    engine: RwLock<QueryEngine>,
+}
+
+/// Request counters keyed `(verb, status byte)` plus connection gauges.
+#[derive(Default)]
+struct ServeMetrics {
+    connections: AtomicU64,
+    http_requests: AtomicU64,
+    requests: Mutex<BTreeMap<(&'static str, u8), u64>>,
+}
+
+struct ServerInner {
+    slots: RwLock<BTreeMap<String, Arc<Slot>>>,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    metrics: ServeMetrics,
+    trace: Option<Mutex<std::fs::File>>,
+    started: Instant,
+}
+
+/// A running daemon. Obtained from [`Server::start`]; drop-in for both
+/// the CLI (which blocks on [`ServerHandle::join`]) and in-process
+/// benches/tests (which keep driving requests at it).
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    port: Option<u16>,
+    socket_path: Option<PathBuf>,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Loads every instance, binds the listener, and spawns the accept
+    /// loop. Returns once the daemon is ready to answer requests.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, String> {
+        if cfg.instances.is_empty() {
+            return Err("serve needs at least one instance file".into());
+        }
+        let mut slots = BTreeMap::new();
+        for path in &cfg.instances {
+            let name = instance_name(path)?;
+            let pi = load(path)?;
+            let engine = build_engine(pi, &cfg);
+            if slots
+                .insert(name.clone(), Arc::new(Slot { path: path.clone(), engine }))
+                .is_some()
+            {
+                return Err(format!(
+                    "two instance files share the registry name {name:?}; rename one"
+                ));
+            }
+        }
+        let trace = match &cfg.trace_json {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?,
+            )),
+            None => None,
+        };
+
+        let (listener, port, socket_path) = bind_listener(&cfg.bind)?;
+        let inner = Arc::new(ServerInner {
+            slots: RwLock::new(slots),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            metrics: ServeMetrics::default(),
+            trace,
+            started: Instant::now(),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("pxml-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .map_err(|e| format!("spawning the accept loop: {e}"))?;
+
+        Ok(ServerHandle { inner, accept: Some(accept), port, socket_path })
+    }
+}
+
+impl ServerHandle {
+    /// The bound TCP port (`None` for unix sockets). With
+    /// [`Bind::Tcp`]`(0)` this is the kernel-assigned ephemeral port.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// Asks the daemon to drain: stop accepting, finish in-flight
+    /// requests, close idle connections.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a shutdown was requested (signal, `SHUTDOWN` verb, or
+    /// [`ServerHandle::request_shutdown`]).
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown, waits for the accept loop and every in-flight
+    /// connection to drain (bounded at ten seconds), and removes the
+    /// socket file. Returns an error if connections were still alive at
+    /// the deadline.
+    pub fn shutdown_and_join(mut self) -> Result<(), String> {
+        self.request_shutdown();
+        if let Some(h) = self.accept.take() {
+            if h.join().is_err() {
+                return Err("the accept loop thread failed".into());
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.inner.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "{} connection(s) still active after the 10s drain deadline",
+                    self.inner.active.load(Ordering::SeqCst)
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn instance_name(path: &Path) -> Result<String, String> {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("{}: cannot derive an instance name", path.display()))
+}
+
+fn build_engine(pi: pxml_core::ProbInstance, cfg: &ServeConfig) -> RwLock<QueryEngine> {
+    let engine = QueryEngine::new(pi);
+    if let Some(bytes) = cfg.max_cache_bytes {
+        engine.set_max_cache_bytes(bytes);
+    }
+    if cfg.preflight {
+        engine.set_preflight(true);
+    }
+    RwLock::new(engine)
+}
+
+fn bind_listener(bind: &Bind) -> Result<(Listener, Option<u16>, Option<PathBuf>), String> {
+    match bind {
+        Bind::Tcp(port) => {
+            let l = TcpListener::bind(("127.0.0.1", *port))
+                .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+            let actual = l.local_addr().map_err(|e| e.to_string())?.port();
+            l.set_nonblocking(true).map_err(|e| e.to_string())?;
+            Ok((Listener::Tcp(l), Some(actual), None))
+        }
+        Bind::Unix(path) => {
+            // A stale socket file from a dead daemon blocks the bind;
+            // remove it (a live daemon keeps the file open, so a racing
+            // second daemon is the operator's error either way).
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let l = UnixListener::bind(path)
+                .map_err(|e| format!("binding {}: {e}", path.display()))?;
+            l.set_nonblocking(true).map_err(|e| e.to_string())?;
+            Ok((Listener::Unix(l), None, Some(path.clone())))
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// One accepted connection (either transport), blocking with a short
+/// read timeout so handlers can poll the shutdown flag while idle.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Disables Nagle on TCP (frames are latency-sensitive and written
+    /// whole); a no-op for unix sockets.
+    fn set_nodelay(&self) {
+        if let Conn::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Adapter that retries timeout/interrupt errors, for payload reads
+/// that follow a successfully read prefix.
+struct Patient<'a>(&'a mut Conn);
+
+impl Read for Patient<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.0.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, inner: Arc<ServerInner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                inner.active.fetch_add(1, Ordering::SeqCst);
+                let conn_inner = Arc::clone(&inner);
+                let spawned = std::thread::Builder::new()
+                    .name("pxml-serve-conn".into())
+                    .spawn(move || {
+                        handle_conn(&conn_inner, conn);
+                        conn_inner.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    inner.active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Listener died (e.g. socket file unlinked): nothing more
+            // to accept; existing connections keep draining.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads the 4-byte prefix, waking every read-timeout tick to poll the
+/// shutdown flag. `Ok(None)` = close this connection (clean EOF, or
+/// idle at shutdown).
+fn read_prefix_patient(conn: &mut Conn, inner: &ServerInner) -> io::Result<Option<[u8; 4]>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    loop {
+        if got == 0 && inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match conn.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame prefix",
+                ))
+            }
+            Ok(n) => {
+                got += n;
+                if got == 4 {
+                    return Ok(Some(prefix));
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
+    if conn.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+        return;
+    }
+    conn.set_nodelay();
+    loop {
+        let prefix = match read_prefix_patient(&mut conn, inner) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        if &prefix == b"GET " {
+            handle_http(inner, &mut conn);
+            return; // HTTP exchanges are one-shot (Connection: close).
+        }
+        let started = Instant::now();
+        let payload = match frame_len(prefix).and_then(|len| read_payload(&mut Patient(&mut conn), len))
+        {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed length: answer bad-request, then close (the
+                // stream position is unrecoverable).
+                let body = format!("{e}");
+                inner.count_request("FRAME", Status::BadRequest);
+                let _ =
+                    write_frame(&mut conn, &encode_response(Status::BadRequest, &body));
+                return;
+            }
+            Err(_) => return,
+        };
+        let (verb, status, body, detail) = match std::str::from_utf8(&payload) {
+            Err(_) => (
+                "FRAME",
+                Status::BadRequest,
+                "request payload is not UTF-8".to_string(),
+                String::new(),
+            ),
+            Ok(text) => match crate::protocol::parse_request(text) {
+                Err(e) => ("FRAME", Status::BadRequest, e, String::new()),
+                Ok(req) => {
+                    let (status, body) = dispatch(inner, &req);
+                    (verb_name(&req), status, body, request_detail(&req))
+                }
+            },
+        };
+        inner.count_request(verb, status);
+        inner.trace_request(verb, status, &detail, started.elapsed());
+        if write_frame(&mut conn, &encode_response(status, &body)).is_err() {
+            return;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// The one-line summary a trace record carries per verb.
+fn request_detail(req: &Request) -> String {
+    match req {
+        Request::Query { instance, query, .. } => format!("{instance}: {query}"),
+        Request::Mutate { instance, ops, .. } => {
+            format!("{instance}: {} op line(s)", ops.lines().filter(|l| !l.trim().is_empty()).count())
+        }
+        Request::Stats { instance } | Request::Reload { instance } => instance.clone(),
+        Request::Metrics | Request::Ping | Request::Shutdown => String::new(),
+    }
+}
+
+impl ServerInner {
+    fn slot(&self, name: &str) -> Option<Arc<Slot>> {
+        self.slots.read().get(name).cloned()
+    }
+
+    fn count_request(&self, verb: &'static str, status: Status) {
+        *self.metrics.requests.lock().entry((verb, status.byte())).or_insert(0) += 1;
+    }
+
+    fn trace_request(&self, verb: &str, status: Status, detail: &str, elapsed: Duration) {
+        let Some(trace) = &self.trace else { return };
+        let line = format!(
+            "{{\"verb\":\"{}\",\"status\":{},\"micros\":{},\"detail\":\"{}\"}}\n",
+            json_escape(verb),
+            status.exit_code(),
+            elapsed.as_micros(),
+            json_escape(detail),
+        );
+        let mut f = trace.lock();
+        let _ = f.write_all(line.as_bytes());
+    }
+
+    /// Merges the daemon's governance defaults with one request's
+    /// overrides. Returns `None` when nothing is governed at all — the
+    /// request then runs on the ungoverned exact path.
+    fn spec_for(&self, o: &RequestOptions) -> Option<BudgetSpec> {
+        let max_steps = o.max_steps.or(self.cfg.max_steps);
+        let timeout = o.timeout_ms.map(Duration::from_millis).or(self.cfg.timeout);
+        let degrade = o.degrade.or(self.cfg.degrade);
+        if max_steps.is_none() && timeout.is_none() && degrade.is_none() {
+            return None;
+        }
+        Some(BudgetSpec {
+            max_steps,
+            timeout,
+            cancel: None,
+            degrade: degrade.unwrap_or_default(),
+        })
+    }
+}
+
+fn is_exhausted(e: &pxml_query::QueryError) -> bool {
+    matches!(e, pxml_query::QueryError::Core(pxml_core::CoreError::Exhausted(_)))
+}
+
+fn dispatch(inner: &Arc<ServerInner>, req: &Request) -> (Status, String) {
+    match req {
+        Request::Ping => (Status::Ok, "pong".into()),
+        Request::Metrics => (Status::Ok, render_metrics(inner)),
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            (Status::Ok, "draining".into())
+        }
+        Request::Stats { instance } => match inner.slot(instance) {
+            None => unknown_instance(inner, instance),
+            Some(slot) => (Status::Ok, slot.engine.read().stats().to_string()),
+        },
+        Request::Query { instance, options, query } => match inner.slot(instance) {
+            None => unknown_instance(inner, instance),
+            Some(slot) => {
+                let engine = slot.engine.read();
+                let q = match translate_query(engine.instance(), query) {
+                    Ok(q) => q,
+                    Err(e) => return (Status::BadRequest, e),
+                };
+                let answer = match inner.spec_for(options) {
+                    Some(spec) => engine.run_governed(&q, &spec),
+                    None => engine.run(&q).map(Answer::Exact),
+                };
+                match answer {
+                    Ok(Answer::Exact(p)) => (Status::Ok, format!("{p:.6}")),
+                    Ok(Answer::Interval(iv)) => {
+                        (Status::Ok, format!("[{:.6}, {:.6}]", iv.lo, iv.hi))
+                    }
+                    Err(e) if is_exhausted(&e) => (Status::BudgetRejected, e.to_string()),
+                    Err(e) => (Status::RunError, e.to_string()),
+                }
+            }
+        },
+        Request::Mutate { instance, options, ops } => match inner.slot(instance) {
+            None => unknown_instance(inner, instance),
+            Some(slot) => {
+                let mut engine = slot.engine.write();
+                let parsed = match pxml_core::parse_ops(engine.instance(), ops) {
+                    Ok(p) => p,
+                    Err(e) => return (Status::BadRequest, e.to_string()),
+                };
+                let budget = budget_from(inner.spec_for(options));
+                let mut dirty = 0usize;
+                let mut invalidated = 0u64;
+                for (idx, op) in parsed.iter().enumerate() {
+                    match engine.apply_mutation_governed(op, &budget) {
+                        Ok(outcome) => {
+                            dirty += outcome.effect.dirty.len();
+                            invalidated += outcome.invalidated.total();
+                        }
+                        // The op applied but invalidation exhausted its
+                        // budget mid-propagation; the engine already
+                        // flushed wholesale, which is sound. Report the
+                        // spend so the caller can widen the budget.
+                        Err(e) if is_exhausted(&e) => {
+                            return (
+                                Status::BudgetRejected,
+                                format!(
+                                    "op {} of {}: {e} (mutation applied; cache flushed)",
+                                    idx + 1,
+                                    parsed.len()
+                                ),
+                            );
+                        }
+                        Err(e) => {
+                            return (
+                                Status::RunError,
+                                format!("op {} of {} failed: {e}", idx + 1, parsed.len()),
+                            );
+                        }
+                    }
+                }
+                (
+                    Status::Ok,
+                    format!(
+                        "applied {} ops ({dirty} dirty objects, {invalidated} cache entries evicted)",
+                        parsed.len()
+                    ),
+                )
+            }
+        },
+        Request::Reload { instance } => match inner.slot(instance) {
+            None => unknown_instance(inner, instance),
+            Some(slot) => match load(&slot.path) {
+                Err(e) => (Status::RunError, e),
+                Ok(pi) => {
+                    let objects = pi.object_count();
+                    let fresh = Arc::new(Slot {
+                        path: slot.path.clone(),
+                        engine: build_engine(pi, &inner.cfg),
+                    });
+                    // The atomic swap: in-flight requests holding the
+                    // old Arc finish against the old instance; every
+                    // other slot keeps its warm cache.
+                    inner.slots.write().insert(instance.clone(), fresh);
+                    (Status::Ok, format!("reloaded {instance} ({objects} objects)"))
+                }
+            },
+        },
+    }
+}
+
+fn unknown_instance(inner: &Arc<ServerInner>, name: &str) -> (Status, String) {
+    let known: Vec<String> = inner.slots.read().keys().cloned().collect();
+    (
+        Status::BadRequest,
+        format!("unknown instance {name:?} (loaded: {})", known.join(", ")),
+    )
+}
+
+fn budget_from(spec: Option<BudgetSpec>) -> pxml_query::Budget {
+    let mut b = pxml_query::Budget::unlimited();
+    if let Some(spec) = spec {
+        if let Some(n) = spec.max_steps {
+            b = b.with_max_steps(n);
+        }
+        if let Some(t) = spec.timeout {
+            b = b.with_timeout(t);
+        }
+    }
+    b
+}
+
+/// The whole-daemon Prometheus exposition: serve-level request/
+/// connection counters plus per-instance engine gauges (labelled by
+/// instance so N registries never collide on family names).
+fn render_metrics(inner: &Arc<ServerInner>) -> String {
+    let mut reg = pxml_query::MetricsRegistry::new();
+    let requests = inner.metrics.requests.lock().clone();
+    let labelled: Vec<(String, u64)> = requests
+        .iter()
+        .map(|((verb, status), n)| {
+            (format!("verb=\"{verb}\",status=\"{}\"", *status as char), *n)
+        })
+        .collect();
+    let borrowed: Vec<(&str, u64)> = labelled.iter().map(|(l, n)| (l.as_str(), *n)).collect();
+    reg.counter_vec(
+        "pxml_serve_requests_total",
+        "Requests answered, by verb and status digit.",
+        &borrowed,
+    );
+    reg.counter(
+        "pxml_serve_connections_total",
+        "Connections accepted since the daemon started.",
+        inner.metrics.connections.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "pxml_serve_http_requests_total",
+        "Plain-HTTP exchanges answered (GET /metrics, /healthz).",
+        inner.metrics.http_requests.load(Ordering::Relaxed),
+    );
+    reg.gauge(
+        "pxml_serve_active_connections",
+        "Connections currently being served.",
+        inner.active.load(Ordering::SeqCst) as f64,
+    );
+    reg.counter_f64(
+        "pxml_serve_uptime_seconds",
+        "Wall-clock seconds since the daemon started.",
+        inner.started.elapsed().as_secs_f64(),
+    );
+
+    let slots: Vec<(String, Arc<Slot>)> =
+        inner.slots.read().iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+    let mut queries = Vec::new();
+    let mut mutations = Vec::new();
+    let mut hit_rates = Vec::new();
+    let mut bytes = Vec::new();
+    let mut evictions = Vec::new();
+    let mut rejections = Vec::new();
+    for (name, slot) in &slots {
+        let engine = slot.engine.read();
+        let s = engine.stats();
+        let label = format!("instance=\"{name}\"");
+        queries.push((label.clone(), s.queries_run));
+        mutations.push((label.clone(), s.mutations_applied));
+        hit_rates.push((label.clone(), s.hit_rate()));
+        bytes.push((label.clone(), engine.cache_bytes() as f64));
+        evictions.push((label.clone(), s.cache_evictions));
+        rejections.push((label, s.cache_admission_rejections));
+    }
+    fn as_u64(v: &[(String, u64)]) -> Vec<(&str, u64)> {
+        v.iter().map(|(l, n)| (l.as_str(), *n)).collect()
+    }
+    fn as_f64(v: &[(String, f64)]) -> Vec<(&str, f64)> {
+        v.iter().map(|(l, n)| (l.as_str(), *n)).collect()
+    }
+    reg.counter_vec(
+        "pxml_serve_instance_queries_total",
+        "Queries answered per instance (cache hits included).",
+        &as_u64(&queries),
+    );
+    reg.counter_vec(
+        "pxml_serve_instance_mutations_total",
+        "Mutations applied per instance.",
+        &as_u64(&mutations),
+    );
+    reg.gauge_vec(
+        "pxml_serve_instance_cache_hit_rate",
+        "Marginal-cache hit fraction per instance.",
+        &as_f64(&hit_rates),
+    );
+    reg.gauge_vec(
+        "pxml_serve_instance_cache_bytes",
+        "Accounted marginal-cache footprint per instance.",
+        &as_f64(&bytes),
+    );
+    reg.counter_vec(
+        "pxml_serve_instance_cache_evictions_total",
+        "Whole-table cache evictions per instance.",
+        &as_u64(&evictions),
+    );
+    reg.counter_vec(
+        "pxml_serve_instance_cache_admission_rejected_total",
+        "Cache inserts refused because no eviction could make room, per instance.",
+        &as_u64(&rejections),
+    );
+    reg.render().to_string()
+}
+
+/// Minimal HTTP/1.1 for scrapers: the connection's first four bytes
+/// were `GET `; serve `/metrics` or `/healthz` and close.
+fn handle_http(inner: &Arc<ServerInner>, conn: &mut Conn) {
+    inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    // Read until the header terminator (or a hard cap) — the request
+    // line is all we use.
+    let mut buf = Vec::with_capacity(512);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        if Instant::now() > deadline {
+            break;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // A bare request line without the full header block is
+                // still answerable once we have its CRLF.
+                if buf.windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let path = text.split_whitespace().next().unwrap_or("");
+    let (code, body) = match path {
+        "/metrics" => ("200 OK", render_metrics(inner)),
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        _ => ("404 Not Found", format!("no such endpoint {path:?}\n")),
+    };
+    let response = format!(
+        "HTTP/1.1 {code}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = conn.write_all(response.as_bytes());
+    let _ = conn.flush();
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// Where `pxml request` (and the benches) connect.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Opens a connection, sends one request, reads one response. The
+/// connection closes afterwards; use [`Client`] to pipeline several
+/// requests over one connection.
+pub fn send_request(target: &Target, req: &Request) -> Result<(Status, String), String> {
+    let mut client = Client::connect(target)?;
+    client.roundtrip(req)
+}
+
+/// One persistent client connection; requests pipeline in order.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(target: &Target) -> Result<Client, String> {
+        let conn = match target {
+            Target::Tcp(addr) => Conn::Tcp(
+                TcpStream::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?,
+            ),
+            Target::Unix(path) => Conn::Unix(
+                UnixStream::connect(path).map_err(|e| format!("{}: {e}", path.display()))?,
+            ),
+        };
+        conn.set_nodelay();
+        Ok(Client { conn })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<(Status, String), String> {
+        write_frame(&mut self.conn, req.render().as_bytes()).map_err(|e| e.to_string())?;
+        let payload = read_frame(&mut self.conn)
+            .map_err(|e| e.to_string())?
+            .ok_or("connection closed without a response")?;
+        crate::protocol::parse_response(&payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal handling (no libc crate in this offline workspace: declare the
+// one symbol we need — std already links the C library).
+// ---------------------------------------------------------------------
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip a flag read by
+/// [`term_requested`] — the daemon's graceful-drain trigger.
+pub fn install_term_handler() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+}
+
+/// True once SIGTERM or SIGINT arrived.
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}

@@ -1,0 +1,300 @@
+//! End-to-end tests for the `pxml serve` daemon, driven in-process:
+//! [`Server::start`] on an ephemeral localhost port, the [`Client`]
+//! helpers on the other end, and a local [`QueryEngine`] as the answer
+//! oracle. Covers the status taxonomy, governance overrides, mutation +
+//! hot reload, the HTTP sniff, malformed frames, and graceful drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use pxml_cli::protocol::{self, Request, RequestOptions, Status};
+use pxml_cli::serve::{Client, Server, ServeConfig, ServerHandle, Target};
+use pxml_cli::{load, save, translate_query};
+use pxml_core::fixtures::fig2_instance;
+use pxml_gen::{generate, serve_workload, Labeling, ServeRequest, WorkloadConfig};
+use pxml_query::QueryEngine;
+
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pxml-serve-cli").join(test);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Writes the fig2 fixture and one generated instance under `test`'s
+/// scratch dir and boots an ungoverned daemon over both.
+fn start_two(test: &str) -> (ServerHandle, Target, PathBuf) {
+    let dir = temp_dir(test);
+    let fig2 = dir.join("fig2.pxmlb");
+    save(&fig2_instance(), &fig2).expect("save fig2");
+    let gen_path = dir.join("gen.pxmlb");
+    let g = generate(&WorkloadConfig::paper(4, 2, Labeling::SameLabel, 11));
+    save(&g.instance, &gen_path).expect("save generated instance");
+    let handle = Server::start(ServeConfig::ephemeral(vec![fig2, gen_path.clone()]))
+        .expect("server starts");
+    let port = handle.port().expect("tcp bind reports a port");
+    (handle, Target::Tcp(format!("127.0.0.1:{port}")), gen_path)
+}
+
+fn query(instance: &str, ql: &str) -> Request {
+    Request::Query {
+        instance: instance.into(),
+        options: RequestOptions::default(),
+        query: ql.into(),
+    }
+}
+
+#[test]
+fn answers_match_the_local_engine() {
+    let (handle, target, gen_path) = start_two("answers");
+    let mut client = Client::connect(&target).expect("connect");
+
+    assert_eq!(client.roundtrip(&Request::Ping).unwrap(), (Status::Ok, "pong".into()));
+
+    // Every generated query must come back checksum-equal to a local
+    // ungoverned engine over the same instance file.
+    let pi = load(&gen_path).expect("reload generated instance");
+    let engine = QueryEngine::new(pi);
+    let g = generate(&WorkloadConfig::paper(4, 2, Labeling::SameLabel, 11));
+    let mut compared = 0;
+    for req in serve_workload(&g, 60, 0, 23) {
+        let ServeRequest::Query(line) = req else { continue };
+        let q = translate_query(engine.instance(), &line).expect("workload query resolves");
+        let expected = format!("{:.6}", engine.run(&q).expect("local run"));
+        let (status, body) = client.roundtrip(&query("gen", &line)).expect("roundtrip");
+        assert_eq!((status, body), (Status::Ok, expected.clone()), "query {line:?}");
+        compared += 1;
+    }
+    assert!(compared >= 30, "only {compared} queries compared");
+
+    // The second registry entry answers on the same connection.
+    let (status, body) = client.roundtrip(&query("fig2", "EXISTS R.book")).unwrap();
+    assert_eq!(status, Status::Ok);
+    assert!(body.parse::<f64>().is_ok(), "{body:?}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn bad_requests_map_to_status_two() {
+    let (handle, target, _) = start_two("bad_requests");
+    let mut client = Client::connect(&target).expect("connect");
+
+    let (status, body) = client.roundtrip(&query("nope", "EXISTS R.book")).unwrap();
+    assert_eq!(status, Status::BadRequest);
+    assert!(body.contains("unknown instance") && body.contains("fig2"), "{body:?}");
+
+    let (status, body) = client.roundtrip(&query("fig2", "EXISTS R.frobnicate")).unwrap();
+    assert_eq!(status, Status::BadRequest);
+    assert!(body.contains("unknown name"), "{body:?}");
+
+    let (status, _) = client.roundtrip(&query("fig2", "WAT")).unwrap();
+    assert_eq!(status, Status::BadRequest);
+
+    // Non-UTF-8 payload: answered bad-request, connection stays usable.
+    let Target::Tcp(addr) = &target else { unreachable!() };
+    let mut raw = TcpStream::connect(addr.as_str()).unwrap();
+    protocol::write_frame(&mut raw, &[0xff, 0xfe, 0x00, 0x41]).unwrap();
+    let payload = protocol::read_frame(&mut raw).unwrap().expect("a response");
+    let (status, body) = protocol::parse_response(&payload).unwrap();
+    assert_eq!(status, Status::BadRequest);
+    assert!(body.contains("UTF-8"), "{body:?}");
+    protocol::write_frame(&mut raw, b"PING").unwrap();
+    let payload = protocol::read_frame(&mut raw).unwrap().expect("still serving");
+    assert_eq!(protocol::parse_response(&payload).unwrap(), (Status::Ok, "pong".into()));
+
+    // A hostile length prefix: bad-request response, then the daemon
+    // closes (the stream position is unrecoverable) — and keeps serving
+    // fresh connections.
+    let mut hostile = TcpStream::connect(addr.as_str()).unwrap();
+    hostile.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    hostile.flush().unwrap();
+    let payload = protocol::read_frame(&mut hostile).unwrap().expect("a response");
+    let (status, body) = protocol::parse_response(&payload).unwrap();
+    assert_eq!(status, Status::BadRequest);
+    assert!(body.contains("ceiling"), "{body:?}");
+    let mut end = Vec::new();
+    hostile.read_to_end(&mut end).unwrap();
+    assert!(end.is_empty(), "connection must close after a hostile prefix");
+    assert_eq!(client.roundtrip(&Request::Ping).unwrap().0, Status::Ok);
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn budget_rejection_and_interval_degrade() {
+    let (handle, target, _) = start_two("governance");
+    let mut client = Client::connect(&target).expect("connect");
+    // An accepted-by-construction query (it locates something, so the
+    // engine must actually marginalise — a dead path would answer 0
+    // before spending a single work step).
+    let g = generate(&WorkloadConfig::paper(4, 2, Labeling::SameLabel, 11));
+    let ql = serve_workload(&g, 30, 0, 23)
+        .into_iter()
+        .find_map(|r| match r {
+            ServeRequest::Query(q) if q.starts_with("EXISTS ") => Some(q),
+            _ => None,
+        })
+        .expect("the workload yields an EXISTS query");
+    let starved = |degrade| Request::Query {
+        instance: "gen".into(),
+        options: RequestOptions {
+            max_steps: Some(1),
+            timeout_ms: None,
+            degrade: Some(degrade),
+        },
+        query: ql.clone(),
+    };
+
+    let (status, body) =
+        client.roundtrip(&starved(pxml_query::DegradePolicy::Error)).unwrap();
+    assert_eq!(status, Status::BudgetRejected, "{body:?}");
+
+    let (status, body) =
+        client.roundtrip(&starved(pxml_query::DegradePolicy::Interval)).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+    assert!(body.starts_with('[') && body.ends_with(']'), "interval answer, got {body:?}");
+
+    // An ample per-request budget on the same query is exact again.
+    let (status, body) = client
+        .roundtrip(&Request::Query {
+            instance: "gen".into(),
+            options: RequestOptions {
+                max_steps: Some(1_000_000),
+                timeout_ms: Some(10_000),
+                degrade: Some(pxml_query::DegradePolicy::Error),
+            },
+            query: ql.clone(),
+        })
+        .unwrap();
+    assert_eq!(status, Status::Ok);
+    assert!(body.parse::<f64>().is_ok(), "{body:?}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn mutate_is_visible_until_reload_reverts_it() {
+    let (handle, target, _) = start_two("mutate_reload");
+    let mut client = Client::connect(&target).expect("connect");
+    let probe = query("fig2", "POINT T2 IN R.book.title");
+
+    let (status, baseline) = client.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok);
+
+    let (status, body) = client
+        .roundtrip(&Request::Mutate {
+            instance: "fig2".into(),
+            options: RequestOptions::default(),
+            ops: "SETEDGE R B1 PROB 0.25".into(),
+        })
+        .unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+    assert!(body.starts_with("applied 1 ops"), "{body:?}");
+
+    let (status, mutated) = client.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok);
+    assert_ne!(mutated, baseline, "the write must change the answer");
+
+    // Mutations live in registry memory; RELOAD reverts to disk.
+    let (status, body) = client
+        .roundtrip(&Request::Reload { instance: "fig2".into() })
+        .unwrap();
+    assert_eq!(status, Status::Ok);
+    assert!(body.contains("reloaded fig2"), "{body:?}");
+    let (status, reverted) = client.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok);
+    assert_eq!(reverted, baseline);
+
+    let (status, stats) =
+        client.roundtrip(&Request::Stats { instance: "fig2".into() }).unwrap();
+    assert_eq!(status, Status::Ok);
+    assert!(stats.contains("queries"), "{stats:?}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn metrics_over_wire_and_http() {
+    let (handle, target, _) = start_two("metrics");
+    let mut client = Client::connect(&target).expect("connect");
+    client.roundtrip(&Request::Ping).unwrap();
+    client.roundtrip(&query("fig2", "EXISTS R.book")).unwrap();
+
+    let (status, body) = client.roundtrip(&Request::Metrics).unwrap();
+    assert_eq!(status, Status::Ok);
+    for family in [
+        "pxml_serve_requests_total",
+        "pxml_serve_connections_total",
+        "pxml_serve_active_connections",
+        "pxml_serve_instance_queries_total",
+        "pxml_serve_instance_cache_admission_rejected_total",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+    assert!(
+        body.contains("verb=\"PING\",status=\"0\"") && body.contains("instance=\"fig2\""),
+        "{body}"
+    );
+
+    let Target::Tcp(addr) = &target else { unreachable!() };
+    let http = |path: &str| {
+        let mut s = TcpStream::connect(addr.as_str()).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    let scrape = http("/metrics");
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("pxml_serve_http_requests_total"), "{scrape}");
+    let health = http("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK") && health.ends_with("ok\n"), "{health}");
+    assert!(http("/nope").starts_with("HTTP/1.1 404"), "unknown paths are 404");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn shutdown_verb_drains_gracefully() {
+    let (handle, target, _) = start_two("shutdown");
+    let mut client = Client::connect(&target).expect("connect");
+    assert_eq!(
+        client.roundtrip(&Request::Shutdown).unwrap(),
+        (Status::Ok, "draining".into())
+    );
+    assert!(handle.is_shutting_down());
+    handle.shutdown_and_join().expect("in-flight work drains inside the deadline");
+}
+
+#[test]
+fn concurrent_mixed_clients_never_error() {
+    let (handle, target, _) = start_two("concurrent");
+    let g = generate(&WorkloadConfig::paper(4, 2, Labeling::SameLabel, 11));
+    let workers: Vec<_> = (0..8u64)
+        .map(|w| {
+            let target = target.clone();
+            let stream = serve_workload(&g, 25, 200, 1000 + w);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&target).expect("connect");
+                for req in stream {
+                    let wire = match req {
+                        ServeRequest::Query(q) => query("gen", &q),
+                        ServeRequest::Mutate(ops) => Request::Mutate {
+                            instance: "gen".into(),
+                            options: RequestOptions::default(),
+                            ops,
+                        },
+                    };
+                    let (status, body) = client.roundtrip(&wire).expect("roundtrip");
+                    assert_eq!(status, Status::Ok, "{body:?}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    // The daemon notices each client's EOF within its read-timeout tick.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.active_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(handle.active_connections(), 0, "clients disconnected cleanly");
+    handle.shutdown_and_join().expect("drain");
+}

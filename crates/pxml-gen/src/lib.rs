@@ -19,12 +19,14 @@ pub mod config;
 pub mod dag;
 pub mod mutations;
 pub mod queries;
+pub mod requests;
 pub mod tree;
 pub mod workload;
 
 pub use config::{Labeling, WorkloadConfig};
 pub use dag::{random_dag, random_dag_with, DagConfig};
 pub use mutations::random_mutations;
+pub use requests::{serve_workload, ServeRequest};
 pub use queries::{
     analysis_batch, query_batch, random_dead_path, random_path_query, random_selection_query,
     selection_batch, AnalysisQuery,

@@ -1,0 +1,158 @@
+//! Mixed request workloads for the `pxml serve` load harness.
+//!
+//! Where [`crate::queries`] produces resolved [`PathExpr`]s for the
+//! in-process engine, a daemon client speaks *text*: QL lines and
+//! mutation-op lines addressed by catalog names. [`serve_workload`]
+//! renders a deterministic mixed stream of `POINT` / `EXISTS` / `CHAIN`
+//! queries and always-applicable entry-level mutations (drawn from
+//! [`crate::mutations::random_mutations`], so any interleaving of the
+//! stream against the instance applies cleanly).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pxml_algebra::locate::locate_weak;
+use pxml_algebra::path::PathExpr;
+use pxml_core::ObjectId;
+
+use crate::mutations::random_mutations;
+use crate::queries::random_path_query;
+use crate::tree::GeneratedInstance;
+
+/// One serve-protocol request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeRequest {
+    /// A QL probability query — the body of a `QUERY` frame.
+    Query(String),
+    /// One mutation op line — the body of a `MUTATE` frame.
+    Mutate(String),
+}
+
+/// Renders `root.l1.….ld` by catalog names.
+fn path_text(g: &GeneratedInstance, p: &PathExpr) -> String {
+    let catalog = g.instance.catalog();
+    let mut out = catalog.object_name(p.root).to_string();
+    for l in &p.labels {
+        out.push('.');
+        out.push_str(catalog.label_name(*l));
+    }
+    out
+}
+
+/// Renders a random object chain `root.c1.….ck` (k ≥ 1) following weak
+/// edges, by catalog names.
+fn chain_text(g: &GeneratedInstance, rng: &mut StdRng) -> Option<String> {
+    let catalog = g.instance.catalog();
+    let mut here = g.instance.root();
+    let mut out = catalog.object_name(here).to_string();
+    let hops = rng.gen_range(1..=g.config.depth);
+    for _ in 0..hops {
+        let children: Vec<ObjectId> =
+            g.instance.weak().weak_edges(here).into_iter().map(|(_, c)| c).collect();
+        if children.is_empty() {
+            break;
+        }
+        here = children[rng.gen_range(0..children.len())];
+        out.push('.');
+        out.push_str(catalog.object_name(here));
+    }
+    if out.contains('.') {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// A deterministic mixed request stream: `count` requests of which
+/// roughly `mutate_per_mille`‰ are mutations, the rest cycling
+/// exists / point / chain queries. Queries are accepted-by-construction
+/// (they locate something), mutations always apply cleanly; the stream
+/// may come up short only when the instance offers no mutable targets
+/// or no accepted queries.
+pub fn serve_workload(
+    g: &GeneratedInstance,
+    count: usize,
+    mutate_per_mille: u32,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Entry-level ops are cheap to pre-generate; cycle through a pool.
+    let pool = random_mutations(&g.instance, count.clamp(1, 256), seed ^ 0x6d75_7461_7465);
+    let mut next_op = 0usize;
+    let mut out = Vec::with_capacity(count);
+    let mut kind = 0usize;
+    for _ in 0..count {
+        if !pool.is_empty() && rng.gen_range(0..1000u32) < mutate_per_mille {
+            let op = &pool[next_op % pool.len()];
+            next_op += 1;
+            let line = pxml_core::render_ops(&g.instance, std::slice::from_ref(op));
+            out.push(ServeRequest::Mutate(line.trim_end().to_string()));
+            continue;
+        }
+        kind += 1;
+        let req = match kind % 3 {
+            0 => chain_text(g, &mut rng).map(|c| ServeRequest::Query(format!("CHAIN {c}"))),
+            1 => random_path_query(g, &mut rng, 1000)
+                .map(|p| ServeRequest::Query(format!("EXISTS {}", path_text(g, &p)))),
+            _ => random_path_query(g, &mut rng, 1000).and_then(|p| {
+                let located = locate_weak(&g.instance, &p);
+                if located.is_empty() {
+                    return None;
+                }
+                let target = located[rng.gen_range(0..located.len())];
+                Some(ServeRequest::Query(format!(
+                    "POINT {} IN {}",
+                    g.instance.catalog().object_name(target),
+                    path_text(g, &p)
+                )))
+            }),
+        };
+        if let Some(r) = req {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Labeling, WorkloadConfig};
+    use crate::tree::generate;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let g = generate(&WorkloadConfig::paper(4, 2, Labeling::FullyRandom, 17));
+        let w = serve_workload(&g, 200, 100, 5);
+        assert_eq!(w, serve_workload(&g, 200, 100, 5));
+        let mutates = w.iter().filter(|r| matches!(r, ServeRequest::Mutate(_))).count();
+        let queries = w.len() - mutates;
+        assert!(mutates > 0, "10% mutate share must appear in 200 draws");
+        assert!(queries > 0);
+        let text_of = |r: &ServeRequest| match r {
+            ServeRequest::Query(t) | ServeRequest::Mutate(t) => t.clone(),
+        };
+        assert!(w.iter().any(|r| text_of(r).starts_with("POINT ")));
+        assert!(w.iter().any(|r| text_of(r).starts_with("EXISTS ")));
+        assert!(w.iter().any(|r| text_of(r).starts_with("CHAIN ")));
+    }
+
+    #[test]
+    fn query_lines_parse_and_mutations_apply() {
+        let g = generate(&WorkloadConfig::paper(3, 2, Labeling::SameLabel, 3));
+        let mut pi = g.instance.clone();
+        for r in serve_workload(&g, 100, 200, 9) {
+            match r {
+                ServeRequest::Query(line) => {
+                    pxml_ql::parse(&line).expect("generated QL parses");
+                }
+                ServeRequest::Mutate(line) => {
+                    for op in pxml_core::parse_ops(&pi, &line).expect("generated op parses") {
+                        pi.apply(&op).expect("generated op applies");
+                    }
+                }
+            }
+        }
+        pi.validate().expect("instance stays coherent");
+    }
+}

@@ -37,11 +37,25 @@ impl QueryEngine {
     /// module docs for what is checked per table.
     pub fn audit_cache(&self) -> Vec<String> {
         let mut findings = Vec::new();
+        self.audit_bytes(&mut findings);
         self.audit_layers(&mut findings);
         self.audit_links(&mut findings);
         self.audit_eps(&mut findings);
         self.audit_results(&mut findings);
         findings
+    }
+
+    /// The running byte total must equal the sum of the live entries'
+    /// stored admitted costs — admission, replacement, eviction, and
+    /// dirty-set invalidation all promise exact accounting.
+    fn audit_bytes(&self, findings: &mut Vec<String>) {
+        let accounted = self.cache().approx_bytes();
+        let recomputed = self.cache().recomputed_bytes();
+        if accounted != recomputed {
+            findings.push(format!(
+                "bytes: running total {accounted} != recomputed sum of live entry costs {recomputed}"
+            ));
+        }
     }
 
     fn audit_layers(&self, findings: &mut Vec<String>) {

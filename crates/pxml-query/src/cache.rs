@@ -66,12 +66,23 @@ pub struct EpsKey {
     pub target: TargetKey,
 }
 
+/// One memoised entry plus the cost it was admitted at. Storing the
+/// cost with the value makes eviction and replacement re-accounting
+/// exact by construction: whatever was added on admission is exactly
+/// what gets subtracted later, even when a later estimate for the same
+/// key would differ.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    cost: u64,
+}
+
 /// One memo table plus its approximate heap footprint. The byte counter
 /// is only touched under the table's write lock, so it needs no
 /// atomicity of its own.
 #[derive(Debug)]
 struct Shard<K, V> {
-    map: HashMap<K, V>,
+    map: HashMap<K, Entry<V>>,
     bytes: u64,
 }
 
@@ -92,13 +103,29 @@ type LayerTable = Shard<(ObjectId, LabelPath), Arc<Vec<Vec<ObjectId>>>>;
 /// Every insert carries an *approximate* cost estimate (entry struct
 /// sizes plus variable-length heap parts; hash-table overhead is folded
 /// into per-entry constants). When a ceiling is set via
-/// [`MarginalCache::set_max_bytes`], admission is governed: an insert
-/// that would push the total over the ceiling first evicts the whole
-/// table it targets (epoch-style — the memo tables have no useful
-/// recency structure, and dropping a table is correctness-neutral
-/// because every entry is a pure function of the instance), and is
-/// refused outright if it still does not fit. The accounted total
-/// therefore **never** exceeds the ceiling.
+/// [`MarginalCache::set_max_bytes`], admission is governed by a
+/// make-room-or-refuse contract:
+///
+/// 1. An insert that fits (after accounting for any same-key entry it
+///    replaces) is admitted without touching anything else.
+/// 2. An insert that does not fit, but **would** fit once its target
+///    table were emptied, evicts that whole table (epoch-style — the
+///    memo tables have no useful recency structure, and dropping a
+///    table is correctness-neutral because every entry is a pure
+///    function of the instance) and is then admitted.
+/// 3. An insert that could not fit even then — its cost alone exceeds
+///    the ceiling, or other tables hold the budget — is **refused
+///    without evicting anything** and counted in
+///    [`MarginalCache::admission_rejections`]. Warm state is never
+///    sacrificed for an entry that cannot be admitted anyway.
+///
+/// Same-key replacement subtracts the displaced entry's admitted cost
+/// and adds the new one, so `approx_bytes()` stays equal to the sum of
+/// live entry costs even when two estimates for one key differ. Within
+/// one thread the accounted total never exceeds the ceiling; concurrent
+/// admissions into *different* tables can transiently overshoot by at
+/// most one entry each (the check reads the advisory total outside the
+/// other tables' locks).
 #[derive(Debug, Default)]
 pub struct MarginalCache {
     results: RwLock<Shard<Query, Result<f64>>>,
@@ -112,6 +139,8 @@ pub struct MarginalCache {
     total_bytes: AtomicU64,
     /// Whole-table evictions performed by the admission path.
     evictions: AtomicU64,
+    /// Inserts refused because no eviction could have made room.
+    rejections: AtomicU64,
 }
 
 /// Flat per-entry cost estimates (key + value + hash-table slot). The
@@ -149,36 +178,77 @@ impl MarginalCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Zeroes the eviction counter (for `reset_stats`).
-    pub fn reset_evictions(&self) {
-        self.evictions.store(0, Ordering::Relaxed);
+    /// Inserts refused by admission control because no eviction could
+    /// have made room (the entry's cost alone exceeds the ceiling, or
+    /// other tables hold the budget).
+    pub fn admission_rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
     }
 
-    /// Byte-governed insert into one shard: evict the shard when the
-    /// ceiling would be crossed, refuse admission when the entry still
-    /// does not fit. Only this shard's lock is taken, so concurrent
-    /// inserts into different tables never deadlock.
+    /// Zeroes the eviction and rejection counters (for `reset_stats`).
+    pub fn reset_evictions(&self) {
+        self.evictions.store(0, Ordering::Relaxed);
+        self.rejections.store(0, Ordering::Relaxed);
+    }
+
+    /// The accounted footprint recomputed from scratch — the sum of
+    /// every live entry's admitted cost across all four tables. Equal to
+    /// [`MarginalCache::approx_bytes`] whenever the cache is quiescent;
+    /// tests and `audit_cache` use the pair to prove the incremental
+    /// accounting never drifts.
+    pub fn recomputed_bytes(&self) -> u64 {
+        fn sum<K, V>(shard: &RwLock<Shard<K, V>>) -> u64 {
+            shard.read().map.values().map(|e| e.cost).sum()
+        }
+        sum(&self.results) + sum(&self.layers) + sum(&self.eps) + sum(&self.links)
+    }
+
+    /// Byte-governed insert into one shard, following the documented
+    /// make-room-or-refuse contract (see the type docs): admit in place
+    /// when it fits, evict the whole shard only when that actually makes
+    /// room, refuse — evicting nothing — otherwise. Only this shard's
+    /// lock is taken, so concurrent inserts into different tables never
+    /// deadlock.
     fn admit<K: Eq + Hash, V>(&self, shard: &RwLock<Shard<K, V>>, key: K, value: V, cost: u64) {
         let max = self.max_bytes.load(Ordering::Relaxed);
         let mut s = shard.write();
-        if max > 0 && self.total_bytes.load(Ordering::Relaxed).saturating_add(cost) > max {
-            self.total_bytes.fetch_sub(s.bytes, Ordering::Relaxed);
-            s.map.clear();
-            s.bytes = 0;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            if self.total_bytes.load(Ordering::Relaxed).saturating_add(cost) > max {
-                return; // other tables hold the budget; skip admission
+        if max > 0 {
+            let total = self.total_bytes.load(Ordering::Relaxed);
+            let replaced = s.map.get(&key).map_or(0, |e| e.cost);
+            // Footprint if the entry were admitted in place, displacing
+            // any same-key entry.
+            if total.saturating_sub(replaced).saturating_add(cost) > max {
+                // Could emptying this whole table make room? If not —
+                // the entry's cost alone busts the ceiling, or other
+                // tables hold the budget — refuse WITHOUT evicting:
+                // wiping warm state for an entry that still cannot be
+                // admitted would thrash the cache on every oversized put.
+                if total.saturating_sub(s.bytes).saturating_add(cost) > max {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                self.total_bytes.fetch_sub(s.bytes, Ordering::Relaxed);
+                s.map.clear();
+                s.bytes = 0;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        if s.map.insert(key, value).is_none() {
-            s.bytes += cost;
-            self.total_bytes.fetch_add(cost, Ordering::Relaxed);
+        // Replacement re-accounts: subtract the displaced entry's
+        // admitted cost, add the new one. (Costs for one key can differ
+        // across inserts in the value-bearing tables, e.g. a layers
+        // entry recomputed after a mutation.)
+        let displaced = s.map.insert(key, Entry { value, cost }).map_or(0, |e| e.cost);
+        s.bytes = s.bytes.saturating_sub(displaced).saturating_add(cost);
+        if cost >= displaced {
+            self.total_bytes.fetch_add(cost - displaced, Ordering::Relaxed);
+        } else {
+            self.total_bytes.fetch_sub(displaced - cost, Ordering::Relaxed);
         }
     }
 
     /// Whole-query lookup.
     pub fn get_result(&self, q: &Query) -> Option<Result<f64>> {
-        self.results.read().map.get(q).cloned()
+        self.results.read().map.get(q).map(|e| e.value.clone())
     }
 
     /// Whole-query insert.
@@ -192,7 +262,7 @@ impl MarginalCache {
 
     /// Located-layers lookup for `(root, path labels)`.
     pub fn get_layers(&self, root: ObjectId, path: &LabelPath) -> Option<Arc<Vec<Vec<ObjectId>>>> {
-        self.layers.read().map.get(&(root, path.clone())).cloned()
+        self.layers.read().map.get(&(root, path.clone())).map(|e| Arc::clone(&e.value))
     }
 
     /// Located-layers insert.
@@ -203,7 +273,7 @@ impl MarginalCache {
 
     /// ε-marginal lookup.
     pub fn get_eps(&self, key: &EpsKey) -> Option<f64> {
-        self.eps.read().map.get(key).copied()
+        self.eps.read().map.get(key).map(|e| e.value)
     }
 
     /// ε-marginal insert.
@@ -214,7 +284,7 @@ impl MarginalCache {
     /// Chain-link marginal lookup: `P(child at universe position ∈
     /// children(parent))`.
     pub fn get_link(&self, parent: ObjectId, pos: u32) -> Option<f64> {
-        self.links.read().map.get(&(parent, pos)).copied()
+        self.links.read().map.get(&(parent, pos)).map(|e| e.value)
     }
 
     /// Chain-link marginal insert.
@@ -288,80 +358,75 @@ impl MarginalCache {
             |layers: &[Vec<ObjectId>]| layers.iter().any(|l| l.iter().any(|o| direct.contains(o)));
 
         // Results first: the Point/Exists test reads the layers table,
-        // which must still hold the pre-mutation entries.
+        // which must still hold the pre-mutation entries. Freed bytes
+        // are the entries' *admitted* costs, so the accounting stays
+        // exactly in step with what `admit` added.
         {
             let layers = self.layers.read();
             let mut s = self.results.write();
             let mut freed = 0u64;
-            s.map.retain(|q, _| {
+            s.map.retain(|q, e| {
                 let stale = match q {
                     Query::Chain { objects } => objects.iter().any(|o| direct.contains(o)),
                     Query::Point { path, .. } | Query::Exists { path } => {
                         match layers.map.get(&(path.root, LabelPath::from(&path.labels[..]))) {
-                            Some(l) => touches_direct(l),
+                            Some(l) => touches_direct(&l.value),
                             None => true, // no witness — evict conservatively
                         }
                     }
                 };
                 if stale {
-                    let extra = match q {
-                        Query::Chain { objects } => objects.len() as u64 * 4,
-                        Query::Point { path, .. } | Query::Exists { path } => {
-                            path.labels.len() as u64 * 4
-                        }
-                    };
-                    freed += RESULT_ENTRY_BYTES + extra;
+                    freed += e.cost;
                     counts.results += 1;
                 }
                 !stale
             });
-            s.bytes -= freed;
+            s.bytes = s.bytes.saturating_sub(freed);
             self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
         }
 
         if structural {
             let mut s = self.layers.write();
             let mut freed = 0u64;
-            s.map.retain(|_, l| {
-                let stale = touches_direct(l);
+            s.map.retain(|_, e| {
+                let stale = touches_direct(&e.value);
                 if stale {
-                    let extra: u64 = l.iter().map(|lay| 24 + lay.len() as u64 * 4).sum();
-                    freed += LAYERS_ENTRY_BYTES + extra;
+                    freed += e.cost;
                     counts.layers += 1;
                 }
                 !stale
             });
-            s.bytes -= freed;
+            s.bytes = s.bytes.saturating_sub(freed);
             self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
         }
 
         {
             let mut s = self.eps.write();
             let mut freed = 0u64;
-            s.map.retain(|k, _| {
+            s.map.retain(|k, e| {
                 let stale = affected.contains(&k.object);
                 if stale {
-                    freed += EPS_ENTRY_BYTES;
+                    freed += e.cost;
                     counts.eps += 1;
                 }
                 !stale
             });
-            s.bytes -= freed;
+            s.bytes = s.bytes.saturating_sub(freed);
             self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
         }
 
         {
             let mut s = self.links.write();
             let mut freed = 0u64;
-            s.map.retain(|(parent, _), _| {
+            s.map.retain(|(parent, _), e| {
                 let stale = direct.contains(parent);
                 if stale {
-                    freed += LINK_ENTRY_BYTES;
+                    freed += e.cost;
                     counts.links += 1;
                 }
                 !stale
             });
-            s.bytes -= freed;
+            s.bytes = s.bytes.saturating_sub(freed);
             self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
         }
 
@@ -370,22 +435,22 @@ impl MarginalCache {
 
     /// Snapshot of the whole-query memo (audit support).
     pub(crate) fn result_entries(&self) -> Vec<(Query, Result<f64>)> {
-        self.results.read().map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.results.read().map.iter().map(|(k, e)| (k.clone(), e.value.clone())).collect()
     }
 
     /// Snapshot of the located-layers memo (audit support).
     pub(crate) fn layer_entries(&self) -> LayerEntries {
-        self.layers.read().map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        self.layers.read().map.iter().map(|(k, e)| (k.clone(), Arc::clone(&e.value))).collect()
     }
 
     /// Snapshot of the ε memo (audit support).
     pub(crate) fn eps_entries(&self) -> Vec<(EpsKey, f64)> {
-        self.eps.read().map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.eps.read().map.iter().map(|(k, e)| (k.clone(), e.value)).collect()
     }
 
     /// Snapshot of the link-marginal memo (audit support).
     pub(crate) fn link_entries(&self) -> Vec<((ObjectId, u32), f64)> {
-        self.links.read().map.iter().map(|(k, v)| (*k, *v)).collect()
+        self.links.read().map.iter().map(|(k, e)| (*k, e.value)).collect()
     }
 }
 
@@ -411,5 +476,130 @@ impl InvalidationCounts {
     /// Total entries evicted across all four tables.
     pub fn total(&self) -> u64 {
         self.results + self.layers + self.eps + self.links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::Label;
+
+    fn o(raw: u32) -> ObjectId {
+        ObjectId::from_raw(raw)
+    }
+
+    fn layer_cost(lens: &[usize]) -> u64 {
+        LAYERS_ENTRY_BYTES + lens.iter().map(|&n| 24 + n as u64 * 4).sum::<u64>()
+    }
+
+    /// The verified bug: an entry whose cost alone busts the ceiling used
+    /// to evict its shard (and bump `evictions`) on every put, even
+    /// though it could never be admitted. It must now be refused without
+    /// touching warm state.
+    #[test]
+    fn oversized_insert_refused_without_eviction() {
+        let cache = MarginalCache::new();
+        cache.set_max_bytes(200);
+        for i in 0..4 {
+            cache.put_link(o(i), 0, 0.5);
+        }
+        assert_eq!(cache.approx_bytes(), 4 * LINK_ENTRY_BYTES);
+
+        let big: Arc<Vec<Vec<ObjectId>>> = Arc::new(vec![(0..100).map(o).collect()]);
+        let path = LabelPath::new(vec![Label::from_raw(1)]);
+        assert!(layer_cost(&[100]) > cache.max_bytes());
+        for _ in 0..10 {
+            cache.put_layers(o(0), path.clone(), Arc::clone(&big));
+        }
+
+        assert_eq!(cache.evictions(), 0, "oversized puts must not evict");
+        assert_eq!(cache.admission_rejections(), 10);
+        assert!(cache.get_layers(o(0), &path).is_none());
+        // Warm state survives: every link still hits.
+        for i in 0..4 {
+            assert_eq!(cache.get_link(o(i), 0), Some(0.5));
+        }
+        assert_eq!(cache.approx_bytes(), 4 * LINK_ENTRY_BYTES);
+        assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+    }
+
+    /// Evicting a shard is only allowed when that actually makes room;
+    /// when *other* tables hold the budget the insert is refused instead.
+    #[test]
+    fn eviction_only_when_it_makes_room() {
+        let cache = MarginalCache::new();
+        cache.set_max_bytes(200);
+        for i in 0..4 {
+            cache.put_link(o(i), 0, 0.25);
+        }
+        // eps entry would fit nowhere: links hold 160 of the 200-byte
+        // budget and emptying the (empty) eps shard frees nothing.
+        let key = EpsKey {
+            object: o(9),
+            suffix: LabelPath::new(vec![Label::from_raw(1)]).suffix(0),
+            target: TargetKey::AllLocated,
+        };
+        cache.put_eps(key.clone(), 0.125);
+        assert_eq!(cache.get_eps(&key), None);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.admission_rejections(), 1);
+
+        // A fifth link fits exactly in place (200 = ceiling): admitted.
+        cache.put_link(o(4), 0, 0.25);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.approx_bytes(), 5 * LINK_ENTRY_BYTES);
+
+        // A sixth does not fit, but emptying the links shard makes room:
+        // one epoch eviction, then admission.
+        cache.put_link(o(5), 0, 0.25);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get_link(o(5), 0), Some(0.25));
+        assert_eq!(cache.get_link(o(0), 0), None);
+        assert_eq!(cache.approx_bytes(), LINK_ENTRY_BYTES);
+        assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+    }
+
+    /// The second bug: same-key replacement used to skip byte accounting
+    /// entirely (`is_none()` guard), so a differing-cost replacement
+    /// drifted the totals. Replacement must subtract the displaced cost
+    /// and add the new one.
+    #[test]
+    fn replacement_reaccounts_bytes() {
+        let cache = MarginalCache::new();
+        let path = LabelPath::new(vec![Label::from_raw(1)]);
+        let small: Arc<Vec<Vec<ObjectId>>> = Arc::new(vec![vec![o(1)]]);
+        let large: Arc<Vec<Vec<ObjectId>>> = Arc::new(vec![(0..10).map(o).collect()]);
+
+        cache.put_layers(o(0), path.clone(), Arc::clone(&small));
+        assert_eq!(cache.approx_bytes(), layer_cost(&[1]));
+
+        // Grow: total must move to the new cost, not accumulate.
+        cache.put_layers(o(0), path.clone(), Arc::clone(&large));
+        assert_eq!(cache.approx_bytes(), layer_cost(&[10]));
+        assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+
+        // Shrink back: total follows exactly.
+        cache.put_layers(o(0), path.clone(), small);
+        assert_eq!(cache.approx_bytes(), layer_cost(&[1]));
+        assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+        assert_eq!(cache.len(), (0, 1, 0, 0));
+    }
+
+    /// Under a ceiling, replacing a key accounts for the bytes it frees:
+    /// a same-cost replacement of the sole entry always fits and must not
+    /// evict or refuse.
+    #[test]
+    fn replacement_under_ceiling_counts_freed_bytes() {
+        let cache = MarginalCache::new();
+        let path = LabelPath::new(vec![Label::from_raw(1)]);
+        let layers: Arc<Vec<Vec<ObjectId>>> = Arc::new(vec![(0..10).map(o).collect()]);
+        cache.set_max_bytes(layer_cost(&[10]));
+        cache.put_layers(o(0), path.clone(), Arc::clone(&layers));
+        assert_eq!(cache.approx_bytes(), cache.max_bytes());
+        cache.put_layers(o(0), path.clone(), Arc::clone(&layers));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.admission_rejections(), 0);
+        assert!(cache.get_layers(o(0), &path).is_some());
+        assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
     }
 }

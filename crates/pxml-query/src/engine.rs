@@ -301,6 +301,7 @@ impl QueryEngine {
     pub fn stats(&self) -> StatsSnapshot {
         let mut s = self.stats.snapshot();
         s.cache_evictions = self.cache.evictions();
+        s.cache_admission_rejections = self.cache.admission_rejections();
         s
     }
 
@@ -529,6 +530,11 @@ impl QueryEngine {
             "pxml_cache_evictions_total",
             "Whole-table cache evictions under the byte ceiling.",
             s.cache_evictions,
+        );
+        reg.counter(
+            "pxml_cache_admission_rejected_total",
+            "Cache inserts refused because no eviction could make room.",
+            s.cache_admission_rejections,
         );
         let (results, layers, eps, links) = self.cache_len();
         reg.gauge_vec(

@@ -341,6 +341,7 @@ impl EngineStats {
             preflight_rewrites: g(&self.preflight_rewrites),
             preflight_rejections: g(&self.preflight_rejections),
             cache_evictions: 0,
+            cache_admission_rejections: 0,
             locate_nanos: g(&self.locate_nanos),
             marginal_nanos: g(&self.marginal_nanos),
             batch_nanos: g(&self.batch_nanos),
@@ -394,6 +395,9 @@ pub struct StatsSnapshot {
     /// Whole-table cache evictions under the byte ceiling (merged in
     /// from the cache by `QueryEngine::stats`).
     pub cache_evictions: u64,
+    /// Cache inserts refused because no eviction could make room
+    /// (merged in from the cache by `QueryEngine::stats`).
+    pub cache_admission_rejections: u64,
     /// Time locating path layers.
     pub locate_nanos: u64,
     /// Time in marginalisation.
@@ -540,10 +544,11 @@ impl fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "governance         degraded {}  exhausted {}  cache evictions {}  ({} of queries degraded)",
+            "governance         degraded {}  exhausted {}  cache evictions {}  admissions refused {}  ({} of queries degraded)",
             self.queries_degraded,
             self.queries_exhausted,
             self.cache_evictions,
+            self.cache_admission_rejections,
             RatioCell {
                 value: self.degraded_fraction(),
                 had_data: self.queries_run > 0,

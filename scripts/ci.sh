@@ -21,7 +21,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # the lib targets with the attributes active). Guard the attributes
 # themselves so the gate cannot be silently dropped.
 echo "==> panic-free lint attributes present (storage/ql/cli)"
-for f in crates/pxml-storage/src/lib.rs crates/pxml-ql/src/lib.rs crates/pxml-cli/src/main.rs; do
+for f in crates/pxml-storage/src/lib.rs crates/pxml-ql/src/lib.rs \
+         crates/pxml-cli/src/main.rs crates/pxml-cli/src/lib.rs; do
   grep -q 'deny(clippy::unwrap_used' "$f" || {
     echo "error: $f lost its panic-free lint attribute"; exit 1;
   }
@@ -203,6 +204,65 @@ set -e
 }
 cmp -s data/fig2.pxml "$smoke_dir/mutate.pxml" || {
   echo "error: failed mutate run modified the instance file"; exit 1;
+}
+
+# Serve smoke: boot the daemon on a scratch unix socket, drive a mixed
+# query/mutate batch through `pxml request` (wire status digits become
+# exit codes), scrape the Prometheus exposition, then SIGTERM — the
+# daemon must drain and exit 0.
+echo "==> cli serve smoke (pxml serve / pxml request)"
+sock="$smoke_dir/serve.sock"
+cp data/fig2.pxml "$smoke_dir/fig2.pxml"
+target/release/pxml serve "$smoke_dir/fig2.pxml" --socket "$sock" \
+  --trace-json "$smoke_dir/serve-traces.jsonl" 2> "$smoke_dir/serve.log" &
+serve_pid=$!
+up=0
+for _ in $(seq 1 100); do
+  if target/release/pxml request --socket "$sock" ping >/dev/null 2>&1; then
+    up=1; break
+  fi
+  sleep 0.1
+done
+[ "$up" -eq 1 ] || {
+  echo "error: serve daemon never answered ping"; cat "$smoke_dir/serve.log"; exit 1;
+}
+out="$(target/release/pxml request --socket "$sock" query fig2 'EXISTS R.book')"
+echo "$out" | grep -Eq '^[0-9]+\.[0-9]{6}$' || {
+  echo "error: served query answer is not a probability: $out"; exit 1;
+}
+printf 'SETEDGE R B1 PROB 0.25\n' > "$smoke_dir/serve-ops.txt"
+out="$(target/release/pxml request --socket "$sock" mutate fig2 --ops "$smoke_dir/serve-ops.txt")"
+echo "$out" | grep -q 'applied 1 ops' || {
+  echo "error: served mutation did not apply: $out"; exit 1;
+}
+# Unknown instances are bad requests: wire status 2 becomes exit 2.
+set +e
+target/release/pxml request --socket "$sock" query nope 'EXISTS R.book' >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 2 ] || {
+  echo "error: unknown instance exited $code, want 2 (bad request)"; exit 1;
+}
+target/release/pxml request --socket "$sock" metrics > "$smoke_dir/serve.prom"
+grep -q '^pxml_serve_requests_total{' "$smoke_dir/serve.prom" || {
+  echo "error: /metrics missed pxml_serve_requests_total"; exit 1;
+}
+grep -q 'instance="fig2"' "$smoke_dir/serve.prom" || {
+  echo "error: /metrics missed the per-instance families"; exit 1;
+}
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+code=$?
+set -e
+[ "$code" -eq 0 ] || {
+  echo "error: SIGTERM drain exited $code, want 0"; cat "$smoke_dir/serve.log"; exit 1;
+}
+[ "$(wc -l < "$smoke_dir/serve-traces.jsonl")" -ge 4 ] || {
+  echo "error: --trace-json recorded fewer requests than were sent"; exit 1;
+}
+grep -q '^{"verb":"MUTATE","status":0' "$smoke_dir/serve-traces.jsonl" || {
+  echo "error: trace JSONL missed the mutation record"; exit 1;
 }
 
 echo "==> ci.sh: all green"

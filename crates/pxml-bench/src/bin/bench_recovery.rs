@@ -1,0 +1,194 @@
+//! Durability and overload benchmarks for the WAL-backed daemon,
+//! writing the numbers to `BENCH_recovery.json`.
+//!
+//! Usage:
+//! ```text
+//! bench_recovery [--out FILE] [--records N] [--max-conns N]
+//! ```
+//!
+//! Three phases:
+//!
+//! 1. **Append overhead** — `--records` journal appends per fsync
+//!    policy (`always`, `batch:8`, `os`) against a fresh segment; the
+//!    headline is µs/append and how much of it is fsync.
+//! 2. **Replay throughput** — a real daemon journals a 100%-write
+//!    workload over a §7.1 instance, then the segment is recovered and
+//!    replayed into a fresh engine; headlines are records/s for the
+//!    frame parse and ops/s for the apply loop (what boot-time
+//!    recovery costs).
+//! 3. **Shed latency** — a daemon capped at `--max-conns` holds that
+//!    many active connections while 2× as many more arrive; every
+//!    extra connection must receive the "overloaded" frame, and the
+//!    headline is how quickly (p50/p99 connect-to-frame).
+
+use std::time::Instant;
+
+use pxml_cli::protocol::{self, Request, RequestOptions, Status};
+use pxml_cli::serve::{Client, Server, ServeConfig, Target};
+use pxml_gen::{generate, serve_workload, Labeling, ServeRequest, WorkloadConfig};
+use pxml_query::QueryEngine;
+use pxml_storage::{recover_segment, FsyncPolicy, Wal};
+
+fn percentile_us(nanos: &mut [u64], p: f64) -> f64 {
+    if nanos.is_empty() {
+        return 0.0;
+    }
+    nanos.sort_unstable();
+    let idx = ((nanos.len() - 1) as f64 * p).round() as usize;
+    nanos[idx] as f64 / 1e3
+}
+
+fn scratch(sub: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pxml-bench-recovery").join(sub);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = get("--out").unwrap_or_else(|| "BENCH_recovery.json".into());
+    let records: usize = get("--records").and_then(|v| v.parse().ok()).unwrap_or(2000);
+    let max_conns: usize = get("--max-conns").and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    // Phase 1: append overhead per fsync policy on a representative op.
+    let op_text = "SETEDGE R B1 PROB 0.25";
+    let mut append_json = Vec::new();
+    for (name, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("batch:8", FsyncPolicy::Batch(8)),
+        ("os", FsyncPolicy::Os),
+    ] {
+        let dir = scratch(&format!("append-{}", name.replace(':', "-")));
+        let (mut wal, _, _) =
+            Wal::attach(&dir, "bench", 0xBEEF, policy).expect("attach");
+        let started = Instant::now();
+        for _ in 0..records {
+            wal.append(op_text).expect("append");
+        }
+        wal.sync().expect("final sync");
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let c = wal.counters();
+        let fsyncs = c.fsyncs.load(std::sync::atomic::Ordering::Relaxed);
+        let fsync_ms =
+            c.fsync_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e6;
+        let per_append_us = wall_ms * 1e3 / records as f64;
+        eprintln!(
+            "append {name}: {records} records in {wall_ms:.1} ms \
+             ({per_append_us:.2} us/append, {fsyncs} fsyncs, {fsync_ms:.1} ms in fsync)"
+        );
+        append_json.push(format!(
+            "    {{ \"policy\": \"{name}\", \"records\": {records}, \"wall_ms\": {wall_ms:.3}, \
+             \"per_append_us\": {per_append_us:.3}, \"fsyncs\": {fsyncs}, \"fsync_ms\": {fsync_ms:.3} }}"
+        ));
+    }
+
+    // Phase 2: journal a real write workload through the daemon, then
+    // time recovery: frame parse, and parse+apply into a fresh engine.
+    let g = generate(&WorkloadConfig::paper(5, 2, Labeling::SameLabel, 42));
+    let dir = scratch("replay");
+    let path = dir.join("recovery_bench.pxmlb");
+    pxml_storage::write_binary_file(&g.instance, &path).expect("write instance");
+    let wal_dir = dir.join("wal");
+    let mut cfg = ServeConfig::ephemeral(vec![path.clone()]);
+    cfg.wal_dir = Some(wal_dir.clone());
+    cfg.fsync = FsyncPolicy::Batch(64);
+    let handle = Server::start(cfg).expect("server starts");
+    let port = handle.port().expect("ephemeral port");
+    let target = Target::Tcp(format!("127.0.0.1:{port}"));
+    let mut client = Client::connect(&target).expect("connect");
+    let mut journalled = 0usize;
+    for req in serve_workload(&g, records.min(1000), 1000, 7) {
+        let ServeRequest::Mutate(ops) = req else { continue };
+        let (status, body) = client
+            .roundtrip(&Request::Mutate {
+                instance: "recovery_bench".into(),
+                options: RequestOptions::default(),
+                ops,
+            })
+            .expect("roundtrip");
+        assert_eq!(status, Status::Ok, "{body:?}");
+        journalled += 1;
+    }
+    handle.shutdown_and_join().expect("daemon drains");
+
+    let segment = wal_dir.join("recovery_bench.wal");
+    let started = Instant::now();
+    let seg = recover_segment(&segment).expect("segment recovers");
+    let parse_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(!seg.torn, "drained daemon leaves no torn tail");
+    assert!(seg.records.len() >= journalled, "one record per acknowledged op");
+    let started = Instant::now();
+    let mut engine = QueryEngine::new(pxml_cli::load(&path).expect("reload"));
+    let mut applied = 0usize;
+    for record in &seg.records {
+        let Ok(ops) = pxml_core::parse_ops(engine.instance(), record) else { continue };
+        for op in &ops {
+            if engine.apply_mutation(op).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+    }
+    let apply_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(applied, seg.records.len(), "every journalled op applies");
+    let parse_rps = seg.records.len() as f64 / (parse_ms / 1e3);
+    let apply_ops = applied as f64 / (apply_ms / 1e3);
+    eprintln!(
+        "replay: {} records parsed in {parse_ms:.1} ms ({parse_rps:.0} rec/s), \
+         applied in {apply_ms:.1} ms ({apply_ops:.0} ops/s)",
+        seg.records.len()
+    );
+
+    // Phase 3: shed latency with 2x --max-conns arrivals over a held-
+    // full daemon.
+    let dir = scratch("shed");
+    let path = dir.join("shed_bench.pxmlb");
+    pxml_storage::write_binary_file(&g.instance, &path).expect("write instance");
+    let mut cfg = ServeConfig::ephemeral(vec![path]);
+    cfg.max_conns = Some(max_conns);
+    let handle = Server::start(cfg).expect("server starts");
+    let port = handle.port().expect("ephemeral port");
+    let addr = format!("127.0.0.1:{port}");
+    let mut held: Vec<Client> = Vec::with_capacity(max_conns);
+    for _ in 0..max_conns {
+        let mut c = Client::connect(&Target::Tcp(addr.clone())).expect("connect");
+        let (status, _) = c.roundtrip(&Request::Ping).expect("ping");
+        assert_eq!(status, Status::Ok);
+        held.push(c);
+    }
+    let attempts = 2 * max_conns;
+    let mut shed = 0usize;
+    let mut shed_lat = Vec::with_capacity(attempts);
+    for _ in 0..attempts {
+        let t = Instant::now();
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        let payload = protocol::read_frame(&mut conn)
+            .expect("read")
+            .expect("a frame before close");
+        shed_lat.push(t.elapsed().as_nanos() as u64);
+        let (status, body) = protocol::parse_response(&payload).expect("response");
+        assert_eq!(status, Status::BudgetRejected, "{body:?}");
+        assert!(body.contains("overloaded"), "{body:?}");
+        shed += 1;
+    }
+    let shed_p50 = percentile_us(&mut shed_lat.clone(), 0.50);
+    let shed_p99 = percentile_us(&mut shed_lat, 0.99);
+    eprintln!(
+        "shed: {shed}/{attempts} over-cap connections shed \
+         (p50 {shed_p50:.1} us, p99 {shed_p99:.1} us)"
+    );
+    drop(held);
+    handle.shutdown_and_join().expect("daemon drains");
+
+    let json = format!(
+        "{{\n  \"append\": [\n{}\n  ],\n  \"replay\": {{\n    \"records\": {}, \"parse_ms\": {parse_ms:.3}, \"parse_records_per_s\": {parse_rps:.1},\n    \"applied_ops\": {applied}, \"apply_ms\": {apply_ms:.3}, \"apply_ops_per_s\": {apply_ops:.1}\n  }},\n  \"shed\": {{\n    \"max_conns\": {max_conns}, \"attempts\": {attempts}, \"shed\": {shed},\n    \"p50_us\": {shed_p50:.3}, \"p99_us\": {shed_p99:.3}\n  }}\n}}\n",
+        append_json.join(",\n"),
+        seg.records.len(),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_recovery.json");
+    println!("wrote {out}");
+}

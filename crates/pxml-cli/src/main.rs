@@ -865,6 +865,9 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut cfg_max_cache: Option<u64> = None;
     let mut preflight = false;
     let mut trace_json: Option<PathBuf> = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut fsync = pxml_storage::FsyncPolicy::Always;
+    let mut max_conns: Option<usize> = None;
     let mut gov = GovernanceArgs::default();
     let mut i = 0;
     while i < args.len() {
@@ -881,6 +884,23 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--max-cache-bytes" => {
                 i += 1;
                 cfg_max_cache = Some(parse_count(args.get(i), "--max-cache-bytes")?);
+            }
+            "--wal" => {
+                i += 1;
+                wal_dir = Some(PathBuf::from(args.get(i).ok_or("--wal needs a directory")?));
+            }
+            "--fsync" => {
+                i += 1;
+                let p = args.get(i).ok_or("--fsync needs always|batch:N|os")?;
+                fsync = pxml_storage::FsyncPolicy::parse(p).map_err(usage_err)?;
+            }
+            "--max-conns" => {
+                i += 1;
+                let n = parse_count(args.get(i), "--max-conns")?;
+                if n == 0 {
+                    return Err(usage_err("--max-conns 0 would shed every connection"));
+                }
+                max_conns = Some(n as usize);
             }
             "--preflight" => preflight = true,
             "--trace-json" => {
@@ -928,6 +948,11 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         degrade: gov.degrade,
         preflight,
         trace_json,
+        wal_dir,
+        fsync,
+        max_conns,
+        frame_deadline: std::time::Duration::from_secs(10),
+        debug_panic_query: None,
     };
 
     serve::install_term_handler();
@@ -965,11 +990,13 @@ fn run_request(args: &[String]) -> Result<(), CliError> {
     let mut port: Option<u16> = None;
     let mut socket: Option<PathBuf> = None;
     let mut ops_path: Option<PathBuf> = None;
+    let mut retry = true;
     let mut options = protocol::RequestOptions::default();
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--no-retry" => retry = false,
             "--host" => {
                 i += 1;
                 host = args.get(i).ok_or("--host needs a host")?.clone();
@@ -1038,6 +1065,9 @@ fn run_request(args: &[String]) -> Result<(), CliError> {
         }
         "STATS" => protocol::Request::Stats { instance: instance_arg("stats")? },
         "RELOAD" => protocol::Request::Reload { instance: instance_arg("reload")? },
+        "CHECKPOINT" => {
+            protocol::Request::Checkpoint { instance: instance_arg("checkpoint")? }
+        }
         "METRICS" => protocol::Request::Metrics,
         "PING" => protocol::Request::Ping,
         "SHUTDOWN" => protocol::Request::Shutdown,
@@ -1046,7 +1076,8 @@ fn run_request(args: &[String]) -> Result<(), CliError> {
     if let Some(extra) = positional.next() {
         return Err(usage_err(format!("unexpected argument {extra:?}")));
     }
-    let (status, body) = serve::send_request(&target, &req).map_err(CliError::Run)?;
+    let send = if retry { serve::send_request_retry } else { serve::send_request };
+    let (status, body) = send(&target, &req).map_err(CliError::Run)?;
     match status {
         protocol::Status::Ok => {
             println!("{body}");
@@ -1072,10 +1103,12 @@ usage:
   pxml mutate <instance> <ops.txt> [--out FILE] [--stats] [--audit]
             [--flush] [--metrics FILE]
   pxml serve <instance>... (--port N | --socket PATH) [--max-cache-bytes N]
+            [--wal DIR] [--fsync always|batch:N|os] [--max-conns N]
             [--preflight] [--trace-json FILE] [governance]
-  pxml request (--socket PATH | --port N [--host H]) <verb> [args]
+  pxml request (--socket PATH | --port N [--host H]) [--no-retry] <verb> [args]
             verbs: query <inst> <QL>, mutate <inst> [--ops FILE],
-            stats <inst>, reload <inst>, metrics, ping, shutdown
+            stats <inst>, reload <inst>, checkpoint <inst>,
+            metrics, ping, shutdown
 
 serve (the query daemon; see the README's \"Serving\"):
   instances register under their file stem; requests speak the
@@ -1084,6 +1117,21 @@ serve (the query daemon; see the README's \"Serving\"):
   answer over plain HTTP on the same listener; governance flags set
   per-request defaults which requests may override; SIGTERM drains
   in-flight requests and exits 0
+
+durability (see the README's \"Durability\"):
+  --wal DIR                 journal every MUTATE to an append-only
+                            CRC-framed log before applying it; on boot
+                            the journal replays on top of the snapshot,
+                            so acknowledged writes survive kill -9
+  --fsync always|batch:N|os when appends reach stable storage (always =
+                            no acknowledged write lost; batch:N = at
+                            most N-1 lost; os = kernel flush window)
+  --max-conns N             shed connections beyond N with an immediate
+                            \"overloaded, retry\" frame (wire status 3)
+  checkpoint <inst>         atomic snapshot to the instance file + WAL
+                            segment rotation (request verb)
+  --no-retry                request: disable the default 3-attempt
+                            jittered backoff on connect refusal
 
 static analysis:
   analyze                   report per-query AQ0xx diagnostics, step and

@@ -32,6 +32,7 @@
 //!
 //! STATS <instance>      # engine counter snapshot, human-readable
 //! RELOAD <instance>     # re-load from disk; other instances stay warm
+//! CHECKPOINT <instance> # atomic snapshot to disk + WAL segment rotation
 //! METRICS               # Prometheus text exposition
 //! PING                  # liveness
 //! SHUTDOWN              # graceful drain, then exit 0
@@ -268,6 +269,13 @@ pub enum Request {
         /// Registry name.
         instance: String,
     },
+    /// Atomically snapshot one instance to its path and rotate its WAL
+    /// segment (a no-op beyond the snapshot when the daemon runs
+    /// without `--wal`).
+    Checkpoint {
+        /// Registry name.
+        instance: String,
+    },
     /// The Prometheus text exposition for the whole daemon.
     Metrics,
     /// Liveness probe.
@@ -288,6 +296,7 @@ impl Request {
             }
             Request::Stats { instance } => format!("STATS {instance}"),
             Request::Reload { instance } => format!("RELOAD {instance}"),
+            Request::Checkpoint { instance } => format!("CHECKPOINT {instance}"),
             Request::Metrics => "METRICS".into(),
             Request::Ping => "PING".into(),
             Request::Shutdown => "SHUTDOWN".into(),
@@ -332,7 +341,7 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             let (instance, options) = instance_and_options(true)?;
             Ok(Request::Mutate { instance, options, ops: rest.to_string() })
         }
-        "STATS" | "RELOAD" => {
+        "STATS" | "RELOAD" | "CHECKPOINT" => {
             let (instance, options) = instance_and_options(false)?;
             if options != RequestOptions::default() {
                 return Err(format!("{verb} takes no options"));
@@ -340,10 +349,10 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             if !rest.trim().is_empty() {
                 return Err(format!("{verb} takes no body"));
             }
-            if verb == "STATS" {
-                Ok(Request::Stats { instance })
-            } else {
-                Ok(Request::Reload { instance })
+            match verb {
+                "STATS" => Ok(Request::Stats { instance }),
+                "RELOAD" => Ok(Request::Reload { instance }),
+                _ => Ok(Request::Checkpoint { instance }),
             }
         }
         "METRICS" | "PING" | "SHUTDOWN" => {
@@ -357,7 +366,7 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             }
         }
         other => Err(format!(
-            "unknown verb {other:?} (expected QUERY, MUTATE, STATS, RELOAD, METRICS, PING or SHUTDOWN)"
+            "unknown verb {other:?} (expected QUERY, MUTATE, STATS, RELOAD, CHECKPOINT, METRICS, PING or SHUTDOWN)"
         )),
     }
 }
@@ -370,6 +379,7 @@ pub fn verb_name(r: &Request) -> &'static str {
         Request::Mutate { .. } => "MUTATE",
         Request::Stats { .. } => "STATS",
         Request::Reload { .. } => "RELOAD",
+        Request::Checkpoint { .. } => "CHECKPOINT",
         Request::Metrics => "METRICS",
         Request::Ping => "PING",
         Request::Shutdown => "SHUTDOWN",
@@ -445,6 +455,7 @@ mod tests {
             },
             Request::Stats { instance: "fig2".into() },
             Request::Reload { instance: "fig2".into() },
+            Request::Checkpoint { instance: "fig2".into() },
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
@@ -470,6 +481,9 @@ mod tests {
             "STATS",
             "STATS fig2 max_steps=1",
             "STATS fig2\nbody",
+            "CHECKPOINT",
+            "CHECKPOINT fig2 timeout_ms=5",
+            "CHECKPOINT fig2\nbody",
             "PING extra",
             "METRICS fig2",
             "SHUTDOWN now",

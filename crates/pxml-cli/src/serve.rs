@@ -29,6 +29,18 @@
 //!   --degrade` defaults apply to every request; requests may tighten
 //!   or override them with `k=v` options. Exhaustion maps to wire
 //!   status `3` (budget-rejected), mirroring CLI exit 3.
+//! * **Durability** (`--wal DIR`): every `MUTATE` op is journalled to
+//!   an append-only CRC-framed log ([`pxml_storage::wal`]) *before* it
+//!   applies — a failed append refuses the mutation. Boot replays the
+//!   journal on top of the loaded snapshot; `CHECKPOINT` snapshots
+//!   atomically and rotates the segment; `RELOAD` replays the live
+//!   tail so hot reloads keep acknowledged writes.
+//! * **Fail-safe serving**: dispatch runs under `catch_unwind`, so a
+//!   panicking request answers status 1 on its own connection while
+//!   the daemon keeps serving (parking_lot locks release, unpoisoned,
+//!   during unwind); `--max-conns` sheds excess connections with an
+//!   immediate "overloaded" frame; a per-frame delivery deadline drops
+//!   slow-loris clients.
 //! * **Shutdown** (SIGTERM, SIGINT, or the `SHUTDOWN` verb) stops the
 //!   accept loop, lets in-flight requests finish, closes idle
 //!   connections, and exits 0.
@@ -47,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use pxml_query::{Answer, BudgetSpec, DegradePolicy, QueryEngine};
+use pxml_storage::{AttachOutcome, FsyncPolicy, Wal, WalCounters};
 
 use crate::protocol::{
     encode_response, frame_len, read_frame, read_payload, verb_name, write_frame, Request,
@@ -85,6 +98,23 @@ pub struct ServeConfig {
     pub preflight: bool,
     /// Append one JSON trace record per request to this file.
     pub trace_json: Option<PathBuf>,
+    /// Directory for per-instance write-ahead logs. `None` disables
+    /// durability: mutations live only in registry memory (PR 7
+    /// behaviour).
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Connection cap: accepts beyond this many concurrent connections
+    /// are shed with an immediate "overloaded" status frame instead of
+    /// queueing unboundedly. `None` = unlimited.
+    pub max_conns: Option<usize>,
+    /// Slow-loris defense: the longest a client may take to deliver one
+    /// whole frame once its first byte has arrived.
+    pub frame_deadline: Duration,
+    /// Test-only hook: a `QUERY` whose QL line equals this string
+    /// panics inside dispatch, exercising the per-connection panic
+    /// isolation deterministically. Never settable from the CLI.
+    pub debug_panic_query: Option<String>,
 }
 
 impl ServeConfig {
@@ -100,16 +130,33 @@ impl ServeConfig {
             degrade: None,
             preflight: false,
             trace_json: None,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            max_conns: None,
+            frame_deadline: Duration::from_secs(10),
+            debug_panic_query: None,
         }
     }
 }
 
-/// One loaded instance: its origin path (for `RELOAD`) and the engine
-/// owning the warm cache. Queries share the engine behind the read
-/// lock; mutations serialise on the write lock.
+/// One instance's journal plus its always-readable counters (the
+/// counters are read by the metrics exporter without taking the `Wal`
+/// mutex, which a long mutation may hold).
+struct WalHandle {
+    wal: Arc<Mutex<Wal>>,
+    counters: Arc<WalCounters>,
+}
+
+/// One loaded instance: its origin path (for `RELOAD`/`CHECKPOINT`),
+/// the engine owning the warm cache, and the instance's WAL when the
+/// daemon runs with `--wal`. Queries share the engine behind the read
+/// lock; mutations serialise on the write lock. The `WalHandle` is
+/// shared (`Arc`) across `RELOAD` slot swaps so the journal survives
+/// hot reloads.
 struct Slot {
     path: PathBuf,
     engine: RwLock<QueryEngine>,
+    wal: Option<Arc<WalHandle>>,
 }
 
 /// Request counters keyed `(verb, status byte)` plus connection gauges.
@@ -117,6 +164,12 @@ struct Slot {
 struct ServeMetrics {
     connections: AtomicU64,
     http_requests: AtomicU64,
+    /// Connections shed by the `--max-conns` accept cap.
+    shed: AtomicU64,
+    /// Requests that panicked inside dispatch (isolated; daemon lives).
+    panics: AtomicU64,
+    /// Connections dropped by the per-frame slow-loris deadline.
+    timeouts: AtomicU64,
     requests: Mutex<BTreeMap<(&'static str, u8), u64>>,
 }
 
@@ -155,8 +208,35 @@ impl Server {
             let name = instance_name(path)?;
             let pi = load(path)?;
             let engine = build_engine(pi, &cfg);
+            let wal = match &cfg.wal_dir {
+                None => None,
+                Some(dir) => {
+                    let crc = snapshot_crc(path)?;
+                    let (wal, outcome, records) =
+                        Wal::attach(dir, &name, crc, cfg.fsync).map_err(|e| {
+                            format!("attaching the WAL for {name} under {}: {e}", dir.display())
+                        })?;
+                    if let AttachOutcome::Orphaned { quarantined } = &outcome {
+                        eprintln!(
+                            "pxml serve: WAL for {name} did not match its snapshot; quarantined as {}",
+                            quarantined.display()
+                        );
+                    }
+                    if !records.is_empty() {
+                        // Recovery: re-apply the journalled tail on top
+                        // of the snapshot the segment is bound to.
+                        let applied = replay_records(&mut engine.write(), &records);
+                        eprintln!(
+                            "pxml serve: replayed {applied} op(s) from {} WAL record(s) into {name}",
+                            records.len()
+                        );
+                    }
+                    let counters = wal.counters();
+                    Some(Arc::new(WalHandle { wal: Arc::new(Mutex::new(wal)), counters }))
+                }
+            };
             if slots
-                .insert(name.clone(), Arc::new(Slot { path: path.clone(), engine }))
+                .insert(name.clone(), Arc::new(Slot { path: path.clone(), engine, wal }))
                 .is_some()
             {
                 return Err(format!(
@@ -266,6 +346,40 @@ fn build_engine(pi: pxml_core::ProbInstance, cfg: &ServeConfig) -> RwLock<QueryE
     RwLock::new(engine)
 }
 
+/// CRC-32 of an instance file's bytes — the value a WAL segment header
+/// binds to, recomputed at attach and after every checkpoint snapshot.
+fn snapshot_crc(path: &Path) -> Result<u32, String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("hashing snapshot {}: {e}", path.display()))?;
+    Ok(pxml_storage::crc32(&bytes))
+}
+
+/// Replays recovered WAL records into an engine, returning the number
+/// of ops applied.
+///
+/// Each record is one ops block in the `pxml mutate` grammar (the live
+/// path journals one op per record). Replay mirrors the live dispatch
+/// loop exactly: ops apply in order and a record stops at its first
+/// failing op. Failures are *expected* here, not corruption — the live
+/// path journals an op before applying it, so an op that failed
+/// deterministically live (engine unchanged) fails identically on
+/// replay and is skipped, converging to the same state.
+fn replay_records(engine: &mut QueryEngine, records: &[String]) -> usize {
+    let mut applied = 0usize;
+    for record in records {
+        let Ok(ops) = pxml_core::parse_ops(engine.instance(), record) else {
+            continue;
+        };
+        for op in &ops {
+            if engine.apply_mutation(op).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+    }
+    applied
+}
+
 fn bind_listener(bind: &Bind) -> Result<(Listener, Option<u16>, Option<PathBuf>), String> {
     match bind {
         Bind::Tcp(port) => {
@@ -319,6 +433,13 @@ impl Conn {
         }
     }
 
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(d),
+            Conn::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
     /// Disables Nagle on TCP (frames are latency-sensitive and written
     /// whole); a no-op for unix sockets.
     fn set_nodelay(&self) {
@@ -352,25 +473,49 @@ impl Write for Conn {
     }
 }
 
-/// Adapter that retries timeout/interrupt errors, for payload reads
-/// that follow a successfully read prefix.
-struct Patient<'a>(&'a mut Conn);
+/// Adapter that retries timeout/interrupt errors up to a hard deadline,
+/// for payload reads that follow a successfully read prefix. The
+/// deadline is the slow-loris defense: without it, a client feeding one
+/// byte per read-timeout tick holds this thread forever.
+struct Patient<'a> {
+    conn: &'a mut Conn,
+    deadline: Instant,
+}
 
 impl Read for Patient<'_> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         loop {
-            match self.0.read(buf) {
+            match self.conn.read(buf) {
                 Err(e)
                     if matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock
                             | io::ErrorKind::TimedOut
                             | io::ErrorKind::Interrupted
-                    ) => {}
+                    ) =>
+                {
+                    if Instant::now() > self.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame not delivered within the per-frame deadline",
+                        ));
+                    }
+                }
                 other => return other,
             }
         }
     }
+}
+
+/// Sheds one connection at the accept cap: an immediate "overloaded"
+/// status frame, then drop. The write is bounded by a short timeout so
+/// a non-reading client cannot stall the accept thread.
+fn shed_conn(conn: Conn, active: usize) {
+    let mut conn = conn;
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
+    conn.set_nodelay();
+    let body = format!("overloaded: {active} connection(s) active at --max-conns; retry");
+    let _ = write_frame(&mut conn, &encode_response(Status::BudgetRejected, &body));
 }
 
 fn accept_loop(listener: Listener, inner: Arc<ServerInner>) {
@@ -378,6 +523,13 @@ fn accept_loop(listener: Listener, inner: Arc<ServerInner>) {
         match listener.accept() {
             Ok(conn) => {
                 inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let active = inner.active.load(Ordering::SeqCst);
+                if inner.cfg.max_conns.is_some_and(|cap| active >= cap) {
+                    inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    inner.count_request("ACCEPT", Status::BudgetRejected);
+                    shed_conn(conn, active);
+                    continue;
+                }
                 inner.active.fetch_add(1, Ordering::SeqCst);
                 let conn_inner = Arc::clone(&inner);
                 let spawned = std::thread::Builder::new()
@@ -403,10 +555,13 @@ fn accept_loop(listener: Listener, inner: Arc<ServerInner>) {
 
 /// Reads the 4-byte prefix, waking every read-timeout tick to poll the
 /// shutdown flag. `Ok(None)` = close this connection (clean EOF, or
-/// idle at shutdown).
+/// idle at shutdown). An *idle* connection (no byte of the next frame
+/// yet) may wait forever; once the first byte arrives the per-frame
+/// deadline starts — a slow-loris client is dropped with `TimedOut`.
 fn read_prefix_patient(conn: &mut Conn, inner: &ServerInner) -> io::Result<Option<[u8; 4]>> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
+    let mut deadline: Option<Instant> = None;
     loop {
         if got == 0 && inner.shutdown.load(Ordering::SeqCst) {
             return Ok(None);
@@ -424,6 +579,7 @@ fn read_prefix_patient(conn: &mut Conn, inner: &ServerInner) -> io::Result<Optio
                 if got == 4 {
                     return Ok(Some(prefix));
                 }
+                deadline.get_or_insert_with(|| Instant::now() + inner.cfg.frame_deadline);
             }
             Err(e)
                 if matches!(
@@ -431,7 +587,15 @@ fn read_prefix_patient(conn: &mut Conn, inner: &ServerInner) -> io::Result<Optio
                     io::ErrorKind::WouldBlock
                         | io::ErrorKind::TimedOut
                         | io::ErrorKind::Interrupted
-                ) => {}
+                ) =>
+            {
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "frame prefix not delivered within the per-frame deadline",
+                    ));
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -445,15 +609,23 @@ fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
     loop {
         let prefix = match read_prefix_patient(&mut conn, inner) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(e) => {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
         };
         if &prefix == b"GET " {
             handle_http(inner, &mut conn);
             return; // HTTP exchanges are one-shot (Connection: close).
         }
         let started = Instant::now();
-        let payload = match frame_len(prefix).and_then(|len| read_payload(&mut Patient(&mut conn), len))
-        {
+        let frame_deadline = Instant::now() + inner.cfg.frame_deadline;
+        let payload = match frame_len(prefix).and_then(|len| {
+            read_payload(&mut Patient { conn: &mut conn, deadline: frame_deadline }, len)
+        }) {
             Ok(p) => p,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed length: answer bad-request, then close (the
@@ -464,7 +636,12 @@ fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
                     write_frame(&mut conn, &encode_response(Status::BadRequest, &body));
                 return;
             }
-            Err(_) => return,
+            Err(e) => {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
         };
         let (verb, status, body, detail) = match std::str::from_utf8(&payload) {
             Err(_) => (
@@ -476,7 +653,26 @@ fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
             Ok(text) => match crate::protocol::parse_request(text) {
                 Err(e) => ("FRAME", Status::BadRequest, e, String::new()),
                 Ok(req) => {
-                    let (status, body) = dispatch(inner, &req);
+                    // Panic isolation: a dispatch that panics answers
+                    // status 1 on this connection and the daemon keeps
+                    // serving. The engine locks are parking_lot locks,
+                    // which unlock (without poisoning) as the panic
+                    // unwinds past their guards, so other connections
+                    // proceed against a consistent registry.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || dispatch(inner, &req),
+                    ));
+                    let (status, body) = match outcome {
+                        Ok(r) => r,
+                        Err(_) => {
+                            inner.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                            (
+                                Status::RunError,
+                                "internal panic while serving this request; the daemon keeps serving"
+                                    .to_string(),
+                            )
+                        }
+                    };
                     (verb_name(&req), status, body, request_detail(&req))
                 }
             },
@@ -499,9 +695,20 @@ fn request_detail(req: &Request) -> String {
         Request::Mutate { instance, ops, .. } => {
             format!("{instance}: {} op line(s)", ops.lines().filter(|l| !l.trim().is_empty()).count())
         }
-        Request::Stats { instance } | Request::Reload { instance } => instance.clone(),
+        Request::Stats { instance }
+        | Request::Reload { instance }
+        | Request::Checkpoint { instance } => instance.clone(),
         Request::Metrics | Request::Ping | Request::Shutdown => String::new(),
     }
+}
+
+/// The deliberate test-only panic behind `ServeConfig::debug_panic_query`
+/// — the deterministic trigger for the `catch_unwind` isolation path.
+/// Unreachable from the CLI (`main.rs` never sets the field), hence the
+/// targeted allow under the crate-wide `deny(clippy::panic)`.
+#[allow(clippy::panic)]
+fn debug_panic(query: &str) -> ! {
+    panic!("debug panic requested by query {query:?}")
 }
 
 impl ServerInner {
@@ -564,6 +771,9 @@ fn dispatch(inner: &Arc<ServerInner>, req: &Request) -> (Status, String) {
         Request::Query { instance, options, query } => match inner.slot(instance) {
             None => unknown_instance(inner, instance),
             Some(slot) => {
+                if inner.cfg.debug_panic_query.as_deref() == Some(query.as_str()) {
+                    debug_panic(query);
+                }
                 let engine = slot.engine.read();
                 let q = match translate_query(engine.instance(), query) {
                     Ok(q) => q,
@@ -595,6 +805,31 @@ fn dispatch(inner: &Arc<ServerInner>, req: &Request) -> (Status, String) {
                 let mut dirty = 0usize;
                 let mut invalidated = 0u64;
                 for (idx, op) in parsed.iter().enumerate() {
+                    // Durability: journal the op *before* applying it.
+                    // One record per op (not per block), so a block that
+                    // stops early — deterministic failure or budget
+                    // exhaustion — never journals ops it did not reach,
+                    // and replay reproduces the applied prefix exactly.
+                    // The record is rendered against the engine's state
+                    // at this point, which is the state replay parses
+                    // it against.
+                    if let Some(handle) = &slot.wal {
+                        let text =
+                            pxml_core::render_ops(engine.instance(), std::slice::from_ref(op));
+                        if let Err(e) = handle.wal.lock().append(&text) {
+                            // A mutation that cannot be journalled must
+                            // not apply: refuse it (and the rest of the
+                            // block) with the run-error status.
+                            return (
+                                Status::RunError,
+                                format!(
+                                    "op {} of {}: wal append refused the mutation: {e} ({idx} op(s) applied)",
+                                    idx + 1,
+                                    parsed.len()
+                                ),
+                            );
+                        }
+                    }
                     match engine.apply_mutation_governed(op, &budget) {
                         Ok(outcome) => {
                             dirty += outcome.effect.dirty.len();
@@ -637,17 +872,75 @@ fn dispatch(inner: &Arc<ServerInner>, req: &Request) -> (Status, String) {
                 Err(e) => (Status::RunError, e),
                 Ok(pi) => {
                     let objects = pi.object_count();
+                    let engine = build_engine(pi, &inner.cfg);
+                    // Replay the WAL's live tail on top of the on-disk
+                    // snapshot so a hot reload no longer silently drops
+                    // journalled (acknowledged) writes.
+                    let mut replayed = 0usize;
+                    if let Some(handle) = &slot.wal {
+                        let wal = handle.wal.lock();
+                        replayed = replay_records(&mut engine.write(), wal.live_records());
+                    }
                     let fresh = Arc::new(Slot {
                         path: slot.path.clone(),
-                        engine: build_engine(pi, &inner.cfg),
+                        engine,
+                        wal: slot.wal.clone(),
                     });
                     // The atomic swap: in-flight requests holding the
                     // old Arc finish against the old instance; every
                     // other slot keeps its warm cache.
                     inner.slots.write().insert(instance.clone(), fresh);
-                    (Status::Ok, format!("reloaded {instance} ({objects} objects)"))
+                    let suffix = if slot.wal.is_some() {
+                        format!(", replayed {replayed} journalled op(s)")
+                    } else {
+                        String::new()
+                    };
+                    (Status::Ok, format!("reloaded {instance} ({objects} objects{suffix})"))
                 }
             },
+        },
+        Request::Checkpoint { instance } => match inner.slot(instance) {
+            None => unknown_instance(inner, instance),
+            Some(slot) => {
+                // Hold the engine *read* lock across the snapshot and
+                // the rotation: mutations (write lock) cannot slip a
+                // journal record between "state captured" and "segment
+                // rotated", so the new segment's binding is exact.
+                let engine = slot.engine.read();
+                if let Err(e) = crate::save(engine.instance(), &slot.path) {
+                    return (Status::RunError, format!("checkpoint snapshot failed: {e}"));
+                }
+                let mut rotated = String::new();
+                if let Some(handle) = &slot.wal {
+                    let crc = match snapshot_crc(&slot.path) {
+                        Ok(c) => c,
+                        Err(e) => return (Status::RunError, e),
+                    };
+                    let mut wal = handle.wal.lock();
+                    match wal.rotate(crc) {
+                        Ok(()) => rotated = format!(", wal generation {}", wal.generation()),
+                        Err(e) => {
+                            // The snapshot IS durable; only the segment
+                            // swap failed. The stale segment's records
+                            // are inside the snapshot, and its CRC
+                            // binding no longer matches — next attach
+                            // quarantines it rather than replaying
+                            // doubly. Report honestly.
+                            return (
+                                Status::RunError,
+                                format!("snapshot written but wal rotation failed: {e}"),
+                            );
+                        }
+                    }
+                }
+                (
+                    Status::Ok,
+                    format!(
+                        "checkpointed {instance} to {}{rotated}",
+                        slot.path.display()
+                    ),
+                )
+            }
         },
     }
 }
@@ -705,6 +998,21 @@ fn render_metrics(inner: &Arc<ServerInner>) -> String {
         "pxml_serve_active_connections",
         "Connections currently being served.",
         inner.active.load(Ordering::SeqCst) as f64,
+    );
+    reg.counter(
+        "pxml_serve_shed_total",
+        "Connections shed at accept because --max-conns was reached.",
+        inner.metrics.shed.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "pxml_serve_panics_total",
+        "Requests that panicked inside dispatch (isolated per connection).",
+        inner.metrics.panics.load(Ordering::Relaxed),
+    );
+    reg.counter(
+        "pxml_serve_timeouts_total",
+        "Connections dropped by the per-frame slow-loris deadline.",
+        inner.metrics.timeouts.load(Ordering::Relaxed),
     );
     reg.counter_f64(
         "pxml_serve_uptime_seconds",
@@ -767,6 +1075,51 @@ fn render_metrics(inner: &Arc<ServerInner>) -> String {
         "Cache inserts refused because no eviction could make room, per instance.",
         &as_u64(&rejections),
     );
+
+    // WAL families, labelled per instance (present only when the daemon
+    // runs with --wal).
+    let mut wal_appends = Vec::new();
+    let mut wal_fsyncs = Vec::new();
+    let mut wal_fsync_nanos = Vec::new();
+    let mut wal_replayed = Vec::new();
+    let mut wal_rotations = Vec::new();
+    for (name, slot) in &slots {
+        let Some(handle) = &slot.wal else { continue };
+        let label = format!("instance=\"{name}\"");
+        let c = &handle.counters;
+        wal_appends.push((label.clone(), c.appends.load(Ordering::Relaxed)));
+        wal_fsyncs.push((label.clone(), c.fsyncs.load(Ordering::Relaxed)));
+        wal_fsync_nanos.push((label.clone(), c.fsync_nanos.load(Ordering::Relaxed)));
+        wal_replayed.push((label.clone(), c.replayed.load(Ordering::Relaxed)));
+        wal_rotations.push((label, c.rotations.load(Ordering::Relaxed)));
+    }
+    if !wal_appends.is_empty() {
+        reg.counter_vec(
+            "pxml_wal_appends_total",
+            "Mutation records appended to the write-ahead log, per instance.",
+            &as_u64(&wal_appends),
+        );
+        reg.counter_vec(
+            "pxml_wal_fsyncs_total",
+            "Explicit fsync calls issued by the WAL fsync policy, per instance.",
+            &as_u64(&wal_fsyncs),
+        );
+        reg.counter_vec(
+            "pxml_wal_fsync_nanos_total",
+            "Wall-clock nanoseconds spent inside WAL fsync, per instance.",
+            &as_u64(&wal_fsync_nanos),
+        );
+        reg.counter_vec(
+            "pxml_wal_replayed_total",
+            "WAL records replayed at attach (boot recovery), per instance.",
+            &as_u64(&wal_replayed),
+        );
+        reg.counter_vec(
+            "pxml_wal_rotations_total",
+            "WAL segment rotations (checkpoints), per instance.",
+            &as_u64(&wal_rotations),
+        );
+    }
     reg.render().to_string()
 }
 
@@ -855,24 +1208,100 @@ pub fn send_request(target: &Target, req: &Request) -> Result<(Status, String), 
     client.roundtrip(req)
 }
 
+/// [`send_request`] with [`Client::connect_retry`] in front: connect
+/// failures of the daemon-is-restarting class back off and retry up to
+/// three attempts before giving up. This is what `pxml request` uses
+/// unless `--no-retry` is passed.
+pub fn send_request_retry(target: &Target, req: &Request) -> Result<(Status, String), String> {
+    let mut client = Client::connect_retry(target, 3)?;
+    client.roundtrip(req)
+}
+
+/// True for connect errors that a daemon restart window produces: the
+/// listener is not there *yet* (refused / unbound socket path) or the
+/// accept queue pushed back (`EAGAIN`).
+fn retryable_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::AddrNotAvailable
+    )
+}
+
+/// Cheap sub-millisecond jitter so a fleet of retrying clients doesn't
+/// reconnect in lockstep (no RNG dependency in this crate).
+fn retry_jitter_ms(attempt: u32) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = nanos ^ ((std::process::id() as u64) << 17) ^ u64::from(attempt);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % 25
+}
+
 /// One persistent client connection; requests pipeline in order.
 pub struct Client {
     conn: Conn,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    fn connect_raw(target: &Target) -> io::Result<Conn> {
+        match target {
+            Target::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+            Target::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+        }
+    }
+
+    fn target_name(target: &Target) -> String {
+        match target {
+            Target::Tcp(addr) => addr.clone(),
+            Target::Unix(path) => path.display().to_string(),
+        }
+    }
+
+    /// Connects to a daemon (one attempt, no retry).
     pub fn connect(target: &Target) -> Result<Client, String> {
-        let conn = match target {
-            Target::Tcp(addr) => Conn::Tcp(
-                TcpStream::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?,
-            ),
-            Target::Unix(path) => Conn::Unix(
-                UnixStream::connect(path).map_err(|e| format!("{}: {e}", path.display()))?,
-            ),
-        };
+        let conn = Self::connect_raw(target)
+            .map_err(|e| format!("{}: {e}", Self::target_name(target)))?;
         conn.set_nodelay();
         Ok(Client { conn })
+    }
+
+    /// Connects with bounded, jittered exponential backoff: up to
+    /// `attempts` tries, sleeping ~50 ms · 2ᵏ (+ jitter) between them,
+    /// retrying only the daemon-restart class of errors
+    /// (`ECONNREFUSED`, `EAGAIN`, an unbound socket path). Anything
+    /// else fails immediately.
+    pub fn connect_retry(target: &Target, attempts: u32) -> Result<Client, String> {
+        let attempts = attempts.max(1);
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let backoff = 50u64 << (attempt - 1);
+                std::thread::sleep(Duration::from_millis(backoff + retry_jitter_ms(attempt)));
+            }
+            match Self::connect_raw(target) {
+                Ok(conn) => {
+                    conn.set_nodelay();
+                    return Ok(Client { conn });
+                }
+                Err(e) if retryable_connect(&e) => last = Some(e),
+                Err(e) => {
+                    return Err(format!("{}: {e}", Self::target_name(target)));
+                }
+            }
+        }
+        Err(format!(
+            "{}: {} (after {attempts} attempts)",
+            Self::target_name(target),
+            last.map(|e| e.to_string()).unwrap_or_else(|| "connect failed".into())
+        ))
     }
 
     /// Sends one request and waits for its response.

@@ -262,6 +262,142 @@ fn shutdown_verb_drains_gracefully() {
     handle.shutdown_and_join().expect("in-flight work drains inside the deadline");
 }
 
+/// Boots a daemon over the fig2 fixture alone, with `tweak` applied to
+/// the config first — the robustness tests each flip one knob.
+fn start_fig2_with(
+    test: &str,
+    tweak: impl FnOnce(&mut ServeConfig),
+) -> (ServerHandle, Target, PathBuf) {
+    let dir = temp_dir(test);
+    let fig2 = dir.join("fig2.pxmlb");
+    save(&fig2_instance(), &fig2).expect("save fig2");
+    let mut cfg = ServeConfig::ephemeral(vec![fig2.clone()]);
+    tweak(&mut cfg);
+    let handle = Server::start(cfg).expect("server starts");
+    let port = handle.port().expect("tcp bind reports a port");
+    (handle, Target::Tcp(format!("127.0.0.1:{port}")), fig2)
+}
+
+#[test]
+fn panicking_request_is_isolated_and_counted() {
+    let (handle, target, _) = start_fig2_with("panic_isolation", |cfg| {
+        cfg.debug_panic_query = Some("PANIC NOW".into());
+    });
+    let mut client = Client::connect(&target).expect("connect");
+
+    let (status, body) = client.roundtrip(&query("fig2", "PANIC NOW")).unwrap();
+    assert_eq!(status, Status::RunError, "{body:?}");
+    assert!(body.contains("panic"), "{body:?}");
+
+    // The same connection and fresh connections both keep working: the
+    // panic unwound past parking_lot guards without poisoning anything.
+    assert_eq!(client.roundtrip(&Request::Ping).unwrap().0, Status::Ok);
+    let mut fresh = Client::connect(&target).expect("fresh connect");
+    let (status, body) = fresh.roundtrip(&query("fig2", "EXISTS R.book")).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+
+    let (_, metrics) = fresh.roundtrip(&Request::Metrics).unwrap();
+    assert!(metrics.contains("pxml_serve_panics_total 1"), "{metrics}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn accept_cap_sheds_with_an_overloaded_frame() {
+    let (handle, target, _) = start_fig2_with("max_conns_shed", |cfg| {
+        cfg.max_conns = Some(1);
+    });
+    let mut first = Client::connect(&target).expect("connect");
+    // A roundtrip guarantees the first connection is registered active
+    // before the second one races the accept loop.
+    assert_eq!(first.roundtrip(&Request::Ping).unwrap().0, Status::Ok);
+
+    let Target::Tcp(addr) = &target else { unreachable!() };
+    let mut second = TcpStream::connect(addr.as_str()).unwrap();
+    let payload = protocol::read_frame(&mut second).unwrap().expect("shed frame");
+    let (status, body) = protocol::parse_response(&payload).unwrap();
+    assert_eq!(status, Status::BudgetRejected, "{body:?}");
+    assert!(body.contains("overloaded"), "{body:?}");
+    let mut end = Vec::new();
+    second.read_to_end(&mut end).unwrap();
+    assert!(end.is_empty(), "the shed connection closes after its frame");
+
+    // The admitted client is unaffected and sees the shed counted.
+    let (_, metrics) = first.roundtrip(&Request::Metrics).unwrap();
+    assert!(metrics.contains("pxml_serve_shed_total 1"), "{metrics}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn slow_loris_frames_are_dropped_at_the_deadline() {
+    let (handle, target, _) = start_fig2_with("slow_loris", |cfg| {
+        cfg.frame_deadline = std::time::Duration::from_millis(300);
+    });
+    let Target::Tcp(addr) = &target else { unreachable!() };
+    let mut loris = TcpStream::connect(addr.as_str()).unwrap();
+    // Half a length prefix, then silence: the deadline clock starts at
+    // the first byte and the daemon hangs up when it expires.
+    loris.write_all(&[0x00, 0x00]).unwrap();
+    loris.flush().unwrap();
+    let start = std::time::Instant::now();
+    let mut end = Vec::new();
+    loris.read_to_end(&mut end).unwrap();
+    assert!(end.is_empty(), "no response is owed to a timed-out frame");
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(250),
+        "dropped only once the deadline passes, not immediately"
+    );
+
+    let mut client = Client::connect(&target).expect("connect");
+    let (_, metrics) = client.roundtrip(&Request::Metrics).unwrap();
+    assert!(metrics.contains("pxml_serve_timeouts_total 1"), "{metrics}");
+    handle.shutdown_and_join().expect("drain");
+}
+
+#[test]
+fn wal_metrics_families_and_checkpoint_rotation() {
+    let dir = temp_dir("wal_metrics");
+    // Fresh journal each run: a stale segment would replay old records.
+    let wal_dir = dir.join("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let fig2 = dir.join("fig2.pxmlb");
+    save(&fig2_instance(), &fig2).expect("save fig2");
+    let mut cfg = ServeConfig::ephemeral(vec![fig2]);
+    cfg.wal_dir = Some(wal_dir);
+    let handle = Server::start(cfg).expect("server starts");
+    let port = handle.port().expect("tcp bind reports a port");
+    let target = Target::Tcp(format!("127.0.0.1:{port}"));
+    let mut client = Client::connect(&target).expect("connect");
+
+    let (status, body) = client
+        .roundtrip(&Request::Mutate {
+            instance: "fig2".into(),
+            options: RequestOptions::default(),
+            ops: "SETEDGE R B1 PROB 0.25".into(),
+        })
+        .unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+
+    let (_, metrics) = client.roundtrip(&Request::Metrics).unwrap();
+    for family in [
+        "pxml_wal_appends_total",
+        "pxml_wal_fsyncs_total",
+        "pxml_wal_fsync_nanos_total",
+        "pxml_wal_replayed_total",
+        "pxml_wal_rotations_total",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+    assert!(metrics.contains("pxml_wal_appends_total{instance=\"fig2\"} 1"), "{metrics}");
+
+    let (status, body) =
+        client.roundtrip(&Request::Checkpoint { instance: "fig2".into() }).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+    assert!(body.contains("checkpointed fig2"), "{body:?}");
+    let (_, metrics) = client.roundtrip(&Request::Metrics).unwrap();
+    assert!(metrics.contains("pxml_wal_rotations_total{instance=\"fig2\"} 1"), "{metrics}");
+    handle.shutdown_and_join().expect("drain");
+}
+
 #[test]
 fn concurrent_mixed_clients_never_error() {
     let (handle, target, _) = start_two("concurrent");

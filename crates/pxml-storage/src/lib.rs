@@ -41,6 +41,14 @@
 //! [`from_binary_lenient`] decodes anyway and surfaces the mismatch as a
 //! diagnostic so `pxml check` can still inspect a damaged file.
 //! Footer-less files (written by older versions) remain readable.
+//!
+//! ## Write-ahead logging
+//!
+//! [`wal`] supplies the durability layer for the `pxml serve` daemon:
+//! an append-only, CRC-32-framed journal of mutation ops text, with
+//! configurable fsync policy, a generation header binding each segment
+//! to its base snapshot, and a recovery reader that truncates torn
+//! tails to the longest valid record prefix instead of erroring.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,6 +58,7 @@ pub mod binary;
 pub mod crc;
 pub mod error;
 pub mod text;
+pub mod wal;
 pub mod xml;
 
 pub use binary::decode::{
@@ -63,4 +72,8 @@ pub use text::parser::{
     from_text, from_text_unchecked, read_text_file, read_text_file_unchecked,
 };
 pub use text::writer::{to_text, write_text_file};
+pub use wal::{
+    recover_segment, recover_segment_bytes, AttachOutcome, FsyncPolicy, RecoveredSegment, Wal,
+    WalCounters,
+};
 pub use xml::to_xml;

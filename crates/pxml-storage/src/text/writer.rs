@@ -91,12 +91,31 @@ pub fn to_text(pi: &ProbInstance) -> String {
     out
 }
 
-/// Writes an instance to a file in text format, returning the number of
-/// bytes written (the quantity that dominates Figure 7(c)'s totals).
+/// Writes an instance to a file in text format **atomically**, returning
+/// the number of bytes written (the quantity that dominates Figure 7(c)'s
+/// totals). Like [`crate::write_binary_file`], bytes go to a temp file in
+/// the destination directory, are fsynced, and are renamed over `path` —
+/// a crash leaves either the old file or the complete new one.
 pub fn write_text_file(pi: &ProbInstance, path: &Path) -> Result<usize> {
     let text = to_text(pi);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(text.as_bytes())?;
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "instance.pxml".into());
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    let write_and_sync = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()
+    };
+    if let Err(e) = write_and_sync().and_then(|()| std::fs::rename(&tmp, path)) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(text.len())
 }
 

@@ -265,4 +265,92 @@ grep -q '^{"verb":"MUTATE","status":0' "$smoke_dir/serve-traces.jsonl" || {
   echo "error: trace JSONL missed the mutation record"; exit 1;
 }
 
+# Crash-recovery smoke: boot a WAL-backed daemon over a scratch copy of
+# Figure 2, acknowledge mutations under --fsync always, then kill -9 —
+# no drain, no checkpoint. A reboot over the same --wal dir must replay
+# exactly the acknowledged ops (journal metrics say so) and answer like
+# an oracle instance mutated offline with the same ops; CHECKPOINT then
+# folds the journal into the snapshot and `pxml check` stays green.
+echo "==> cli crash-recovery smoke (pxml serve --wal, kill -9, replay)"
+crash_sock="$smoke_dir/crash.sock"
+crash_wal="$smoke_dir/crash-wal"
+cp data/fig2.pxml "$smoke_dir/crash.pxml"
+target/release/pxml serve "$smoke_dir/crash.pxml" --socket "$crash_sock" \
+  --wal "$crash_wal" --fsync always 2> "$smoke_dir/crash-serve.log" &
+crash_pid=$!
+up=0
+for _ in $(seq 1 100); do
+  if target/release/pxml request --socket "$crash_sock" ping >/dev/null 2>&1; then
+    up=1; break
+  fi
+  sleep 0.1
+done
+[ "$up" -eq 1 ] || {
+  echo "error: wal daemon never answered ping"; cat "$smoke_dir/crash-serve.log"; exit 1;
+}
+printf 'SETEDGE R B1 PROB 0.25\n' > "$smoke_dir/crash-op1.txt"
+printf 'SETVAL T1 STR VQDB PROB 0.9\n' > "$smoke_dir/crash-op2.txt"
+out="$(target/release/pxml request --socket "$crash_sock" mutate crash --ops "$smoke_dir/crash-op1.txt")"
+echo "$out" | grep -q 'applied 1 ops' || { echo "error: wal mutation 1 not acknowledged: $out"; exit 1; }
+out="$(target/release/pxml request --socket "$crash_sock" mutate crash --ops "$smoke_dir/crash-op2.txt")"
+echo "$out" | grep -q 'applied 1 ops' || { echo "error: wal mutation 2 not acknowledged: $out"; exit 1; }
+kill -9 "$crash_pid"
+set +e
+wait "$crash_pid" 2>/dev/null
+set -e
+cmp -s data/fig2.pxml "$smoke_dir/crash.pxml" || {
+  echo "error: un-checkpointed mutations must not touch the snapshot file"; exit 1;
+}
+target/release/pxml serve "$smoke_dir/crash.pxml" --socket "$crash_sock" \
+  --wal "$crash_wal" --fsync always 2>> "$smoke_dir/crash-serve.log" &
+crash_pid=$!
+up=0
+for _ in $(seq 1 100); do
+  if target/release/pxml request --socket "$crash_sock" ping >/dev/null 2>&1; then
+    up=1; break
+  fi
+  sleep 0.1
+done
+[ "$up" -eq 1 ] || {
+  echo "error: wal daemon never came back"; cat "$smoke_dir/crash-serve.log"; exit 1;
+}
+target/release/pxml request --socket "$crash_sock" metrics > "$smoke_dir/crash.prom"
+grep -q '^pxml_wal_replayed_total{instance="crash"} 2$' "$smoke_dir/crash.prom" || {
+  echo "error: reboot did not replay exactly the 2 acknowledged ops"; exit 1;
+}
+# Oracle: the same ops applied offline to a copy of the same snapshot.
+cp data/fig2.pxml "$smoke_dir/crash-oracle.pxml"
+cat "$smoke_dir/crash-op1.txt" "$smoke_dir/crash-op2.txt" > "$smoke_dir/crash-ops.txt"
+target/release/pxml mutate "$smoke_dir/crash-oracle.pxml" "$smoke_dir/crash-ops.txt" >/dev/null
+printf 'POINT T2 IN R.book.title\nEXISTS R.book\n' > "$smoke_dir/crash-queries.txt"
+expected="$(target/release/pxml batch "$smoke_dir/crash-oracle.pxml" "$smoke_dir/crash-queries.txt")"
+got_1="$(target/release/pxml request --socket "$crash_sock" query crash 'POINT T2 IN R.book.title')"
+got_2="$(target/release/pxml request --socket "$crash_sock" query crash 'EXISTS R.book')"
+[ "$(printf '%s\n%s' "$got_1" "$got_2")" = "$expected" ] || {
+  echo "error: replayed daemon diverges from the offline oracle:";
+  echo "daemon: $got_1 / $got_2"; echo "oracle: $expected"; exit 1;
+}
+# CHECKPOINT folds the journal into the snapshot; the file must now be
+# a valid instance and the journal rotated.
+out="$(target/release/pxml request --socket "$crash_sock" checkpoint crash)"
+echo "$out" | grep -q 'checkpointed crash' || { echo "error: checkpoint failed: $out"; exit 1; }
+target/release/pxml request --socket "$crash_sock" metrics > "$smoke_dir/crash.prom"
+grep -q '^pxml_wal_rotations_total{instance="crash"} 1$' "$smoke_dir/crash.prom" || {
+  echo "error: checkpoint did not rotate the journal"; exit 1;
+}
+cmp -s data/fig2.pxml "$smoke_dir/crash.pxml" && {
+  echo "error: checkpoint did not rewrite the snapshot"; exit 1;
+}
+target/release/pxml check "$smoke_dir/crash.pxml" >/dev/null || {
+  echo "error: checkpointed snapshot fails pxml check"; exit 1;
+}
+kill -TERM "$crash_pid"
+set +e
+wait "$crash_pid"
+code=$?
+set -e
+[ "$code" -eq 0 ] || {
+  echo "error: wal daemon SIGTERM drain exited $code, want 0"; cat "$smoke_dir/crash-serve.log"; exit 1;
+}
+
 echo "==> ci.sh: all green"

@@ -35,6 +35,27 @@ pub fn load(path: &Path) -> Result<ProbInstance, String> {
     }
 }
 
+/// [`load`] that also returns the CRC-32 of the exact bytes parsed —
+/// the value a WAL segment header binds to. One read, one buffer: the
+/// instance the engine serves and the CRC the journal binds to can
+/// never describe two different on-disk states, which a `load` followed
+/// by a second read-and-hash of the same path could (the file may
+/// change between the reads, and recovered records would then replay
+/// against a different base than the one they were journalled on).
+pub fn load_with_crc(path: &Path) -> Result<(ProbInstance, u32), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let crc = pxml_storage::crc32(&bytes);
+    let is_binary = path.extension().is_some_and(|e| e == "pxmlb");
+    let pi = if is_binary {
+        pxml_storage::from_binary(&bytes).map_err(|e| format!("{}: {e}", path.display()))?
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| format!("{}: not UTF-8: {e}", path.display()))?;
+        pxml_storage::from_text(text).map_err(|e| format!("{}: {e}", path.display()))?
+    };
+    Ok((pi, crc))
+}
+
 /// Saves an instance by extension: `.pxmlb` binary (atomic, CRC
 /// footer), anything else text.
 pub fn save(pi: &ProbInstance, path: &Path) -> Result<(), String> {

@@ -31,16 +31,21 @@
 //!   status `3` (budget-rejected), mirroring CLI exit 3.
 //! * **Durability** (`--wal DIR`): every `MUTATE` op is journalled to
 //!   an append-only CRC-framed log ([`pxml_storage::wal`]) *before* it
-//!   applies — a failed append refuses the mutation. Boot replays the
-//!   journal on top of the loaded snapshot; `CHECKPOINT` snapshots
-//!   atomically and rotates the segment; `RELOAD` replays the live
-//!   tail so hot reloads keep acknowledged writes.
+//!   applies — a failed append refuses the mutation (and physically
+//!   rolls its partial bytes back). Boot replays the journal on top of
+//!   the loaded snapshot; `CHECKPOINT` snapshots atomically and rotates
+//!   the segment; `RELOAD` replays the live tail **and rebinds the
+//!   journal** to the snapshot now being served (fresh segment, tail
+//!   re-journalled), so acknowledged writes survive both the reload
+//!   and the next reboot.
 //! * **Fail-safe serving**: dispatch runs under `catch_unwind`, so a
 //!   panicking request answers status 1 on its own connection while
 //!   the daemon keeps serving (parking_lot locks release, unpoisoned,
-//!   during unwind); `--max-conns` sheds excess connections with an
-//!   immediate "overloaded" frame; a per-frame delivery deadline drops
-//!   slow-loris clients.
+//!   during unwind); a panic inside a *write* verb additionally
+//!   rebuilds that slot from snapshot + journal so a half-applied
+//!   mutation can never keep serving; `--max-conns` sheds excess
+//!   connections with an immediate "overloaded" frame; a per-frame
+//!   delivery deadline drops slow-loris clients.
 //! * **Shutdown** (SIGTERM, SIGINT, or the `SHUTDOWN` verb) stops the
 //!   accept loop, lets in-flight requests finish, closes idle
 //!   connections, and exits 0.
@@ -65,7 +70,7 @@ use crate::protocol::{
     encode_response, frame_len, read_frame, read_payload, verb_name, write_frame, Request,
     RequestOptions, Status,
 };
-use crate::{load, translate_query};
+use crate::translate_query;
 
 /// Where the daemon listens.
 #[derive(Clone, Debug)]
@@ -111,9 +116,12 @@ pub struct ServeConfig {
     /// Slow-loris defense: the longest a client may take to deliver one
     /// whole frame once its first byte has arrived.
     pub frame_deadline: Duration,
-    /// Test-only hook: a `QUERY` whose QL line equals this string
-    /// panics inside dispatch, exercising the per-connection panic
-    /// isolation deterministically. Never settable from the CLI.
+    /// Test-only hook: a `QUERY` whose QL line (or a `MUTATE` whose ops
+    /// body) equals this string panics inside dispatch, exercising the
+    /// per-connection panic isolation — and, for the mutate path, the
+    /// journalled-but-unapplied slot rebuild — deterministically. The
+    /// mutate panic fires *after* the first op's WAL append and before
+    /// its apply. Never settable from the CLI.
     pub debug_panic_query: Option<String>,
 }
 
@@ -206,12 +214,15 @@ impl Server {
         let mut slots = BTreeMap::new();
         for path in &cfg.instances {
             let name = instance_name(path)?;
-            let pi = load(path)?;
+            // One read serves both the engine and the WAL binding: the
+            // CRC is computed from the same buffer the instance was
+            // parsed from, so the journal can never bind to different
+            // bytes than the ones actually loaded.
+            let (pi, crc) = crate::load_with_crc(path)?;
             let engine = build_engine(pi, &cfg);
             let wal = match &cfg.wal_dir {
                 None => None,
                 Some(dir) => {
-                    let crc = snapshot_crc(path)?;
                     let (wal, outcome, records) =
                         Wal::attach(dir, &name, crc, cfg.fsync).map_err(|e| {
                             format!("attaching the WAL for {name} under {}: {e}", dir.display())
@@ -347,7 +358,10 @@ fn build_engine(pi: pxml_core::ProbInstance, cfg: &ServeConfig) -> RwLock<QueryE
 }
 
 /// CRC-32 of an instance file's bytes — the value a WAL segment header
-/// binds to, recomputed at attach and after every checkpoint snapshot.
+/// binds to, recomputed after every checkpoint snapshot. (Boot and
+/// reload use [`crate::load_with_crc`] instead, which hashes the same
+/// buffer it parses; here the file was just written by `save` under the
+/// engine lock, so there is no second state to race against.)
 fn snapshot_crc(path: &Path) -> Result<u32, String> {
     let bytes =
         std::fs::read(path).map_err(|e| format!("hashing snapshot {}: {e}", path.display()))?;
@@ -658,7 +672,11 @@ fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
                     // serving. The engine locks are parking_lot locks,
                     // which unlock (without poisoning) as the panic
                     // unwinds past their guards, so other connections
-                    // proceed against a consistent registry.
+                    // can still take them — but a panic inside a *write*
+                    // verb may have left that slot's engine partially
+                    // mutated, so `recover_after_panic` rebuilds the
+                    // slot from snapshot + journal before it is served
+                    // again (read-only verbs need no repair).
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                         || dispatch(inner, &req),
                     ));
@@ -666,10 +684,12 @@ fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
                         Ok(r) => r,
                         Err(_) => {
                             inner.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                            let note = recover_after_panic(inner, &req);
                             (
                                 Status::RunError,
-                                "internal panic while serving this request; the daemon keeps serving"
-                                    .to_string(),
+                                format!(
+                                    "internal panic while serving this request; the daemon keeps serving{note}"
+                                ),
                             )
                         }
                     };
@@ -714,6 +734,15 @@ fn debug_panic(query: &str) -> ! {
 impl ServerInner {
     fn slot(&self, name: &str) -> Option<Arc<Slot>> {
         self.slots.read().get(name).cloned()
+    }
+
+    /// True while `slot` is still the registry's live entry for `name`.
+    /// Write verbs re-check this *after* taking the slot's engine lock:
+    /// a `RELOAD` (or post-panic rebuild) may have swapped the slot in
+    /// between, and work applied to the stale slot would be acknowledged
+    /// yet invisible to every later request.
+    fn slot_is_current(&self, name: &str, slot: &Arc<Slot>) -> bool {
+        self.slots.read().get(name).is_some_and(|cur| Arc::ptr_eq(cur, slot))
     }
 
     fn count_request(&self, verb: &'static str, status: Status) {
@@ -793,156 +822,285 @@ fn dispatch(inner: &Arc<ServerInner>, req: &Request) -> (Status, String) {
                 }
             }
         },
-        Request::Mutate { instance, options, ops } => match inner.slot(instance) {
-            None => unknown_instance(inner, instance),
-            Some(slot) => {
-                let mut engine = slot.engine.write();
-                let parsed = match pxml_core::parse_ops(engine.instance(), ops) {
-                    Ok(p) => p,
-                    Err(e) => return (Status::BadRequest, e.to_string()),
-                };
-                let budget = budget_from(inner.spec_for(options));
-                let mut dirty = 0usize;
-                let mut invalidated = 0u64;
-                for (idx, op) in parsed.iter().enumerate() {
-                    // Durability: journal the op *before* applying it.
-                    // One record per op (not per block), so a block that
-                    // stops early — deterministic failure or budget
-                    // exhaustion — never journals ops it did not reach,
-                    // and replay reproduces the applied prefix exactly.
-                    // The record is rendered against the engine's state
-                    // at this point, which is the state replay parses
-                    // it against.
-                    if let Some(handle) = &slot.wal {
-                        let text =
-                            pxml_core::render_ops(engine.instance(), std::slice::from_ref(op));
-                        if let Err(e) = handle.wal.lock().append(&text) {
-                            // A mutation that cannot be journalled must
-                            // not apply: refuse it (and the rest of the
-                            // block) with the run-error status.
-                            return (
-                                Status::RunError,
-                                format!(
-                                    "op {} of {}: wal append refused the mutation: {e} ({idx} op(s) applied)",
-                                    idx + 1,
-                                    parsed.len()
-                                ),
-                            );
-                        }
-                    }
-                    match engine.apply_mutation_governed(op, &budget) {
-                        Ok(outcome) => {
-                            dirty += outcome.effect.dirty.len();
-                            invalidated += outcome.invalidated.total();
-                        }
-                        // The op applied but invalidation exhausted its
-                        // budget mid-propagation; the engine already
-                        // flushed wholesale, which is sound. Report the
-                        // spend so the caller can widen the budget.
-                        Err(e) if is_exhausted(&e) => {
-                            return (
-                                Status::BudgetRejected,
-                                format!(
-                                    "op {} of {}: {e} (mutation applied; cache flushed)",
-                                    idx + 1,
-                                    parsed.len()
-                                ),
-                            );
-                        }
-                        Err(e) => {
-                            return (
-                                Status::RunError,
-                                format!("op {} of {} failed: {e}", idx + 1, parsed.len()),
-                            );
-                        }
-                    }
-                }
-                (
-                    Status::Ok,
-                    format!(
-                        "applied {} ops ({dirty} dirty objects, {invalidated} cache entries evicted)",
-                        parsed.len()
-                    ),
-                )
+        Request::Mutate { instance, options, ops } => loop {
+            let Some(slot) = inner.slot(instance) else {
+                break unknown_instance(inner, instance);
+            };
+            let mut engine = slot.engine.write();
+            if !inner.slot_is_current(instance, &slot) {
+                drop(engine);
+                continue;
             }
+            break mutate_locked(inner, &slot, &mut engine, options, ops);
         },
-        Request::Reload { instance } => match inner.slot(instance) {
-            None => unknown_instance(inner, instance),
-            Some(slot) => match load(&slot.path) {
-                Err(e) => (Status::RunError, e),
-                Ok(pi) => {
-                    let objects = pi.object_count();
-                    let engine = build_engine(pi, &inner.cfg);
-                    // Replay the WAL's live tail on top of the on-disk
-                    // snapshot so a hot reload no longer silently drops
-                    // journalled (acknowledged) writes.
-                    let mut replayed = 0usize;
-                    if let Some(handle) = &slot.wal {
-                        let wal = handle.wal.lock();
-                        replayed = replay_records(&mut engine.write(), wal.live_records());
-                    }
-                    let fresh = Arc::new(Slot {
-                        path: slot.path.clone(),
-                        engine,
-                        wal: slot.wal.clone(),
-                    });
-                    // The atomic swap: in-flight requests holding the
-                    // old Arc finish against the old instance; every
-                    // other slot keeps its warm cache.
-                    inner.slots.write().insert(instance.clone(), fresh);
-                    let suffix = if slot.wal.is_some() {
-                        format!(", replayed {replayed} journalled op(s)")
-                    } else {
-                        String::new()
-                    };
-                    (Status::Ok, format!("reloaded {instance} ({objects} objects{suffix})"))
-                }
-            },
-        },
-        Request::Checkpoint { instance } => match inner.slot(instance) {
-            None => unknown_instance(inner, instance),
-            Some(slot) => {
-                // Hold the engine *read* lock across the snapshot and
-                // the rotation: mutations (write lock) cannot slip a
-                // journal record between "state captured" and "segment
-                // rotated", so the new segment's binding is exact.
-                let engine = slot.engine.read();
-                if let Err(e) = crate::save(engine.instance(), &slot.path) {
-                    return (Status::RunError, format!("checkpoint snapshot failed: {e}"));
-                }
-                let mut rotated = String::new();
-                if let Some(handle) = &slot.wal {
-                    let crc = match snapshot_crc(&slot.path) {
-                        Ok(c) => c,
-                        Err(e) => return (Status::RunError, e),
-                    };
-                    let mut wal = handle.wal.lock();
-                    match wal.rotate(crc) {
-                        Ok(()) => rotated = format!(", wal generation {}", wal.generation()),
-                        Err(e) => {
-                            // The snapshot IS durable; only the segment
-                            // swap failed. The stale segment's records
-                            // are inside the snapshot, and its CRC
-                            // binding no longer matches — next attach
-                            // quarantines it rather than replaying
-                            // doubly. Report honestly.
-                            return (
-                                Status::RunError,
-                                format!("snapshot written but wal rotation failed: {e}"),
-                            );
-                        }
-                    }
-                }
-                (
-                    Status::Ok,
-                    format!(
-                        "checkpointed {instance} to {}{rotated}",
-                        slot.path.display()
-                    ),
-                )
+        Request::Reload { instance } => loop {
+            let Some(slot) = inner.slot(instance) else {
+                break unknown_instance(inner, instance);
+            };
+            // The *write* lock spans the journal-tail read, the WAL
+            // rebind, and the slot swap: no MUTATE can journal+apply an
+            // op in between, which would leave it acknowledged yet
+            // missing from the fresh engine until the next boot.
+            let guard = slot.engine.write();
+            if !inner.slot_is_current(instance, &slot) {
+                drop(guard);
+                continue;
             }
+            break reload_locked(inner, instance, &slot);
+        },
+        Request::Checkpoint { instance } => loop {
+            let Some(slot) = inner.slot(instance) else {
+                break unknown_instance(inner, instance);
+            };
+            // Hold the engine *read* lock across the snapshot and the
+            // rotation: mutations (write lock) cannot slip a journal
+            // record between "state captured" and "segment rotated",
+            // so the new segment's binding is exact.
+            let engine = slot.engine.read();
+            if !inner.slot_is_current(instance, &slot) {
+                drop(engine);
+                continue;
+            }
+            break checkpoint_locked(instance, &slot, &engine);
         },
     }
+}
+
+/// `MUTATE` under the slot's engine write lock.
+fn mutate_locked(
+    inner: &Arc<ServerInner>,
+    slot: &Slot,
+    engine: &mut QueryEngine,
+    options: &RequestOptions,
+    ops: &str,
+) -> (Status, String) {
+    let parsed = match pxml_core::parse_ops(engine.instance(), ops) {
+        Ok(p) => p,
+        Err(e) => return (Status::BadRequest, e.to_string()),
+    };
+    let budget = budget_from(inner.spec_for(options));
+    let mut dirty = 0usize;
+    let mut invalidated = 0u64;
+    for (idx, op) in parsed.iter().enumerate() {
+        // Durability: journal the op *before* applying it.
+        // One record per op (not per block), so a block that
+        // stops early — deterministic failure or budget
+        // exhaustion — never journals ops it did not reach,
+        // and replay reproduces the applied prefix exactly.
+        // The record is rendered against the engine's state
+        // at this point, which is the state replay parses
+        // it against.
+        if let Some(handle) = &slot.wal {
+            let text = pxml_core::render_ops(engine.instance(), std::slice::from_ref(op));
+            if let Err(e) = handle.wal.lock().append(&text) {
+                // A mutation that cannot be journalled must
+                // not apply: refuse it (and the rest of the
+                // block) with the run-error status.
+                return (
+                    Status::RunError,
+                    format!(
+                        "op {} of {}: wal append refused the mutation: {e} ({idx} op(s) applied)",
+                        idx + 1,
+                        parsed.len()
+                    ),
+                );
+            }
+        }
+        if idx == 0 && inner.cfg.debug_panic_query.as_deref() == Some(ops) {
+            // Test hook, after the journal append and before the apply:
+            // the op is in the WAL but not in the engine — exactly the
+            // divergence the post-panic rebuild must reconcile.
+            debug_panic(ops);
+        }
+        match engine.apply_mutation_governed(op, &budget) {
+            Ok(outcome) => {
+                dirty += outcome.effect.dirty.len();
+                invalidated += outcome.invalidated.total();
+            }
+            // The op applied but invalidation exhausted its
+            // budget mid-propagation; the engine already
+            // flushed wholesale, which is sound. Report the
+            // spend so the caller can widen the budget.
+            Err(e) if is_exhausted(&e) => {
+                return (
+                    Status::BudgetRejected,
+                    format!(
+                        "op {} of {}: {e} (mutation applied; cache flushed)",
+                        idx + 1,
+                        parsed.len()
+                    ),
+                );
+            }
+            Err(e) => {
+                return (
+                    Status::RunError,
+                    format!("op {} of {} failed: {e}", idx + 1, parsed.len()),
+                );
+            }
+        }
+    }
+    (
+        Status::Ok,
+        format!(
+            "applied {} ops ({dirty} dirty objects, {invalidated} cache entries evicted)",
+            parsed.len()
+        ),
+    )
+}
+
+/// `RELOAD` under the old slot's engine write lock: builds a fresh
+/// engine from one read of the snapshot, **rebinds** the journal to
+/// that snapshot (new segment bound to its CRC, acknowledged tail
+/// re-journalled), replays the tail, and swaps the slot. Without the
+/// rebind the segment header would keep the *old* snapshot's CRC while
+/// the daemon serves new-snapshot state — the next boot would see the
+/// mismatch and quarantine the whole segment, silently losing every
+/// acknowledged, fsynced mutation journalled after the reload.
+fn reload_locked(inner: &Arc<ServerInner>, name: &str, slot: &Slot) -> (Status, String) {
+    let (pi, crc) = match crate::load_with_crc(&slot.path) {
+        Ok(v) => v,
+        Err(e) => return (Status::RunError, e),
+    };
+    let objects = pi.object_count();
+    let engine = build_engine(pi, &inner.cfg);
+    let mut replayed = 0usize;
+    if let Some(handle) = &slot.wal {
+        let mut wal = handle.wal.lock();
+        let tail = wal.live_records().to_vec();
+        // The rebind is atomic (built beside the live segment, renamed
+        // over it): if it fails, the old slot keeps serving and the old
+        // journal is untouched — nothing acknowledged is at risk.
+        if let Err(e) = wal.rotate_with_tail(crc, &tail) {
+            return (
+                Status::RunError,
+                format!("reload aborted ({name} keeps serving the old instance): wal rebind failed: {e}"),
+            );
+        }
+        replayed = replay_records(&mut engine.write(), &tail);
+    }
+    let fresh = Arc::new(Slot { path: slot.path.clone(), engine, wal: slot.wal.clone() });
+    // The atomic swap: in-flight requests holding the old Arc finish
+    // against the old instance; every other slot keeps its warm cache.
+    inner.slots.write().insert(name.to_string(), fresh);
+    let suffix = if slot.wal.is_some() {
+        format!(", replayed {replayed} journalled op(s)")
+    } else {
+        String::new()
+    };
+    (Status::Ok, format!("reloaded {name} ({objects} objects{suffix})"))
+}
+
+/// `CHECKPOINT` under the slot's engine read lock.
+fn checkpoint_locked(name: &str, slot: &Slot, engine: &QueryEngine) -> (Status, String) {
+    if let Err(e) = crate::save(engine.instance(), &slot.path) {
+        return (Status::RunError, format!("checkpoint snapshot failed: {e}"));
+    }
+    let mut rotated = String::new();
+    if let Some(handle) = &slot.wal {
+        let crc = match snapshot_crc(&slot.path) {
+            Ok(c) => c,
+            Err(e) => return (Status::RunError, e),
+        };
+        let mut wal = handle.wal.lock();
+        match wal.rotate(crc) {
+            Ok(()) => rotated = format!(", wal generation {}", wal.generation()),
+            Err(e) => {
+                // The snapshot IS durable; only the segment
+                // swap failed. The stale segment's records
+                // are inside the snapshot, and its CRC
+                // binding no longer matches — next attach
+                // quarantines it rather than replaying
+                // doubly. Report honestly.
+                return (
+                    Status::RunError,
+                    format!("snapshot written but wal rotation failed: {e}"),
+                );
+            }
+        }
+    }
+    (Status::Ok, format!("checkpointed {name} to {}{rotated}", slot.path.display()))
+}
+
+/// Damage control after a caught panic. Read-only verbs cannot have
+/// mutated engine state (they hold the engine read lock and touch the
+/// cache only through its own lock-scoped inserts), so there is nothing
+/// to repair. A panic inside a *write* verb may have left the slot's
+/// engine partially mutated — and, on the mutate path, the op was
+/// already journalled — so the live state could diverge from what the
+/// WAL replays at the next boot. Rebuild the slot from snapshot +
+/// journal (the boot recovery path) before serving it again; if even
+/// the rebuild fails or panics, unregister the slot rather than keep
+/// serving unverifiable state.
+fn recover_after_panic(inner: &Arc<ServerInner>, req: &Request) -> String {
+    let name = match req {
+        Request::Mutate { instance, .. }
+        | Request::Reload { instance }
+        | Request::Checkpoint { instance } => instance.clone(),
+        Request::Query { .. }
+        | Request::Stats { .. }
+        | Request::Metrics
+        | Request::Ping
+        | Request::Shutdown => return String::new(),
+    };
+    let Some(slot) = inner.slot(&name) else { return String::new() };
+    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rebuild_slot(inner, &name, &slot)
+    }));
+    match rebuilt {
+        Ok(Ok(replayed)) => format!(
+            "; instance {name:?} was rebuilt from its snapshot + journal ({replayed} op(s) replayed)"
+        ),
+        Ok(Err(e)) => {
+            inner.slots.write().remove(&name);
+            eprintln!(
+                "pxml serve: rebuilding {name} after a panic failed ({e}); instance unregistered"
+            );
+            format!("; instance {name:?} could not be rebuilt and was unregistered: {e}")
+        }
+        Err(_) => {
+            inner.slots.write().remove(&name);
+            eprintln!(
+                "pxml serve: rebuilding {name} after a panic panicked again; instance unregistered"
+            );
+            format!("; instance {name:?} could not be rebuilt and was unregistered")
+        }
+    }
+}
+
+/// Rebuilds one slot exactly as boot recovery would: a fresh engine
+/// from the on-disk snapshot with the journal tail replayed on top.
+/// Which tail is decided by the CRC binding:
+/// * snapshot unchanged (it still hashes to the segment's binding) —
+///   the journal is authoritative; first [`pxml_storage::Wal::repair`]
+///   drops any frame the panic tore mid-append, then the live tail
+///   replays.
+/// * snapshot changed (a checkpoint saved it, then panicked before the
+///   rotation) — the tail is already *inside* the snapshot; rotate onto
+///   an empty segment bound to it instead of double-applying.
+fn rebuild_slot(inner: &Arc<ServerInner>, name: &str, slot: &Arc<Slot>) -> Result<usize, String> {
+    // Serialise behind any in-flight writer (the panicking request's
+    // own guards were released as its unwind passed them).
+    let _stale = slot.engine.write();
+    if !inner.slot_is_current(name, slot) {
+        // A concurrent reload/rebuild already swapped this slot; the
+        // registry entry is no longer ours to repair.
+        return Ok(0);
+    }
+    let (pi, crc) = crate::load_with_crc(&slot.path)?;
+    let engine = build_engine(pi, &inner.cfg);
+    let mut replayed = 0usize;
+    if let Some(handle) = &slot.wal {
+        let mut wal = handle.wal.lock();
+        if wal.snapshot_crc() == crc {
+            wal.repair();
+            replayed = replay_records(&mut engine.write(), wal.live_records());
+        } else {
+            wal.rotate(crc).map_err(|e| e.to_string())?;
+        }
+    }
+    let fresh = Arc::new(Slot { path: slot.path.clone(), engine, wal: slot.wal.clone() });
+    inner.slots.write().insert(name.to_string(), fresh);
+    Ok(replayed)
 }
 
 fn unknown_instance(inner: &Arc<ServerInner>, name: &str) -> (Status, String) {

@@ -398,6 +398,150 @@ fn wal_metrics_families_and_checkpoint_rotation() {
     handle.shutdown_and_join().expect("drain");
 }
 
+/// The RELOAD↔WAL rebind contract: a hot reload over a *changed*
+/// snapshot must rebind the journal (fresh segment bound to the new
+/// snapshot's CRC, acknowledged tail re-journalled). Without it the
+/// segment keeps the old binding, every later MUTATE lands in a
+/// stale-bound segment, and the next boot quarantines the whole journal
+/// — acknowledged, fsynced writes silently lost.
+#[test]
+fn reload_rebinds_the_wal_so_reboot_keeps_acknowledged_writes() {
+    let dir = temp_dir("reload_rebind");
+    let wal_dir = dir.join("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let fig2 = dir.join("fig2.pxmlb");
+    save(&fig2_instance(), &fig2).expect("save fig2");
+    let boot = |fig2: &PathBuf| -> (ServerHandle, Target) {
+        let mut cfg = ServeConfig::ephemeral(vec![fig2.clone()]);
+        cfg.wal_dir = Some(wal_dir.clone());
+        let handle = Server::start(cfg).expect("server starts");
+        let port = handle.port().expect("tcp bind reports a port");
+        (handle, Target::Tcp(format!("127.0.0.1:{port}")))
+    };
+    let mutate = |ops: &str| Request::Mutate {
+        instance: "fig2".into(),
+        options: RequestOptions::default(),
+        ops: ops.into(),
+    };
+
+    let (handle, target) = boot(&fig2);
+    let mut client = Client::connect(&target).expect("connect");
+    let (status, body) = client.roundtrip(&mutate("SETEDGE R B1 PROB 0.25")).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+
+    // Replace the snapshot out of band — the main reason to RELOAD.
+    let mut offline = QueryEngine::new(fig2_instance());
+    let parsed = pxml_core::parse_ops(offline.instance(), "SETEDGE R B2 PROB 0.9")
+        .expect("offline ops parse");
+    for op in &parsed {
+        offline.apply_mutation(op).expect("offline op applies");
+    }
+    save(offline.instance(), &fig2).expect("overwrite snapshot");
+
+    let (status, body) =
+        client.roundtrip(&Request::Reload { instance: "fig2".into() }).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+    assert!(body.contains("replayed 1 journalled op"), "{body:?}");
+
+    // A post-reload mutation journals into the rebound segment.
+    let (status, body) = client.roundtrip(&mutate("SETEDGE R B1 PROB 0.125")).unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+    let probe = query("fig2", "POINT T2 IN R.book.title");
+    let (status, live) = client.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok, "{live:?}");
+    handle.shutdown_and_join().expect("drain");
+
+    // Reboot over the same journal: nothing may be quarantined, both
+    // acknowledged ops replay, and the recovered answer is bit-equal
+    // to the pre-shutdown one.
+    let (handle, target) = boot(&fig2);
+    let orphans: Vec<String> = std::fs::read_dir(&wal_dir)
+        .expect("wal dir listing")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains("orphaned"))
+        .collect();
+    assert!(orphans.is_empty(), "reboot quarantined the journal: {orphans:?}");
+    let mut client = Client::connect(&target).expect("reconnect");
+    let (_, metrics) = client.roundtrip(&Request::Metrics).unwrap();
+    assert!(
+        metrics.contains("pxml_wal_replayed_total{instance=\"fig2\"} 2"),
+        "boot must replay both acknowledged ops:\n{metrics}"
+    );
+    let (status, recovered) = client.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok);
+    assert_eq!(recovered, live, "recovered state diverged from the served state");
+    handle.shutdown_and_join().expect("drain");
+}
+
+/// A panic inside a write verb may leave the engine half-mutated while
+/// the op is already journalled; the daemon must not keep serving that
+/// in-memory state. It rebuilds the slot from snapshot + journal, so
+/// the live answers equal what the next boot would recover.
+#[test]
+fn panicking_mutate_rebuilds_the_slot_from_snapshot_and_journal() {
+    let dir = temp_dir("panic_mutate");
+    let wal_dir = dir.join("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let fig2 = dir.join("fig2.pxmlb");
+    save(&fig2_instance(), &fig2).expect("save fig2");
+    let poison_ops = "SETEDGE R B1 PROB 0.5";
+    let mut cfg = ServeConfig::ephemeral(vec![fig2]);
+    cfg.wal_dir = Some(wal_dir);
+    cfg.debug_panic_query = Some(poison_ops.into());
+    let handle = Server::start(cfg).expect("server starts");
+    let port = handle.port().expect("tcp bind reports a port");
+    let target = Target::Tcp(format!("127.0.0.1:{port}"));
+
+    let mut client = Client::connect(&target).expect("connect");
+    let first_ops = "SETEDGE R B1 PROB 0.25";
+    let (status, body) = client
+        .roundtrip(&Request::Mutate {
+            instance: "fig2".into(),
+            options: RequestOptions::default(),
+            ops: first_ops.into(),
+        })
+        .unwrap();
+    assert_eq!(status, Status::Ok, "{body:?}");
+
+    // The hook panics after the journal append, before the apply.
+    let (status, body) = client
+        .roundtrip(&Request::Mutate {
+            instance: "fig2".into(),
+            options: RequestOptions::default(),
+            ops: poison_ops.into(),
+        })
+        .unwrap();
+    assert_eq!(status, Status::RunError, "{body:?}");
+    assert!(body.contains("panic"), "{body:?}");
+    assert!(body.contains("rebuilt"), "{body:?}");
+
+    // A fresh connection sees the daemon serving, with the slot state
+    // equal to snapshot + full journal — including the journalled op
+    // whose apply panicked (that is what a reboot would recover too).
+    let mut fresh = Client::connect(&target).expect("fresh connect");
+    let probe = query("fig2", "POINT T2 IN R.book.title");
+    let (status, live) = fresh.roundtrip(&probe).unwrap();
+    assert_eq!(status, Status::Ok, "{live:?}");
+    let oracle = {
+        let mut engine = QueryEngine::new(fig2_instance());
+        for text in [first_ops, poison_ops] {
+            let parsed =
+                pxml_core::parse_ops(engine.instance(), text).expect("oracle ops parse");
+            for op in &parsed {
+                engine.apply_mutation(op).expect("oracle op applies");
+            }
+        }
+        engine
+    };
+    let q = translate_query(oracle.instance(), "POINT T2 IN R.book.title").expect("probe");
+    assert_eq!(live, format!("{:.6}", oracle.run(&q).expect("oracle run")));
+
+    let (_, metrics) = fresh.roundtrip(&Request::Metrics).unwrap();
+    assert!(metrics.contains("pxml_serve_panics_total 1"), "{metrics}");
+    handle.shutdown_and_join().expect("drain");
+}
+
 #[test]
 fn concurrent_mixed_clients_never_error() {
     let (handle, target, _) = start_two("concurrent");

@@ -173,6 +173,16 @@ fn record_crc(len: u32, seq: u64, payload: &[u8]) -> u32 {
     crc32(&framed)
 }
 
+fn record_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut frame = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&record_crc(len, seq, payload).to_le_bytes());
+    frame
+}
+
 /// Reads a segment file, returning the longest valid record prefix.
 ///
 /// Torn or corrupted **records** end the prefix (never an error); a
@@ -289,8 +299,20 @@ pub struct Wal {
     file: File,
     policy: FsyncPolicy,
     generation: u64,
+    /// CRC-32 of the base snapshot the live segment is bound to (the
+    /// value in its header).
+    snapshot_crc: u32,
     next_seq: u64,
     unsynced: u32,
+    /// End offset of the last fully-appended record: where a failed
+    /// append truncates back to, so partial frame bytes can never sit
+    /// in front of later acknowledged records.
+    good_len: u64,
+    /// Set when a failed append left bytes that could not be truncated
+    /// away. Appends into a poisoned segment are refused (recovery's
+    /// prefix scan would silently discard them); a rotation replaces
+    /// the file wholesale and clears the poison.
+    poisoned: bool,
     counters: Arc<WalCounters>,
     /// Ops text appended since the last rotation, in order — the live
     /// tail `RELOAD` replays without re-reading the file.
@@ -344,8 +366,11 @@ impl Wal {
                         file,
                         policy,
                         generation: seg.generation,
+                        snapshot_crc: seg.snapshot_crc,
                         next_seq: seg.records.len() as u64,
                         unsynced: 0,
+                        good_len: seg.valid_len,
+                        poisoned: false,
                         counters: Arc::new(WalCounters::default()),
                         tail: seg.records.clone(),
                     };
@@ -384,8 +409,11 @@ impl Wal {
             file,
             policy,
             generation,
+            snapshot_crc,
             next_seq: 0,
             unsynced: 0,
+            good_len: WAL_HEADER_BYTES as u64,
+            poisoned: false,
             counters: Arc::new(WalCounters::default()),
             tail: Vec::new(),
         })
@@ -394,6 +422,20 @@ impl Wal {
     /// The live segment's generation.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// CRC-32 of the base snapshot the live segment is bound to. A
+    /// caller recovering a slot compares this against the on-disk file
+    /// hash to tell "snapshot unchanged, replay the tail" apart from
+    /// "a checkpoint snapshotted but never rotated".
+    pub fn snapshot_crc(&self) -> u32 {
+        self.snapshot_crc
+    }
+
+    /// True when a failed append left bytes that could not be truncated
+    /// away; appends are refused until a rotation replaces the segment.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The segment file path.
@@ -416,7 +458,22 @@ impl Wal {
     /// returns its sequence number. On any error the caller must treat
     /// the mutation as **refused**: nothing may apply that did not land
     /// in the journal first.
+    ///
+    /// A failed write is physically rolled back — the file is truncated
+    /// to the last fully-appended record — so partial frame bytes (an
+    /// ENOSPC mid-`write_all`, say) can never sit in the middle of the
+    /// segment where recovery's prefix scan would stop dead in front of
+    /// later acknowledged records. If even that truncation fails the
+    /// segment is poisoned and every further append is refused until a
+    /// rotation replaces it.
     pub fn append(&mut self, ops_text: &str) -> Result<u64> {
+        if self.poisoned {
+            return Err(StorageError::Binary(
+                "wal segment is poisoned (an earlier failed append could not be truncated \
+                 away); checkpoint to rotate onto a fresh segment"
+                    .into(),
+            ));
+        }
         let payload = ops_text.as_bytes();
         if payload.len() > MAX_RECORD_BYTES as usize {
             return Err(StorageError::Binary(format!(
@@ -424,14 +481,12 @@ impl Wal {
                 payload.len()
             )));
         }
-        let len = payload.len() as u32;
         let seq = self.next_seq;
-        let mut frame = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&seq.to_le_bytes());
-        frame.extend_from_slice(payload);
-        frame.extend_from_slice(&record_crc(len, seq, payload).to_le_bytes());
-        self.file.write_all(&frame)?;
+        let frame = record_frame(seq, payload);
+        if let Err(e) = self.file.write_all(&frame) {
+            self.rewind_to_good();
+            return Err(e.into());
+        }
 
         let must_sync = match self.policy {
             FsyncPolicy::Always => true,
@@ -439,15 +494,50 @@ impl Wal {
             FsyncPolicy::Os => false,
         };
         if must_sync {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                // The frame may or may not have reached the platter; the
+                // caller refuses the mutation either way, so the record
+                // must not survive into recovery.
+                self.rewind_to_good();
+                return Err(e);
+            }
         } else {
             self.unsynced += 1;
         }
         self.next_seq += 1;
+        self.good_len += frame.len() as u64;
         self.counters.appends.fetch_add(1, Ordering::Relaxed);
         self.counters.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.tail.push(ops_text.to_string());
         Ok(seq)
+    }
+
+    /// Truncates the segment back to the last fully-appended record and
+    /// re-seats the write cursor there; poisons the segment if either
+    /// step fails (a bare `set_len` without the seek would make the next
+    /// append punch a zero-filled hole — garbage mid-file again).
+    fn rewind_to_good(&mut self) {
+        let restored = self.file.set_len(self.good_len).is_ok()
+            && self.file.seek(SeekFrom::Start(self.good_len)).is_ok();
+        if restored {
+            // Best-effort durability for the truncation itself. Even
+            // unsynced, the moved cursor already keeps later appends
+            // contiguous with the valid prefix, and a crash-surviving
+            // stale tail is end-of-file garbage recovery truncates.
+            let _ = self.file.sync_data();
+        } else {
+            self.poisoned = true;
+        }
+    }
+
+    /// Drops any bytes past the last fully-appended record — the repair
+    /// a caller runs when a panic may have interrupted an [`Wal::append`]
+    /// midway (the file can hold a partial frame the normal error path
+    /// never got to roll back). Idempotent; a no-op on a clean segment.
+    pub fn repair(&mut self) {
+        if !self.poisoned {
+            self.rewind_to_good();
+        }
     }
 
     /// Forces pending appends to stable storage (also used before a
@@ -467,17 +557,64 @@ impl Wal {
     /// records the just-written snapshot already contains — they are
     /// quarantined at next attach by the CRC binding) or the new empty
     /// one. Call **after** the snapshot itself is durably on disk.
+    /// Clears a poisoned state: the suspect file is gone wholesale.
     pub fn rotate(&mut self, new_snapshot_crc: u32) -> Result<()> {
-        self.sync()?;
+        self.rotate_with_tail(new_snapshot_crc, &[])
+    }
+
+    /// [`Wal::rotate`] that additionally re-journals `tail` as the new
+    /// segment's opening records. This is how `RELOAD` **rebinds** the
+    /// journal when the on-disk snapshot changed underneath it: the
+    /// fresh segment binds to the snapshot actually being served and
+    /// carries the acknowledged tail, so the next boot replays exactly
+    /// what the live engine replayed (instead of quarantining a
+    /// stale-bound segment and silently losing fsynced mutations).
+    ///
+    /// The new segment is fully written and fsynced *beside* the live
+    /// one before the rename, so a failure at any point leaves the old
+    /// journal untouched and the `Wal` state unchanged.
+    pub fn rotate_with_tail(&mut self, new_snapshot_crc: u32, tail: &[String]) -> Result<()> {
+        if !self.poisoned {
+            // Flush the outgoing segment first so its acknowledged
+            // records are durable if the swap below fails midway. A
+            // poisoned segment is being abandoned precisely because its
+            // file state is untrustworthy — don't insist on syncing it.
+            self.sync()?;
+        }
         let tmp = segment_tmp_path(&self.path);
         let next_gen = self.generation + 1;
-        let file = create_segment(&tmp, next_gen, new_snapshot_crc)?;
-        std::fs::rename(&tmp, &self.path)?;
+        let built = (|| -> Result<(File, u64)> {
+            let mut file = create_segment(&tmp, next_gen, new_snapshot_crc)?;
+            let mut len = WAL_HEADER_BYTES as u64;
+            for (seq, rec) in tail.iter().enumerate() {
+                let frame = record_frame(seq as u64, rec.as_bytes());
+                file.write_all(&frame)?;
+                len += frame.len() as u64;
+            }
+            if !tail.is_empty() {
+                file.sync_all()?;
+            }
+            Ok((file, len))
+        })();
+        let (file, len) = match built {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         self.file = file;
         self.generation = next_gen;
-        self.next_seq = 0;
+        self.snapshot_crc = new_snapshot_crc;
+        self.next_seq = tail.len() as u64;
         self.unsynced = 0;
-        self.tail.clear();
+        self.good_len = len;
+        self.poisoned = false;
+        self.tail = tail.to_vec();
         self.counters.rotations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -637,6 +774,86 @@ mod tests {
         let (_, outcome, replay) = Wal::attach(&dir, "inst", 6, FsyncPolicy::Always).unwrap();
         assert_eq!(outcome, AttachOutcome::Resumed { records: 1, torn: false });
         assert_eq!(replay, vec!["post-checkpoint"]);
+    }
+
+    #[test]
+    fn rotate_with_tail_rebinds_and_rejournals() {
+        let dir = scratch("rebind");
+        let (mut wal, _, _) = Wal::attach(&dir, "inst", 5, FsyncPolicy::Always).unwrap();
+        wal.append("a").unwrap();
+        wal.append("b").unwrap();
+        assert_eq!(wal.snapshot_crc(), 5);
+        // The snapshot moved (CRC 5 → 9): rebind the journal to it,
+        // carrying the acknowledged tail into the fresh segment.
+        let tail = wal.live_records().to_vec();
+        wal.rotate_with_tail(9, &tail).unwrap();
+        assert_eq!(wal.generation(), 2);
+        assert_eq!(wal.snapshot_crc(), 9);
+        assert_eq!(wal.live_records(), ["a", "b"]);
+        // Appends continue the re-journalled sequence.
+        wal.append("c").unwrap();
+        drop(wal);
+        let seg = recover_segment(&dir.join("inst.wal")).unwrap();
+        assert_eq!(seg.snapshot_crc, 9);
+        assert!(!seg.torn);
+        assert_eq!(seg.records, vec!["a", "b", "c"]);
+        // A reboot against the *new* base resumes — no quarantine.
+        let (_, outcome, replay) = Wal::attach(&dir, "inst", 9, FsyncPolicy::Always).unwrap();
+        assert_eq!(outcome, AttachOutcome::Resumed { records: 3, torn: false });
+        assert_eq!(replay, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn failed_append_residue_is_truncated_so_later_records_survive() {
+        let dir = scratch("torn_middle");
+        let (mut wal, _, _) = Wal::attach(&dir, "inst", 1, FsyncPolicy::Always).unwrap();
+        wal.append("a").unwrap();
+        wal.append("b").unwrap();
+        // Simulate a torn write_all: partial frame bytes land in the
+        // file, then the append error path rolls them back.
+        wal.file.write_all(b"\x05\x00\x00\x00gar").unwrap();
+        wal.rewind_to_good();
+        assert!(!wal.is_poisoned());
+        // Later appends extend the valid prefix — recovery must see
+        // them (not stop dead at mid-file garbage).
+        wal.append("c").unwrap();
+        drop(wal);
+        let seg = recover_segment(&dir.join("inst.wal")).unwrap();
+        assert!(!seg.torn);
+        assert_eq!(seg.records, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn repair_is_idempotent_and_drops_a_panic_torn_frame() {
+        let dir = scratch("repair");
+        let (mut wal, _, _) = Wal::attach(&dir, "inst", 1, FsyncPolicy::Os).unwrap();
+        wal.append("a").unwrap();
+        wal.repair(); // clean segment: a no-op
+        wal.file.write_all(b"half-a-frame").unwrap();
+        wal.repair(); // panic-interrupted append: residue dropped
+        wal.append("b").unwrap();
+        wal.sync().unwrap();
+        let seg = recover_segment(wal.path()).unwrap();
+        assert!(!seg.torn);
+        assert_eq!(seg.records, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn poisoned_segment_refuses_appends_until_rotation() {
+        let dir = scratch("poison");
+        let (mut wal, _, _) = Wal::attach(&dir, "inst", 1, FsyncPolicy::Always).unwrap();
+        wal.append("a").unwrap();
+        wal.poisoned = true;
+        assert!(wal.append("lost-forever").is_err());
+        assert!(wal.is_poisoned());
+        // Rotation replaces the suspect file wholesale and clears it.
+        wal.rotate(2).unwrap();
+        assert!(!wal.is_poisoned());
+        wal.append("b").unwrap();
+        drop(wal);
+        let seg = recover_segment(&dir.join("inst.wal")).unwrap();
+        assert_eq!(seg.snapshot_crc, 2);
+        assert_eq!(seg.records, vec!["b"]);
     }
 
     #[test]

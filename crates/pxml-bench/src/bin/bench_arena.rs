@@ -1,0 +1,219 @@
+//! Measures what the flat arena/CSR layout buys §6.1 marginalisation
+//! over the legacy map-of-maps recursion and writes the numbers to
+//! `BENCH_arena.json`.
+//!
+//! Usage:
+//! ```text
+//! bench_arena [--out FILE] [--reps N] [--no-assert]
+//! ```
+//!
+//! Two §7.1 same-label instances — depth 8 × branching 3 (9 841
+//! objects, ~10⁴) and depth 8 × branching 4 (87 381 objects, ~10⁵) —
+//! each answered along every root-anchored label-path prefix (depth 1
+//! through 8, so the deepest query marginalises the entire tree). Three
+//! phases per scale:
+//!
+//! * **cold marginalisation** — the whole exists-pool answered from
+//!   scratch, legacy [`exists_query`] recursion vs
+//!   [`ArenaInstance::exists_flat`] tight loops; median wall over
+//!   `--reps` repetitions. Every single answer must be **bit-equal**
+//!   across the two paths (the checksum in the JSON is the shared sum).
+//!   The headline: at the 10⁵ scale the arena must be ≥ 2× faster
+//!   (asserted unless `--no-assert`).
+//! * **first query** — lowering cost up front: one cold full-depth
+//!   exists through a fresh arena-routed [`QueryEngine`] (construction
+//!   *includes* `lower_unchecked`) vs one legacy call; plus the
+//!   lowering wall itself, reported separately.
+//! * **warm query** — p50 of re-asking the full-depth exists on the
+//!   warm engine (result-cache hits; answers stay bit-equal).
+
+use std::time::Instant;
+
+use pxml_algebra::PathExpr;
+use pxml_core::{ArenaInstance, Label, ProbInstance};
+use pxml_gen::{generate, Labeling, WorkloadConfig};
+use pxml_query::{exists_query, Query, QueryEngine};
+
+/// The root-anchored label path walked off the first potential child at
+/// every level (with same-label workloads this is *the* label path).
+fn walk_labels(pi: &ProbInstance, depth: usize) -> Vec<Label> {
+    let mut labels = Vec::with_capacity(depth);
+    let mut cur = pi.root();
+    while labels.len() < depth {
+        let Some((_, child, l)) =
+            pi.weak().node(cur).and_then(|n| n.universe().iter().next())
+        else {
+            break;
+        };
+        labels.push(l);
+        cur = child;
+    }
+    labels
+}
+
+fn median_ms(mut walls: Vec<f64>) -> f64 {
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
+}
+
+fn p50_us(mut nanos: Vec<u64>) -> f64 {
+    nanos.sort_unstable();
+    nanos[nanos.len() / 2] as f64 / 1e3
+}
+
+struct ScaleResult {
+    objects: usize,
+    branching: usize,
+    lower_ms: f64,
+    cold_legacy_ms: f64,
+    cold_arena_ms: f64,
+    checksum: f64,
+    first_legacy_ms: f64,
+    first_arena_ms: f64,
+    warm_p50_us: f64,
+}
+
+impl ScaleResult {
+    fn speedup(&self) -> f64 {
+        self.cold_legacy_ms / self.cold_arena_ms
+    }
+}
+
+fn run_scale(branching: usize, reps: usize) -> ScaleResult {
+    const DEPTH: usize = 8;
+    let g = generate(&WorkloadConfig::paper(DEPTH, branching, Labeling::SameLabel, 42));
+    let pi = &g.instance;
+    let labels = walk_labels(pi, DEPTH);
+    assert_eq!(labels.len(), DEPTH, "workload shallower than configured");
+    let prefixes: Vec<&[Label]> = (1..=labels.len()).map(|d| &labels[..d]).collect();
+    let paths: Vec<PathExpr> =
+        prefixes.iter().map(|p| PathExpr::new(pi.root(), p.iter().copied())).collect();
+
+    // Lowering cost, then the arena every cold reading reuses (the
+    // engine pays this same cost once at construction).
+    let t = Instant::now();
+    let arena = ArenaInstance::lower_unchecked(pi);
+    let lower_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Cold marginalisation: the full prefix pool per repetition, every
+    // answer compared bit-for-bit across the two paths.
+    let mut legacy_walls = Vec::with_capacity(reps);
+    let mut arena_walls = Vec::with_capacity(reps);
+    let mut checksum = 0.0;
+    for rep in 0..reps {
+        let t = Instant::now();
+        let legacy: Vec<f64> =
+            paths.iter().map(|p| exists_query(pi, p).expect("legacy answers")).collect();
+        legacy_walls.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let flat: Vec<f64> =
+            prefixes.iter().map(|p| arena.exists_flat(p).expect("arena answers")).collect();
+        arena_walls.push(t.elapsed().as_secs_f64() * 1e3);
+        for (d, (a, b)) in legacy.iter().zip(&flat).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "depth-{} answer diverged: legacy {a} vs arena {b}",
+                d + 1
+            );
+        }
+        if rep == 0 {
+            checksum = legacy.iter().sum();
+        }
+    }
+
+    // First query: lowering + cold answer through the engine vs one
+    // legacy call, full depth.
+    let deep = paths.last().expect("at least one prefix").clone();
+    let t = Instant::now();
+    let first_legacy = exists_query(pi, &deep).expect("legacy answers");
+    let first_legacy_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cloned = pi.clone();
+    let t = Instant::now();
+    let engine = QueryEngine::with_threads(cloned, 1);
+    let first_arena = engine.run(&Query::exists(deep.clone())).expect("engine answers");
+    let first_arena_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(first_legacy.to_bits(), first_arena.to_bits(), "first-query answers diverged");
+
+    // Warm query: the engine re-asking the deep exists (result hits).
+    let warm_nanos: Vec<u64> = (0..64)
+        .map(|_| {
+            let t = Instant::now();
+            let v = engine.run(&Query::exists(deep.clone())).expect("engine answers");
+            assert_eq!(v.to_bits(), first_legacy.to_bits(), "warm answer diverged");
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+
+    ScaleResult {
+        objects: pi.object_count(),
+        branching,
+        lower_ms,
+        cold_legacy_ms: median_ms(legacy_walls),
+        cold_arena_ms: median_ms(arena_walls),
+        checksum,
+        first_legacy_ms,
+        first_arena_ms,
+        warm_p50_us: p50_us(warm_nanos),
+    }
+}
+
+fn json_scale(r: &ScaleResult) -> String {
+    format!(
+        "    {{\n      \"objects\": {},\n      \"depth\": 8,\n      \"branching\": {},\n      \"lower_ms\": {:.3},\n      \"cold\": {{\n        \"legacy_ms\": {:.3},\n        \"arena_ms\": {:.3},\n        \"speedup\": {:.2},\n        \"checksum\": {:.9},\n        \"bit_equal\": true\n      }},\n      \"first_query\": {{\n        \"legacy_ms\": {:.3},\n        \"arena_ms\": {:.3}\n      }},\n      \"warm_query\": {{\n        \"p50_us\": {:.3}\n      }}\n    }}",
+        r.objects,
+        r.branching,
+        r.lower_ms,
+        r.cold_legacy_ms,
+        r.cold_arena_ms,
+        r.speedup(),
+        r.checksum,
+        r.first_legacy_ms,
+        r.first_arena_ms,
+        r.warm_p50_us,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = get("--out").unwrap_or_else(|| "BENCH_arena.json".into());
+    let reps: usize = get("--reps").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let assert_speedup = !args.iter().any(|a| a == "--no-assert");
+
+    let mut scales = Vec::new();
+    for branching in [3usize, 4] {
+        let r = run_scale(branching, reps);
+        eprintln!(
+            "bench_arena: {} objects: cold {:.2} -> {:.2} ms ({:.2}x), lower {:.2} ms, first {:.2} -> {:.2} ms, warm p50 {:.1} us",
+            r.objects,
+            r.cold_legacy_ms,
+            r.cold_arena_ms,
+            r.speedup(),
+            r.lower_ms,
+            r.first_legacy_ms,
+            r.first_arena_ms,
+            r.warm_p50_us,
+        );
+        scales.push(r);
+    }
+
+    let big = scales.last().expect("two scales ran");
+    if assert_speedup {
+        assert!(
+            big.speedup() >= 2.0,
+            "cold marginalisation at {} objects is only {:.2}x faster on the arena (need >= 2x)",
+            big.objects,
+            big.speedup()
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{ \"labeling\": \"sl\", \"depth\": 8, \"reps\": {reps} }},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        scales.iter().map(json_scale).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write BENCH_arena.json");
+    println!("wrote {out}");
+}

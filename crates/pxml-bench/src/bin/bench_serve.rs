@@ -175,7 +175,7 @@ fn main() {
     let cache = MarginalCache::new();
     cache.set_max_bytes(2048);
     for i in 0..8u32 {
-        cache.put_link(pxml_core::ObjectId::from_raw(i), 0, 0.5);
+        cache.put_link(i, 0, 0.5);
     }
     let warm_bytes = cache.approx_bytes();
     let oversized: Arc<Vec<Vec<pxml_core::ObjectId>>> =

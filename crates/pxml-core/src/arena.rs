@@ -1,0 +1,836 @@
+//! Flat-memory arena/CSR lowering of a [`ProbInstance`] (ROADMAP item 3).
+//!
+//! A [`ArenaInstance`] stores one instance in contiguous arrays:
+//!
+//! * an **object arena** — dense `u32` indices assigned in the
+//!   deterministic topological order of the weak instance graph
+//!   ([`crate::weak::WeakInstance::topo_order`]), so parents precede
+//!   children and a bottom-up pass is a reverse index sweep;
+//! * **CSR adjacency** for `lch` — `child_offsets[x]..child_offsets[x+1]`
+//!   delimits object `x`'s packed child/label rows, copied verbatim from
+//!   its [`crate::childset::ChildUniverse`] so CSR row offsets *are*
+//!   universe positions (the coordinates every OPF is expressed in);
+//! * **OPF slabs** — explicit mask tables flatten into parallel
+//!   `(u64 mask, f64 prob)` arrays, independent OPFs into one packed
+//!   `f64` array, both addressed by per-object `(start, end)` slots, so
+//!   the §6.1 survival evaluation runs over contiguous slices.
+//!
+//! The lowering is **bit-faithful**: survival and marginal arithmetic
+//! replicate [`crate::opf::Opf`] operation-for-operation (same entry
+//! order, same skip/early-exit conditions, same clamping), so every ε
+//! computed through the arena equals the legacy value to the last bit.
+//! Representations the slabs cannot express ([`Opf::LabelProduct`],
+//! sparse child sets) fall back to a cloned legacy [`Opf`] — trivially
+//! bit-identical, and absent from the paper's workloads.
+
+use std::collections::HashMap;
+
+use crate::childset::ChildSet;
+use crate::error::{CoreError, Result};
+use crate::ids::{Label, ObjectId};
+use crate::opf::Opf;
+use crate::prob_instance::ProbInstance;
+
+/// How one object's OPF is stored in the arena slabs.
+#[derive(Clone, Debug, PartialEq)]
+enum OpfSlot {
+    /// The object has no OPF (leaves, or phantom references).
+    Missing,
+    /// [`crate::opf::IndependentOpf`]: per-position presence
+    /// probabilities in `indep[start..start + len]`.
+    Independent {
+        /// First slab index.
+        start: u32,
+        /// Number of per-position probabilities.
+        len: u32,
+    },
+    /// Explicit mask table: entries `(table_masks[i], table_probs[i])`
+    /// for `i ∈ start..end`, in the legacy table's insertion order.
+    Table {
+        /// First slab index.
+        start: u32,
+        /// One past the last slab index.
+        end: u32,
+    },
+    /// Any other representation, evaluated through a cloned legacy
+    /// [`Opf`] (bit-identical by construction).
+    Fallback(u32),
+}
+
+/// A [`ProbInstance`] lowered to flat arrays (see the module docs).
+///
+/// Arena indices are dense `u32`s in `0..len()`. Indices below
+/// [`ArenaInstance::member_count`] are the instance's members in
+/// deterministic topological order; any remaining indices are
+/// *phantoms* — objects referenced from some child universe (or the
+/// root, on degenerate unchecked instances) without being members
+/// themselves. Phantoms have empty CSR rows and no OPF, which makes
+/// every index lookup total even on hostile inputs.
+#[derive(Clone, Debug)]
+pub struct ArenaInstance {
+    /// Arena index → object id (the index assignment order).
+    order: Vec<ObjectId>,
+    /// Object id → arena index (total over `order`).
+    index: HashMap<ObjectId, u32>,
+    /// Number of real members; `order[members..]` are phantoms.
+    members: u32,
+    /// Arena index of the instance root.
+    root: u32,
+    /// CSR row offsets, length `order.len() + 1`, monotone.
+    child_offsets: Vec<u32>,
+    /// Packed child arena indices (row `x` = universe of `order[x]`).
+    children: Vec<u32>,
+    /// Packed edge labels, parallel to `children`.
+    child_labels: Vec<Label>,
+    /// Whether the entry is an edge of the weak instance graph
+    /// (`card(o, l).max ≥ 1`), parallel to `children`.
+    child_weak: Vec<bool>,
+    /// True when no object appears as a child more than once and the
+    /// root is nobody's child — the flat pipeline then skips dedup and
+    /// the (unfireable) §6 tree-shape checks.
+    forest: bool,
+    /// Per-object OPF slot, length `order.len()`.
+    slots: Vec<OpfSlot>,
+    /// Slab of independent-OPF presence probabilities.
+    indep: Vec<f64>,
+    /// Slab of explicit-table child-set masks.
+    table_masks: Vec<u64>,
+    /// Slab of explicit-table probabilities, parallel to `table_masks`.
+    table_probs: Vec<f64>,
+    /// Cloned legacy OPFs for representations the slabs cannot express.
+    fallback: Vec<Opf>,
+}
+
+impl ArenaInstance {
+    /// Lowers `pi`, rejecting universes with duplicate or ambiguous
+    /// `(child, label)` rows with a typed error — the checks an
+    /// unchecked instance may have skipped and that the CSR layout
+    /// relies on for unambiguous position arithmetic.
+    pub fn lower(pi: &ProbInstance) -> Result<ArenaInstance> {
+        let a = Self::lower_unchecked(pi);
+        for idx in 0..a.members as usize {
+            let o = a.order[idx];
+            let Some(node) = pi.weak().node(o) else { continue };
+            let mut seen: HashMap<ObjectId, Label> = HashMap::new();
+            for (_, c, l) in node.universe().iter() {
+                match seen.get(&c) {
+                    None => {
+                        seen.insert(c, l);
+                    }
+                    Some(&first) if first == l => {
+                        return Err(CoreError::DuplicateChild { parent: o, child: c, label: l });
+                    }
+                    Some(&first) => {
+                        return Err(CoreError::AmbiguousChildLabel {
+                            parent: o,
+                            child: c,
+                            first,
+                            second: l,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(a)
+    }
+
+    /// Lowers `pi` without validation. Never fails: members missed by
+    /// the topological sort (cyclic or unreachable unchecked instances)
+    /// are appended in ascending id order, and dangling references
+    /// become phantom indices.
+    pub fn lower_unchecked(pi: &ProbInstance) -> ArenaInstance {
+        let weak = pi.weak();
+        let mut order = weak.topo_order().unwrap_or_default();
+        let mut index: HashMap<ObjectId, u32> = HashMap::with_capacity(order.len() * 2 + 8);
+        for (i, &o) in order.iter().enumerate() {
+            index.insert(o, i as u32);
+        }
+        let mut rest: Vec<ObjectId> = weak.objects().filter(|o| !index.contains_key(o)).collect();
+        rest.sort_unstable();
+        for o in rest {
+            index.insert(o, order.len() as u32);
+            order.push(o);
+        }
+        let members = order.len() as u32;
+
+        // Phantoms: universe children (and, defensively, the root) that
+        // are not members, in ascending id order.
+        let mut phantoms: Vec<ObjectId> = Vec::new();
+        for &o in &order {
+            if let Some(node) = weak.node(o) {
+                for (_, c, _) in node.universe().iter() {
+                    if !index.contains_key(&c) {
+                        phantoms.push(c);
+                    }
+                }
+            }
+        }
+        if !index.contains_key(&pi.root()) {
+            phantoms.push(pi.root());
+        }
+        phantoms.sort_unstable();
+        phantoms.dedup();
+        for o in phantoms {
+            index.insert(o, order.len() as u32);
+            order.push(o);
+        }
+
+        let total = order.len();
+        let mut child_offsets = Vec::with_capacity(total + 1);
+        let mut children = Vec::new();
+        let mut child_labels = Vec::new();
+        let mut child_weak = Vec::new();
+        let mut slots = Vec::with_capacity(total);
+        let mut indep = Vec::new();
+        let mut table_masks = Vec::new();
+        let mut table_probs = Vec::new();
+        let mut fallback = Vec::new();
+
+        for (i, &o) in order.iter().enumerate() {
+            child_offsets.push(children.len() as u32);
+            let node = if i < members as usize { weak.node(o) } else { None };
+            let Some(node) = node else {
+                slots.push(OpfSlot::Missing);
+                continue;
+            };
+            // Per-label weak participation, cached per node.
+            let mut weak_by_label: Vec<(Label, bool)> = Vec::new();
+            for (_, c, l) in node.universe().iter() {
+                children.push(index[&c]);
+                child_labels.push(l);
+                let w = match weak_by_label.iter().find(|&&(wl, _)| wl == l) {
+                    Some(&(_, w)) => w,
+                    None => {
+                        let w = node.card(l).max >= 1;
+                        weak_by_label.push((l, w));
+                        w
+                    }
+                };
+                child_weak.push(w);
+            }
+            slots.push(lower_opf(
+                pi.opf(o),
+                node.universe().fits_mask(),
+                &mut indep,
+                &mut table_masks,
+                &mut table_probs,
+                &mut fallback,
+            ));
+        }
+        child_offsets.push(children.len() as u32);
+        let root = index[&pi.root()];
+
+        // Forest detection: when no object appears as a child more than
+        // once (and the root is nobody's child), the flat query pipeline
+        // can skip dedup and the §6 tree-shape checks — they cannot fire.
+        let forest = {
+            let mut seen = vec![false; total];
+            let mut forest = true;
+            for &c in &children {
+                if seen[c as usize] || c == root {
+                    forest = false;
+                    break;
+                }
+                seen[c as usize] = true;
+            }
+            forest
+        };
+
+        let a = ArenaInstance {
+            order,
+            index,
+            members,
+            root,
+            child_offsets,
+            children,
+            child_labels,
+            child_weak,
+            forest,
+            slots,
+            indep,
+            table_masks,
+            table_probs,
+            fallback,
+        };
+        debug_assert_eq!(a.debug_validate(), Ok(()));
+        a
+    }
+
+    /// Total number of arena indices (members plus phantoms).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the arena holds no objects at all.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of real members (phantom indices start here).
+    pub fn member_count(&self) -> u32 {
+        self.members
+    }
+
+    /// The arena index of the instance root.
+    pub fn root_index(&self) -> u32 {
+        self.root
+    }
+
+    /// Arena index → object id. Panics on an out-of-range index.
+    pub fn object_at(&self, x: u32) -> ObjectId {
+        self.order[x as usize]
+    }
+
+    /// Object id → arena index, if the object appears anywhere in the
+    /// instance (as member or phantom reference).
+    pub fn index_of(&self, o: ObjectId) -> Option<u32> {
+        self.index.get(&o).copied()
+    }
+
+    /// The index assignment order (members first, in topological order).
+    pub fn order(&self) -> &[ObjectId] {
+        &self.order
+    }
+
+    /// The CSR row of `x`: offsets into the packed child arrays. The
+    /// row offset of an entry equals its universe position.
+    pub fn child_range(&self, x: u32) -> (u32, u32) {
+        (self.child_offsets[x as usize], self.child_offsets[x as usize + 1])
+    }
+
+    /// The child arena index of packed entry `i`.
+    pub fn child(&self, i: u32) -> u32 {
+        self.children[i as usize]
+    }
+
+    /// The edge label of packed entry `i`.
+    pub fn child_label(&self, i: u32) -> Label {
+        self.child_labels[i as usize]
+    }
+
+    /// True when packed entry `i` is an edge of the weak instance graph
+    /// (its label's cardinality admits at least one child).
+    pub fn child_is_weak(&self, i: u32) -> bool {
+        self.child_weak[i as usize]
+    }
+
+    /// True when `x` carries an OPF.
+    pub fn has_opf(&self, x: u32) -> bool {
+        !matches!(self.slots[x as usize], OpfSlot::Missing)
+    }
+
+    /// Stored OPF parameter count (the legacy `Opf::stored_len`).
+    pub fn stored_len(&self, x: u32) -> u64 {
+        match &self.slots[x as usize] {
+            OpfSlot::Missing => 0,
+            OpfSlot::Independent { len, .. } => u64::from(*len),
+            OpfSlot::Table { start, end } => u64::from(end - start),
+            OpfSlot::Fallback(f) => self.fallback[*f as usize].stored_len() as u64,
+        }
+    }
+
+    /// The §6.2 survival probability of `x` over `kept` = `(universe
+    /// position, child ε)` pairs, or `None` when `x` has no OPF.
+    /// Bit-identical to [`Opf::survival_probability`].
+    pub fn survival_probability(&self, x: u32, kept: &[(u32, f64)]) -> Option<f64> {
+        match &self.slots[x as usize] {
+            OpfSlot::Missing => None,
+            OpfSlot::Table { start, end } => {
+                let masks = &self.table_masks[*start as usize..*end as usize];
+                let probs = &self.table_probs[*start as usize..*end as usize];
+                let mut none = 0.0;
+                for (&m, &p) in masks.iter().zip(probs) {
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let mut dead = 1.0;
+                    for &(pos, e) in kept {
+                        if (m >> pos) & 1 == 1 {
+                            dead *= 1.0 - e;
+                            if dead == 0.0 {
+                                break;
+                            }
+                        }
+                    }
+                    none += p * dead;
+                }
+                Some((1.0 - none).clamp(0.0, 1.0))
+            }
+            OpfSlot::Independent { start, len } => {
+                let probs = &self.indep[*start as usize..(*start + *len) as usize];
+                let mut none = 1.0;
+                for &(pos, e) in kept {
+                    let pj = probs.get(pos as usize).copied().unwrap_or(0.0);
+                    none *= 1.0 - pj * e;
+                }
+                Some((1.0 - none).clamp(0.0, 1.0))
+            }
+            OpfSlot::Fallback(f) => Some(self.fallback[*f as usize].survival_probability(kept)),
+        }
+    }
+
+    /// `P(child at universe position pos present)`, or `None` when `x`
+    /// has no OPF. Bit-identical to [`Opf::marginal_present`].
+    pub fn marginal_present(&self, x: u32, pos: u32) -> Option<f64> {
+        match &self.slots[x as usize] {
+            OpfSlot::Missing => None,
+            OpfSlot::Table { start, end } => {
+                let masks = &self.table_masks[*start as usize..*end as usize];
+                let probs = &self.table_probs[*start as usize..*end as usize];
+                let mut sum = 0.0;
+                for (&m, &p) in masks.iter().zip(probs) {
+                    if (m >> pos) & 1 == 1 {
+                        sum += p;
+                    }
+                }
+                Some(sum)
+            }
+            OpfSlot::Independent { start, len } => {
+                let probs = &self.indep[*start as usize..(*start + *len) as usize];
+                Some(probs.get(pos as usize).copied().unwrap_or(0.0))
+            }
+            OpfSlot::Fallback(f) => Some(self.fallback[*f as usize].marginal_present(pos)),
+        }
+    }
+
+    /// The per-depth reach sets of a root-anchored label path over the
+    /// weak edges, as sorted arena indices (the flat counterpart of
+    /// `layers_weak`; membership per depth is identical).
+    pub fn layers_flat(&self, labels: &[Label]) -> Vec<Vec<u32>> {
+        // On forests no child can be reached twice, so dedup is free;
+        // otherwise a stamp per object replaces per-layer sort+dedup
+        // hashing (an index is pushed at most once per depth). Either
+        // way the sort is skipped when the push order is already
+        // ascending — the common case, because parents are visited in
+        // ascending order and CSR rows follow the topological index
+        // order on trees.
+        let mut stamp =
+            if self.forest { Vec::new() } else { vec![u32::MAX; self.order.len()] };
+        let mut layers = Vec::with_capacity(labels.len() + 1);
+        layers.push(vec![self.root]);
+        for (d, &label) in labels.iter().enumerate() {
+            let prev = layers.last().expect("at least the root layer");
+            let mut next: Vec<u32> = Vec::new();
+            for &x in prev {
+                let (s, e) = self.child_range(x);
+                for i in s..e {
+                    let c = self.children[i as usize];
+                    if self.child_weak[i as usize] && self.child_labels[i as usize] == label {
+                        if !self.forest {
+                            if stamp[c as usize] == d as u32 {
+                                continue;
+                            }
+                            stamp[c as usize] = d as u32;
+                        }
+                        next.push(c);
+                    }
+                }
+            }
+            if !next.is_sorted() {
+                next.sort_unstable();
+            }
+            layers.push(next);
+        }
+        layers
+    }
+
+    /// The kept region for `targets` with the Section 6 tree-shape
+    /// checks (unique role, unique kept parent), mirroring the legacy
+    /// kept-region construction over arena indices. Layers must come
+    /// from [`ArenaInstance::layers_flat`] for the same labels.
+    pub fn kept_flat(
+        &self,
+        labels: &[Label],
+        layers: &[Vec<u32>],
+        targets: &[u32],
+    ) -> Result<Vec<Vec<u32>>> {
+        let n = labels.len();
+        let mut kept: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut t: Vec<u32> = targets.to_vec();
+        t.sort_unstable();
+        t.dedup();
+        kept[n] = t;
+        // Forest fast path: every object has at most one parent, so the
+        // §6 tree-shape violations (duplicate role, duplicate kept
+        // parent) cannot occur — the backward sweep filters each sorted
+        // layer against the sorted layer below and nothing else.
+        if self.forest {
+            for d in (0..n).rev() {
+                let (head, tail) = kept.split_at_mut(d + 1);
+                let next = &tail[0];
+                head[d] = layers[d]
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        let (s, e) = self.child_range(x);
+                        (s..e).any(|i| {
+                            self.child_weak[i as usize]
+                                && self.child_labels[i as usize] == labels[d]
+                                && next.binary_search(&self.children[i as usize]).is_ok()
+                        })
+                    })
+                    .collect();
+            }
+            return Ok(kept);
+        }
+        let total = self.order.len();
+        // General (DAG) path: one dense depth mark per object replaces
+        // both the per-layer membership binary searches and the role
+        // hash map — an object's mark is the kept depth it was admitted
+        // at (`u32::MAX` = not kept), so membership tests are O(1) loads
+        // and a second admission at a different depth is exactly the
+        // unique-role violation.
+        let mut depth_mark = vec![u32::MAX; total];
+        for &x in &kept[n] {
+            depth_mark[x as usize] = n as u32;
+        }
+        for d in (0..n).rev() {
+            let below = d as u32 + 1;
+            let mut layer: Vec<u32> = Vec::new();
+            // `layers[d]` is sorted, so the filtered layer stays sorted.
+            for &x in &layers[d] {
+                let (s, e) = self.child_range(x);
+                let keeps = (s..e).any(|i| {
+                    self.child_weak[i as usize]
+                        && self.child_labels[i as usize] == labels[d]
+                        && depth_mark[self.children[i as usize] as usize] == below
+                });
+                if keeps {
+                    if depth_mark[x as usize] != u32::MAX {
+                        return Err(CoreError::NotTreeShaped(self.order[x as usize]));
+                    }
+                    depth_mark[x as usize] = d as u32;
+                    layer.push(x);
+                }
+            }
+            kept[d] = layer;
+        }
+        // Tree-shape: unique kept parent (over the *unfiltered*
+        // label-matched entries, as in the legacy check), via stamped
+        // dense arrays instead of a per-depth hash map.
+        let mut parent_stamp = vec![u32::MAX; total];
+        let mut parent_val = vec![0u32; total];
+        for d in 0..n {
+            for &x in &kept[d] {
+                let (s, e) = self.child_range(x);
+                for i in s..e {
+                    if self.child_labels[i as usize] == labels[d] {
+                        let c = self.children[i as usize] as usize;
+                        if depth_mark[c] == d as u32 + 1 {
+                            if parent_stamp[c] == d as u32 && parent_val[c] != x {
+                                return Err(CoreError::NotTreeShaped(self.order[c]));
+                            }
+                            parent_stamp[c] = d as u32;
+                            parent_val[c] = x;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Bottom-up §6.1 ε marginalisation over a verified kept region:
+    /// one reverse sweep filling a dense `ε` array, tight loops over the
+    /// CSR rows and OPF slabs. Returns the root ε — bit-identical to
+    /// the legacy top-down recursion, because each node's kept children
+    /// are gathered in the same (universe) order and the survival
+    /// arithmetic replicates [`Opf::survival_probability`] op-for-op.
+    pub fn eps_flat(&self, labels: &[Label], kept: &[Vec<u32>]) -> Result<f64> {
+        let n = labels.len();
+        if kept[0].binary_search(&self.root).is_err() {
+            return Ok(0.0);
+        }
+        // ε lives in per-layer vectors aligned to the sorted kept
+        // layers (membership and lookup are one binary search into the
+        // cache-resident layer below), so the sweep allocates O(kept),
+        // not O(arena). A valid kept region has disjoint layers, which
+        // makes this membership test equivalent to a depth check.
+        let mut below_eps: Vec<f64> = vec![1.0; kept[n].len()];
+        let mut kept_children: Vec<(u32, f64)> = Vec::new();
+        for d in (0..n).rev() {
+            let want = labels[d];
+            let below = &kept[d + 1];
+            let mut layer_eps: Vec<f64> = Vec::with_capacity(kept[d].len());
+            for &x in &kept[d] {
+                let (s, e) = self.child_range(x);
+                kept_children.clear();
+                for i in s..e {
+                    if self.child_labels[i as usize] == want {
+                        if let Ok(p) = below.binary_search(&self.children[i as usize]) {
+                            kept_children.push((i - s, below_eps[p]));
+                        }
+                    }
+                }
+                let Some(v) = self.survival_probability(x, &kept_children) else {
+                    return Err(CoreError::UnknownObject(self.order[x as usize]));
+                };
+                if !v.is_finite() {
+                    return Err(CoreError::DegenerateMass { total: v });
+                }
+                layer_eps.push(v);
+            }
+            below_eps = layer_eps;
+        }
+        let r = kept[0].binary_search(&self.root).expect("root membership checked above");
+        Ok(below_eps[r])
+    }
+
+    /// `P(∃ o: o ∈ p)` for a root-anchored label path, entirely over
+    /// the flat layout (the cold-marginalisation fast path).
+    pub fn exists_flat(&self, labels: &[Label]) -> Result<f64> {
+        let layers = self.layers_flat(labels);
+        let located = layers.last().cloned().unwrap_or_default();
+        if located.is_empty() {
+            return Ok(0.0);
+        }
+        let kept = self.kept_flat(labels, &layers, &located)?;
+        self.eps_flat(labels, &kept)
+    }
+
+    /// `P(target ∈ p)` for a root-anchored label path, entirely over
+    /// the flat layout.
+    pub fn point_flat(&self, labels: &[Label], target: ObjectId) -> Result<f64> {
+        let Some(t) = self.index_of(target) else { return Ok(0.0) };
+        let layers = self.layers_flat(labels);
+        let located = layers.last().cloned().unwrap_or_default();
+        if located.binary_search(&t).is_err() {
+            return Ok(0.0);
+        }
+        let kept = self.kept_flat(labels, &layers, &[t])?;
+        self.eps_flat(labels, &kept)
+    }
+
+    /// Layout-invariant check (debug-asserted after every lowering and
+    /// exercised by the fuzz harness): CSR offsets monotone and closed,
+    /// child arrays in-bounds and mutually parallel, OPF slot ranges
+    /// in-bounds, and the id↔index maps mutually inverse.
+    pub fn debug_validate(&self) -> std::result::Result<(), String> {
+        let total = self.order.len();
+        if self.child_offsets.len() != total + 1 {
+            return Err(format!(
+                "offsets length {} != objects + 1 ({})",
+                self.child_offsets.len(),
+                total + 1
+            ));
+        }
+        if self.members as usize > total {
+            return Err(format!("member count {} exceeds arena size {total}", self.members));
+        }
+        if self.root as usize >= total && total > 0 {
+            return Err(format!("root index {} out of bounds", self.root));
+        }
+        for w in self.child_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("offsets not monotone at {w:?}"));
+            }
+        }
+        let packed = self.children.len();
+        if self.child_offsets.last().copied().unwrap_or(0) as usize != packed {
+            return Err("offsets do not close over the packed child array".into());
+        }
+        if self.child_labels.len() != packed || self.child_weak.len() != packed {
+            return Err("child arrays are not parallel".into());
+        }
+        for &c in &self.children {
+            if c as usize >= total {
+                return Err(format!("child index {c} out of bounds"));
+            }
+        }
+        if self.slots.len() != total {
+            return Err("one OPF slot per object required".into());
+        }
+        if self.table_masks.len() != self.table_probs.len() {
+            return Err("table slabs are not parallel".into());
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                OpfSlot::Missing => {}
+                OpfSlot::Independent { start, len } => {
+                    if (*start as usize) + (*len as usize) > self.indep.len() {
+                        return Err(format!("independent slab range of object {i} out of bounds"));
+                    }
+                }
+                OpfSlot::Table { start, end } => {
+                    if start > end || *end as usize > self.table_masks.len() {
+                        return Err(format!("table slab range of object {i} out of bounds"));
+                    }
+                }
+                OpfSlot::Fallback(f) => {
+                    if *f as usize >= self.fallback.len() {
+                        return Err(format!("fallback index of object {i} out of bounds"));
+                    }
+                }
+            }
+        }
+        if self.index.len() != total {
+            return Err("id→index map size mismatch".into());
+        }
+        for (i, &o) in self.order.iter().enumerate() {
+            if self.index.get(&o).copied() != Some(i as u32) {
+                return Err(format!("index map disagrees with order at {i}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers one OPF into the slabs, falling back to a clone when the
+/// representation cannot be expressed as masks over a ≤64 universe.
+fn lower_opf(
+    opf: Option<&Opf>,
+    fits_mask: bool,
+    indep: &mut Vec<f64>,
+    table_masks: &mut Vec<u64>,
+    table_probs: &mut Vec<f64>,
+    fallback: &mut Vec<Opf>,
+) -> OpfSlot {
+    match opf {
+        None => OpfSlot::Missing,
+        Some(Opf::Independent(i)) => {
+            let start = indep.len() as u32;
+            indep.extend_from_slice(i.probs());
+            OpfSlot::Independent { start, len: i.probs().len() as u32 }
+        }
+        Some(Opf::Table(t))
+            if fits_mask && t.iter().all(|(s, _)| matches!(s, ChildSet::Mask(_))) =>
+        {
+            let start = table_masks.len() as u32;
+            for (s, p) in t.iter() {
+                if let ChildSet::Mask(m) = s {
+                    table_masks.push(*m);
+                    table_probs.push(p);
+                }
+            }
+            OpfSlot::Table { start, end: table_masks.len() as u32 }
+        }
+        Some(other) => {
+            fallback.push(other.clone());
+            OpfSlot::Fallback((fallback.len() - 1) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{chain, fig2_instance};
+
+    #[test]
+    fn lowering_assigns_topological_indices() {
+        let pi = chain(3, 0.5);
+        let a = ArenaInstance::lower(&pi).expect("valid instance lowers");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.member_count(), 4);
+        assert_eq!(a.object_at(a.root_index()), pi.root());
+        // Parents precede children in the index order.
+        for x in 0..a.len() as u32 {
+            let (s, e) = a.child_range(x);
+            for i in s..e {
+                assert!(a.child(i) > x, "topological order violated");
+            }
+        }
+        assert_eq!(a.debug_validate(), Ok(()));
+    }
+
+    #[test]
+    fn chain_exists_flat_is_link_product() {
+        for (n, q) in [(2usize, 0.3f64), (3, 0.5), (4, 0.9)] {
+            let pi = chain(n, q);
+            let a = ArenaInstance::lower(&pi).unwrap();
+            let labels = vec![pi.lid("next").unwrap(); n];
+            let got = a.exists_flat(&labels).unwrap();
+            assert!((got - q.powi(n as i32)).abs() < 1e-12, "n={n} q={q}: {got}");
+        }
+    }
+
+    #[test]
+    fn fig2_point_flat_matches_paper_value() {
+        // T2 through R.book.title is 0.8 (see the legacy point tests).
+        let pi = fig2_instance();
+        let a = ArenaInstance::lower(&pi).unwrap();
+        let labels = vec![pi.lid("book").unwrap(), pi.lid("title").unwrap()];
+        let t2 = pi.oid("T2").unwrap();
+        let got = a.point_flat(&labels, t2).unwrap();
+        assert!((got - 0.8).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn fig2_shared_object_is_rejected_as_non_tree() {
+        let pi = fig2_instance();
+        let a = ArenaInstance::lower(&pi).unwrap();
+        let labels = vec![pi.lid("book").unwrap(), pi.lid("author").unwrap()];
+        let a1 = pi.oid("A1").unwrap();
+        assert!(matches!(a.point_flat(&labels, a1), Err(CoreError::NotTreeShaped(_))));
+    }
+
+    #[test]
+    fn point_flat_of_foreign_target_is_zero() {
+        let pi = chain(2, 0.5);
+        let a = ArenaInstance::lower(&pi).unwrap();
+        let labels = vec![pi.lid("next").unwrap()];
+        assert_eq!(a.point_flat(&labels, ObjectId::from_raw(9999)).unwrap(), 0.0);
+    }
+
+    /// An unchecked instance whose root universe is given verbatim —
+    /// the shapes `ProbInstanceBuilder` refuses but hostile loaders can
+    /// still hand the arena.
+    fn hostile(rows: &[(&str, &str)], declare_children: bool) -> (ProbInstance, Vec<ObjectId>) {
+        use std::sync::Arc;
+
+        use crate::catalog::Catalog;
+        use crate::childset::ChildUniverse;
+        use crate::ids::{IdMap, ObjectKind};
+        use crate::weak::{WeakInstance, WeakNode};
+
+        let mut cat = Catalog::new();
+        let r = cat.object("r");
+        let mut universe = ChildUniverse::default();
+        let mut ids = vec![r];
+        let mut nodes: IdMap<ObjectKind, WeakNode> = IdMap::new();
+        for &(child, label) in rows {
+            let c = cat.object(child);
+            let l = cat.label(label);
+            universe.push(c, l);
+            ids.push(c);
+            if declare_children {
+                nodes.insert(c, WeakNode::default());
+            }
+        }
+        nodes.insert(r, WeakNode::from_parts(universe, Vec::new(), None));
+        let w = WeakInstance::from_parts_unchecked(Arc::new(cat), r, nodes);
+        (ProbInstance::from_parts_unchecked(w, IdMap::new(), IdMap::new()), ids)
+    }
+
+    #[test]
+    fn duplicate_child_is_rejected_by_checked_lowering() {
+        let (pi, _) = hostile(&[("c", "x"), ("c", "x")], true);
+        assert!(matches!(
+            ArenaInstance::lower(&pi),
+            Err(CoreError::DuplicateChild { .. })
+        ));
+        // Unchecked lowering still succeeds with a valid layout.
+        let a = ArenaInstance::lower_unchecked(&pi);
+        assert_eq!(a.debug_validate(), Ok(()));
+    }
+
+    #[test]
+    fn ambiguous_child_label_is_rejected_by_checked_lowering() {
+        let (pi, _) = hostile(&[("c", "x"), ("c", "y")], true);
+        assert!(matches!(
+            ArenaInstance::lower(&pi),
+            Err(CoreError::AmbiguousChildLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn phantom_children_get_indices_without_nodes() {
+        // `ghost` appears in the universe but not in the vertex set.
+        let (pi, ids) = hostile(&[("ghost", "x")], false);
+        let a = ArenaInstance::lower_unchecked(&pi);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.member_count(), 1);
+        assert!(a.index_of(ids[1]).is_some());
+        assert_eq!(a.debug_validate(), Ok(()));
+    }
+}

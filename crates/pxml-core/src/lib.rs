@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod budget;
 pub mod catalog;
 pub mod childset;
@@ -64,6 +65,7 @@ pub mod vpf;
 pub mod weak;
 pub mod worlds;
 
+pub use arena::ArenaInstance;
 pub use budget::{Budget, CancelToken, Exhausted, Resource};
 pub use catalog::Catalog;
 pub use childset::{ChildSet, ChildUniverse};

@@ -267,10 +267,13 @@ impl WeakInstance {
             head += 1;
             order.push(o);
             for (_, c) in self.weak_edges(o) {
-                let d = indegree.get_mut(&c).expect("validated child");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push(c);
+                // Dangling references (unchecked instances) are not in
+                // `V` and do not participate in the ordering.
+                if let Some(d) = indegree.get_mut(&c) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(c);
+                    }
                 }
             }
         }
@@ -450,11 +453,16 @@ impl WeakInstance {
 pub struct WeakInstanceBuilder {
     catalog: Catalog,
     nodes: IdMap<ObjectKind, WeakNode>,
+    /// First duplicate/ambiguous `(child, label)` declaration seen by
+    /// [`WeakInstanceBuilder::lch`], surfaced as the build error. The
+    /// offending row is *not* pushed, so universe positions stay
+    /// unambiguous for intermediate consumers (`peek_node`, OPF tables).
+    deferred: Option<CoreError>,
 }
 
 impl WeakInstanceBuilder {
     fn new(catalog: Catalog) -> Self {
-        WeakInstanceBuilder { catalog, nodes: IdMap::new() }
+        WeakInstanceBuilder { catalog, nodes: IdMap::new(), deferred: None }
     }
 
     /// Interns an object name and ensures it has a node, returning its id.
@@ -477,6 +485,11 @@ impl WeakInstanceBuilder {
     }
 
     /// Declares `lch(parent, label) ⊇ children` (appending in order).
+    ///
+    /// A child already present in the parent's universe is rejected
+    /// eagerly: the duplicate row is dropped and a typed
+    /// [`CoreError::DuplicateChild`] / [`CoreError::AmbiguousChildLabel`]
+    /// is recorded and returned by [`WeakInstanceBuilder::build`].
     pub fn lch(&mut self, parent: ObjectId, label: Label, children: &[ObjectId]) -> &mut Self {
         for &c in children {
             if !self.nodes.contains(c) {
@@ -485,7 +498,19 @@ impl WeakInstanceBuilder {
         }
         let node = self.nodes.get_mut(parent).expect("parent must be declared via object()");
         for &c in children {
-            node.universe.push(c, label);
+            if let Some(pos) = node.universe.position(c) {
+                let first = node.universe.label_at(pos);
+                let err = if first == label {
+                    CoreError::DuplicateChild { parent, child: c, label }
+                } else {
+                    CoreError::AmbiguousChildLabel { parent, child: c, first, second: label }
+                };
+                if self.deferred.is_none() {
+                    self.deferred = Some(err);
+                }
+            } else {
+                node.universe.push(c, label);
+            }
         }
         self
     }
@@ -543,8 +568,13 @@ impl WeakInstanceBuilder {
         self.nodes.iter().filter_map(|(o, n)| n.leaf.as_ref().map(|l| (o, l)))
     }
 
-    /// Finishes the build, validating the instance.
+    /// Finishes the build, validating the instance. A duplicate child
+    /// declaration recorded by [`WeakInstanceBuilder::lch`] fails the
+    /// build even though the offending row was dropped.
     pub fn build(self, root: ObjectId) -> Result<WeakInstance> {
+        if let Some(err) = self.deferred {
+            return Err(err);
+        }
         WeakInstance::from_parts(Arc::new(self.catalog), root, self.nodes)
     }
 }

@@ -1,0 +1,161 @@
+//! The §6.1 ε recursion over the flat [`ArenaInstance`] layout.
+//!
+//! [`arena_eps_at`] is [`crate::point::eps_at`] transliterated onto
+//! arena indices: the memo probe, budget charge, OPF-existence check,
+//! kept-child gathering (CSR row scan in universe order) and survival
+//! evaluation happen in exactly the same order with exactly the same
+//! floating-point operations, so the value computed here is
+//! **bit-identical** to the legacy recursion for every input — the
+//! property the equivalence proptests and the shared ε cache rely on.
+//! Only the storage changes: `u32` indices into contiguous arrays
+//! instead of `ObjectId` maps.
+
+use pxml_core::{ArenaInstance, Budget, Label, ObjectId};
+
+use crate::error::{QueryError, Result};
+
+/// Memoisation hook for the arena recursion — the index-keyed
+/// counterpart of [`crate::point::EpsHook`].
+pub(crate) trait ArenaEpsHook {
+    /// A memoised `ε_x` at `depth`, if any.
+    fn get(&mut self, x: u32, depth: usize) -> Option<f64>;
+    /// Memoises `ε_x` at `depth`.
+    fn put(&mut self, x: u32, depth: usize, value: f64);
+    /// Reports OPF entries visited by one survival evaluation.
+    fn visited_opf_entries(&mut self, entries: u64);
+}
+
+/// Maps a legacy kept region (sorted `ObjectId` layers from
+/// [`crate::point::kept_region`]) onto sorted arena-index layers.
+/// Returns `None` if any kept object has no arena index — impossible
+/// for an arena lowered from the same instance (phantom indices make
+/// the map total), kept as a graceful fallback trigger.
+pub(crate) fn map_kept(arena: &ArenaInstance, kept: &[Vec<ObjectId>]) -> Option<Vec<Vec<u32>>> {
+    kept.iter()
+        .map(|layer| {
+            let mut mapped =
+                layer.iter().map(|&o| arena.index_of(o)).collect::<Option<Vec<u32>>>()?;
+            mapped.sort_unstable();
+            Some(mapped)
+        })
+        .collect()
+}
+
+/// `ε_x` at `depth` over the arena layout. Mirrors
+/// [`crate::point::eps_at`] operation-for-operation (see module docs);
+/// `kept` layers must be sorted arena indices (from [`map_kept`]).
+pub(crate) fn arena_eps_at(
+    arena: &ArenaInstance,
+    labels: &[Label],
+    kept: &[Vec<u32>],
+    x: u32,
+    depth: usize,
+    hook: &mut dyn ArenaEpsHook,
+    budget: &Budget,
+) -> Result<f64> {
+    if depth == labels.len() {
+        return Ok(1.0);
+    }
+    if let Some(v) = hook.get(x, depth) {
+        return Ok(v);
+    }
+    // One work step per survival evaluation — the same charge point as
+    // the legacy recursion.
+    budget.charge(1).map_err(pxml_core::CoreError::from)?;
+    // The OPF-existence check precedes child recursion, as in the
+    // legacy kernel, so error order is preserved.
+    if !arena.has_opf(x) {
+        return Err(QueryError::UnknownObject(arena.object_at(x)));
+    }
+    let (start, end) = arena.child_range(x);
+    let mut kept_children: Vec<(u32, f64)> = Vec::new();
+    for i in start..end {
+        let c = arena.child(i);
+        if arena.child_label(i) == labels[depth] && kept[depth + 1].binary_search(&c).is_ok() {
+            kept_children
+                .push((i - start, arena_eps_at(arena, labels, kept, c, depth + 1, hook, budget)?));
+        }
+    }
+    hook.visited_opf_entries(arena.stored_len(x));
+    let Some(v) = arena.survival_probability(x, &kept_children) else {
+        return Err(QueryError::UnknownObject(arena.object_at(x)));
+    };
+    if !v.is_finite() {
+        return Err(QueryError::Core(pxml_core::CoreError::DegenerateMass { total: v }));
+    }
+    hook.put(x, depth, v);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{kept_region, NoHook};
+    use pxml_algebra::locate::layers_weak;
+    use pxml_algebra::path::PathExpr;
+    use pxml_core::fixtures::{chain, fig2_instance};
+
+    /// No-op hook for the arena recursion.
+    struct NoArenaHook;
+
+    impl ArenaEpsHook for NoArenaHook {
+        fn get(&mut self, _x: u32, _depth: usize) -> Option<f64> {
+            None
+        }
+        fn put(&mut self, _x: u32, _depth: usize, _value: f64) {}
+        fn visited_opf_entries(&mut self, _entries: u64) {}
+    }
+
+    /// The transliterated recursion must agree with the legacy one to
+    /// the last bit on the paper's fixtures.
+    #[test]
+    fn arena_recursion_is_bit_identical_to_legacy() {
+        for pi in [fig2_instance(), chain(4, 0.37)] {
+            let arena = ArenaInstance::lower(&pi).expect("fixtures lower");
+            let paths: Vec<PathExpr> = match pi.catalog().find_label("book") {
+                Some(_) => vec![
+                    PathExpr::parse(pi.catalog(), "R.book.title").unwrap(),
+                    PathExpr::parse(pi.catalog(), "R.book").unwrap(),
+                ],
+                None => vec![
+                    PathExpr::parse(pi.catalog(), "r.next.next").unwrap(),
+                    PathExpr::parse(pi.catalog(), "r.next.next.next.next").unwrap(),
+                ],
+            };
+            let budget = Budget::unlimited();
+            for p in &paths {
+                let layers = layers_weak(pi.weak(), p);
+                let located = layers.last().cloned().unwrap_or_default();
+                if located.is_empty() {
+                    continue;
+                }
+                let kept = kept_region(&pi, p, &layers, &located).unwrap();
+                if kept[0].binary_search(&pi.root()).is_err() {
+                    continue;
+                }
+                let legacy = crate::point::eps_at(
+                    &pi,
+                    &p.labels,
+                    &kept,
+                    pi.root(),
+                    0,
+                    &mut NoHook,
+                    &budget,
+                )
+                .unwrap();
+                let akept = map_kept(&arena, &kept).expect("kept maps totally");
+                let flat = arena_eps_at(
+                    &arena,
+                    &p.labels,
+                    &akept,
+                    arena.root_index(),
+                    0,
+                    &mut NoArenaHook,
+                    &budget,
+                )
+                .unwrap();
+                assert_eq!(legacy.to_bits(), flat.to_bits(), "path {p:?}");
+            }
+        }
+    }
+}

@@ -76,7 +76,16 @@ impl QueryEngine {
 
     fn audit_links(&self, findings: &mut Vec<String>) {
         let pi = self.instance();
-        for ((parent, pos), cached) in self.cache().link_entries() {
+        let arena = self.arena();
+        for ((pidx, pos), cached) in self.cache().link_entries() {
+            // Link keys are arena indices under the current lowering;
+            // translate back to the ObjectId the legacy oracle speaks.
+            let Some(parent) = ((pidx as usize) < arena.len()).then(|| arena.object_at(pidx))
+            else {
+                findings
+                    .push(format!("links[{pidx}, {pos}]: index outside the current lowering"));
+                continue;
+            };
             let fresh = match pi.opf(parent) {
                 Some(opf) if (pos as usize) < pi.weak().node(parent).map_or(0, |n| n.universe().len()) => {
                     opf.marginal_present(pos)
@@ -98,12 +107,25 @@ impl QueryEngine {
 
     fn audit_eps(&self, findings: &mut Vec<String>) {
         let pi = self.instance();
+        let arena = self.arena();
         let budget = Budget::unlimited();
         for (key, cached) in self.cache().eps_entries() {
             let labels = key.suffix.labels().to_vec();
+            // ε keys are arena indices; translate back to the ObjectId
+            // the legacy recursion speaks, so the recompute below is an
+            // arena-vs-legacy bit-exactness cross-check.
+            let Some(object) = ((key.object as usize) < arena.len())
+                .then(|| arena.object_at(key.object))
+            else {
+                findings.push(format!(
+                    "eps[{}, {labels:?}, {:?}]: index outside the current lowering",
+                    key.object, key.target
+                ));
+                continue;
+            };
             // Forward locate from the entry's object along the suffix —
             // `layers_weak` anchors at the instance root, so walk here.
-            let mut layers: Vec<Vec<ObjectId>> = vec![vec![key.object]];
+            let mut layers: Vec<Vec<ObjectId>> = vec![vec![object]];
             for &l in &labels {
                 let mut next: Vec<ObjectId> = layers
                     .last()
@@ -125,16 +147,14 @@ impl QueryEngine {
                 TargetKey::One(o) => vec![*o],
                 TargetKey::AllLocated => layers.last().cloned().unwrap_or_default(),
             };
-            let p = PathExpr::new(key.object, labels.clone());
+            let p = PathExpr::new(object, labels.clone());
             let fresh = match kept_region(pi, &p, &layers, &targets) {
-                Ok(kept) if kept.first().is_some_and(|l| l.contains(&key.object)) => {
-                    match eps_at(pi, &labels, &kept, key.object, 0, &mut NoHook, &budget) {
+                Ok(kept) if kept.first().is_some_and(|l| l.contains(&object)) => {
+                    match eps_at(pi, &labels, &kept, object, 0, &mut NoHook, &budget) {
                         Ok(v) => v,
                         Err(e) => {
                             findings.push(format!(
-                                "eps[{:?}, {:?}, {:?}]: recompute failed: {e}",
-                                key.object,
-                                labels,
+                                "eps[{object:?}, {labels:?}, {:?}]: recompute failed: {e}",
                                 key.target
                             ));
                             continue;
@@ -145,17 +165,17 @@ impl QueryEngine {
                 Ok(_) => 0.0,
                 Err(e) => {
                     findings.push(format!(
-                        "eps[{:?}, {:?}, {:?}]: kept region invalid ({e}) — \
+                        "eps[{object:?}, {labels:?}, {:?}]: kept region invalid ({e}) — \
                          a retained entry must still be tree-shaped",
-                        key.object, labels, key.target
+                        key.target
                     ));
                     continue;
                 }
             };
             if cached.to_bits() != fresh.to_bits() {
                 findings.push(format!(
-                    "eps[{:?}, {:?}, {:?}]: cached {cached} != fresh {fresh}",
-                    key.object, labels, key.target
+                    "eps[{object:?}, {labels:?}, {:?}]: cached {cached} != fresh {fresh}",
+                    key.target
                 ));
             }
         }

@@ -55,10 +55,17 @@ pub enum TargetKey {
 
 /// Cache key for one memoised ε marginal: the value of `ε_x` where `x`
 /// sits `suffix.len()` labels above the targets.
+///
+/// `object` is an **arena index** into the engine's current
+/// [`pxml_core::ArenaInstance`], not an [`ObjectId`]: the ungoverned ε
+/// recursion runs over the arena, and index keys are only stable for one
+/// lowering. When a mutation re-lowers the instance into a different
+/// index order the engine wipes this table wholesale
+/// ([`MarginalCache::invalidate_rekeyed`]) instead of translating keys.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EpsKey {
-    /// The object whose ε is memoised.
-    pub object: ObjectId,
+    /// Arena index of the object whose ε is memoised.
+    pub object: u32,
     /// The labels remaining below `object` (hashed by content, so equal
     /// tails of different paths unify).
     pub suffix: PathSuffix,
@@ -131,7 +138,7 @@ pub struct MarginalCache {
     results: RwLock<Shard<Query, Result<f64>>>,
     layers: RwLock<LayerTable>,
     eps: RwLock<Shard<EpsKey, f64>>,
-    links: RwLock<Shard<(ObjectId, u32), f64>>,
+    links: RwLock<Shard<(u32, u32), f64>>,
     /// Byte ceiling; 0 = unlimited.
     max_bytes: AtomicU64,
     /// Sum of the four shards' `bytes` (kept in lock-step under the
@@ -282,13 +289,13 @@ impl MarginalCache {
     }
 
     /// Chain-link marginal lookup: `P(child at universe position ∈
-    /// children(parent))`.
-    pub fn get_link(&self, parent: ObjectId, pos: u32) -> Option<f64> {
+    /// children(parent))`. `parent` is an arena index (see [`EpsKey`]).
+    pub fn get_link(&self, parent: u32, pos: u32) -> Option<f64> {
         self.links.read().map.get(&(parent, pos)).map(|e| e.value)
     }
 
-    /// Chain-link marginal insert.
-    pub fn put_link(&self, parent: ObjectId, pos: u32, value: f64) {
+    /// Chain-link marginal insert. `parent` is an arena index.
+    pub fn put_link(&self, parent: u32, pos: u32, value: f64) {
         self.admit(&self.links, (parent, pos), value, LINK_ENTRY_BYTES);
     }
 
@@ -347,13 +354,99 @@ impl MarginalCache {
     ///   query's path (results are therefore evicted *before* layers);
     ///   evict on overlap with `D`, or conservatively when the layers
     ///   entry is gone.
+    ///
+    /// The ε and link tables are keyed by arena index, so the caller
+    /// additionally passes `direct_idx` / `affected_idx` — the same sets
+    /// translated through the **pre-mutation** lowering the cached
+    /// entries were keyed under. Only call this when the re-lowered
+    /// arena kept the same index order; otherwise use
+    /// [`MarginalCache::invalidate_rekeyed`].
     pub fn invalidate_dirty(
         &self,
         direct: &std::collections::HashSet<ObjectId>,
-        affected: &std::collections::HashSet<ObjectId>,
+        direct_idx: &std::collections::HashSet<u32>,
+        affected_idx: &std::collections::HashSet<u32>,
         structural: bool,
     ) -> InvalidationCounts {
         let mut counts = InvalidationCounts::default();
+        self.invalidate_results_and_layers(direct, structural, &mut counts);
+
+        {
+            let mut s = self.eps.write();
+            let mut freed = 0u64;
+            s.map.retain(|k, e| {
+                let stale = affected_idx.contains(&k.object);
+                if stale {
+                    freed += e.cost;
+                    counts.eps += 1;
+                }
+                !stale
+            });
+            s.bytes = s.bytes.saturating_sub(freed);
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        {
+            let mut s = self.links.write();
+            let mut freed = 0u64;
+            s.map.retain(|(parent, _), e| {
+                let stale = direct_idx.contains(parent);
+                if stale {
+                    freed += e.cost;
+                    counts.links += 1;
+                }
+                !stale
+            });
+            s.bytes = s.bytes.saturating_sub(freed);
+            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+
+        counts
+    }
+
+    /// Dirty-set invalidation when the mutation changed the arena's
+    /// index order (an object appeared, disappeared, or the topological
+    /// order shifted): the results and layers tables — keyed by stable
+    /// [`ObjectId`]s — are filtered exactly as in
+    /// [`MarginalCache::invalidate_dirty`], while the index-keyed ε and
+    /// link tables are wiped wholesale (their `u32` keys refer to the
+    /// old lowering and cannot be translated), with exact freed-byte
+    /// accounting.
+    pub fn invalidate_rekeyed(
+        &self,
+        direct: &std::collections::HashSet<ObjectId>,
+        structural: bool,
+    ) -> InvalidationCounts {
+        let mut counts = InvalidationCounts::default();
+        self.invalidate_results_and_layers(direct, structural, &mut counts);
+
+        {
+            let mut s = self.eps.write();
+            counts.eps += s.map.len() as u64;
+            self.total_bytes.fetch_sub(s.bytes, Ordering::Relaxed);
+            s.map.clear();
+            s.bytes = 0;
+        }
+        {
+            let mut s = self.links.write();
+            counts.links += s.map.len() as u64;
+            self.total_bytes.fetch_sub(s.bytes, Ordering::Relaxed);
+            s.map.clear();
+            s.bytes = 0;
+        }
+
+        counts
+    }
+
+    /// The `ObjectId`-keyed half of dirty invalidation, shared by
+    /// [`MarginalCache::invalidate_dirty`] and
+    /// [`MarginalCache::invalidate_rekeyed`].
+    fn invalidate_results_and_layers(
+        &self,
+        direct: &std::collections::HashSet<ObjectId>,
+        structural: bool,
+        counts: &mut InvalidationCounts,
+    ) {
         let touches_direct =
             |layers: &[Vec<ObjectId>]| layers.iter().any(|l| l.iter().any(|o| direct.contains(o)));
 
@@ -399,38 +492,6 @@ impl MarginalCache {
             s.bytes = s.bytes.saturating_sub(freed);
             self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
         }
-
-        {
-            let mut s = self.eps.write();
-            let mut freed = 0u64;
-            s.map.retain(|k, e| {
-                let stale = affected.contains(&k.object);
-                if stale {
-                    freed += e.cost;
-                    counts.eps += 1;
-                }
-                !stale
-            });
-            s.bytes = s.bytes.saturating_sub(freed);
-            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
-        }
-
-        {
-            let mut s = self.links.write();
-            let mut freed = 0u64;
-            s.map.retain(|(parent, _), e| {
-                let stale = direct.contains(parent);
-                if stale {
-                    freed += e.cost;
-                    counts.links += 1;
-                }
-                !stale
-            });
-            s.bytes = s.bytes.saturating_sub(freed);
-            self.total_bytes.fetch_sub(freed, Ordering::Relaxed);
-        }
-
-        counts
     }
 
     /// Snapshot of the whole-query memo (audit support).
@@ -448,8 +509,9 @@ impl MarginalCache {
         self.eps.read().map.iter().map(|(k, e)| (k.clone(), e.value)).collect()
     }
 
-    /// Snapshot of the link-marginal memo (audit support).
-    pub(crate) fn link_entries(&self) -> Vec<((ObjectId, u32), f64)> {
+    /// Snapshot of the link-marginal memo (audit support). Keys are
+    /// `(parent arena index, universe position)`.
+    pub(crate) fn link_entries(&self) -> Vec<((u32, u32), f64)> {
         self.links.read().map.iter().map(|(k, e)| (*k, e.value)).collect()
     }
 }
@@ -501,7 +563,7 @@ mod tests {
         let cache = MarginalCache::new();
         cache.set_max_bytes(200);
         for i in 0..4 {
-            cache.put_link(o(i), 0, 0.5);
+            cache.put_link(i, 0, 0.5);
         }
         assert_eq!(cache.approx_bytes(), 4 * LINK_ENTRY_BYTES);
 
@@ -517,7 +579,7 @@ mod tests {
         assert!(cache.get_layers(o(0), &path).is_none());
         // Warm state survives: every link still hits.
         for i in 0..4 {
-            assert_eq!(cache.get_link(o(i), 0), Some(0.5));
+            assert_eq!(cache.get_link(i, 0), Some(0.5));
         }
         assert_eq!(cache.approx_bytes(), 4 * LINK_ENTRY_BYTES);
         assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
@@ -530,12 +592,12 @@ mod tests {
         let cache = MarginalCache::new();
         cache.set_max_bytes(200);
         for i in 0..4 {
-            cache.put_link(o(i), 0, 0.25);
+            cache.put_link(i, 0, 0.25);
         }
         // eps entry would fit nowhere: links hold 160 of the 200-byte
         // budget and emptying the (empty) eps shard frees nothing.
         let key = EpsKey {
-            object: o(9),
+            object: 9,
             suffix: LabelPath::new(vec![Label::from_raw(1)]).suffix(0),
             target: TargetKey::AllLocated,
         };
@@ -545,16 +607,16 @@ mod tests {
         assert_eq!(cache.admission_rejections(), 1);
 
         // A fifth link fits exactly in place (200 = ceiling): admitted.
-        cache.put_link(o(4), 0, 0.25);
+        cache.put_link(4, 0, 0.25);
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.approx_bytes(), 5 * LINK_ENTRY_BYTES);
 
         // A sixth does not fit, but emptying the links shard makes room:
         // one epoch eviction, then admission.
-        cache.put_link(o(5), 0, 0.25);
+        cache.put_link(5, 0, 0.25);
         assert_eq!(cache.evictions(), 1);
-        assert_eq!(cache.get_link(o(5), 0), Some(0.25));
-        assert_eq!(cache.get_link(o(0), 0), None);
+        assert_eq!(cache.get_link(5, 0), Some(0.25));
+        assert_eq!(cache.get_link(0, 0), None);
         assert_eq!(cache.approx_bytes(), LINK_ENTRY_BYTES);
         assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
     }

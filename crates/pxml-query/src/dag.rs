@@ -14,7 +14,7 @@
 //!
 //! The cost is `2^k` for `k` matching chains; [`MAX_CHAINS`] bounds it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use pxml_algebra::locate::layers_weak;
 use pxml_algebra::path::PathExpr;
@@ -154,8 +154,11 @@ fn matching_chains(
 /// the chains selected by `mask`.
 fn mask_term(pi: &ProbInstance, chains: &[Vec<ObjectId>], mask: u64) -> Result<f64> {
     // Union of required links of the selected chains, grouped per
-    // parent as universe positions.
-    let mut required: HashMap<ObjectId, Vec<u32>> = HashMap::new();
+    // parent as universe positions. A BTreeMap with ascending position
+    // lists fixes the product's factor order (and each factor's
+    // summation order) to ascending ids — the term is then a
+    // deterministic f64 regardless of hash seeds or thread count.
+    let mut required: BTreeMap<ObjectId, Vec<u32>> = BTreeMap::new();
     for (i, chain) in chains.iter().enumerate() {
         if (mask >> i) & 1 == 0 {
             continue;
@@ -173,7 +176,8 @@ fn mask_term(pi: &ProbInstance, chains: &[Vec<ObjectId>], mask: u64) -> Result<f
         }
     }
     let mut term = 1.0;
-    for (parent, positions) in &required {
+    for (parent, positions) in &mut required {
+        positions.sort_unstable();
         let opf = pi.opf(*parent).ok_or(QueryError::UnknownObject(*parent))?;
         term *= opf.marginal_all_present(positions);
         if term == 0.0 {

@@ -10,10 +10,14 @@
 //!
 //! Engine answers are **exactly** (`==`, not within-epsilon) the answers
 //! of the sequential functions [`crate::point_query`],
-//! [`crate::exists_query`] and [`crate::chain_probability`]: all four
-//! share one ε/marginal implementation, the engine only adds memo
-//! lookups, and a memoised value is bit-identical to what the recursion
-//! would recompute (see `crate::cache` for the key-soundness argument).
+//! [`crate::exists_query`] and [`crate::chain_probability`]: the
+//! ungoverned engine paths run the flat arena kernels
+//! (`crate::arena_eps`, [`pxml_core::ArenaInstance`]), which are
+//! operation-for-operation transliterations of the sequential
+//! recursion — bit-identical by construction — the engine only adds
+//! memo lookups, and a memoised value is bit-identical to what the
+//! recursion would recompute (see `crate::cache` for the key-soundness
+//! argument).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -27,17 +31,19 @@ use pxml_algebra::path::PathExpr;
 use pxml_core::catalog::DisplayObject;
 use pxml_core::summary::StructuralSummary;
 use pxml_core::{
-    render_ops, Budget, CancelToken, Exhausted, LabelPath, Mutation, ObjectId, ProbInstance,
+    render_ops, ArenaInstance, Budget, CancelToken, Exhausted, LabelPath, Mutation, ObjectId,
+    ProbInstance,
 };
 use pxml_interval::Interval;
 use std::sync::Arc;
 
+use crate::arena_eps::{arena_eps_at, map_kept, ArenaEpsHook};
 use crate::cache::{EpsKey, InvalidationCounts, MarginalCache, TargetKey};
 use crate::chain::{chain_probability_budgeted, chain_probability_interval};
 use crate::dag::{exists_query_dag_governed, point_query_dag_governed, DagOutcome};
 use crate::error::{QueryError, Result};
 use crate::metrics::MetricsRegistry;
-use crate::point::{epsilon_root_interval, epsilon_root_with, EpsHook};
+use crate::point::{epsilon_root_interval, epsilon_root_with, kept_region, EpsHook};
 use crate::preflight;
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::trace::{QueryKind, QueryTrace, TraceMode, TraceOutcome, TraceRing, TraceTally};
@@ -207,6 +213,10 @@ pub struct MutationOutcome {
 #[derive(Debug)]
 pub struct QueryEngine {
     pi: ProbInstance,
+    /// Flat lowering of `pi` (arena + CSR + OPF slabs). The ungoverned
+    /// ε and chain kernels run over this; it is re-lowered after every
+    /// successful mutation (lower-on-write).
+    arena: ArenaInstance,
     cache: MarginalCache,
     stats: EngineStats,
     threads: usize,
@@ -247,8 +257,10 @@ impl QueryEngine {
     /// An engine with exactly `threads` workers (clamped to ≥ 1).
     /// `threads == 1` evaluates batches inline with no thread spawns.
     pub fn with_threads(pi: ProbInstance, threads: usize) -> Self {
+        let arena = ArenaInstance::lower_unchecked(&pi);
         QueryEngine {
             pi,
+            arena,
             cache: MarginalCache::new(),
             stats: EngineStats::new(),
             threads: threads.max(1),
@@ -344,6 +356,12 @@ impl QueryEngine {
         &self.cache
     }
 
+    /// The current flat lowering (audit support: translating the
+    /// cache's arena-index keys back to [`ObjectId`]s).
+    pub(crate) fn arena(&self) -> &ArenaInstance {
+        &self.arena
+    }
+
     /// The configured cache-invalidation strategy for mutations.
     pub fn invalidation_policy(&self) -> InvalidationPolicy {
         self.invalidation
@@ -380,6 +398,13 @@ impl QueryEngine {
         // Any mutation can stale the structural summary (presence
         // ceilings read OPF marginals), so rebuild lazily on next use.
         self.summary = OnceLock::new();
+        // Lower-on-write: re-lower the whole instance so the arena
+        // kernels see the post-mutation state. If the index assignment
+        // changed (an object appeared/disappeared or the topological
+        // order shifted), every index-keyed cache entry is unsalvageable.
+        let new_arena = ArenaInstance::lower_unchecked(&self.pi);
+        let rekeyed = new_arena.order() != self.arena.order();
+        let old_arena = std::mem::replace(&mut self.arena, new_arena);
 
         let mut affected_len = 0usize;
         let invalidated = if effect.dirty.is_empty() {
@@ -391,7 +416,22 @@ impl QueryEngine {
             match self.propagate_dirty(&effect.dirty, budget) {
                 Ok((direct, affected)) => {
                     affected_len = affected.len();
-                    self.cache.invalidate_dirty(&direct, &affected, effect.structural)
+                    if rekeyed {
+                        self.cache.invalidate_rekeyed(&direct, effect.structural)
+                    } else {
+                        // Index order unchanged, so translating through
+                        // either lowering yields the same u32 sets; use
+                        // the old arena the cached keys were minted under.
+                        let direct_idx = direct.iter().filter_map(|&o| old_arena.index_of(o)).collect();
+                        let affected_idx =
+                            affected.iter().filter_map(|&o| old_arena.index_of(o)).collect();
+                        self.cache.invalidate_dirty(
+                            &direct,
+                            &direct_idx,
+                            &affected_idx,
+                            effect.structural,
+                        )
+                    }
                 }
                 Err(e) => {
                     // Budget died mid-propagation: the instance already
@@ -1350,21 +1390,7 @@ impl QueryEngine {
         if layers.last().is_none_or(|l| l.binary_search(&object).is_err()) {
             return Ok(0.0);
         }
-        let start = Instant::now();
-        let mut hook = CacheHook {
-            cache: &self.cache,
-            stats: &self.stats,
-            path: labels,
-            target: TargetKey::One(object),
-            tally: t,
-        };
-        let r = epsilon_root_with(&self.pi, path, &layers, &[object], &mut hook, &Budget::unlimited());
-        let elapsed = start.elapsed();
-        self.stats.add_marginal(elapsed);
-        if let Some(t) = hook.tally {
-            t.marginal_nanos += elapsed.as_nanos() as u64;
-        }
-        r
+        self.eps_arena(path, &layers, &[object], labels, TargetKey::One(object), t)
     }
 
     fn eval_exists(&self, path: &PathExpr, mut t: Option<&mut TraceTally>) -> Result<f64> {
@@ -1375,21 +1401,69 @@ impl QueryEngine {
         if located.is_empty() {
             return Ok(0.0);
         }
+        self.eps_arena(path, &layers, &located, labels, TargetKey::AllLocated, t)
+    }
+
+    /// The shared ε evaluation of the ungoverned point/exists paths:
+    /// kept-region extraction on the legacy representation (so error
+    /// payloads like [`QueryError::NotTreeShaped`] are byte-identical),
+    /// then the flat arena recursion through the shared index-keyed
+    /// cache. Bit-identical to [`epsilon_root_with`] — the arena kernel
+    /// is an operation-for-operation transliteration (see
+    /// `crate::arena_eps`).
+    fn eps_arena(
+        &self,
+        path: &PathExpr,
+        layers: &[Vec<ObjectId>],
+        targets: &[ObjectId],
+        labels: LabelPath,
+        target: TargetKey,
+        mut t: Option<&mut TraceTally>,
+    ) -> Result<f64> {
         let start = Instant::now();
-        let mut hook = CacheHook {
-            cache: &self.cache,
-            stats: &self.stats,
-            path: labels,
-            target: TargetKey::AllLocated,
-            tally: t,
-        };
-        let r = epsilon_root_with(&self.pi, path, &layers, &located, &mut hook, &Budget::unlimited());
+        let r = self.eps_arena_inner(path, layers, targets, labels, target, t.as_deref_mut());
         let elapsed = start.elapsed();
         self.stats.add_marginal(elapsed);
-        if let Some(t) = hook.tally {
+        if let Some(t) = t {
             t.marginal_nanos += elapsed.as_nanos() as u64;
         }
         r
+    }
+
+    /// Untimed body of [`QueryEngine::eps_arena`].
+    fn eps_arena_inner(
+        &self,
+        path: &PathExpr,
+        layers: &[Vec<ObjectId>],
+        targets: &[ObjectId],
+        labels: LabelPath,
+        target: TargetKey,
+        t: Option<&mut TraceTally>,
+    ) -> Result<f64> {
+        let kept = kept_region(&self.pi, path, layers, targets)?;
+        if kept[0].binary_search(&self.pi.root()).is_err() {
+            return Ok(0.0);
+        }
+        let Some(akept) = map_kept(&self.arena, &kept) else {
+            // Unreachable for an arena lowered from `self.pi` (phantom
+            // indices make the map total); answer through the legacy
+            // recursion uncached rather than panic.
+            let mut hook = LocalHook::default();
+            let r = epsilon_root_with(&self.pi, path, layers, targets, &mut hook, &Budget::unlimited());
+            self.stats.add_opf_entries(hook.opf_entries);
+            return r;
+        };
+        let mut hook =
+            ArenaCacheHook { cache: &self.cache, stats: &self.stats, path: labels, target, tally: t };
+        arena_eps_at(
+            &self.arena,
+            &path.labels,
+            &akept,
+            self.arena.root_index(),
+            0,
+            &mut hook,
+            &Budget::unlimited(),
+        )
     }
 
     /// `chain_probability` with the per-link marginal memoised. The memo
@@ -1425,7 +1499,10 @@ impl QueryEngine {
                 .universe()
                 .position(child)
                 .ok_or(QueryError::NotAChild { parent, child })?;
-            let m = match self.cache.get_link(parent, pos) {
+            // The link memo is keyed by arena index; `parent` has a
+            // node, so it always has an index in the current lowering.
+            let pidx = self.arena.index_of(parent).ok_or(QueryError::UnknownObject(parent))?;
+            let m = match self.cache.get_link(pidx, pos) {
                 Some(m) => {
                     self.stats.count_link(true);
                     if let Some(t) = t.as_deref_mut() {
@@ -1435,15 +1512,20 @@ impl QueryEngine {
                 }
                 None => {
                     self.stats.count_link(false);
-                    let opf = self.pi.opf(parent).ok_or(QueryError::UnknownObject(parent))?;
-                    let entries = opf.stored_len() as u64;
+                    if !self.arena.has_opf(pidx) {
+                        return Err(QueryError::UnknownObject(parent));
+                    }
+                    let entries = self.arena.stored_len(pidx);
                     self.stats.add_opf_entries(entries);
                     if let Some(t) = t.as_deref_mut() {
                         t.link_misses += 1;
                         t.opf_entries += entries;
                     }
-                    let m = opf.marginal_present(pos);
-                    self.cache.put_link(parent, pos, m);
+                    let m = self
+                        .arena
+                        .marginal_present(pidx, pos)
+                        .ok_or(QueryError::UnknownObject(parent))?;
+                    self.cache.put_link(pidx, pos, m);
                     m
                 }
             };
@@ -1522,9 +1604,12 @@ impl EpsHook for LocalHook {
     }
 }
 
-/// The [`EpsHook`] wiring the shared ε memo and counters into the
-/// recursion of `crate::point::eps_at`.
-struct CacheHook<'a> {
+/// The [`ArenaEpsHook`] wiring the shared ε memo and counters into the
+/// flat recursion of `crate::arena_eps::arena_eps_at`. Keys are arena
+/// indices, valid for the engine's current lowering (mutations that
+/// change the index order wipe the table — see
+/// [`MarginalCache::invalidate_rekeyed`]).
+struct ArenaCacheHook<'a> {
     cache: &'a MarginalCache,
     stats: &'a EngineStats,
     path: LabelPath,
@@ -1533,14 +1618,14 @@ struct CacheHook<'a> {
     tally: Option<&'a mut TraceTally>,
 }
 
-impl CacheHook<'_> {
-    fn key(&self, x: ObjectId, depth: usize) -> EpsKey {
+impl ArenaCacheHook<'_> {
+    fn key(&self, x: u32, depth: usize) -> EpsKey {
         EpsKey { object: x, suffix: self.path.suffix(depth), target: self.target.clone() }
     }
 }
 
-impl EpsHook for CacheHook<'_> {
-    fn get(&mut self, x: ObjectId, depth: usize) -> Option<f64> {
+impl ArenaEpsHook for ArenaCacheHook<'_> {
+    fn get(&mut self, x: u32, depth: usize) -> Option<f64> {
         let hit = self.cache.get_eps(&self.key(x, depth));
         self.stats.count_eps(hit.is_some());
         if let Some(t) = self.tally.as_deref_mut() {
@@ -1553,7 +1638,7 @@ impl EpsHook for CacheHook<'_> {
         hit
     }
 
-    fn put(&mut self, x: ObjectId, depth: usize, value: f64) {
+    fn put(&mut self, x: u32, depth: usize, value: f64) {
         self.cache.put_eps(self.key(x, depth), value);
     }
 

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub(crate) mod arena_eps;
 pub mod audit;
 pub mod cache;
 pub mod chain;

@@ -44,6 +44,14 @@ cargo test -q --offline --test fuzz_robustness
 echo "==> mutation differential suite"
 cargo test -q --offline --test mutation_differential
 
+# Arena/CSR flat-pipeline benchmark: every answer must be bit-equal to
+# the legacy recursion, and the cold marginalisation pool at the
+# 10^5-object scale >= 2x faster on the arena (asserted inside the
+# binary). Writes BENCH_arena.json; debug-assert layout invariants are
+# additionally exercised by the fuzz harness above.
+echo "==> arena flat-pipeline benchmark (bit-equal answers, >=2x cold)"
+target/release/bench_arena --out BENCH_arena.json --reps 3
+
 # Resource-governance contracts: any budget is exact-or-bracketing,
 # exhaustion accounting is thread-count independent, and the dense
 # 2^24-term acceptance instance brackets under a 500 ms deadline.

@@ -1,0 +1,235 @@
+//! The flat-memory equivalence gate: `ArenaInstance` and the
+//! arena-routed engine must answer every Point/Exists/Chain query and
+//! every mutation sequence **bit-identically** (`f64::to_bits`) to the
+//! legacy map-of-maps path.
+//!
+//! Four contracts, property-tested over random trees and DAGs:
+//!
+//! 1. **Lowering round-trip** — `lower_unchecked` produces a layout
+//!    that passes `debug_validate`, with `index_of`/`object_at` mutual
+//!    inverses, every member indexed, and the root seated at its index.
+//! 2. **Flat pipeline ≡ sequential** — `point_flat`/`exists_flat` agree
+//!    bit-for-bit with `point_query`/`exists_query` (errors pair with
+//!    errors: both paths reject non-tree kept regions).
+//! 3. **Engine ≡ sequential, 1 vs 4 threads bit-exact** — the
+//!    arena-routed engine's batch answers equal the sequential answers
+//!    `to_bits`-exactly, and a 4-thread run over a shared cache returns
+//!    the bit-identical vector (the strengthened form of the old
+//!    "slot-for-slot equal" determinism test).
+//! 4. **Mutation sequences** — after every successful lower-on-write
+//!    mutation the warm engines (1- and 4-thread) answer the workload
+//!    bit-identically to a cold engine over a fresh clone.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pxml::algebra::{locate_weak, PathExpr};
+use pxml::core::{ArenaInstance, Label, ObjectId, ProbInstance};
+use pxml::gen::random_mutations;
+use pxml::query::{chain_probability, exists_query, point_query, QueryError};
+use pxml::{BatchQuery, QueryEngine};
+
+use common::{random_dag, random_tree};
+
+/// First-potential-child walk from the root (same construction as
+/// `batch_engine.rs`): label sequence plus the object chain under it.
+fn first_child_walk(pi: &ProbInstance) -> (Vec<Label>, Vec<ObjectId>) {
+    let mut labels = Vec::new();
+    let mut chain = vec![pi.root()];
+    let mut cur = pi.root();
+    while let Some(node) = pi.weak().node(cur) {
+        let Some((_, child, l)) = node.universe().iter().next() else { break };
+        labels.push(l);
+        chain.push(child);
+        cur = child;
+        if labels.len() > 4 {
+            break;
+        }
+    }
+    (labels, chain)
+}
+
+/// All labels appearing in any universe, sorted and deduped.
+fn all_labels(pi: &ProbInstance) -> Vec<Label> {
+    let mut objects: Vec<ObjectId> = pi.weak().objects().collect();
+    objects.sort_unstable();
+    let mut v: Vec<Label> = objects
+        .into_iter()
+        .filter_map(|o| pi.weak().node(o))
+        .flat_map(|n| n.universe().iter().map(|(_, _, l)| l))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Path expressions exercising the instance: every prefix of the
+/// first-child walk plus every single- and two-label combination.
+fn build_paths(pi: &ProbInstance) -> Vec<PathExpr> {
+    let (walk_labels, _) = first_child_walk(pi);
+    let mut paths: Vec<PathExpr> = (1..=walk_labels.len())
+        .map(|len| PathExpr::new(pi.root(), walk_labels[..len].iter().copied()))
+        .collect();
+    let labels = all_labels(pi);
+    for &l1 in &labels {
+        paths.push(PathExpr::new(pi.root(), [l1]));
+        for &l2 in &labels {
+            paths.push(PathExpr::new(pi.root(), [l1, l2]));
+        }
+    }
+    paths
+}
+
+/// The mixed workload: exists + per-located point queries over
+/// `build_paths`, chain queries along the walk, plus duplicates.
+fn build_queries(pi: &ProbInstance) -> Vec<BatchQuery> {
+    let (_, chain) = first_child_walk(pi);
+    let mut queries = Vec::new();
+    for p in build_paths(pi) {
+        queries.push(BatchQuery::exists(p.clone()));
+        for o in locate_weak(pi, &p) {
+            queries.push(BatchQuery::point(p.clone(), o));
+        }
+    }
+    for len in 1..chain.len() {
+        queries.push(BatchQuery::chain(chain[..=len].to_vec()));
+    }
+    let half: Vec<BatchQuery> = queries[..queries.len() / 2].to_vec();
+    queries.extend(half);
+    queries
+}
+
+/// The sequential (legacy-path) answer the arena must reproduce.
+fn sequential_answer(pi: &ProbInstance, q: &BatchQuery) -> Result<f64, QueryError> {
+    match q {
+        BatchQuery::Point { path, object } => point_query(pi, path, *object),
+        BatchQuery::Exists { path } => exists_query(pi, path),
+        BatchQuery::Chain { objects } => chain_probability(pi, objects),
+    }
+}
+
+/// Bit-exact comparison of two answer vectors: `Ok` values must agree
+/// `to_bits`-exactly, errors pair with errors (rendered-message equal).
+fn assert_bit_identical(
+    got: &[Result<f64, QueryError>],
+    want: &[Result<f64, QueryError>],
+    ctx: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        match (g, w) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: slot {i}: {a} vs {b}")
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{ctx}: slot {i} errors differ")
+            }
+            _ => panic!("{ctx}: slot {i}: ok/err mismatch: {g:?} vs {w:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: lowering round-trips — layout invariants hold and
+    /// the index assignment is a bijection over the members.
+    #[test]
+    fn lowering_round_trips_and_validates(seed in 0u64..3000) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let arena = ArenaInstance::lower_unchecked(&pi);
+            prop_assert_eq!(arena.debug_validate(), Ok(()));
+            // Every member object has an index and the map inverts.
+            for o in pi.weak().objects() {
+                let x = arena.index_of(o).expect("member indexed");
+                prop_assert_eq!(arena.object_at(x), o);
+            }
+            for x in 0..arena.len() as u32 {
+                prop_assert_eq!(arena.index_of(arena.object_at(x)), Some(x));
+            }
+            prop_assert_eq!(arena.object_at(arena.root_index()), pi.root());
+            prop_assert!(arena.member_count() as usize <= arena.len());
+        }
+    }
+
+    /// Contract 2: the flat §6.1 pipeline is bit-identical to the
+    /// sequential recursion on every generated path, errors included.
+    #[test]
+    fn flat_pipeline_is_bit_identical_to_sequential(seed in 0u64..3000) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let arena = ArenaInstance::lower_unchecked(&pi);
+            for p in build_paths(&pi) {
+                let flat = arena.exists_flat(&p.labels);
+                let legacy = exists_query(&pi, &p);
+                match (&flat, &legacy) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a.to_bits(), b.to_bits(), "exists {:?}: {} vs {}", p, a, b
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(false, "exists {:?}: {:?} vs {:?}", p, flat, legacy),
+                }
+                for o in locate_weak(&pi, &p) {
+                    let flat = arena.point_flat(&p.labels, o);
+                    let legacy = point_query(&pi, &p, o);
+                    match (&flat, &legacy) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            a.to_bits(), b.to_bits(), "point {:?} {:?}: {} vs {}", p, o, a, b
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false, "point {:?} {:?}: {:?} vs {:?}", p, o, flat, legacy
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Contract 3: the arena-routed engine equals the sequential path
+    /// bit-exactly, and 1-thread vs 4-thread batches (cold and warm)
+    /// return bit-identical vectors.
+    #[test]
+    fn engine_is_bit_exact_across_thread_counts(seed in 0u64..1500) {
+        for pi in [random_tree(seed), random_dag(seed)] {
+            let queries = build_queries(&pi);
+            let expected: Vec<_> =
+                queries.iter().map(|q| sequential_answer(&pi, q)).collect();
+            let eng1 = QueryEngine::with_threads(pi.clone(), 1);
+            let got1 = eng1.run_batch(&queries);
+            assert_bit_identical(&got1, &expected, "1-thread vs sequential");
+            let eng4 = QueryEngine::with_threads(pi, 4);
+            let got4 = eng4.run_batch(&queries);
+            assert_bit_identical(&got4, &got1, "4-thread cold vs 1-thread");
+            let warm4 = eng4.run_batch(&queries);
+            assert_bit_identical(&warm4, &got1, "4-thread warm vs 1-thread");
+        }
+    }
+
+    /// Contract 4: across a random mutation sequence, the warm
+    /// lower-on-write engines answer bit-identically to a cold engine
+    /// over a fresh clone of the mirrored instance, at every step.
+    #[test]
+    fn mutation_sequences_stay_bit_identical(seed in 0u64..400) {
+        let mut mirror = random_tree(seed);
+        let mut eng1 = QueryEngine::with_threads(mirror.clone(), 1);
+        let mut eng4 = QueryEngine::with_threads(mirror.clone(), 4);
+        let ops = random_mutations(&mirror, 6, seed ^ 0xA5A5);
+        for (step, op) in ops.iter().enumerate() {
+            let applied = mirror.apply(op).is_ok();
+            let r1 = eng1.apply_mutation(op);
+            let r4 = eng4.apply_mutation(op);
+            prop_assert_eq!(applied, r1.is_ok(), "step {}: 1-thread apply parity", step);
+            prop_assert_eq!(applied, r4.is_ok(), "step {}: 4-thread apply parity", step);
+            let queries = build_queries(&mirror);
+            let oracle = QueryEngine::with_threads(mirror.clone(), 1);
+            let expected = oracle.run_batch(&queries);
+            assert_bit_identical(
+                &eng1.run_batch(&queries), &expected, &format!("step {step}: warm 1-thread")
+            );
+            assert_bit_identical(
+                &eng4.run_batch(&queries), &expected, &format!("step {step}: warm 4-thread")
+            );
+        }
+    }
+}

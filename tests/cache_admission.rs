@@ -23,7 +23,7 @@ fn lp(raw: u32) -> LabelPath {
 
 fn eps_key(raw: u32) -> EpsKey {
     EpsKey {
-        object: o(raw),
+        object: raw, // arena index
         suffix: lp(raw).suffix(0),
         target: TargetKey::AllLocated,
     }
@@ -44,7 +44,7 @@ fn put(cache: &MarginalCache, sel: u8, raw: u32, len: u32) {
         0 => cache.put_result(chain_query(raw % 32, len), Ok(0.5)),
         1 => cache.put_layers(o(raw % 32), lp(raw), layers(raw, 1 + len % 24)),
         2 => cache.put_eps(eps_key(raw % 32), 0.25),
-        _ => cache.put_link(o(raw % 32), raw % 3, 0.125),
+        _ => cache.put_link(raw % 32, raw % 3, 0.125),
     }
 }
 
@@ -113,7 +113,7 @@ fn oversized_hammer_causes_zero_spurious_evictions() {
     for i in 0..4 {
         cache.put_result(chain_query(i, 1), Ok(0.5));
         cache.put_eps(eps_key(i), 0.25);
-        cache.put_link(o(i), 0, 0.125);
+        cache.put_link(i, 0, 0.125);
     }
     cache.put_layers(o(0), lp(0), layers(0, 4));
     let warm_bytes = cache.approx_bytes();
@@ -144,10 +144,51 @@ fn oversized_hammer_causes_zero_spurious_evictions() {
     for i in 0..4 {
         assert!(cache.get_result(&chain_query(i, 1)).is_some(), "warm result {i} lost");
         assert!(cache.get_eps(&eps_key(i)).is_some(), "warm eps {i} lost");
-        assert!(cache.get_link(o(i), 0).is_some(), "warm link {i} lost");
+        assert!(cache.get_link(i, 0).is_some(), "warm link {i} lost");
     }
     assert!(cache.get_layers(o(0), &lp(0)).is_some(), "warm layers lost");
     assert_eq!(cache.approx_bytes(), warm_bytes, "footprint must be untouched");
+    assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+}
+
+/// Regression for the arena re-keying: the ε/link tables are keyed by
+/// arena index now, and both entry-level (`invalidate_dirty`, with
+/// translated index sets) and wholesale (`invalidate_rekeyed`, after a
+/// lowering changed the index order) invalidation must free exactly the
+/// admitted costs — `approx == recomputed` must hold after either path.
+#[test]
+fn invalidation_over_index_keyed_entries_keeps_accounting_exact() {
+    use std::collections::HashSet;
+    let cache = MarginalCache::new();
+    for i in 0..16u32 {
+        cache.put_result(chain_query(i, 1), Ok(0.5));
+        cache.put_layers(o(i), lp(i), layers(i, 4));
+        cache.put_eps(eps_key(i), 0.25);
+        cache.put_link(i, i % 3, 0.125);
+    }
+    assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+
+    // Entry-level: ObjectId sets drive results/layers, index sets the
+    // ε/link tables.
+    let direct: HashSet<ObjectId> = (0..4u32).map(o).collect();
+    let direct_idx: HashSet<u32> = (0..4u32).collect();
+    let affected_idx: HashSet<u32> = (0..8u32).collect();
+    let counts = cache.invalidate_dirty(&direct, &direct_idx, &affected_idx, true);
+    assert_eq!(counts.eps, 8, "eps evicted per affected index set");
+    assert_eq!(counts.links, 4, "links evicted per direct index set");
+    assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
+    for i in 0..16u32 {
+        assert_eq!(cache.get_eps(&eps_key(i)).is_some(), i >= 8, "eps {i}");
+        assert_eq!(cache.get_link(i, i % 3).is_some(), i >= 4, "link {i}");
+    }
+
+    // Wholesale: a rekeying lowering wipes every index-keyed entry and
+    // must account for every freed byte.
+    let counts = cache.invalidate_rekeyed(&direct, true);
+    assert_eq!(counts.eps, 8, "all surviving eps entries wiped");
+    assert_eq!(counts.links, 12, "all surviving link entries wiped");
+    let (_, _, eps_n, links_n) = cache.len();
+    assert_eq!((eps_n, links_n), (0, 0));
     assert_eq!(cache.approx_bytes(), cache.recomputed_bytes());
 }
 

@@ -477,6 +477,126 @@ fn atomic_writer_cleans_up_temp_on_failure() {
     assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
 }
 
+// ---------------------------------------------------------------------
+// Duplicate-edge declarations: every ingress path must reject or report
+// them with a *typed* diagnostic — silently collapsing (or silently
+// keeping) the duplicate row was the bug.
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_edge_declarations_are_typed_errors_on_every_path() {
+    use pxml::core::{CoreError, WeakInstance};
+
+    // Builder path: the duplicate row is dropped and the build fails
+    // with the typed error (same child twice under one label, and the
+    // same child under two labels).
+    let mut b = WeakInstance::builder();
+    let (r, a) = (b.object("R"), b.object("A"));
+    let l = b.label("x");
+    b.lch(r, l, &[a]).lch(r, l, &[a]);
+    assert!(matches!(b.build(r), Err(CoreError::DuplicateChild { .. })));
+
+    let mut b = WeakInstance::builder();
+    let (r, a) = (b.object("R"), b.object("A"));
+    let (l1, l2) = (b.label("x"), b.label("y"));
+    b.lch(r, l1, &[a]).lch(r, l2, &[a]);
+    assert!(matches!(b.build(r), Err(CoreError::AmbiguousChildLabel { .. })));
+
+    // Ops-file path: a LINK naming an existing `(parent, child)` edge
+    // must fail typed and leave the instance bytewise untouched.
+    let pi = fig2_instance();
+    let before = to_binary(&pi).expect("encodes");
+    let dup = pxml::core::parse_ops(&pi, "LINK B1 title T1 PROB 0.5\n").expect("parses");
+    let mut work = pi.clone();
+    assert!(matches!(work.apply(&dup[0]), Err(CoreError::DuplicateChild { .. })));
+    assert_eq!(to_binary(&work).expect("encodes"), before, "failed LINK mutated state");
+    let amb = pxml::core::parse_ops(&pi, "LINK B1 author T1 PROB 0.5\n").expect("parses");
+    let mut work = pi.clone();
+    assert!(matches!(work.apply(&amb[0]), Err(CoreError::AmbiguousChildLabel { .. })));
+    assert_eq!(to_binary(&work).expect("encodes"), before, "failed LINK mutated state");
+}
+
+#[test]
+fn check_catches_duplicate_and_ambiguous_child_rows() {
+    // The lenient text parser keeps duplicate universe rows verbatim (no
+    // builder dedupe), so `pxml check` must report them.
+    let codes =
+        lint_after(|t| t.replace("lch \"author\" = [\"A3\"]", "lch \"author\" = [\"A3\", \"A3\"]"));
+    assert!(codes.contains(&"duplicate-child"), "{codes:?}");
+    let codes = lint_after(|t| {
+        t.replace(
+            "lch \"author\" = [\"A3\"]",
+            "lch \"author\" = [\"A3\"]\n    lch \"editor\" = [\"A3\"]",
+        )
+    });
+    assert!(codes.contains(&"ambiguous-child-label"), "{codes:?}");
+}
+
+// ---------------------------------------------------------------------
+// Arena lowering totality: `lower_unchecked` (and its debug-asserted
+// layout invariants) plus the flat §6.1 pipeline must be total over
+// whatever the lenient decoders let through.
+// ---------------------------------------------------------------------
+
+#[test]
+fn arena_lowering_is_total_on_hostile_instances() {
+    use pxml::core::ArenaInstance;
+
+    // Deterministic worst cases first: each planted coherence violation
+    // (duplicate rows, cycles, dangling children, zombies) must lower
+    // without panicking, with the checked path refusing it typed.
+    let base = to_text(&fig2_instance());
+    for (needle, replacement) in [
+        ("lch \"author\" = [\"A3\"]", "lch \"author\" = [\"A3\", \"A3\"]"),
+        ("lch \"author\" = [\"A3\"]", "lch \"author\" = [\"A3\"]\n    lch \"back\" = [\"R\"]"),
+        ("card \"book\" = [2, 3]", "card \"book\" = [4, 5]"),
+    ] {
+        let hostile = from_text_unchecked(&base.replace(needle, replacement))
+            .expect("corruption parses structurally");
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = ArenaInstance::lower(&hostile);
+            let _ = ArenaInstance::lower_unchecked(&hostile).debug_validate();
+        }));
+        assert!(outcome.is_ok(), "seeded corruption {replacement:?} panicked the lowering");
+    }
+
+    // Then the byte-mutation stream, over the *text* codec — the binary
+    // CRC rejects nearly every mutant before it can reach the arena.
+    let seed = to_text(&fig2_instance()).into_bytes();
+    let mut rng = XorShift64::new(0xB1A2_C3D4_0008);
+    let mut lowered = 0usize;
+    for i in 0..MUTATIONS {
+        let mutated = mutate_bytes(&mut rng, &seed);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let Ok(hostile) = from_text_unchecked(&text) else { return false };
+            // Checked lowering: Ok or a typed error, never a panic.
+            let _ = ArenaInstance::lower(&hostile);
+            // Unchecked lowering runs with debug assertions on in this
+            // harness, so the layout invariants themselves are under
+            // test; `debug_validate` may report Err on incoherent input
+            // but must not panic, and neither may the flat pipeline.
+            let arena = ArenaInstance::lower_unchecked(&hostile);
+            let _ = arena.debug_validate();
+            if let Some(labels) = hostile
+                .weak()
+                .node(hostile.root())
+                .and_then(|n| n.universe().iter().next().map(|(_, _, l)| vec![l]))
+            {
+                let _ = arena.exists_flat(&labels);
+            }
+            true
+        }));
+        match outcome {
+            Ok(l) => lowered += usize::from(l),
+            Err(_) => panic!("arena lowering panicked on mutation #{i}"),
+        }
+    }
+    // Sanity: a meaningful fraction of mutants survived decode and
+    // actually exercised the lowering.
+    assert!(lowered > MUTATIONS / 100, "only {lowered} mutants reached the arena");
+}
+
 #[test]
 fn pristine_fixtures_lint_clean() {
     let pi = fig2_instance();
